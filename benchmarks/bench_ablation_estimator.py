@@ -1,0 +1,28 @@
+"""A1 — ablation: median vs mean combiner (§3.1).
+
+Design-choice artifact: the paper's argument for the median.  The bench
+reruns the planted-heavy-hitter comparison and asserts the median's error
+profile dominates the mean's.
+"""
+
+from conftest import save_report
+
+from repro.experiments import ablation_estimator
+
+CONFIG = ablation_estimator.EstimatorAblationConfig()
+
+
+def _run():
+    return ablation_estimator.run(CONFIG)
+
+
+def test_ablation_estimator(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_report(
+        "A1_ablation_estimator",
+        ablation_estimator.format_report(rows, CONFIG),
+    )
+
+    by = {row.combiner: row for row in rows}
+    assert by["median"].mean_abs_error < by["mean"].mean_abs_error
+    assert by["median"].p95_abs_error < by["mean"].p95_abs_error

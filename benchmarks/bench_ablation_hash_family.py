@@ -1,0 +1,30 @@
+"""A4 — hash-family ablation (polynomial vs tabulation vs multiply-shift).
+
+Design-substrate artifact: accuracy must be family-insensitive at equal
+dimensions (the analysis only needs pairwise independence; all three
+families deliver it exactly or near enough), making the family a pure
+speed/portability choice — the premise of the vectorized backend.
+"""
+
+from conftest import save_report
+
+from repro.experiments import ablation_hash_family
+
+CONFIG = ablation_hash_family.HashFamilyAblationConfig()
+
+
+def _run():
+    return ablation_hash_family.run(CONFIG)
+
+
+def test_ablation_hash_family(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_report(
+        "A4_ablation_hash_family",
+        ablation_hash_family.format_report(rows, CONFIG),
+    )
+
+    errors = [row.mean_abs_error for row in rows]
+    # Accuracy within a 2x band across families (family-insensitive).
+    assert max(errors) <= 2 * min(errors) + 1
+    assert all(row.updates_per_second > 0 for row in rows)

@@ -1,0 +1,30 @@
+"""A3 — ablation: exact heap counts (§3.2 step 2).
+
+Design-choice artifact: "if q_j is in the heap, increment its count."
+The bench asserts the exact-increment policy reports sharper counts than
+re-estimating heap members from the sketch.
+"""
+
+from conftest import save_report
+
+from repro.experiments import ablation_heap_counts
+
+CONFIG = ablation_heap_counts.HeapAblationConfig()
+
+
+def _run():
+    return ablation_heap_counts.run(CONFIG)
+
+
+def test_ablation_heap_counts(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_report(
+        "A3_ablation_heap",
+        ablation_heap_counts.format_report(rows, CONFIG),
+    )
+
+    exact, reestimate = rows
+    assert exact.mean_relative_count_error <= (
+        reestimate.mean_relative_count_error + 1e-9
+    )
+    assert exact.recall >= reestimate.recall - 0.1

@@ -1,0 +1,27 @@
+"""A2 — ablation: the ±1 sign hashes (Count Sketch vs Count-Min).
+
+Design-choice artifact: what the sign hashes buy — unbiasedness and
+two-sided error.  The bench asserts Count-Min's strictly positive bias
+against Count Sketch's near-zero bias at identical dimensions.
+"""
+
+from conftest import save_report
+
+from repro.experiments import ablation_sign_hash
+
+CONFIG = ablation_sign_hash.SignAblationConfig()
+
+
+def _run():
+    return ablation_sign_hash.run(CONFIG)
+
+
+def test_ablation_sign_hash(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_report(
+        "A2_ablation_sign", ablation_sign_hash.format_report(rows, CONFIG)
+    )
+
+    count_sketch, count_min = rows
+    assert count_min.bias > 0
+    assert abs(count_sketch.bias) < count_min.bias

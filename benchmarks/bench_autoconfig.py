@@ -1,0 +1,29 @@
+"""X2 — auto-configuration from a stream prefix.
+
+Extension artifact: the §3.1 "you must know the distribution" caveat,
+operationalized.  The bench asserts that trackers dimensioned blind from
+a 10% prefix still meet both APPROXTOP guarantees on the full stream, and
+that the recommended width lands within a small factor of the oracle.
+"""
+
+from conftest import save_report
+
+from repro.experiments import autoconfig
+
+CONFIG = autoconfig.AutoConfigConfig()
+
+
+def _run():
+    return autoconfig.run(CONFIG)
+
+
+def test_autoconfig(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_report("X2_autoconfig", autoconfig.format_report(rows, CONFIG))
+
+    for row in rows:
+        assert row.weak_rate == 1.0
+        assert row.strong_rate == 1.0
+        assert 0.3 <= row.width_ratio <= 3.0
+        # The fitted exponent lands near the generator's z.
+        assert abs(row.fitted_z - row.z) < 0.35

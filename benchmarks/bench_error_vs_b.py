@@ -1,0 +1,29 @@
+"""E2 — error vs width (Eq. 5 / Lemma 4).
+
+Paper artifact: the 8γ error guarantee and its b^{-1/2} scaling.  The
+bench reruns the full sweep at the default configuration and asserts the
+bound holds and the decay is at least as fast as the guarantee.
+"""
+
+from conftest import save_report
+
+from repro.experiments import error_vs_b
+
+CONFIG = error_vs_b.ErrorVsBConfig()
+
+
+def _run():
+    return error_vs_b.run(CONFIG)
+
+
+def test_error_vs_b(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_report("E2_error_vs_b", error_vs_b.format_report(rows, CONFIG))
+
+    for row in rows:
+        assert row.within_bound_fraction >= 0.98
+    for z in CONFIG.zs:
+        exponent = error_vs_b.fitted_exponent(rows, z)
+        assert exponent <= -0.35
+    # CLT regime: the guarantee's exponent is tight at z = 0.5.
+    assert abs(error_vs_b.fitted_exponent(rows, 0.5) - (-0.5)) < 0.25

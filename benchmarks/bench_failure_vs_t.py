@@ -1,0 +1,27 @@
+"""E3 — failure probability vs depth (Lemma 3).
+
+Paper artifact: the Chernoff decay that justifies t = Θ(log n/δ).  The
+bench reruns the depth sweep and asserts the failure rate decays and that
+8γ busts are (near-)absent at practical depths.
+"""
+
+from conftest import save_report
+
+from repro.experiments import failure_vs_t
+
+CONFIG = failure_vs_t.FailureVsTConfig()
+
+
+def _run():
+    return failure_vs_t.run(CONFIG)
+
+
+def test_failure_vs_t(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_report("E3_failure_vs_t", failure_vs_t.format_report(rows, CONFIG))
+
+    assert failure_vs_t.decay_is_exponential(rows, "fail_rate_1g")
+    assert failure_vs_t.decay_is_exponential(rows, "fail_rate_2g")
+    # At depth >= 5 the 8γ bound essentially never fails.
+    deep = [row for row in rows if row.depth >= 5]
+    assert all(row.fail_rate_8g <= 0.005 for row in deep)

@@ -1,0 +1,36 @@
+"""X1 — one-pass hierarchical max-change vs the paper's two-pass (§4.2).
+
+Extension artifact: the dyadic hierarchy buys back a stream pass at a
+``domain_bits×`` space premium.  The bench asserts both methods recover
+the planted drift, that the one-pass variant's estimate quality matches
+the flat difference sketch, and that the space trade is as predicted.
+"""
+
+from conftest import save_report
+
+from repro.experiments import hierarchical_maxchange
+
+CONFIG = hierarchical_maxchange.HierarchicalMaxChangeConfig()
+
+
+def _run():
+    return hierarchical_maxchange.run(CONFIG)
+
+
+def test_hierarchical_maxchange(benchmark):
+    rows, threshold = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_report(
+        "X1_hierarchical_maxchange",
+        hierarchical_maxchange.format_report(rows, threshold, CONFIG),
+    )
+
+    two_pass, one_pass = rows
+    assert two_pass.recall >= 0.9
+    assert one_pass.recall >= 0.9
+    # Same flat-sketch estimator inside: comparable change errors.
+    assert one_pass.mean_change_error <= 2 * two_pass.mean_change_error + 5
+    # The space premium is the domain_bits hierarchy factor (×2 streams).
+    assert one_pass.counters == (
+        2 * CONFIG.domain_bits * CONFIG.depth * CONFIG.width
+    )
+    assert one_pass.passes == 1 and two_pass.passes == 2

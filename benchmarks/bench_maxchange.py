@@ -1,0 +1,34 @@
+"""E7 — max-change recovery (§4.2).
+
+Paper artifact: the two-pass max-change algorithm's claim that the items
+with the largest |n_q(S2) − n_q(S1)| are recovered (the Lemma 5 analogue
+with Δ_q).  The bench runs the width sweep on planted-drift streams and
+asserts high recall at adequate width, with the per-stream-top-list
+baseline reported alongside.
+"""
+
+from conftest import save_report
+
+from repro.experiments import maxchange_experiment
+
+CONFIG = maxchange_experiment.MaxChangeConfig()
+
+
+def _run():
+    return maxchange_experiment.run(CONFIG)
+
+
+def test_maxchange(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_report(
+        "E7_maxchange", maxchange_experiment.format_report(result, CONFIG)
+    )
+
+    assert result.rows[-1].recall >= 0.9
+    assert result.rows[-1].recall >= result.baseline_recall - 0.05
+    # The structural advantage: the difference sketch estimates the change
+    # itself far more accurately than differencing two per-stream
+    # summaries — even the smallest sketch (equal counters) wins clearly.
+    assert result.rows[0].mean_change_error < result.baseline_change_error / 2
+    errors = [row.mean_change_error for row in result.rows]
+    assert errors == sorted(errors, reverse=True)

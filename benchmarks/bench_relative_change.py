@@ -1,0 +1,30 @@
+"""X4 — the max-percent-change smoothing floor (§5 open problem).
+
+Extension artifact: the floor must reproduce its three regimes — chasing
+flicker noise when too low, surfacing the sleeper hit in the useful band,
+degrading to absolute change when extreme.
+"""
+
+from conftest import save_report
+
+from repro.experiments import relative_change_floor
+
+CONFIG = relative_change_floor.FloorSweepConfig()
+
+
+def _run():
+    return relative_change_floor.run(CONFIG)
+
+
+def test_relative_change_floor(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_report(
+        "X4_relative_change_floor",
+        relative_change_floor.format_report(rows, CONFIG),
+    )
+
+    by_floor = {row.floor: row for row in rows}
+    assert by_floor[1.0].top_item_kind == "flicker"
+    assert by_floor[16.0].top_item_kind == "sleeper"
+    assert by_floor[256.0].top_item_kind == "sleeper"
+    assert by_floor[16_384.0].top_item_kind == "heavy"

@@ -1,0 +1,28 @@
+"""E6 — the §4.1 SAMPLING space analysis.
+
+Paper artifact: the expected-distinct-items formulas (the SAMPLING column
+of Table 1).  The bench runs the sampler at the §4.1 rate per regime and
+asserts the measurement matches the exact finite-m prediction.
+"""
+
+from conftest import save_report
+
+from repro.experiments import sampling_space
+
+CONFIG = sampling_space.SamplingSpaceConfig()
+
+
+def _run():
+    return sampling_space.run(CONFIG)
+
+
+def test_sampling_space(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_report(
+        "E6_sampling_space", sampling_space.format_report(rows, CONFIG)
+    )
+
+    for row in rows:
+        assert 0.85 <= row.measured_over_exact <= 1.15
+    measured = [row.measured_distinct for row in rows]
+    assert measured == sorted(measured, reverse=True)

@@ -1,0 +1,30 @@
+"""E8 — the §5 bit-level space comparison.
+
+Paper artifact: §5's conclusion that COUNT SKETCH's O(k·log n + k·ℓ) beats
+SAMPLING's O(k·log m·log(k/δ)·ℓ) once objects are large (ℓ ≫ log n).  The
+bench measures both summaries and asserts the crossover exists and moves
+in the predicted direction.
+"""
+
+from conftest import save_report
+
+from repro.experiments import space_accounting
+
+CONFIG = space_accounting.SpaceAccountingConfig()
+
+
+def _run():
+    return space_accounting.run(CONFIG)
+
+
+def test_space_accounting(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_report(
+        "E8_space_accounting",
+        space_accounting.format_report(result, CONFIG),
+    )
+
+    ratios = [row.ratio for row in result.rows]
+    assert ratios == sorted(ratios)  # sketch advantage grows with ℓ
+    assert ratios[-1] > 1.0  # sketch wins for large objects
+    assert result.cs_objects < result.sampling_objects

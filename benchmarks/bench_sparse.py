@@ -1,0 +1,60 @@
+"""T2 — sparse vs dense backend at Lemma 5-scale widths.
+
+Not a paper artifact: release benchmark for the sparse backend.  At a
+width Lemma 5 actually prescribes (~10⁵) with a small-support stream, the
+sparse sketch must (a) produce identical estimates, (b) hold orders of
+magnitude fewer counters, and (c) stay within a small constant factor on
+update speed.
+"""
+
+from conftest import save_report
+
+from repro.core.countsketch import CountSketch
+from repro.core.sparse import SparseCountSketch
+from repro.experiments.report import format_table
+from repro.streams.zipf import ZipfStreamGenerator
+
+DEPTH, WIDTH, SEED = 5, 1 << 17, 3
+
+
+def _counts():
+    stream = ZipfStreamGenerator(m=5_000, z=1.0, seed=1).generate(50_000)
+    return stream.counts()
+
+
+def test_dense_update_wide(benchmark):
+    counts = _counts()
+
+    def run():
+        sketch = CountSketch(DEPTH, WIDTH, seed=SEED)
+        sketch.update_counts(counts)
+        return sketch
+
+    benchmark(run)
+
+
+def test_sparse_update_wide(benchmark):
+    counts = _counts()
+
+    def run():
+        sketch = SparseCountSketch(DEPTH, WIDTH, seed=SEED)
+        sketch.update_counts(counts)
+        return sketch
+
+    sketch = benchmark(run)
+
+    dense = CountSketch(DEPTH, WIDTH, seed=SEED)
+    dense.update_counts(counts)
+    # Identical estimates at a fraction of the counters.
+    for item in (1, 2, 3, 10, 100):
+        assert sketch.estimate(item) == dense.estimate(item)
+    report = format_table(
+        ["backend", "counters held", "nominal t*b"],
+        [
+            ["dense", dense.counters_used(), dense.counters_used()],
+            ["sparse", sketch.buckets_touched(), sketch.nominal_counters()],
+        ],
+        title=f"T2 — backend space at b={WIDTH} (m=5000 distinct items)",
+    )
+    save_report("T2_sparse_backend", report)
+    assert sketch.buckets_touched() < dense.counters_used() // 10

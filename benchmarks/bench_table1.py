@@ -1,0 +1,42 @@
+"""E1 — regenerate Table 1 (SAMPLING vs KPS vs COUNT SKETCH space).
+
+Paper artifact: Table 1.  Workload: Zipf streams across the five regimes.
+The bench measures the wall-clock of the full Table 1 pipeline and checks
+the qualitative claims that must reproduce: every algorithm's space shrinks
+with skew, and the within-column measured/order ratios stay within a
+constant band (the paper's constants are absorbed in big-O).
+"""
+
+import math
+
+from conftest import save_report
+
+from repro.experiments import table1
+
+CONFIG = table1.Table1Config()
+
+
+def _run():
+    return table1.run(CONFIG)
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_report("E1_table1", table1.format_report(rows, CONFIG))
+
+    # Deterministic baselines must solve CANDIDATETOP at the §4.1 settings.
+    assert all(row.kps_ok for row in rows)
+    assert all(row.sampling_ok for row in rows)
+    assert all(row.count_sketch_width is not None for row in rows)
+
+    # Across-rows trend: more skew, less space, in every column.
+    assert rows[0].sampling_space > rows[-1].sampling_space
+    assert rows[0].kps_space > rows[-1].kps_space
+    assert rows[0].count_sketch_space > rows[-1].count_sketch_space
+
+    # Within-column shape: measured/order ratios bounded (no drift beyond
+    # an order of magnitude across regimes).
+    for __, sampling, kps, sketch in table1.shape_ratios(rows):
+        for ratio in (sampling, kps, sketch):
+            if not math.isnan(ratio):
+                assert 0.05 < ratio < 20.0

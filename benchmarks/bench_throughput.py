@@ -1,0 +1,94 @@
+"""T1 — update throughput, whole-pipeline and per-operation.
+
+Not a paper artifact (the paper is analytic); standard release
+benchmarks.  The whole-stream comparison runs via the experiment module;
+the per-operation benches time the hot paths (sketch update/estimate,
+tracker update) individually under pytest-benchmark statistics.
+"""
+
+import itertools
+
+from conftest import save_report
+
+from repro.baselines.kps import KPSFrequent
+from repro.baselines.space_saving import SpaceSaving
+from repro.core.countsketch import CountSketch
+from repro.core.topk import TopKTracker
+from repro.experiments import throughput
+from repro.streams.zipf import ZipfStreamGenerator
+
+CONFIG = throughput.ThroughputConfig()
+
+
+def test_throughput_comparison(benchmark):
+    rows = benchmark.pedantic(
+        lambda: throughput.run(CONFIG), rounds=1, iterations=1
+    )
+    save_report("T1_throughput", throughput.format_report(rows, CONFIG))
+    assert all(row.items_per_second > 0 for row in rows)
+
+
+def _stream_cycle():
+    stream = ZipfStreamGenerator(m=1_000, z=1.0, seed=1).generate(10_000)
+    return itertools.cycle(stream.items)
+
+
+def test_countsketch_update(benchmark):
+    sketch = CountSketch(5, 512, seed=0)
+    items = _stream_cycle()
+    benchmark(lambda: sketch.update(next(items)))
+
+
+def test_countsketch_estimate(benchmark):
+    sketch = CountSketch(5, 512, seed=0)
+    stream = ZipfStreamGenerator(m=1_000, z=1.0, seed=1).generate(10_000)
+    sketch.update_counts(stream.counts())
+    items = _stream_cycle()
+    benchmark(lambda: sketch.estimate(next(items)))
+
+
+def test_topk_tracker_update(benchmark):
+    tracker = TopKTracker(10, depth=5, width=512, seed=0)
+    items = _stream_cycle()
+    benchmark(lambda: tracker.update(next(items)))
+
+
+def test_kps_update(benchmark):
+    summary = KPSFrequent(512)
+    items = _stream_cycle()
+    benchmark(lambda: summary.update(next(items)))
+
+
+def test_space_saving_update(benchmark):
+    summary = SpaceSaving(512)
+    items = _stream_cycle()
+    benchmark(lambda: summary.update(next(items)))
+
+
+def test_vectorized_batch_update_50k(benchmark):
+    """The NumPy batch path: one call sketches 50k pre-encoded keys."""
+    from repro.core.vectorized import VectorizedCountSketch
+    from repro.hashing.vectorized import encode_keys
+
+    stream = ZipfStreamGenerator(m=5_000, z=1.0, seed=2).generate(50_000)
+    keys = encode_keys(list(stream))
+
+    def run():
+        sketch = VectorizedCountSketch(5, 512, seed=0)
+        sketch.update_batch(keys)
+        return sketch
+
+    sketch = benchmark(run)
+    assert sketch.total_weight == 50_000
+
+
+def test_vectorized_estimate_batch_10k(benchmark):
+    """Batch estimation of 10k keys in one call."""
+    from repro.core.vectorized import VectorizedCountSketch
+    from repro.hashing.vectorized import encode_keys
+
+    stream = ZipfStreamGenerator(m=5_000, z=1.0, seed=2).generate(50_000)
+    sketch = VectorizedCountSketch(5, 512, seed=0)
+    sketch.update_batch(encode_keys(list(stream)))
+    queries = encode_keys(list(range(1, 10_001)))
+    benchmark(lambda: sketch.estimate_batch(queries))

@@ -1,0 +1,33 @@
+"""X3 — jumping-window fidelity vs bucket granularity.
+
+Extension artifact: the window sketch must (a) estimate in-window counts
+accurately, (b) forget retired items, and (c) never cover more than W
+items, with the span wobble shrinking as buckets increase.
+"""
+
+from conftest import save_report
+
+from repro.experiments import windowed_accuracy
+
+CONFIG = windowed_accuracy.WindowedAccuracyConfig()
+
+
+def _run():
+    return windowed_accuracy.run(CONFIG)
+
+
+def test_windowed_accuracy(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_report(
+        "X3_windowed_accuracy",
+        windowed_accuracy.format_report(rows, CONFIG),
+    )
+
+    for row in rows:
+        assert row.mean_relative_error <= 0.15
+        # Retired items leave only sketch noise, far below their count.
+        assert row.retired_residual <= CONFIG.retired_count * 0.05
+        assert row.covered_max <= CONFIG.window
+    # More buckets => tighter span floor.
+    floors = [row.covered_min for row in rows]
+    assert floors == sorted(floors)

@@ -1,0 +1,33 @@
+"""E5 — the §4.1 Case 1–3 width scaling laws.
+
+Paper artifact: b = m^{1−2z}k^{2z} (z < ½), k·log m (z = ½), k (z > ½).
+The bench measures required widths across the sweeps and asserts the
+fitted exponents sit in the predicted ranges.
+"""
+
+from conftest import save_report
+
+from repro.experiments import zipf_space_scaling
+
+CONFIG = zipf_space_scaling.ScalingConfig()
+
+
+def _run():
+    return zipf_space_scaling.run(CONFIG)
+
+
+def test_zipf_space_scaling(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_report(
+        "E5_zipf_space_scaling",
+        zipf_space_scaling.format_report(result, CONFIG),
+    )
+
+    # Case 1 (z=0.3, theory 0.4): b grows with m but clearly sublinearly.
+    assert 0.1 <= result.case1_slope <= 0.9
+    # Case 2 (z=0.5, theory ~0): essentially flat in m.
+    assert abs(result.case2_slope) <= 0.35
+    # Case 3 (z=0.9, theory 1.0): linear in k.
+    assert 0.6 <= result.case3_slope <= 1.4
+    # Cross-case ordering: Case 1 depends on m strictly more than Case 2.
+    assert result.case1_slope > result.case2_slope

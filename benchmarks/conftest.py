@@ -1,0 +1,21 @@
+"""Benchmark-suite helpers.
+
+Every bench regenerates one paper artifact (DESIGN.md's experiment index):
+it runs the experiment module at its default (paper-scale) configuration
+under pytest-benchmark timing, prints the paper-style report, and persists
+it under ``benchmarks/out/`` so the numbers recorded in EXPERIMENTS.md can
+be re-derived with a single ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def save_report(name: str, report: str) -> None:
+    """Print a report and persist it under ``benchmarks/out/``."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(report + "\n", encoding="utf-8")
+    print("\n" + report)

@@ -1,0 +1,64 @@
+"""Accuracy-vs-space: sizing a Count Sketch with the paper's formulas.
+
+Shows the practical workflow for dimensioning a sketch:
+
+1. pick the guarantee you want (APPROXTOP slack ε, failure budget δ);
+2. obtain the tail second moment — exactly, or *from the sketch itself*
+   via the AMS-style F2 estimator (``estimate_f2``);
+3. call :func:`repro.width_for_approxtop` / :func:`repro.suggest_depth`
+   (Lemma 5 and Lemma 3 made executable);
+4. sanity-check the resulting error against the 8γ envelope of Lemma 4.
+
+The sweep prints how measured error tracks γ as the width grows, i.e. the
+knob a deployment actually turns.
+
+Usage::
+
+    python examples/accuracy_space_tradeoff.py
+"""
+
+from repro import CountSketch, gamma, suggest_depth, width_for_approxtop
+from repro.analysis import StreamStatistics
+from repro.streams import ZipfStreamGenerator
+
+
+def main() -> None:
+    stream = ZipfStreamGenerator(m=10_000, z=1.0, seed=33).generate(100_000)
+    counts = stream.counts()
+    stats = StreamStatistics(counts=counts)
+    k, epsilon, delta = 10, 0.25, 0.01
+
+    # -- the paper's parameter recipe --------------------------------------
+    tail = stats.tail_second_moment(k)
+    nk = stats.nk(k)
+    width = width_for_approxtop(k, epsilon, nk, tail)
+    depth = suggest_depth(stats.n, delta, constant=0.5)
+    print(
+        f"Lemma 5 width for APPROXTOP(k={k}, eps={epsilon}): b = {width}\n"
+        f"Lemma 3 depth for delta={delta}: t = {depth}\n"
+    )
+
+    # -- estimating the tail moment online ----------------------------------
+    probe = CountSketch(depth, 1024, seed=1)
+    probe.update_counts(counts)
+    f2_estimate = probe.estimate_f2()
+    print(
+        f"true F2 = {stats.second_moment():.3g}, sketch-estimated F2 = "
+        f"{f2_estimate:.3g} (ratio {f2_estimate / stats.second_moment():.3f})\n"
+    )
+
+    # -- the accuracy/space curve -------------------------------------------
+    queries = [item for item, __ in stats.top_k(100)]
+    print(f"{'width b':>8} {'gamma':>9} {'mean |err|':>11} {'max |err|':>10}")
+    for b in (64, 128, 256, 512, 1024, 2048):
+        sketch = CountSketch(depth, b, seed=7)
+        sketch.update_counts(counts)
+        errors = [abs(sketch.estimate(q) - counts[q]) for q in queries]
+        print(
+            f"{b:>8} {gamma(tail, b):>9.1f} "
+            f"{sum(errors) / len(errors):>11.2f} {max(errors):>10.0f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

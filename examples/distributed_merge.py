@@ -1,0 +1,71 @@
+"""Distributed aggregation: sketch additivity across shards.
+
+§3.2: "if two sketches share the same hash functions ... we can add and
+subtract them."  That linearity is what makes the Count Sketch deployable
+in a distributed setting — the paper's load-balancing-in-a-distributed-
+database motivation: each shard sketches its local traffic independently,
+the coordinator merges the sketches, and the merged sketch is *bit-for-bit
+identical* to a sketch of the combined stream.
+
+This example splits one logical stream across four "shards", sketches each
+locally (same (depth, width, seed) ⇒ shared hash functions), merges, and
+verifies the merge equals the single-machine sketch exactly.  It then
+subtracts two shard sketches to estimate per-item traffic imbalance.
+
+Usage::
+
+    python examples/distributed_merge.py
+"""
+
+from repro import CountSketch
+from repro.streams import ZipfStreamGenerator
+
+
+def main() -> None:
+    depth, width, seed = 5, 512, 99
+    generator = ZipfStreamGenerator(m=5_000, z=1.0, seed=21)
+    stream = generator.generate(80_000)
+
+    # Split round-robin across 4 shards.
+    shards = [list(stream)[i::4] for i in range(4)]
+
+    # Each shard sketches locally with the SAME (depth, width, seed).
+    local_sketches = []
+    for shard_items in shards:
+        sketch = CountSketch(depth, width, seed=seed)
+        sketch.extend(shard_items)
+        local_sketches.append(sketch)
+
+    # Coordinator merge: + is exact, not approximate.
+    merged = local_sketches[0].copy()
+    for sketch in local_sketches[1:]:
+        merged.merge(sketch)
+
+    # Ground truth: one sketch over the whole stream.
+    global_sketch = CountSketch(depth, width, seed=seed)
+    global_sketch.extend(stream)
+
+    print(f"merged sketch equals global sketch exactly: "
+          f"{merged == global_sketch}")
+    print(f"merged total weight: {merged.total_weight} "
+          f"(stream length {len(stream)})\n")
+
+    # Sketch subtraction: estimate per-item imbalance between two shards.
+    imbalance = local_sketches[0] - local_sketches[1]
+    print("estimated shard-0 minus shard-1 traffic for the top items:")
+    for rank in range(1, 6):
+        item = generator.item_for_rank(rank)
+        true_diff = shards[0].count(item) - shards[1].count(item)
+        print(
+            f"  item {item}: estimated {imbalance.estimate(item):+.0f}, "
+            f"true {true_diff:+d}"
+        )
+
+    # Serialization round-trip: ship a shard sketch across the wire.
+    state = local_sketches[2].state_dict()
+    revived = CountSketch.from_state_dict(state)
+    print(f"\nserialization round-trip exact: {revived == local_sketches[2]}")
+
+
+if __name__ == "__main__":
+    main()

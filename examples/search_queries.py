@@ -1,0 +1,74 @@
+"""Search-engine scenario: frequent queries and trending topics.
+
+The paper's motivating application (§1): a search engine wants (a) the most
+frequent queries in a period and (b) the queries whose popularity *changed*
+the most between two periods — "which topics are increasing or decreasing
+in popularity at the fastest rate" (§4.2, the Google Zeitgeist use case).
+
+This example builds two synthetic query logs for consecutive "weeks", with
+a planted breaking-news burst in week 2, then:
+
+1. finds the top queries of week 2 with the one-pass tracker;
+2. finds the max-change queries with the two-pass §4.2 algorithm —
+   surfacing the burst query even though it is nowhere near the top of
+   either week on its own.
+
+Usage::
+
+    python examples/search_queries.py
+"""
+
+from collections import Counter
+
+from repro import MaxChangeFinder, TopKTracker
+from repro.streams.queries import Burst, QueryStreamGenerator
+
+
+def main() -> None:
+    generator = QueryStreamGenerator(vocabulary_size=5_000, z=0.8, seed=101)
+    n = 80_000
+
+    # Week 1: ordinary traffic.
+    week1 = generator.generate(n)
+
+    # Week 2: same base popularity plus a breaking-news burst — a
+    # mid-popularity query spikes to ~4% of traffic in a 20k-item window.
+    burst_query = generator.query_for_rank(400)
+    week2 = generator.generate(
+        n, bursts=(Burst(burst_query, start=30_000, end=50_000, fraction=0.15),)
+    )
+
+    # -- (a) top queries of week 2, one pass, tiny memory ------------------
+    tracker = TopKTracker(k=10, depth=5, width=1024, seed=5)
+    for query in week2:
+        tracker.update(query)
+
+    print("top queries of week 2 (one-pass Count Sketch tracker):")
+    for rank, (query, count) in enumerate(tracker.top(), start=1):
+        print(f"  {rank:>2}. {query!r:42s} ~{count:.0f} hits")
+
+    # -- (b) max-change queries between the weeks (§4.2, two passes) -------
+    finder = MaxChangeFinder(l=40, depth=5, width=1024, seed=5)
+    finder.first_pass(week1, week2)
+    finder.second_pass(week1, week2)
+
+    print("\nbiggest movers week1 -> week2 (two-pass max-change):")
+    for report in finder.report(5):
+        direction = "UP" if report.change > 0 else "DOWN"
+        print(
+            f"  {direction:>4} {report.item!r:42s} "
+            f"{report.count_before:>6} -> {report.count_after:<6} "
+            f"(sketch estimate {report.estimated_change:+.0f})"
+        )
+
+    true_change = Counter(week2.items)[burst_query] - Counter(week1.items)[burst_query]
+    found = any(r.item == burst_query for r in finder.report(5))
+    print(
+        f"\nplanted burst query {burst_query!r} "
+        f"(true change {true_change:+d}): "
+        f"{'FOUND' if found else 'missed'} by the max-change report"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Turnstile streams: deletions, and heavy hitters without a second look.
+
+Counter-based summaries (KPS, SpaceSaving, Lossy Counting) fundamentally
+cannot process deletions; the Count Sketch can — its counters are a
+linear function of the frequency vector, so ``update(item, -1)`` is just
+arithmetic.  This example runs an insert+delete workload (think: open and
+closed database connections, or additions/removals from a materialized
+view) and shows:
+
+1. the sketch tracking *net* counts through interleaved deletions;
+2. the hierarchical sketch enumerating the current heavy hitters at any
+   moment without rescanning anything (no candidate set was ever kept).
+
+Usage::
+
+    python examples/turnstile_deletions.py
+"""
+
+import random
+
+from repro import CountSketch, HierarchicalCountSketch
+
+
+def main() -> None:
+    rng = random.Random(11)
+
+    # A churn workload over integer session ids: sessions open (insert)
+    # and close (delete); a few "stuck" sessions never close and pile up.
+    flat = CountSketch(depth=5, width=1024, seed=3)
+    hierarchy = HierarchicalCountSketch(domain_bits=14, depth=5, width=512,
+                                        seed=3)
+    stuck_sessions = {101, 2048, 9999}
+    net_counts: dict[int, int] = {}
+
+    for step in range(60_000):
+        if rng.random() < 0.35 and net_counts:
+            # Close a random open session (a deletion).
+            session = rng.choice(list(net_counts))
+            flat.update(session, -1)
+            hierarchy.update(session, -1)
+            net_counts[session] -= 1
+            if net_counts[session] == 0:
+                del net_counts[session]
+        else:
+            session = (
+                rng.choice(list(stuck_sessions))
+                if rng.random() < 0.10
+                else rng.randrange(1 << 14)
+            )
+            flat.update(session, 1)
+            hierarchy.update(session, 1)
+            net_counts[session] = net_counts.get(session, 0) + 1
+
+    print("net-count estimates after 60k interleaved inserts/deletes:")
+    for session in sorted(stuck_sessions):
+        print(
+            f"  session {session}: estimated {flat.estimate(session):.0f}, "
+            f"true {net_counts.get(session, 0)}"
+        )
+
+    threshold = 500
+    print(f"\nsessions with net count >= {threshold} "
+          "(hierarchical search, no candidate tracking):")
+    for session, estimate in hierarchy.heavy_hitters(threshold):
+        marker = "stuck" if session in stuck_sessions else "?"
+        print(f"  session {session}: ~{estimate:.0f}  [{marker}] "
+              f"(true {net_counts.get(session, 0)})")
+
+    found = {s for s, __ in hierarchy.heavy_hitters(threshold)}
+    print(f"\nall stuck sessions found: {stuck_sessions <= found}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Extensions tour: windowed top queries and percent-change trending.
+
+Two features built on top of the paper's machinery:
+
+1. **Jumping-window estimates** — "the most frequent queries handled in
+   some period of time" (§1) taken literally: a ring of sub-sketches whose
+   linearity (§3.2) makes window expiry an exact sketch subtraction.
+2. **Max-percent-change** — the open problem the paper's conclusion (§5)
+   poses; the heuristic here balances absolute and relative change with a
+   smoothing floor (see ``repro.core.relative_change``).
+
+The scenario: a query stream where an old staple fades, then a fresh query
+erupts from nothing — the windowed view forgets the staple, and the
+percent-change view ranks the eruption above much larger absolute movers.
+
+Usage::
+
+    python examples/windowed_trending.py
+"""
+
+from repro import JumpingWindowSketch, RelativeChangeFinder
+from repro.streams.queries import Burst, QueryStreamGenerator
+
+
+def main() -> None:
+    generator = QueryStreamGenerator(vocabulary_size=2_000, z=0.8, seed=77)
+    staple = generator.query_for_rank(1)
+    sleeper = generator.query_for_rank(1500)  # nearly invisible normally
+
+    # -- 1. windowed view ----------------------------------------------------
+    # First half: normal traffic. Second half: the staple query vanishes.
+    first_half = generator.generate(30_000)
+    second_half = [q for q in generator.generate(30_000) if q != staple]
+
+    window = JumpingWindowSketch(window=10_000, buckets=8,
+                                 depth=5, width=512, seed=1)
+    for query in first_half:
+        window.update(query)
+    print(f"after half 1: window estimate of {staple!r}: "
+          f"{window.estimate(staple):.0f}")
+    for query in second_half:
+        window.update(query)
+    print(f"after half 2: window estimate of {staple!r}: "
+          f"{window.estimate(staple):.0f} "
+          f"(window covers last {window.covered()} queries — "
+          "the staple has been forgotten)")
+
+    # -- 2. percent-change trending -------------------------------------------
+    # Week 2 plants a sleeper-hit eruption (≈0 -> ~900 hits) next to big
+    # absolute movements of already-popular queries.
+    week1 = generator.generate(30_000)
+    week2 = generator.generate(
+        30_000,
+        bursts=(Burst(sleeper, start=10_000, end=25_000, fraction=0.06),),
+    )
+
+    finder = RelativeChangeFinder(l=40, floor=10.0, depth=5, width=1024,
+                                  seed=2)
+    finder.first_pass(week1, week2)
+    finder.second_pass(week1, week2)
+
+    print("\ntop movers by smoothed percent change (floor=10):")
+    for report in finder.report(5, min_after=1):
+        print(
+            f"  {report.item!r:42s} {report.count_before:>6} -> "
+            f"{report.count_after:<6} ({report.percent_change:+.1%})"
+        )
+
+    found = any(r.item == sleeper for r in finder.report(5, min_after=1))
+    print(f"\nsleeper hit {sleeper!r}: "
+          f"{'FOUND' if found else 'missed'} by percent-change trending")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` on this machine (no network, setuptools 65 without
+``wheel``) cannot build PEP 660 editable wheels; this shim lets pip fall
+back to the legacy editable path (``--no-use-pep517`` works too).  All
+actual metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

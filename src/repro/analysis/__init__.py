@@ -1,0 +1,70 @@
+"""Ground truth, quality metrics, and the paper's closed-form analysis.
+
+* :mod:`repro.analysis.ground_truth` — exact stream statistics (``n_k``,
+  tail second moments, true top-k) that the paper's parameter settings and
+  all experiment scoring need.
+* :mod:`repro.analysis.metrics` — recall/precision and the APPROXTOP
+  acceptance criteria of the problem definitions in §1.
+* :mod:`repro.analysis.zipf_math` — executable versions of the §4.1
+  closed forms and the Table 1 space formulas for all three algorithms.
+* :mod:`repro.analysis.space` — the §5 bit-level space accounting
+  (counters of ``O(log n)`` bits vs stored objects of ``ℓ`` bits).
+"""
+
+from repro.analysis.confidence import (
+    EstimateInterval,
+    estimate_with_f2_interval,
+    estimate_with_spread_interval,
+    f2_error_scale,
+)
+from repro.analysis.fit import (
+    WorkloadProfile,
+    extrapolated_tail_second_moment,
+    fit_zipf_parameter,
+    profile_stream,
+    recommend_parameters,
+)
+from repro.analysis.ground_truth import StreamStatistics
+from repro.analysis.metrics import (
+    approxtop_strong_ok,
+    approxtop_weak_ok,
+    average_relative_error,
+    precision_at_k,
+    recall_at_k,
+)
+from repro.analysis.space import SpaceModel
+from repro.analysis.zipf_math import (
+    count_sketch_space_order,
+    count_sketch_width_order,
+    harmonic_number,
+    kps_space_order,
+    sampling_distinct_order,
+    table1_orders,
+    zipf_tail_second_moment,
+)
+
+__all__ = [
+    "EstimateInterval",
+    "SpaceModel",
+    "StreamStatistics",
+    "WorkloadProfile",
+    "approxtop_strong_ok",
+    "approxtop_weak_ok",
+    "average_relative_error",
+    "estimate_with_f2_interval",
+    "estimate_with_spread_interval",
+    "f2_error_scale",
+    "count_sketch_space_order",
+    "count_sketch_width_order",
+    "extrapolated_tail_second_moment",
+    "fit_zipf_parameter",
+    "harmonic_number",
+    "kps_space_order",
+    "profile_stream",
+    "recommend_parameters",
+    "precision_at_k",
+    "recall_at_k",
+    "sampling_distinct_order",
+    "table1_orders",
+    "zipf_tail_second_moment",
+]

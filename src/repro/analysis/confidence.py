@@ -1,0 +1,99 @@
+"""Error envelopes and confidence intervals for sketch estimates.
+
+Lemma 4 bounds every estimate by ``8γ`` with ``γ = sqrt(tail₂/b)``, but a
+deployment does not know the tail second moment.  Two observable
+surrogates give *conservative* envelopes (both over-cover, never
+under-cover, because they bound the tail moment from above):
+
+* **F2 envelope** — the sketch's own AMS estimate of the *full* second
+  moment: ``γ̂ = sqrt(F̂2 / b) ≥ γ`` (the tail omits the top-k terms).
+  One number for the whole sketch; the cheapest option.
+* **Row-spread envelope** — per item, the spread of the ``t`` per-row
+  estimates around their median.  Each row deviates by its own collision
+  noise, so the upper quantiles of ``|row − median|`` bound the typical
+  deviation of the median itself; taking the ``q``-th largest spread is
+  conservative for the same reason the median is robust.
+
+Empirical coverage of both is measured by the tests; Lemma 4's ``8γ``
+level corresponds to ``multiplier=8`` on the exact γ and is looser than
+either surrogate in practice.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable
+
+@dataclass(frozen=True)
+class EstimateInterval:
+    """A sketch estimate with a symmetric error envelope."""
+
+    estimate: float
+    low: float
+    high: float
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    @property
+    def half_width(self) -> float:
+        """Half the interval width (the envelope radius)."""
+        return (self.high - self.low) / 2.0
+
+
+def f2_error_scale(sketch) -> float:
+    """The observable error scale ``γ̂ = sqrt(F̂2 / b)``.
+
+    Conservative: uses the full second moment where Lemma 4's γ uses the
+    top-k-excluded tail, so ``γ̂ ≥ γ`` up to F2-estimation noise.
+    """
+    return math.sqrt(max(0.0, sketch.estimate_f2()) / sketch.width)
+
+
+def estimate_with_f2_interval(
+    sketch, item: Hashable, multiplier: float = 2.0
+) -> EstimateInterval:
+    """Estimate ``item`` with a ``±multiplier·γ̂`` envelope.
+
+    ``multiplier=8`` reproduces the Lemma 4 w.h.p. level (very loose in
+    practice); ``multiplier≈2`` empirically covers ≥ 95% of items on the
+    workloads in this repository (the tests measure this).
+
+    Args:
+        sketch: the populated Count Sketch.
+        item: the item to estimate.
+        multiplier: envelope radius in units of γ̂.
+    """
+    if multiplier <= 0:
+        raise ValueError("multiplier must be positive")
+    center = sketch.estimate(item)
+    radius = multiplier * f2_error_scale(sketch)
+    return EstimateInterval(center, center - radius, center + radius)
+
+
+def estimate_with_spread_interval(
+    sketch, item: Hashable, drop_extremes: int = 1
+) -> EstimateInterval:
+    """Estimate ``item`` with a per-item row-spread envelope.
+
+    The radius is the largest ``|row − median|`` after discarding the
+    ``drop_extremes`` most extreme rows (the ones the median itself
+    rejects — typically heavy-collision rows whose spread says nothing
+    about the median's own error).
+
+    Args:
+        sketch: the populated Count Sketch.
+        item: the item to estimate.
+        drop_extremes: rows to discard from each item's spread; must
+            leave at least one row.
+    """
+    rows = sketch.row_estimates(item)
+    if drop_extremes < 0 or drop_extremes >= len(rows):
+        raise ValueError("drop_extremes must be in [0, depth)")
+    center = sketch.estimate(item)
+    spreads = sorted(abs(r - center) for r in rows)
+    if drop_extremes:
+        spreads = spreads[:-drop_extremes]
+    radius = spreads[-1] if spreads else 0.0
+    return EstimateInterval(center, center - radius, center + radius)

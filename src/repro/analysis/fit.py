@@ -1,0 +1,169 @@
+"""Workload fitting and automatic sketch configuration.
+
+§3.1 ends with a caveat: "since the parameters of the data structure
+depend on the distribution, one needs to know some properties of the
+distribution before hand in order to actually implement the algorithm."
+This module supplies those properties from the data itself:
+
+* :func:`fit_zipf_parameter` — estimate the Zipf exponent ``z`` of a
+  count table by least squares on the log–log rank-frequency curve (the
+  standard diagnostic for query/flow workloads).
+* :func:`extrapolated_tail_second_moment` — predict the full-stream tail
+  second moment ``Σ_{q'>k} n_{q'}²`` from a prefix sample: under an
+  i.i.d. model, counts grow linearly in stream length, so the moment
+  grows with the square of the length ratio.
+* :func:`recommend_parameters` — the end-to-end recipe: observe a prefix,
+  fit what Lemma 5 and Lemma 3 need, and return
+  :class:`~repro.core.params.SketchParameters` for the *full* stream.
+
+Experiment X2 (``benchmarks/bench_autoconfig.py``) measures that
+trackers dimensioned this way still meet the APPROXTOP guarantees.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from repro.analysis.ground_truth import StreamStatistics
+from repro.core.params import SketchParameters, suggest_depth, width_for_approxtop
+
+
+def fit_zipf_parameter(
+    counts: Counter | dict,
+    min_rank: int = 1,
+    max_rank: int | None = None,
+) -> float:
+    """Estimate the Zipf exponent ``z`` from a count table.
+
+    Fits ``log(count) = c − z·log(rank)`` by least squares over the rank
+    range ``[min_rank, max_rank]``.  The head of the curve is the
+    informative part (the tail is quantized at small counts), so
+    ``max_rank`` defaults to the smaller of 1000 and the number of items
+    with count ≥ 2.
+
+    Args:
+        counts: item → count table.
+        min_rank: first rank included in the fit (1-based).
+        max_rank: last rank included; default as described above.
+
+    Returns:
+        The fitted ``z ≥ 0``.
+
+    Raises:
+        ValueError: with fewer than two usable ranks.
+    """
+    ordered = sorted((c for c in counts.values() if c > 0), reverse=True)
+    if max_rank is None:
+        non_singletons = sum(1 for c in ordered if c >= 2)
+        max_rank = min(1000, max(non_singletons, 2))
+    max_rank = min(max_rank, len(ordered))
+    if max_rank - min_rank + 1 < 2:
+        raise ValueError("need at least two ranks to fit a Zipf exponent")
+    ranks = np.arange(min_rank, max_rank + 1, dtype=np.float64)
+    values = np.asarray(ordered[min_rank - 1:max_rank], dtype=np.float64)
+    log_ranks = np.log(ranks)
+    log_values = np.log(values)
+    slope = float(
+        ((log_ranks - log_ranks.mean()) * (log_values - log_values.mean())).sum()
+        / ((log_ranks - log_ranks.mean()) ** 2).sum()
+    )
+    return max(0.0, -slope)
+
+
+def extrapolated_tail_second_moment(
+    sample_stats: StreamStatistics, k: int, full_length: int
+) -> float:
+    """Predict the full-stream ``Σ_{q'>k} n_{q'}²`` from a prefix sample.
+
+    Under an i.i.d. stream model every item's count scales by
+    ``full_length / sample_length``, so the second moment scales by the
+    square of that ratio.  (Items unseen in the sample are missed; their
+    counts are at most ``O(sample_threshold)`` each, which keeps the
+    prediction a mild *under*-estimate — X2 quantifies the effect.)
+
+    Args:
+        sample_stats: statistics of the observed prefix.
+        k: the top-k the tail excludes.
+        full_length: anticipated total stream length ``n``.
+    """
+    if full_length < sample_stats.n:
+        raise ValueError("full_length must be at least the sample length")
+    if sample_stats.n == 0:
+        return 0.0
+    ratio = full_length / sample_stats.n
+    return sample_stats.tail_second_moment(k) * ratio**2
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """What :func:`profile_stream` learned from a prefix sample."""
+
+    sample_length: int
+    distinct_items: int
+    zipf_z: float
+    nk_sample: int
+    tail_second_moment_sample: float
+
+
+def profile_stream(sample: Iterable[Hashable], k: int) -> WorkloadProfile:
+    """Summarize a stream prefix into the quantities the recipe needs."""
+    stats = StreamStatistics(stream=sample)
+    return WorkloadProfile(
+        sample_length=stats.n,
+        distinct_items=stats.m,
+        zipf_z=fit_zipf_parameter(
+            Counter(
+                {item: count for item, count in zip(range(stats.m),
+                                                    stats.sorted_counts)}
+            )
+        ),
+        nk_sample=stats.nk(k),
+        tail_second_moment_sample=stats.tail_second_moment(k),
+    )
+
+
+def recommend_parameters(
+    sample: Iterable[Hashable],
+    k: int,
+    epsilon: float,
+    full_length: int,
+    delta: float = 0.05,
+    depth_constant: float = 0.5,
+) -> SketchParameters:
+    """Dimension a tracker for APPROXTOP(S, k, ε) from a prefix sample.
+
+    The end-to-end version of the paper's parameter recipe: compute the
+    sample's ``n_k`` and tail second moment, extrapolate both to the full
+    stream length, and apply Lemma 5 (width) and Lemma 3 (depth).
+
+    Args:
+        sample: an observed prefix of the stream.
+        k: number of frequent items to track.
+        epsilon: the APPROXTOP slack.
+        full_length: anticipated total stream length.
+        delta: failure probability budget.
+        depth_constant: multiplier on ``ln(n/δ)`` for the depth.
+
+    Raises:
+        ValueError: if the sample is empty or has no k-th item yet.
+    """
+    stats = StreamStatistics(stream=sample)
+    if stats.n == 0:
+        raise ValueError("sample is empty")
+    nk_sample = stats.nk(k)
+    if nk_sample == 0:
+        raise ValueError(
+            f"the sample has fewer than k={k} distinct items; "
+            "observe a longer prefix"
+        )
+    scale = full_length / stats.n
+    nk_full = nk_sample * scale
+    tail_full = extrapolated_tail_second_moment(stats, k, full_length)
+    return SketchParameters(
+        depth=suggest_depth(full_length, delta, depth_constant),
+        width=width_for_approxtop(k, epsilon, nk_full, tail_full),
+    )

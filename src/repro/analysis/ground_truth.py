@@ -1,0 +1,121 @@
+"""Exact stream statistics: the quantities the paper's analysis is built on.
+
+Given a stream (or its count table), :class:`StreamStatistics` exposes the
+ordered counts ``n_1 ≥ n_2 ≥ ... ≥ n_m`` (§1's notation), the k-th count
+``n_k``, the tail second moment ``Σ_{q' > k} n_{q'}²`` (the input to Eq. 5's
+γ and Lemma 5's width bound), and the true top-k set that all experiments
+score against.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Iterable
+
+import numpy as np
+
+
+class StreamStatistics:
+    """Exact statistics of a finished stream.
+
+    Args:
+        stream: the stream items (consumed once), or pass ``counts``.
+        counts: a precomputed count table (takes precedence over
+            ``stream``).
+    """
+
+    def __init__(
+        self,
+        stream: Iterable[Hashable] | None = None,
+        counts: Counter | None = None,
+    ):
+        if counts is None:
+            if stream is None:
+                raise ValueError("provide a stream or a count table")
+            counts = Counter(stream)
+        if any(c < 0 for c in counts.values()):
+            raise ValueError("counts must be nonnegative")
+        self._counts: Counter = Counter(
+            {item: c for item, c in counts.items() if c > 0}
+        )
+        ranked = self._counts.most_common()
+        self._ranked_items = [item for item, __ in ranked]
+        self._sorted_counts = np.asarray(
+            [c for __, c in ranked], dtype=np.int64
+        )
+        self._n = int(self._sorted_counts.sum())
+        self._squares = self._sorted_counts.astype(np.float64) ** 2
+
+    @property
+    def n(self) -> int:
+        """Stream length ``n`` (total occurrences)."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of distinct items ``m``."""
+        return len(self._ranked_items)
+
+    @property
+    def sorted_counts(self) -> np.ndarray:
+        """Counts in nonincreasing order: ``n_1 ≥ n_2 ≥ ...`` (copy)."""
+        return self._sorted_counts.copy()
+
+    def count(self, item: Hashable) -> int:
+        """Exact count of ``item``."""
+        return self._counts.get(item, 0)
+
+    def frequency(self, item: Hashable) -> float:
+        """Exact relative frequency ``f_i = n_i / n``."""
+        if self._n == 0:
+            return 0.0
+        return self._counts.get(item, 0) / self._n
+
+    def nk(self, k: int) -> int:
+        """The count ``n_k`` of the k-th most frequent item.
+
+        Returns 0 when fewer than ``k`` distinct items exist.
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        if k > len(self._sorted_counts):
+            return 0
+        return int(self._sorted_counts[k - 1])
+
+    def top_k(self, k: int) -> list[tuple[Hashable, int]]:
+        """The true top-``k`` (item, count) pairs, heaviest first."""
+        if k < 0:
+            raise ValueError("k must be nonnegative")
+        return [
+            (item, int(self._counts[item]))
+            for item in self._ranked_items[:k]
+        ]
+
+    def top_k_items(self, k: int) -> set:
+        """The set of the true top-``k`` items."""
+        return set(self._ranked_items[:k])
+
+    def second_moment(self) -> float:
+        """``F2 = Σ_q n_q²`` — the Alon–Matias–Szegedy moment."""
+        return float(self._squares.sum())
+
+    def tail_second_moment(self, k: int) -> float:
+        """``Σ_{q' = k+1..m} n_{q'}²`` — the input to Eq. 5 and Lemma 5."""
+        if k < 0:
+            raise ValueError("k must be nonnegative")
+        if k >= len(self._squares):
+            return 0.0
+        return float(self._squares[k:].sum())
+
+    def items_above(self, threshold: float) -> set:
+        """All items with count ≥ ``threshold`` (e.g. ``(1+ε)·n_k``)."""
+        result = set()
+        for item in self._ranked_items:
+            if self._counts[item] >= threshold:
+                result.add(item)
+            else:
+                break
+        return result
+
+    def __repr__(self) -> str:
+        return f"StreamStatistics(n={self._n}, m={self.m})"

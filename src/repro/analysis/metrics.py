@@ -1,0 +1,126 @@
+"""Quality metrics matching the paper's problem definitions (§1).
+
+APPROXTOP(S, k, ε) demands a list of ``k`` items *each* with count
+``≥ (1−ε)·n_k`` (the weak guarantee), and the paper's algorithm additionally
+promises that every item with count ``≥ (1+ε)·n_k`` appears (the strong
+guarantee — "it will only err on the boundary cases").  CANDIDATETOP(S, k,
+l) demands that the true top ``k`` appear somewhere in a list of ``l``.
+These are the acceptance tests the experiments run, alongside standard
+recall/precision and relative-error measures for estimate quality.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.analysis.ground_truth import StreamStatistics
+
+
+def recall_at_k(
+    reported: Iterable[Hashable], true_top: Iterable[Hashable]
+) -> float:
+    """Fraction of the true top items present in the reported list."""
+    truth = set(true_top)
+    if not truth:
+        return 1.0
+    return len(truth & set(reported)) / len(truth)
+
+
+def precision_at_k(
+    reported: Sequence[Hashable], true_top: Iterable[Hashable]
+) -> float:
+    """Fraction of reported items that are truly in the top set."""
+    if not reported:
+        return 1.0
+    truth = set(true_top)
+    return len(truth & set(reported)) / len(reported)
+
+
+def approxtop_weak_ok(
+    reported: Sequence[Hashable],
+    stats: StreamStatistics,
+    k: int,
+    epsilon: float,
+) -> bool:
+    """The APPROXTOP output condition: every reported item has
+    count ≥ (1−ε)·n_k (and exactly ``k`` items are reported when at least
+    ``k`` distinct items exist)."""
+    nk = stats.nk(k)
+    threshold = (1.0 - epsilon) * nk
+    expected_len = min(k, stats.m)
+    if len(reported) < expected_len:
+        return False
+    return all(stats.count(item) >= threshold for item in reported)
+
+
+def approxtop_strong_ok(
+    reported: Sequence[Hashable],
+    stats: StreamStatistics,
+    k: int,
+    epsilon: float,
+) -> bool:
+    """The paper's stronger guarantee: every item with count ≥ (1+ε)·n_k
+    appears in the reported list."""
+    nk = stats.nk(k)
+    must_appear = stats.items_above((1.0 + epsilon) * nk)
+    return must_appear <= set(reported)
+
+
+def candidatetop_ok(
+    candidates: Iterable[Hashable], stats: StreamStatistics, k: int
+) -> bool:
+    """The CANDIDATETOP condition: the true top ``k`` are all candidates.
+
+    Ties at rank ``k`` are treated generously: any item with count equal to
+    ``n_k`` may stand in for a tied true top-k item (the problem is
+    ill-defined under ties otherwise).
+    """
+    nk = stats.nk(k)
+    candidate_set = set(candidates)
+    strictly_above = stats.items_above(nk + 1)
+    if not strictly_above <= candidate_set:
+        return False
+    ties_needed = k - len(strictly_above)
+    ties_present = sum(
+        1 for item in candidate_set if stats.count(item) == nk
+    )
+    return ties_present >= min(
+        ties_needed, sum(1 for c in stats.sorted_counts if c == nk)
+    )
+
+
+def average_relative_error(
+    estimates: Mapping[Hashable, float],
+    stats: StreamStatistics,
+) -> float:
+    """Mean of ``|estimate − true| / true`` over the estimated items.
+
+    Items with a true count of zero are scored by absolute error instead
+    (relative error is undefined there).
+    """
+    if not estimates:
+        return 0.0
+    total = 0.0
+    for item, estimate in estimates.items():
+        true = stats.count(item)
+        if true > 0:
+            total += abs(estimate - true) / true
+        else:
+            total += abs(estimate)
+    return total / len(estimates)
+
+
+def max_absolute_error(
+    estimates: Mapping[Hashable, float],
+    stats: StreamStatistics,
+) -> float:
+    """Largest ``|estimate − true|`` over the estimated items.
+
+    This is the quantity Lemma 4 bounds by ``8γ``.
+    """
+    if not estimates:
+        return 0.0
+    return max(
+        abs(estimate - stats.count(item))
+        for item, estimate in estimates.items()
+    )

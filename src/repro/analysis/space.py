@@ -1,0 +1,50 @@
+"""The §5 bit-level space accounting.
+
+The paper's conclusion compares total storage when object encodings cost
+``ℓ`` bits ("if the space used by an object is ℓ ... this gives the COUNT
+SKETCH algorithm an advantage"): counters need ``O(log n)`` bits each, but
+the SAMPLING algorithm stores one *object* per distinct sampled item while
+Count Sketch stores only ``k`` objects (the heap members).  Experiment E8
+evaluates this model on measured summaries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SpaceModel:
+    """A bit-cost model: counters at ``counter_bits``, objects at
+    ``object_bits`` (§5's ℓ).
+
+    Attributes:
+        counter_bits: bits per counter; §5 prescribes ``O(log n)``.
+        object_bits: bits per stored stream object (ℓ).
+    """
+
+    counter_bits: int
+    object_bits: int
+
+    @classmethod
+    def for_stream(cls, n: int, object_bits: int) -> "SpaceModel":
+        """Counters sized to ``⌈log2(n+1)⌉`` bits for a length-``n`` stream."""
+        if n < 1:
+            raise ValueError("n must be positive")
+        if object_bits < 1:
+            raise ValueError("object_bits must be positive")
+        return cls(counter_bits=max(1, math.ceil(math.log2(n + 1))),
+                   object_bits=object_bits)
+
+    def total_bits(self, counters: int, objects: int) -> int:
+        """Total bits for a summary holding ``counters`` numeric counters
+        and ``objects`` stored stream objects."""
+        if counters < 0 or objects < 0:
+            raise ValueError("counts must be nonnegative")
+        return counters * self.counter_bits + objects * self.object_bits
+
+    def summary_bits(self, summary) -> int:
+        """Total bits of any object with the
+        :class:`~repro.core.sketch_base.StreamSummary` space accessors."""
+        return self.total_bits(summary.counters_used(), summary.items_stored())

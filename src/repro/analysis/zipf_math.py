@@ -1,0 +1,169 @@
+"""Executable closed forms from §4.1 and Table 1.
+
+For a Zipfian with parameter ``z`` over ``m`` objects (``n_q ∝ 1/q^z``),
+§4.1 derives the asymptotic orders of:
+
+* the tail second moment ``Σ_{q'>k} n_{q'}²`` (three regimes in ``z``),
+* the Count Sketch width ``b`` from Lemma 5 (Cases 1–3),
+* the SAMPLING algorithm's expected number of distinct sampled items,
+* the KPS space ``O(1/θ) = O(n/n_k)``.
+
+Table 1 juxtaposes the resulting *space* orders.  This module provides both
+the exact finite sums (for experiment predictions at concrete ``m, k, z``)
+and the asymptotic order expressions (for scaling-shape checks), with the
+big-O constants set to 1 — experiments compare *shapes*, i.e. ratios across
+a sweep, never absolute values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+_HALF_TOLERANCE = 1e-9
+
+
+def harmonic_number(m: int, z: float) -> float:
+    """The generalized harmonic number ``H_{m,z} = Σ_{q=1..m} q^{-z}``."""
+    if m < 1:
+        raise ValueError("m must be positive")
+    if z < 0:
+        raise ValueError("z must be nonnegative")
+    ranks = np.arange(1, m + 1, dtype=np.float64)
+    return float((ranks ** (-z)).sum())
+
+
+def zipf_tail_second_moment(m: int, k: int, z: float) -> float:
+    """Exact ``Σ_{q=k+1..m} q^{-2z}`` (unnormalized weights ``c = 1``)."""
+    if not 0 <= k <= m:
+        raise ValueError("need 0 <= k <= m")
+    if k == m:
+        return 0.0
+    ranks = np.arange(k + 1, m + 1, dtype=np.float64)
+    return float((ranks ** (-2.0 * z)).sum())
+
+
+def tail_second_moment_order(m: int, k: int, z: float) -> float:
+    """§4.1's asymptotic order of the tail second moment.
+
+    ``O(m^{1−2z})`` for ``z < ½``; ``O(log m)`` at ``z = ½``;
+    ``O(k^{1−2z})`` for ``z > ½``.
+    """
+    if z < 0.5 - _HALF_TOLERANCE:
+        return m ** (1.0 - 2.0 * z)
+    if abs(z - 0.5) <= _HALF_TOLERANCE:
+        return math.log(m)
+    return k ** (1.0 - 2.0 * z)
+
+
+def count_sketch_width_order(m: int, k: int, z: float) -> float:
+    """The §4.1 Case 1–3 orders of the Lemma 5 width ``b``.
+
+    Case 1 (``z < ½``): ``m^{1−2z} k^{2z}``.
+    Case 2 (``z = ½``): ``k log m``.
+    Case 3 (``z > ½``): ``k``.
+    """
+    if z < 0.5 - _HALF_TOLERANCE:
+        return (m ** (1.0 - 2.0 * z)) * (k ** (2.0 * z))
+    if abs(z - 0.5) <= _HALF_TOLERANCE:
+        return k * math.log(m)
+    return float(k)
+
+
+def count_sketch_space_order(m: int, k: int, z: float, n: int) -> float:
+    """Table 1's COUNT SKETCH column: the width order times ``log n``."""
+    return count_sketch_width_order(m, k, z) * math.log(n)
+
+
+def sampling_distinct_order(m: int, k: int, z: float,
+                            delta: float = 0.05) -> float:
+    """Table 1's SAMPLING column: expected distinct items in the sample.
+
+    ``O(m (k/m)^z log(k/δ))`` for ``z < 1``;
+    ``O(k log m log(k/δ))`` at ``z = 1``;
+    ``O(k (log(k/δ))^{1/z})`` for ``z > 1``.
+    (The ``z = ½`` row of Table 1, ``√(km)·log k``, is the ``z < 1`` formula
+    evaluated at ``z = ½``.)
+    """
+    log_term = math.log(max(k, 2) / delta)
+    if z < 1.0 - _HALF_TOLERANCE:
+        return m * (k / m) ** z * log_term
+    if abs(z - 1.0) <= _HALF_TOLERANCE:
+        return k * math.log(m) * log_term
+    return k * log_term ** (1.0 / z)
+
+
+def sampling_expected_distinct(m: int, k: int, z: float, n: int,
+                               delta: float = 0.05) -> float:
+    """Exact expected distinct sampled items at the §4.1 inclusion rate.
+
+    Computes ``Σ_q (1 − (1 − p)^{n_q})`` with ``p = log(k/δ)/n_k`` and the
+    Zipf expected counts ``n_q = n·q^{-z}/H_{m,z}`` — the finite-``m``
+    version of the asymptotic orders above, used for tighter experiment
+    predictions.
+    """
+    h = harmonic_number(m, z)
+    ranks = np.arange(1, m + 1, dtype=np.float64)
+    expected_counts = n * (ranks ** (-z)) / h
+    nk = expected_counts[k - 1]
+    p = min(1.0, math.log(max(k, 2) / delta) / nk)
+    return float((1.0 - (1.0 - p) ** expected_counts).sum())
+
+
+def kps_space_order(m: int, k: int, z: float) -> float:
+    """Table 1's KPS column: ``O(n/n_k) = k^z · H_{m,z}`` orders.
+
+    ``k^z m^{1−z}`` for ``z < 1``; ``k log m`` at ``z = 1``;
+    ``k^z`` for ``z > 1``.
+    """
+    if z < 1.0 - _HALF_TOLERANCE:
+        return (k ** z) * (m ** (1.0 - z))
+    if abs(z - 1.0) <= _HALF_TOLERANCE:
+        return k * math.log(m)
+    return float(k ** z)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table 1: the three space orders at a Zipf parameter."""
+
+    z: float
+    regime: str
+    sampling: float
+    kps: float
+    count_sketch: float
+
+
+def _regime_label(z: float) -> str:
+    if z < 0.5 - _HALF_TOLERANCE:
+        return "z < 1/2"
+    if abs(z - 0.5) <= _HALF_TOLERANCE:
+        return "z = 1/2"
+    if z < 1.0 - _HALF_TOLERANCE:
+        return "1/2 < z < 1"
+    if abs(z - 1.0) <= _HALF_TOLERANCE:
+        return "z = 1"
+    return "z > 1"
+
+
+def table1_orders(m: int, k: int, n: int,
+                  zs: tuple[float, ...] = (0.3, 0.5, 0.75, 1.0, 1.5),
+                  delta: float = 0.05) -> list[Table1Row]:
+    """Evaluate every Table 1 cell at concrete ``(m, k, n)``.
+
+    Constants are 1, so only comparisons *within a column across rows* (the
+    scaling shape) and coarse cross-column comparisons are meaningful —
+    which is how Table 1 itself is meant to be read.
+    """
+    return [
+        Table1Row(
+            z=z,
+            regime=_regime_label(z),
+            sampling=sampling_distinct_order(m, k, z, delta),
+            kps=kps_space_order(m, k, z),
+            count_sketch=count_sketch_space_order(m, k, z, n),
+        )
+        for z in zs
+    ]

@@ -1,0 +1,48 @@
+"""Baseline frequent-items algorithms.
+
+Everything the paper compares against or cites as related work (§2, §4.1,
+Table 1), implemented from scratch against the same
+:mod:`repro.core.sketch_base` protocols as the Count Sketch tracker:
+
+* :class:`~repro.baselines.exact.ExactCounter` — ground truth.
+* :class:`~repro.baselines.sampling.SamplingSummary` — the SAMPLING
+  algorithm (the paper's main comparator in Table 1).
+* :class:`~repro.baselines.concise_samples.ConciseSamples` and
+  :class:`~repro.baselines.counting_samples.CountingSamples` — the two
+  Gibbons–Matias variants surveyed in §2.
+* :class:`~repro.baselines.kps.KPSFrequent` — Karp–Shenker–Papadimitriou
+  (equivalently Misra–Gries FREQUENT), the third column of Table 1.
+* :class:`~repro.baselines.lossy_counting.LossyCounting` and
+  :class:`~repro.baselines.sticky_sampling.StickySampling` — the
+  Manku–Motwani iceberg-query algorithms cited in §2.
+* :class:`~repro.baselines.iceberg.MultiHashIceberg` — Fang et al.'s
+  multiple-hash scheme, the §2 "similar flavor" precursor.
+* :class:`~repro.baselines.space_saving.SpaceSaving` — the later
+  counter-based state of the art, included as an extension baseline.
+* :class:`~repro.baselines.countmin.CountMinSketch` — the sign-free sketch,
+  included for the A2 ablation (what the sign hashes buy).
+"""
+
+from repro.baselines.concise_samples import ConciseSamples
+from repro.baselines.counting_samples import CountingSamples
+from repro.baselines.countmin import CountMinSketch
+from repro.baselines.exact import ExactCounter
+from repro.baselines.iceberg import MultiHashIceberg
+from repro.baselines.kps import KPSFrequent
+from repro.baselines.lossy_counting import LossyCounting
+from repro.baselines.sampling import SamplingSummary
+from repro.baselines.space_saving import SpaceSaving
+from repro.baselines.sticky_sampling import StickySampling
+
+__all__ = [
+    "ConciseSamples",
+    "CountingSamples",
+    "CountMinSketch",
+    "ExactCounter",
+    "KPSFrequent",
+    "LossyCounting",
+    "MultiHashIceberg",
+    "SamplingSummary",
+    "SpaceSaving",
+    "StickySampling",
+]

@@ -1,0 +1,116 @@
+"""Gibbons–Matias "concise samples" (§2 of the paper).
+
+A uniform sample under a *space budget* rather than a known stream length:
+start including every element (threshold ``τ = 1``); whenever the concise
+footprint — singletons cost one slot, repeated items cost two (value +
+count) — exceeds the budget, lower the inclusion probability to
+``τ' = γ·τ`` and subject every sampled occurrence to an independent
+``τ'/τ`` survival coin (binomial thinning), repeating until the sample
+fits.  The invariant is that at any time the sample is distributed exactly
+as a Bernoulli(``τ``) sample of the prefix so far.
+
+As the paper notes, the final threshold ``τ_f`` "depends on the input
+stream and the sequence of τ's in some complicated way, and no clean
+theoretical bound for this algorithm is available" — which is precisely the
+gap the Count Sketch fills.  It is reproduced here as the §2 baseline.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+from repro.hashing.family import seeded_rng
+
+
+class ConciseSamples:
+    """A concise sample maintained under a footprint budget.
+
+    Args:
+        capacity: the footprint budget (singleton = 1 slot, pair = 2).
+        shrink: the multiplicative threshold decay ``γ`` applied on
+            overflow (``0 < γ < 1``).
+        seed: coin-flip seed.
+    """
+
+    def __init__(self, capacity: int, shrink: float = 0.9, seed: int = 0):
+        if capacity < 2:
+            raise ValueError("capacity must be at least 2")
+        if not 0 < shrink < 1:
+            raise ValueError("shrink must be in (0, 1)")
+        self._capacity = capacity
+        self._shrink = shrink
+        self._rng: random.Random = seeded_rng(seed, "concise-samples")
+        self._threshold = 1.0
+        self._sample: dict[Hashable, int] = {}
+        self._total = 0
+
+    @property
+    def threshold(self) -> float:
+        """The current inclusion probability ``τ``."""
+        return self._threshold
+
+    @property
+    def capacity(self) -> int:
+        """The footprint budget."""
+        return self._capacity
+
+    def footprint(self) -> int:
+        """Concise footprint: 1 slot per singleton, 2 per repeated item."""
+        return sum(1 if c == 1 else 2 for c in self._sample.values())
+
+    def update(self, item: Hashable, count: int = 1) -> None:
+        """Offer ``count`` occurrences of ``item``."""
+        if count < 0:
+            raise ValueError("count must be nonnegative")
+        self._total += count
+        for _ in range(count):
+            if self._threshold >= 1.0 or self._rng.random() < self._threshold:
+                self._sample[item] = self._sample.get(item, 0) + 1
+                if self.footprint() > self._capacity:
+                    self._evict()
+
+    def _evict(self) -> None:
+        """Lower the threshold and thin the sample until it fits."""
+        while self.footprint() > self._capacity:
+            new_threshold = self._threshold * self._shrink
+            keep_probability = new_threshold / self._threshold
+            for item in list(self._sample):
+                survivors = sum(
+                    1
+                    for _ in range(self._sample[item])
+                    if self._rng.random() < keep_probability
+                )
+                if survivors:
+                    self._sample[item] = survivors
+                else:
+                    del self._sample[item]
+            self._threshold = new_threshold
+
+    def estimate(self, item: Hashable) -> float:
+        """Horvitz–Thompson estimate: sampled occurrences over ``τ``."""
+        return self._sample.get(item, 0) / self._threshold
+
+    def top(self, k: int) -> list[tuple[Hashable, float]]:
+        """The ``k`` items with the most sampled occurrences (scaled)."""
+        ranked = sorted(
+            self._sample.items(), key=lambda pair: pair[1], reverse=True
+        )
+        return [(item, c / self._threshold) for item, c in ranked[:k]]
+
+    def counters_used(self) -> int:
+        """Counters held: one per repeated sampled item."""
+        return sum(1 for c in self._sample.values() if c > 1)
+
+    def items_stored(self) -> int:
+        """Stored objects: every distinct sampled item."""
+        return len(self._sample)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._sample
+
+    def __repr__(self) -> str:
+        return (
+            f"ConciseSamples(capacity={self._capacity}, "
+            f"threshold={self._threshold:.3g}, distinct={len(self._sample)})"
+        )

@@ -1,0 +1,120 @@
+"""Gibbons–Matias "counting samples" (§2 of the paper).
+
+The concise-samples idea plus one optimization the paper quotes: "so long
+as we are setting aside space for a count of an item in the sample anyway,
+we may as well keep an exact count for the occurrences of the item after it
+has been added to the sample."  Inclusion is still decided by threshold
+coin flips, so the *membership* distribution is unchanged; only the counts
+become exact-after-entry (more accurate — and the same trick the Count
+Sketch tracker's heap uses).
+
+On overflow the threshold is raised and every entry is subjected to the
+Gibbons–Matias demotion process: one coin at ``τ'/τ`` to keep the entry
+intact; on failure, repeatedly decrement the count and flip at ``τ'`` until
+a success (keep with the reduced count) or the count reaches zero (evict).
+
+Estimates add the standard ``1/τ − 1`` compensation for the occurrences
+missed before the item entered the sample.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+from repro.hashing.family import seeded_rng
+
+
+class CountingSamples:
+    """A counting sample maintained under an entry budget.
+
+    Args:
+        capacity: maximum number of (item, count) entries.
+        shrink: multiplicative threshold decay ``γ`` on overflow.
+        seed: coin-flip seed.
+    """
+
+    def __init__(self, capacity: int, shrink: float = 0.9, seed: int = 0):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if not 0 < shrink < 1:
+            raise ValueError("shrink must be in (0, 1)")
+        self._capacity = capacity
+        self._shrink = shrink
+        self._rng: random.Random = seeded_rng(seed, "counting-samples")
+        self._threshold = 1.0
+        self._sample: dict[Hashable, int] = {}
+        self._total = 0
+
+    @property
+    def threshold(self) -> float:
+        """The current inclusion probability ``τ``."""
+        return self._threshold
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of tracked entries."""
+        return self._capacity
+
+    def update(self, item: Hashable, count: int = 1) -> None:
+        """Offer ``count`` occurrences of ``item``."""
+        if count < 0:
+            raise ValueError("count must be nonnegative")
+        self._total += count
+        for _ in range(count):
+            if item in self._sample:
+                # Counted exactly once a member — the GM optimization.
+                self._sample[item] += 1
+                continue
+            if self._threshold >= 1.0 or self._rng.random() < self._threshold:
+                self._sample[item] = 1
+                if len(self._sample) > self._capacity:
+                    self._evict()
+
+    def _evict(self) -> None:
+        """Raise the threshold and demote entries until the sample fits."""
+        while len(self._sample) > self._capacity:
+            new_threshold = self._threshold * self._shrink
+            first_keep = new_threshold / self._threshold
+            for item in list(self._sample):
+                if self._rng.random() < first_keep:
+                    continue
+                count = self._sample[item] - 1
+                while count > 0 and self._rng.random() >= new_threshold:
+                    count -= 1
+                if count > 0:
+                    self._sample[item] = count
+                else:
+                    del self._sample[item]
+            self._threshold = new_threshold
+
+    def estimate(self, item: Hashable) -> float:
+        """Count plus the ``1/τ − 1`` compensation for the missed prefix."""
+        count = self._sample.get(item, 0)
+        if count == 0:
+            return 0.0
+        return count + (1.0 / self._threshold) - 1.0
+
+    def top(self, k: int) -> list[tuple[Hashable, float]]:
+        """The ``k`` items with the largest compensated counts."""
+        ranked = sorted(
+            self._sample.items(), key=lambda pair: pair[1], reverse=True
+        )
+        return [(item, self.estimate(item)) for item, __ in ranked[:k]]
+
+    def counters_used(self) -> int:
+        """One counter per tracked entry."""
+        return len(self._sample)
+
+    def items_stored(self) -> int:
+        """One stored object per tracked entry."""
+        return len(self._sample)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._sample
+
+    def __repr__(self) -> str:
+        return (
+            f"CountingSamples(capacity={self._capacity}, "
+            f"threshold={self._threshold:.3g}, entries={len(self._sample)})"
+        )

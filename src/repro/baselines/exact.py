@@ -1,0 +1,62 @@
+"""Exact frequency counting — the ground truth every experiment scores
+against, and the memory-intensive strawman the paper's introduction rules
+out ("keeping a counter for each distinct element [is] infeasible")."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Iterable
+
+
+class ExactCounter:
+    """One exact counter per distinct item."""
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+        self._total = 0
+
+    @property
+    def total(self) -> int:
+        """Total stream weight observed."""
+        return self._total
+
+    def update(self, item: Hashable, count: int = 1) -> None:
+        """Record ``count`` occurrences of ``item``."""
+        self._counts[item] += count
+        self._total += count
+
+    def extend(self, stream: Iterable[Hashable]) -> None:
+        """Record every item of ``stream``."""
+        for item in stream:
+            self._counts[item] += 1
+            self._total += 1
+
+    def estimate(self, item: Hashable) -> float:
+        """The exact count of ``item`` (0 if never seen)."""
+        return float(self._counts.get(item, 0))
+
+    def count(self, item: Hashable) -> int:
+        """The exact integer count of ``item``."""
+        return self._counts.get(item, 0)
+
+    def top(self, k: int) -> list[tuple[Hashable, float]]:
+        """The exact ``k`` most frequent items."""
+        return [(item, float(c)) for item, c in self._counts.most_common(k)]
+
+    def counts(self) -> Counter:
+        """A copy of the full count table."""
+        return Counter(self._counts)
+
+    def counters_used(self) -> int:
+        """One counter per distinct item seen."""
+        return len(self._counts)
+
+    def items_stored(self) -> int:
+        """One stored object per distinct item seen."""
+        return len(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:
+        return f"ExactCounter(distinct={len(self._counts)}, total={self._total})"

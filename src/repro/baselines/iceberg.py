@@ -1,0 +1,157 @@
+"""Fang et al.'s multiple-hash iceberg-query scheme (§2's reference [4]).
+
+The paper's survey notes that Fang et al. "propose a heuristic 1-pass
+multiple-hash scheme which has a similar flavor to our algorithm": hash
+every item into ``k`` independent counter arrays (a counting Bloom
+filter); an item can only have frequency ≥ T if *all* of its counters
+reach T, so pass 1 cheaply identifies a candidate superset and an
+optional pass 2 counts the candidates exactly.
+
+Where the Count Sketch refines this: signed updates make the counters
+unbiased *estimators* rather than one-sided filters, and the median
+replaces the min — which is exactly what turns a candidate filter into a
+frequency estimator with the Eq. 5 guarantee.  Implemented here as the
+§2 baseline, with the defining soundness property (no false negatives:
+every item with count ≥ T passes the filter) kept exact and tested.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from repro.hashing.bucket import BucketHashFamily
+from repro.hashing.encode import encode_key
+from repro.hashing.mersenne import KWiseFamily
+
+
+class MultiHashIceberg:
+    """The multiple-hash coarse-counting filter for iceberg queries.
+
+    Args:
+        depth: number of independent counter arrays (hash functions).
+        width: counters per array.
+        seed: hash seed.
+    """
+
+    def __init__(self, depth: int = 3, width: int = 1024, seed: int = 0):
+        if depth < 1:
+            raise ValueError("depth must be at least 1")
+        if width < 1:
+            raise ValueError("width must be at least 1")
+        self._depth = depth
+        self._width = width
+        family = BucketHashFamily(
+            KWiseFamily(independence=2, seed=seed, salt="iceberg"), width
+        )
+        self._bucket_hashes = tuple(family.draw(depth))
+        self._counters = np.zeros((depth, width), dtype=np.int64)
+        self._total = 0
+
+    @property
+    def depth(self) -> int:
+        """Number of counter arrays."""
+        return self._depth
+
+    @property
+    def width(self) -> int:
+        """Counters per array."""
+        return self._width
+
+    @property
+    def total(self) -> int:
+        """Total stream weight observed."""
+        return self._total
+
+    def update(self, item: Hashable, count: int = 1) -> None:
+        """Pass 1: increment one counter per array."""
+        if count < 1:
+            raise ValueError("count must be positive")
+        key = encode_key(item)
+        for row, bucket_hash in enumerate(self._bucket_hashes):
+            self._counters[row, bucket_hash(key)] += count
+        self._total += count
+
+    def min_counter(self, item: Hashable) -> int:
+        """The smallest of the item's counters (its frequency upper bound
+        certificate — identical to a Count-Min estimate)."""
+        key = encode_key(item)
+        return int(
+            min(
+                self._counters[row, bucket_hash(key)]
+                for row, bucket_hash in enumerate(self._bucket_hashes)
+            )
+        )
+
+    def passes_filter(self, item: Hashable, threshold: float) -> bool:
+        """True iff the item *may* have count ≥ ``threshold``.
+
+        Sound: never false for an item whose true count reaches the
+        threshold (all its counters dominate its count).  Complete only
+        up to hash collisions — light items sharing every bucket with
+        heavy ones leak through, which is the scheme's heuristic part.
+        """
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        return self.min_counter(item) >= threshold
+
+    def candidates(
+        self, items: Iterable[Hashable], threshold: float
+    ) -> list[Hashable]:
+        """Filter a collection of items down to the candidate superset.
+
+        Pass 2 of the original scheme scans the data source again and
+        applies this filter to each record; any iterable of (distinct or
+        repeated) items works here.
+        """
+        seen: set[Hashable] = set()
+        result = []
+        for item in items:
+            if item in seen:
+                continue
+            seen.add(item)
+            if self.passes_filter(item, threshold):
+                result.append(item)
+        return result
+
+    def iceberg_query(
+        self, second_pass: Iterable[Hashable], threshold: float
+    ) -> list[tuple[Hashable, int]]:
+        """The full 2-pass query: exact counts for filter survivors.
+
+        Args:
+            second_pass: a replay of the stream.
+            threshold: the iceberg threshold T (absolute count).
+
+        Returns:
+            Every item with exact count ≥ ``threshold``, heaviest first —
+            exact, because the filter is sound and pass 2 counts exactly.
+        """
+        exact: dict[Hashable, int] = {}
+        for item in second_pass:
+            if item in exact:
+                exact[item] += 1
+            elif self.passes_filter(item, threshold):
+                exact[item] = 1
+        results = [
+            (item, count)
+            for item, count in exact.items()
+            if count >= threshold
+        ]
+        results.sort(key=lambda pair: pair[1], reverse=True)
+        return results
+
+    def counters_used(self) -> int:
+        """Total counters ``depth × width``."""
+        return self._depth * self._width
+
+    def items_stored(self) -> int:
+        """The filter itself stores no stream objects."""
+        return 0
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiHashIceberg(depth={self._depth}, width={self._width}, "
+            f"total={self._total})"
+        )

@@ -1,0 +1,116 @@
+"""The Karp–Shenker–Papadimitriou algorithm (§2, §4.1, Table 1).
+
+A deterministic one-pass algorithm with ``c`` counters that returns a
+superset of all items with frequency above ``n/(c+1)`` — the third column
+of Table 1.  It is the classical Misra–Gries FREQUENT algorithm: keep up to
+``c`` (item, count) pairs; on a new item with no free slot, decrement every
+counter (dropping zeros) instead of inserting.
+
+Guarantees (which the tests verify):
+
+* every item with true count > ``n/(c+1)`` is present at the end;
+* each tracked count undercounts by at most ``n/(c+1)``.
+
+As §4.1 notes, KPS solves CANDIDATETOP (set ``θ = n_k/n``, i.e.
+``c = ⌈n/n_k⌉`` counters) but not APPROXTOP: it "returns many low frequency
+elements along with the high frequency ones", and its counts carry no
+per-item accuracy guarantee beyond the additive ``n/(c+1)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+
+def counters_for_candidate_top(n: int, nk: float) -> int:
+    """§4.1's setting ``θ = n_k/n`` → ``c = ⌈n/n_k⌉`` counters."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    if nk <= 0:
+        raise ValueError("n_k must be positive")
+    return max(1, math.ceil(n / nk))
+
+
+class KPSFrequent:
+    """Misra–Gries / KPS FREQUENT with a fixed counter budget.
+
+    Args:
+        capacity: the number of counters ``c``.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self._capacity = capacity
+        self._counters: dict[Hashable, int] = {}
+        self._total = 0
+
+    @property
+    def capacity(self) -> int:
+        """The counter budget ``c``."""
+        return self._capacity
+
+    @property
+    def total(self) -> int:
+        """Total stream weight observed."""
+        return self._total
+
+    def update(self, item: Hashable, count: int = 1) -> None:
+        """Process ``count`` occurrences of ``item`` (weighted Misra–Gries).
+
+        The weighted generalization preserves the classical guarantees: the
+        total decremented mass is spread over ``capacity + 1`` items at a
+        time, so undercounting stays below ``n/(c+1)``.
+        """
+        if count < 1:
+            raise ValueError("count must be positive")
+        self._total += count
+        if item in self._counters:
+            self._counters[item] += count
+            return
+        if len(self._counters) < self._capacity:
+            self._counters[item] = count
+            return
+        # No free slot: absorb the new item's weight against the smallest
+        # counters (the weighted decrement-all step).
+        decrement = min(count, min(self._counters.values()))
+        surviving = {}
+        for tracked, value in self._counters.items():
+            if value > decrement:
+                surviving[tracked] = value - decrement
+        self._counters = surviving
+        remaining = count - decrement
+        if remaining > 0:
+            # The new item survives its own decrement with leftover weight;
+            # a slot is guaranteed free because the minimum counter died.
+            self._counters[item] = remaining
+
+    def estimate(self, item: Hashable) -> float:
+        """Lower-bound estimate (0 for untracked items)."""
+        return float(self._counters.get(item, 0))
+
+    def candidates(self) -> list[Hashable]:
+        """All tracked items (the guaranteed superset of frequent items)."""
+        return list(self._counters)
+
+    def top(self, k: int) -> list[tuple[Hashable, float]]:
+        """The ``k`` tracked items with the largest residual counts."""
+        ranked = sorted(
+            self._counters.items(), key=lambda pair: pair[1], reverse=True
+        )
+        return [(item, float(c)) for item, c in ranked[:k]]
+
+    def counters_used(self) -> int:
+        """Counters currently held (≤ capacity)."""
+        return len(self._counters)
+
+    def items_stored(self) -> int:
+        """Stored objects: one per live counter."""
+        return len(self._counters)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._counters
+
+    def __repr__(self) -> str:
+        return f"KPSFrequent(capacity={self._capacity}, live={len(self._counters)})"

@@ -1,0 +1,117 @@
+"""Manku–Motwani Lossy Counting (cited in §2 as [15]).
+
+A deterministic one-pass algorithm for iceberg queries: with error
+parameter ``ε`` the stream is processed in buckets of width ``w = ⌈1/ε⌉``;
+each entry stores ``(count, Δ)`` where ``Δ`` is the maximum undercount
+possible given when the entry was created.  At every bucket boundary ``b``,
+entries with ``count + Δ ≤ b`` are pruned.
+
+Guarantees (verified by the tests):
+
+* estimated counts undercount by at most ``ε·n``;
+* every item with true count ≥ ``ε·n`` survives (no false negatives for a
+  query threshold ``s ≥ ε``);
+* at most ``(1/ε)·log(ε·n)`` entries are live.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+
+class LossyCounting:
+    """Lossy Counting with error parameter ``ε``.
+
+    Args:
+        epsilon: the additive undercount bound as a fraction of ``n``.
+    """
+
+    def __init__(self, epsilon: float):
+        if not 0 < epsilon < 1:
+            raise ValueError("epsilon must be in (0, 1)")
+        self._epsilon = epsilon
+        self._bucket_width = math.ceil(1.0 / epsilon)
+        self._entries: dict[Hashable, tuple[int, int]] = {}  # item -> (count, delta)
+        self._total = 0
+        self._current_bucket = 1
+
+    @property
+    def epsilon(self) -> float:
+        """The error parameter ``ε``."""
+        return self._epsilon
+
+    @property
+    def total(self) -> int:
+        """Total stream items observed."""
+        return self._total
+
+    def update(self, item: Hashable, count: int = 1) -> None:
+        """Process ``count`` occurrences of ``item``."""
+        if count < 1:
+            raise ValueError("count must be positive")
+        for _ in range(count):
+            self._total += 1
+            entry = self._entries.get(item)
+            if entry is not None:
+                self._entries[item] = (entry[0] + 1, entry[1])
+            else:
+                self._entries[item] = (1, self._current_bucket - 1)
+            if self._total % self._bucket_width == 0:
+                self._prune()
+                self._current_bucket += 1
+
+    def _prune(self) -> None:
+        """Drop entries whose maximum possible count is ≤ current bucket."""
+        bucket = self._current_bucket
+        self._entries = {
+            item: (count, delta)
+            for item, (count, delta) in self._entries.items()
+            if count + delta > bucket
+        }
+
+    def estimate(self, item: Hashable) -> float:
+        """Lower-bound estimate (undercounts by at most ``ε·n``)."""
+        entry = self._entries.get(item)
+        return float(entry[0]) if entry is not None else 0.0
+
+    def frequent_items(self, support: float) -> list[tuple[Hashable, float]]:
+        """Iceberg query: items with count ≥ ``(support − ε)·n``.
+
+        Contains every item with true count ≥ ``support·n`` (no false
+        negatives) and nothing with true count < ``(support − ε)·n``.
+        """
+        if not 0 < support <= 1:
+            raise ValueError("support must be in (0, 1]")
+        threshold = (support - self._epsilon) * self._total
+        results = [
+            (item, float(count))
+            for item, (count, __) in self._entries.items()
+            if count >= threshold
+        ]
+        results.sort(key=lambda pair: pair[1], reverse=True)
+        return results
+
+    def top(self, k: int) -> list[tuple[Hashable, float]]:
+        """The ``k`` entries with the largest counts."""
+        ranked = sorted(
+            self._entries.items(), key=lambda pair: pair[1][0], reverse=True
+        )
+        return [(item, float(count)) for item, (count, __) in ranked[:k]]
+
+    def counters_used(self) -> int:
+        """Two numbers (count, Δ) per live entry."""
+        return 2 * len(self._entries)
+
+    def items_stored(self) -> int:
+        """One stored object per live entry."""
+        return len(self._entries)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._entries
+
+    def __repr__(self) -> str:
+        return (
+            f"LossyCounting(epsilon={self._epsilon}, "
+            f"entries={len(self._entries)})"
+        )

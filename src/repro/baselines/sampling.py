@@ -1,0 +1,124 @@
+"""The SAMPLING algorithm — the paper's main comparator (§2, §4.1).
+
+"Keep a uniform random sample of the elements stored as a list of items
+plus a counter for each item.  If the same object is added more than once,
+we simply increment its counter."
+
+Each stream occurrence is included in the sample independently with a fixed
+probability ``p``; an item's counter holds its number of *sampled*
+occurrences, so ``counter / p`` is an unbiased estimate of its true count.
+To ensure the top-``k`` items all appear in the sample w.h.p., the paper
+sets ``p ≥ O(log(k/δ) / n_k)`` (§4.1), giving a solution to
+CANDIDATETOP(S, k, x) where ``x`` is the number of distinct sampled items —
+the quantity §4.1 measures as the algorithm's space and that Table 1
+tabulates per Zipf regime.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Hashable
+
+from repro.hashing.family import seeded_rng
+
+
+def required_probability(nk: float, k: int, delta: float = 0.05) -> float:
+    """§4.1's inclusion probability ``p = log(k/δ) / n_k`` (capped at 1).
+
+    Args:
+        nk: count of the k-th most frequent item.
+        k: number of top items to capture.
+        delta: failure probability budget.
+    """
+    if nk <= 0:
+        raise ValueError("n_k must be positive")
+    if k < 1:
+        raise ValueError("k must be positive")
+    if not 0 < delta < 1:
+        raise ValueError("delta must be in (0, 1)")
+    return min(1.0, math.log(max(k, 2) / delta) / nk)
+
+
+class SamplingSummary:
+    """Uniform Bernoulli sampling with per-item occurrence counters.
+
+    Args:
+        probability: the per-occurrence inclusion probability ``p``.
+        seed: seed of the sampling coin flips.
+    """
+
+    def __init__(self, probability: float, seed: int = 0):
+        if not 0 < probability <= 1:
+            raise ValueError("probability must be in (0, 1]")
+        self._probability = probability
+        self._rng: random.Random = seeded_rng(seed, "sampling")
+        self._sample: dict[Hashable, int] = {}
+        self._total = 0
+
+    @classmethod
+    def for_candidate_top(
+        cls, nk: float, k: int, delta: float = 0.05, seed: int = 0
+    ) -> "SamplingSummary":
+        """Dimension the sampler per §4.1 to capture the top ``k`` w.h.p."""
+        return cls(required_probability(nk, k, delta), seed=seed)
+
+    @property
+    def probability(self) -> float:
+        """The inclusion probability ``p``."""
+        return self._probability
+
+    def update(self, item: Hashable, count: int = 1) -> None:
+        """Offer ``count`` occurrences of ``item`` to the sampler."""
+        self._total += count
+        if count == 1:
+            if self._rng.random() < self._probability:
+                self._sample[item] = self._sample.get(item, 0) + 1
+            return
+        if count < 0:
+            raise ValueError("count must be nonnegative")
+        # Binomial thinning for weighted offers: each of the `count`
+        # occurrences flips its own coin.
+        sampled = sum(
+            1 for _ in range(count) if self._rng.random() < self._probability
+        )
+        if sampled:
+            self._sample[item] = self._sample.get(item, 0) + sampled
+
+    def estimate(self, item: Hashable) -> float:
+        """Unbiased count estimate: sampled occurrences over ``p``."""
+        return self._sample.get(item, 0) / self._probability
+
+    def sampled_count(self, item: Hashable) -> int:
+        """Raw number of sampled occurrences of ``item``."""
+        return self._sample.get(item, 0)
+
+    def top(self, k: int) -> list[tuple[Hashable, float]]:
+        """The ``k`` items with the most sampled occurrences (scaled)."""
+        ranked = sorted(
+            self._sample.items(), key=lambda pair: pair[1], reverse=True
+        )
+        return [
+            (item, count / self._probability) for item, count in ranked[:k]
+        ]
+
+    def sample_size(self) -> int:
+        """Total sampled occurrences ``x`` (counting repetitions)."""
+        return sum(self._sample.values())
+
+    def counters_used(self) -> int:
+        """One counter per *distinct* sampled item (the §4.1 space measure)."""
+        return len(self._sample)
+
+    def items_stored(self) -> int:
+        """One stored object per distinct sampled item."""
+        return len(self._sample)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._sample
+
+    def __repr__(self) -> str:
+        return (
+            f"SamplingSummary(p={self._probability:.3g}, "
+            f"distinct={len(self._sample)})"
+        )

@@ -1,0 +1,142 @@
+"""Manku–Motwani Sticky Sampling (cited in §2 as [15]).
+
+The probabilistic sibling of Lossy Counting: entries are *created* by
+sampling at a rate that halves as the stream grows, but once created are
+counted exactly (the "sticky" part — the same exact-after-entry idea as
+counting samples and the Count Sketch tracker's heap).
+
+With support ``s``, error ``ε`` and failure probability ``δ``, let
+``t = (1/ε)·log(1/(s·δ))``.  The first ``2t`` items are sampled at rate 1,
+the next ``2t`` at rate 1/2, then ``4t`` at rate 1/4, and so on.  When the
+rate halves, each entry flips a diminishing sequence of coins (decrementing
+its count on each tails) — exactly the Gibbons–Matias demotion — so the
+sample remains distributed as if gathered at the new rate throughout.
+
+Guarantee: all items with count ≥ ``s·n`` are reported, and reported counts
+undercount by at most ``ε·n``, with probability ``1 − δ``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Hashable
+
+from repro.hashing.family import seeded_rng
+
+
+class StickySampling:
+    """Sticky Sampling for iceberg queries.
+
+    Args:
+        support: the query support threshold ``s``.
+        epsilon: the undercount bound as a fraction of ``n`` (``ε < s``).
+        delta: failure probability.
+        seed: coin-flip seed.
+    """
+
+    def __init__(
+        self,
+        support: float,
+        epsilon: float | None = None,
+        delta: float = 0.01,
+        seed: int = 0,
+    ):
+        if not 0 < support < 1:
+            raise ValueError("support must be in (0, 1)")
+        if epsilon is None:
+            epsilon = support / 10.0
+        if not 0 < epsilon < support:
+            raise ValueError("epsilon must be in (0, support)")
+        if not 0 < delta < 1:
+            raise ValueError("delta must be in (0, 1)")
+        self._support = support
+        self._epsilon = epsilon
+        self._delta = delta
+        self._rng: random.Random = seeded_rng(seed, "sticky-sampling")
+        self._t = (1.0 / epsilon) * math.log(1.0 / (support * delta))
+        self._rate = 1  # one in `rate` items is sampled
+        self._next_rate_change = 2.0 * self._t
+        self._entries: dict[Hashable, int] = {}
+        self._total = 0
+
+    @property
+    def support(self) -> float:
+        """The support threshold ``s``."""
+        return self._support
+
+    @property
+    def epsilon(self) -> float:
+        """The error parameter ``ε``."""
+        return self._epsilon
+
+    @property
+    def rate(self) -> int:
+        """Current sampling rate denominator (sample one in ``rate``)."""
+        return self._rate
+
+    def update(self, item: Hashable, count: int = 1) -> None:
+        """Process ``count`` occurrences of ``item``."""
+        if count < 1:
+            raise ValueError("count must be positive")
+        for _ in range(count):
+            self._total += 1
+            if self._total > self._next_rate_change:
+                self._halve_rate()
+            if item in self._entries:
+                self._entries[item] += 1
+            elif self._rng.random() < 1.0 / self._rate:
+                self._entries[item] = 1
+
+    def _halve_rate(self) -> None:
+        """Double the rate denominator and demote existing entries."""
+        self._rate *= 2
+        self._next_rate_change += self._t * self._rate
+        for item in list(self._entries):
+            # Diminish: flip fair coins; each tails decrements the count.
+            count = self._entries[item]
+            while count > 0 and self._rng.random() < 0.5:
+                count -= 1
+            if count > 0:
+                self._entries[item] = count
+            else:
+                del self._entries[item]
+
+    def estimate(self, item: Hashable) -> float:
+        """The sticky count (undercounts by ≤ ``ε·n`` w.h.p.)."""
+        return float(self._entries.get(item, 0))
+
+    def frequent_items(self) -> list[tuple[Hashable, float]]:
+        """Items with count ≥ ``(s − ε)·n`` — the iceberg answer set."""
+        threshold = (self._support - self._epsilon) * self._total
+        results = [
+            (item, float(count))
+            for item, count in self._entries.items()
+            if count >= threshold
+        ]
+        results.sort(key=lambda pair: pair[1], reverse=True)
+        return results
+
+    def top(self, k: int) -> list[tuple[Hashable, float]]:
+        """The ``k`` entries with the largest sticky counts."""
+        ranked = sorted(
+            self._entries.items(), key=lambda pair: pair[1], reverse=True
+        )
+        return [(item, float(count)) for item, count in ranked[:k]]
+
+    def counters_used(self) -> int:
+        """One counter per live entry."""
+        return len(self._entries)
+
+    def items_stored(self) -> int:
+        """One stored object per live entry."""
+        return len(self._entries)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._entries
+
+    def __repr__(self) -> str:
+        return (
+            f"StickySampling(support={self._support}, rate=1/{self._rate}, "
+            f"entries={len(self._entries)})"
+        )

@@ -1,0 +1,223 @@
+"""Command-line interface.
+
+Five subcommands cover the library's day-to-day uses on on-disk streams
+(one item per line; ``--int-keys`` parses lines as integers):
+
+* ``repro topk`` — the §3.2 one-pass tracker: the approximate top-k items.
+* ``repro estimate`` — sketch a stream, print estimates for given items.
+* ``repro maxchange`` — the §4.2 two-pass algorithm over two stream files.
+* ``repro percent-change`` — the §5 open-problem heuristic over two files.
+* ``repro experiment`` — run any named paper experiment (or ``run_all``)
+  and print its report (same output the benchmarks persist under
+  ``benchmarks/out/``).
+
+Examples::
+
+    repro topk --input queries.txt --k 10
+    repro maxchange --before week1.txt --after week2.txt --k 5
+    repro experiment table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.maxchange import MaxChangeFinder
+from repro.core.countsketch import CountSketch
+from repro.core.topk import TopKTracker
+from repro.experiments.report import format_table
+from repro.streams.io import read_stream_text
+
+EXPERIMENTS = (
+    "table1",
+    "error_vs_b",
+    "failure_vs_t",
+    "approxtop_quality",
+    "zipf_space_scaling",
+    "sampling_space",
+    "maxchange_experiment",
+    "hierarchical_maxchange",
+    "autoconfig",
+    "windowed_accuracy",
+    "relative_change_floor",
+    "space_accounting",
+    "ablation_estimator",
+    "ablation_sign_hash",
+    "ablation_heap_counts",
+    "ablation_hash_family",
+    "throughput",
+    "run_all",
+)
+
+
+def _add_sketch_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--depth", type=int, default=5,
+                        help="sketch rows t (default 5)")
+    parser.add_argument("--width", type=int, default=512,
+                        help="sketch counters per row b (default 512)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="hash seed (default 0)")
+    parser.add_argument("--int-keys", action="store_true",
+                        help="parse stream lines as integers")
+
+
+def _load(path: str, int_keys: bool) -> list:
+    return read_stream_text(path, as_int=int_keys)
+
+
+def _cmd_topk(args: argparse.Namespace) -> int:
+    stream = _load(args.input, args.int_keys)
+    tracker = TopKTracker(args.k, depth=args.depth, width=args.width,
+                          seed=args.seed)
+    for item in stream:
+        tracker.update(item)
+    rows = [
+        [rank, str(item), count]
+        for rank, (item, count) in enumerate(tracker.top(), start=1)
+    ]
+    print(format_table(
+        ["rank", "item", "approx count"], rows,
+        title=f"top-{args.k} of {args.input} ({len(stream)} items)",
+    ))
+    print(f"space: {tracker.counters_used()} counters, "
+          f"{tracker.items_stored()} stored items")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    stream = _load(args.input, args.int_keys)
+    sketch = CountSketch(args.depth, args.width, seed=args.seed)
+    sketch.extend(stream)
+    queries = [int(q) if args.int_keys else q for q in args.items]
+    rows = [[str(q), sketch.estimate(q)] for q in queries]
+    print(format_table(["item", "estimate"], rows,
+                       title=f"estimates over {args.input}"))
+    return 0
+
+
+def _cmd_maxchange(args: argparse.Namespace) -> int:
+    before = _load(args.before, args.int_keys)
+    after = _load(args.after, args.int_keys)
+    finder = MaxChangeFinder(args.l, depth=args.depth, width=args.width,
+                             seed=args.seed)
+    finder.first_pass(before, after)
+    finder.second_pass(before, after)
+    rows = [
+        [str(r.item), r.count_before, r.count_after, r.change,
+         r.estimated_change]
+        for r in finder.report(args.k)
+    ]
+    print(format_table(
+        ["item", "before", "after", "change", "sketch estimate"], rows,
+        title=f"top-{args.k} changes {args.before} -> {args.after}",
+    ))
+    return 0
+
+
+def _cmd_percent_change(args: argparse.Namespace) -> int:
+    from repro.core.relative_change import RelativeChangeFinder
+
+    before = _load(args.before, args.int_keys)
+    after = _load(args.after, args.int_keys)
+    finder = RelativeChangeFinder(
+        args.l, floor=args.floor, depth=args.depth, width=args.width,
+        seed=args.seed,
+    )
+    finder.first_pass(before, after)
+    finder.second_pass(before, after)
+    rows = [
+        [str(r.item), r.count_before, r.count_after,
+         f"{r.percent_change:+.1%}"]
+        for r in finder.report(args.k, min_after=args.min_after)
+    ]
+    print(format_table(
+        ["item", "before", "after", "percent change"], rows,
+        title=(
+            f"top-{args.k} percent changes {args.before} -> {args.after} "
+            f"(floor={args.floor})"
+        ),
+    ))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    module.main()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Count Sketch frequent-items toolkit "
+                    "(Charikar, Chen & Farach-Colton reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    topk = subparsers.add_parser(
+        "topk", help="approximate top-k items of a stream file"
+    )
+    topk.add_argument("--input", required=True, help="stream file, one item per line")
+    topk.add_argument("--k", type=int, default=10, help="items to report")
+    _add_sketch_arguments(topk)
+    topk.set_defaults(handler=_cmd_topk)
+
+    estimate = subparsers.add_parser(
+        "estimate", help="sketch a stream and estimate given items' counts"
+    )
+    estimate.add_argument("--input", required=True)
+    estimate.add_argument("items", nargs="+", help="items to estimate")
+    _add_sketch_arguments(estimate)
+    estimate.set_defaults(handler=_cmd_estimate)
+
+    maxchange = subparsers.add_parser(
+        "maxchange", help="items with the largest count change (2 passes)"
+    )
+    maxchange.add_argument("--before", required=True, help="first stream file")
+    maxchange.add_argument("--after", required=True, help="second stream file")
+    maxchange.add_argument("--k", type=int, default=10)
+    maxchange.add_argument("--l", type=int, default=40,
+                           help="exact-count candidate set size")
+    _add_sketch_arguments(maxchange)
+    maxchange.set_defaults(handler=_cmd_maxchange)
+
+    percent = subparsers.add_parser(
+        "percent-change",
+        help="items with the largest percent change (the §5 open problem)",
+    )
+    percent.add_argument("--before", required=True)
+    percent.add_argument("--after", required=True)
+    percent.add_argument("--k", type=int, default=10)
+    percent.add_argument("--l", type=int, default=40)
+    percent.add_argument("--floor", type=float, default=8.0,
+                         help="smoothing floor balancing absolute vs "
+                              "relative change")
+    percent.add_argument("--min-after", type=int, default=0,
+                         help="require this many occurrences in the "
+                              "second stream")
+    _add_sketch_arguments(percent)
+    percent.set_defaults(handler=_cmd_percent_change)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run a paper experiment and print its report"
+    )
+    experiment.add_argument("name", choices=EXPERIMENTS)
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""The paper's core contribution: Count Sketch and the algorithms on top.
+
+* :class:`~repro.core.countsketch.CountSketch` — the §3 data structure
+  (``ADD`` / ``ESTIMATE``, plus the sketch arithmetic of §3.2).
+* :class:`~repro.core.topk.TopKTracker` — the §3.2 one-pass APPROXTOP
+  algorithm (sketch + heap of the top-k estimated items).
+* :class:`~repro.core.candidate_top.CandidateTopTracker` — the §4.1 usage:
+  keep ``l ≥ k`` candidates so the true top k are contained w.h.p.; optional
+  second pass for exact counts.
+* :class:`~repro.core.maxchange.MaxChangeFinder` — the §4.2 two-pass
+  max-change algorithm over a pair of streams.
+* :mod:`repro.core.params` — executable versions of the paper's parameter
+  settings (Eq. 5's γ, Lemma 5's bound on ``b``, ``t = Θ(log n/δ)``).
+* :class:`~repro.core.heap.IndexedMinHeap` — the heap substrate.
+"""
+
+from repro.core.candidate_top import CandidateTopTracker
+from repro.core.countsketch import CountSketch
+from repro.core.group_testing import GroupTestingSketch
+from repro.core.heap import IndexedMinHeap
+from repro.core.maxchange import ChangeReport, MaxChangeFinder
+from repro.core.params import (
+    SketchParameters,
+    gamma,
+    suggest_depth,
+    width_for_approxtop,
+)
+from repro.core.hierarchical import (
+    HierarchicalCountSketch,
+    heavy_change_items,
+)
+from repro.core.relative_change import (
+    RelativeChangeFinder,
+    RelativeChangeReport,
+)
+from repro.core.sketch_base import FrequencyEstimator, StreamSummary
+from repro.core.sparse import SparseCountSketch
+from repro.core.topk import TopKTracker
+from repro.core.vectorized import VectorizedCountSketch
+from repro.core.windowed import JumpingWindowSketch
+
+__all__ = [
+    "CandidateTopTracker",
+    "ChangeReport",
+    "CountSketch",
+    "FrequencyEstimator",
+    "GroupTestingSketch",
+    "HierarchicalCountSketch",
+    "IndexedMinHeap",
+    "JumpingWindowSketch",
+    "MaxChangeFinder",
+    "RelativeChangeFinder",
+    "RelativeChangeReport",
+    "SketchParameters",
+    "SparseCountSketch",
+    "StreamSummary",
+    "TopKTracker",
+    "VectorizedCountSketch",
+    "gamma",
+    "heavy_change_items",
+    "suggest_depth",
+    "width_for_approxtop",
+]

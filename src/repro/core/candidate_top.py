@@ -1,0 +1,130 @@
+"""CANDIDATETOP(S, k, l) via the Count Sketch tracker (§4.1 usage).
+
+§4.1 observes that in the tracker's ordered list of estimated most frequent
+elements, the true top ``k`` can only be preceded by elements with count at
+least ``(1−ε)·n_k``; keeping ``l > k`` tracked items therefore guarantees
+(w.h.p.) that the true top ``k`` are *somewhere in the list* — a solution to
+CANDIDATETOP(S, k, l).  For a Zipfian with parameter ``z``,
+``l = k / (1−ε)^{1/z}`` suffices, i.e. ``l = O(k)``.
+
+If a second pass over the stream is allowed, the true counts of the ``l``
+candidates can be computed exactly and the true top ``k`` identified —
+:meth:`CandidateTopTracker.refine` implements that second pass.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.core.countsketch import CountSketch
+from repro.core.topk import TopKTracker
+
+
+def candidate_list_size(k: int, epsilon: float, zipf_z: float) -> int:
+    """§4.1's ``l = k / (1−ε)^{1/z}`` for a Zipfian stream, rounded up.
+
+    Args:
+        k: number of true top items that must be captured.
+        epsilon: the tracker's APPROXTOP slack ε.
+        zipf_z: the Zipf parameter ``z`` of the stream.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    if not 0 < epsilon < 1:
+        raise ValueError("epsilon must be in (0, 1)")
+    if zipf_z <= 0:
+        raise ValueError("zipf_z must be positive")
+    l = k / (1.0 - epsilon) ** (1.0 / zipf_z)
+    return max(k, int(l) + 1)
+
+
+class CandidateTopTracker:
+    """One-pass tracker whose candidate list contains the true top ``k``.
+
+    Args:
+        k: the number of items that must appear in the candidate list.
+        l: candidate list length (``l ≥ k``); defaults to ``2k``, a safe
+            constant multiple for Zipf parameters ``z ≥ 0.5`` and small ε.
+        sketch: optional explicit sketch (else built from depth/width/seed).
+        depth: rows of the internal sketch.
+        width: counters per row of the internal sketch.
+        seed: seed for the internal sketch.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        l: int | None = None,
+        sketch: CountSketch | None = None,
+        depth: int | None = None,
+        width: int | None = None,
+        seed: int = 0,
+    ):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        if l is None:
+            l = 2 * k
+        if l < k:
+            raise ValueError("l must be at least k")
+        self._k = k
+        self._l = l
+        self._tracker = TopKTracker(
+            l, sketch=sketch, depth=depth, width=width, seed=seed
+        )
+
+    @property
+    def k(self) -> int:
+        """The number of true top items to capture."""
+        return self._k
+
+    @property
+    def l(self) -> int:
+        """The candidate list length."""
+        return self._l
+
+    @property
+    def sketch(self) -> CountSketch:
+        """The underlying Count Sketch."""
+        return self._tracker.sketch
+
+    def update(self, item: Hashable, count: int = 1) -> None:
+        """Process ``count`` occurrences of ``item``."""
+        self._tracker.update(item, count)
+
+    def candidates(self) -> list[tuple[Hashable, float]]:
+        """All ``l`` candidates with their tracked counts, heaviest first."""
+        return self._tracker.top(self._l)
+
+    def top(self, k: int | None = None) -> list[tuple[Hashable, float]]:
+        """The ``k`` heaviest candidates by tracked (approximate) count."""
+        return self._tracker.top(self._k if k is None else k)
+
+    def refine(self, stream: Iterable[Hashable]) -> list[tuple[Hashable, int]]:
+        """Second pass: exact counts for candidates; return the true top k.
+
+        Args:
+            stream: a second pass over the same stream (any iterable that
+                replays the data).
+
+        Returns:
+            The ``k`` candidates with the largest *exact* counts, as
+            (item, exact count) pairs sorted descending.
+        """
+        candidate_items = {item for item, __ in self.candidates()}
+        exact: dict[Hashable, int] = {item: 0 for item in candidate_items}
+        for item in stream:
+            if item in exact:
+                exact[item] += 1
+        ranked = sorted(exact.items(), key=lambda pair: pair[1], reverse=True)
+        return ranked[: self._k]
+
+    def counters_used(self) -> int:
+        """Sketch counters plus one counter per candidate."""
+        return self._tracker.counters_used()
+
+    def items_stored(self) -> int:
+        """Stored stream objects: the ``l`` candidates."""
+        return self._tracker.items_stored()
+
+    def __repr__(self) -> str:
+        return f"CandidateTopTracker(k={self._k}, l={self._l})"

@@ -1,0 +1,424 @@
+"""The COUNT SKETCH data structure (§3 of the paper).
+
+A Count Sketch is a ``t × b`` array of integer counters plus ``t`` bucket
+hash functions ``h_i : O → [b]`` and ``t`` pairwise-independent sign hash
+functions ``s_i : O → {+1, −1}``.  The two operations of §3.2:
+
+* ``ADD(C, q)``  — for each row ``i``, ``counter[i][h_i(q)] += s_i(q)``
+  (generalized here to weighted updates, which is what makes the sketch a
+  linear map and enables the §4.2 difference trick).
+* ``ESTIMATE(C, q)`` — ``median_i { counter[i][h_i(q)] · s_i(q) }``.
+
+Per row the estimate is unbiased (Lemma 1); the median over
+``t = Θ(log n/δ)`` rows concentrates within ``8γ`` of the true count
+(Lemmas 3–4) where ``γ = sqrt(Σ_{q' > k} n_{q'}² / b)`` (Eq. 5).
+
+Because the update is a linear function of the frequency vector, two
+sketches that share hash functions can be added, subtracted and scaled;
+:meth:`CountSketch.__sub__` is the engine of the max-change algorithm.
+
+The sketch also supports AMS-style second-moment estimation
+(:meth:`estimate_f2`, :meth:`inner_product`): each row's self/inner dot
+product is an unbiased F2/inner-product estimator — the paper builds on
+exactly this machinery of Alon, Matias & Szegedy.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from typing import Hashable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.hashing.bucket import BucketHash, BucketHashFamily
+from repro.hashing.encode import encode_key
+from repro.hashing.family import HashFunction
+from repro.hashing.mersenne import KWiseFamily, PolynomialHash
+from repro.hashing.sign import SignHash, SignHashFamily
+
+#: Maximum number of items kept in the per-sketch hash-position cache.  The
+#: cache trades memory for speed on streams with repeated items (every
+#: realistic stream); it is cleared wholesale when full.
+_POSITION_CACHE_LIMIT = 1 << 20
+
+
+class CountSketch:
+    """A Count Sketch with ``depth`` rows of ``width`` counters each.
+
+    Args:
+        depth: number of hash-table rows ``t``.  Use an odd value so the
+            median is a single row estimate; see
+            :func:`repro.core.params.suggest_depth`.
+        width: counters per row ``b``; see
+            :func:`repro.core.params.width_for_approxtop`.
+        seed: seed for the default hash families.  Two sketches built with
+            the same ``(depth, width, seed)`` share hash functions and are
+            therefore mergeable/subtractable, per §3.2.
+        bucket_hashes: optional explicit bucket hash functions (one per
+            row, each with ``range_size == width``); overrides ``seed``.
+        sign_hashes: optional explicit sign hash functions (one per row).
+    """
+
+    __slots__ = (
+        "_depth",
+        "_width",
+        "_seed",
+        "_bucket_hashes",
+        "_sign_hashes",
+        "_counters",
+        "_total_weight",
+        "_position_cache",
+    )
+
+    def __init__(
+        self,
+        depth: int,
+        width: int,
+        seed: int = 0,
+        bucket_hashes: Sequence[HashFunction] | None = None,
+        sign_hashes: Sequence[HashFunction] | None = None,
+    ):
+        if depth < 1:
+            raise ValueError("depth must be at least 1")
+        if width < 1:
+            raise ValueError("width must be at least 1")
+        self._depth = depth
+        self._width = width
+        self._seed = seed
+
+        if bucket_hashes is None:
+            bucket_family = BucketHashFamily(
+                KWiseFamily(independence=2, seed=seed, salt="buckets"), width
+            )
+            bucket_hashes = bucket_family.draw(depth)
+        else:
+            bucket_hashes = list(bucket_hashes)
+            if len(bucket_hashes) != depth:
+                raise ValueError(
+                    f"expected {depth} bucket hashes, got {len(bucket_hashes)}"
+                )
+            for h in bucket_hashes:
+                if h.range_size != width:
+                    raise ValueError(
+                        "every bucket hash must have range_size == width"
+                    )
+        if sign_hashes is None:
+            sign_family = SignHashFamily(
+                KWiseFamily(independence=2, seed=seed, salt="signs")
+            )
+            sign_hashes = sign_family.draw(depth)
+        else:
+            sign_hashes = list(sign_hashes)
+            if len(sign_hashes) != depth:
+                raise ValueError(
+                    f"expected {depth} sign hashes, got {len(sign_hashes)}"
+                )
+
+        self._bucket_hashes = tuple(bucket_hashes)
+        self._sign_hashes = tuple(sign_hashes)
+        self._counters = np.zeros((depth, width), dtype=np.int64)
+        self._total_weight = 0
+        self._position_cache: dict[int, tuple[tuple[int, ...], tuple[int, ...]]] = {}
+
+    # -- basic properties ---------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Number of rows ``t``."""
+        return self._depth
+
+    @property
+    def width(self) -> int:
+        """Counters per row ``b``."""
+        return self._width
+
+    @property
+    def seed(self) -> int:
+        """Seed the default hash families were derived from."""
+        return self._seed
+
+    @property
+    def total_weight(self) -> int:
+        """Net weight of all updates applied (stream length for +1 updates)."""
+        return self._total_weight
+
+    @property
+    def counters(self) -> np.ndarray:
+        """A read-only view of the ``depth × width`` counter array."""
+        view = self._counters.view()
+        view.flags.writeable = False
+        return view
+
+    def counters_used(self) -> int:
+        """Total number of counters: ``depth * width`` (the paper's ``tb``)."""
+        return self._depth * self._width
+
+    def items_stored(self) -> int:
+        """A bare sketch stores no stream objects."""
+        return 0
+
+    # -- hashing ------------------------------------------------------------
+
+    def _positions(self, key: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Return (bucket indices, signs), one per row, for encoded ``key``."""
+        cached = self._position_cache.get(key)
+        if cached is not None:
+            return cached
+        buckets = tuple(h(key) for h in self._bucket_hashes)
+        signs = tuple(s(key) for s in self._sign_hashes)
+        if len(self._position_cache) >= _POSITION_CACHE_LIMIT:
+            self._position_cache.clear()
+        self._position_cache[key] = (buckets, signs)
+        return buckets, signs
+
+    # -- updates ------------------------------------------------------------
+
+    def update(self, item: Hashable, count: int = 1) -> None:
+        """Apply ``ADD`` with weight ``count`` (may be negative).
+
+        ``update(q)`` is exactly the paper's ``ADD(C, q)``;
+        ``update(q, -1)`` is the subtraction step of the §4.2 first pass.
+        """
+        key = encode_key(item)
+        buckets, signs = self._positions(key)
+        counters = self._counters
+        for row in range(self._depth):
+            counters[row, buckets[row]] += signs[row] * count
+        self._total_weight += count
+
+    def update_counts(self, counts: Mapping[Hashable, int]) -> None:
+        """Apply a batch of weighted updates, one per distinct item.
+
+        Feeding a pre-aggregated ``collections.Counter`` of a stream produces
+        a sketch identical to item-at-a-time updates (linearity) at a
+        fraction of the cost — the idiom the experiment harness uses.
+        """
+        for item, count in counts.items():
+            self.update(item, count)
+
+    def extend(self, stream: Iterable[Hashable]) -> None:
+        """Apply ``ADD`` for each item of ``stream`` in order."""
+        for item in stream:
+            self.update(item)
+
+    # -- queries ------------------------------------------------------------
+
+    def estimate(self, item: Hashable) -> float:
+        """Return ``ESTIMATE(C, item)``: the median of per-row estimates.
+
+        With odd ``depth`` the result is an integer-valued float; with even
+        ``depth`` the standard midpoint-average median is used.
+        """
+        key = encode_key(item)
+        buckets, signs = self._positions(key)
+        counters = self._counters
+        row_estimates = [
+            float(counters[row, buckets[row]]) * signs[row]
+            for row in range(self._depth)
+        ]
+        return statistics.median(row_estimates)
+
+    def row_estimates(self, item: Hashable) -> list[float]:
+        """Return the ``depth`` individual per-row estimates for ``item``.
+
+        Exposed for the estimator ablation (median vs mean, experiment A1)
+        and for the variance experiments.
+        """
+        key = encode_key(item)
+        buckets, signs = self._positions(key)
+        counters = self._counters
+        return [
+            float(counters[row, buckets[row]]) * signs[row]
+            for row in range(self._depth)
+        ]
+
+    def estimate_mean(self, item: Hashable) -> float:
+        """Estimate using the *mean* combiner §3.1 warns against.
+
+        Unbiased but fragile: collisions with heavy hitters blow up single
+        rows and the mean follows them, which is exactly why the paper uses
+        the median.  Kept for the A1 ablation.
+        """
+        estimates = self.row_estimates(item)
+        return sum(estimates) / len(estimates)
+
+    def estimate_f2(self) -> float:
+        """AMS-style estimate of the second frequency moment ``F2 = Σ n_q²``.
+
+        Each row's sum of squared counters is an unbiased F2 estimator (the
+        signs cancel cross terms in expectation); the median over rows
+        concentrates.  The paper's γ (Eq. 5) is ``sqrt(F2_tail / b)``, so
+        this estimator lets a deployment size ``b`` from the stream itself.
+        """
+        row_sums = (self._counters.astype(np.float64) ** 2).sum(axis=1)
+        return float(np.median(row_sums))
+
+    def inner_product(self, other: "CountSketch") -> float:
+        """Estimate ``Σ_q n_q(self) · n_q(other)`` from two sketches.
+
+        Requires compatible sketches (shared hash functions).
+        """
+        self._require_compatible(other)
+        row_dots = (
+            self._counters.astype(np.float64)
+            * other._counters.astype(np.float64)
+        ).sum(axis=1)
+        return float(np.median(row_dots))
+
+    # -- sketch arithmetic (§3.2: "we can add and subtract them") -----------
+
+    def compatible_with(self, other: "CountSketch") -> bool:
+        """True if the sketches share shape *and* hash functions."""
+        return (
+            isinstance(other, CountSketch)
+            and self._depth == other._depth
+            and self._width == other._width
+            and self._bucket_hashes == other._bucket_hashes
+            and self._sign_hashes == other._sign_hashes
+        )
+
+    def _require_compatible(self, other: "CountSketch") -> None:
+        if not isinstance(other, CountSketch):
+            raise TypeError(f"expected CountSketch, got {type(other).__name__}")
+        if not self.compatible_with(other):
+            raise ValueError(
+                "sketches are not compatible: arithmetic requires identical "
+                "shape and shared hash functions (build both with the same "
+                "(depth, width, seed))"
+            )
+
+    def _with_counters(self, counters: np.ndarray, total: int) -> "CountSketch":
+        clone = CountSketch(
+            self._depth,
+            self._width,
+            seed=self._seed,
+            bucket_hashes=self._bucket_hashes,
+            sign_hashes=self._sign_hashes,
+        )
+        clone._counters = counters
+        clone._total_weight = total
+        return clone
+
+    def copy(self) -> "CountSketch":
+        """Return an independent copy of this sketch."""
+        return self._with_counters(self._counters.copy(), self._total_weight)
+
+    def __add__(self, other: "CountSketch") -> "CountSketch":
+        """Sketch of the concatenation of the two underlying streams."""
+        self._require_compatible(other)
+        return self._with_counters(
+            self._counters + other._counters,
+            self._total_weight + other._total_weight,
+        )
+
+    def __sub__(self, other: "CountSketch") -> "CountSketch":
+        """Sketch of the *difference* of the two frequency vectors.
+
+        ``(a - b).estimate(q)`` estimates ``n_q(a) - n_q(b)`` — the quantity
+        the §4.2 max-change algorithm ranks by.
+        """
+        self._require_compatible(other)
+        return self._with_counters(
+            self._counters - other._counters,
+            self._total_weight - other._total_weight,
+        )
+
+    def __neg__(self) -> "CountSketch":
+        return self._with_counters(-self._counters, -self._total_weight)
+
+    def scale(self, factor: int) -> "CountSketch":
+        """Return the sketch of the frequency vector scaled by ``factor``."""
+        return self._with_counters(
+            self._counters * factor, self._total_weight * factor
+        )
+
+    def merge(self, other: "CountSketch") -> None:
+        """In-place ``+=`` of a compatible sketch (distributed aggregation)."""
+        self._require_compatible(other)
+        self._counters += other._counters
+        self._total_weight += other._total_weight
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CountSketch):
+            return NotImplemented
+        return self.compatible_with(other) and bool(
+            np.array_equal(self._counters, other._counters)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - mutable, not hashable
+        raise TypeError("CountSketch is mutable and unhashable")
+
+    # -- introspection / serialization ---------------------------------------
+
+    def l2_norm(self) -> float:
+        """The L2 norm of the counter array (useful as a residual gauge)."""
+        return float(math.sqrt(float((self._counters.astype(np.float64) ** 2).sum())))
+
+    def state_dict(self) -> dict:
+        """Serialize to a plain dict (JSON-compatible except the counters).
+
+        Only sketches built with the default polynomial families (i.e.
+        without explicit ``bucket_hashes``/``sign_hashes``) can be
+        serialized this way; the hash functions are reconstructed from the
+        recorded coefficients.
+        """
+        bucket_coeffs = []
+        sign_coeffs = []
+        for h in self._bucket_hashes:
+            if not isinstance(h, BucketHash) or not isinstance(
+                h.base, PolynomialHash
+            ):
+                raise TypeError(
+                    "state_dict supports only default polynomial hashing"
+                )
+            bucket_coeffs.append(list(h.base.coefficients))
+        for s in self._sign_hashes:
+            if not isinstance(s, SignHash) or not isinstance(
+                s.base, PolynomialHash
+            ):
+                raise TypeError(
+                    "state_dict supports only default polynomial hashing"
+                )
+            sign_coeffs.append(list(s.base.coefficients))
+        return {
+            "depth": self._depth,
+            "width": self._width,
+            "seed": self._seed,
+            "bucket_coefficients": bucket_coeffs,
+            "sign_coefficients": sign_coeffs,
+            "total_weight": self._total_weight,
+            "counters": self._counters.tolist(),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "CountSketch":
+        """Rebuild a sketch serialized by :meth:`state_dict`."""
+        width = state["width"]
+        bucket_hashes = [
+            BucketHash(PolynomialHash(tuple(coeffs)), width)
+            for coeffs in state["bucket_coefficients"]
+        ]
+        sign_hashes = [
+            SignHash(PolynomialHash(tuple(coeffs)))
+            for coeffs in state["sign_coefficients"]
+        ]
+        sketch = cls(
+            state["depth"],
+            width,
+            seed=state.get("seed", 0),
+            bucket_hashes=bucket_hashes,
+            sign_hashes=sign_hashes,
+        )
+        counters = np.asarray(state["counters"], dtype=np.int64)
+        if counters.shape != (state["depth"], width):
+            raise ValueError("counter array shape does not match depth/width")
+        sketch._counters = counters
+        sketch._total_weight = state["total_weight"]
+        return sketch
+
+    def __repr__(self) -> str:
+        return (
+            f"CountSketch(depth={self._depth}, width={self._width}, "
+            f"seed={self._seed}, total_weight={self._total_weight})"
+        )

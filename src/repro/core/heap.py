@@ -1,0 +1,173 @@
+"""An indexed binary min-heap with updatable priorities.
+
+The §3.2 tracker keeps "a heap of the top k elements seen so far" whose
+entries must support three operations the standard library's ``heapq`` does
+not offer directly: membership testing, in-place priority increase (when an
+item already in the heap recurs, its exact count is incremented), and
+eviction of the minimum when a new item displaces it.  This indexed heap
+provides all three in ``O(log n)`` with an item→slot map.
+
+Priorities are floats (estimated counts at insertion time may be fractional
+medians); ties are broken arbitrarily but deterministically by heap order.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+
+class IndexedMinHeap:
+    """A binary min-heap over unique hashable items with float priorities."""
+
+    def __init__(self) -> None:
+        self._items: list[Hashable] = []
+        self._priorities: list[float] = []
+        self._slots: dict[Hashable, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._slots
+
+    def __iter__(self) -> Iterator[tuple[Hashable, float]]:
+        """Iterate over (item, priority) pairs in arbitrary (heap) order."""
+        return iter(zip(self._items, self._priorities))
+
+    def priority(self, item: Hashable) -> float:
+        """Return the current priority of ``item``.
+
+        Raises:
+            KeyError: if ``item`` is not in the heap.
+        """
+        return self._priorities[self._slots[item]]
+
+    def min(self) -> tuple[Hashable, float]:
+        """Return the (item, priority) pair with the smallest priority.
+
+        Raises:
+            IndexError: if the heap is empty.
+        """
+        if not self._items:
+            raise IndexError("min() on empty heap")
+        return self._items[0], self._priorities[0]
+
+    def push(self, item: Hashable, priority: float) -> None:
+        """Insert ``item`` with ``priority``.
+
+        Raises:
+            ValueError: if ``item`` is already present (use
+                :meth:`update` to change an existing priority).
+        """
+        if item in self._slots:
+            raise ValueError(f"item {item!r} already in heap")
+        self._items.append(item)
+        self._priorities.append(priority)
+        self._slots[item] = len(self._items) - 1
+        self._sift_up(len(self._items) - 1)
+
+    def pop_min(self) -> tuple[Hashable, float]:
+        """Remove and return the minimum (item, priority) pair.
+
+        Raises:
+            IndexError: if the heap is empty.
+        """
+        if not self._items:
+            raise IndexError("pop_min() on empty heap")
+        return self._remove_at(0)
+
+    def remove(self, item: Hashable) -> float:
+        """Remove ``item`` and return its priority.
+
+        Raises:
+            KeyError: if ``item`` is not in the heap.
+        """
+        slot = self._slots[item]
+        __, priority = self._remove_at(slot)
+        return priority
+
+    def update(self, item: Hashable, priority: float) -> None:
+        """Set the priority of ``item`` (it must already be present).
+
+        Raises:
+            KeyError: if ``item`` is not in the heap.
+        """
+        slot = self._slots[item]
+        old = self._priorities[slot]
+        self._priorities[slot] = priority
+        if priority < old:
+            self._sift_up(slot)
+        else:
+            self._sift_down(slot)
+
+    def add_to(self, item: Hashable, delta: float) -> float:
+        """Add ``delta`` to the priority of ``item``; return the new value.
+
+        This is the §3.2 "if q_j is in the heap, increment its count"
+        operation.
+
+        Raises:
+            KeyError: if ``item`` is not in the heap.
+        """
+        new_priority = self._priorities[self._slots[item]] + delta
+        self.update(item, new_priority)
+        return new_priority
+
+    def as_sorted_list(self) -> list[tuple[Hashable, float]]:
+        """Return all (item, priority) pairs sorted by priority descending."""
+        return sorted(
+            zip(self._items, self._priorities),
+            key=lambda pair: pair[1],
+            reverse=True,
+        )
+
+    # -- internal sifting ---------------------------------------------------
+
+    def _remove_at(self, slot: int) -> tuple[Hashable, float]:
+        item = self._items[slot]
+        priority = self._priorities[slot]
+        last_item = self._items.pop()
+        last_priority = self._priorities.pop()
+        del self._slots[item]
+        if slot < len(self._items):
+            self._items[slot] = last_item
+            self._priorities[slot] = last_priority
+            self._slots[last_item] = slot
+            if last_priority < priority:
+                self._sift_up(slot)
+            else:
+                self._sift_down(slot)
+        return item, priority
+
+    def _swap(self, a: int, b: int) -> None:
+        self._items[a], self._items[b] = self._items[b], self._items[a]
+        self._priorities[a], self._priorities[b] = (
+            self._priorities[b],
+            self._priorities[a],
+        )
+        self._slots[self._items[a]] = a
+        self._slots[self._items[b]] = b
+
+    def _sift_up(self, slot: int) -> None:
+        while slot > 0:
+            parent = (slot - 1) // 2
+            if self._priorities[slot] < self._priorities[parent]:
+                self._swap(slot, parent)
+                slot = parent
+            else:
+                break
+
+    def _sift_down(self, slot: int) -> None:
+        size = len(self._items)
+        while True:
+            left = 2 * slot + 1
+            right = left + 1
+            smallest = slot
+            if left < size and self._priorities[left] < self._priorities[smallest]:
+                smallest = left
+            if right < size and self._priorities[right] < self._priorities[smallest]:
+                smallest = right
+            if smallest == slot:
+                return
+            self._swap(slot, smallest)
+            slot = smallest

@@ -1,0 +1,276 @@
+"""Hierarchical (dyadic) Count Sketch: heavy hitters without a heap pass.
+
+The §3.2 tracker needs to *see* each item to decide whether it belongs in
+the heap, and the §4.2 max-change algorithm needs a second pass because
+the sketch alone cannot enumerate which items are heavy.  The classic
+remedy (Cormode–Muthukrishnan's dyadic trick, built here on Count Sketch
+rows) is hierarchy: maintain one sketch per prefix level of an integer
+domain ``[0, 2^domain_bits)``, where level ``s`` sketches the item's
+``s``-bit-shifted prefix.  Any item's count is dominated by its prefix's
+count at every level, so heavy items can be found by descending the
+binary prefix tree, expanding only nodes whose estimate clears the
+threshold — ``O(heavy · domain_bits)`` queries, no candidate tracking,
+and full turnstile support (negative updates).
+
+Because every level is a linear Count Sketch, two hierarchical sketches
+with shared parameters subtract — which upgrades the paper's §4.2
+max-change algorithm to **one pass per stream**:
+:func:`heavy_change_items` queries the *difference* hierarchy for items
+with ``|n̂₂ − n̂₁| ≥ threshold`` directly.  The price is ``domain_bits + 1``
+sketches of space and update work, and the restriction to integer item
+domains; experiment X1 (``benchmarks/bench_hierarchical.py``) measures
+the trade against the two-pass algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.countsketch import CountSketch
+
+
+class HierarchicalCountSketch:
+    """A stack of Count Sketches over dyadic prefixes of an int domain.
+
+    Args:
+        domain_bits: items must lie in ``[0, 2**domain_bits)``.
+        depth: rows per level sketch.
+        width: counters per row per level sketch.
+        seed: hash seed; level ``s`` derives its own functions from
+            ``(seed, s)``, and two hierarchies with equal
+            ``(domain_bits, depth, width, seed)`` are subtractable.
+    """
+
+    def __init__(
+        self,
+        domain_bits: int = 24,
+        depth: int = 5,
+        width: int = 512,
+        seed: int = 0,
+    ):
+        if not 1 <= domain_bits <= 62:
+            raise ValueError("domain_bits must be in [1, 62]")
+        self._domain_bits = domain_bits
+        self._depth = depth
+        self._width = width
+        self._seed = seed
+        # Level s sketches item >> s, for s = 0 (leaves) .. domain_bits - 1
+        # (two top-level halves); the implicit root is the whole stream.
+        self._levels = [
+            CountSketch(depth, width, seed=seed * 1_000_003 + s)
+            for s in range(domain_bits)
+        ]
+        self._total_weight = 0
+
+    @property
+    def domain_bits(self) -> int:
+        """Bit width of the item domain."""
+        return self._domain_bits
+
+    @property
+    def domain_size(self) -> int:
+        """Exclusive upper bound of the item domain."""
+        return 1 << self._domain_bits
+
+    @property
+    def total_weight(self) -> int:
+        """Net weight of all updates applied."""
+        return self._total_weight
+
+    def _check_item(self, item: int) -> None:
+        if not isinstance(item, int) or isinstance(item, bool):
+            raise TypeError(
+                "hierarchical sketches require integer items; map your key "
+                "space to ints first (e.g. via repro.hashing.encode)"
+            )
+        if not 0 <= item < self.domain_size:
+            raise ValueError(
+                f"item {item} outside the domain [0, 2**{self._domain_bits})"
+            )
+
+    def update(self, item: int, count: int = 1) -> None:
+        """Apply a (possibly negative) weighted update at every level."""
+        self._check_item(item)
+        for shift, sketch in enumerate(self._levels):
+            sketch.update(item >> shift, count)
+        self._total_weight += count
+
+    def extend(self, stream: Iterable[int]) -> None:
+        """Update once per item of ``stream``."""
+        from collections import Counter
+
+        for item, count in Counter(stream).items():
+            self.update(item, count)
+
+    def estimate(self, item: int) -> float:
+        """Leaf-level estimate of ``item``'s count."""
+        self._check_item(item)
+        return self._levels[0].estimate(item)
+
+    def prefix_estimate(self, prefix: int, shift: int) -> float:
+        """Estimated total count of all items whose top bits are ``prefix``.
+
+        Args:
+            prefix: the prefix value (the item right-shifted by ``shift``).
+            shift: how many low bits the prefix drops; ``0`` is the leaf
+                level.
+        """
+        if not 0 <= shift < self._domain_bits:
+            raise ValueError("shift must be in [0, domain_bits)")
+        return self._levels[shift].estimate(prefix)
+
+    def heavy_hitters(
+        self,
+        threshold: float,
+        absolute: bool = False,
+        expand_levels: int = 8,
+    ) -> list[tuple[int, float]]:
+        """All items whose estimated count clears ``threshold``.
+
+        Descends the dyadic tree, expanding a prefix only while its
+        estimate clears the threshold — correctness relies on prefix
+        counts dominating the counts of the items under them.  That holds
+        exactly for nonnegative streams; for difference/turnstile data
+        pass ``absolute=True`` to threshold ``|estimate|``.  Signed data
+        brings a cancellation hazard: opposite-signed heavy changes under
+        one coarse prefix can cancel and hide each other.  The standard
+        mitigation (implemented here) is to expand the top
+        ``expand_levels`` levels *unconditionally* — pruning only starts
+        once the tree is ``2**expand_levels`` nodes wide, where heavy
+        leaves rarely share a prefix; residual adversarial cancellation
+        deeper down remains possible, an inherent limit of dyadic search
+        over signed data.
+
+        Query cost: ``O(2**expand_levels + hits · domain_bits)``
+        estimates.
+
+        Args:
+            threshold: minimum estimated count.
+            absolute: threshold ``|estimate|`` instead of the signed value
+                (for difference sketches).
+            expand_levels: tree levels expanded without pruning.
+
+        Returns:
+            (item, estimated count) pairs, sorted by magnitude descending.
+        """
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if expand_levels < 1:
+            raise ValueError("expand_levels must be at least 1")
+
+        def clears(value: float) -> bool:
+            return (abs(value) if absolute else value) >= threshold
+
+        # Unconditional expansion of the coarse levels.
+        free_shift = max(0, self._domain_bits - expand_levels)
+        frontier = list(range(1 << (self._domain_bits - free_shift)))
+        # Pruned descent below.
+        for shift in range(free_shift, -1, -1):
+            if shift == free_shift:
+                frontier = [
+                    prefix
+                    for prefix in frontier
+                    if clears(self._levels[shift].estimate(prefix))
+                ]
+            else:
+                frontier = [
+                    child
+                    for prefix in frontier
+                    for child in (2 * prefix, 2 * prefix + 1)
+                    if clears(self._levels[shift].estimate(child))
+                ]
+            if not frontier:
+                return []
+        results = [(item, self._levels[0].estimate(item)) for item in frontier]
+        results.sort(key=lambda pair: abs(pair[1]), reverse=True)
+        return results
+
+    # -- linearity -------------------------------------------------------------
+
+    def compatible_with(self, other: "HierarchicalCountSketch") -> bool:
+        """True iff hierarchy arithmetic with ``other`` is meaningful."""
+        return (
+            isinstance(other, HierarchicalCountSketch)
+            and self._domain_bits == other._domain_bits
+            and self._depth == other._depth
+            and self._width == other._width
+            and self._seed == other._seed
+        )
+
+    def _require_compatible(self, other: "HierarchicalCountSketch") -> None:
+        if not isinstance(other, HierarchicalCountSketch):
+            raise TypeError(
+                f"expected HierarchicalCountSketch, got {type(other).__name__}"
+            )
+        if not self.compatible_with(other):
+            raise ValueError(
+                "hierarchies are not compatible: build both with the same "
+                "(domain_bits, depth, width, seed)"
+            )
+
+    def __sub__(self, other: "HierarchicalCountSketch") -> "HierarchicalCountSketch":
+        """The hierarchy of the difference of the two frequency vectors."""
+        self._require_compatible(other)
+        result = HierarchicalCountSketch(
+            self._domain_bits, self._depth, self._width, self._seed
+        )
+        result._levels = [
+            mine - theirs for mine, theirs in zip(self._levels, other._levels)
+        ]
+        result._total_weight = self._total_weight - other._total_weight
+        return result
+
+    def __add__(self, other: "HierarchicalCountSketch") -> "HierarchicalCountSketch":
+        """The hierarchy of the concatenated streams."""
+        self._require_compatible(other)
+        result = HierarchicalCountSketch(
+            self._domain_bits, self._depth, self._width, self._seed
+        )
+        result._levels = [
+            mine + theirs for mine, theirs in zip(self._levels, other._levels)
+        ]
+        result._total_weight = self._total_weight + other._total_weight
+        return result
+
+    def counters_used(self) -> int:
+        """Counters across all levels: ``domain_bits · t · b``."""
+        return sum(level.counters_used() for level in self._levels)
+
+    def items_stored(self) -> int:
+        """No stream objects are stored."""
+        return 0
+
+    def __repr__(self) -> str:
+        return (
+            f"HierarchicalCountSketch(domain_bits={self._domain_bits}, "
+            f"depth={self._depth}, width={self._width}, seed={self._seed})"
+        )
+
+
+def heavy_change_items(
+    before: Iterable[int],
+    after: Iterable[int],
+    threshold: float,
+    domain_bits: int = 20,
+    depth: int = 5,
+    width: int = 512,
+    seed: int = 0,
+) -> list[tuple[int, float]]:
+    """One-pass-per-stream max-change: items with ``|Δ̂| ≥ threshold``.
+
+    Sketches each stream into a hierarchical Count Sketch (one pass each),
+    subtracts, and searches the difference hierarchy — no second pass, no
+    candidate set, unlike the paper's §4.2 algorithm.  The trade-offs: a
+    ``threshold`` must be chosen (this finds *all* heavy changes rather
+    than the top ``k``), items must be integers in ``[0, 2**domain_bits)``,
+    and space/update cost carry the ``domain_bits`` hierarchy factor.
+
+    Returns:
+        (item, estimated signed change) pairs, largest magnitude first.
+    """
+    sketch_before = HierarchicalCountSketch(domain_bits, depth, width, seed)
+    sketch_after = HierarchicalCountSketch(domain_bits, depth, width, seed)
+    sketch_before.extend(before)
+    sketch_after.extend(after)
+    difference = sketch_after - sketch_before
+    return difference.heavy_hitters(threshold, absolute=True)

@@ -1,0 +1,227 @@
+"""The §4.2 two-pass max-change algorithm.
+
+Given two streams ``S1`` and ``S2`` (e.g. last week's and this week's query
+logs), find the items ``q`` maximizing ``|n_q(S2) − n_q(S1)|``.  The paper's
+algorithm exploits sketch linearity:
+
+* **Pass 1** — subtract every item of ``S1`` from a Count Sketch
+  (``h_i[q] -= s_i[q]``) and add every item of ``S2``.  The sketch now
+  summarizes the *difference vector*, so ``ESTIMATE`` returns
+  ``n̂_q ≈ n_q(S2) − n_q(S1)``.
+* **Pass 2** — replay both streams; maintain the set ``A`` of the ``l``
+  items encountered with the largest ``|n̂_q|``, and keep exact occurrence
+  counts in each stream for every member of ``A``.  Once evicted, an item is
+  never re-admitted, so the exact counts of every final member are complete
+  (its admission criterion ``|n̂_q|`` is fixed after pass 1, hence it was
+  admitted at its *first* encounter and counted ever since).
+* **Report** — the ``k`` members of ``A`` with the largest exact
+  ``|n_q(S2) − n_q(S1)|``.
+
+The analogue of Lemma 5 holds with ``n_q`` replaced by ``Δ_q = |n_q(S1) −
+n_q(S2)|`` (experiment E7 measures recovery quality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from repro.core.countsketch import CountSketch
+from repro.core.heap import IndexedMinHeap
+
+
+@dataclass(frozen=True)
+class ChangeReport:
+    """One item's result from the max-change algorithm."""
+
+    item: Hashable
+    #: Exact occurrences in the first stream (counted during pass 2).
+    count_before: int
+    #: Exact occurrences in the second stream (counted during pass 2).
+    count_after: int
+    #: The sketch's estimate of ``count_after - count_before`` after pass 1.
+    estimated_change: float
+
+    @property
+    def change(self) -> int:
+        """The exact signed change ``count_after − count_before``."""
+        return self.count_after - self.count_before
+
+    @property
+    def abs_change(self) -> int:
+        """The exact absolute change the algorithm ranks by."""
+        return abs(self.change)
+
+
+class MaxChangeFinder:
+    """Two-pass finder of the items with the largest frequency change.
+
+    Args:
+        l: size of the exact-count candidate set ``A`` maintained in pass 2.
+        sketch: optional explicit difference sketch.
+        depth: rows of the internal sketch (when ``sketch`` is not given).
+        width: counters per row of the internal sketch.
+        seed: seed for the internal sketch.
+    """
+
+    def __init__(
+        self,
+        l: int,
+        sketch: CountSketch | None = None,
+        depth: int | None = None,
+        width: int | None = None,
+        seed: int = 0,
+    ):
+        if l < 1:
+            raise ValueError("l must be at least 1")
+        if sketch is None:
+            if depth is None or width is None:
+                raise ValueError(
+                    "provide either a sketch or both depth and width"
+                )
+            sketch = CountSketch(depth, width, seed=seed)
+        elif depth is not None or width is not None:
+            raise ValueError("pass either a sketch or depth/width, not both")
+        self._l = l
+        self._sketch = sketch
+        # Pass-2 state.
+        self._candidates = IndexedMinHeap()  # keyed by |estimated change|
+        self._evicted: set[Hashable] = set()
+        self._before_counts: dict[Hashable, int] = {}
+        self._after_counts: dict[Hashable, int] = {}
+        self._estimates: dict[Hashable, float] = {}
+
+    @property
+    def l(self) -> int:
+        """Capacity of the exact-count candidate set."""
+        return self._l
+
+    @property
+    def sketch(self) -> CountSketch:
+        """The difference sketch built in pass 1."""
+        return self._sketch
+
+    # -- pass 1 ---------------------------------------------------------------
+
+    def observe_before(self, item: Hashable, count: int = 1) -> None:
+        """Pass 1 over ``S1``: ``h_i[q] -= s_i[q]`` (weighted)."""
+        self._sketch.update(item, -count)
+
+    def observe_after(self, item: Hashable, count: int = 1) -> None:
+        """Pass 1 over ``S2``: ``h_i[q] += s_i[q]`` (weighted)."""
+        self._sketch.update(item, count)
+
+    def first_pass(
+        self, before: Iterable[Hashable], after: Iterable[Hashable]
+    ) -> None:
+        """Run pass 1 over both streams."""
+        for item in before:
+            self.observe_before(item)
+        for item in after:
+            self.observe_after(item)
+
+    # -- pass 2 ---------------------------------------------------------------
+
+    def _admit(self, item: Hashable) -> bool:
+        """Consider ``item`` for the candidate set; return membership."""
+        if item in self._candidates:
+            return True
+        if item in self._evicted:
+            return False
+        magnitude = abs(self._sketch.estimate(item))
+        if len(self._candidates) < self._l:
+            self._candidates.push(item, magnitude)
+        else:
+            __, smallest = self._candidates.min()
+            if magnitude <= smallest:
+                self._evicted.add(item)
+                return False
+            loser, __ = self._candidates.pop_min()
+            self._evicted.add(loser)
+            self._before_counts.pop(loser, None)
+            self._after_counts.pop(loser, None)
+            self._estimates.pop(loser, None)
+            self._candidates.push(item, magnitude)
+        self._before_counts.setdefault(item, 0)
+        self._after_counts.setdefault(item, 0)
+        self._estimates[item] = self._sketch.estimate(item)
+        return True
+
+    def second_pass_before(self, item: Hashable, count: int = 1) -> None:
+        """Pass 2 step for one occurrence group of ``item`` in ``S1``."""
+        if self._admit(item):
+            self._before_counts[item] += count
+
+    def second_pass_after(self, item: Hashable, count: int = 1) -> None:
+        """Pass 2 step for one occurrence group of ``item`` in ``S2``."""
+        if self._admit(item):
+            self._after_counts[item] += count
+
+    def second_pass(
+        self, before: Iterable[Hashable], after: Iterable[Hashable]
+    ) -> None:
+        """Run pass 2 over both streams (``S1`` first, then ``S2``)."""
+        for item in before:
+            self.second_pass_before(item)
+        for item in after:
+            self.second_pass_after(item)
+
+    # -- reporting --------------------------------------------------------------
+
+    def report(self, k: int) -> list[ChangeReport]:
+        """The ``k`` candidates with the largest exact absolute change."""
+        if k < 0:
+            raise ValueError("k must be nonnegative")
+        reports = [
+            ChangeReport(
+                item=item,
+                count_before=self._before_counts[item],
+                count_after=self._after_counts[item],
+                estimated_change=self._estimates[item],
+            )
+            for item, __ in self._candidates
+        ]
+        reports.sort(key=lambda r: r.abs_change, reverse=True)
+        return reports[:k]
+
+    def counters_used(self) -> int:
+        """Sketch counters plus two exact counters per candidate."""
+        return self._sketch.counters_used() + 2 * len(self._candidates)
+
+    def items_stored(self) -> int:
+        """Stored stream objects: the candidate set members."""
+        return len(self._candidates)
+
+    def __repr__(self) -> str:
+        return (
+            f"MaxChangeFinder(l={self._l}, sketch={self._sketch!r}, "
+            f"candidates={len(self._candidates)})"
+        )
+
+
+def find_max_change(
+    before,
+    after,
+    k: int,
+    l: int | None = None,
+    depth: int = 5,
+    width: int = 512,
+    seed: int = 0,
+) -> list[ChangeReport]:
+    """One-shot convenience wrapper around :class:`MaxChangeFinder`.
+
+    Args:
+        before: the first stream, as a re-iterable sequence.
+        after: the second stream, as a re-iterable sequence.
+        k: how many max-change items to report.
+        l: candidate set size (defaults to ``4k``).
+        depth: sketch rows.
+        width: sketch width.
+        seed: sketch seed.
+    """
+    if l is None:
+        l = 4 * k
+    finder = MaxChangeFinder(l, depth=depth, width=width, seed=seed)
+    finder.first_pass(before, after)
+    finder.second_pass(before, after)
+    return finder.report(k)

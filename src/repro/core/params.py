@@ -1,0 +1,128 @@
+"""Executable versions of the paper's parameter settings (§4).
+
+The analysis fixes the sketch dimensions from three quantities:
+
+* Eq. (5): ``γ = sqrt( Σ_{q' = k+1..m} n_{q'}² / b )`` — the error scale;
+  Lemma 4 guarantees all estimates are within ``8γ`` of truth w.h.p.
+* Lemma 5: ``b ≥ 8 · max(k, 32 · Σ_{q' > k} n_{q'}² / (ε · n_k)²)`` makes the
+  tracker solve APPROXTOP(S, k, ε).
+* Lemma 3: ``t = Θ(log(n/δ))`` drives the per-estimate failure probability
+  below ``δ/n`` so a union bound covers every stream position.
+
+These functions take the tail second moment ``Σ_{q'>k} n_{q'}²`` as an
+input; :mod:`repro.analysis.ground_truth` computes it exactly for synthetic
+workloads and :meth:`repro.core.countsketch.CountSketch.estimate_f2` can
+approximate it online.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def gamma(tail_second_moment: float, width: int) -> float:
+    """Eq. (5): the error scale ``γ = sqrt(tail_second_moment / b)``.
+
+    Args:
+        tail_second_moment: ``Σ_{q' = k+1..m} n_{q'}²`` — the second moment
+            of the stream excluding the ``k`` heaviest items.
+        width: the sketch width ``b``.
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    if tail_second_moment < 0:
+        raise ValueError("tail second moment cannot be negative")
+    return math.sqrt(tail_second_moment / width)
+
+
+def error_bound(tail_second_moment: float, width: int) -> float:
+    """Lemma 4's high-probability additive error bound: ``8γ``."""
+    return 8.0 * gamma(tail_second_moment, width)
+
+
+def width_for_approxtop(
+    k: int, epsilon: float, nk: float, tail_second_moment: float
+) -> int:
+    """Lemma 5's width: ``b = ceil(8 · max(k, 32 · tail / (ε·n_k)²))``.
+
+    Args:
+        k: number of frequent items sought.
+        epsilon: the APPROXTOP slack ``ε`` (items reported are guaranteed to
+            have count ≥ (1−ε)·n_k).
+        nk: the count ``n_k`` of the k-th most frequent item.
+        tail_second_moment: ``Σ_{q' > k} n_{q'}²``.
+
+    Returns:
+        The smallest integer width satisfying Lemma 5's condition.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    if not 0 < epsilon <= 1:
+        raise ValueError("epsilon must be in (0, 1]")
+    if nk <= 0:
+        raise ValueError("n_k must be positive")
+    if tail_second_moment < 0:
+        raise ValueError("tail second moment cannot be negative")
+    variance_term = 32.0 * tail_second_moment / (epsilon * nk) ** 2
+    return math.ceil(8.0 * max(float(k), variance_term))
+
+
+def suggest_depth(n: int, delta: float = 0.01, constant: float = 1.0) -> int:
+    """Lemma 3's depth: the smallest odd ``t ≥ constant · ln(n/δ)``.
+
+    Odd depths make the median a single row value (an integer count), which
+    both matches the paper's presentation and simplifies downstream
+    reasoning.  The Θ-constant is exposed because the paper leaves it
+    unspecified; 1.0 with natural log is comfortably sufficient in practice
+    (experiment E3 measures the actual decay).
+
+    Args:
+        n: stream length (the union bound in Lemma 4 is over positions).
+        delta: overall failure probability budget δ.
+        constant: multiplier on ``ln(n/δ)``.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if not 0 < delta < 1:
+        raise ValueError("delta must be in (0, 1)")
+    if constant <= 0:
+        raise ValueError("constant must be positive")
+    t = max(1, math.ceil(constant * math.log(n / delta)))
+    if t % 2 == 0:
+        t += 1
+    return t
+
+
+@dataclass(frozen=True)
+class SketchParameters:
+    """A (depth, width) pair with the provenance of how it was derived."""
+
+    depth: int
+    width: int
+
+    def counters(self) -> int:
+        """Total counters ``t·b`` — the space the paper accounts."""
+        return self.depth * self.width
+
+    @classmethod
+    def for_approxtop(
+        cls,
+        k: int,
+        epsilon: float,
+        nk: float,
+        tail_second_moment: float,
+        n: int,
+        delta: float = 0.01,
+        depth_constant: float = 1.0,
+    ) -> "SketchParameters":
+        """Dimension a sketch per Theorem 1 for APPROXTOP(S, k, ε).
+
+        Combines Lemma 5's width with Lemma 3's depth; the resulting space
+        ``t·b`` is exactly the Theorem 1 bound
+        ``O((k + tail/( ε·n_k)²) · log(n/δ))``.
+        """
+        return cls(
+            depth=suggest_depth(n, delta, depth_constant),
+            width=width_for_approxtop(k, epsilon, nk, tail_second_moment),
+        )

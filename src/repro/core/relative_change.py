@@ -1,0 +1,184 @@
+"""Max-*percent*-change finder — the paper's §5 open problem.
+
+The conclusion notes: "there is still an open problem of finding the
+elements with the max-percent change, or other objective functions that
+somehow balance absolute and relative changes."  This module implements a
+practical two-sketch heuristic for it, documented as an extension rather
+than a claim from the paper.
+
+Design: keep *separate* sketches for ``S1`` and ``S2`` (same hash
+functions, so their difference is also available exactly).  In the second
+pass, score each first-encountered item by a smoothed relative change
+
+    score(q) = |n̂₂(q) − n̂₁(q)| / max(n̂₁(q), floor)
+
+and keep exact counts for the ``l`` highest-scoring items, reporting the
+top ``k`` by exact relative change.  The ``floor`` (additive smoothing)
+is what "balances absolute and relative changes": without it, noise items
+with n̂₁ ≈ 0 dominate; as ``floor → ∞`` the objective degrades to absolute
+change.  The guarantees are inherited per sketch (Lemma 4 per stream),
+but the ratio of two estimates carries no clean w.h.p. bound — which is
+presumably why the paper left it open.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from repro.core.countsketch import CountSketch
+from repro.core.heap import IndexedMinHeap
+
+
+@dataclass(frozen=True)
+class RelativeChangeReport:
+    """One item's result from the max-percent-change heuristic."""
+
+    item: Hashable
+    count_before: int
+    count_after: int
+
+    @property
+    def ratio(self) -> float:
+        """Exact smoothed growth ratio ``after / max(before, 1)``."""
+        return self.count_after / max(self.count_before, 1)
+
+    @property
+    def percent_change(self) -> float:
+        """Exact smoothed percent change (positive = growth)."""
+        return (self.count_after - self.count_before) / max(
+            self.count_before, 1
+        )
+
+
+class RelativeChangeFinder:
+    """Two-pass max-percent-change finder (extension; see module docs).
+
+    Args:
+        l: exact-count candidate set size.
+        floor: additive smoothing floor for the pass-2 score; items whose
+            before-estimate is below this are scored as if it were this.
+        depth: rows per sketch.
+        width: counters per row per sketch.
+        seed: hash seed (shared by both sketches).
+    """
+
+    def __init__(
+        self,
+        l: int,
+        floor: float = 8.0,
+        depth: int = 5,
+        width: int = 512,
+        seed: int = 0,
+    ):
+        if l < 1:
+            raise ValueError("l must be at least 1")
+        if floor <= 0:
+            raise ValueError("floor must be positive")
+        self._l = l
+        self._floor = floor
+        self._before_sketch = CountSketch(depth, width, seed=seed)
+        self._after_sketch = CountSketch(depth, width, seed=seed)
+        self._candidates = IndexedMinHeap()  # priority = score
+        self._evicted: set[Hashable] = set()
+        self._before_counts: dict[Hashable, int] = {}
+        self._after_counts: dict[Hashable, int] = {}
+
+    @property
+    def l(self) -> int:
+        """Candidate set capacity."""
+        return self._l
+
+    def first_pass(
+        self, before: Iterable[Hashable], after: Iterable[Hashable]
+    ) -> None:
+        """Sketch each stream separately (shared hash functions)."""
+        for item in before:
+            self._before_sketch.update(item)
+        for item in after:
+            self._after_sketch.update(item)
+
+    def _score(self, item: Hashable) -> float:
+        before = self._before_sketch.estimate(item)
+        after = self._after_sketch.estimate(item)
+        return abs(after - before) / max(before, self._floor)
+
+    def _admit(self, item: Hashable) -> bool:
+        if item in self._candidates:
+            return True
+        if item in self._evicted:
+            return False
+        score = self._score(item)
+        if len(self._candidates) < self._l:
+            self._candidates.push(item, score)
+        else:
+            __, smallest = self._candidates.min()
+            if score <= smallest:
+                self._evicted.add(item)
+                return False
+            loser, __ = self._candidates.pop_min()
+            self._evicted.add(loser)
+            self._before_counts.pop(loser, None)
+            self._after_counts.pop(loser, None)
+            self._candidates.push(item, score)
+        self._before_counts.setdefault(item, 0)
+        self._after_counts.setdefault(item, 0)
+        return True
+
+    def second_pass(
+        self, before: Iterable[Hashable], after: Iterable[Hashable]
+    ) -> None:
+        """Exact-count the highest-scoring candidates (S1 then S2)."""
+        for item in before:
+            if self._admit(item):
+                self._before_counts[item] += 1
+        for item in after:
+            if self._admit(item):
+                self._after_counts[item] += 1
+
+    def report(self, k: int, min_after: int = 0) -> list[RelativeChangeReport]:
+        """The ``k`` candidates with the largest exact |percent change|.
+
+        Args:
+            k: how many items to report.
+            min_after: optionally require at least this many occurrences
+                in the second stream (suppresses vanished-noise items when
+                hunting for *growth*).
+        """
+        if k < 0:
+            raise ValueError("k must be nonnegative")
+        reports = [
+            RelativeChangeReport(
+                item=item,
+                count_before=self._before_counts[item],
+                count_after=self._after_counts[item],
+            )
+            for item, __ in self._candidates
+            if self._after_counts[item] >= min_after
+        ]
+        # Rank by the same smoothed objective the admission score uses, so
+        # the floor consistently balances absolute vs relative change.
+        reports.sort(
+            key=lambda r: abs(r.count_after - r.count_before)
+            / max(r.count_before, self._floor),
+            reverse=True,
+        )
+        return reports[:k]
+
+    def counters_used(self) -> int:
+        """Both sketches plus two exact counters per candidate."""
+        return (
+            self._before_sketch.counters_used()
+            + self._after_sketch.counters_used()
+            + 2 * len(self._candidates)
+        )
+
+    def items_stored(self) -> int:
+        """Stored stream objects: the candidate set."""
+        return len(self._candidates)
+
+    def __repr__(self) -> str:
+        return (
+            f"RelativeChangeFinder(l={self._l}, floor={self._floor}, "
+            f"candidates={len(self._candidates)})"
+        )

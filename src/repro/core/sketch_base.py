@@ -1,0 +1,70 @@
+"""Shared interfaces for stream summaries.
+
+Every algorithm in this library — the Count Sketch tracker and all the
+baselines — consumes a stream one item at a time and answers questions about
+item frequencies afterwards.  Two protocols capture the two capability
+levels:
+
+* :class:`FrequencyEstimator` — can estimate the count of *any* item
+  (sketches, exact counters).
+* :class:`StreamSummary` — can report a list of (item, estimated count)
+  pairs for the heaviest items (every top-k style algorithm).
+
+The experiment harness is written against these protocols, which is what
+lets one harness sweep Count Sketch and every baseline uniformly.
+
+Space accounting is part of the interface: the paper compares algorithms by
+the number of *counters* and *stored objects* they hold (see §5), so every
+summary reports both, in those units, rather than Python object sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class FrequencyEstimator(Protocol):
+    """A summary that can estimate the frequency of any queried item."""
+
+    def update(self, item: Hashable, count: int = 1) -> None:
+        """Record ``count`` additional occurrences of ``item``."""
+        ...
+
+    def estimate(self, item: Hashable) -> float:
+        """Return the estimated number of occurrences of ``item``."""
+        ...
+
+
+@runtime_checkable
+class StreamSummary(Protocol):
+    """A summary that can report the heaviest items it has tracked."""
+
+    def update(self, item: Hashable, count: int = 1) -> None:
+        """Record ``count`` additional occurrences of ``item``."""
+        ...
+
+    def top(self, k: int) -> list[tuple[Hashable, float]]:
+        """Return up to ``k`` (item, estimated count) pairs, heaviest first."""
+        ...
+
+    def counters_used(self) -> int:
+        """Number of numeric counters the summary currently holds."""
+        ...
+
+    def items_stored(self) -> int:
+        """Number of stream objects (keys) the summary currently stores."""
+        ...
+
+
+def consume(summary: FrequencyEstimator | StreamSummary,
+            stream: Iterable[Hashable]) -> None:
+    """Feed every item of ``stream`` into ``summary`` in order.
+
+    A convenience used throughout the examples, tests, and experiments;
+    algorithms that need to see items one at a time (heap-based trackers)
+    and algorithms that could batch (pure sketches) both accept this path.
+    """
+    update = summary.update
+    for item in stream:
+        update(item)

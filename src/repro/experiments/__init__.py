@@ -1,0 +1,26 @@
+"""The experiment harness: one module per paper artifact.
+
+Every module exposes ``run(config) -> rows`` returning plain dataclass rows,
+``format_report(rows) -> str`` rendering the paper-style table, and a
+``main()`` entry point so each experiment is runnable directly::
+
+    python -m repro.experiments.table1
+
+The experiment ids (E1–E8, A1–A3, T1) and their mapping to the paper's
+table/lemmas are indexed in DESIGN.md; measured-vs-paper results are
+recorded in EXPERIMENTS.md.
+"""
+
+from repro.experiments.harness import (
+    fit_power_law,
+    geometric_grid,
+    minimal_passing_value,
+)
+from repro.experiments.report import format_table
+
+__all__ = [
+    "fit_power_law",
+    "format_table",
+    "geometric_grid",
+    "minimal_passing_value",
+]

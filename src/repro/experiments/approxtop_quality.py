@@ -1,0 +1,137 @@
+"""E4 — the APPROXTOP(S, k, ε) guarantee (Lemma 5 / Theorem 1).
+
+Dimension the tracker exactly as Lemma 5 prescribes —
+``b = 8·max(k, 32·Σ_{q'>k} n_{q'}²/(ε·n_k)²)`` and ``t = Θ(log n/δ)`` — run
+it over Zipf streams, and test the two §1 guarantees:
+
+* **weak**: every reported item has true count ≥ (1−ε)·n_k;
+* **strong**: every item with true count ≥ (1+ε)·n_k is reported.
+
+Because Lemma 5's constants (8·32 = 256/ε²) are worst-case, the experiment
+also evaluates the same guarantees at ``b/16`` and ``b/64``, recording how
+much slack the analysis leaves on realistic inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.ground_truth import StreamStatistics
+from repro.analysis.metrics import approxtop_strong_ok, approxtop_weak_ok
+from repro.core.params import suggest_depth, width_for_approxtop
+from repro.core.topk import TopKTracker
+from repro.experiments.report import format_table
+from repro.streams.zipf import ZipfStreamGenerator
+
+
+@dataclass(frozen=True)
+class ApproxTopConfig:
+    """Workload parameters for the APPROXTOP guarantee experiment."""
+
+    m: int = 5_000
+    n: int = 50_000
+    k: int = 20
+    zs: tuple[float, ...] = (0.8, 1.1)
+    epsilons: tuple[float, ...] = (0.25, 0.5)
+    delta: float = 0.05
+    depth_constant: float = 0.5
+    stream_seed: int = 17
+    sketch_seeds: tuple[int, ...] = (0, 1, 2)
+    width_fractions: tuple[int, ...] = (1, 16, 64)
+    max_width: int = 1 << 20
+
+
+@dataclass(frozen=True)
+class ApproxTopRow:
+    """Guarantee success rates for one (z, ε, width fraction) cell."""
+
+    z: float
+    epsilon: float
+    width_fraction: int
+    depth: int
+    width: int
+    weak_rate: float
+    strong_rate: float
+
+
+def run(config: ApproxTopConfig = ApproxTopConfig()) -> list[ApproxTopRow]:
+    """Evaluate the guarantees across (z, ε) at several width fractions."""
+    depth = suggest_depth(config.n, config.delta, config.depth_constant)
+    rows = []
+    for z in config.zs:
+        stream = ZipfStreamGenerator(
+            config.m, z, seed=config.stream_seed
+        ).generate(config.n)
+        stats = StreamStatistics(counts=stream.counts())
+        nk = stats.nk(config.k)
+        tail = stats.tail_second_moment(config.k)
+        for epsilon in config.epsilons:
+            full_width = min(
+                width_for_approxtop(config.k, epsilon, nk, tail),
+                config.max_width,
+            )
+            for fraction in config.width_fractions:
+                width = max(config.k, full_width // fraction)
+                weak = strong = 0
+                for seed in config.sketch_seeds:
+                    tracker = TopKTracker(
+                        config.k, depth=depth, width=width, seed=seed
+                    )
+                    for item in stream:
+                        tracker.update(item)
+                    reported = [item for item, __ in tracker.top()]
+                    weak += approxtop_weak_ok(
+                        reported, stats, config.k, epsilon
+                    )
+                    strong += approxtop_strong_ok(
+                        reported, stats, config.k, epsilon
+                    )
+                trials = len(config.sketch_seeds)
+                rows.append(
+                    ApproxTopRow(
+                        z=z,
+                        epsilon=epsilon,
+                        width_fraction=fraction,
+                        depth=depth,
+                        width=width,
+                        weak_rate=weak / trials,
+                        strong_rate=strong / trials,
+                    )
+                )
+    return rows
+
+
+def lemma5_rows_all_pass(rows: list[ApproxTopRow]) -> bool:
+    """True iff every full-Lemma-5-width row passed both guarantees."""
+    return all(
+        r.weak_rate == 1.0 and r.strong_rate == 1.0
+        for r in rows
+        if r.width_fraction == 1
+    )
+
+
+def format_report(rows: list[ApproxTopRow], config: ApproxTopConfig) -> str:
+    """Render the guarantee table."""
+    return format_table(
+        ["z", "eps", "b = Lemma5/", "depth t", "width b", "weak ok",
+         "strong ok"],
+        [
+            [r.z, r.epsilon, r.width_fraction, r.depth, r.width,
+             r.weak_rate, r.strong_rate]
+            for r in rows
+        ],
+        title=(
+            f"E4 / Lemma 5 & Theorem 1 — APPROXTOP guarantees; "
+            f"m={config.m}, n={config.n}, k={config.k}"
+        ),
+    )
+
+
+def main() -> None:
+    """Run E4 at the default configuration and print the report."""
+    config = ApproxTopConfig()
+    print(format_report(run(config), config))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""E3 — failure probability versus sketch depth (Lemma 3).
+
+Lemma 3 proves the per-item probability that the median estimate deviates
+by more than ``8γ`` decays exponentially in the depth ``t`` (the Chernoff
+bound over rows), which is what lets ``t = Θ(log n/δ)`` union-bound over
+the whole stream.  This experiment fixes the width, sweeps ``t``, and
+measures the fraction of (item, sketch-seed) pairs whose estimate deviates
+by more than ``8γ`` — and, because ``8γ`` failures become unobservably rare
+almost immediately, also by more than the *tighter* thresholds ``2γ`` and
+``γ``, where the exponential decay is visible over several decades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.ground_truth import StreamStatistics
+from repro.core.countsketch import CountSketch
+from repro.core.params import gamma
+from repro.experiments.report import format_table
+from repro.streams.zipf import ZipfStreamGenerator
+
+
+@dataclass(frozen=True)
+class FailureVsTConfig:
+    """Workload parameters for the failure-vs-depth sweep."""
+
+    m: int = 5_000
+    n: int = 50_000
+    z: float = 1.0
+    k: int = 10
+    width: int = 64
+    depths: tuple[int, ...] = (1, 3, 5, 7, 9, 13)
+    stream_seed: int = 5
+    sketch_seeds: tuple[int, ...] = tuple(range(40))
+    query_ranks: int = 200
+
+
+@dataclass(frozen=True)
+class FailureVsTRow:
+    """Failure rates at one depth, pooled over seeds and query items."""
+
+    depth: int
+    trials: int
+    fail_rate_1g: float
+    fail_rate_2g: float
+    fail_rate_8g: float
+
+
+def run(config: FailureVsTConfig = FailureVsTConfig()) -> list[FailureVsTRow]:
+    """Sweep the depth and measure deviation rates at γ, 2γ, and 8γ."""
+    stream = ZipfStreamGenerator(
+        config.m, config.z, seed=config.stream_seed
+    ).generate(config.n)
+    counts = stream.counts()
+    stats = StreamStatistics(counts=counts)
+    scale = gamma(stats.tail_second_moment(config.k), config.width)
+    queries = [item for item, __ in stats.top_k(config.query_ranks)]
+
+    rows = []
+    for depth in config.depths:
+        deviations: list[float] = []
+        for seed in config.sketch_seeds:
+            sketch = CountSketch(depth, config.width, seed=seed)
+            sketch.update_counts(counts)
+            deviations.extend(
+                abs(sketch.estimate(item) - counts[item]) for item in queries
+            )
+        deviations_arr = np.asarray(deviations)
+        rows.append(
+            FailureVsTRow(
+                depth=depth,
+                trials=len(deviations),
+                fail_rate_1g=float((deviations_arr > scale).mean()),
+                fail_rate_2g=float((deviations_arr > 2 * scale).mean()),
+                fail_rate_8g=float((deviations_arr > 8 * scale).mean()),
+            )
+        )
+    return rows
+
+
+def decay_is_exponential(rows: list[FailureVsTRow],
+                         threshold_attr: str = "fail_rate_1g") -> bool:
+    """Check the Lemma 3 shape: failure rates non-increasing in ``t`` and
+    dropping by at least 2x from the shallowest to the deepest sketch
+    (unless already at zero)."""
+    rates = [getattr(r, threshold_attr) for r in rows]
+    nonincreasing = all(
+        rates[i + 1] <= rates[i] + 1e-9 for i in range(len(rates) - 1)
+    )
+    if rates[0] == 0:
+        return nonincreasing
+    return nonincreasing and (rates[-1] <= rates[0] / 2 or rates[-1] == 0)
+
+
+def format_report(rows: list[FailureVsTRow], config: FailureVsTConfig) -> str:
+    """Render the sweep."""
+    table = format_table(
+        ["depth t", "trials", "P[err > g]", "P[err > 2g]", "P[err > 8g]"],
+        [
+            [r.depth, r.trials, r.fail_rate_1g, r.fail_rate_2g, r.fail_rate_8g]
+            for r in rows
+        ],
+        title=(
+            f"E3 / Lemma 3 — failure rate vs depth; zipf(z={config.z}, "
+            f"m={config.m}), n={config.n}, b={config.width}"
+        ),
+    )
+    return table
+
+
+def main() -> None:
+    """Run E3 at the default configuration and print the report."""
+    config = FailureVsTConfig()
+    print(format_report(run(config), config))
+
+
+if __name__ == "__main__":
+    main()

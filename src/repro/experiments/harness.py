@@ -1,0 +1,112 @@
+"""Shared experiment machinery: sweeps, searches, and scaling fits.
+
+Three tools cover what the experiments need:
+
+* :func:`geometric_grid` — the parameter grids every sweep walks.
+* :func:`minimal_passing_value` — "the smallest width at which the
+  algorithm succeeds", the measurement Table 1's space comparison is built
+  from.  Success is probabilistic, so the predicate is evaluated over
+  several seeds and must pass a success-rate threshold.
+* :func:`fit_power_law` — log–log least-squares slope, used to check the
+  §4.1 scaling *shapes* (e.g. ``b ∝ m^{1−2z}``) without caring about the
+  big-O constants the paper leaves free.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+
+def geometric_grid(lo: int, hi: int, factor: float = 2.0) -> list[int]:
+    """Integers from ``lo`` to ``hi`` (inclusive) spaced by ``factor``.
+
+    Args:
+        lo: first grid point (≥ 1).
+        hi: inclusive upper bound; appended if the last step overshoots.
+        factor: multiplicative spacing (> 1).
+    """
+    if lo < 1 or hi < lo:
+        raise ValueError("need 1 <= lo <= hi")
+    if factor <= 1:
+        raise ValueError("factor must exceed 1")
+    grid = []
+    value = float(lo)
+    while value < hi:
+        point = int(round(value))
+        if not grid or point > grid[-1]:
+            grid.append(point)
+        value *= factor
+    if not grid or grid[-1] != hi:
+        grid.append(hi)
+    return grid
+
+
+def minimal_passing_value(
+    predicate: Callable[[int, int], bool],
+    grid: Sequence[int],
+    seeds: Sequence[int] = (0, 1, 2),
+    success_rate: float = 0.75,
+) -> int | None:
+    """Smallest grid value where ``predicate(value, seed)`` passes often
+    enough.
+
+    Walks ``grid`` in increasing order and returns the first value whose
+    success rate over ``seeds`` reaches ``success_rate`` — a randomized
+    algorithm's "required space" measured the way the paper's w.h.p.
+    statements define it.  Returns ``None`` if no grid value passes.
+
+    Args:
+        predicate: ``(value, seed) -> bool`` success test.
+        grid: candidate values, ascending.
+        seeds: seeds to evaluate each value at.
+        success_rate: fraction of seeds that must pass.
+    """
+    if not 0 < success_rate <= 1:
+        raise ValueError("success_rate must be in (0, 1]")
+    needed = math.ceil(success_rate * len(seeds))
+    for value in grid:
+        passes = 0
+        for index, seed in enumerate(seeds):
+            if predicate(value, seed):
+                passes += 1
+            # Early exit when success is already impossible.
+            remaining = len(seeds) - index - 1
+            if passes + remaining < needed:
+                break
+        if passes >= needed:
+            return value
+    return None
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """The least-squares slope of ``log y`` against ``log x``.
+
+    For measurements following ``y = C·x^a`` this returns ``a`` regardless
+    of ``C`` — exactly the exponent the §4.1 scaling claims predict.
+
+    Raises:
+        ValueError: on fewer than two points or nonpositive values.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) pairs of equal length")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fit requires positive values")
+    log_x = [math.log(x) for x in xs]
+    log_y = [math.log(y) for y in ys]
+    mean_x = sum(log_x) / len(log_x)
+    mean_y = sum(log_y) / len(log_y)
+    numerator = sum(
+        (lx - mean_x) * (ly - mean_y) for lx, ly in zip(log_x, log_y)
+    )
+    denominator = sum((lx - mean_x) ** 2 for lx in log_x)
+    if denominator == 0:
+        raise ValueError("all x values are identical")
+    return numerator / denominator
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (empty input raises)."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)

@@ -1,0 +1,137 @@
+"""X4 — extension: the smoothing floor of the max-percent-change finder.
+
+The §5 open problem asks for objectives that "somehow balance absolute
+and relative changes"; the :class:`~repro.core.relative_change.
+RelativeChangeFinder` balances them with one knob, the smoothing floor.
+This experiment sweeps the floor on a workload containing
+
+* a **sleeper hit** (a meaningful item growing 20×, the intended catch),
+* **flicker noise** (many items going 0→small, huge ratios, no substance),
+* a **large absolute mover** (already-heavy item growing 1.5×),
+
+and reports which of the three each floor setting ranks first — making
+the knob's behaviour concrete: low floors chase flickers, very high
+floors degrade to absolute change, the middle band finds the sleeper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.relative_change import RelativeChangeFinder
+from repro.experiments.report import format_table
+
+
+@dataclass(frozen=True)
+class FloorSweepConfig:
+    """Workload parameters for the floor sweep."""
+
+    floors: tuple[float, ...] = (1.0, 16.0, 256.0, 16_384.0)
+    l: int = 30
+    depth: int = 5
+    width: int = 1024
+    seed: int = 79
+    noise_items: int = 60
+    sleeper_before: int = 40
+    sleeper_after: int = 800
+    heavy_before: int = 8_000
+    heavy_after: int = 12_000
+    background_items: int = 400
+    background_count: int = 50
+
+
+@dataclass(frozen=True)
+class FloorSweepRow:
+    """Outcome at one floor value."""
+
+    floor: float
+    top_item_kind: str  # 'sleeper' | 'flicker' | 'heavy' | 'background'
+    sleeper_rank: int | None  # 1-based rank in the report, None if absent
+
+
+def _build_streams(config: FloorSweepConfig):
+    rng = np.random.default_rng(config.seed)
+    before: list = []
+    after: list = []
+    # Stable background mass.
+    for index in range(config.background_items):
+        item = f"bg-{index}"
+        before.extend([item] * config.background_count)
+        after.extend([item] * config.background_count)
+    # The sleeper hit.
+    before.extend(["sleeper"] * config.sleeper_before)
+    after.extend(["sleeper"] * config.sleeper_after)
+    # The large absolute mover.
+    before.extend(["heavy"] * config.heavy_before)
+    after.extend(["heavy"] * config.heavy_after)
+    # Flicker noise: absent before, a burst of occurrences after — huge
+    # *ratios* (up to 40x a floor of 1) with no substance.
+    for index in range(config.noise_items):
+        after.extend([f"flicker-{index}"] * int(rng.integers(10, 41)))
+    return before, after
+
+
+def _kind(item) -> str:
+    if item == "sleeper":
+        return "sleeper"
+    if item == "heavy":
+        return "heavy"
+    if isinstance(item, str) and item.startswith("flicker"):
+        return "flicker"
+    return "background"
+
+
+def run(config: FloorSweepConfig = FloorSweepConfig()) -> list[FloorSweepRow]:
+    """Sweep the floor and classify each setting's top-ranked item."""
+    before, after = _build_streams(config)
+    rows = []
+    for floor in config.floors:
+        finder = RelativeChangeFinder(
+            config.l, floor=floor, depth=config.depth, width=config.width,
+            seed=config.seed,
+        )
+        finder.first_pass(before, after)
+        finder.second_pass(before, after)
+        reports = finder.report(config.l, min_after=1)
+        sleeper_rank = None
+        for rank, report in enumerate(reports, start=1):
+            if report.item == "sleeper":
+                sleeper_rank = rank
+                break
+        top_kind = _kind(reports[0].item) if reports else "background"
+        rows.append(
+            FloorSweepRow(
+                floor=floor,
+                top_item_kind=top_kind,
+                sleeper_rank=sleeper_rank,
+            )
+        )
+    return rows
+
+
+def format_report(rows: list[FloorSweepRow], config: FloorSweepConfig) -> str:
+    """Render the floor sweep."""
+    return format_table(
+        ["floor", "top-ranked item kind", "sleeper rank"],
+        [
+            [r.floor, r.top_item_kind,
+             r.sleeper_rank if r.sleeper_rank is not None else "-"]
+            for r in rows
+        ],
+        title=(
+            "X4 — max-percent-change floor sweep (sleeper vs flicker vs "
+            "absolute mover)"
+        ),
+    )
+
+
+def main() -> None:
+    """Run X4 at the default configuration and print the report."""
+    config = FloorSweepConfig()
+    print(format_report(run(config), config))
+
+
+if __name__ == "__main__":
+    main()

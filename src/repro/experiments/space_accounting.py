@@ -1,0 +1,141 @@
+"""E8 — the §5 bit-level space comparison.
+
+§5's closing argument: counters cost ``O(log n)`` bits, but *stored stream
+objects* cost ``ℓ`` bits, and the two algorithms store very different
+numbers of objects — COUNT SKETCH keeps only its ``k`` heap members while
+SAMPLING keeps every distinct sampled item.  For a Zipfian with ``z = 1``
+the paper concludes SAMPLING needs ``O(k log m log(k/δ) · ℓ)`` space versus
+``O(k log(n/δ) + k·ℓ)`` for Count Sketch, so the sketch wins whenever
+``ℓ ≫ log n``.
+
+The experiment runs both algorithms once on the same stream (each
+dimensioned for CANDIDATETOP at the same ``k``), then evaluates
+:class:`~repro.analysis.space.SpaceModel` over a sweep of object sizes ℓ,
+locating the crossover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.ground_truth import StreamStatistics
+from repro.analysis.space import SpaceModel
+from repro.baselines.sampling import SamplingSummary
+from repro.core.candidate_top import CandidateTopTracker
+from repro.experiments.report import format_table
+from repro.streams.zipf import ZipfStreamGenerator
+
+
+@dataclass(frozen=True)
+class SpaceAccountingConfig:
+    """Workload parameters for the bit-accounting experiment."""
+
+    m: int = 10_000
+    n: int = 100_000
+    z: float = 1.0
+    k: int = 10
+    depth: int = 5
+    width: int = 512
+    delta: float = 0.05
+    stream_seed: int = 37
+    object_bits: tuple[int, ...] = (32, 128, 512, 2048)
+
+
+@dataclass(frozen=True)
+class SpaceAccountingRow:
+    """Total bits of each summary at one object size ℓ."""
+
+    object_bits: int
+    count_sketch_bits: int
+    sampling_bits: int
+    ratio: float  # sampling / count sketch
+
+
+@dataclass(frozen=True)
+class SpaceAccountingResult:
+    """The ℓ sweep plus the raw counter/object tallies."""
+
+    rows: list[SpaceAccountingRow]
+    cs_counters: int
+    cs_objects: int
+    sampling_counters: int
+    sampling_objects: int
+
+
+def run(
+    config: SpaceAccountingConfig = SpaceAccountingConfig(),
+) -> SpaceAccountingResult:
+    """Run both algorithms once and sweep the object-size model."""
+    stream = ZipfStreamGenerator(
+        config.m, config.z, seed=config.stream_seed
+    ).generate(config.n)
+    stats = StreamStatistics(counts=stream.counts())
+
+    tracker = CandidateTopTracker(
+        config.k, depth=config.depth, width=config.width,
+        seed=config.stream_seed,
+    )
+    for item in stream:
+        tracker.update(item)
+
+    sampler = SamplingSummary.for_candidate_top(
+        stats.nk(config.k), config.k, config.delta, seed=config.stream_seed
+    )
+    for item in stream:
+        sampler.update(item)
+
+    rows = []
+    for object_bits in config.object_bits:
+        model = SpaceModel.for_stream(config.n, object_bits)
+        cs_bits = model.summary_bits(tracker)
+        sampling_bits = model.summary_bits(sampler)
+        rows.append(
+            SpaceAccountingRow(
+                object_bits=object_bits,
+                count_sketch_bits=cs_bits,
+                sampling_bits=sampling_bits,
+                ratio=sampling_bits / cs_bits,
+            )
+        )
+    return SpaceAccountingResult(
+        rows=rows,
+        cs_counters=tracker.counters_used(),
+        cs_objects=tracker.items_stored(),
+        sampling_counters=sampler.counters_used(),
+        sampling_objects=sampler.items_stored(),
+    )
+
+
+def format_report(
+    result: SpaceAccountingResult, config: SpaceAccountingConfig
+) -> str:
+    """Render the bit-accounting table."""
+    table = format_table(
+        ["object bits (l)", "COUNT SKETCH bits", "SAMPLING bits",
+         "SAMPLING/CS"],
+        [
+            [r.object_bits, r.count_sketch_bits, r.sampling_bits, r.ratio]
+            for r in result.rows
+        ],
+        title=(
+            f"E8 / §5 — total bits vs object size; zipf(z={config.z}), "
+            f"n={config.n}, k={config.k}"
+        ),
+    )
+    footer = (
+        f"COUNT SKETCH: {result.cs_counters} counters, "
+        f"{result.cs_objects} stored objects | SAMPLING: "
+        f"{result.sampling_counters} counters, "
+        f"{result.sampling_objects} stored objects"
+    )
+    return f"{table}\n{footer}"
+
+
+def main() -> None:
+    """Run E8 at the default configuration and print the report."""
+    config = SpaceAccountingConfig()
+    print(format_report(run(config), config))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,243 @@
+"""E1 — the empirical Table 1: space to solve CANDIDATETOP(S, k, O(k)).
+
+The paper's Table 1 compares the asymptotic space of SAMPLING, KPS, and
+COUNT SKETCH across Zipf regimes.  This experiment measures the same
+quantities on synthetic Zipf streams:
+
+* **SAMPLING** — run at the §4.1 inclusion probability
+  ``p = log(k/δ)/n_k``; its space is the number of distinct sampled items
+  (what §4.1 counts), and its candidate list is the *entire sample* — the
+  paper notes this solves only CANDIDATETOP(S, k, x) with ``x`` = distinct
+  sampled, "an advantage over ours" in the comparison.
+* **KPS** — run with ``c = ⌈n/n_k⌉`` counters (the §4.1 setting
+  ``θ = n_k/n``); its space is ``c`` and its candidate list all ``c``
+  tracked items.
+* **COUNT SKETCH** — the smallest sketch width ``b`` (over a geometric
+  grid) at which :class:`~repro.core.candidate_top.CandidateTopTracker`
+  with ``l = 2k`` candidates captures the true top ``k``; its space is
+  ``t·b + l`` counters and its candidate list has length ``2k``.
+
+Alongside each measurement the Table 1 *order* formulas are evaluated so
+the per-column scaling shapes can be compared (constants are not
+comparable; the within-column trend across ``z`` is the reproduction
+target — see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.ground_truth import StreamStatistics
+from repro.analysis.metrics import candidatetop_ok
+from repro.analysis.zipf_math import (
+    count_sketch_space_order,
+    kps_space_order,
+    sampling_distinct_order,
+)
+from repro.baselines.kps import KPSFrequent, counters_for_candidate_top
+from repro.baselines.sampling import SamplingSummary
+from repro.core.candidate_top import CandidateTopTracker
+from repro.experiments.harness import geometric_grid, minimal_passing_value
+from repro.experiments.report import format_table
+from repro.streams.zipf import ZipfStreamGenerator
+
+
+@dataclass(frozen=True)
+class Table1Config:
+    """Workload parameters for the empirical Table 1."""
+
+    m: int = 10_000
+    n: int = 100_000
+    k: int = 10
+    depth: int = 5
+    zs: tuple[float, ...] = (0.3, 0.5, 0.75, 1.0, 1.5)
+    stream_seed: int = 11
+    sketch_seeds: tuple[int, ...] = (0, 1, 2)
+    delta: float = 0.05
+    max_width: int = 1 << 17
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """Measured and theoretical space for one Zipf parameter."""
+
+    z: float
+    sampling_space: int
+    sampling_candidates: int
+    kps_space: int
+    count_sketch_width: int | None
+    count_sketch_space: int | None
+    sampling_order: float
+    kps_order: float
+    count_sketch_order: float
+    sampling_ok: bool
+    kps_ok: bool
+
+
+def _measure_sampling(
+    stream, stats: StreamStatistics, config: Table1Config
+) -> tuple[int, int, bool]:
+    """(distinct sampled items, candidate-list length, top-k captured)."""
+    nk = stats.nk(config.k)
+    summary = SamplingSummary.for_candidate_top(
+        nk, config.k, config.delta, seed=config.stream_seed
+    )
+    for item in stream:
+        summary.update(item)
+    sampled = {item for item, __ in summary.top(summary.counters_used())}
+    ok = candidatetop_ok(sampled, stats, config.k)
+    return summary.counters_used(), len(sampled), ok
+
+
+def _measure_kps(
+    stream, stats: StreamStatistics, config: Table1Config
+) -> tuple[int, bool]:
+    """(counter budget c, top-k captured)."""
+    capacity = counters_for_candidate_top(stats.n, stats.nk(config.k))
+    summary = KPSFrequent(capacity)
+    for item in stream:
+        summary.update(item)
+    ok = candidatetop_ok(summary.candidates(), stats, config.k)
+    return capacity, ok
+
+
+def _measure_count_sketch(
+    stream, stats: StreamStatistics, config: Table1Config
+) -> int | None:
+    """Minimal sketch width capturing the top k in a 2k-candidate list."""
+    l = 2 * config.k
+
+    def succeeds(width: int, seed: int) -> bool:
+        tracker = CandidateTopTracker(
+            config.k, l=l, depth=config.depth, width=width, seed=seed
+        )
+        for item in stream:
+            tracker.update(item)
+        candidates = [item for item, __ in tracker.candidates()]
+        return candidatetop_ok(candidates, stats, config.k)
+
+    grid = geometric_grid(2 * config.k, config.max_width, factor=2.0)
+    return minimal_passing_value(
+        succeeds, grid, seeds=config.sketch_seeds, success_rate=0.67
+    )
+
+
+def run(config: Table1Config = Table1Config()) -> list[Table1Row]:
+    """Measure every Table 1 cell; one row per Zipf parameter."""
+    rows = []
+    for z in config.zs:
+        generator = ZipfStreamGenerator(config.m, z, seed=config.stream_seed)
+        stream = generator.generate(config.n)
+        stats = StreamStatistics(counts=stream.counts())
+
+        sampling_space, sampling_candidates, sampling_ok = _measure_sampling(
+            stream, stats, config
+        )
+        kps_space, kps_ok = _measure_kps(stream, stats, config)
+        width = _measure_count_sketch(stream, stats, config)
+        cs_space = (
+            config.depth * width + 2 * config.k if width is not None else None
+        )
+
+        rows.append(
+            Table1Row(
+                z=z,
+                sampling_space=sampling_space,
+                sampling_candidates=sampling_candidates,
+                kps_space=kps_space,
+                count_sketch_width=width,
+                count_sketch_space=cs_space,
+                sampling_order=sampling_distinct_order(
+                    config.m, config.k, z, config.delta
+                ),
+                kps_order=kps_space_order(config.m, config.k, z),
+                count_sketch_order=count_sketch_space_order(
+                    config.m, config.k, z, config.n
+                ),
+                sampling_ok=sampling_ok,
+                kps_ok=kps_ok,
+            )
+        )
+    return rows
+
+
+def shape_ratios(rows: list[Table1Row]) -> list[tuple[float, float, float, float]]:
+    """Per-column measured/theory ratios, normalized to the first row.
+
+    If the paper's orders capture the scaling shape, each column's ratio
+    stays within a small constant band across ``z`` — the quantitative
+    check EXPERIMENTS.md records.
+    """
+    def normalized(pairs):
+        base = None
+        out = []
+        for measured, order in pairs:
+            if measured is None:
+                out.append(math.nan)
+                continue
+            ratio = measured / order
+            if base is None:
+                base = ratio
+            out.append(ratio / base)
+        return out
+
+    sampling = normalized((r.sampling_space, r.sampling_order) for r in rows)
+    kps = normalized((r.kps_space, r.kps_order) for r in rows)
+    sketch = normalized(
+        (r.count_sketch_space, r.count_sketch_order) for r in rows
+    )
+    return [
+        (row.z, sampling[i], kps[i], sketch[i]) for i, row in enumerate(rows)
+    ]
+
+
+def format_report(rows: list[Table1Row], config: Table1Config) -> str:
+    """Render the measured Table 1 plus the shape-ratio table."""
+    main = format_table(
+        [
+            "z",
+            "SAMPLING ctrs",
+            "SAMPLING |list|",
+            "KPS ctrs",
+            "CS width b",
+            "CS ctrs (tb+l)",
+            "SAMPLING ord",
+            "KPS ord",
+            "CS ord",
+        ],
+        [
+            [
+                r.z,
+                r.sampling_space,
+                r.sampling_candidates,
+                r.kps_space,
+                r.count_sketch_width if r.count_sketch_width is not None else "-",
+                r.count_sketch_space if r.count_sketch_space is not None else "-",
+                r.sampling_order,
+                r.kps_order,
+                r.count_sketch_order,
+            ]
+            for r in rows
+        ],
+        title=(
+            f"E1 / Table 1 — space for CANDIDATETOP(S, k={config.k}, O(k)); "
+            f"m={config.m}, n={config.n}"
+        ),
+    )
+    ratios = format_table(
+        ["z", "SAMPLING meas/ord", "KPS meas/ord", "CS meas/ord"],
+        [list(row) for row in shape_ratios(rows)],
+        title="Shape check (ratios normalized to first row; flat ≈ shape holds)",
+    )
+    return main + "\n\n" + ratios
+
+
+def main() -> None:
+    """Run E1 at the default configuration and print the report."""
+    config = Table1Config()
+    print(format_report(run(config), config))
+
+
+if __name__ == "__main__":
+    main()

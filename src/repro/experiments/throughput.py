@@ -1,0 +1,115 @@
+"""T1 — update throughput across algorithms.
+
+Not a paper experiment (the paper is purely analytic), but standard for a
+system release: items/second of the one-pass update path of every
+algorithm in the library, on the same pre-generated Zipf stream, at
+space settings comparable to the Table 1 task.  pytest-benchmark covers
+per-operation timing in ``benchmarks/``; this module gives the
+whole-stream view.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.baselines.countmin import CountMinSketch
+from repro.baselines.exact import ExactCounter
+from repro.baselines.kps import KPSFrequent
+from repro.baselines.lossy_counting import LossyCounting
+from repro.baselines.sampling import SamplingSummary
+from repro.baselines.space_saving import SpaceSaving
+from repro.core.countsketch import CountSketch
+from repro.core.topk import TopKTracker
+from repro.experiments.report import format_table
+from repro.streams.zipf import ZipfStreamGenerator
+
+
+@dataclass(frozen=True)
+class ThroughputConfig:
+    """Workload parameters for the throughput comparison."""
+
+    m: int = 5_000
+    n: int = 50_000
+    z: float = 1.0
+    k: int = 10
+    depth: int = 5
+    width: int = 256
+    stream_seed: int = 53
+
+
+@dataclass(frozen=True)
+class ThroughputRow:
+    """Items/second for one algorithm."""
+
+    algorithm: str
+    items_per_second: float
+    counters_used: int
+
+
+def _summaries(config: ThroughputConfig) -> dict[str, Callable[[], object]]:
+    """Factories for each algorithm under test."""
+    return {
+        "CountSketch": lambda: CountSketch(
+            config.depth, config.width, seed=0
+        ),
+        "TopKTracker": lambda: TopKTracker(
+            config.k, depth=config.depth, width=config.width, seed=0
+        ),
+        "CountMin": lambda: CountMinSketch(
+            config.depth, config.width, seed=0
+        ),
+        "KPSFrequent": lambda: KPSFrequent(config.width),
+        "SpaceSaving": lambda: SpaceSaving(config.width),
+        "LossyCounting": lambda: LossyCounting(1.0 / config.width),
+        "Sampling": lambda: SamplingSummary(0.05, seed=0),
+        "ExactCounter": lambda: ExactCounter(),
+    }
+
+
+def run(config: ThroughputConfig = ThroughputConfig()) -> list[ThroughputRow]:
+    """Time each algorithm's update loop over the same stream."""
+    stream = ZipfStreamGenerator(
+        config.m, config.z, seed=config.stream_seed
+    ).generate(config.n)
+    items = list(stream)
+    rows = []
+    for name, factory in _summaries(config).items():
+        summary = factory()
+        update = summary.update
+        start = time.perf_counter()
+        for item in items:
+            update(item)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            ThroughputRow(
+                algorithm=name,
+                items_per_second=len(items) / elapsed,
+                counters_used=summary.counters_used(),
+            )
+        )
+    rows.sort(key=lambda r: r.items_per_second, reverse=True)
+    return rows
+
+
+def format_report(rows: list[ThroughputRow], config: ThroughputConfig) -> str:
+    """Render the throughput table."""
+    return format_table(
+        ["algorithm", "items/sec", "counters"],
+        [[r.algorithm, r.items_per_second, r.counters_used] for r in rows],
+        title=(
+            f"T1 — update throughput; zipf(z={config.z}, m={config.m}), "
+            f"n={config.n}"
+        ),
+    )
+
+
+def main() -> None:
+    """Run T1 at the default configuration and print the report."""
+    config = ThroughputConfig()
+    print(format_report(run(config), config))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,169 @@
+"""E5 — the §4.1 width scaling laws (Cases 1–3).
+
+§4.1 derives how the Lemma 5 width ``b`` scales for Zipfian streams:
+
+* **Case 1** (``z < ½``): ``b = m^{1−2z} k^{2z}`` — grows with the universe
+  size ``m``; measured by sweeping ``m`` at ``z = 0.3`` and fitting the
+  log–log slope (theory: ``1 − 2z = 0.4``).
+* **Case 2** (``z = ½``): ``b = k log m`` — only logarithmic in ``m``;
+  measured by the same sweep at ``z = 0.5`` (slope ≈ 0, ratio to ``log m``
+  roughly flat).
+* **Case 3** (``z > ½``): ``b = k`` — independent of ``m``, linear in
+  ``k``; measured by sweeping ``k`` at ``z = 0.9`` (slope ≈ 1).
+
+"Required width" is measured operationally: the smallest ``b`` (geometric
+grid, factor √2̄) at which the sketch's estimates place the true top ``k``
+inside the top ``2k`` estimated items — the §4.1 CANDIDATETOP criterion —
+for most sketch seeds.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.analysis.ground_truth import StreamStatistics
+from repro.core.countsketch import CountSketch
+from repro.experiments.harness import (
+    fit_power_law,
+    geometric_grid,
+    minimal_passing_value,
+)
+from repro.experiments.report import format_table
+from repro.streams.zipf import ZipfStreamGenerator
+
+
+@dataclass(frozen=True)
+class ScalingConfig:
+    """Workload parameters for the three scaling sweeps."""
+
+    n: int = 50_000
+    depth: int = 5
+    case1_z: float = 0.3
+    case2_z: float = 0.5
+    case12_ms: tuple[int, ...] = (2_000, 4_000, 8_000, 16_000)
+    case12_k: int = 10
+    case3_z: float = 0.9
+    case3_ks: tuple[int, ...] = (5, 10, 20, 40)
+    case3_m: int = 10_000
+    stream_seed: int = 23
+    sketch_seeds: tuple[int, ...] = (0, 1, 2, 3)
+    max_width: int = 1 << 18
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One sweep point: the independent variable and the measured width."""
+
+    case: str
+    variable: str
+    value: int
+    required_width: int | None
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    """All sweep points plus the fitted exponents."""
+
+    points: list[ScalingPoint]
+    case1_slope: float
+    case2_slope: float
+    case3_slope: float
+
+
+def _required_width(
+    counts: Counter, k: int, config: ScalingConfig
+) -> int | None:
+    """Smallest width whose estimates put the true top-k in the top 2k."""
+    stats = StreamStatistics(counts=counts)
+    true_top = stats.top_k_items(k)
+    items = list(counts)
+
+    def succeeds(width: int, seed: int) -> bool:
+        sketch = CountSketch(config.depth, width, seed=seed)
+        sketch.update_counts(counts)
+        estimated = sorted(
+            items, key=lambda item: sketch.estimate(item), reverse=True
+        )
+        return true_top <= set(estimated[: 2 * k])
+
+    grid = geometric_grid(max(4, k), config.max_width, factor=2 ** 0.5)
+    return minimal_passing_value(
+        succeeds, grid, seeds=config.sketch_seeds, success_rate=0.75
+    )
+
+
+def _sweep_m(z: float, case: str, config: ScalingConfig) -> list[ScalingPoint]:
+    points = []
+    for m in config.case12_ms:
+        stream = ZipfStreamGenerator(m, z, seed=config.stream_seed).generate(
+            config.n
+        )
+        width = _required_width(stream.counts(), config.case12_k, config)
+        points.append(ScalingPoint(case, "m", m, width))
+    return points
+
+
+def _sweep_k(config: ScalingConfig) -> list[ScalingPoint]:
+    stream = ZipfStreamGenerator(
+        config.case3_m, config.case3_z, seed=config.stream_seed
+    ).generate(config.n)
+    counts = stream.counts()
+    points = []
+    for k in config.case3_ks:
+        width = _required_width(counts, k, config)
+        points.append(ScalingPoint("case3", "k", k, width))
+    return points
+
+
+def _slope(points: list[ScalingPoint]) -> float:
+    usable = [(p.value, p.required_width) for p in points
+              if p.required_width is not None]
+    if len(usable) < 2:
+        return float("nan")
+    return fit_power_law([x for x, __ in usable], [y for __, y in usable])
+
+
+def run(config: ScalingConfig = ScalingConfig()) -> ScalingResult:
+    """Run the three sweeps and fit the scaling exponents."""
+    case1 = _sweep_m(config.case1_z, "case1", config)
+    case2 = _sweep_m(config.case2_z, "case2", config)
+    case3 = _sweep_k(config)
+    return ScalingResult(
+        points=case1 + case2 + case3,
+        case1_slope=_slope(case1),
+        case2_slope=_slope(case2),
+        case3_slope=_slope(case3),
+    )
+
+
+def format_report(result: ScalingResult, config: ScalingConfig) -> str:
+    """Render the sweep table plus the exponent summary."""
+    table = format_table(
+        ["case", "variable", "value", "required width b"],
+        [
+            [p.case, p.variable, p.value,
+             p.required_width if p.required_width is not None else "-"]
+            for p in result.points
+        ],
+        title="E5 / §4.1 Cases 1-3 — required width scaling",
+    )
+    summary = (
+        f"case 1 (z={config.case1_z}): slope of b vs m = "
+        f"{result.case1_slope:.3f} (theory {1 - 2 * config.case1_z:.2f})\n"
+        f"case 2 (z={config.case2_z}): slope of b vs m = "
+        f"{result.case2_slope:.3f} (theory ~0, log m)\n"
+        f"case 3 (z={config.case3_z}): slope of b vs k = "
+        f"{result.case3_slope:.3f} (theory 1.0)"
+    )
+    return f"{table}\n\n{summary}"
+
+
+def main() -> None:
+    """Run E5 at the default configuration and print the report."""
+    config = ScalingConfig()
+    print(format_report(run(config), config))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Hash-function substrate used by every sketch in :mod:`repro`.
+
+The analysis in Charikar, Chen & Farach-Colton assumes pairwise-independent
+hash functions (for both the bucket hashes ``h_i`` and the sign hashes
+``s_i``), with the rows independent of each other.  This package provides
+exactly that:
+
+* :mod:`repro.hashing.mersenne` — k-wise-independent polynomial hashing over
+  the Mersenne prime ``p = 2**61 - 1`` (the construction of Carter & Wegman).
+  This is the default family for all sketches because it delivers the
+  independence the paper's lemmas assume.
+* :mod:`repro.hashing.multiply_shift` — Dietzfelbinger's multiply-shift
+  scheme, a faster 2-universal alternative for power-of-two ranges.
+* :mod:`repro.hashing.tabulation` — simple tabulation hashing (3-independent,
+  and much stronger in practice).
+* :mod:`repro.hashing.sign` — ±1-valued pairwise-independent hashes derived
+  from any base family.
+* :mod:`repro.hashing.bucket` — range reduction of a base hash onto
+  ``[0, b)`` buckets.
+* :mod:`repro.hashing.encode` — canonical, process-stable encoding of
+  arbitrary hashable Python keys to 64-bit integers (Python's builtin
+  ``hash`` is salted per process and therefore unusable for reproducible
+  sketches).
+
+All families take an explicit integer ``seed`` and are fully deterministic
+given that seed.
+"""
+
+from repro.hashing.bucket import BucketHash, BucketHashFamily
+from repro.hashing.encode import encode_key
+from repro.hashing.family import HashFamily, HashFunction
+from repro.hashing.mersenne import (
+    MERSENNE_PRIME_61,
+    KWiseFamily,
+    PolynomialHash,
+)
+from repro.hashing.multiply_shift import MultiplyShiftFamily, MultiplyShiftHash
+from repro.hashing.sign import SignHash, SignHashFamily
+from repro.hashing.tabulation import TabulationFamily, TabulationHash
+from repro.hashing.vectorized import VectorizedRowHashes, encode_keys
+
+__all__ = [
+    "MERSENNE_PRIME_61",
+    "BucketHash",
+    "BucketHashFamily",
+    "HashFamily",
+    "HashFunction",
+    "KWiseFamily",
+    "MultiplyShiftFamily",
+    "MultiplyShiftHash",
+    "PolynomialHash",
+    "SignHash",
+    "SignHashFamily",
+    "TabulationFamily",
+    "TabulationHash",
+    "VectorizedRowHashes",
+    "encode_key",
+    "encode_keys",
+]

@@ -1,0 +1,95 @@
+"""Range reduction of a base hash onto ``b`` buckets.
+
+The Count Sketch needs bucket hashes ``h_i : O -> [b]`` for arbitrary ``b``
+(the analysis sets ``b`` from Lemma 5, which is rarely a power of two).
+A pairwise-independent function into ``[0, p)`` composed with ``mod b`` stays
+pairwise independent up to a multiplicative distortion of at most
+``(1 + b/p)`` on point probabilities; with ``p = 2**61 - 1`` and the bucket
+counts used in practice the distortion is far below every error term in the
+paper's analysis, so we document it and move on (this is the standard
+practical treatment).
+"""
+
+from __future__ import annotations
+
+from repro.hashing.family import HashFamily, HashFunction
+
+
+class BucketHash:
+    """A hash onto ``[0, buckets)`` built from a base hash function.
+
+    Args:
+        base: any :class:`~repro.hashing.family.HashFunction`; its range must
+            be at least ``buckets``.
+        buckets: the number of buckets ``b``.
+    """
+
+    __slots__ = ("_base", "_buckets")
+
+    def __init__(self, base: HashFunction, buckets: int):
+        if buckets < 1:
+            raise ValueError("buckets must be positive")
+        if base.range_size < buckets:
+            raise ValueError(
+                f"base range {base.range_size} smaller than bucket count {buckets}"
+            )
+        self._base = base
+        self._buckets = buckets
+
+    @property
+    def base(self) -> HashFunction:
+        """The underlying base hash function."""
+        return self._base
+
+    @property
+    def range_size(self) -> int:
+        """The bucket count ``b``."""
+        return self._buckets
+
+    def __call__(self, key: int) -> int:
+        """Hash ``key`` to a bucket index in ``[0, buckets)``."""
+        return self._base(key) % self._buckets
+
+    def __repr__(self) -> str:
+        return f"BucketHash(buckets={self._buckets}, base={self._base!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BucketHash):
+            return NotImplemented
+        return self._buckets == other._buckets and self._base == other._base
+
+    def __hash__(self) -> int:
+        return hash((self._buckets, self._base))
+
+
+class BucketHashFamily:
+    """A family of bucket hashes built over any base family.
+
+    Args:
+        base_family: the family to draw base functions from.
+        buckets: bucket count for every drawn function.
+    """
+
+    def __init__(self, base_family: HashFamily, buckets: int):
+        if buckets < 1:
+            raise ValueError("buckets must be positive")
+        self._base_family = base_family
+        self._buckets = buckets
+
+    @property
+    def buckets(self) -> int:
+        """Bucket count of drawn functions."""
+        return self._buckets
+
+    def draw(self, count: int) -> list[BucketHash]:
+        """Draw ``count`` independent bucket hashes."""
+        return [
+            BucketHash(base, self._buckets)
+            for base in self._base_family.draw(count)
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"BucketHashFamily(buckets={self._buckets}, "
+            f"base_family={self._base_family!r})"
+        )

@@ -1,0 +1,68 @@
+"""Abstract interfaces for hash functions and hash-function families.
+
+A :class:`HashFunction` maps 64-bit integer keys (see
+:mod:`repro.hashing.encode`) to integers in a declared output range.  A
+:class:`HashFamily` is a seeded factory of independent hash functions; the
+sketches draw their per-row functions from a family so that "independent
+hash functions" (a requirement of the paper's analysis) is expressed
+structurally rather than by convention.
+
+Both interfaces are :class:`typing.Protocol` s so that the concrete
+implementations stay plain classes without inheritance boilerplate, and so
+that user-supplied hash functions interoperate as long as they match the
+shape.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class HashFunction(Protocol):
+    """A deterministic map from 64-bit integer keys to ``[0, range_size)``.
+
+    Implementations must be pure: the same key always hashes to the same
+    value, and the function must be picklable so sketches can be serialized.
+    """
+
+    @property
+    def range_size(self) -> int:
+        """Exclusive upper bound of the output range."""
+        ...
+
+    def __call__(self, key: int) -> int:
+        """Hash ``key`` (an integer in ``[0, 2**64)``) into the range."""
+        ...
+
+
+@runtime_checkable
+class HashFamily(Protocol):
+    """A seeded factory of mutually independent :class:`HashFunction` s."""
+
+    def draw(self, count: int) -> list[HashFunction]:
+        """Draw ``count`` fresh, mutually independent functions.
+
+        Successive calls continue consuming the family's random stream, so
+        ``draw(2)`` and ``draw(1); draw(1)`` yield the same functions.
+        """
+        ...
+
+
+def seeded_rng(seed: int, *salt: object) -> random.Random:
+    """Return a :class:`random.Random` derived from ``seed`` and ``salt``.
+
+    The salt lets several components share one user-facing seed without
+    sharing their random streams (e.g. the bucket family and the sign family
+    of a Count Sketch row must be independent even when built from one seed).
+    """
+    material = ":".join([str(seed), *map(str, salt)])
+    return random.Random(material)
+
+
+def iter_seeds(seed: int, *salt: object) -> Iterator[int]:
+    """Yield an endless stream of derived 63-bit seeds."""
+    rng = seeded_rng(seed, *salt)
+    while True:
+        yield rng.getrandbits(63)

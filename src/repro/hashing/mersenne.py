@@ -1,0 +1,132 @@
+"""k-wise-independent polynomial hashing over the Mersenne prime ``2**61-1``.
+
+This is the classical Carter–Wegman construction: a degree-``k-1`` polynomial
+with uniformly random coefficients over the field ``GF(p)`` is a k-wise
+independent hash family.  With ``k = 2`` it provides exactly the pairwise
+independence that the Count Sketch analysis (Lemmas 1–4 of the paper)
+assumes, which is why this family is the default for every sketch in this
+library.
+
+Choosing a Mersenne prime makes the mod reduction cheap (shift/add instead of
+division) in languages with fixed-width integers; in Python we simply rely on
+exact big-integer arithmetic, which keeps the implementation an obviously
+correct transcription of the mathematics.
+"""
+
+from __future__ import annotations
+
+from repro.hashing.family import seeded_rng
+
+#: The Mersenne prime ``2**61 - 1``, comfortably above 64-bit key space /
+#: the stream lengths considered here, so the "uniform over [0, p)" model is
+#: a faithful approximation for 61-bit slices of the key space.
+MERSENNE_PRIME_61 = (1 << 61) - 1
+
+
+class PolynomialHash:
+    """A single polynomial hash ``h(x) = (c_0 + c_1 x + ... ) mod p``.
+
+    The output range is ``[0, p)`` with ``p = 2**61 - 1``.  Keys larger than
+    ``p`` are folded into the field first; because keys are at most 64 bits
+    and ``p`` is 61 bits, the fold keeps the family (k-1)-wise independent on
+    distinct folded keys, and the fold itself collides at most 8 keys per
+    residue — negligible against sketch error for all workloads here.
+
+    Args:
+        coefficients: polynomial coefficients, constant term first.  All must
+            lie in ``[0, p)`` and the leading coefficient must be nonzero so
+            the polynomial has full degree.
+    """
+
+    __slots__ = ("_coefficients",)
+
+    def __init__(self, coefficients: tuple[int, ...]):
+        if not coefficients:
+            raise ValueError("a polynomial hash needs at least one coefficient")
+        for c in coefficients:
+            if not 0 <= c < MERSENNE_PRIME_61:
+                raise ValueError(f"coefficient {c} outside [0, p)")
+        if len(coefficients) > 1 and coefficients[-1] == 0:
+            raise ValueError("leading coefficient must be nonzero")
+        self._coefficients = tuple(coefficients)
+
+    @property
+    def coefficients(self) -> tuple[int, ...]:
+        """The polynomial coefficients, constant term first."""
+        return self._coefficients
+
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial (independence is ``degree + 1``-wise)."""
+        return len(self._coefficients) - 1
+
+    @property
+    def range_size(self) -> int:
+        """Output range bound: the Mersenne prime ``p``."""
+        return MERSENNE_PRIME_61
+
+    def __call__(self, key: int) -> int:
+        """Evaluate the polynomial at ``key`` via Horner's rule."""
+        x = key % MERSENNE_PRIME_61
+        acc = 0
+        for c in reversed(self._coefficients):
+            acc = (acc * x + c) % MERSENNE_PRIME_61
+        return acc
+
+    def __repr__(self) -> str:
+        return f"PolynomialHash(degree={self.degree})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PolynomialHash):
+            return NotImplemented
+        return self._coefficients == other._coefficients
+
+    def __hash__(self) -> int:
+        return hash(self._coefficients)
+
+
+class KWiseFamily:
+    """A seeded family of mutually independent k-wise polynomial hashes.
+
+    Args:
+        independence: the ``k`` in k-wise independence (``2`` for the
+            pairwise independence assumed by the paper).
+        seed: integer seed; the family is deterministic given the seed.
+        salt: optional extra derivation material so several families can be
+            built from one user seed without correlation.
+    """
+
+    def __init__(self, independence: int = 2, seed: int = 0, salt: object = ""):
+        if independence < 1:
+            raise ValueError("independence must be at least 1")
+        self._independence = independence
+        self._seed = seed
+        self._salt = salt
+        self._rng = seeded_rng(seed, "kwise", independence, salt)
+
+    @property
+    def independence(self) -> int:
+        """The independence parameter ``k``."""
+        return self._independence
+
+    def draw(self, count: int) -> list[PolynomialHash]:
+        """Draw ``count`` fresh, mutually independent polynomial hashes."""
+        if count < 0:
+            raise ValueError("count must be nonnegative")
+        functions = []
+        for _ in range(count):
+            coefficients = [
+                self._rng.randrange(MERSENNE_PRIME_61)
+                for _ in range(self._independence)
+            ]
+            if self._independence > 1:
+                # Force full degree so independence is not silently degraded.
+                coefficients[-1] = self._rng.randrange(1, MERSENNE_PRIME_61)
+            functions.append(PolynomialHash(tuple(coefficients)))
+        return functions
+
+    def __repr__(self) -> str:
+        return (
+            f"KWiseFamily(independence={self._independence}, "
+            f"seed={self._seed})"
+        )

@@ -1,0 +1,69 @@
+"""±1-valued pairwise-independent hash functions.
+
+The Count Sketch's sign hashes ``s_i : O -> {+1, -1}`` must be pairwise
+independent (that is what makes each row's estimate unbiased, Lemma 1, and
+bounds its variance).  We derive a sign from any base hash by taking the
+parity of its value: if the base is drawn from a pairwise-independent family
+with range ``R``, the parity bit is pairwise independent up to an additive
+bias of ``O(1/R)`` when ``R`` is odd (``R = 2**61 - 1`` for the default
+polynomial family), which is negligible for every workload here.
+"""
+
+from __future__ import annotations
+
+from repro.hashing.family import HashFamily, HashFunction
+
+
+class SignHash:
+    """A ±1-valued hash derived from the parity of a base hash.
+
+    Args:
+        base: any :class:`~repro.hashing.family.HashFunction` with range at
+            least 2.
+    """
+
+    __slots__ = ("_base",)
+
+    def __init__(self, base: HashFunction):
+        if base.range_size < 2:
+            raise ValueError("base range must be at least 2")
+        self._base = base
+
+    @property
+    def base(self) -> HashFunction:
+        """The underlying base hash function."""
+        return self._base
+
+    @property
+    def range_size(self) -> int:
+        """Nominal range: 2 (the two signs)."""
+        return 2
+
+    def __call__(self, key: int) -> int:
+        """Return ``+1`` or ``-1`` for ``key``."""
+        return 1 if self._base(key) & 1 else -1
+
+    def __repr__(self) -> str:
+        return f"SignHash(base={self._base!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SignHash):
+            return NotImplemented
+        return self._base == other._base
+
+    def __hash__(self) -> int:
+        return hash(("sign", self._base))
+
+
+class SignHashFamily:
+    """A family of sign hashes built over any base family."""
+
+    def __init__(self, base_family: HashFamily):
+        self._base_family = base_family
+
+    def draw(self, count: int) -> list[SignHash]:
+        """Draw ``count`` independent sign hashes."""
+        return [SignHash(base) for base in self._base_family.draw(count)]
+
+    def __repr__(self) -> str:
+        return f"SignHashFamily(base_family={self._base_family!r})"

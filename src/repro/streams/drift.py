@@ -1,0 +1,129 @@
+"""Paired before/after streams with known frequency drift (§4.2 workload).
+
+The max-change experiment needs two streams whose per-item frequency changes
+are known exactly *in expectation* and controllable: a handful of "risers"
+(topics gaining popularity) and "fallers" (topics losing it) on top of a
+stable Zipfian base.  :func:`make_drift_pair` builds such a pair and records
+which items were planted, so experiment E7 can score recovery.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Hashable
+
+import numpy as np
+
+from repro.streams.alias import AliasSampler
+from repro.streams.model import Stream
+from repro.streams.zipf import zipf_weights
+
+
+@dataclass(frozen=True)
+class DriftPair:
+    """A (before, after) stream pair with the planted drift bookkeeping.
+
+    Attributes:
+        before: the first stream ``S1``.
+        after: the second stream ``S2``.
+        risers: items whose probability was multiplied up in ``S2``.
+        fallers: items whose probability was multiplied down in ``S2``.
+    """
+
+    before: Stream
+    after: Stream
+    risers: tuple[Hashable, ...] = field(default_factory=tuple)
+    fallers: tuple[Hashable, ...] = field(default_factory=tuple)
+
+    def true_changes(self) -> dict[Hashable, int]:
+        """Exact signed change ``n_q(S2) − n_q(S1)`` for every item."""
+        before_counts = Counter(self.before.items)
+        after_counts = Counter(self.after.items)
+        changes: dict[Hashable, int] = {}
+        for item in set(before_counts) | set(after_counts):
+            changes[item] = after_counts.get(item, 0) - before_counts.get(item, 0)
+        return changes
+
+    def top_changes(self, k: int) -> list[tuple[Hashable, int]]:
+        """The ``k`` items with the largest exact absolute change."""
+        changes = self.true_changes()
+        ranked = sorted(changes.items(), key=lambda p: abs(p[1]), reverse=True)
+        return ranked[:k]
+
+
+def make_drift_pair(
+    m: int,
+    n: int,
+    z: float = 1.0,
+    num_risers: int = 5,
+    num_fallers: int = 5,
+    boost: float = 8.0,
+    seed: int = 0,
+    riser_start: int | None = None,
+) -> DriftPair:
+    """Build a before/after Zipf stream pair with planted drift.
+
+    The base distribution is Zipf(``z``) over items ``1..m``.  ``num_risers``
+    items drawn from the mid-ranks have their ``S2`` probability multiplied
+    by ``boost``; ``num_fallers`` items from the top ranks have theirs
+    divided by ``boost``.  Mid/top placement makes the planted changes large
+    in absolute terms (the §4.2 objective is *absolute* change) while
+    keeping both streams realistically skewed.
+
+    Args:
+        m: number of distinct objects.
+        n: length of each stream.
+        z: Zipf parameter of the base distribution.
+        num_risers: how many items gain probability in ``S2``.
+        num_fallers: how many items lose probability in ``S2``.
+        boost: multiplicative drift factor (> 1).
+        seed: generation seed (both streams derive from it).
+        riser_start: rank of the first riser; defaults to just below the
+            fallers, so that boosted counts are large enough in absolute
+            terms to dominate the sampling noise of the top ranks (the
+            §4.2 objective is *absolute* change, and the natural
+            fluctuation of a rank-r item between two i.i.d. streams is
+            ~sqrt(n_r)).
+    """
+    if boost <= 1:
+        raise ValueError("boost must exceed 1")
+    if num_risers + num_fallers > m:
+        raise ValueError("more drifting items than objects")
+    base = zipf_weights(m, z)
+
+    # Fallers are drawn from the very top ranks (their absolute counts are
+    # large, so cutting them is a large absolute change); risers from the
+    # upper-middle ranks (boosting one creates a new heavy hitter whose
+    # absolute change clears the noise floor of the stable top items).
+    fallers = tuple(range(1, num_fallers + 1))
+    if riser_start is None:
+        riser_start = max(num_fallers + 1, min(20, max(num_fallers + 1, m // 4)))
+    if riser_start <= num_fallers or riser_start + num_risers - 1 > m:
+        raise ValueError("riser ranks collide with fallers or exceed m")
+    risers = tuple(range(riser_start, riser_start + num_risers))
+
+    after_weights = base.copy()
+    for item in risers:
+        after_weights[item - 1] *= boost
+    for item in fallers:
+        after_weights[item - 1] /= boost
+
+    before_sampler = AliasSampler(base, seed=seed)
+    after_sampler = AliasSampler(after_weights, seed=seed + 1)
+    before_items = (before_sampler.sample_many(n) + 1).tolist()
+    after_items = (after_sampler.sample_many(n) + 1).tolist()
+
+    params = {
+        "dist": "drift",
+        "m": m,
+        "z": z,
+        "boost": boost,
+        "seed": seed,
+    }
+    return DriftPair(
+        before=Stream(before_items, name="drift-before", params=params),
+        after=Stream(after_items, name="drift-after", params=params),
+        risers=risers,
+        fallers=fallers,
+    )

@@ -1,0 +1,143 @@
+"""Non-Zipfian stream generators: uniform, planted heavy hitters, and the
+paper's adversarial boundary case.
+
+* :func:`uniform_stream` — the ``z = 0`` extreme, where *no* algorithm can
+  meaningfully separate "frequent" items; useful for testing the failure
+  modes each algorithm promises (and the ones it doesn't).
+* :func:`planted_heavy_hitter_stream` — a configurable set of heavy items on
+  top of a Zipf background.  This is the workload for the median-vs-mean
+  ablation (A1): §3.1's motivation for the median is exactly that heavy
+  items poison the mean of the per-row estimates.
+* :func:`adversarial_boundary_stream` — the §1 hard instance for
+  CANDIDATETOP: the ``k``-th and ``(l+1)``-st most frequent items differ by
+  a single occurrence (``n_k = n_{l+1} + 1``), which is why the paper
+  retreats to APPROXTOP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.alias import AliasSampler
+from repro.streams.model import Stream
+from repro.streams.zipf import zipf_weights
+
+
+def uniform_stream(m: int, n: int, seed: int = 0) -> Stream:
+    """A stream of ``n`` items drawn uniformly from ``m`` objects.
+
+    Args:
+        m: number of distinct objects (items are the ints ``1..m``).
+        n: stream length.
+        seed: generator seed.
+    """
+    if m < 1:
+        raise ValueError("m must be positive")
+    if n < 0:
+        raise ValueError("n must be nonnegative")
+    rng = np.random.default_rng(seed)
+    items = (rng.integers(1, m + 1, size=n)).tolist()
+    return Stream(
+        items=items,
+        name=f"uniform(m={m})",
+        params={"dist": "uniform", "m": m, "seed": seed},
+    )
+
+
+def planted_heavy_hitter_stream(
+    m: int,
+    n: int,
+    heavy_items: int,
+    heavy_fraction: float,
+    background_z: float = 1.0,
+    seed: int = 0,
+) -> Stream:
+    """A Zipf background with ``heavy_items`` planted heavy hitters.
+
+    The heavy items (labelled ``"heavy-1" .. "heavy-H"``) collectively carry
+    ``heavy_fraction`` of the stream, split evenly; the remaining mass is a
+    Zipf(``background_z``) stream over integer items ``1..m``.
+
+    Args:
+        m: number of distinct background objects.
+        n: stream length.
+        heavy_items: number of planted heavy hitters.
+        heavy_fraction: total probability mass of the planted items, in
+            ``(0, 1)``.
+        background_z: Zipf parameter of the background traffic.
+        seed: generator seed.
+    """
+    if heavy_items < 1:
+        raise ValueError("heavy_items must be positive")
+    if not 0 < heavy_fraction < 1:
+        raise ValueError("heavy_fraction must be in (0, 1)")
+    background = zipf_weights(m, background_z)
+    background = background / background.sum() * (1.0 - heavy_fraction)
+    heavy = np.full(heavy_items, heavy_fraction / heavy_items)
+    weights = np.concatenate([heavy, background])
+    sampler = AliasSampler(weights, seed=seed)
+    draws = sampler.sample_many(n)
+    items: list = [
+        f"heavy-{index + 1}" if index < heavy_items else int(index - heavy_items + 1)
+        for index in draws
+    ]
+    return Stream(
+        items=items,
+        name=f"planted(h={heavy_items}, frac={heavy_fraction})",
+        params={
+            "dist": "planted",
+            "m": m,
+            "heavy_items": heavy_items,
+            "heavy_fraction": heavy_fraction,
+            "background_z": background_z,
+            "seed": seed,
+        },
+    )
+
+
+def adversarial_boundary_stream(
+    k: int, l: int, scale: int, padding_items: int = 0, seed: int = 0
+) -> Stream:
+    """§1's hard CANDIDATETOP instance: ``n_k = n_{l+1} + 1``.
+
+    Items ``1..k`` each occur ``scale + 1`` times; items ``k+1..l+1`` each
+    occur ``scale`` times, so distinguishing the k-th most frequent item
+    from the (l+1)-st requires resolving a single-occurrence gap — the
+    scaling argument the paper uses to motivate the (1±ε) relaxation.
+    Optional ``padding_items`` singletons are appended as noise.  The stream
+    order is shuffled deterministically by ``seed``.
+
+    Args:
+        k: number of "frequent" items.
+        l: candidate list length being attacked (items ``k+1..l+1`` are the
+            near-ties).
+        scale: base count; the adversary "scales the n_i's towards
+            infinity" by raising this.
+        padding_items: extra distinct singleton items appended as noise.
+        seed: shuffle seed.
+    """
+    if k < 1 or l < k:
+        raise ValueError("need 1 <= k <= l")
+    if scale < 1:
+        raise ValueError("scale must be positive")
+    items: list = []
+    for item in range(1, k + 1):
+        items.extend([item] * (scale + 1))
+    for item in range(k + 1, l + 2):
+        items.extend([item] * scale)
+    items.extend(range(l + 2, l + 2 + padding_items))
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(items))
+    items = [items[i] for i in order]
+    return Stream(
+        items=items,
+        name=f"adversarial(k={k}, l={l}, scale={scale})",
+        params={
+            "dist": "adversarial",
+            "k": k,
+            "l": l,
+            "scale": scale,
+            "padding_items": padding_items,
+            "seed": seed,
+        },
+    )

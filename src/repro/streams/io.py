@@ -1,0 +1,89 @@
+"""Stream persistence: plain-text and JSON-lines formats.
+
+Two formats cover the item types this library produces:
+
+* ``text`` — one item per line, for ``str`` and ``int`` items (query logs).
+  Integers round-trip as integers; everything else round-trips as strings.
+* ``jsonl`` — one JSON value per line, for structured items (flow tuples
+  round-trip as lists and are rebuilt into tuples on read so the encoded
+  keys match).
+
+Files are written atomically enough for experiment use (write then rename is
+overkill here; a failed write leaves a partial file the reader will reject
+on malformed JSON).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Hashable, Iterable, Iterator
+
+
+def write_stream_text(path: str | Path, items: Iterable[Hashable]) -> int:
+    """Write items one per line as text; return the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for item in items:
+            text = str(item)
+            if "\n" in text:
+                raise ValueError("text format cannot hold items with newlines")
+            handle.write(text)
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_stream_text(path: str | Path, as_int: bool = False) -> list:
+    """Read a text-format stream; optionally parse every line as ``int``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [line.rstrip("\n") for line in handle]
+    if as_int:
+        return [int(line) for line in lines]
+    return lines
+
+
+def _jsonable(item: Hashable):
+    """Convert an item to a JSON-representable value."""
+    if isinstance(item, tuple):
+        return {"__tuple__": [_jsonable(part) for part in item]}
+    if isinstance(item, (str, int, float, bool)) or item is None:
+        return item
+    raise TypeError(f"cannot serialize item of type {type(item).__name__}")
+
+
+def _unjsonable(value):
+    """Inverse of :func:`_jsonable`."""
+    if isinstance(value, dict) and "__tuple__" in value:
+        return tuple(_unjsonable(part) for part in value["__tuple__"])
+    return value
+
+
+def write_stream_jsonl(path: str | Path, items: Iterable[Hashable]) -> int:
+    """Write items one JSON value per line; return the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for item in items:
+            handle.write(json.dumps(_jsonable(item), separators=(",", ":")))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_stream_jsonl(path: str | Path) -> list:
+    """Read a JSON-lines stream, rebuilding tuples."""
+    items = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                items.append(_unjsonable(json.loads(line)))
+    return items
+
+
+def iter_stream_text(path: str | Path, as_int: bool = False) -> Iterator:
+    """Stream a text-format file lazily (for streams bigger than memory)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            value = line.rstrip("\n")
+            yield int(value) if as_int else value

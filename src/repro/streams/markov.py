@@ -1,0 +1,82 @@
+"""Temporally correlated (Markov) streams.
+
+Real query and packet streams are not i.i.d. — the same query repeats in
+bursts, flows send packet trains.  The Count Sketch itself is a function
+of the frequency vector and therefore order-blind, but the §3.2 tracker's
+heap decisions *do* depend on arrival order, so workloads with realistic
+temporal correlation are worth testing against (the non-i.i.d. companion
+to :mod:`repro.streams.zipf`).
+
+The generator is a two-state-per-item burst process: at each step, with
+probability ``repeat`` the previous item is emitted again (a burst
+continues); otherwise a fresh item is drawn from a Zipf base
+distribution.  The *stationary* item frequencies equal the base
+distribution exactly (repetition rescales every item's rate by the same
+``1/(1−repeat)`` factor), so ground-truth expectations carry over, while
+the arrival order gains bursts of geometric length ``1/(1−repeat)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.alias import AliasSampler
+from repro.streams.model import Stream
+from repro.streams.zipf import zipf_weights
+
+
+class BurstyZipfStreamGenerator:
+    """Zipf frequencies with geometric repetition bursts.
+
+    Args:
+        m: number of distinct objects (items are ints ``1..m``).
+        z: Zipf parameter of the base (and stationary) distribution.
+        repeat: probability of repeating the previous item; ``0`` recovers
+            the i.i.d. generator, values near 1 give long bursts.
+        seed: generation seed.
+    """
+
+    def __init__(self, m: int, z: float, repeat: float = 0.5, seed: int = 0):
+        if not 0 <= repeat < 1:
+            raise ValueError("repeat must be in [0, 1)")
+        self._m = m
+        self._z = z
+        self._repeat = repeat
+        self._seed = seed
+        self._sampler = AliasSampler(zipf_weights(m, z), seed=seed)
+        self._rng = np.random.default_rng(seed + 1)
+
+    @property
+    def repeat(self) -> float:
+        """The burst-continuation probability."""
+        return self._repeat
+
+    def expected_burst_length(self) -> float:
+        """Mean burst length ``1 / (1 − repeat)``."""
+        return 1.0 / (1.0 - self._repeat)
+
+    def generate(self, n: int) -> Stream:
+        """Generate a length-``n`` bursty stream."""
+        if n < 0:
+            raise ValueError("n must be nonnegative")
+        fresh = self._sampler.sample_many(n) + 1
+        coins = self._rng.random(n)
+        items = np.empty(n, dtype=np.int64)
+        previous = 0
+        for position in range(n):
+            if position > 0 and coins[position] < self._repeat:
+                items[position] = previous
+            else:
+                items[position] = fresh[position]
+            previous = items[position]
+        return Stream(
+            items=items.tolist(),
+            name=f"bursty-zipf(z={self._z}, repeat={self._repeat})",
+            params={
+                "dist": "bursty-zipf",
+                "m": self._m,
+                "z": self._z,
+                "repeat": self._repeat,
+                "seed": self._seed,
+            },
+        )

@@ -1,0 +1,56 @@
+"""The :class:`Stream` wrapper: items plus generation metadata.
+
+Experiments need to know how a stream was made (distribution, parameters,
+seed) in order to label results and to compute theoretical predictions next
+to measurements; binding the metadata to the data keeps the two from
+drifting apart across a parameter sweep.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class Stream:
+    """An in-memory data stream with provenance metadata.
+
+    The object is itself a sequence (iterable, indexable, sized), so it can
+    be passed anywhere a plain list of items is accepted — including twice,
+    for the two-pass algorithms.
+
+    Attributes:
+        items: the stream items in arrival order.
+        name: human-readable label used in experiment reports.
+        params: the generation parameters (distribution, z, m, seed, ...).
+    """
+
+    items: Sequence[Hashable]
+    name: str = "stream"
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __getitem__(self, index):
+        return self.items[index]
+
+    def counts(self) -> Counter:
+        """Exact item counts (ground truth; O(n) each call, not cached)."""
+        return Counter(self.items)
+
+    def distinct(self) -> int:
+        """Number of distinct items actually present."""
+        return len(set(self.items))
+
+    def describe(self) -> str:
+        """One-line description for reports."""
+        parts = [f"{self.name}: n={len(self.items)}"]
+        for key, value in self.params.items():
+            parts.append(f"{key}={value}")
+        return ", ".join(parts)

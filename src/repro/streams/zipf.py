@@ -1,0 +1,107 @@
+"""Zipfian stream generation.
+
+§4.1 analyzes the algorithm under Zipfian item frequencies ``n_q ∝ 1/q^z``
+("we expect that Zipfian distributions will be good fits for the actual
+distributions seen in practice"), and Table 1's regimes are indexed by the
+Zipf parameter ``z``.  This module generates streams whose *expected* counts
+follow that law exactly, sampled i.i.d. via the alias method.
+
+Item identities are the integer ranks ``1..m`` by default (item ``1`` is the
+most frequent); an optional label template turns them into strings for
+workloads that want realistic-looking keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.alias import AliasSampler
+from repro.streams.model import Stream
+
+
+def zipf_weights(m: int, z: float) -> np.ndarray:
+    """Unnormalized Zipf weights ``w_q = 1/q^z`` for ranks ``q = 1..m``.
+
+    Args:
+        m: number of distinct objects.
+        z: Zipf parameter (``z = 0`` is uniform; larger is more skewed).
+    """
+    if m < 1:
+        raise ValueError("m must be positive")
+    if z < 0:
+        raise ValueError("z must be nonnegative")
+    ranks = np.arange(1, m + 1, dtype=np.float64)
+    return ranks ** (-z)
+
+
+class ZipfStreamGenerator:
+    """Generate i.i.d. Zipfian streams over ``m`` ranked objects.
+
+    Args:
+        m: number of distinct objects.
+        z: Zipf parameter.
+        seed: sampler seed; streams are deterministic given the seed.
+        label_template: if given (e.g. ``"query-{rank}"``), items are the
+            formatted strings instead of integer ranks.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        z: float,
+        seed: int = 0,
+        label_template: str | None = None,
+    ):
+        self._m = m
+        self._z = z
+        self._seed = seed
+        self._label_template = label_template
+        self._sampler = AliasSampler(zipf_weights(m, z), seed=seed)
+
+    @property
+    def m(self) -> int:
+        """Number of distinct objects."""
+        return self._m
+
+    @property
+    def z(self) -> float:
+        """The Zipf parameter."""
+        return self._z
+
+    def item_for_rank(self, rank: int) -> object:
+        """The stream item corresponding to frequency rank ``rank`` (1-based)."""
+        if not 1 <= rank <= self._m:
+            raise ValueError(f"rank must be in [1, {self._m}]")
+        if self._label_template is None:
+            return rank
+        return self._label_template.format(rank=rank)
+
+    def expected_probabilities(self) -> np.ndarray:
+        """Normalized expected frequency of each rank (index 0 = rank 1)."""
+        return self._sampler.probabilities
+
+    def expected_counts(self, n: int) -> np.ndarray:
+        """Expected count of each rank in a length-``n`` stream."""
+        if n < 0:
+            raise ValueError("n must be nonnegative")
+        return self.expected_probabilities() * n
+
+    def generate(self, n: int, name: str | None = None) -> Stream:
+        """Generate a length-``n`` stream.
+
+        Args:
+            n: stream length.
+            name: report label; defaults to ``zipf(z=..., m=...)``.
+        """
+        ranks = self._sampler.sample_many(n) + 1  # ranks are 1-based
+        if self._label_template is None:
+            items: list = ranks.tolist()
+        else:
+            template = self._label_template
+            items = [template.format(rank=int(rank)) for rank in ranks]
+        return Stream(
+            items=items,
+            name=name or f"zipf(z={self._z}, m={self._m})",
+            params={"dist": "zipf", "z": self._z, "m": self._m,
+                    "seed": self._seed},
+        )

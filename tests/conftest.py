@@ -1,0 +1,27 @@
+"""Shared fixtures: small deterministic workloads reused across test
+modules so the suite stays fast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ground_truth import StreamStatistics
+from repro.streams.zipf import ZipfStreamGenerator
+
+
+@pytest.fixture(scope="session")
+def zipf_stream():
+    """A small deterministic Zipf(z=1) stream shared by many tests."""
+    return ZipfStreamGenerator(m=500, z=1.0, seed=42).generate(10_000)
+
+
+@pytest.fixture(scope="session")
+def zipf_counts(zipf_stream):
+    """Exact counts of the shared stream."""
+    return zipf_stream.counts()
+
+
+@pytest.fixture(scope="session")
+def zipf_stats(zipf_counts):
+    """Ground-truth statistics of the shared stream."""
+    return StreamStatistics(counts=zipf_counts)

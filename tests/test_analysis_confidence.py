@@ -1,0 +1,110 @@
+"""Tests for the estimate error envelopes."""
+
+import pytest
+
+from repro.analysis.confidence import (
+    EstimateInterval,
+    estimate_with_f2_interval,
+    estimate_with_spread_interval,
+    f2_error_scale,
+)
+from repro.core.countsketch import CountSketch
+from repro.core.params import gamma
+
+
+class TestEstimateInterval:
+    def test_contains(self):
+        interval = EstimateInterval(10.0, 8.0, 12.0)
+        assert 9.0 in interval
+        assert 8.0 in interval
+        assert 13.0 not in interval
+
+    def test_half_width(self):
+        assert EstimateInterval(10.0, 8.0, 12.0).half_width == 2.0
+
+
+class TestF2Envelope:
+    def test_scale_conservative_vs_true_gamma(self, zipf_counts, zipf_stats):
+        sketch = CountSketch(5, 256, seed=1)
+        sketch.update_counts(zipf_counts)
+        observed = f2_error_scale(sketch)
+        true_gamma = gamma(zipf_stats.tail_second_moment(10), 256)
+        # F2 >= tail moment, so the observable scale dominates (allow
+        # 20% F2-estimation noise).
+        assert observed >= 0.8 * true_gamma
+
+    def test_interval_centered_on_estimate(self, zipf_counts):
+        sketch = CountSketch(5, 256, seed=1)
+        sketch.update_counts(zipf_counts)
+        interval = estimate_with_f2_interval(sketch, 1, multiplier=2.0)
+        assert interval.estimate == sketch.estimate(1)
+        assert interval.high - interval.estimate == pytest.approx(
+            interval.estimate - interval.low
+        )
+
+    def test_multiplier_validation(self):
+        sketch = CountSketch(3, 16, seed=0)
+        with pytest.raises(ValueError):
+            estimate_with_f2_interval(sketch, "x", multiplier=0)
+
+    def test_empirical_coverage(self, zipf_counts, zipf_stats):
+        """The 2γ̂ envelope covers ≥ 90% of mid-frequency items."""
+        sketch = CountSketch(5, 256, seed=2)
+        sketch.update_counts(zipf_counts)
+        items = [item for item, __ in zipf_stats.top_k(200)]
+        covered = sum(
+            1
+            for item in items
+            if zipf_counts[item] in estimate_with_f2_interval(
+                sketch, item, multiplier=2.0
+            )
+        )
+        assert covered / len(items) >= 0.9
+
+    def test_wider_multiplier_covers_more(self, zipf_counts):
+        sketch = CountSketch(5, 64, seed=3)
+        sketch.update_counts(zipf_counts)
+        narrow = estimate_with_f2_interval(sketch, 50, multiplier=0.5)
+        wide = estimate_with_f2_interval(sketch, 50, multiplier=4.0)
+        assert wide.half_width > narrow.half_width
+
+    def test_empty_sketch_zero_scale(self):
+        assert f2_error_scale(CountSketch(3, 16, seed=0)) == 0.0
+
+
+class TestSpreadEnvelope:
+    def test_exact_rows_give_zero_radius(self):
+        sketch = CountSketch(5, 4096, seed=4)
+        sketch.update("only", 42)
+        interval = estimate_with_spread_interval(sketch, "only",
+                                                 drop_extremes=0)
+        assert interval.half_width == 0.0
+        assert 42.0 in interval
+
+    def test_drop_extremes_validation(self):
+        sketch = CountSketch(3, 16, seed=0)
+        with pytest.raises(ValueError):
+            estimate_with_spread_interval(sketch, "x", drop_extremes=3)
+        with pytest.raises(ValueError):
+            estimate_with_spread_interval(sketch, "x", drop_extremes=-1)
+
+    def test_dropping_extremes_narrows(self, zipf_counts):
+        sketch = CountSketch(5, 64, seed=5)
+        sketch.update_counts(zipf_counts)
+        keep_all = estimate_with_spread_interval(sketch, 30, drop_extremes=0)
+        drop_two = estimate_with_spread_interval(sketch, 30, drop_extremes=2)
+        assert drop_two.half_width <= keep_all.half_width
+
+    def test_empirical_coverage(self, zipf_counts, zipf_stats):
+        """The drop-1 spread envelope covers most mid-frequency items."""
+        sketch = CountSketch(5, 256, seed=6)
+        sketch.update_counts(zipf_counts)
+        items = [item for item, __ in zipf_stats.top_k(200)]
+        covered = sum(
+            1
+            for item in items
+            if zipf_counts[item] in estimate_with_spread_interval(
+                sketch, item, drop_extremes=1
+            )
+        )
+        assert covered / len(items) >= 0.75

@@ -1,0 +1,125 @@
+"""Tests for workload fitting and automatic configuration."""
+
+from collections import Counter
+
+import pytest
+
+from repro.analysis.fit import (
+    extrapolated_tail_second_moment,
+    fit_zipf_parameter,
+    profile_stream,
+    recommend_parameters,
+)
+from repro.analysis.ground_truth import StreamStatistics
+from repro.streams.zipf import ZipfStreamGenerator
+
+
+class TestFitZipfParameter:
+    def test_exact_zipf_counts(self):
+        # Counts literally 1000/r^z: the fit must recover z closely.
+        for z in (0.5, 1.0, 1.5):
+            counts = Counter(
+                {f"item-{r}": max(1, int(1000 / r**z)) for r in range(1, 200)}
+            )
+            assert abs(fit_zipf_parameter(counts) - z) < 0.1
+
+    def test_uniform_counts_give_zero(self):
+        counts = Counter({f"item-{i}": 50 for i in range(100)})
+        assert fit_zipf_parameter(counts) == pytest.approx(0.0)
+
+    def test_sampled_zipf_stream(self):
+        stream = ZipfStreamGenerator(m=2_000, z=1.0, seed=1).generate(50_000)
+        fitted = fit_zipf_parameter(stream.counts())
+        assert abs(fitted - 1.0) < 0.25
+
+    def test_negative_slope_clamped(self):
+        # Increasing "counts" (impossible for sorted input, but the rank
+        # sort makes them decreasing anyway) — clamp guards z >= 0.
+        counts = Counter({"a": 5, "b": 5, "c": 5})
+        assert fit_zipf_parameter(counts) >= 0.0
+
+    def test_too_few_ranks(self):
+        with pytest.raises(ValueError):
+            fit_zipf_parameter(Counter({"a": 5}))
+
+    def test_rank_window(self):
+        counts = Counter({f"i{r}": int(1000 / r) for r in range(1, 100)})
+        full = fit_zipf_parameter(counts)
+        head = fit_zipf_parameter(counts, min_rank=1, max_rank=20)
+        assert abs(full - head) < 0.2
+
+
+class TestExtrapolatedTail:
+    def test_quadratic_scaling(self):
+        stats = StreamStatistics(stream=["a"] * 6 + ["b"] * 4)
+        sample_tail = stats.tail_second_moment(1)  # 16
+        assert extrapolated_tail_second_moment(stats, 1, 20) == (
+            pytest.approx(sample_tail * 4)
+        )
+
+    def test_full_length_validation(self):
+        stats = StreamStatistics(stream=["a"] * 10)
+        with pytest.raises(ValueError):
+            extrapolated_tail_second_moment(stats, 1, 5)
+
+    def test_prediction_close_on_real_stream(self):
+        generator = ZipfStreamGenerator(m=1_000, z=1.0, seed=2)
+        full = generator.generate(40_000)
+        sample = list(full)[:4_000]
+        sample_stats = StreamStatistics(stream=sample)
+        predicted = extrapolated_tail_second_moment(sample_stats, 10, 40_000)
+        actual = StreamStatistics(counts=full.counts()).tail_second_moment(10)
+        assert 0.4 * actual <= predicted <= 2.0 * actual
+
+
+class TestProfileStream:
+    def test_fields(self):
+        stream = ZipfStreamGenerator(m=500, z=1.0, seed=3).generate(5_000)
+        profile = profile_stream(list(stream), k=10)
+        assert profile.sample_length == 5_000
+        assert profile.distinct_items <= 500
+        assert 0.5 < profile.zipf_z < 1.5
+        assert profile.nk_sample > 0
+        assert profile.tail_second_moment_sample > 0
+
+
+class TestRecommendParameters:
+    def test_guarantee_holds_with_recommended_parameters(self):
+        from repro.analysis.metrics import approxtop_weak_ok
+        from repro.core.topk import TopKTracker
+
+        generator = ZipfStreamGenerator(m=1_000, z=1.0, seed=4)
+        stream = generator.generate(20_000)
+        sample = list(stream)[:2_000]
+        params = recommend_parameters(sample, k=10, epsilon=0.5,
+                                      full_length=20_000)
+        tracker = TopKTracker(10, depth=params.depth, width=params.width,
+                              seed=1)
+        for item in stream:
+            tracker.update(item)
+        stats = StreamStatistics(counts=stream.counts())
+        reported = [item for item, __ in tracker.top()]
+        assert approxtop_weak_ok(reported, stats, 10, 0.5)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            recommend_parameters([], k=5, epsilon=0.5, full_length=100)
+
+    def test_sample_without_k_items_rejected(self):
+        with pytest.raises(ValueError, match="fewer than k"):
+            recommend_parameters(["a", "b"], k=5, epsilon=0.5,
+                                 full_length=100)
+
+    def test_width_scales_with_tighter_epsilon(self):
+        sample = ZipfStreamGenerator(m=500, z=1.0, seed=5).generate(5_000)
+        tight = recommend_parameters(list(sample), 10, 0.1, 50_000)
+        loose = recommend_parameters(list(sample), 10, 0.5, 50_000)
+        assert tight.width > loose.width
+
+    def test_depth_from_full_length(self):
+        from repro.core.params import suggest_depth
+
+        sample = ZipfStreamGenerator(m=500, z=1.0, seed=6).generate(5_000)
+        params = recommend_parameters(list(sample), 10, 0.5, 80_000,
+                                      delta=0.01, depth_constant=1.0)
+        assert params.depth == suggest_depth(80_000, 0.01, 1.0)

@@ -1,0 +1,164 @@
+"""Tests for ground-truth statistics and the quality metrics."""
+
+from collections import Counter
+
+import pytest
+
+from repro.analysis.ground_truth import StreamStatistics
+from repro.analysis.metrics import (
+    approxtop_strong_ok,
+    approxtop_weak_ok,
+    average_relative_error,
+    candidatetop_ok,
+    max_absolute_error,
+    precision_at_k,
+    recall_at_k,
+)
+
+
+def stats_from(counts: dict) -> StreamStatistics:
+    return StreamStatistics(counts=Counter(counts))
+
+
+class TestStreamStatistics:
+    def test_from_stream(self):
+        stats = StreamStatistics(stream=["a", "b", "a"])
+        assert stats.n == 3
+        assert stats.m == 2
+        assert stats.count("a") == 2
+
+    def test_requires_input(self):
+        with pytest.raises(ValueError):
+            StreamStatistics()
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            StreamStatistics(counts=Counter({"a": -1}))
+
+    def test_zero_counts_dropped(self):
+        stats = stats_from({"a": 2, "b": 0})
+        assert stats.m == 1
+
+    def test_sorted_counts(self):
+        stats = stats_from({"a": 3, "b": 7, "c": 1})
+        assert stats.sorted_counts.tolist() == [7, 3, 1]
+
+    def test_nk(self):
+        stats = stats_from({"a": 3, "b": 7, "c": 1})
+        assert stats.nk(1) == 7
+        assert stats.nk(2) == 3
+        assert stats.nk(3) == 1
+        assert stats.nk(4) == 0  # fewer than 4 items
+
+    def test_nk_validation(self):
+        with pytest.raises(ValueError):
+            stats_from({"a": 1}).nk(0)
+
+    def test_frequency(self):
+        stats = stats_from({"a": 3, "b": 1})
+        assert stats.frequency("a") == 0.75
+        assert stats.frequency("missing") == 0.0
+
+    def test_top_k(self):
+        stats = stats_from({"a": 3, "b": 7, "c": 1})
+        assert stats.top_k(2) == [("b", 7), ("a", 3)]
+        assert stats.top_k_items(2) == {"a", "b"}
+
+    def test_second_moment(self):
+        stats = stats_from({"a": 3, "b": 4})
+        assert stats.second_moment() == 25.0
+
+    def test_tail_second_moment(self):
+        stats = stats_from({"a": 3, "b": 4, "c": 2})
+        # sorted: 4, 3, 2; tail after k=1: 3^2 + 2^2 = 13
+        assert stats.tail_second_moment(1) == 13.0
+        assert stats.tail_second_moment(0) == 29.0
+        assert stats.tail_second_moment(3) == 0.0
+        assert stats.tail_second_moment(10) == 0.0
+
+    def test_items_above(self):
+        stats = stats_from({"a": 10, "b": 5, "c": 2})
+        assert stats.items_above(5) == {"a", "b"}
+        assert stats.items_above(100) == set()
+
+    def test_gamma_pipeline(self):
+        """tail_second_moment feeds Eq. 5 directly."""
+        from repro.core.params import gamma
+
+        stats = stats_from({"a": 8, "b": 6})
+        assert gamma(stats.tail_second_moment(1), 4) == 3.0
+
+
+class TestRecallPrecision:
+    def test_recall_full(self):
+        assert recall_at_k(["a", "b"], {"a", "b"}) == 1.0
+
+    def test_recall_partial(self):
+        assert recall_at_k(["a", "x"], {"a", "b"}) == 0.5
+
+    def test_recall_empty_truth(self):
+        assert recall_at_k(["a"], set()) == 1.0
+
+    def test_precision(self):
+        assert precision_at_k(["a", "x"], {"a", "b"}) == 0.5
+
+    def test_precision_empty_reported(self):
+        assert precision_at_k([], {"a"}) == 1.0
+
+
+class TestApproxTopCriteria:
+    def setup_method(self):
+        # counts: a=100, b=90, c=50, d=10  => n_2 = 90
+        self.stats = stats_from({"a": 100, "b": 90, "c": 50, "d": 10})
+
+    def test_weak_ok_exact_answer(self):
+        assert approxtop_weak_ok(["a", "b"], self.stats, k=2, epsilon=0.1)
+
+    def test_weak_ok_boundary_item_allowed(self):
+        # (1-0.5)*90 = 45 <= 50, so c may stand in.
+        assert approxtop_weak_ok(["a", "c"], self.stats, k=2, epsilon=0.5)
+
+    def test_weak_fails_on_low_frequency_item(self):
+        assert not approxtop_weak_ok(["a", "d"], self.stats, k=2, epsilon=0.1)
+
+    def test_weak_fails_on_short_list(self):
+        assert not approxtop_weak_ok(["a"], self.stats, k=2, epsilon=0.1)
+
+    def test_strong_requires_clearly_heavy_items(self):
+        # (1+0.1)*90 = 99: only 'a' is mandatory.
+        assert approxtop_strong_ok(["a", "c"], self.stats, k=2, epsilon=0.1)
+        assert not approxtop_strong_ok(["b", "c"], self.stats, k=2,
+                                       epsilon=0.1)
+
+    def test_candidatetop_ok(self):
+        assert candidatetop_ok(["a", "b", "x"], self.stats, k=2)
+        assert not candidatetop_ok(["a", "c"], self.stats, k=2)
+
+    def test_candidatetop_handles_ties(self):
+        tied = stats_from({"a": 5, "b": 5, "c": 5, "d": 1})
+        # Any two of the tied items satisfy CANDIDATETOP(k=2).
+        assert candidatetop_ok(["a", "c"], tied, k=2)
+        assert not candidatetop_ok(["a", "d"], tied, k=2)
+
+
+class TestErrorMetrics:
+    def test_average_relative_error(self):
+        stats = stats_from({"a": 10, "b": 20})
+        estimates = {"a": 11.0, "b": 18.0}
+        assert average_relative_error(estimates, stats) == pytest.approx(
+            (0.1 + 0.1) / 2
+        )
+
+    def test_average_relative_error_zero_truth(self):
+        stats = stats_from({"a": 10})
+        assert average_relative_error({"ghost": 3.0}, stats) == 3.0
+
+    def test_average_relative_error_empty(self):
+        assert average_relative_error({}, stats_from({"a": 1})) == 0.0
+
+    def test_max_absolute_error(self):
+        stats = stats_from({"a": 10, "b": 20})
+        assert max_absolute_error({"a": 13.0, "b": 19.0}, stats) == 3.0
+
+    def test_max_absolute_error_empty(self):
+        assert max_absolute_error({}, stats_from({"a": 1})) == 0.0

@@ -1,0 +1,201 @@
+"""Tests for the §4.1 closed forms and the §5 space model."""
+
+import math
+
+import pytest
+
+from repro.analysis.space import SpaceModel
+from repro.analysis.zipf_math import (
+    count_sketch_space_order,
+    count_sketch_width_order,
+    harmonic_number,
+    kps_space_order,
+    sampling_distinct_order,
+    sampling_expected_distinct,
+    table1_orders,
+    tail_second_moment_order,
+    zipf_tail_second_moment,
+)
+
+
+class TestHarmonicNumber:
+    def test_z_zero(self):
+        assert harmonic_number(5, 0.0) == 5.0
+
+    def test_z_one(self):
+        assert harmonic_number(3, 1.0) == pytest.approx(1 + 0.5 + 1 / 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            harmonic_number(0, 1.0)
+        with pytest.raises(ValueError):
+            harmonic_number(5, -1.0)
+
+
+class TestTailSecondMoment:
+    def test_exact_small_case(self):
+        # z=1: sum over q=2..3 of 1/q^2 = 1/4 + 1/9
+        assert zipf_tail_second_moment(3, 1, 1.0) == pytest.approx(
+            0.25 + 1 / 9
+        )
+
+    def test_k_equals_m(self):
+        assert zipf_tail_second_moment(5, 5, 1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_tail_second_moment(5, 6, 1.0)
+        with pytest.raises(ValueError):
+            zipf_tail_second_moment(5, -1, 1.0)
+
+    def test_order_regimes(self):
+        # z < 1/2: grows with m
+        assert tail_second_moment_order(10_000, 10, 0.3) > (
+            tail_second_moment_order(1_000, 10, 0.3)
+        )
+        # z = 1/2: log m
+        assert tail_second_moment_order(10_000, 10, 0.5) == pytest.approx(
+            math.log(10_000)
+        )
+        # z > 1/2: independent of m, shrinks with k
+        assert tail_second_moment_order(10_000, 10, 0.8) == (
+            tail_second_moment_order(99, 10, 0.8)
+        )
+
+    def test_exact_matches_order_scaling_small_z(self):
+        """The exact sums should scale like the order formula in m."""
+        z, k = 0.3, 10
+        exact_ratio = zipf_tail_second_moment(16_000, k, z) / (
+            zipf_tail_second_moment(2_000, k, z)
+        )
+        order_ratio = tail_second_moment_order(16_000, k, z) / (
+            tail_second_moment_order(2_000, k, z)
+        )
+        assert exact_ratio == pytest.approx(order_ratio, rel=0.1)
+
+
+class TestSpaceOrders:
+    def test_count_sketch_cases(self):
+        m, k = 10_000, 10
+        assert count_sketch_width_order(m, k, 0.3) == pytest.approx(
+            m**0.4 * k**0.6
+        )
+        assert count_sketch_width_order(m, k, 0.5) == pytest.approx(
+            k * math.log(m)
+        )
+        assert count_sketch_width_order(m, k, 0.9) == k
+        assert count_sketch_width_order(m, k, 1.5) == k
+
+    def test_count_sketch_space_multiplies_log_n(self):
+        assert count_sketch_space_order(100, 5, 1.0, 1000) == pytest.approx(
+            5 * math.log(1000)
+        )
+
+    def test_kps_cases(self):
+        m, k = 10_000, 10
+        assert kps_space_order(m, k, 0.5) == pytest.approx(
+            k**0.5 * m**0.5
+        )
+        assert kps_space_order(m, k, 1.0) == pytest.approx(k * math.log(m))
+        assert kps_space_order(m, k, 2.0) == pytest.approx(k**2)
+
+    def test_sampling_cases(self):
+        m, k, delta = 10_000, 10, 0.05
+        log_term = math.log(k / delta)
+        assert sampling_distinct_order(m, k, 0.5, delta) == pytest.approx(
+            math.sqrt(k * m) * log_term
+        )
+        assert sampling_distinct_order(m, k, 1.0, delta) == pytest.approx(
+            k * math.log(m) * log_term
+        )
+        assert sampling_distinct_order(m, k, 2.0, delta) == pytest.approx(
+            k * log_term**0.5
+        )
+
+    def test_sampling_order_decreases_with_z(self):
+        values = [
+            sampling_distinct_order(10_000, 10, z) for z in (0.3, 0.6, 1.5)
+        ]
+        assert values[0] > values[1] > values[2]
+
+    def test_sampling_expected_distinct_bounds(self):
+        expected = sampling_expected_distinct(1_000, 10, 1.0, 100_000)
+        assert 0 < expected <= 1_000
+
+    def test_sampling_expected_distinct_grows_with_m_small_z(self):
+        a = sampling_expected_distinct(1_000, 10, 0.3, 100_000)
+        b = sampling_expected_distinct(8_000, 10, 0.3, 100_000)
+        assert b > a
+
+    def test_table1_orders_rows(self):
+        rows = table1_orders(10_000, 10, 100_000)
+        assert len(rows) == 5
+        assert [row.regime for row in rows] == [
+            "z < 1/2", "z = 1/2", "1/2 < z < 1", "z = 1", "z > 1",
+        ]
+        for row in rows:
+            assert row.sampling > 0
+            assert row.kps > 0
+            assert row.count_sketch > 0
+
+    def test_table1_count_sketch_flat_above_half(self):
+        """Table 1's key qualitative claim: the COUNT SKETCH column stops
+        depending on m once z > 1/2."""
+        rows_small = table1_orders(1_000, 10, 100_000, zs=(0.75, 1.0, 1.5))
+        rows_large = table1_orders(64_000, 10, 100_000, zs=(0.75, 1.0, 1.5))
+        for small, large in zip(rows_small, rows_large):
+            assert small.count_sketch == large.count_sketch
+            assert large.sampling > small.sampling or small.z > 1
+
+
+class TestSpaceModel:
+    def test_total_bits(self):
+        model = SpaceModel(counter_bits=32, object_bits=100)
+        assert model.total_bits(10, 3) == 620
+
+    def test_for_stream_counter_bits(self):
+        model = SpaceModel.for_stream(n=1000, object_bits=64)
+        assert model.counter_bits == 10
+        assert model.object_bits == 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpaceModel.for_stream(0, 10)
+        with pytest.raises(ValueError):
+            SpaceModel.for_stream(10, 0)
+        with pytest.raises(ValueError):
+            SpaceModel(8, 8).total_bits(-1, 0)
+
+    def test_summary_bits_uses_accessors(self):
+        class Fake:
+            def counters_used(self):
+                return 4
+
+            def items_stored(self):
+                return 2
+
+        model = SpaceModel(counter_bits=10, object_bits=100)
+        assert model.summary_bits(Fake()) == 240
+
+    def test_section5_conclusion(self):
+        """§5: large objects favour the sketch.  With l >> log n, a sketch
+        holding k objects beats a sample holding many."""
+        model = SpaceModel.for_stream(n=100_000, object_bits=4096)
+
+        class SketchLike:
+            def counters_used(self):
+                return 2_000
+
+            def items_stored(self):
+                return 10
+
+        class SampleLike:
+            def counters_used(self):
+                return 500
+
+            def items_stored(self):
+                return 500
+
+        assert model.summary_bits(SketchLike()) < model.summary_bits(
+            SampleLike()
+        )

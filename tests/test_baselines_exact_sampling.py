@@ -1,0 +1,147 @@
+"""Tests for the exact counter and the SAMPLING baseline."""
+
+import pytest
+
+from repro.baselines.exact import ExactCounter
+from repro.baselines.sampling import SamplingSummary, required_probability
+
+
+class TestExactCounter:
+    def test_counts(self):
+        counter = ExactCounter()
+        counter.extend(["a", "b", "a"])
+        assert counter.count("a") == 2
+        assert counter.count("b") == 1
+        assert counter.count("c") == 0
+        assert counter.estimate("a") == 2.0
+
+    def test_weighted_update(self):
+        counter = ExactCounter()
+        counter.update("a", 5)
+        assert counter.count("a") == 5
+        assert counter.total == 5
+
+    def test_top(self):
+        counter = ExactCounter()
+        counter.extend(["a", "b", "a", "c", "a", "b"])
+        assert counter.top(2) == [("a", 3.0), ("b", 2.0)]
+
+    def test_space_accounting(self):
+        counter = ExactCounter()
+        counter.extend(["a", "b", "a"])
+        assert counter.counters_used() == 2
+        assert counter.items_stored() == 2
+        assert len(counter) == 2
+
+    def test_counts_copy_is_independent(self):
+        counter = ExactCounter()
+        counter.update("a")
+        snapshot = counter.counts()
+        counter.update("a")
+        assert snapshot["a"] == 1
+        assert counter.count("a") == 2
+
+
+class TestRequiredProbability:
+    def test_formula(self):
+        import math
+
+        p = required_probability(nk=100, k=10, delta=0.05)
+        assert p == pytest.approx(math.log(10 / 0.05) / 100)
+
+    def test_capped_at_one(self):
+        assert required_probability(nk=1, k=10, delta=0.05) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_probability(0, 10)
+        with pytest.raises(ValueError):
+            required_probability(10, 0)
+        with pytest.raises(ValueError):
+            required_probability(10, 10, delta=1.5)
+
+
+class TestSamplingSummary:
+    def test_probability_one_keeps_everything(self):
+        summary = SamplingSummary(1.0, seed=0)
+        summary.update("a")
+        summary.update("a")
+        summary.update("b")
+        assert summary.sampled_count("a") == 2
+        assert summary.estimate("a") == 2.0
+        assert summary.sample_size() == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplingSummary(0.0)
+        with pytest.raises(ValueError):
+            SamplingSummary(1.5)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingSummary(0.5, seed=0).update("a", -2)
+
+    def test_estimate_unbiased(self):
+        """Averaged over seeds, count/p ≈ true count."""
+        estimates = []
+        for seed in range(100):
+            summary = SamplingSummary(0.2, seed=seed)
+            summary.update("x", 200)
+            estimates.append(summary.estimate("x"))
+        mean = sum(estimates) / len(estimates)
+        assert abs(mean - 200) < 10
+
+    def test_weighted_update_thins_binomially(self):
+        summary = SamplingSummary(0.5, seed=3)
+        summary.update("x", 1000)
+        assert 400 < summary.sampled_count("x") < 600
+
+    def test_sampling_rate_respected(self):
+        summary = SamplingSummary(0.1, seed=1)
+        for i in range(10_000):
+            summary.update(i)
+        assert 800 < summary.sample_size() < 1200
+
+    def test_top_scaled_by_probability(self):
+        summary = SamplingSummary(0.5, seed=2)
+        summary.update("a", 400)
+        summary.update("b", 10)
+        top = summary.top(1)
+        assert top[0][0] == "a"
+        assert top[0][1] == summary.sampled_count("a") / 0.5
+
+    def test_for_candidate_top_captures_heavy_items(self):
+        summary = SamplingSummary.for_candidate_top(
+            nk=200, k=5, delta=0.05, seed=4
+        )
+        stream = [item for item in range(5) for _ in range(200)]
+        stream += list(range(100, 1100))  # 1000 singletons
+        for item in stream:
+            summary.update(item)
+        for heavy in range(5):
+            assert heavy in summary
+
+    def test_space_is_distinct_items(self):
+        summary = SamplingSummary(1.0, seed=0)
+        for item in ["a", "a", "b"]:
+            summary.update(item)
+        assert summary.counters_used() == 2
+        assert summary.items_stored() == 2
+
+    def test_contains(self):
+        summary = SamplingSummary(1.0, seed=0)
+        summary.update("a")
+        assert "a" in summary
+        assert "b" not in summary
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            summary = SamplingSummary(0.3, seed=seed)
+            for i in range(1000):
+                summary.update(i % 50)
+            return sorted(
+                (item, summary.sampled_count(item)) for item in range(50)
+            )
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)

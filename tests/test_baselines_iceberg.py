@@ -1,0 +1,128 @@
+"""Tests for the Fang et al. multiple-hash iceberg scheme."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.iceberg import MultiHashIceberg
+
+
+def skewed_stream(seed, n=5_000):
+    rng = random.Random(seed)
+    stream = []
+    for item in range(6):
+        stream.extend([f"heavy-{item}"] * (n // (10 * (item + 1))))
+    while len(stream) < n:
+        stream.append(rng.randrange(20_000))
+    rng.shuffle(stream)
+    return stream[:n]
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiHashIceberg(0, 10)
+        with pytest.raises(ValueError):
+            MultiHashIceberg(3, 0)
+        with pytest.raises(ValueError):
+            MultiHashIceberg().update("a", 0)
+        with pytest.raises(ValueError):
+            MultiHashIceberg().passes_filter("a", 0)
+
+    def test_min_counter_dominates_count(self):
+        filter_ = MultiHashIceberg(3, 64, seed=0)
+        for _ in range(25):
+            filter_.update("x")
+        assert filter_.min_counter("x") >= 25
+
+    def test_counts_accumulate(self):
+        filter_ = MultiHashIceberg(3, 1024, seed=0)
+        filter_.update("x", 10)
+        assert filter_.min_counter("x") == 10
+        assert filter_.total == 10
+
+    def test_space_accessors(self):
+        filter_ = MultiHashIceberg(3, 64)
+        assert filter_.counters_used() == 192
+        assert filter_.items_stored() == 0
+
+
+class TestSoundness:
+    """The defining property: no false negatives, ever."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_no_false_negatives(self, seed):
+        stream = skewed_stream(seed)
+        counts = Counter(stream)
+        filter_ = MultiHashIceberg(3, 256, seed=seed)
+        for item in stream:
+            filter_.update(item)
+        threshold = 50
+        for item, count in counts.items():
+            if count >= threshold:
+                assert filter_.passes_filter(item, threshold)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1,
+                    max_size=200),
+           st.integers(min_value=1, max_value=20))
+    def test_no_false_negatives_property(self, items, threshold):
+        counts = Counter(items)
+        filter_ = MultiHashIceberg(2, 16, seed=3)
+        for item in items:
+            filter_.update(item)
+        for item, count in counts.items():
+            if count >= threshold:
+                assert filter_.passes_filter(item, threshold)
+
+    def test_filter_rejects_most_light_items(self):
+        """Heuristic completeness: with adequate width, most singletons
+        are filtered out."""
+        stream = skewed_stream(4)
+        counts = Counter(stream)
+        filter_ = MultiHashIceberg(3, 2048, seed=4)
+        for item in stream:
+            filter_.update(item)
+        singletons = [item for item, c in counts.items() if c == 1]
+        leaked = sum(
+            1 for item in singletons if filter_.passes_filter(item, 50)
+        )
+        assert leaked <= len(singletons) * 0.2
+
+
+class TestTwoPassQuery:
+    def test_exact_answer(self):
+        stream = skewed_stream(5)
+        counts = Counter(stream)
+        filter_ = MultiHashIceberg(3, 512, seed=5)
+        for item in stream:
+            filter_.update(item)
+        threshold = 60
+        answer = filter_.iceberg_query(stream, threshold)
+        expected = sorted(
+            ((item, c) for item, c in counts.items() if c >= threshold),
+            key=lambda pair: pair[1],
+            reverse=True,
+        )
+        assert answer == expected
+
+    def test_candidates_superset(self):
+        stream = skewed_stream(6)
+        counts = Counter(stream)
+        filter_ = MultiHashIceberg(3, 512, seed=6)
+        for item in stream:
+            filter_.update(item)
+        threshold = 60
+        candidates = set(filter_.candidates(stream, threshold))
+        for item, count in counts.items():
+            if count >= threshold:
+                assert item in candidates
+
+    def test_candidates_deduplicated(self):
+        filter_ = MultiHashIceberg(2, 64, seed=7)
+        for _ in range(5):
+            filter_.update("x")
+        assert filter_.candidates(["x", "x", "x"], 3) == ["x"]

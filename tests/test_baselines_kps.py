@@ -1,0 +1,154 @@
+"""Tests for repro.baselines.kps — the KPS / Misra–Gries guarantee."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.kps import KPSFrequent, counters_for_candidate_top
+
+
+class TestCountersForCandidateTop:
+    def test_formula(self):
+        assert counters_for_candidate_top(1000, 100) == 10
+
+    def test_rounds_up(self):
+        assert counters_for_candidate_top(1000, 300) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            counters_for_candidate_top(0, 10)
+        with pytest.raises(ValueError):
+            counters_for_candidate_top(10, 0)
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KPSFrequent(0)
+
+    def test_tracks_when_space_free(self):
+        summary = KPSFrequent(3)
+        for item in ["a", "b", "c"]:
+            summary.update(item)
+        assert summary.counters_used() == 3
+        assert summary.estimate("a") == 1.0
+
+    def test_decrement_on_overflow(self):
+        summary = KPSFrequent(2)
+        summary.update("a")
+        summary.update("b")
+        summary.update("c")  # decrements everyone; all go to zero
+        assert summary.counters_used() == 0
+
+    def test_majority_element_survives(self):
+        summary = KPSFrequent(1)
+        stream = ["x", "y", "x", "z", "x", "x", "w", "x"]
+        for item in stream:
+            summary.update(item)
+        assert "x" in summary
+
+    def test_weighted_update(self):
+        summary = KPSFrequent(2)
+        summary.update("a", 10)
+        summary.update("b", 1)
+        summary.update("c", 4)
+        # c's weight 4 absorbs min(4, min(10,1)=1): b dies, c keeps 3.
+        assert summary.estimate("b") == 0.0
+        assert summary.estimate("c") == 3.0
+        assert summary.estimate("a") == 9.0
+
+    def test_nonpositive_count_rejected(self):
+        with pytest.raises(ValueError):
+            KPSFrequent(2).update("a", 0)
+
+    def test_capacity_never_exceeded(self):
+        summary = KPSFrequent(5)
+        rng = random.Random(1)
+        for _ in range(2000):
+            summary.update(rng.randrange(100))
+            assert summary.counters_used() <= 5
+
+    def test_top_order(self):
+        summary = KPSFrequent(5)
+        for item, count in [("a", 30), ("b", 20), ("c", 10)]:
+            summary.update(item, count)
+        assert [item for item, __ in summary.top(3)] == ["a", "b", "c"]
+
+
+class TestGuarantees:
+    """The two classical Misra–Gries guarantees, on random streams."""
+
+    def make_stream(self, seed):
+        rng = random.Random(seed)
+        stream = []
+        # Skewed stream: a few heavy items plus noise.
+        for item in range(5):
+            stream.extend([f"heavy-{item}"] * rng.randrange(100, 300))
+        stream.extend(rng.randrange(10_000) for _ in range(2000))
+        rng.shuffle(stream)
+        return stream
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("capacity", [5, 20, 60])
+    def test_frequent_items_always_tracked(self, seed, capacity):
+        """Every item with count > n/(c+1) must be in the output."""
+        stream = self.make_stream(seed)
+        counts = Counter(stream)
+        summary = KPSFrequent(capacity)
+        for item in stream:
+            summary.update(item)
+        threshold = len(stream) / (capacity + 1)
+        for item, count in counts.items():
+            if count > threshold:
+                assert item in summary
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_undercount_bounded(self, seed):
+        """true - n/(c+1) <= tracked <= true for every tracked item."""
+        capacity = 20
+        stream = self.make_stream(seed)
+        counts = Counter(stream)
+        summary = KPSFrequent(capacity)
+        for item in stream:
+            summary.update(item)
+        bound = len(stream) / (capacity + 1)
+        for item in summary.candidates():
+            tracked = summary.estimate(item)
+            assert tracked <= counts[item]
+            assert tracked >= counts[item] - bound
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=20), min_size=1,
+                 max_size=300),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_guarantees_property(self, items, capacity):
+        counts = Counter(items)
+        summary = KPSFrequent(capacity)
+        for item in items:
+            summary.update(item)
+        bound = len(items) / (capacity + 1)
+        for item, count in counts.items():
+            tracked = summary.estimate(item)
+            assert tracked <= count
+            assert tracked >= count - bound
+            if count > bound:
+                assert item in summary
+
+    def test_weighted_matches_unweighted(self):
+        """Feeding pre-aggregated counts gives the same guarantees; the
+        final states need not be identical (order differs), but both must
+        satisfy the undercount bound."""
+        stream = ["a"] * 6 + ["b"] * 4 + ["c"] * 2 + ["d"]
+        counts = Counter(stream)
+        weighted = KPSFrequent(3)
+        for item, count in counts.items():
+            weighted.update(item, count)
+        bound = len(stream) / 4
+        for item, count in counts.items():
+            assert weighted.estimate(item) >= count - bound
+            assert weighted.estimate(item) <= count

@@ -1,0 +1,189 @@
+"""Tests for lossy counting and sticky sampling (Manku–Motwani)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.baselines.lossy_counting import LossyCounting
+from repro.baselines.sticky_sampling import StickySampling
+
+
+def skewed_stream(seed, n=5000, heavy=5):
+    rng = random.Random(seed)
+    stream = []
+    for item in range(heavy):
+        stream.extend([f"heavy-{item}"] * (n // (10 * (item + 1))))
+    while len(stream) < n:
+        stream.append(rng.randrange(50_000))
+    rng.shuffle(stream)
+    return stream[:n]
+
+
+class TestLossyCounting:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LossyCounting(0.0)
+        with pytest.raises(ValueError):
+            LossyCounting(1.0)
+
+    def test_nonpositive_count_rejected(self):
+        with pytest.raises(ValueError):
+            LossyCounting(0.1).update("a", 0)
+
+    def test_exact_within_first_bucket(self):
+        lossy = LossyCounting(0.01)  # bucket width 100
+        for _ in range(50):
+            lossy.update("x")
+        assert lossy.estimate("x") == 50.0
+
+    def test_undercount_bounded_by_epsilon_n(self):
+        epsilon = 0.005
+        for seed in (0, 1):
+            stream = skewed_stream(seed)
+            counts = Counter(stream)
+            lossy = LossyCounting(epsilon)
+            for item in stream:
+                lossy.update(item)
+            for item, count in counts.items():
+                estimate = lossy.estimate(item)
+                assert estimate <= count
+                assert estimate >= count - epsilon * len(stream)
+
+    def test_no_false_negatives_for_iceberg_query(self):
+        epsilon = 0.005
+        support = 0.02
+        stream = skewed_stream(2)
+        counts = Counter(stream)
+        lossy = LossyCounting(epsilon)
+        for item in stream:
+            lossy.update(item)
+        answered = {item for item, __ in lossy.frequent_items(support)}
+        for item, count in counts.items():
+            if count >= support * len(stream):
+                assert item in answered
+
+    def test_no_wild_false_positives(self):
+        epsilon = 0.005
+        support = 0.02
+        stream = skewed_stream(3)
+        counts = Counter(stream)
+        lossy = LossyCounting(epsilon)
+        for item in stream:
+            lossy.update(item)
+        for item, __ in lossy.frequent_items(support):
+            assert counts[item] >= (support - epsilon) * len(stream)
+
+    def test_space_stays_bounded(self):
+        lossy = LossyCounting(0.01)
+        rng = random.Random(7)
+        for _ in range(20_000):
+            lossy.update(rng.randrange(100_000))
+        # Theory: at most (1/eps) * log(eps * n) = 100 * log(200) entries.
+        import math
+
+        assert lossy.items_stored() <= 100 * math.log(0.01 * 20_000) + 100
+
+    def test_pruning_happens(self):
+        lossy = LossyCounting(0.1)  # bucket width 10
+        for i in range(100):
+            lossy.update(i)  # all singletons: pruned at each boundary
+        assert lossy.items_stored() <= 10
+
+    def test_support_validation(self):
+        lossy = LossyCounting(0.1)
+        with pytest.raises(ValueError):
+            lossy.frequent_items(0.0)
+
+    def test_top_and_contains(self):
+        lossy = LossyCounting(0.01)
+        lossy.update("a", 30)
+        lossy.update("b", 10)
+        assert [item for item, __ in lossy.top(2)] == ["a", "b"]
+        assert "a" in lossy
+
+    def test_counters_used_two_per_entry(self):
+        lossy = LossyCounting(0.01)
+        lossy.update("a")
+        lossy.update("b")
+        assert lossy.counters_used() == 4
+
+
+class TestStickySampling:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StickySampling(0.0)
+        with pytest.raises(ValueError):
+            StickySampling(0.1, epsilon=0.2)
+        with pytest.raises(ValueError):
+            StickySampling(0.1, delta=0.0)
+
+    def test_default_epsilon(self):
+        sticky = StickySampling(0.1)
+        assert sticky.epsilon == pytest.approx(0.01)
+
+    def test_nonpositive_count_rejected(self):
+        with pytest.raises(ValueError):
+            StickySampling(0.1).update("a", 0)
+
+    def test_initial_rate_is_one(self):
+        sticky = StickySampling(0.1, seed=0)
+        assert sticky.rate == 1
+        sticky.update("x")
+        assert sticky.estimate("x") == 1.0
+
+    def test_rate_halves_as_stream_grows(self):
+        sticky = StickySampling(0.2, epsilon=0.1, delta=0.1, seed=1)
+        for i in range(5_000):
+            sticky.update(i)
+        assert sticky.rate > 1
+
+    def test_sticky_counting_is_exact_after_entry(self):
+        sticky = StickySampling(0.1, seed=2)
+        for _ in range(30):
+            sticky.update("x")  # rate 1 early on: entered at first sight
+        assert sticky.estimate("x") == 30.0
+
+    def test_frequent_items_no_false_negatives(self):
+        support = 0.05
+        failures = 0
+        for seed in range(5):
+            stream = skewed_stream(seed, n=4000)
+            counts = Counter(stream)
+            sticky = StickySampling(support, epsilon=0.01, delta=0.05,
+                                    seed=seed)
+            for item in stream:
+                sticky.update(item)
+            answered = {item for item, __ in sticky.frequent_items()}
+            for item, count in counts.items():
+                if count >= support * len(stream) and item not in answered:
+                    failures += 1
+        # Probabilistic guarantee: tolerate at most one miss across seeds.
+        assert failures <= 1
+
+    def test_undercount_bounded_whp(self):
+        stream = skewed_stream(9, n=4000)
+        counts = Counter(stream)
+        sticky = StickySampling(0.05, epsilon=0.01, delta=0.05, seed=3)
+        for item in stream:
+            sticky.update(item)
+        for item, count in counts.items():
+            estimate = sticky.estimate(item)
+            assert estimate <= count
+            if count >= 0.05 * len(stream):
+                assert estimate >= count - 0.02 * len(stream)
+
+    def test_space_much_smaller_than_distinct(self):
+        sticky = StickySampling(0.05, epsilon=0.01, delta=0.05, seed=4)
+        rng = random.Random(11)
+        for _ in range(30_000):
+            sticky.update(rng.randrange(1_000_000))
+        assert sticky.items_stored() < 6_000
+
+    def test_top_and_contains(self):
+        sticky = StickySampling(0.1, seed=0)
+        sticky.update("a", 20)
+        sticky.update("b", 5)
+        assert [item for item, __ in sticky.top(2)] == ["a", "b"]
+        assert "a" in sticky
+        assert sticky.counters_used() == sticky.items_stored() == 2

@@ -1,0 +1,235 @@
+"""Tests for SpaceSaving and the Count-Min sketch."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.countmin import CountMinSketch
+from repro.baselines.space_saving import SpaceSaving
+
+
+class TestSpaceSavingBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(0)
+
+    def test_nonpositive_count_rejected(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(2).update("a", 0)
+
+    def test_tracks_within_capacity(self):
+        summary = SpaceSaving(3)
+        for item in ["a", "b", "c"]:
+            summary.update(item)
+        assert summary.estimate("a") == 1.0
+        assert summary.error("a") == 0
+
+    def test_replacement_inherits_min_count(self):
+        summary = SpaceSaving(2)
+        summary.update("a", 10)
+        summary.update("b", 3)
+        summary.update("c")  # replaces b: count = 3 + 1, error = 3
+        assert "b" not in summary
+        assert summary.estimate("c") == 4.0
+        assert summary.error("c") == 3
+
+    def test_capacity_never_exceeded(self):
+        summary = SpaceSaving(4)
+        rng = random.Random(5)
+        for _ in range(2000):
+            summary.update(rng.randrange(100))
+            assert summary.items_stored() <= 4
+
+    def test_untracked_estimate_zero(self):
+        assert SpaceSaving(2).estimate("missing") == 0.0
+
+    def test_error_missing_raises(self):
+        with pytest.raises(KeyError):
+            SpaceSaving(2).error("missing")
+
+    def test_guaranteed_count(self):
+        summary = SpaceSaving(2)
+        summary.update("a", 10)
+        assert summary.guaranteed_count("a") == 10.0
+        assert summary.guaranteed_count("missing") == 0.0
+
+    def test_counters_used_two_per_entry(self):
+        summary = SpaceSaving(5)
+        summary.update("a")
+        summary.update("b")
+        assert summary.counters_used() == 4
+
+    def test_top_order(self):
+        summary = SpaceSaving(5)
+        for item, count in [("a", 30), ("b", 20), ("c", 10)]:
+            summary.update(item, count)
+        assert [item for item, __ in summary.top(3)] == ["a", "b", "c"]
+
+
+class TestSpaceSavingGuarantees:
+    def make_stream(self, seed, n=4000):
+        rng = random.Random(seed)
+        stream = []
+        for item in range(8):
+            stream.extend([f"heavy-{item}"] * (n // (8 * (item + 1))))
+        while len(stream) < n:
+            stream.append(rng.randrange(5000))
+        rng.shuffle(stream)
+        return stream[:n]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("capacity", [20, 100])
+    def test_overestimate_bounded(self, seed, capacity):
+        """true <= estimate <= true + error and error <= n/c."""
+        stream = self.make_stream(seed)
+        counts = Counter(stream)
+        summary = SpaceSaving(capacity)
+        for item in stream:
+            summary.update(item)
+        for item, __ in summary.top(capacity):
+            estimate = summary.estimate(item)
+            assert estimate >= counts[item]
+            assert estimate - summary.error(item) <= counts[item]
+            assert summary.error(item) <= len(stream) / capacity
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_heavy_items_tracked(self, seed):
+        """Every item with count > n/c must be tracked."""
+        capacity = 50
+        stream = self.make_stream(seed)
+        counts = Counter(stream)
+        summary = SpaceSaving(capacity)
+        for item in stream:
+            summary.update(item)
+        threshold = len(stream) / capacity
+        for item, count in counts.items():
+            if count > threshold:
+                assert item in summary
+
+    def test_guaranteed_top_is_sound(self):
+        stream = self.make_stream(3)
+        counts = Counter(stream)
+        summary = SpaceSaving(100)
+        for item in stream:
+            summary.update(item)
+        k = 5
+        true_top_counts = sorted(counts.values(), reverse=True)
+        kth = true_top_counts[k - 1] if len(true_top_counts) >= k else 0
+        for item, __ in summary.guaranteed_top(k):
+            # Items certified into the top k really have large counts.
+            assert counts[item] >= summary.guaranteed_count(item)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=30), min_size=1,
+                 max_size=200),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_guarantees_property(self, items, capacity):
+        counts = Counter(items)
+        summary = SpaceSaving(capacity)
+        for item in items:
+            summary.update(item)
+        for item, estimate in summary.top(capacity):
+            assert counts[item] <= estimate
+            assert estimate - summary.error(item) <= counts[item]
+
+
+class TestCountMin:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(0, 10)
+        with pytest.raises(ValueError):
+            CountMinSketch(3, 0)
+
+    def test_negative_update_rejected(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(3, 16).update("a", -1)
+
+    def test_basic_estimate(self):
+        sketch = CountMinSketch(3, 64, seed=0)
+        sketch.update("x", 7)
+        assert sketch.estimate("x") == 7.0
+
+    def test_never_underestimates(self):
+        sketch = CountMinSketch(3, 8, seed=1)  # narrow: many collisions
+        counts = Counter({f"item-{i}": i + 1 for i in range(50)})
+        for item, count in counts.items():
+            sketch.update(item, count)
+        for item, count in counts.items():
+            assert sketch.estimate(item) >= count
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=100), max_size=200))
+    def test_never_underestimates_property(self, items):
+        sketch = CountMinSketch(2, 8, seed=2)
+        counts = Counter(items)
+        for item in items:
+            sketch.update(item)
+        for item, count in counts.items():
+            assert sketch.estimate(item) >= count
+
+    def test_error_bounded_by_l1_over_width(self):
+        """CM error <= e/width * n with prob 1-e^-depth; test generously."""
+        sketch = CountMinSketch(5, 64, seed=3)
+        rng = random.Random(4)
+        items = [rng.randrange(1000) for _ in range(5000)]
+        counts = Counter(items)
+        for item in items:
+            sketch.update(item)
+        failures = sum(
+            1
+            for item, count in counts.items()
+            if sketch.estimate(item) - count > 3 * len(items) / 64
+        )
+        assert failures <= len(counts) * 0.05
+
+    def test_conservative_update_tighter(self):
+        rng = random.Random(6)
+        items = [rng.randrange(500) for _ in range(5000)]
+        counts = Counter(items)
+        plain = CountMinSketch(3, 32, seed=7)
+        conservative = CountMinSketch(3, 32, seed=7, conservative=True)
+        for item in items:
+            plain.update(item)
+            conservative.update(item)
+        plain_err = sum(plain.estimate(i) - c for i, c in counts.items())
+        cons_err = sum(
+            conservative.estimate(i) - c for i, c in counts.items()
+        )
+        assert cons_err <= plain_err
+        # Conservative never underestimates either.
+        for item, count in counts.items():
+            assert conservative.estimate(item) >= count
+
+    def test_merge(self):
+        s1 = CountMinSketch(3, 32, seed=8)
+        s2 = CountMinSketch(3, 32, seed=8)
+        s1.update("a", 3)
+        s2.update("a", 4)
+        s1.merge(s2)
+        assert s1.estimate("a") == 7.0
+        assert s1.total == 7
+
+    def test_merge_incompatible_rejected(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(3, 32, seed=8).merge(CountMinSketch(3, 32, seed=9))
+
+    def test_merge_conservative_rejected(self):
+        a = CountMinSketch(3, 32, seed=8, conservative=True)
+        b = CountMinSketch(3, 32, seed=8, conservative=True)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_space_accessors(self):
+        sketch = CountMinSketch(3, 32)
+        assert sketch.counters_used() == 96
+        assert sketch.items_stored() == 0
+
+    def test_explicit_hashes_depth_checked(self):
+        donor = CountMinSketch(3, 16, seed=1)
+        with pytest.raises(ValueError):
+            CountMinSketch(2, 16, bucket_hashes=donor._bucket_hashes)

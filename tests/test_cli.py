@@ -1,0 +1,144 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+from repro.streams.io import write_stream_text
+
+
+@pytest.fixture()
+def stream_file(tmp_path):
+    path = tmp_path / "stream.txt"
+    items = ["apple"] * 30 + ["banana"] * 20 + ["cherry"] * 10 + ["date"] * 2
+    write_stream_text(path, items)
+    return str(path)
+
+
+@pytest.fixture()
+def stream_pair(tmp_path):
+    before = tmp_path / "before.txt"
+    after = tmp_path / "after.txt"
+    write_stream_text(before, ["up"] * 5 + ["down"] * 40 + ["flat"] * 20)
+    write_stream_text(after, ["up"] * 45 + ["down"] * 5 + ["flat"] * 20)
+    return str(before), str(after)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_experiment_choices_complete(self):
+        # Every listed experiment module must actually import and expose
+        # main().
+        import importlib
+
+        for name in EXPERIMENTS:
+            module = importlib.import_module(f"repro.experiments.{name}")
+            assert callable(module.main)
+
+    def test_topk_defaults(self):
+        args = build_parser().parse_args(["topk", "--input", "x.txt"])
+        assert args.k == 10
+        assert args.depth == 5
+        assert args.width == 512
+
+
+class TestTopK:
+    def test_reports_heaviest_first(self, stream_file, capsys):
+        assert main(["topk", "--input", stream_file, "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "apple" in out
+        assert out.index("apple") < out.index("banana") < out.index("cherry")
+        assert "space:" in out
+
+    def test_custom_dimensions(self, stream_file, capsys):
+        assert main([
+            "topk", "--input", stream_file, "--k", "2",
+            "--depth", "3", "--width", "64", "--seed", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "apple" in out
+
+    def test_int_keys(self, tmp_path, capsys):
+        path = tmp_path / "ints.txt"
+        write_stream_text(path, [7] * 10 + [3] * 5)
+        assert main(["topk", "--input", str(path), "--k", "1",
+                     "--int-keys"]) == 0
+        out = capsys.readouterr().out
+        assert "7" in out
+
+
+class TestEstimate:
+    def test_estimates_requested_items(self, stream_file, capsys):
+        assert main([
+            "estimate", "--input", stream_file, "apple", "missing",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "apple" in out
+        assert "30" in out  # exact under a wide sketch
+        assert "missing" in out
+
+
+class TestMaxChange:
+    def test_reports_movers(self, stream_pair, capsys):
+        before, after = stream_pair
+        assert main([
+            "maxchange", "--before", before, "--after", after, "--k", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "up" in out
+        assert "down" in out
+        assert "flat" not in out.split("change")[-1].split("\n")[0]
+
+
+class TestPercentChange:
+    def test_reports_percent_movers(self, tmp_path, capsys):
+        before = tmp_path / "before.txt"
+        after = tmp_path / "after.txt"
+        write_stream_text(before, ["stable"] * 100 + ["sleeper"] * 5)
+        write_stream_text(after, ["stable"] * 100 + ["sleeper"] * 80)
+        assert main([
+            "percent-change", "--before", str(before), "--after",
+            str(after), "--k", "1", "--floor", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sleeper" in out
+        assert "%" in out
+
+    def test_min_after_filter(self, tmp_path, capsys):
+        before = tmp_path / "b.txt"
+        after = tmp_path / "a.txt"
+        write_stream_text(before, ["vanished"] * 50 + ["grew"] * 10)
+        write_stream_text(after, ["grew"] * 60)
+        assert main([
+            "percent-change", "--before", str(before), "--after",
+            str(after), "--k", "1", "--min-after", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "grew" in out
+        assert "vanished" not in out
+
+
+class TestExperimentDispatch:
+    def test_runs_cheap_experiment(self, capsys, monkeypatch):
+        # Patch the experiment's default config for a fast run.
+        from repro.experiments import sampling_space
+
+        small = sampling_space.SamplingSpaceConfig(
+            m=500, n=5_000, zs=(1.0,), sampler_seeds=(0,)
+        )
+        monkeypatch.setattr(
+            sampling_space, "SamplingSpaceConfig", lambda: small
+        )
+        assert main(["experiment", "sampling_space"]) == 0
+        out = capsys.readouterr().out
+        assert "SAMPLING distinct items" in out
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "not_a_module"])

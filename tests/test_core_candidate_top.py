@@ -1,0 +1,97 @@
+"""Tests for repro.core.candidate_top — CANDIDATETOP via the tracker."""
+
+import pytest
+
+from repro.core.candidate_top import CandidateTopTracker, candidate_list_size
+
+
+class TestCandidateListSize:
+    def test_formula(self):
+        # l = k / (1-eps)^(1/z), rounded up
+        assert candidate_list_size(10, 0.5, 1.0) == 21  # 10/0.5 = 20 -> 21
+
+    def test_at_least_k(self):
+        assert candidate_list_size(10, 0.01, 2.0) >= 10
+
+    def test_larger_epsilon_needs_longer_list(self):
+        assert candidate_list_size(10, 0.5, 1.0) >= candidate_list_size(
+            10, 0.1, 1.0
+        )
+
+    def test_smaller_z_needs_longer_list(self):
+        assert candidate_list_size(10, 0.5, 0.5) >= candidate_list_size(
+            10, 0.5, 2.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            candidate_list_size(0, 0.5, 1.0)
+        with pytest.raises(ValueError):
+            candidate_list_size(10, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            candidate_list_size(10, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            candidate_list_size(10, 0.5, 0.0)
+
+
+class TestTracker:
+    def test_default_l_is_2k(self):
+        tracker = CandidateTopTracker(5, depth=3, width=64)
+        assert tracker.l == 10
+
+    def test_l_below_k_rejected(self):
+        with pytest.raises(ValueError):
+            CandidateTopTracker(5, l=4, depth=3, width=64)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            CandidateTopTracker(0, depth=3, width=64)
+
+    def test_candidates_has_l_entries(self, zipf_stream):
+        tracker = CandidateTopTracker(5, l=15, depth=5, width=256, seed=1)
+        for item in zipf_stream:
+            tracker.update(item)
+        assert len(tracker.candidates()) == 15
+        assert tracker.items_stored() == 15
+
+    def test_top_returns_k(self, zipf_stream):
+        tracker = CandidateTopTracker(5, l=15, depth=5, width=256, seed=1)
+        for item in zipf_stream:
+            tracker.update(item)
+        assert len(tracker.top()) == 5
+
+    def test_candidates_contain_true_top_k(self, zipf_stream, zipf_stats):
+        tracker = CandidateTopTracker(10, l=20, depth=5, width=256, seed=1)
+        for item in zipf_stream:
+            tracker.update(item)
+        candidate_items = {item for item, __ in tracker.candidates()}
+        assert zipf_stats.top_k_items(10) <= candidate_items
+
+    def test_refine_returns_exact_top_k(self, zipf_stream, zipf_stats):
+        tracker = CandidateTopTracker(10, l=20, depth=5, width=256, seed=1)
+        for item in zipf_stream:
+            tracker.update(item)
+        refined = tracker.refine(zipf_stream)
+        assert len(refined) == 10
+        # Second pass yields exact counts and the true top k, in order.
+        expected = zipf_stats.top_k(10)
+        assert refined == expected
+
+    def test_refine_counts_are_exact(self, zipf_stream, zipf_counts):
+        tracker = CandidateTopTracker(5, l=10, depth=5, width=256, seed=1)
+        for item in zipf_stream:
+            tracker.update(item)
+        for item, count in tracker.refine(zipf_stream):
+            assert count == zipf_counts[item]
+
+    def test_counters_used_includes_candidates(self):
+        tracker = CandidateTopTracker(5, l=10, depth=2, width=16, seed=0)
+        tracker.update("a")
+        assert tracker.counters_used() == 2 * 16 + 1
+
+    def test_sketch_property(self):
+        tracker = CandidateTopTracker(5, depth=3, width=64, seed=0)
+        assert tracker.sketch.depth == 3
+
+    def test_repr(self):
+        assert "k=5" in repr(CandidateTopTracker(5, depth=3, width=64))

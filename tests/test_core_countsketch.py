@@ -1,0 +1,368 @@
+"""Tests for repro.core.countsketch — the COUNT SKETCH data structure."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.countsketch import CountSketch
+
+ITEMS = st.one_of(
+    st.integers(min_value=0, max_value=10_000),
+    st.text(min_size=1, max_size=8),
+)
+
+
+class TestConstruction:
+    def test_shape(self):
+        sketch = CountSketch(3, 10)
+        assert sketch.depth == 3
+        assert sketch.width == 10
+        assert sketch.counters.shape == (3, 10)
+        assert sketch.counters_used() == 30
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            CountSketch(0, 10)
+        with pytest.raises(ValueError):
+            CountSketch(3, 0)
+
+    def test_fresh_sketch_is_zero(self):
+        sketch = CountSketch(3, 10)
+        assert sketch.total_weight == 0
+        assert not sketch.counters.any()
+        assert sketch.estimate("anything") == 0
+
+    def test_counters_view_read_only(self):
+        sketch = CountSketch(2, 4)
+        with pytest.raises(ValueError):
+            sketch.counters[0, 0] = 1
+
+    def test_items_stored_zero(self):
+        assert CountSketch(2, 4).items_stored() == 0
+
+    def test_explicit_hashes_must_match_depth(self):
+        donor = CountSketch(3, 10, seed=1)
+        with pytest.raises(ValueError):
+            CountSketch(2, 10, bucket_hashes=donor._bucket_hashes)
+
+    def test_explicit_bucket_hash_range_checked(self):
+        donor = CountSketch(3, 10, seed=1)
+        with pytest.raises(ValueError):
+            CountSketch(
+                3,
+                20,
+                bucket_hashes=donor._bucket_hashes,
+                sign_hashes=donor._sign_hashes,
+            )
+
+
+class TestAddEstimate:
+    def test_single_item(self):
+        sketch = CountSketch(5, 64, seed=0)
+        sketch.update("x")
+        assert sketch.estimate("x") == 1.0
+
+    def test_repeated_item(self):
+        sketch = CountSketch(5, 64, seed=0)
+        for _ in range(100):
+            sketch.update("x")
+        assert sketch.estimate("x") == 100.0
+
+    def test_weighted_update(self):
+        sketch = CountSketch(5, 64, seed=0)
+        sketch.update("x", 100)
+        assert sketch.estimate("x") == 100.0
+
+    def test_negative_update(self):
+        sketch = CountSketch(5, 64, seed=0)
+        sketch.update("x", 10)
+        sketch.update("x", -4)
+        assert sketch.estimate("x") == 6.0
+
+    def test_total_weight_tracks_updates(self):
+        sketch = CountSketch(3, 16, seed=0)
+        sketch.update("a", 5)
+        sketch.update("b", -2)
+        assert sketch.total_weight == 3
+
+    def test_isolated_items_exact_when_no_collisions(self):
+        """Few items in a wide sketch: every estimate is exact."""
+        sketch = CountSketch(5, 4096, seed=1)
+        truth = {f"item-{i}": i + 1 for i in range(10)}
+        sketch.update_counts(truth)
+        for item, count in truth.items():
+            assert sketch.estimate(item) == count
+
+    def test_update_counts_matches_item_at_a_time(self):
+        counts = Counter({"a": 3, "b": 5, "c": 2})
+        one = CountSketch(3, 32, seed=4)
+        one.update_counts(counts)
+        two = CountSketch(3, 32, seed=4)
+        for item, count in counts.items():
+            for _ in range(count):
+                two.update(item)
+        assert one == two
+
+    def test_extend(self):
+        sketch = CountSketch(3, 32, seed=4)
+        sketch.extend(["a", "b", "a"])
+        assert sketch.estimate("a") == 2.0
+        assert sketch.total_weight == 3
+
+    def test_row_estimates_length(self):
+        sketch = CountSketch(7, 32, seed=0)
+        sketch.update("x", 3)
+        rows = sketch.row_estimates("x")
+        assert len(rows) == 7
+        # With a single item there are no collisions: every row exact.
+        assert all(r == 3.0 for r in rows)
+
+    def test_median_of_row_estimates(self):
+        import statistics
+
+        sketch = CountSketch(5, 8, seed=2)
+        for item in range(100):
+            sketch.update(item)
+        for item in (1, 5, 50):
+            assert sketch.estimate(item) == statistics.median(
+                sketch.row_estimates(item)
+            )
+
+    def test_estimate_mean_combiner(self):
+        sketch = CountSketch(5, 64, seed=0)
+        sketch.update("x", 10)
+        assert sketch.estimate_mean("x") == 10.0
+
+    def test_estimate_accuracy_on_real_stream(self, zipf_counts):
+        sketch = CountSketch(5, 512, seed=3)
+        sketch.update_counts(zipf_counts)
+        top = zipf_counts.most_common(10)
+        for item, count in top:
+            assert abs(sketch.estimate(item) - count) <= 0.1 * count + 5
+
+
+class TestUnbiasedness:
+    def test_row_estimate_unbiased_over_seeds(self, zipf_counts):
+        """Lemma 1: E[h_i[q]·s_i[q]] = n_q.  Average the (noisy) single-row
+        estimates of a mid-frequency item over many independent sketches."""
+        item, true = zipf_counts.most_common(50)[-1]
+        total = 0.0
+        trials = 200
+        for seed in range(trials):
+            sketch = CountSketch(1, 32, seed=seed)
+            sketch.update_counts(zipf_counts)
+            total += sketch.estimate(item)
+        mean = total / trials
+        # Standard error ~ gamma/sqrt(trials); be generous.
+        assert abs(mean - true) < 0.25 * true + 30
+
+
+class TestLinearity:
+    def test_add_equals_concatenation(self):
+        s1 = CountSketch(3, 64, seed=9)
+        s2 = CountSketch(3, 64, seed=9)
+        s1.extend(["a", "b", "a"])
+        s2.extend(["b", "c"])
+        combined = s1 + s2
+        whole = CountSketch(3, 64, seed=9)
+        whole.extend(["a", "b", "a", "b", "c"])
+        assert combined == whole
+
+    def test_subtract_estimates_difference(self):
+        s1 = CountSketch(5, 256, seed=9)
+        s2 = CountSketch(5, 256, seed=9)
+        s1.update("a", 100)
+        s2.update("a", 30)
+        assert (s2 - s1).estimate("a") == -70.0
+
+    def test_neg(self):
+        sketch = CountSketch(3, 16, seed=1)
+        sketch.update("a", 5)
+        assert (-sketch).estimate("a") == -5.0
+        assert (-sketch).total_weight == -5
+
+    def test_scale(self):
+        sketch = CountSketch(3, 16, seed=1)
+        sketch.update("a", 5)
+        assert sketch.scale(3).estimate("a") == 15.0
+
+    def test_merge_in_place(self):
+        s1 = CountSketch(3, 64, seed=9)
+        s2 = CountSketch(3, 64, seed=9)
+        s1.update("a", 2)
+        s2.update("a", 3)
+        s1.merge(s2)
+        assert s1.estimate("a") == 5.0
+        assert s1.total_weight == 5
+
+    def test_add_then_subtract_roundtrip(self):
+        s1 = CountSketch(3, 64, seed=9)
+        s2 = CountSketch(3, 64, seed=9)
+        s1.extend(["a", "b"])
+        s2.extend(["c"])
+        assert (s1 + s2) - s2 == s1
+
+    def test_incompatible_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            CountSketch(3, 64, seed=9) + CountSketch(3, 32, seed=9)
+
+    def test_incompatible_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            CountSketch(3, 64, seed=9) + CountSketch(3, 64, seed=10)
+
+    def test_non_sketch_rejected(self):
+        with pytest.raises(TypeError):
+            CountSketch(3, 64).merge("nope")
+
+    def test_compatible_with(self):
+        assert CountSketch(3, 64, seed=9).compatible_with(
+            CountSketch(3, 64, seed=9)
+        )
+        assert not CountSketch(3, 64, seed=9).compatible_with(
+            CountSketch(3, 64, seed=8)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(ITEMS, max_size=30), st.lists(ITEMS, max_size=30))
+    def test_linearity_property(self, items1, items2):
+        """CS(S1) + CS(S2) == CS(S1 || S2) for arbitrary streams."""
+        s1 = CountSketch(3, 16, seed=5)
+        s2 = CountSketch(3, 16, seed=5)
+        s1.extend(items1)
+        s2.extend(items2)
+        whole = CountSketch(3, 16, seed=5)
+        whole.extend(items1 + items2)
+        assert (s1 + s2) == whole
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(ITEMS, max_size=30))
+    def test_self_subtraction_is_zero(self, items):
+        sketch = CountSketch(3, 16, seed=5)
+        sketch.extend(items)
+        zero = sketch - sketch
+        assert not zero.counters.any()
+        assert zero.estimate("whatever") == 0.0
+
+
+class TestMomentEstimation:
+    def test_f2_exact_single_item(self):
+        sketch = CountSketch(5, 64, seed=0)
+        sketch.update("x", 10)
+        assert sketch.estimate_f2() == 100.0
+
+    def test_f2_close_on_stream(self, zipf_counts, zipf_stats):
+        sketch = CountSketch(7, 1024, seed=2)
+        sketch.update_counts(zipf_counts)
+        true_f2 = zipf_stats.second_moment()
+        assert abs(sketch.estimate_f2() - true_f2) < 0.15 * true_f2
+
+    def test_inner_product_orthogonal_streams(self):
+        s1 = CountSketch(7, 1024, seed=3)
+        s2 = CountSketch(7, 1024, seed=3)
+        s1.update("a", 50)
+        s2.update("b", 70)
+        # Disjoint supports: true inner product 0; estimate should be small.
+        assert abs(s1.inner_product(s2)) < 500
+
+    def test_inner_product_identical_streams_is_f2(self, zipf_counts):
+        sketch = CountSketch(7, 1024, seed=4)
+        sketch.update_counts(zipf_counts)
+        assert sketch.inner_product(sketch) == sketch.estimate_f2()
+
+    def test_inner_product_requires_compatible(self):
+        with pytest.raises(ValueError):
+            CountSketch(3, 16, seed=1).inner_product(CountSketch(3, 16, seed=2))
+
+
+class TestCopyEqualitySerialization:
+    def test_copy_independent(self):
+        sketch = CountSketch(3, 16, seed=1)
+        sketch.update("a")
+        clone = sketch.copy()
+        clone.update("a")
+        assert sketch.estimate("a") == 1.0
+        assert clone.estimate("a") == 2.0
+
+    def test_equality(self):
+        s1 = CountSketch(3, 16, seed=1)
+        s2 = CountSketch(3, 16, seed=1)
+        assert s1 == s2
+        s1.update("a")
+        assert s1 != s2
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(CountSketch(3, 16))
+
+    def test_state_dict_roundtrip(self, zipf_counts):
+        sketch = CountSketch(3, 32, seed=6)
+        sketch.update_counts(zipf_counts)
+        revived = CountSketch.from_state_dict(sketch.state_dict())
+        assert revived == sketch
+        assert revived.total_weight == sketch.total_weight
+        assert revived.estimate(1) == sketch.estimate(1)
+
+    def test_state_dict_is_json_safe(self):
+        import json
+
+        sketch = CountSketch(2, 8, seed=0)
+        sketch.update("a", 3)
+        encoded = json.dumps(sketch.state_dict())
+        revived = CountSketch.from_state_dict(json.loads(encoded))
+        assert revived == sketch
+
+    def test_state_dict_shape_validation(self):
+        sketch = CountSketch(2, 8, seed=0)
+        state = sketch.state_dict()
+        state["counters"] = [[0] * 8]  # wrong depth
+        with pytest.raises(ValueError):
+            CountSketch.from_state_dict(state)
+
+    def test_state_dict_rejects_custom_hashes(self):
+        from repro.hashing.multiply_shift import MultiplyShiftFamily
+        from repro.hashing.sign import SignHashFamily
+        from repro.hashing.mersenne import KWiseFamily
+
+        buckets = MultiplyShiftFamily(out_bits=4, seed=1).draw(2)
+        signs = SignHashFamily(KWiseFamily(seed=2)).draw(2)
+        sketch = CountSketch(2, 16, bucket_hashes=buckets, sign_hashes=signs)
+        with pytest.raises(TypeError):
+            sketch.state_dict()
+
+    def test_l2_norm(self):
+        sketch = CountSketch(1, 4, seed=0)
+        sketch.update("x", 3)
+        assert sketch.l2_norm() == 3.0
+
+    def test_repr(self):
+        text = repr(CountSketch(3, 16, seed=1))
+        assert "depth=3" in text and "width=16" in text
+
+
+class TestPositionCache:
+    def test_cache_does_not_change_results(self):
+        sketch = CountSketch(3, 32, seed=1)
+        first = sketch.estimate("x")
+        sketch.update("x", 5)
+        assert first == 0.0
+        assert sketch.estimate("x") == 5.0
+        # Re-query through the cache path.
+        assert sketch.estimate("x") == 5.0
+
+    def test_cache_cap_eviction(self):
+        from repro.core import countsketch as module
+
+        original = module._POSITION_CACHE_LIMIT
+        module._POSITION_CACHE_LIMIT = 4
+        try:
+            sketch = CountSketch(2, 16, seed=1)
+            for item in range(20):
+                sketch.update(item)
+            for item in range(20):
+                assert sketch.estimate(item) >= 0 or True  # no crash
+            assert len(sketch._position_cache) <= 4
+        finally:
+            module._POSITION_CACHE_LIMIT = original

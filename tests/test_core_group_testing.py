@@ -1,0 +1,154 @@
+"""Tests for the group-testing heavy-hitter sketch."""
+
+import random
+
+import pytest
+
+from repro.core.group_testing import GroupTestingSketch
+
+
+def make(domain_bits=12, depth=3, width=256, seed=0):
+    return GroupTestingSketch(domain_bits, depth, width, seed)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GroupTestingSketch(0)
+        with pytest.raises(ValueError):
+            GroupTestingSketch(63)
+        with pytest.raises(ValueError):
+            GroupTestingSketch(12, 0)
+        with pytest.raises(ValueError):
+            GroupTestingSketch(12, 3, 0)
+
+    def test_counters_used(self):
+        sketch = make(domain_bits=8, depth=3, width=16)
+        assert sketch.counters_used() == 3 * 16 * 9
+
+    def test_items_stored_zero(self):
+        assert make().items_stored() == 0
+
+
+class TestUpdatesEstimates:
+    def test_item_validation(self):
+        sketch = make(domain_bits=8)
+        with pytest.raises(ValueError):
+            sketch.update(256)
+        with pytest.raises(TypeError):
+            sketch.update("x")
+        with pytest.raises(TypeError):
+            sketch.update(True)
+
+    def test_estimate_roundtrip(self):
+        sketch = make()
+        sketch.update(42, 17)
+        assert sketch.estimate(42) == 17.0
+        assert sketch.total_weight == 17
+
+    def test_turnstile(self):
+        sketch = make()
+        sketch.update(42, 10)
+        sketch.update(42, -3)
+        assert sketch.estimate(42) == 7.0
+
+    def test_extend(self):
+        sketch = make()
+        sketch.extend([7, 7, 9])
+        assert sketch.estimate(7) == 2.0
+
+
+class TestDecoding:
+    def test_single_heavy_item_decoded(self):
+        sketch = make(seed=1)
+        sketch.update(1234, 500)
+        assert sketch.heavy_hitters(100) == [(1234, 500.0)]
+
+    def test_zero_bits_item_decoded(self):
+        """Item 0 has no set bits; the decoder must still return it."""
+        sketch = make(seed=2)
+        sketch.update(0, 300)
+        assert sketch.heavy_hitters(100) == [(0, 300.0)]
+
+    def test_all_bits_item_decoded(self):
+        sketch = make(domain_bits=10, seed=3)
+        sketch.update(1023, 300)
+        assert sketch.heavy_hitters(100) == [(1023, 300.0)]
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            make().heavy_hitters(0)
+
+    def test_planted_heavy_items_found_in_noise(self):
+        sketch = make(domain_bits=12, depth=3, width=512, seed=4)
+        heavy = {100: 600, 2000: 400, 3333: 250}
+        for item, count in heavy.items():
+            sketch.update(item, count)
+        rng = random.Random(5)
+        for _ in range(3000):
+            sketch.update(rng.randrange(4096))
+        found = dict(sketch.heavy_hitters(150))
+        assert set(found) == set(heavy)
+        for item, count in heavy.items():
+            assert abs(found[item] - count) <= 0.2 * count
+
+    def test_no_heavy_items_empty(self):
+        sketch = make(seed=6)
+        for item in range(500):
+            sketch.update(item)
+        assert sketch.heavy_hitters(100) == []
+
+    def test_garbage_decodes_filtered_by_verification(self):
+        """Two comparable items in one cell decode to garbage; the
+        verification step must not report items whose verified estimate
+        misses the threshold."""
+        sketch = make(domain_bits=12, depth=3, width=4, seed=7)  # collisions
+        rng = random.Random(8)
+        for _ in range(2000):
+            sketch.update(rng.randrange(4096))
+        for item, estimate in sketch.heavy_hitters(300):
+            assert abs(sketch.estimate(item)) >= 300
+
+    def test_absolute_mode_for_negative_mass(self):
+        sketch = make(seed=9)
+        sketch.update(77, -400)
+        assert sketch.heavy_hitters(200, absolute=True) == [(77, -400.0)]
+        assert sketch.heavy_hitters(200, absolute=False) == []
+
+
+class TestDifferenceDecoding:
+    def test_heavy_changes_via_subtraction(self):
+        a = make(domain_bits=12, width=512, seed=10)
+        b = make(domain_bits=12, width=512, seed=10)
+        base = list(range(100, 400)) * 3
+        a.extend(base + [5] * 300)
+        b.extend(base + [5] * 40 + [777] * 250)
+        diff = b - a
+        found = dict(diff.heavy_hitters(150, absolute=True))
+        assert set(found) == {5, 777}
+        assert found[5] == pytest.approx(-260, abs=30)
+        assert found[777] == pytest.approx(250, abs=30)
+
+    def test_incompatible_rejected(self):
+        with pytest.raises(ValueError):
+            make(seed=1) - make(seed=2)
+        with pytest.raises(TypeError):
+            make() - "nope"
+
+
+class TestAgainstHierarchy:
+    def test_same_answers_as_hierarchical(self):
+        """Both enumeration routes find the same planted heavy set."""
+        from repro.core.hierarchical import HierarchicalCountSketch
+
+        rng = random.Random(11)
+        stream = [rng.randrange(4096) for _ in range(4000)]
+        stream += [999] * 500 + [2222] * 350
+        gt = make(domain_bits=12, depth=3, width=512, seed=12)
+        hier = HierarchicalCountSketch(12, 5, 512, seed=12)
+        for item in stream:
+            gt.update(item)
+            hier.update(item)
+        gt_found = {item for item, __ in gt.heavy_hitters(200)}
+        hier_found = {item for item, __ in hier.heavy_hitters(200)}
+        assert gt_found == hier_found == {999, 2222}

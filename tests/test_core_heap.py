@@ -1,0 +1,161 @@
+"""Tests for repro.core.heap — the indexed min-heap."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.heap import IndexedMinHeap
+
+
+def make_heap(pairs):
+    heap = IndexedMinHeap()
+    for item, priority in pairs:
+        heap.push(item, priority)
+    return heap
+
+
+class TestBasics:
+    def test_empty(self):
+        heap = IndexedMinHeap()
+        assert len(heap) == 0
+        assert "x" not in heap
+
+    def test_push_and_min(self):
+        heap = make_heap([("a", 3), ("b", 1), ("c", 2)])
+        assert heap.min() == ("b", 1)
+        assert len(heap) == 3
+
+    def test_contains(self):
+        heap = make_heap([("a", 1)])
+        assert "a" in heap
+        assert "b" not in heap
+
+    def test_priority_lookup(self):
+        heap = make_heap([("a", 5), ("b", 2)])
+        assert heap.priority("a") == 5
+        assert heap.priority("b") == 2
+
+    def test_priority_missing_raises(self):
+        with pytest.raises(KeyError):
+            IndexedMinHeap().priority("nope")
+
+    def test_min_empty_raises(self):
+        with pytest.raises(IndexError):
+            IndexedMinHeap().min()
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            IndexedMinHeap().pop_min()
+
+    def test_duplicate_push_rejected(self):
+        heap = make_heap([("a", 1)])
+        with pytest.raises(ValueError):
+            heap.push("a", 2)
+
+    def test_iteration_yields_all_pairs(self):
+        pairs = [("a", 3), ("b", 1), ("c", 2)]
+        heap = make_heap(pairs)
+        assert sorted(heap) == sorted(pairs)
+
+
+class TestPopAndRemove:
+    def test_pop_min_order(self):
+        heap = make_heap([("a", 3), ("b", 1), ("c", 2), ("d", 5), ("e", 4)])
+        popped = [heap.pop_min() for _ in range(5)]
+        assert popped == [("b", 1), ("c", 2), ("a", 3), ("e", 4), ("d", 5)]
+        assert len(heap) == 0
+
+    def test_remove_middle(self):
+        heap = make_heap([("a", 3), ("b", 1), ("c", 2)])
+        assert heap.remove("c") == 2
+        assert "c" not in heap
+        assert heap.pop_min() == ("b", 1)
+        assert heap.pop_min() == ("a", 3)
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            make_heap([("a", 1)]).remove("b")
+
+    def test_remove_last_element(self):
+        heap = make_heap([("a", 1)])
+        heap.remove("a")
+        assert len(heap) == 0
+
+
+class TestUpdate:
+    def test_increase_priority(self):
+        heap = make_heap([("a", 1), ("b", 2)])
+        heap.update("a", 10)
+        assert heap.min() == ("b", 2)
+        assert heap.priority("a") == 10
+
+    def test_decrease_priority(self):
+        heap = make_heap([("a", 5), ("b", 2)])
+        heap.update("a", 1)
+        assert heap.min() == ("a", 1)
+
+    def test_update_missing_raises(self):
+        with pytest.raises(KeyError):
+            make_heap([("a", 1)]).update("b", 2)
+
+    def test_add_to(self):
+        heap = make_heap([("a", 1), ("b", 5)])
+        assert heap.add_to("a", 3) == 4
+        assert heap.priority("a") == 4
+
+    def test_add_to_reorders(self):
+        heap = make_heap([("a", 1), ("b", 2)])
+        heap.add_to("a", 10)
+        assert heap.min() == ("b", 2)
+
+
+class TestSortedList:
+    def test_descending_order(self):
+        heap = make_heap([("a", 3), ("b", 1), ("c", 2)])
+        assert heap.as_sorted_list() == [("a", 3), ("c", 2), ("b", 1)]
+
+    def test_empty(self):
+        assert IndexedMinHeap().as_sorted_list() == []
+
+
+class TestStress:
+    def test_random_operations_match_reference(self):
+        """Fuzz the heap against a dict + min() reference model."""
+        rng = random.Random(77)
+        heap = IndexedMinHeap()
+        model: dict[int, float] = {}
+        for step in range(3000):
+            op = rng.random()
+            if op < 0.45 or not model:
+                item = rng.randrange(500)
+                if item not in model:
+                    priority = rng.uniform(0, 100)
+                    heap.push(item, priority)
+                    model[item] = priority
+            elif op < 0.65:
+                item = rng.choice(list(model))
+                priority = rng.uniform(0, 100)
+                heap.update(item, priority)
+                model[item] = priority
+            elif op < 0.85:
+                item, priority = heap.pop_min()
+                assert priority == min(model.values())
+                assert model.pop(item) == priority
+            else:
+                item = rng.choice(list(model))
+                assert heap.remove(item) == model.pop(item)
+            assert len(heap) == len(model)
+        # Drain and confirm global order.
+        drained = [heap.pop_min()[1] for _ in range(len(heap))]
+        assert drained == sorted(drained)
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000),
+                    min_size=1, max_size=50))
+    def test_heapsort_property(self, priorities):
+        heap = IndexedMinHeap()
+        for index, priority in enumerate(priorities):
+            heap.push(index, priority)
+        drained = [heap.pop_min()[1] for _ in range(len(priorities))]
+        assert drained == sorted(priorities)

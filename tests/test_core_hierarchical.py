@@ -1,0 +1,215 @@
+"""Tests for the hierarchical Count Sketch and one-pass max-change."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hierarchical import (
+    HierarchicalCountSketch,
+    heavy_change_items,
+)
+
+
+def make(domain_bits=12, depth=5, width=256, seed=0):
+    return HierarchicalCountSketch(domain_bits, depth, width, seed)
+
+
+class TestConstruction:
+    def test_domain_bounds(self):
+        with pytest.raises(ValueError):
+            HierarchicalCountSketch(0)
+        with pytest.raises(ValueError):
+            HierarchicalCountSketch(63)
+
+    def test_domain_size(self):
+        assert make(domain_bits=10).domain_size == 1024
+
+    def test_counters_used(self):
+        sketch = make(domain_bits=8, depth=3, width=16)
+        assert sketch.counters_used() == 8 * 3 * 16
+
+    def test_items_stored_zero(self):
+        assert make().items_stored() == 0
+
+
+class TestUpdatesAndEstimates:
+    def test_item_domain_enforced(self):
+        sketch = make(domain_bits=8)
+        with pytest.raises(ValueError):
+            sketch.update(256)
+        with pytest.raises(ValueError):
+            sketch.update(-1)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            make().update("string")
+        with pytest.raises(TypeError):
+            make().update(True)
+
+    def test_leaf_estimate(self):
+        sketch = make()
+        sketch.update(42, 17)
+        assert sketch.estimate(42) == 17.0
+
+    def test_negative_updates_turnstile(self):
+        sketch = make()
+        sketch.update(42, 10)
+        sketch.update(42, -4)
+        assert sketch.estimate(42) == 6.0
+        assert sketch.total_weight == 6
+
+    def test_prefix_estimates_aggregate(self):
+        sketch = make(domain_bits=8)
+        # Items 4 and 5 share every prefix above the lowest bit.
+        sketch.update(4, 10)
+        sketch.update(5, 20)
+        assert sketch.prefix_estimate(4 >> 1, 1) == 30.0
+        assert sketch.prefix_estimate(4 >> 2, 2) == 30.0
+
+    def test_prefix_shift_bounds(self):
+        sketch = make(domain_bits=8)
+        with pytest.raises(ValueError):
+            sketch.prefix_estimate(0, 8)
+
+    def test_extend_aggregates(self):
+        sketch = make()
+        sketch.extend([7, 7, 9])
+        assert sketch.estimate(7) == 2.0
+        assert sketch.estimate(9) == 1.0
+
+
+class TestHeavyHitters:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            make().heavy_hitters(0)
+
+    def test_finds_planted_heavy_items(self):
+        sketch = make(domain_bits=12, width=512, seed=1)
+        heavy = {100: 500, 2000: 300, 3333: 200}
+        for item, count in heavy.items():
+            sketch.update(item, count)
+        for item in range(4000):
+            if item not in heavy:
+                sketch.update(item, 1)
+        found = dict(sketch.heavy_hitters(threshold=150))
+        assert set(found) == set(heavy)
+        for item, count in heavy.items():
+            assert abs(found[item] - count) <= 0.15 * count
+
+    def test_sorted_by_magnitude(self):
+        sketch = make(seed=2)
+        sketch.update(1, 100)
+        sketch.update(2, 300)
+        sketch.update(3, 200)
+        items = [item for item, __ in sketch.heavy_hitters(50)]
+        assert items == [2, 3, 1]
+
+    def test_empty_when_nothing_heavy(self):
+        sketch = make(seed=3)
+        for item in range(200):
+            sketch.update(item, 1)
+        assert sketch.heavy_hitters(threshold=100) == []
+
+    def test_absolute_mode_finds_negative_mass(self):
+        sketch = make(seed=4)
+        sketch.update(77, -400)
+        assert sketch.heavy_hitters(200, absolute=True) == [(77, -400.0)]
+        assert sketch.heavy_hitters(200, absolute=False) == []
+
+    def test_query_count_logarithmic(self, monkeypatch):
+        """The descent touches O(2^expand + heavy · domain_bits) nodes,
+        not the 2^16 domain — measured by counting estimate calls."""
+        from repro.core.countsketch import CountSketch
+
+        sketch = make(domain_bits=16, width=512, seed=5)
+        sketch.update(12345, 1000)
+        for item in range(500):
+            sketch.update(item, 1)
+
+        calls = {"count": 0}
+        original = CountSketch.estimate
+
+        def wrapped(self, item):
+            calls["count"] += 1
+            return original(self, item)
+
+        monkeypatch.setattr(CountSketch, "estimate", wrapped)
+        sketch.heavy_hitters(threshold=500, expand_levels=8)
+        # 2^8 unconditional nodes + 2 children per surviving node per
+        # pruned level — far below the 2^16 domain.
+        assert calls["count"] <= 2**8 + 8 * 16
+
+
+class TestLinearity:
+    def test_subtraction_estimates_change(self):
+        a = make(seed=6)
+        b = make(seed=6)
+        a.update(10, 100)
+        b.update(10, 30)
+        b.update(11, 50)
+        diff = b - a
+        assert diff.estimate(10) == -70.0
+        assert diff.estimate(11) == 50.0
+        assert diff.total_weight == -20
+
+    def test_addition(self):
+        a = make(seed=7)
+        b = make(seed=7)
+        a.update(3, 4)
+        b.update(3, 6)
+        assert (a + b).estimate(3) == 10.0
+
+    def test_incompatible_rejected(self):
+        with pytest.raises(ValueError):
+            make(seed=1) - make(seed=2)
+        with pytest.raises(ValueError):
+            make(domain_bits=10) - make(domain_bits=12)
+        with pytest.raises(TypeError):
+            make() - "nope"
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=255), max_size=60),
+           st.lists(st.integers(min_value=0, max_value=255), max_size=60))
+    def test_difference_of_identical_prefixes_cancels(self, s1, s2):
+        a = HierarchicalCountSketch(8, 3, 32, seed=8)
+        b = HierarchicalCountSketch(8, 3, 32, seed=8)
+        a.extend(s1 + s2)
+        b.extend(s2 + s1)
+        diff = a - b
+        for level in diff._levels:
+            assert not level.counters.any()
+
+
+class TestOnePassMaxChange:
+    def test_finds_planted_changes(self):
+        before = [5] * 300 + [9] * 100 + list(range(100, 400))
+        after = [5] * 50 + [9] * 100 + [777] * 200 + list(range(100, 400))
+        found = heavy_change_items(
+            before, after, threshold=100, domain_bits=12, width=512, seed=9
+        )
+        found_items = {item for item, __ in found}
+        assert found_items == {5, 777}
+        changes = dict(found)
+        assert changes[5] == pytest.approx(-250, abs=30)
+        assert changes[777] == pytest.approx(200, abs=30)
+
+    def test_no_changes_no_results(self):
+        stream = list(range(100)) * 3
+        assert heavy_change_items(
+            stream, stream, threshold=10, domain_bits=10, seed=10
+        ) == []
+
+    def test_matches_two_pass_recall_on_drift(self):
+        """The 1-pass hierarchical variant recovers the same planted
+        drift as the paper's 2-pass algorithm."""
+        from repro.streams.drift import make_drift_pair
+
+        pair = make_drift_pair(m=1_000, n=20_000, boost=10.0, seed=11)
+        truth = {item for item, __ in pair.top_changes(6)}
+        threshold = abs(pair.top_changes(6)[-1][1]) * 0.7
+        found = heavy_change_items(
+            list(pair.before), list(pair.after),
+            threshold=threshold, domain_bits=10, width=512, seed=12,
+        )
+        found_items = {item for item, __ in found}
+        assert len(found_items & truth) >= 5

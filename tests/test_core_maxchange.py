@@ -1,0 +1,162 @@
+"""Tests for repro.core.maxchange — the §4.2 two-pass algorithm."""
+
+import pytest
+
+from repro.core.maxchange import ChangeReport, MaxChangeFinder, find_max_change
+from repro.streams.drift import make_drift_pair
+
+
+class TestChangeReport:
+    def test_change_and_abs_change(self):
+        report = ChangeReport("x", count_before=10, count_after=3,
+                              estimated_change=-6.5)
+        assert report.change == -7
+        assert report.abs_change == 7
+
+    def test_frozen(self):
+        report = ChangeReport("x", 1, 2, 1.0)
+        with pytest.raises(AttributeError):
+            report.count_before = 5
+
+
+class TestConstruction:
+    def test_requires_dimensions_or_sketch(self):
+        with pytest.raises(ValueError):
+            MaxChangeFinder(5)
+
+    def test_invalid_l(self):
+        with pytest.raises(ValueError):
+            MaxChangeFinder(0, depth=3, width=32)
+
+    def test_sketch_and_dimensions_exclusive(self):
+        from repro.core.countsketch import CountSketch
+
+        with pytest.raises(ValueError):
+            MaxChangeFinder(5, sketch=CountSketch(3, 32), depth=3)
+
+
+class TestDifferenceSketch:
+    def test_first_pass_builds_difference(self):
+        finder = MaxChangeFinder(5, depth=5, width=256, seed=0)
+        finder.first_pass(["a"] * 10, ["a"] * 3 + ["b"] * 7)
+        assert finder.sketch.estimate("a") == -7.0
+        assert finder.sketch.estimate("b") == 7.0
+
+    def test_identical_streams_zero_sketch(self):
+        finder = MaxChangeFinder(5, depth=3, width=64, seed=0)
+        stream = ["a", "b", "c", "a"]
+        finder.first_pass(stream, stream)
+        assert not finder.sketch.counters.any()
+
+    def test_incremental_observers_match_bulk(self):
+        bulk = MaxChangeFinder(5, depth=3, width=64, seed=0)
+        bulk.first_pass(["a", "b"], ["b", "c"])
+        inc = MaxChangeFinder(5, depth=3, width=64, seed=0)
+        inc.observe_before("a")
+        inc.observe_before("b")
+        inc.observe_after("b")
+        inc.observe_after("c")
+        assert inc.sketch == bulk.sketch
+
+    def test_weighted_observers(self):
+        finder = MaxChangeFinder(5, depth=3, width=64, seed=0)
+        finder.observe_before("a", 10)
+        finder.observe_after("a", 4)
+        assert finder.sketch.estimate("a") == -6.0
+
+
+class TestSecondPass:
+    def run_small(self, before, after, l=4, k=3):
+        finder = MaxChangeFinder(l, depth=5, width=256, seed=0)
+        finder.first_pass(before, after)
+        finder.second_pass(before, after)
+        return finder.report(k)
+
+    def test_exact_counts_in_report(self):
+        before = ["a"] * 10 + ["b"] * 5
+        after = ["a"] * 2 + ["b"] * 5 + ["c"] * 8
+        reports = self.run_small(before, after)
+        by_item = {r.item: r for r in reports}
+        assert by_item["a"].count_before == 10
+        assert by_item["a"].count_after == 2
+        assert by_item["c"].count_before == 0
+        assert by_item["c"].count_after == 8
+
+    def test_ranking_by_abs_change(self):
+        before = ["a"] * 10 + ["b"] * 5 + ["c"] * 1
+        after = ["a"] * 1 + ["b"] * 5 + ["c"] * 4
+        reports = self.run_small(before, after, l=4, k=3)
+        assert [r.item for r in reports] == ["a", "c", "b"]
+
+    def test_report_k_zero(self):
+        assert self.run_small(["a"], ["b"], k=0) == []
+
+    def test_report_negative_k_rejected(self):
+        finder = MaxChangeFinder(4, depth=3, width=64, seed=0)
+        with pytest.raises(ValueError):
+            finder.report(-1)
+
+    def test_candidate_set_capped_at_l(self):
+        finder = MaxChangeFinder(3, depth=5, width=512, seed=0)
+        before = []
+        after = [item for item in range(20) for _ in range(item + 1)]
+        finder.first_pass(before, after)
+        finder.second_pass(before, after)
+        assert finder.items_stored() <= 3
+        # The 3 largest changes are items 19, 18, 17.
+        reported = {r.item for r in finder.report(3)}
+        assert reported == {19, 18, 17}
+
+    def test_evicted_items_never_readmitted(self):
+        finder = MaxChangeFinder(1, depth=5, width=512, seed=0)
+        before = []
+        after = ["small"] * 2 + ["big"] * 50 + ["small"] * 2
+        finder.first_pass(before, after)
+        finder.second_pass(before, after)
+        reports = finder.report(1)
+        assert reports[0].item == "big"
+        # 'big' entered at its first encounter, so its exact count is full.
+        assert reports[0].count_after == 50
+
+    def test_counters_used(self):
+        finder = MaxChangeFinder(4, depth=2, width=8, seed=0)
+        finder.first_pass(["a"], ["b"])
+        finder.second_pass(["a"], ["b"])
+        assert finder.counters_used() == 2 * 8 + 2 * finder.items_stored()
+
+
+class TestEndToEnd:
+    def test_recovers_planted_drift(self):
+        pair = make_drift_pair(
+            m=1_000, n=20_000, z=1.0, num_risers=3, num_fallers=3,
+            boost=8.0, seed=5,
+        )
+        finder = MaxChangeFinder(20, depth=5, width=512, seed=1)
+        finder.first_pass(pair.before, pair.after)
+        finder.second_pass(pair.before, pair.after)
+        reported = {r.item for r in finder.report(6)}
+        truth = {item for item, __ in pair.top_changes(6)}
+        assert len(reported & truth) >= 5
+
+    def test_estimated_change_close_to_exact(self):
+        pair = make_drift_pair(m=1_000, n=20_000, seed=6)
+        finder = MaxChangeFinder(20, depth=5, width=512, seed=2)
+        finder.first_pass(pair.before, pair.after)
+        finder.second_pass(pair.before, pair.after)
+        for report in finder.report(5):
+            assert abs(report.estimated_change - report.change) <= (
+                0.2 * abs(report.change) + 30
+            )
+
+    def test_find_max_change_wrapper(self):
+        before = ["a"] * 30 + ["b"] * 5
+        after = ["a"] * 5 + ["b"] * 5 + ["c"] * 20
+        reports = find_max_change(before, after, k=2, depth=5, width=128)
+        items = [r.item for r in reports]
+        assert items[0] == "a"
+        assert items[1] == "c"
+
+    def test_wrapper_default_l(self):
+        reports = find_max_change(["a"] * 4, ["b"] * 4, k=1,
+                                  depth=3, width=64)
+        assert reports[0].item in ("a", "b")

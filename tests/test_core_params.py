@@ -1,0 +1,137 @@
+"""Tests for repro.core.params — the paper's parameter formulas."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.params import (
+    SketchParameters,
+    error_bound,
+    gamma,
+    suggest_depth,
+    width_for_approxtop,
+)
+
+
+class TestGamma:
+    def test_formula(self):
+        # Eq. 5: gamma = sqrt(tail / b)
+        assert gamma(400.0, 4) == pytest.approx(10.0)
+
+    def test_zero_tail(self):
+        assert gamma(0.0, 8) == 0.0
+
+    def test_width_one(self):
+        assert gamma(25.0, 1) == 5.0
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            gamma(1.0, 0)
+
+    def test_negative_tail(self):
+        with pytest.raises(ValueError):
+            gamma(-1.0, 4)
+
+    def test_error_bound_is_8_gamma(self):
+        assert error_bound(400.0, 4) == pytest.approx(80.0)
+
+    @given(st.floats(min_value=0, max_value=1e12),
+           st.integers(min_value=1, max_value=10**6))
+    def test_monotone_decreasing_in_b(self, tail, b):
+        assert gamma(tail, b) >= gamma(tail, b * 2)
+
+
+class TestWidthForApproxTop:
+    def test_k_dominates_when_tail_small(self):
+        # variance term tiny => b = 8k
+        assert width_for_approxtop(10, 0.5, nk=1000, tail_second_moment=1) == 80
+
+    def test_variance_dominates(self):
+        # 32 * tail / (eps*nk)^2 = 32*10000/(0.5*10)^2 = 12800 > k
+        width = width_for_approxtop(
+            4, 0.5, nk=10, tail_second_moment=10_000
+        )
+        assert width == math.ceil(8 * 32 * 10_000 / 25)
+
+    def test_lemma5_constant_256_over_eps_sq(self):
+        # b = 256 * tail / (eps*nk)^2 exactly when the variance term wins.
+        k, eps, nk, tail = 2, 0.25, 100, 1e6
+        expected = math.ceil(256 * tail / (eps * nk) ** 2)
+        assert width_for_approxtop(k, eps, nk, tail) == expected
+
+    def test_smaller_epsilon_needs_more_width(self):
+        wide = width_for_approxtop(10, 0.1, 100, 1e6)
+        narrow = width_for_approxtop(10, 0.5, 100, 1e6)
+        assert wide > narrow
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            width_for_approxtop(0, 0.5, 10, 100)
+        with pytest.raises(ValueError):
+            width_for_approxtop(10, 0.0, 10, 100)
+        with pytest.raises(ValueError):
+            width_for_approxtop(10, 1.5, 10, 100)
+        with pytest.raises(ValueError):
+            width_for_approxtop(10, 0.5, 0, 100)
+        with pytest.raises(ValueError):
+            width_for_approxtop(10, 0.5, 10, -1)
+
+    def test_guarantee_condition_16gamma_leq_eps_nk(self):
+        """Lemma 5's proof needs 16*gamma <= eps*nk at the chosen width."""
+        k, eps, nk, tail = 10, 0.25, 500, 5e7
+        width = width_for_approxtop(k, eps, nk, tail)
+        assert 16 * gamma(tail, width) <= eps * nk + 1e-9
+
+
+class TestSuggestDepth:
+    def test_basic_value(self):
+        t = suggest_depth(100_000, 0.01)
+        assert t >= math.log(100_000 / 0.01) - 1
+        assert t % 2 == 1
+
+    def test_always_odd(self):
+        for n in (10, 1000, 10**6):
+            for delta in (0.5, 0.1, 0.001):
+                assert suggest_depth(n, delta) % 2 == 1
+
+    def test_constant_scales(self):
+        assert suggest_depth(10**6, 0.01, constant=2.0) >= 2 * suggest_depth(
+            10**6, 0.01, constant=1.0
+        ) - 2
+
+    def test_minimum_one(self):
+        assert suggest_depth(2, 0.9, constant=0.01) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            suggest_depth(0, 0.01)
+        with pytest.raises(ValueError):
+            suggest_depth(100, 0.0)
+        with pytest.raises(ValueError):
+            suggest_depth(100, 1.0)
+        with pytest.raises(ValueError):
+            suggest_depth(100, 0.1, constant=0)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_monotone_in_n(self, n):
+        assert suggest_depth(n, 0.05) <= suggest_depth(n * 10, 0.05)
+
+
+class TestSketchParameters:
+    def test_counters(self):
+        assert SketchParameters(depth=5, width=100).counters() == 500
+
+    def test_for_approxtop_combines_lemmas(self):
+        params = SketchParameters.for_approxtop(
+            k=10, epsilon=0.5, nk=100, tail_second_moment=1e5,
+            n=100_000, delta=0.05,
+        )
+        assert params.depth == suggest_depth(100_000, 0.05)
+        assert params.width == width_for_approxtop(10, 0.5, 100, 1e5)
+
+    def test_frozen(self):
+        params = SketchParameters(depth=3, width=4)
+        with pytest.raises(AttributeError):
+            params.depth = 5

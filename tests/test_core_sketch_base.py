@@ -1,0 +1,68 @@
+"""Tests for the shared summary protocols and the consume helper."""
+
+import pytest
+
+from repro.baselines.exact import ExactCounter
+from repro.core.sketch_base import FrequencyEstimator, StreamSummary, consume
+from repro.core.topk import TopKTracker
+
+
+class TestConsume:
+    def test_feeds_every_item_in_order(self):
+        counter = ExactCounter()
+        consume(counter, ["a", "b", "a"])
+        assert counter.count("a") == 2
+        assert counter.count("b") == 1
+
+    def test_empty_stream(self):
+        counter = ExactCounter()
+        consume(counter, [])
+        assert counter.total == 0
+
+    def test_generator_input(self):
+        counter = ExactCounter()
+        consume(counter, (item for item in range(5)))
+        assert counter.total == 5
+
+
+class TestProtocolNegatives:
+    """Objects missing the required surface are rejected by the runtime
+    protocol checks the harness relies on."""
+
+    def test_plain_object_is_not_a_summary(self):
+        assert not isinstance(object(), StreamSummary)
+        assert not isinstance(object(), FrequencyEstimator)
+
+    def test_update_only_object_is_not_a_summary(self):
+        class UpdateOnly:
+            def update(self, item, count=1):
+                pass
+
+        assert not isinstance(UpdateOnly(), StreamSummary)
+
+    def test_dict_is_not_an_estimator(self):
+        assert not isinstance({}, FrequencyEstimator)
+
+    def test_tracker_satisfies_both(self):
+        tracker = TopKTracker(2, depth=2, width=8)
+        assert isinstance(tracker, StreamSummary)
+        assert isinstance(tracker, FrequencyEstimator)
+
+
+class TestAccountingConsistency:
+    """counters_used/items_stored answer in the paper's units for every
+    summary: nonnegative ints that never shrink spontaneously."""
+
+    def test_monotone_under_inserts(self):
+        from repro.baselines.space_saving import SpaceSaving
+
+        summary = SpaceSaving(8)
+        previous = 0
+        for item in range(50):
+            summary.update(item)
+            current = summary.counters_used()
+            assert isinstance(current, int)
+            assert current >= 0
+            # SpaceSaving only grows until capacity, then plateaus.
+            assert current >= previous or current == 16
+            previous = current

@@ -1,0 +1,186 @@
+"""Tests for repro.core.topk — the §3.2 APPROXTOP tracker."""
+
+import pytest
+
+from repro.analysis.metrics import recall_at_k
+from repro.core.countsketch import CountSketch
+from repro.core.topk import TopKTracker
+
+
+class TestConstruction:
+    def test_with_dimensions(self):
+        tracker = TopKTracker(5, depth=3, width=32)
+        assert tracker.k == 5
+        assert tracker.sketch.depth == 3
+        assert tracker.sketch.width == 32
+
+    def test_with_explicit_sketch(self):
+        sketch = CountSketch(3, 32, seed=1)
+        tracker = TopKTracker(5, sketch=sketch)
+        assert tracker.sketch is sketch
+
+    def test_sketch_and_dimensions_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            TopKTracker(5, sketch=CountSketch(3, 32), depth=3)
+
+    def test_missing_dimensions(self):
+        with pytest.raises(ValueError):
+            TopKTracker(5)
+        with pytest.raises(ValueError):
+            TopKTracker(5, depth=3)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            TopKTracker(0, depth=3, width=32)
+
+
+class TestUpdates:
+    def test_single_heavy_item(self):
+        tracker = TopKTracker(3, depth=3, width=64, seed=0)
+        for _ in range(50):
+            tracker.update("heavy")
+        top = tracker.top()
+        assert top[0][0] == "heavy"
+        assert top[0][1] == 50.0
+
+    def test_heap_fills_up_to_k(self):
+        tracker = TopKTracker(3, depth=3, width=64, seed=0)
+        for item in ("a", "b", "c"):
+            tracker.update(item)
+        assert len(tracker.top()) == 3
+
+    def test_heap_never_exceeds_k(self):
+        tracker = TopKTracker(3, depth=3, width=64, seed=0)
+        for item in range(20):
+            tracker.update(item)
+        assert tracker.items_stored() == 3
+        assert len(tracker.top(100)) == 3
+
+    def test_eviction_of_smallest(self):
+        tracker = TopKTracker(2, depth=5, width=256, seed=0)
+        for _ in range(10):
+            tracker.update("big")
+        for _ in range(5):
+            tracker.update("mid")
+        tracker.update("small")
+        # 'small' (est 1) must not displace 'big' or 'mid'.
+        items = [item for item, __ in tracker.top()]
+        assert items == ["big", "mid"]
+
+    def test_recurring_item_gets_exact_increments(self):
+        tracker = TopKTracker(2, depth=5, width=256, seed=0)
+        for _ in range(7):
+            tracker.update("x")
+        assert tracker.top()[0] == ("x", 7.0)
+
+    def test_weighted_update(self):
+        tracker = TopKTracker(2, depth=5, width=256, seed=0)
+        tracker.update("x", 40)
+        tracker.update("x", 2)
+        assert tracker.top()[0] == ("x", 42.0)
+
+    def test_nonpositive_count_rejected(self):
+        tracker = TopKTracker(2, depth=3, width=32)
+        with pytest.raises(ValueError):
+            tracker.update("x", 0)
+        with pytest.raises(ValueError):
+            tracker.update("x", -1)
+
+    def test_items_processed(self):
+        tracker = TopKTracker(2, depth=3, width=32, seed=0)
+        tracker.update("a")
+        tracker.update("b", 4)
+        assert tracker.items_processed == 5
+
+    def test_contains(self):
+        tracker = TopKTracker(2, depth=3, width=32, seed=0)
+        tracker.update("a")
+        assert "a" in tracker
+        assert "b" not in tracker
+
+
+class TestQueries:
+    def test_top_sorted_descending(self):
+        tracker = TopKTracker(5, depth=5, width=256, seed=0)
+        for item, count in [("a", 30), ("b", 20), ("c", 10)]:
+            tracker.update(item, count)
+        counts = [c for __, c in tracker.top()]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_top_prefix(self):
+        tracker = TopKTracker(5, depth=5, width=256, seed=0)
+        for item, count in [("a", 30), ("b", 20), ("c", 10)]:
+            tracker.update(item, count)
+        assert len(tracker.top(2)) == 2
+        assert tracker.top(2)[0][0] == "a"
+
+    def test_top_negative_rejected(self):
+        tracker = TopKTracker(2, depth=3, width=32)
+        with pytest.raises(ValueError):
+            tracker.top(-1)
+
+    def test_estimate_heap_member_is_tracked_count(self):
+        tracker = TopKTracker(2, depth=5, width=256, seed=0)
+        for _ in range(9):
+            tracker.update("x")
+        assert tracker.estimate("x") == 9.0
+
+    def test_estimate_non_member_falls_back_to_sketch(self):
+        tracker = TopKTracker(1, depth=5, width=256, seed=0)
+        tracker.update("big", 100)
+        tracker.update("small")  # not in heap (k=1)
+        assert "small" not in tracker
+        assert tracker.estimate("small") == pytest.approx(1.0)
+
+    def test_counters_used(self):
+        tracker = TopKTracker(3, depth=2, width=10, seed=0)
+        tracker.update("a")
+        assert tracker.counters_used() == 2 * 10 + 1
+
+
+class TestEndToEnd:
+    def test_recovers_true_top_k_on_zipf(self, zipf_stream, zipf_stats):
+        tracker = TopKTracker(10, depth=5, width=256, seed=1)
+        for item in zipf_stream:
+            tracker.update(item)
+        reported = [item for item, __ in tracker.top()]
+        assert recall_at_k(reported, zipf_stats.top_k_items(10)) >= 0.9
+
+    def test_tracked_counts_close_to_truth(self, zipf_stream, zipf_stats):
+        tracker = TopKTracker(10, depth=5, width=256, seed=1)
+        for item in zipf_stream:
+            tracker.update(item)
+        for item, count in tracker.top():
+            true = zipf_stats.count(item)
+            assert abs(count - true) <= 0.05 * true + 3
+
+    def test_reestimate_policy_also_works(self, zipf_stream, zipf_stats):
+        tracker = TopKTracker(
+            10, depth=5, width=256, seed=1, exact_heap_counts=False
+        )
+        for item in zipf_stream:
+            tracker.update(item)
+        reported = [item for item, __ in tracker.top()]
+        assert recall_at_k(reported, zipf_stats.top_k_items(10)) >= 0.8
+
+    def test_deterministic_given_seed(self, zipf_stream):
+        def run():
+            tracker = TopKTracker(5, depth=5, width=128, seed=9)
+            for item in zipf_stream:
+                tracker.update(item)
+            return tracker.top()
+
+        assert run() == run()
+
+    def test_order_independence_of_sketch_but_heap_sees_order(self):
+        """The sketch is order-independent; the heap is deterministic
+        given the order.  Same multiset, different order: the final sketch
+        states agree exactly."""
+        items = ["a"] * 5 + ["b"] * 3 + ["c"] * 2
+        t1 = TopKTracker(2, depth=3, width=64, seed=4)
+        t2 = TopKTracker(2, depth=3, width=64, seed=4)
+        for item in items:
+            t1.update(item)
+        for item in reversed(items):
+            t2.update(item)
+        assert t1.sketch == t2.sketch

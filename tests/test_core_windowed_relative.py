@@ -1,0 +1,188 @@
+"""Tests for the jumping-window sketch and the relative-change finder."""
+
+import pytest
+
+from repro.core.relative_change import (
+    RelativeChangeFinder,
+    RelativeChangeReport,
+)
+from repro.core.windowed import JumpingWindowSketch
+
+
+class TestJumpingWindowSketch:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JumpingWindowSketch(0)
+        with pytest.raises(ValueError):
+            JumpingWindowSketch(10, buckets=0)
+        with pytest.raises(ValueError):
+            JumpingWindowSketch(10, buckets=20)
+        with pytest.raises(ValueError):
+            JumpingWindowSketch(10).update("x", 0)
+
+    def test_within_window_counts_everything(self):
+        window = JumpingWindowSketch(window=1000, buckets=4,
+                                     depth=5, width=256, seed=0)
+        for _ in range(100):
+            window.update("x")
+        assert window.estimate("x") == 100.0
+        assert window.covered() == 100
+
+    def test_old_items_expire(self):
+        window = JumpingWindowSketch(window=1000, buckets=4,
+                                     depth=3, width=256, seed=1)
+        for _ in range(2500):
+            window.update("old")
+        for _ in range(2500):
+            window.update("new")
+        assert window.estimate("old") == 0.0
+        assert window.estimate("new") > 0
+
+    def test_covered_stays_in_band(self):
+        window = JumpingWindowSketch(window=1000, buckets=4,
+                                     depth=3, width=64, seed=2)
+        for i in range(5000):
+            window.update(i % 50)
+            if i >= 1000:
+                # Covered window in (W - 2*W/B, W] = (500, 1000]; never
+                # overshoots W, dips after rotations.
+                assert 500 < window.covered() <= 1000
+
+    def test_sliding_mix(self):
+        """A heavy item that stops appearing fades after one window."""
+        window = JumpingWindowSketch(window=400, buckets=4,
+                                     depth=5, width=256, seed=3)
+        for i in range(400):
+            window.update("early" if i % 2 == 0 else i)
+        mid_estimate = window.estimate("early")
+        assert mid_estimate > 100
+        for i in range(800):
+            window.update(i + 10_000)
+        # Expired: only residual sketch noise remains (|est| ~ gamma of
+        # the live window, far below the in-window estimate).
+        assert abs(window.estimate("early")) < mid_estimate / 5
+
+    def test_items_seen_counts_everything(self):
+        window = JumpingWindowSketch(window=100, buckets=2, depth=3,
+                                     width=32, seed=4)
+        for i in range(321):
+            window.update(i)
+        assert window.items_seen == 321
+
+    def test_counters_used_positive(self):
+        window = JumpingWindowSketch(window=100, buckets=2, depth=3,
+                                     width=32, seed=5)
+        window.update("a")
+        assert window.counters_used() >= 2 * 3 * 32
+        assert window.items_stored() == 0
+
+    def test_weighted_update(self):
+        window = JumpingWindowSketch(window=1000, buckets=2, depth=3,
+                                     width=64, seed=6)
+        window.update("x", 5)
+        assert window.estimate("x") == 5.0
+
+    def test_repr(self):
+        assert "window=100" in repr(JumpingWindowSketch(100))
+
+    def test_aggregate_equals_sketch_of_trailing_items(self):
+        """The strongest invariant: at any instant, the window's internal
+        aggregate equals a fresh Count Sketch (same seed) over exactly the
+        trailing ``covered()`` items — linearity makes the construction
+        exact, not approximate."""
+        from repro.core.countsketch import CountSketch
+        from repro.streams.zipf import ZipfStreamGenerator
+
+        stream = ZipfStreamGenerator(m=100, z=1.0, seed=7).generate(3_000)
+        items = list(stream)
+        window = JumpingWindowSketch(window=500, buckets=5, depth=3,
+                                     width=64, seed=8)
+        checkpoints = {750, 1_500, 2_999}
+        for position, item in enumerate(items):
+            window.update(item)
+            if position in checkpoints:
+                covered = window.covered()
+                reference = CountSketch(3, 64, seed=8)
+                reference.extend(items[position + 1 - covered:position + 1])
+                assert window._aggregate == reference
+
+
+class TestRelativeChangeReport:
+    def test_ratio_and_percent(self):
+        report = RelativeChangeReport("x", count_before=10, count_after=30)
+        assert report.ratio == 3.0
+        assert report.percent_change == 2.0
+
+    def test_zero_before_smoothed(self):
+        report = RelativeChangeReport("x", count_before=0, count_after=7)
+        assert report.ratio == 7.0
+        assert report.percent_change == 7.0
+
+
+class TestRelativeChangeFinder:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RelativeChangeFinder(0)
+        with pytest.raises(ValueError):
+            RelativeChangeFinder(5, floor=0)
+        with pytest.raises(ValueError):
+            RelativeChangeFinder(5).report(-1)
+
+    def run_small(self, before, after, l=8, k=3, **kwargs):
+        finder = RelativeChangeFinder(l, depth=5, width=256, seed=0,
+                                      **kwargs)
+        finder.first_pass(before, after)
+        finder.second_pass(before, after)
+        return finder, finder.report(k)
+
+    def test_finds_largest_percent_change(self):
+        # 'b' grows 20x from a meaningful base; 'a' is stable and huge;
+        # 'c' shrinks 5x.
+        before = ["a"] * 1000 + ["b"] * 10 + ["c"] * 500
+        after = ["a"] * 1000 + ["b"] * 200 + ["c"] * 100
+        __, reports = self.run_small(before, after)
+        assert reports[0].item == "b"
+        assert reports[0].percent_change == pytest.approx(19.0)
+
+    def test_exact_counts(self):
+        before = ["a"] * 50 + ["b"] * 5
+        after = ["a"] * 10 + ["b"] * 40
+        __, reports = self.run_small(before, after, k=2)
+        by = {r.item: r for r in reports}
+        assert by["a"].count_before == 50
+        assert by["a"].count_after == 10
+        assert by["b"].count_before == 5
+        assert by["b"].count_after == 40
+
+    def test_min_after_filter(self):
+        before = ["gone"] * 100 + ["grew"] * 10
+        after = ["grew"] * 150
+        finder, __ = self.run_small(before, after, k=3)
+        growth_only = finder.report(3, min_after=1)
+        assert all(r.count_after >= 1 for r in growth_only)
+        assert growth_only[0].item == "grew"
+
+    def test_floor_suppresses_noise(self):
+        """With a high floor, a 1 -> 6 noise item loses to a 100 -> 400
+        item; with floor 1 the noise item's ratio wins."""
+        before = ["noise"] * 1 + ["real"] * 100 + ["pad"] * 500
+        after = ["noise"] * 6 + ["real"] * 400 + ["pad"] * 500
+        __, low_floor = self.run_small(before, after, k=1, floor=1.0)
+        __, high_floor = self.run_small(before, after, k=1, floor=50.0)
+        assert low_floor[0].item == "noise"
+        assert high_floor[0].item == "real"
+
+    def test_candidate_set_capped(self):
+        before = []
+        after = [item for item in range(50) for _ in range(item + 1)]
+        finder, __ = self.run_small(before, after, l=5)
+        assert finder.items_stored() <= 5
+
+    def test_counters_used(self):
+        finder = RelativeChangeFinder(4, depth=2, width=8, seed=0)
+        finder.first_pass(["a"], ["a", "b"])
+        finder.second_pass(["a"], ["a", "b"])
+        assert finder.counters_used() == 2 * 2 * 8 + 2 * finder.items_stored()
+
+    def test_repr(self):
+        assert "l=4" in repr(RelativeChangeFinder(4))

@@ -1,0 +1,93 @@
+"""Determinism tests: experiments reproduce exactly at fixed seeds.
+
+EXPERIMENTS.md promises that every number in the benchmark reports is
+"re-derivable exactly" because all randomness is seeded.  These tests
+enforce that promise mechanically: running an experiment twice with the
+same configuration must return identical row objects (dataclass equality
+covers every field, including floats).
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablation_estimator,
+    error_vs_b,
+    relative_change_floor,
+    sampling_space,
+    space_accounting,
+)
+
+
+def small_error_vs_b():
+    return error_vs_b.ErrorVsBConfig(
+        m=500, n=5_000, zs=(1.0,), widths=(16, 64), sketch_seeds=(0,),
+        query_top_ranks=20, query_tail_samples=20,
+    )
+
+
+def small_sampling_space():
+    return sampling_space.SamplingSpaceConfig(
+        m=500, n=5_000, zs=(0.5, 1.5), sampler_seeds=(0,)
+    )
+
+
+def small_ablation_estimator():
+    return ablation_estimator.EstimatorAblationConfig(
+        m=500, n=5_000, sketch_seeds=(0, 1), query_rank_lo=10,
+        query_rank_hi=60,
+    )
+
+
+def small_space_accounting():
+    return space_accounting.SpaceAccountingConfig(m=500, n=5_000, width=64)
+
+
+CASES = [
+    pytest.param(error_vs_b.run, small_error_vs_b, id="error_vs_b"),
+    pytest.param(sampling_space.run, small_sampling_space,
+                 id="sampling_space"),
+    pytest.param(ablation_estimator.run, small_ablation_estimator,
+                 id="ablation_estimator"),
+]
+
+
+@pytest.mark.parametrize("run,make_config", CASES)
+def test_rows_identical_across_runs(run, make_config):
+    config = make_config()
+    assert run(config) == run(config)
+
+
+def test_space_accounting_identical_across_runs():
+    config = small_space_accounting()
+    first = space_accounting.run(config)
+    second = space_accounting.run(config)
+    assert first.rows == second.rows
+    assert first.cs_counters == second.cs_counters
+    assert first.sampling_counters == second.sampling_counters
+
+
+def test_relative_change_floor_identical_across_runs():
+    config = relative_change_floor.FloorSweepConfig()
+    assert relative_change_floor.run(config) == (
+        relative_change_floor.run(config)
+    )
+
+
+def test_reports_identical_across_runs():
+    """Formatted reports (the benchmark artifacts) also match exactly."""
+    config = small_sampling_space()
+    first = sampling_space.format_report(sampling_space.run(config), config)
+    second = sampling_space.format_report(sampling_space.run(config), config)
+    assert first == second
+
+
+def test_different_seeds_change_results():
+    """Sanity that the determinism is seed-driven, not accidental
+    constant output: changing the stream seed changes the measurements."""
+    base = sampling_space.SamplingSpaceConfig(
+        m=500, n=5_000, zs=(1.0,), sampler_seeds=(0,), stream_seed=1
+    )
+    other = sampling_space.SamplingSpaceConfig(
+        m=500, n=5_000, zs=(1.0,), sampler_seeds=(0,), stream_seed=2
+    )
+    assert sampling_space.run(base) != sampling_space.run(other)

@@ -1,0 +1,173 @@
+"""Tests for the experiment harness utilities and report rendering."""
+
+import math
+
+import pytest
+
+from repro.experiments.harness import (
+    fit_power_law,
+    geometric_grid,
+    mean,
+    minimal_passing_value,
+)
+from repro.experiments.report import format_table, format_value
+
+
+class TestGeometricGrid:
+    def test_basic(self):
+        assert geometric_grid(1, 16, factor=2.0) == [1, 2, 4, 8, 16]
+
+    def test_hi_always_included(self):
+        grid = geometric_grid(1, 100, factor=3.0)
+        assert grid[-1] == 100
+        assert grid == sorted(set(grid))
+
+    def test_lo_equals_hi(self):
+        assert geometric_grid(7, 7) == [7]
+
+    def test_fractional_factor(self):
+        grid = geometric_grid(10, 100, factor=2**0.5)
+        assert grid[0] == 10
+        assert grid[-1] == 100
+        assert all(b > a for a, b in zip(grid, grid[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geometric_grid(0, 10)
+        with pytest.raises(ValueError):
+            geometric_grid(10, 5)
+        with pytest.raises(ValueError):
+            geometric_grid(1, 10, factor=1.0)
+
+
+class TestMinimalPassingValue:
+    def test_deterministic_threshold(self):
+        result = minimal_passing_value(
+            lambda value, seed: value >= 40,
+            [10, 20, 40, 80],
+            seeds=(0, 1, 2),
+        )
+        assert result == 40
+
+    def test_none_when_nothing_passes(self):
+        assert minimal_passing_value(
+            lambda value, seed: False, [1, 2], seeds=(0,)
+        ) is None
+
+    def test_success_rate_threshold(self):
+        # Passes for 1 of 2 seeds below 50, for both at 50+.
+        def predicate(value, seed):
+            return value >= 50 or seed == 0
+
+        assert minimal_passing_value(
+            predicate, [10, 50, 100], seeds=(0, 1), success_rate=1.0
+        ) == 50
+        assert minimal_passing_value(
+            predicate, [10, 50, 100], seeds=(0, 1), success_rate=0.5
+        ) == 10
+
+    def test_early_exit_skips_redundant_seeds(self):
+        calls = []
+
+        def predicate(value, seed):
+            calls.append((value, seed))
+            return False
+
+        minimal_passing_value(predicate, [1], seeds=(0, 1, 2),
+                              success_rate=1.0)
+        # After the first failure, success is impossible: one call only.
+        assert calls == [(1, 0)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            minimal_passing_value(lambda v, s: True, [1], success_rate=0)
+
+
+class TestFitPowerLaw:
+    def test_exact_power_law(self):
+        xs = [1, 2, 4, 8]
+        ys = [3 * x**0.5 for x in xs]
+        assert fit_power_law(xs, ys) == pytest.approx(0.5)
+
+    def test_negative_exponent(self):
+        xs = [1, 10, 100]
+        ys = [5 / x for x in xs]
+        assert fit_power_law(xs, ys) == pytest.approx(-1.0)
+
+    def test_constant_is_zero_slope(self):
+        assert fit_power_law([1, 2, 4], [7, 7, 7]) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 1])
+        with pytest.raises(ValueError):
+            fit_power_law([2, 2], [1, 3])
+
+    def test_noisy_fit_close(self):
+        xs = [2**i for i in range(8)]
+        ys = [x**0.4 * (1.1 if i % 2 else 0.9) for i, x in enumerate(xs)]
+        assert abs(fit_power_law(xs, ys) - 0.4) < 0.1
+
+
+class TestMean:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestFormatValue:
+    def test_int(self):
+        assert format_value(42) == "42"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_large_float_compact(self):
+        assert format_value(123456.0) == "1.23e+05"
+
+    def test_small_float_compact(self):
+        assert format_value(0.0000123) == "1.23e-05"
+
+    def test_mid_float(self):
+        assert format_value(3.14159) == "3.142"
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_structure(self):
+        text = format_table(
+            ["a", "bb"], [[1, 2], [3, 4]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1] == "="
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert len(lines) == 6
+
+    def test_alignment(self):
+        text = format_table(["col"], [[1], [100]])
+        lines = text.splitlines()
+        assert lines[-1].endswith("100")
+        assert lines[-2].endswith("  1")
+
+    def test_row_length_validation(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_no_title(self):
+        text = format_table(["x"], [[1]])
+        assert not text.startswith("=")
+        assert len(text.splitlines()) == 3

@@ -1,0 +1,314 @@
+"""Unit tests for the experiment reporting layer (no workloads run).
+
+Each experiment's ``format_report`` and analysis helpers are exercised on
+handcrafted rows so rendering bugs surface without paying for a full
+experiment — the smoke tests cover the pipelines; these cover the
+report/aggregation functions in isolation.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    ablation_estimator,
+    ablation_hash_family,
+    ablation_heap_counts,
+    ablation_sign_hash,
+    approxtop_quality,
+    autoconfig,
+    error_vs_b,
+    failure_vs_t,
+    hierarchical_maxchange,
+    maxchange_experiment,
+    sampling_space,
+    space_accounting,
+    table1,
+    throughput,
+    zipf_space_scaling,
+)
+
+
+class TestTable1Report:
+    def make_row(self, z, sampling=100, kps=50, width=64):
+        return table1.Table1Row(
+            z=z,
+            sampling_space=sampling,
+            sampling_candidates=sampling,
+            kps_space=kps,
+            count_sketch_width=width,
+            count_sketch_space=5 * width + 20,
+            sampling_order=float(sampling),
+            kps_order=float(kps),
+            count_sketch_order=float(width),
+            sampling_ok=True,
+            kps_ok=True,
+        )
+
+    def test_shape_ratios_flat_when_measured_equals_order(self):
+        rows = [self.make_row(z) for z in (0.5, 1.0)]
+        ratios = table1.shape_ratios(rows)
+        for __, sampling, kps, sketch in ratios:
+            assert sampling == pytest.approx(1.0)
+            assert kps == pytest.approx(1.0)
+            assert sketch == pytest.approx(1.0)
+
+    def test_shape_ratios_handle_missing_width(self):
+        row = table1.Table1Row(
+            z=0.5, sampling_space=10, sampling_candidates=10, kps_space=5,
+            count_sketch_width=None, count_sketch_space=None,
+            sampling_order=10.0, kps_order=5.0, count_sketch_order=1.0,
+            sampling_ok=True, kps_ok=True,
+        )
+        ratios = table1.shape_ratios([row])
+        assert math.isnan(ratios[0][3])
+
+    def test_format_report_renders_dash_for_missing(self):
+        row = self.make_row(0.5)
+        missing = table1.Table1Row(
+            **{**row.__dict__, "count_sketch_width": None,
+               "count_sketch_space": None}
+        )
+        text = table1.format_report([missing], table1.Table1Config())
+        assert " - " in text or "- |" in text or "| -" in text
+
+
+class TestErrorVsBReport:
+    def make_rows(self):
+        return [
+            error_vs_b.ErrorVsBRow(
+                z=0.5, width=w, gamma=100 / w**0.5, bound=800 / w**0.5,
+                mean_abs_error=50 / w**0.5, max_abs_error=200 / w**0.5,
+                within_bound_fraction=1.0,
+            )
+            for w in (16, 64, 256)
+        ]
+
+    def test_fitted_exponent_exact_half(self):
+        rows = self.make_rows()
+        assert error_vs_b.fitted_exponent(rows, 0.5) == pytest.approx(-0.5)
+
+    def test_fitted_exponent_skips_zero_errors(self):
+        rows = self.make_rows()
+        rows.append(
+            error_vs_b.ErrorVsBRow(
+                z=0.5, width=1024, gamma=1.0, bound=8.0,
+                mean_abs_error=0.0, max_abs_error=0.0,
+                within_bound_fraction=1.0,
+            )
+        )
+        assert error_vs_b.fitted_exponent(rows, 0.5) == pytest.approx(-0.5)
+
+    def test_report_mentions_guarantee(self):
+        config = error_vs_b.ErrorVsBConfig(zs=(0.5,))
+        text = error_vs_b.format_report(self.make_rows(), config)
+        assert "Lemma 4" in text
+        assert "-0.5" in text
+
+
+class TestFailureVsTHelpers:
+    def make_row(self, depth, r1, r2=0.0, r8=0.0):
+        return failure_vs_t.FailureVsTRow(
+            depth=depth, trials=1000, fail_rate_1g=r1, fail_rate_2g=r2,
+            fail_rate_8g=r8,
+        )
+
+    def test_decay_detected(self):
+        rows = [self.make_row(1, 0.4), self.make_row(3, 0.1),
+                self.make_row(7, 0.01)]
+        assert failure_vs_t.decay_is_exponential(rows)
+
+    def test_non_monotone_rejected(self):
+        rows = [self.make_row(1, 0.1), self.make_row(3, 0.4)]
+        assert not failure_vs_t.decay_is_exponential(rows)
+
+    def test_insufficient_drop_rejected(self):
+        rows = [self.make_row(1, 0.4), self.make_row(7, 0.35)]
+        assert not failure_vs_t.decay_is_exponential(rows)
+
+    def test_all_zero_accepted(self):
+        rows = [self.make_row(1, 0.0), self.make_row(3, 0.0)]
+        assert failure_vs_t.decay_is_exponential(rows)
+
+
+class TestApproxTopHelpers:
+    def make_row(self, fraction, weak=1.0, strong=1.0):
+        return approxtop_quality.ApproxTopRow(
+            z=1.0, epsilon=0.5, width_fraction=fraction, depth=7,
+            width=1024, weak_rate=weak, strong_rate=strong,
+        )
+
+    def test_all_pass(self):
+        rows = [self.make_row(1), self.make_row(16, weak=0.5, strong=0.5)]
+        # Only fraction-1 rows gate the lemma check.
+        assert approxtop_quality.lemma5_rows_all_pass(rows)
+
+    def test_failure_detected(self):
+        rows = [self.make_row(1, weak=0.9)]
+        assert not approxtop_quality.lemma5_rows_all_pass(rows)
+
+    def test_report(self):
+        text = approxtop_quality.format_report(
+            [self.make_row(1)], approxtop_quality.ApproxTopConfig()
+        )
+        assert "APPROXTOP" in text
+
+
+class TestScalingReport:
+    def test_report_includes_slopes(self):
+        result = zipf_space_scaling.ScalingResult(
+            points=[
+                zipf_space_scaling.ScalingPoint("case1", "m", 1000, 100),
+                zipf_space_scaling.ScalingPoint("case1", "m", 2000, 132),
+            ],
+            case1_slope=0.4,
+            case2_slope=0.0,
+            case3_slope=1.0,
+        )
+        text = zipf_space_scaling.format_report(
+            result, zipf_space_scaling.ScalingConfig()
+        )
+        assert "0.400" in text
+        assert "case 3" in text
+
+    def test_report_renders_missing_width(self):
+        result = zipf_space_scaling.ScalingResult(
+            points=[zipf_space_scaling.ScalingPoint("case1", "m", 1000, None)],
+            case1_slope=float("nan"),
+            case2_slope=0.0,
+            case3_slope=1.0,
+        )
+        text = zipf_space_scaling.format_report(
+            result, zipf_space_scaling.ScalingConfig()
+        )
+        assert "-" in text
+
+
+class TestOtherReportsRender:
+    """Every remaining report renders its handcrafted rows."""
+
+    def test_sampling_space(self):
+        rows = [sampling_space.SamplingSpaceRow(1.0, 300.0, 310.0, 400.0,
+                                                0.97)]
+        text = sampling_space.format_report(
+            rows, sampling_space.SamplingSpaceConfig()
+        )
+        assert "SAMPLING" in text
+
+    def test_maxchange(self):
+        result = maxchange_experiment.MaxChangeResult(
+            rows=[maxchange_experiment.MaxChangeRow(64, 400, 0.9, 0.9, 12.0)],
+            baseline_recall=0.8,
+            baseline_counters=400,
+            baseline_change_error=100.0,
+        )
+        text = maxchange_experiment.format_report(
+            result, maxchange_experiment.MaxChangeConfig()
+        )
+        assert "baseline" in text
+        assert "100.0" in text
+
+    def test_space_accounting(self):
+        result = space_accounting.SpaceAccountingResult(
+            rows=[space_accounting.SpaceAccountingRow(32, 1000, 500, 0.5)],
+            cs_counters=100, cs_objects=10,
+            sampling_counters=50, sampling_objects=50,
+        )
+        text = space_accounting.format_report(
+            result, space_accounting.SpaceAccountingConfig()
+        )
+        assert "COUNT SKETCH" in text
+
+    def test_ablation_estimator(self):
+        rows = [
+            ablation_estimator.EstimatorAblationRow("median", 1.0, 2.0, 3.0),
+            ablation_estimator.EstimatorAblationRow("mean", 5.0, 9.0, 20.0),
+        ]
+        text = ablation_estimator.format_report(
+            rows, ablation_estimator.EstimatorAblationConfig()
+        )
+        assert "median" in text
+
+    def test_ablation_sign(self):
+        rows = [
+            ablation_sign_hash.SignAblationRow("CountSketch", 0.1, 5.0, 50.0),
+            ablation_sign_hash.SignAblationRow("CountMin", 30.0, 30.0, 60.0),
+        ]
+        text = ablation_sign_hash.format_report(
+            rows, ablation_sign_hash.SignAblationConfig()
+        )
+        assert "bias" in text
+
+    def test_ablation_heap(self):
+        rows = [
+            ablation_heap_counts.HeapAblationRow("exact heap counts", 0.95,
+                                                 0.01),
+            ablation_heap_counts.HeapAblationRow("re-estimate", 0.9, 0.05),
+        ]
+        text = ablation_heap_counts.format_report(
+            rows, ablation_heap_counts.HeapAblationConfig()
+        )
+        assert "heap" in text
+
+    def test_ablation_hash_family(self):
+        rows = [
+            ablation_hash_family.HashFamilyRow("polynomial", 20.0, 50.0,
+                                               1e5),
+        ]
+        text = ablation_hash_family.format_report(
+            rows, ablation_hash_family.HashFamilyAblationConfig()
+        )
+        assert "polynomial" in text
+
+    def test_throughput(self):
+        rows = [throughput.ThroughputRow("CountSketch", 1e5, 1280)]
+        text = throughput.format_report(rows, throughput.ThroughputConfig())
+        assert "CountSketch" in text
+
+    def test_hierarchical_maxchange(self):
+        rows = [
+            hierarchical_maxchange.MethodRow("two-pass", 2, 100, 1.0, 3.0),
+            hierarchical_maxchange.MethodRow("one-pass", 1, 1000, 1.0, 3.1),
+        ]
+        text = hierarchical_maxchange.format_report(
+            rows, 500.0, hierarchical_maxchange.HierarchicalMaxChangeConfig()
+        )
+        assert "threshold" in text
+
+    def test_autoconfig(self):
+        rows = [
+            autoconfig.AutoConfigRow(1.0, 0.95, 1000, 900, 1.11, 1.0, 1.0),
+        ]
+        text = autoconfig.format_report(rows, autoconfig.AutoConfigConfig())
+        assert "auto-configuration" in text
+
+
+
+class TestRunAllSequence:
+    def test_sequence_modules_importable(self):
+        import importlib
+
+        from repro.experiments import run_all
+
+        for __, module_name in run_all.EXPERIMENT_SEQUENCE:
+            module = importlib.import_module(
+                f"repro.experiments.{module_name}"
+            )
+            assert callable(module.main)
+
+    def test_sequence_covers_every_experiment_module(self):
+        """Every experiment module (anything with a main()) is in the
+        run_all sequence."""
+        import pkgutil
+
+        import repro.experiments as package
+        from repro.experiments import run_all
+
+        sequenced = {name for __, name in run_all.EXPERIMENT_SEQUENCE}
+        skipped = {"harness", "report", "run_all"}
+        on_disk = {
+            info.name
+            for info in pkgutil.iter_modules(package.__path__)
+            if info.name not in skipped
+        }
+        assert on_disk == sequenced

@@ -1,0 +1,289 @@
+"""Smoke tests: every experiment runs at a reduced configuration and its
+key qualitative claims hold.
+
+These are integration tests of the full experiment pipeline (generators →
+algorithms → metrics → report); the benchmark suite runs the same modules
+at the paper-scale defaults.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    ablation_estimator,
+    ablation_heap_counts,
+    ablation_sign_hash,
+    approxtop_quality,
+    error_vs_b,
+    failure_vs_t,
+    maxchange_experiment,
+    sampling_space,
+    space_accounting,
+    table1,
+    throughput,
+    zipf_space_scaling,
+)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = table1.Table1Config(
+            m=2_000, n=20_000, zs=(0.5, 1.0, 1.5),
+            sketch_seeds=(0, 1), max_width=1 << 14,
+        )
+        return table1.run(config), config
+
+    def test_rows_complete(self, result):
+        rows, config = result
+        assert len(rows) == 3
+        for row in rows:
+            assert row.sampling_space > 0
+            assert row.kps_space > 0
+            assert row.count_sketch_width is not None
+
+    def test_baselines_succeed(self, result):
+        rows, __ = result
+        for row in rows:
+            assert row.kps_ok
+            assert row.sampling_ok
+
+    def test_space_shrinks_with_skew(self, result):
+        """All three algorithms need less space as skew grows — the
+        qualitative across-rows trend of Table 1."""
+        rows, __ = result
+        assert rows[0].sampling_space > rows[-1].sampling_space
+        assert rows[0].kps_space > rows[-1].kps_space
+        assert rows[0].count_sketch_space > rows[-1].count_sketch_space
+
+    def test_report_renders(self, result):
+        rows, config = result
+        text = table1.format_report(rows, config)
+        assert "Table 1" in text
+        assert "Shape check" in text
+
+
+class TestErrorVsB:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = error_vs_b.ErrorVsBConfig(
+            m=2_000, n=20_000, zs=(0.5, 1.0),
+            widths=(16, 64, 256), sketch_seeds=(0, 1),
+            query_tail_samples=50,
+        )
+        return error_vs_b.run(config), config
+
+    def test_lemma4_bound_holds(self, result):
+        rows, __ = result
+        # Lemma 4 is a w.h.p. statement and the reduced config runs at
+        # t=5 (not the full Θ(log n/δ)); rare single-estimate busts are
+        # expected, so assert the failure *rate*, not the worst case.
+        for row in rows:
+            assert row.within_bound_fraction >= 0.98
+
+    def test_error_decreases_with_width(self, result):
+        rows, config = result
+        for z in config.zs:
+            series = [r.mean_abs_error for r in rows if r.z == z]
+            assert series == sorted(series, reverse=True)
+
+    def test_exponent_at_least_guarantee(self, result):
+        rows, config = result
+        for z in config.zs:
+            exponent = error_vs_b.fitted_exponent(rows, z)
+            assert exponent <= -0.35  # decays at least ~sqrt-fast
+
+    def test_report_renders(self, result):
+        rows, config = result
+        assert "Lemma 4" in error_vs_b.format_report(rows, config)
+
+
+class TestFailureVsT:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = failure_vs_t.FailureVsTConfig(
+            m=1_000, n=10_000, depths=(1, 3, 7),
+            sketch_seeds=tuple(range(15)), query_ranks=100,
+        )
+        return failure_vs_t.run(config), config
+
+    def test_failure_decays(self, result):
+        rows, __ = result
+        assert failure_vs_t.decay_is_exponential(rows)
+
+    def test_8g_failures_rare(self, result):
+        rows, __ = result
+        assert rows[-1].fail_rate_8g <= 0.01
+
+    def test_report_renders(self, result):
+        rows, config = result
+        assert "Lemma 3" in failure_vs_t.format_report(rows, config)
+
+
+class TestApproxTop:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = approxtop_quality.ApproxTopConfig(
+            m=1_000, n=10_000, k=10, zs=(1.0,), epsilons=(0.5,),
+            sketch_seeds=(0, 1), width_fractions=(1, 16),
+        )
+        return approxtop_quality.run(config), config
+
+    def test_lemma5_width_guarantees_hold(self, result):
+        rows, __ = result
+        assert approxtop_quality.lemma5_rows_all_pass(rows)
+
+    def test_rows_shape(self, result):
+        rows, config = result
+        assert len(rows) == len(config.zs) * len(config.epsilons) * len(
+            config.width_fractions
+        )
+
+    def test_report_renders(self, result):
+        rows, config = result
+        assert "APPROXTOP" in approxtop_quality.format_report(rows, config)
+
+
+class TestScaling:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = zipf_space_scaling.ScalingConfig(
+            n=20_000, case12_ms=(1_000, 4_000), case3_ks=(5, 20),
+            case3_m=2_000, sketch_seeds=(0, 1), max_width=1 << 14,
+        )
+        return zipf_space_scaling.run(config), config
+
+    def test_case3_linear_in_k(self, result):
+        outcome, __ = result
+        assert 0.6 <= outcome.case3_slope <= 1.4
+
+    def test_case2_nearly_flat(self, result):
+        outcome, __ = result
+        assert abs(outcome.case2_slope) <= 0.5
+
+    def test_all_points_measured(self, result):
+        outcome, __ = result
+        assert all(p.required_width is not None for p in outcome.points)
+
+    def test_report_renders(self, result):
+        outcome, config = result
+        text = zipf_space_scaling.format_report(outcome, config)
+        assert "case 3" in text
+
+
+class TestSamplingSpace:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = sampling_space.SamplingSpaceConfig(
+            m=2_000, n=20_000, zs=(0.5, 1.0, 1.5), sampler_seeds=(0, 1)
+        )
+        return sampling_space.run(config), config
+
+    def test_measurement_matches_exact_prediction(self, result):
+        rows, __ = result
+        for row in rows:
+            assert 0.8 <= row.measured_over_exact <= 1.2
+
+    def test_distinct_decreases_with_skew(self, result):
+        rows, __ = result
+        measured = [row.measured_distinct for row in rows]
+        assert measured == sorted(measured, reverse=True)
+
+    def test_report_renders(self, result):
+        rows, config = result
+        assert "SAMPLING" in sampling_space.format_report(rows, config)
+
+
+class TestMaxChange:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = maxchange_experiment.MaxChangeConfig(
+            m=1_000, n=20_000, widths=(64, 512), sketch_seeds=(0, 1)
+        )
+        return maxchange_experiment.run(config), config
+
+    def test_wide_sketch_has_high_recall(self, result):
+        outcome, __ = result
+        assert outcome.rows[-1].recall >= 0.8
+
+    def test_recall_nondecreasing_in_width(self, result):
+        outcome, __ = result
+        assert outcome.rows[-1].recall >= outcome.rows[0].recall - 0.11
+
+    def test_report_renders(self, result):
+        outcome, config = result
+        text = maxchange_experiment.format_report(outcome, config)
+        assert "max-change" in text
+        assert "baseline" in text
+
+
+class TestSpaceAccounting:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = space_accounting.SpaceAccountingConfig(
+            m=2_000, n=20_000, width=128
+        )
+        return space_accounting.run(config), config
+
+    def test_sketch_wins_for_large_objects(self, result):
+        outcome, __ = result
+        assert outcome.rows[-1].ratio > 1.0
+
+    def test_ratio_grows_with_object_size(self, result):
+        outcome, __ = result
+        ratios = [row.ratio for row in outcome.rows]
+        assert ratios == sorted(ratios)
+
+    def test_sketch_stores_few_objects(self, result):
+        outcome, __ = result
+        assert outcome.cs_objects <= 2 * 10
+        assert outcome.sampling_objects > outcome.cs_objects
+
+    def test_report_renders(self, result):
+        outcome, config = result
+        assert "§5" in space_accounting.format_report(outcome, config)
+
+
+class TestAblations:
+    def test_median_beats_mean_under_heavy_hitters(self):
+        config = ablation_estimator.EstimatorAblationConfig(
+            m=1_000, n=10_000, sketch_seeds=tuple(range(4))
+        )
+        rows = ablation_estimator.run(config)
+        by = {row.combiner: row for row in rows}
+        assert by["median"].mean_abs_error < by["mean"].mean_abs_error
+        assert by["median"].p95_abs_error < by["mean"].p95_abs_error
+        assert "median" in ablation_estimator.format_report(rows, config)
+
+    def test_count_sketch_unbiased_count_min_biased(self):
+        config = ablation_sign_hash.SignAblationConfig(
+            m=2_000, n=20_000, sketch_seeds=(0, 1), query_ranks=200
+        )
+        rows = ablation_sign_hash.run(config)
+        cs, cm = rows
+        assert abs(cs.bias) < cm.bias  # CM strictly overestimates
+        assert cm.bias > 0
+        assert "sign-hash" in ablation_sign_hash.format_report(rows, config)
+
+    def test_exact_heap_counts_sharper(self):
+        config = ablation_heap_counts.HeapAblationConfig(
+            m=1_000, n=10_000, sketch_seeds=(0, 1)
+        )
+        rows = ablation_heap_counts.run(config)
+        exact, reestimate = rows
+        assert exact.mean_relative_count_error <= (
+            reestimate.mean_relative_count_error + 1e-9
+        )
+        assert "heap" in ablation_heap_counts.format_report(rows, config)
+
+
+class TestThroughput:
+    def test_all_algorithms_report(self):
+        config = throughput.ThroughputConfig(m=500, n=5_000)
+        rows = throughput.run(config)
+        names = {row.algorithm for row in rows}
+        assert "CountSketch" in names
+        assert "SpaceSaving" in names
+        assert all(row.items_per_second > 0 for row in rows)
+        assert "throughput" in throughput.format_report(rows, config)

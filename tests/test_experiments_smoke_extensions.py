@@ -1,0 +1,119 @@
+"""Smoke tests for the extension experiments (X1–X4) at reduced scale."""
+
+import pytest
+
+from repro.experiments import (
+    autoconfig,
+    hierarchical_maxchange,
+    relative_change_floor,
+    windowed_accuracy,
+)
+
+
+class TestHierarchicalMaxChange:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = hierarchical_maxchange.HierarchicalMaxChangeConfig(
+            domain_bits=10, m=1_000, n=10_000, width=256,
+            sketch_seeds=(0, 1),
+        )
+        return hierarchical_maxchange.run(config), config
+
+    def test_both_methods_recover_drift(self, result):
+        (rows, __), __config = result
+        two_pass, one_pass = rows
+        assert two_pass.recall >= 0.8
+        assert one_pass.recall >= 0.8
+
+    def test_pass_counts(self, result):
+        (rows, __), __config = result
+        assert rows[0].passes == 2
+        assert rows[1].passes == 1
+
+    def test_space_premium_is_domain_bits(self, result):
+        (rows, __), config = result
+        assert rows[1].counters == 2 * config.domain_bits * config.depth * (
+            config.width
+        )
+
+    def test_report_renders(self, result):
+        (rows, threshold), config = result
+        text = hierarchical_maxchange.format_report(rows, threshold, config)
+        assert "one-pass" in text
+
+
+class TestAutoConfig:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = autoconfig.AutoConfigConfig(
+            m=1_000, n=10_000, k=10, zs=(1.0,), sketch_seeds=(0, 1)
+        )
+        return autoconfig.run(config), config
+
+    def test_guarantees_hold_blind(self, result):
+        rows, __ = result
+        for row in rows:
+            assert row.weak_rate == 1.0
+            assert row.strong_rate == 1.0
+
+    def test_width_near_oracle(self, result):
+        rows, __ = result
+        for row in rows:
+            assert 0.25 <= row.width_ratio <= 4.0
+
+    def test_report_renders(self, result):
+        rows, config = result
+        assert "auto-configuration" in autoconfig.format_report(rows, config)
+
+
+class TestWindowedAccuracy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = windowed_accuracy.WindowedAccuracyConfig(
+            m=300, window=2_000, total=10_000, buckets=(2, 8)
+        )
+        return windowed_accuracy.run(config), config
+
+    def test_window_never_overshoots(self, result):
+        rows, config = result
+        for row in rows:
+            assert row.covered_max <= config.window
+
+    def test_retired_item_forgotten(self, result):
+        rows, config = result
+        for row in rows:
+            assert row.retired_residual <= config.retired_count * 0.1
+
+    def test_in_window_accuracy(self, result):
+        rows, __ = result
+        for row in rows:
+            assert row.mean_relative_error <= 0.2
+
+    def test_report_renders(self, result):
+        rows, config = result
+        assert "jumping-window" in windowed_accuracy.format_report(
+            rows, config
+        )
+
+
+class TestRelativeChangeFloor:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = relative_change_floor.FloorSweepConfig()
+        return relative_change_floor.run(config), config
+
+    def test_three_regimes(self, result):
+        rows, __ = result
+        kinds = {row.floor: row.top_item_kind for row in rows}
+        assert kinds[1.0] == "flicker"
+        assert kinds[16.0] == "sleeper"
+        assert kinds[16_384.0] == "heavy"
+
+    def test_sleeper_found_in_mid_band(self, result):
+        rows, __ = result
+        mid = [row for row in rows if row.floor in (16.0, 256.0)]
+        assert all(row.sleeper_rank == 1 for row in mid)
+
+    def test_report_renders(self, result):
+        rows, config = result
+        assert "floor" in relative_change_floor.format_report(rows, config)

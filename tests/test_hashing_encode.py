@@ -1,0 +1,132 @@
+"""Tests for repro.hashing.encode — canonical key encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing.encode import encode_key
+
+
+class TestIntegers:
+    def test_small_int_passthrough(self):
+        assert encode_key(42) == 42
+
+    def test_zero(self):
+        assert encode_key(0) == 0
+
+    def test_negative_wraps_mod_2_64(self):
+        assert encode_key(-1) == (1 << 64) - 1
+
+    def test_large_int_reduced_mod_2_64(self):
+        assert encode_key(1 << 64) == 0
+        assert encode_key((1 << 64) + 7) == 7
+
+    @given(st.integers())
+    def test_always_in_range(self, value):
+        encoded = encode_key(value)
+        assert 0 <= encoded < (1 << 64)
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_in_range_ints_are_fixed_points(self, value):
+        assert encode_key(value) == value
+
+
+class TestBooleans:
+    def test_false_is_zero(self):
+        assert encode_key(False) == 0
+
+    def test_true_is_one(self):
+        assert encode_key(True) == 1
+
+
+class TestStrings:
+    def test_deterministic(self):
+        assert encode_key("hello") == encode_key("hello")
+
+    def test_distinct_strings_differ(self):
+        assert encode_key("hello") != encode_key("world")
+
+    def test_unicode(self):
+        assert 0 <= encode_key("héllo wörld ∑") < (1 << 64)
+
+    def test_empty_string_ok(self):
+        assert 0 <= encode_key("") < (1 << 64)
+
+    def test_string_differs_from_equal_looking_int(self):
+        # "42" and 42 must not collide by construction.
+        assert encode_key("42") != encode_key(42)
+
+    @given(st.text())
+    def test_in_range(self, text):
+        assert 0 <= encode_key(text) < (1 << 64)
+
+    @given(st.text(), st.text())
+    def test_equality_consistent(self, a, b):
+        if a == b:
+            assert encode_key(a) == encode_key(b)
+
+
+class TestBytes:
+    def test_bytes_deterministic(self):
+        assert encode_key(b"abc") == encode_key(b"abc")
+
+    def test_bytearray_matches_bytes(self):
+        assert encode_key(bytearray(b"abc")) == encode_key(b"abc")
+
+
+class TestFloats:
+    def test_float_deterministic(self):
+        assert encode_key(3.14) == encode_key(3.14)
+
+    def test_distinct_floats_differ(self):
+        assert encode_key(3.14) != encode_key(2.71)
+
+    def test_float_not_conflated_with_int(self):
+        # 1.0 encodes via its hex repr, not as the int 1.
+        assert encode_key(1.0) != encode_key(1)
+
+
+class TestTuples:
+    def test_flow_tuple(self):
+        flow = ("10.0.0.1", "10.0.0.2", 1234, 80, "tcp")
+        assert encode_key(flow) == encode_key(flow)
+
+    def test_order_matters(self):
+        assert encode_key((1, 2)) != encode_key((2, 1))
+
+    def test_nested_tuples(self):
+        assert encode_key(((1, 2), 3)) != encode_key((1, (2, 3)))
+
+    def test_empty_tuple_ok(self):
+        assert 0 <= encode_key(()) < (1 << 64)
+
+    @given(st.tuples(st.integers(), st.text()))
+    def test_in_range(self, value):
+        assert 0 <= encode_key(value) < (1 << 64)
+
+
+class TestUnsupported:
+    def test_list_rejected(self):
+        with pytest.raises(TypeError, match="cannot encode"):
+            encode_key([1, 2, 3])
+
+    def test_none_rejected(self):
+        with pytest.raises(TypeError):
+            encode_key(None)
+
+    def test_dict_rejected(self):
+        with pytest.raises(TypeError):
+            encode_key({})
+
+
+class TestCollisionResistance:
+    def test_no_collisions_over_many_strings(self):
+        keys = {encode_key(f"query-{i}") for i in range(20_000)}
+        assert len(keys) == 20_000
+
+    def test_no_collisions_over_mixed_types(self):
+        values = [f"s{i}" for i in range(1000)]
+        values += [(i, i + 1) for i in range(1000)]
+        values += [float(i) + 0.5 for i in range(1000)]
+        keys = {encode_key(v) for v in values}
+        assert len(keys) == 3000

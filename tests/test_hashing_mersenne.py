@@ -1,0 +1,143 @@
+"""Tests for repro.hashing.mersenne — polynomial hashing over 2**61-1."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing.mersenne import MERSENNE_PRIME_61, KWiseFamily, PolynomialHash
+
+P = MERSENNE_PRIME_61
+
+
+class TestMersennePrime:
+    def test_value(self):
+        assert P == 2**61 - 1
+
+    def test_is_prime_by_trial_witnesses(self):
+        # Fermat witnesses (sufficient sanity check; 2**61-1 is a known
+        # Mersenne prime).
+        for a in (2, 3, 5, 7, 11):
+            assert pow(a, P - 1, P) == 1
+
+
+class TestPolynomialHash:
+    def test_constant_polynomial(self):
+        h = PolynomialHash((7,))
+        assert h(0) == 7
+        assert h(123456) == 7
+        assert h.degree == 0
+
+    def test_linear_polynomial_matches_formula(self):
+        a, b = 3, 5
+        h = PolynomialHash((b, a))
+        for x in (0, 1, 2, 10**9, P - 1, P, P + 1):
+            assert h(x) == (a * (x % P) + b) % P
+
+    def test_quadratic_polynomial_matches_formula(self):
+        c0, c1, c2 = 11, 7, 3
+        h = PolynomialHash((c0, c1, c2))
+        for x in (0, 1, 5, 1_000_003):
+            assert h(x) == (c2 * x * x + c1 * x + c0) % P
+
+    def test_range_size_is_p(self):
+        assert PolynomialHash((1, 2)).range_size == P
+
+    def test_empty_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            PolynomialHash(())
+
+    def test_out_of_field_coefficient_rejected(self):
+        with pytest.raises(ValueError):
+            PolynomialHash((P,))
+        with pytest.raises(ValueError):
+            PolynomialHash((-1,))
+
+    def test_zero_leading_coefficient_rejected(self):
+        with pytest.raises(ValueError, match="leading"):
+            PolynomialHash((5, 0))
+
+    def test_equality_and_hash(self):
+        a = PolynomialHash((1, 2))
+        b = PolynomialHash((1, 2))
+        c = PolynomialHash((1, 3))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    @given(st.integers(min_value=0))
+    def test_output_in_range(self, key):
+        h = PolynomialHash((12345, 67890))
+        assert 0 <= h(key) < P
+
+    def test_key_folding_mod_p(self):
+        h = PolynomialHash((9, 4))
+        assert h(P + 3) == h(3)
+
+
+class TestKWiseFamily:
+    def test_draw_count(self):
+        family = KWiseFamily(independence=2, seed=0)
+        assert len(family.draw(5)) == 5
+
+    def test_draw_zero(self):
+        assert KWiseFamily(seed=0).draw(0) == []
+
+    def test_negative_draw_rejected(self):
+        with pytest.raises(ValueError):
+            KWiseFamily(seed=0).draw(-1)
+
+    def test_independence_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            KWiseFamily(independence=0)
+
+    def test_deterministic_given_seed(self):
+        a = KWiseFamily(independence=2, seed=7).draw(3)
+        b = KWiseFamily(independence=2, seed=7).draw(3)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = KWiseFamily(independence=2, seed=7).draw(1)[0]
+        b = KWiseFamily(independence=2, seed=8).draw(1)[0]
+        assert a != b
+
+    def test_salt_separates_streams(self):
+        a = KWiseFamily(independence=2, seed=7, salt="x").draw(1)[0]
+        b = KWiseFamily(independence=2, seed=7, salt="y").draw(1)[0]
+        assert a != b
+
+    def test_sequential_draws_match_bulk_draw(self):
+        bulk = KWiseFamily(independence=2, seed=3).draw(4)
+        family = KWiseFamily(independence=2, seed=3)
+        sequential = family.draw(2) + family.draw(2)
+        assert bulk == sequential
+
+    def test_degree_matches_independence(self):
+        for k in (1, 2, 4):
+            h = KWiseFamily(independence=k, seed=1).draw(1)[0]
+            assert h.degree == k - 1
+
+    def test_drawn_functions_are_distinct(self):
+        functions = KWiseFamily(independence=2, seed=5).draw(10)
+        assert len(set(functions)) == 10
+
+    def test_pairwise_independence_statistics(self):
+        """Empirical check: values at two points look jointly uniform.
+
+        For a 2-wise family, P[h(x) mod 2 == h(y) mod 2] should be ~1/2
+        over random functions.
+        """
+        family = KWiseFamily(independence=2, seed=11)
+        functions = family.draw(2000)
+        x, y = 12345, 67890
+        agree = sum(1 for h in functions if (h(x) & 1) == (h(y) & 1))
+        assert abs(agree / 2000 - 0.5) < 0.05
+
+    def test_uniformity_of_single_point(self):
+        """h(x) mod 16 should be near-uniform over drawn functions."""
+        functions = KWiseFamily(independence=2, seed=13).draw(3200)
+        buckets = [0] * 16
+        for h in functions:
+            buckets[h(999) % 16] += 1
+        expected = 3200 / 16
+        for count in buckets:
+            assert abs(count - expected) < 5 * expected**0.5

@@ -1,0 +1,178 @@
+"""Tests for multiply-shift, tabulation, bucket, and sign hashing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing.bucket import BucketHash, BucketHashFamily
+from repro.hashing.mersenne import KWiseFamily, PolynomialHash
+from repro.hashing.multiply_shift import MultiplyShiftFamily, MultiplyShiftHash
+from repro.hashing.sign import SignHash, SignHashFamily
+from repro.hashing.tabulation import TabulationFamily
+
+KEYS = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestMultiplyShift:
+    def test_range_size(self):
+        h = MultiplyShiftHash(3, 0, out_bits=8)
+        assert h.range_size == 256
+
+    @given(KEYS)
+    def test_output_in_range(self, key):
+        h = MultiplyShiftFamily(out_bits=10, seed=1).draw(1)[0]
+        assert 0 <= h(key) < 1024
+
+    def test_even_multiplier_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            MultiplyShiftHash(4, 0, out_bits=8)
+
+    def test_out_bits_bounds(self):
+        with pytest.raises(ValueError):
+            MultiplyShiftHash(3, 0, out_bits=0)
+        with pytest.raises(ValueError):
+            MultiplyShiftHash(3, 0, out_bits=65)
+
+    def test_family_deterministic(self):
+        a = MultiplyShiftFamily(out_bits=8, seed=2).draw(3)
+        b = MultiplyShiftFamily(out_bits=8, seed=2).draw(3)
+        assert a == b
+
+    def test_family_draws_odd_multipliers(self):
+        for h in MultiplyShiftFamily(out_bits=8, seed=3).draw(20):
+            assert h._multiplier % 2 == 1
+
+    def test_distribution_roughly_uniform(self):
+        h = MultiplyShiftFamily(out_bits=4, seed=5).draw(1)[0]
+        buckets = [0] * 16
+        for key in range(16_000):
+            buckets[h(key)] += 1
+        expected = 1000
+        for count in buckets:
+            assert abs(count - expected) < 6 * expected**0.5
+
+
+class TestTabulation:
+    def test_deterministic(self):
+        h = TabulationFamily(seed=1).draw(1)[0]
+        assert h(12345) == h(12345)
+
+    @given(KEYS)
+    def test_output_in_range(self, key):
+        h = TabulationFamily(seed=2).draw(1)[0]
+        assert 0 <= h(key) < (1 << 64)
+
+    def test_family_deterministic(self):
+        a = TabulationFamily(seed=3).draw(1)[0]
+        b = TabulationFamily(seed=3).draw(1)[0]
+        assert a(999) == b(999)
+
+    def test_different_functions_differ(self):
+        h1, h2 = TabulationFamily(seed=4).draw(2)
+        disagreements = sum(1 for key in range(100) if h1(key) != h2(key))
+        assert disagreements > 90
+
+    def test_single_byte_change_changes_hash(self):
+        h = TabulationFamily(seed=5).draw(1)[0]
+        assert h(0x01) != h(0x0100)
+
+    def test_xor_structure(self):
+        """h(a) ^ h(b) ^ h(a^b) ^ h(0) == 0 when a, b touch disjoint bytes
+        (the defining linearity of tabulation hashing)."""
+        h = TabulationFamily(seed=6).draw(1)[0]
+        a, b = 0xAB, 0xCD00  # disjoint byte positions
+        assert h(a) ^ h(b) ^ h(a ^ b) ^ h(0) == 0
+
+
+class TestBucketHash:
+    def test_reduces_range(self):
+        base = PolynomialHash((5, 3))
+        h = BucketHash(base, buckets=10)
+        assert h.range_size == 10
+        for key in range(100):
+            assert 0 <= h(key) < 10
+
+    def test_matches_mod(self):
+        base = PolynomialHash((5, 3))
+        h = BucketHash(base, buckets=7)
+        for key in (0, 1, 99, 12345):
+            assert h(key) == base(key) % 7
+
+    def test_bucket_count_validation(self):
+        with pytest.raises(ValueError):
+            BucketHash(PolynomialHash((1, 2)), buckets=0)
+
+    def test_base_range_must_cover_buckets(self):
+        tiny = BucketHash(PolynomialHash((1, 2)), buckets=2)  # fine
+        assert tiny.range_size == 2
+        with pytest.raises(ValueError):
+            BucketHash(tiny, buckets=5)
+
+    def test_equality(self):
+        base = PolynomialHash((5, 3))
+        assert BucketHash(base, 10) == BucketHash(base, 10)
+        assert BucketHash(base, 10) != BucketHash(base, 11)
+
+    def test_family_draws_distinct_functions(self):
+        family = BucketHashFamily(KWiseFamily(seed=1), buckets=16)
+        h1, h2 = family.draw(2)
+        assert h1 != h2
+
+    def test_family_bucket_validation(self):
+        with pytest.raises(ValueError):
+            BucketHashFamily(KWiseFamily(seed=1), buckets=0)
+
+    def test_bucket_distribution_uniform(self):
+        family = BucketHashFamily(KWiseFamily(seed=9), buckets=8)
+        h = family.draw(1)[0]
+        buckets = [0] * 8
+        for key in range(8000):
+            buckets[h(key)] += 1
+        for count in buckets:
+            assert abs(count - 1000) < 6 * 1000**0.5
+
+
+class TestSignHash:
+    def test_values_are_plus_minus_one(self):
+        s = SignHashFamily(KWiseFamily(seed=1)).draw(1)[0]
+        assert {s(key) for key in range(1000)} == {-1, 1}
+
+    def test_deterministic(self):
+        s = SignHashFamily(KWiseFamily(seed=2)).draw(1)[0]
+        assert s(42) == s(42)
+
+    def test_range_size(self):
+        s = SignHash(PolynomialHash((1, 2)))
+        assert s.range_size == 2
+
+    def test_balance(self):
+        """Signs should be roughly balanced over many keys."""
+        s = SignHashFamily(KWiseFamily(seed=3)).draw(1)[0]
+        total = sum(s(key) for key in range(10_000))
+        assert abs(total) < 600  # ~6 sigma for fair signs
+
+    def test_pairwise_balance_over_functions(self):
+        """E[s(x)·s(y)] ≈ 0 for fixed x != y over random functions —
+        the pairwise independence the variance analysis needs."""
+        functions = SignHashFamily(KWiseFamily(seed=4)).draw(4000)
+        total = sum(s(111) * s(222) for s in functions)
+        assert abs(total) < 6 * 4000**0.5
+
+    def test_equality(self):
+        base = PolynomialHash((1, 2))
+        assert SignHash(base) == SignHash(base)
+        assert SignHash(base) != SignHash(PolynomialHash((1, 3)))
+
+    def test_base_range_validation(self):
+        constant = PolynomialHash((0,))
+
+        class UnitRange:
+            range_size = 1
+
+            def __call__(self, key):
+                return 0
+
+        with pytest.raises(ValueError):
+            SignHash(UnitRange())
+        # A constant polynomial still has range p, so it is accepted.
+        assert SignHash(constant)(5) in (-1, 1)

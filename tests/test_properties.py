@@ -1,0 +1,209 @@
+"""Cross-cutting property-based tests (hypothesis) on the paper's core
+invariants: sketch linearity, estimate consistency, guarantee preservation
+under arbitrary input streams, and the theoretical inequalities.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.ground_truth import StreamStatistics
+from repro.baselines.kps import KPSFrequent
+from repro.baselines.space_saving import SpaceSaving
+from repro.core.countsketch import CountSketch
+from repro.core.maxchange import MaxChangeFinder
+from repro.core.params import gamma, width_for_approxtop
+from repro.core.topk import TopKTracker
+
+ITEMS = st.one_of(
+    st.integers(min_value=0, max_value=50),
+    st.sampled_from(["alpha", "beta", "gamma", "delta"]),
+)
+STREAMS = st.lists(ITEMS, max_size=120)
+
+
+class TestSketchAlgebra:
+    @settings(max_examples=30, deadline=None)
+    @given(STREAMS, STREAMS)
+    def test_update_order_irrelevant(self, items1, items2):
+        """The sketch is a function of the frequency vector only."""
+        a = CountSketch(3, 16, seed=1)
+        b = CountSketch(3, 16, seed=1)
+        a.extend(items1 + items2)
+        b.extend(items2 + items1)
+        assert a == b
+
+    @settings(max_examples=30, deadline=None)
+    @given(STREAMS)
+    def test_weighted_equals_repeated(self, items):
+        counts = Counter(items)
+        weighted = CountSketch(3, 16, seed=2)
+        weighted.update_counts(counts)
+        repeated = CountSketch(3, 16, seed=2)
+        repeated.extend(items)
+        assert weighted == repeated
+
+    @settings(max_examples=30, deadline=None)
+    @given(STREAMS)
+    def test_removal_inverts_insertion(self, items):
+        sketch = CountSketch(3, 16, seed=3)
+        sketch.extend(items)
+        for item, count in Counter(items).items():
+            sketch.update(item, -count)
+        assert not sketch.counters.any()
+
+    @settings(max_examples=30, deadline=None)
+    @given(STREAMS, st.integers(min_value=-3, max_value=3))
+    def test_scale_matches_repeated_addition(self, items, factor):
+        base = CountSketch(3, 16, seed=4)
+        base.extend(items)
+        scaled = base.scale(factor)
+        manual = CountSketch(3, 16, seed=4)
+        for item, count in Counter(items).items():
+            manual.update(item, count * factor)
+        assert scaled == manual
+
+    @settings(max_examples=20, deadline=None)
+    @given(STREAMS)
+    def test_serialization_roundtrip(self, items):
+        sketch = CountSketch(2, 8, seed=5)
+        sketch.extend(items)
+        assert CountSketch.from_state_dict(sketch.state_dict()) == sketch
+
+
+class TestEstimateConsistency:
+    @settings(max_examples=30, deadline=None)
+    @given(STREAMS)
+    def test_estimate_bounded_by_stream_weight(self, items):
+        """|estimate| can never exceed the total stream weight (each row's
+        counter magnitude is at most n)."""
+        sketch = CountSketch(3, 16, seed=6)
+        sketch.extend(items)
+        for item in set(items):
+            assert abs(sketch.estimate(item)) <= len(items)
+
+    @settings(max_examples=30, deadline=None)
+    @given(STREAMS)
+    def test_exact_when_sketch_wide(self, items):
+        """With width >> distinct items, estimates are exact w.h.p.; with
+        a fixed seed this is deterministic, so check exactly."""
+        sketch = CountSketch(7, 4096, seed=7)
+        counts = Counter(items)
+        sketch.update_counts(counts)
+        for item, count in counts.items():
+            assert sketch.estimate(item) == count
+
+    @settings(max_examples=30, deadline=None)
+    @given(STREAMS)
+    def test_median_within_row_estimates(self, items):
+        sketch = CountSketch(5, 8, seed=8)
+        sketch.extend(items)
+        for item in list(set(items))[:5]:
+            rows = sketch.row_estimates(item)
+            assert min(rows) <= sketch.estimate(item) <= max(rows)
+
+
+class TestTrackerInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(STREAMS, st.integers(min_value=1, max_value=8))
+    def test_heap_size_bounded(self, items, k):
+        tracker = TopKTracker(k, depth=3, width=32, seed=9)
+        for item in items:
+            tracker.update(item)
+        assert tracker.items_stored() <= k
+        assert len(tracker.top()) <= k
+
+    @settings(max_examples=30, deadline=None)
+    @given(STREAMS, st.integers(min_value=1, max_value=8))
+    def test_top_sorted_descending(self, items, k):
+        tracker = TopKTracker(k, depth=3, width=32, seed=10)
+        for item in items:
+            tracker.update(item)
+        counts = [count for __, count in tracker.top()]
+        assert counts == sorted(counts, reverse=True)
+
+    @settings(max_examples=30, deadline=None)
+    @given(STREAMS)
+    def test_heap_counts_never_exceed_truth_after_entry(self, items):
+        """A heap member's tracked count is (estimate at entry) + exact
+        increments; with a wide sketch the entry estimate is exact, so the
+        tracked count equals the true count."""
+        tracker = TopKTracker(4, depth=5, width=4096, seed=11)
+        counts = Counter(items)
+        for item in items:
+            tracker.update(item)
+        for item, tracked in tracker.top():
+            assert tracked == counts[item]
+
+
+class TestBaselineGuaranteesUnderArbitraryStreams:
+    @settings(max_examples=30, deadline=None)
+    @given(STREAMS, st.integers(min_value=1, max_value=10))
+    def test_kps_and_space_saving_bracket_truth(self, items, capacity):
+        counts = Counter(items)
+        kps = KPSFrequent(capacity)
+        ss = SpaceSaving(capacity)
+        for item in items:
+            kps.update(item)
+            ss.update(item)
+        for item, count in counts.items():
+            assert kps.estimate(item) <= count
+            if item in ss:
+                assert ss.estimate(item) >= count
+
+
+class TestMaxChangeInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(STREAMS, STREAMS)
+    def test_exact_counts_are_exact(self, before, after):
+        """Every reported candidate's pass-2 counts match the true counts
+        (the §4.2 'accurate exact counts' claim), for arbitrary streams."""
+        finder = MaxChangeFinder(6, depth=3, width=64, seed=12)
+        finder.first_pass(before, after)
+        finder.second_pass(before, after)
+        before_counts = Counter(before)
+        after_counts = Counter(after)
+        for report in finder.report(6):
+            assert report.count_before == before_counts[report.item]
+            assert report.count_after == after_counts[report.item]
+
+    @settings(max_examples=20, deadline=None)
+    @given(STREAMS)
+    def test_identical_streams_report_zero_changes(self, items):
+        finder = MaxChangeFinder(6, depth=3, width=64, seed=13)
+        finder.first_pass(items, items)
+        finder.second_pass(items, items)
+        for report in finder.report(6):
+            assert report.change == 0
+
+
+class TestTheoryInequalities:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=100),
+        st.floats(min_value=0.05, max_value=1.0),
+        st.floats(min_value=1, max_value=1e6),
+        st.floats(min_value=0, max_value=1e12),
+    )
+    def test_lemma5_width_satisfies_its_own_condition(
+        self, k, epsilon, nk, tail
+    ):
+        """The returned width always satisfies b >= 8k and
+        16·γ(tail, b) <= ε·n_k — the two conditions Lemma 5's proof uses."""
+        width = width_for_approxtop(k, epsilon, nk, tail)
+        assert width >= 8 * k
+        assert 16 * gamma(tail, width) <= epsilon * nk * (1 + 1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=1000), min_size=1,
+                    max_size=50))
+    def test_tail_moment_monotone_in_k(self, counts_list):
+        stats = StreamStatistics(
+            counts=Counter({i: c for i, c in enumerate(counts_list)})
+        )
+        values = [stats.tail_second_moment(k) for k in range(len(counts_list) + 1)]
+        assert values == sorted(values, reverse=True)
+        assert values[0] == stats.second_moment()
+        assert values[-1] == 0.0

@@ -1,0 +1,168 @@
+"""Property-based tests for the analysis layer (§4.1 closed forms, the
+space model, and the workload fitter)."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fit import fit_zipf_parameter
+from repro.analysis.space import SpaceModel
+from repro.analysis.zipf_math import (
+    count_sketch_space_order,
+    count_sketch_width_order,
+    harmonic_number,
+    kps_space_order,
+    sampling_distinct_order,
+    sampling_expected_distinct,
+    table1_orders,
+    tail_second_moment_order,
+    zipf_tail_second_moment,
+)
+
+MS = st.integers(min_value=50, max_value=50_000)
+KS = st.integers(min_value=1, max_value=40)
+ZS = st.floats(min_value=0.0, max_value=2.5)
+
+
+class TestClosedFormProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(MS, ZS)
+    def test_harmonic_monotone_in_m(self, m, z):
+        assert harmonic_number(m + 10, z) >= harmonic_number(m, z)
+
+    @settings(max_examples=60, deadline=None)
+    @given(MS, ZS)
+    def test_harmonic_decreasing_in_z(self, m, z):
+        assert harmonic_number(m, z) >= harmonic_number(m, z + 0.2)
+
+    @settings(max_examples=60, deadline=None)
+    @given(MS, KS, ZS)
+    def test_exact_tail_monotone_in_k(self, m, k, z):
+        assume(k + 1 <= m)
+        assert zipf_tail_second_moment(m, k, z) >= (
+            zipf_tail_second_moment(m, k + 1, z)
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(MS, KS, ZS)
+    def test_exact_tail_bounded_by_full_moment(self, m, k, z):
+        assume(k <= m)
+        assert zipf_tail_second_moment(m, k, z) <= (
+            zipf_tail_second_moment(m, 0, z)
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(MS, KS, ZS)
+    def test_orders_positive(self, m, k, z):
+        assume(k < m)
+        assert tail_second_moment_order(m, k, z) > 0
+        assert count_sketch_width_order(m, k, z) > 0
+        assert kps_space_order(m, k, z) > 0
+        assert sampling_distinct_order(m, k, z) > 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(MS, KS)
+    def test_count_sketch_width_constant_in_m_above_half(self, m, k):
+        assume(k < m)
+        assert count_sketch_width_order(m, k, 0.8) == (
+            count_sketch_width_order(m * 2, k, 0.8)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(KS)
+    def test_width_order_grows_with_m_below_half(self, k):
+        assert count_sketch_width_order(20_000, k, 0.3) > (
+            count_sketch_width_order(2_000, k, 0.3)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(MS, KS)
+    def test_kps_between_k_and_m_regimes(self, m, k):
+        assume(k < m)
+        # z=0: needs ~m counters; z large: ~k^z.
+        assert kps_space_order(m, k, 0.0) == pytest.approx(m)
+
+    @settings(max_examples=30, deadline=None)
+    @given(MS, KS, st.integers(min_value=10_000, max_value=10**6))
+    def test_expected_distinct_bounded_by_m(self, m, k, n):
+        assume(k < m)
+        expected = sampling_expected_distinct(m, k, 1.0, n)
+        assert 0 <= expected <= m
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=20_000, max_value=50_000),
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=10_000, max_value=10**6),
+    )
+    def test_table1_rows_well_formed(self, m, k, n):
+        # Cross-regime comparisons of the order formulas are asymptotic
+        # statements: they need m >> k (each regime's hidden constant
+        # differs), so the strategies generate only that domain
+        # (m >= 2000·k by construction).
+        rows = table1_orders(m, k, n)
+        assert [row.z for row in rows] == [0.3, 0.5, 0.75, 1.0, 1.5]
+        # The COUNT SKETCH column is nonincreasing in z (more skew, less
+        # space) — the qualitative content of the column.
+        sketch = [row.count_sketch for row in rows]
+        assert all(a >= b - 1e-9 for a, b in zip(sketch, sketch[1:]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(MS, KS, st.integers(min_value=100, max_value=10**6))
+    def test_space_order_scales_log_n(self, m, k, n):
+        assume(k < m)
+        import math
+
+        ratio = count_sketch_space_order(m, k, 1.0, n * 10) / (
+            count_sketch_space_order(m, k, 1.0, n)
+        )
+        assert ratio == pytest.approx(
+            math.log(n * 10) / math.log(n), rel=1e-9
+        )
+
+
+class TestSpaceModelProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=4096),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=10**5),
+    )
+    def test_total_bits_additive(self, counter_bits, object_bits, counters,
+                                 objects):
+        model = SpaceModel(counter_bits, object_bits)
+        assert model.total_bits(counters, objects) == (
+            model.total_bits(counters, 0) + model.total_bits(0, objects)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=1, max_value=10**9),
+           st.integers(min_value=1, max_value=4096))
+    def test_for_stream_counter_bits_cover_n(self, n, object_bits):
+        model = SpaceModel.for_stream(n, object_bits)
+        assert 2 ** model.counter_bits >= n + 1
+
+
+class TestFitProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(min_value=0.2, max_value=2.0),
+           st.integers(min_value=50, max_value=400))
+    def test_fit_recovers_planted_exponent(self, z, ranks):
+        counts = Counter(
+            {f"i{r}": max(1, round(10_000 / r**z)) for r in range(1, ranks)}
+        )
+        fitted = fit_zipf_parameter(counts)
+        # Integer rounding perturbs the deep tail; the head fit stays close.
+        assert abs(fitted - z) < 0.3
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=10_000), min_size=3,
+                    max_size=100))
+    def test_fit_nonnegative_and_finite(self, values):
+        counts = Counter({f"i{i}": v for i, v in enumerate(values)})
+        fitted = fit_zipf_parameter(counts)
+        assert fitted >= 0.0
+        assert fitted == fitted  # not NaN

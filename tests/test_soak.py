@@ -1,0 +1,61 @@
+"""Scale soak tests (marked slow): million-item streams end to end.
+
+The unit suite runs at small scales for speed; these tests push realistic
+volumes through the hot paths once, catching anything that only breaks at
+scale (overflow, cache blowups, quadratic slips).
+"""
+
+import pytest
+
+from repro.analysis.ground_truth import StreamStatistics
+from repro.analysis.metrics import recall_at_k
+from repro.core.topk import TopKTracker
+from repro.core.vectorized import VectorizedCountSketch
+from repro.hashing.vectorized import encode_keys
+from repro.streams.zipf import ZipfStreamGenerator
+
+
+@pytest.mark.slow
+class TestMillionItemStream:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        generator = ZipfStreamGenerator(m=100_000, z=1.0, seed=99)
+        stream = generator.generate(1_000_000)
+        return stream, stream.counts()
+
+    def test_vectorized_sketch_accuracy_at_scale(self, workload):
+        stream, counts = workload
+        sketch = VectorizedCountSketch(5, 4096, seed=1)
+        sketch.update_batch(encode_keys(list(stream)))
+        assert sketch.total_weight == 1_000_000
+        for item, count in StreamStatistics(counts=counts).top_k(20):
+            assert abs(sketch.estimate(item) - count) <= 0.05 * count + 50
+
+    def test_batch_estimate_many_keys(self, workload):
+        __, counts = workload
+        sketch = VectorizedCountSketch(5, 4096, seed=1)
+        sketch.update_counts(counts)
+        queries = encode_keys(list(range(1, 50_001)))
+        estimates = sketch.estimate_batch(queries)
+        assert len(estimates) == 50_000
+        assert abs(estimates[0] - counts[1]) <= 0.05 * counts[1] + 50
+
+    def test_tracker_at_scale(self, workload):
+        """The scalar tracker processes 1M items in bounded time and
+        recovers the top 10 (the position cache keeps hashing amortized)."""
+        stream, counts = workload
+        stats = StreamStatistics(counts=counts)
+        tracker = TopKTracker(10, depth=5, width=1024, seed=2)
+        for item in stream:
+            tracker.update(item)
+        reported = [item for item, __ in tracker.top()]
+        assert recall_at_k(reported, stats.top_k_items(10)) >= 0.9
+
+    def test_counter_values_exact_no_overflow(self, workload):
+        """int64 counters hold 1M-weight streams without overflow; the
+        total weight and the top item's estimate are consistent."""
+        __, counts = workload
+        sketch = VectorizedCountSketch(3, 64, seed=3)  # heavy collisions
+        sketch.update_counts(counts)
+        assert sketch.total_weight == 1_000_000
+        assert abs(sketch.estimate(1)) <= 1_000_000

@@ -1,0 +1,157 @@
+"""Tests for the alias sampler and the Zipf stream generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams.alias import AliasSampler
+from repro.streams.zipf import ZipfStreamGenerator, zipf_weights
+
+
+class TestAliasSampler:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AliasSampler([])
+        with pytest.raises(ValueError):
+            AliasSampler([-1.0, 2.0])
+        with pytest.raises(ValueError):
+            AliasSampler([0.0, 0.0])
+        with pytest.raises(ValueError):
+            AliasSampler([float("nan")])
+
+    def test_single_outcome(self):
+        sampler = AliasSampler([5.0], seed=0)
+        assert sampler.sample() == 0
+        assert all(sampler.sample_many(100) == 0)
+
+    def test_zero_weight_never_sampled(self):
+        sampler = AliasSampler([1.0, 0.0, 1.0], seed=1)
+        draws = sampler.sample_many(5000)
+        assert 1 not in set(draws.tolist())
+
+    def test_sample_many_validation(self):
+        with pytest.raises(ValueError):
+            AliasSampler([1.0]).sample_many(-1)
+
+    def test_sample_many_zero(self):
+        assert len(AliasSampler([1.0]).sample_many(0)) == 0
+
+    def test_probabilities_normalized(self):
+        sampler = AliasSampler([1.0, 3.0], seed=0)
+        assert sampler.probabilities == pytest.approx([0.25, 0.75])
+
+    def test_empirical_distribution_matches(self):
+        weights = [4.0, 2.0, 1.0, 1.0]
+        sampler = AliasSampler(weights, seed=2)
+        draws = sampler.sample_many(80_000)
+        counts = np.bincount(draws, minlength=4)
+        total = sum(weights)
+        for index, weight in enumerate(weights):
+            expected = 80_000 * weight / total
+            assert abs(counts[index] - expected) < 5 * expected**0.5
+
+    def test_deterministic_given_seed(self):
+        a = AliasSampler([1, 2, 3], seed=9).sample_many(100)
+        b = AliasSampler([1, 2, 3], seed=9).sample_many(100)
+        assert np.array_equal(a, b)
+
+    def test_sample_and_sample_many_same_range(self):
+        sampler = AliasSampler([1, 2, 3], seed=3)
+        assert 0 <= sampler.sample() < 3
+        assert set(sampler.sample_many(1000).tolist()) <= {0, 1, 2}
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1,
+                    max_size=20))
+    def test_table_construction_property(self, weights):
+        """The alias table must exactly represent the input distribution:
+        total mass assigned to each outcome equals its probability."""
+        sampler = AliasSampler(weights, seed=0)
+        m = len(weights)
+        mass = np.zeros(m)
+        for slot in range(m):
+            mass[slot] += sampler._probability[slot] / m
+            mass[sampler._alias[slot]] += (1 - sampler._probability[slot]) / m
+        expected = np.asarray(weights) / sum(weights)
+        assert np.allclose(mass, expected, atol=1e-9)
+
+
+class TestZipfWeights:
+    def test_z_zero_is_uniform(self):
+        assert np.allclose(zipf_weights(5, 0.0), np.ones(5))
+
+    def test_z_one_is_harmonic(self):
+        weights = zipf_weights(4, 1.0)
+        assert weights == pytest.approx([1.0, 0.5, 1 / 3, 0.25])
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(100, 0.7)
+        assert all(weights[i] >= weights[i + 1] for i in range(99))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, -0.1)
+
+
+class TestZipfStreamGenerator:
+    def test_items_in_range(self):
+        stream = ZipfStreamGenerator(m=50, z=1.0, seed=0).generate(1000)
+        assert all(1 <= item <= 50 for item in stream)
+
+    def test_length(self):
+        stream = ZipfStreamGenerator(m=50, z=1.0, seed=0).generate(777)
+        assert len(stream) == 777
+
+    def test_deterministic(self):
+        a = ZipfStreamGenerator(m=50, z=1.0, seed=4).generate(500)
+        b = ZipfStreamGenerator(m=50, z=1.0, seed=4).generate(500)
+        assert list(a) == list(b)
+
+    def test_seed_changes_stream(self):
+        a = ZipfStreamGenerator(m=50, z=1.0, seed=4).generate(500)
+        b = ZipfStreamGenerator(m=50, z=1.0, seed=5).generate(500)
+        assert list(a) != list(b)
+
+    def test_rank_order_of_frequencies(self):
+        """Rank 1 should empirically dominate mid ranks at high skew."""
+        stream = ZipfStreamGenerator(m=100, z=1.2, seed=1).generate(20_000)
+        counts = stream.counts()
+        assert counts[1] > counts[10] > counts[50]
+
+    def test_expected_counts_match_empirical(self):
+        generator = ZipfStreamGenerator(m=20, z=1.0, seed=2)
+        n = 50_000
+        stream = generator.generate(n)
+        counts = stream.counts()
+        expected = generator.expected_counts(n)
+        for rank in (1, 2, 5, 10):
+            observed = counts[rank]
+            assert abs(observed - expected[rank - 1]) < 6 * expected[rank - 1] ** 0.5 + 5
+
+    def test_label_template(self):
+        generator = ZipfStreamGenerator(
+            m=10, z=1.0, seed=0, label_template="query-{rank}"
+        )
+        stream = generator.generate(100)
+        assert all(item.startswith("query-") for item in stream)
+        assert generator.item_for_rank(3) == "query-3"
+
+    def test_item_for_rank_validation(self):
+        generator = ZipfStreamGenerator(m=10, z=1.0)
+        with pytest.raises(ValueError):
+            generator.item_for_rank(0)
+        with pytest.raises(ValueError):
+            generator.item_for_rank(11)
+
+    def test_metadata(self):
+        stream = ZipfStreamGenerator(m=10, z=0.8, seed=3).generate(10)
+        assert stream.params["z"] == 0.8
+        assert stream.params["m"] == 10
+        assert "zipf" in stream.name
+
+    def test_expected_probabilities_sum_to_one(self):
+        generator = ZipfStreamGenerator(m=100, z=0.5)
+        assert generator.expected_probabilities().sum() == pytest.approx(1.0)

@@ -1,0 +1,161 @@
+"""Tests for the generator zoo and the drift-pair builder."""
+
+from collections import Counter
+
+import pytest
+
+from repro.streams.drift import make_drift_pair
+from repro.streams.generators import (
+    adversarial_boundary_stream,
+    planted_heavy_hitter_stream,
+    uniform_stream,
+)
+
+
+class TestUniformStream:
+    def test_length_and_range(self):
+        stream = uniform_stream(m=20, n=1000, seed=0)
+        assert len(stream) == 1000
+        assert all(1 <= item <= 20 for item in stream)
+
+    def test_roughly_uniform(self):
+        stream = uniform_stream(m=10, n=50_000, seed=1)
+        counts = stream.counts()
+        for item in range(1, 11):
+            assert abs(counts[item] - 5000) < 6 * 5000**0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_stream(0, 10)
+        with pytest.raises(ValueError):
+            uniform_stream(10, -1)
+
+    def test_deterministic(self):
+        assert list(uniform_stream(5, 100, seed=2)) == list(
+            uniform_stream(5, 100, seed=2)
+        )
+
+
+class TestPlantedHeavyHitters:
+    def test_heavy_items_labelled(self):
+        stream = planted_heavy_hitter_stream(
+            m=100, n=5000, heavy_items=3, heavy_fraction=0.5, seed=0
+        )
+        counts = stream.counts()
+        assert counts["heavy-1"] > 0
+        assert counts["heavy-2"] > 0
+        assert counts["heavy-3"] > 0
+
+    def test_heavy_fraction_respected(self):
+        stream = planted_heavy_hitter_stream(
+            m=500, n=40_000, heavy_items=4, heavy_fraction=0.4, seed=1
+        )
+        counts = stream.counts()
+        heavy_total = sum(
+            counts[f"heavy-{i}"] for i in range(1, 5)
+        )
+        assert abs(heavy_total / 40_000 - 0.4) < 0.02
+
+    def test_heavy_items_dominate_background(self):
+        stream = planted_heavy_hitter_stream(
+            m=1000, n=20_000, heavy_items=2, heavy_fraction=0.5, seed=2
+        )
+        counts = stream.counts()
+        background_max = max(
+            count for item, count in counts.items() if isinstance(item, int)
+        )
+        assert counts["heavy-1"] > background_max
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            planted_heavy_hitter_stream(100, 100, 0, 0.5)
+        with pytest.raises(ValueError):
+            planted_heavy_hitter_stream(100, 100, 2, 0.0)
+        with pytest.raises(ValueError):
+            planted_heavy_hitter_stream(100, 100, 2, 1.0)
+
+
+class TestAdversarialBoundary:
+    def test_exact_counts(self):
+        stream = adversarial_boundary_stream(k=2, l=4, scale=10, seed=0)
+        counts = stream.counts()
+        # Items 1..k occur scale+1 times; items k+1..l+1 occur scale times.
+        assert counts[1] == 11
+        assert counts[2] == 11
+        for item in (3, 4, 5):
+            assert counts[item] == 10
+
+    def test_boundary_gap_is_one(self):
+        stream = adversarial_boundary_stream(k=3, l=6, scale=100, seed=1)
+        counts = Counter(stream.items)
+        ranked = sorted(counts.values(), reverse=True)
+        assert ranked[2] == ranked[3] + 1  # n_k = n_{k+1} + 1
+
+    def test_padding_items_are_singletons(self):
+        stream = adversarial_boundary_stream(
+            k=1, l=2, scale=5, padding_items=7, seed=2
+        )
+        counts = stream.counts()
+        singletons = [c for c in counts.values() if c == 1]
+        assert len(singletons) == 7
+
+    def test_shuffled(self):
+        stream = adversarial_boundary_stream(k=2, l=4, scale=50, seed=3)
+        # Not sorted: the first occurrences of distinct items interleave.
+        first_half_distinct = len(set(list(stream)[: len(stream) // 2]))
+        assert first_half_distinct >= 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            adversarial_boundary_stream(0, 2, 10)
+        with pytest.raises(ValueError):
+            adversarial_boundary_stream(3, 2, 10)
+        with pytest.raises(ValueError):
+            adversarial_boundary_stream(1, 2, 0)
+
+
+class TestDriftPair:
+    def test_shapes(self):
+        pair = make_drift_pair(m=200, n=5000, seed=0)
+        assert len(pair.before) == 5000
+        assert len(pair.after) == 5000
+
+    def test_risers_and_fallers_disjoint(self):
+        pair = make_drift_pair(m=500, n=1000, num_risers=4, num_fallers=4,
+                               seed=1)
+        assert not set(pair.risers) & set(pair.fallers)
+
+    def test_risers_rise_and_fallers_fall(self):
+        pair = make_drift_pair(
+            m=500, n=40_000, num_risers=3, num_fallers=3, boost=8.0, seed=2
+        )
+        changes = pair.true_changes()
+        for riser in pair.risers:
+            assert changes[riser] > 0
+        for faller in pair.fallers:
+            assert changes[faller] < 0
+
+    def test_planted_items_dominate_top_changes(self):
+        pair = make_drift_pair(
+            m=500, n=40_000, num_risers=3, num_fallers=3, boost=10.0, seed=3
+        )
+        top = {item for item, __ in pair.top_changes(6)}
+        planted = set(pair.risers) | set(pair.fallers)
+        assert len(top & planted) >= 4
+
+    def test_true_changes_sum_to_zero(self):
+        """Both streams have equal length, so changes sum to zero."""
+        pair = make_drift_pair(m=100, n=2000, seed=4)
+        assert sum(pair.true_changes().values()) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_drift_pair(m=100, n=100, boost=1.0)
+        with pytest.raises(ValueError):
+            make_drift_pair(m=5, n=100, num_risers=4, num_fallers=4)
+
+    def test_deterministic(self):
+        a = make_drift_pair(m=100, n=500, seed=5)
+        b = make_drift_pair(m=100, n=500, seed=5)
+        assert list(a.before) == list(b.before)
+        assert list(a.after) == list(b.after)

@@ -1,0 +1,106 @@
+"""Tests for the bursty (Markov) stream generator and tracker robustness
+under temporal correlation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ground_truth import StreamStatistics
+from repro.analysis.metrics import recall_at_k
+from repro.core.topk import TopKTracker
+from repro.streams.markov import BurstyZipfStreamGenerator
+from repro.streams.zipf import ZipfStreamGenerator
+
+
+class TestGenerator:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyZipfStreamGenerator(100, 1.0, repeat=1.0)
+        with pytest.raises(ValueError):
+            BurstyZipfStreamGenerator(100, 1.0, repeat=-0.1)
+        with pytest.raises(ValueError):
+            BurstyZipfStreamGenerator(100, 1.0).generate(-1)
+
+    def test_zero_repeat_matches_iid_model(self):
+        stream = BurstyZipfStreamGenerator(100, 1.0, repeat=0.0,
+                                           seed=1).generate(5_000)
+        # Rank-1 dominance as in the i.i.d. Zipf case.
+        counts = stream.counts()
+        assert counts[1] > counts[20]
+
+    def test_items_in_range(self):
+        stream = BurstyZipfStreamGenerator(50, 1.0, repeat=0.7,
+                                           seed=2).generate(2_000)
+        assert all(1 <= item <= 50 for item in stream)
+
+    def test_deterministic(self):
+        a = BurstyZipfStreamGenerator(50, 1.0, 0.5, seed=3).generate(500)
+        b = BurstyZipfStreamGenerator(50, 1.0, 0.5, seed=3).generate(500)
+        assert list(a) == list(b)
+
+    def test_bursts_present(self):
+        """High repeat produces long same-item runs."""
+        stream = BurstyZipfStreamGenerator(1_000, 0.8, repeat=0.9,
+                                           seed=4).generate(10_000)
+        items = list(stream)
+        runs = []
+        current = 1
+        for prev, nxt in zip(items, items[1:]):
+            if nxt == prev:
+                current += 1
+            else:
+                runs.append(current)
+                current = 1
+        runs.append(current)
+        mean_run = sum(runs) / len(runs)
+        expected = BurstyZipfStreamGenerator(
+            1_000, 0.8, repeat=0.9
+        ).expected_burst_length()
+        assert mean_run > 0.5 * expected
+
+    def test_stationary_frequencies_match_zipf(self):
+        """Repetition rescales all rates equally: rank frequencies stay
+        Zipfian (compare against the i.i.d. generator's top ranks)."""
+        bursty = BurstyZipfStreamGenerator(200, 1.0, repeat=0.6,
+                                           seed=5).generate(100_000)
+        iid = ZipfStreamGenerator(200, 1.0, seed=5).generate(100_000)
+        bursty_counts = bursty.counts()
+        iid_counts = iid.counts()
+        for rank in (1, 3, 10):
+            ratio = bursty_counts[rank] / iid_counts[rank]
+            assert 0.7 < ratio < 1.4
+
+    def test_metadata(self):
+        stream = BurstyZipfStreamGenerator(10, 1.0, 0.5, seed=6).generate(10)
+        assert stream.params["dist"] == "bursty-zipf"
+        assert "repeat=0.5" in stream.name
+
+
+class TestTrackerUnderBursts:
+    def test_tracker_recall_robust_to_bursts(self):
+        """The §3.2 tracker's heap decisions depend on order; bursty
+        arrival must not break top-k recovery."""
+        generator = BurstyZipfStreamGenerator(1_000, 1.0, repeat=0.8, seed=7)
+        stream = generator.generate(50_000)
+        stats = StreamStatistics(counts=stream.counts())
+        tracker = TopKTracker(10, depth=5, width=512, seed=1)
+        for item in stream:
+            tracker.update(item)
+        reported = [item for item, __ in tracker.top()]
+        assert recall_at_k(reported, stats.top_k_items(10)) >= 0.9
+
+    def test_sketch_identical_for_shuffled_bursty_stream(self):
+        """Order-blindness: sketching the bursty stream and its shuffle
+        yields identical counters."""
+        from repro.core.countsketch import CountSketch
+
+        stream = BurstyZipfStreamGenerator(200, 1.0, 0.7, seed=8).generate(
+            5_000
+        )
+        items = list(stream)
+        rng = np.random.default_rng(9)
+        shuffled = [items[i] for i in rng.permutation(len(items))]
+        a = CountSketch(3, 64, seed=10)
+        a.extend(items)
+        b = CountSketch(3, 64, seed=10)
+        b.extend(shuffled)
+        assert a == b

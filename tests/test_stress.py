@@ -1,0 +1,149 @@
+"""Randomized cross-validation stress tests.
+
+Each trial draws a random workload configuration (distribution, skew,
+universe, length — all from a seeded RNG, so failures reproduce), runs
+*every* summary on the same stream, and checks the invariants each one
+promises.  This is the closest thing to a fuzzer the library has: any
+violation of a one-sided error bound, a capacity limit, or sketch
+linearity on any of the sampled configurations fails loudly with its
+trial seed.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.baselines.countmin import CountMinSketch
+from repro.baselines.exact import ExactCounter
+from repro.baselines.kps import KPSFrequent
+from repro.baselines.lossy_counting import LossyCounting
+from repro.baselines.space_saving import SpaceSaving
+from repro.core.countsketch import CountSketch
+from repro.core.topk import TopKTracker
+from repro.core.vectorized import VectorizedCountSketch
+from repro.streams.generators import (
+    planted_heavy_hitter_stream,
+    uniform_stream,
+)
+from repro.streams.zipf import ZipfStreamGenerator
+
+
+def random_workload(trial: int):
+    """A random stream drawn from a trial-seeded configuration."""
+    rng = random.Random(trial * 7919)
+    kind = rng.choice(["zipf", "uniform", "planted"])
+    m = rng.choice([50, 300, 1_500])
+    n = rng.choice([500, 3_000, 8_000])
+    if kind == "zipf":
+        z = rng.choice([0.4, 0.8, 1.2, 1.8])
+        return ZipfStreamGenerator(m, z, seed=trial).generate(n)
+    if kind == "uniform":
+        return uniform_stream(m, n, seed=trial)
+    return planted_heavy_hitter_stream(
+        m, n, heavy_items=rng.choice([1, 3, 8]),
+        heavy_fraction=rng.choice([0.2, 0.5]),
+        seed=trial,
+    )
+
+
+TRIALS = list(range(12))
+
+
+@pytest.mark.parametrize("trial", TRIALS)
+def test_invariants_across_random_workloads(trial):
+    stream = random_workload(trial)
+    items = list(stream)
+    counts = Counter(items)
+    n = len(items)
+
+    exact = ExactCounter()
+    kps = KPSFrequent(64)
+    space_saving = SpaceSaving(64)
+    lossy = LossyCounting(1 / 64)
+    count_min = CountMinSketch(3, 128, seed=trial)
+    count_sketch = CountSketch(5, 128, seed=trial)
+    tracker = TopKTracker(8, depth=5, width=128, seed=trial)
+
+    for item in items:
+        exact.update(item)
+        kps.update(item)
+        space_saving.update(item)
+        lossy.update(item)
+        count_min.update(item)
+        count_sketch.update(item)
+        tracker.update(item)
+
+    # Exact is exact.
+    for item, count in counts.items():
+        assert exact.count(item) == count
+
+    # One-sided bounds.
+    for item, count in counts.items():
+        assert kps.estimate(item) <= count
+        assert kps.estimate(item) >= count - n / 65
+        assert lossy.estimate(item) <= count
+        assert lossy.estimate(item) >= count - n / 64 - 1
+        assert count_min.estimate(item) >= count
+        if item in space_saving:
+            assert space_saving.estimate(item) >= count
+
+    # Capacity limits.
+    assert kps.counters_used() <= 64
+    assert space_saving.items_stored() <= 64
+    assert tracker.items_stored() <= 8
+
+    # Count Sketch estimates are bounded by the stream weight and the
+    # tracker's reported list is sorted.
+    for item in list(counts)[:20]:
+        assert abs(count_sketch.estimate(item)) <= n
+    reported = tracker.top()
+    values = [v for __, v in reported]
+    assert values == sorted(values, reverse=True)
+
+
+@pytest.mark.parametrize("trial", TRIALS[:6])
+def test_sketch_linearity_on_random_splits(trial):
+    """Splitting any stream at a random point and merging the halves'
+    sketches reproduces the whole-stream sketch exactly."""
+    stream = random_workload(trial)
+    items = list(stream)
+    rng = random.Random(trial)
+    cut = rng.randrange(len(items) + 1)
+
+    whole = CountSketch(3, 64, seed=trial)
+    whole.extend(items)
+    left = CountSketch(3, 64, seed=trial)
+    left.extend(items[:cut])
+    right = CountSketch(3, 64, seed=trial)
+    right.extend(items[cut:])
+    assert left + right == whole
+
+    v_whole = VectorizedCountSketch(3, 64, seed=trial)
+    v_whole.update_batch(items)
+    v_left = VectorizedCountSketch(3, 64, seed=trial)
+    v_left.update_batch(items[:cut])
+    v_right = VectorizedCountSketch(3, 64, seed=trial)
+    v_right.update_batch(items[cut:])
+    assert v_left + v_right == v_whole
+
+
+@pytest.mark.parametrize("trial", TRIALS[:6])
+def test_turnstile_deletion_roundtrip(trial):
+    """Inserting a random stream and then deleting a random sub-multiset
+    leaves exactly the residual counts (up to sketch error ~ 0 here
+    because the sketch is wide relative to the residual support)."""
+    stream = random_workload(trial)
+    counts = Counter(stream)
+    rng = random.Random(trial + 99)
+    sketch = CountSketch(7, 8192, seed=trial)
+    sketch.update_counts(counts)
+    residual = Counter(counts)
+    for item in list(counts):
+        remove = rng.randint(0, counts[item])
+        if remove:
+            sketch.update(item, -remove)
+            residual[item] -= remove
+    for item, count in residual.items():
+        # Wide sketch: estimates are exact w.h.p.; allow minimal noise.
+        assert abs(sketch.estimate(item) - count) <= 2
