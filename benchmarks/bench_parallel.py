@@ -1,0 +1,53 @@
+"""T3 — sharded parallel ingestion scaling vs worker count.
+
+Runs the :mod:`repro.experiments.parallel_scaling` experiment (the T1
+throughput workload pushed through the §3.2-linearity sharded engine at
+1/2/4 workers per backend) under pytest-benchmark timing, persists the
+report, and asserts the two properties the engine exists for:
+
+* every merged sketch is bit-for-bit equal to the single-process sketch;
+* 4 sharded workers beat the single-process item-at-a-time ingest by ≥ 2×
+  (on single-core hosts the margin comes from per-shard pre-aggregation
+  and batch updates, which linearity makes exact; on multicore hosts
+  process parallelism adds to it).
+"""
+
+from conftest import save_report
+
+from repro.experiments import parallel_scaling
+
+CONFIG = parallel_scaling.ParallelScalingConfig()
+
+
+def test_parallel_scaling(benchmark):
+    rows = benchmark.pedantic(
+        lambda: parallel_scaling.run(CONFIG), rounds=1, iterations=1
+    )
+    save_report(
+        "T3_parallel_scaling",
+        parallel_scaling.format_report(rows, CONFIG),
+    )
+    assert all(row.exact for row in rows)
+    assert all(row.items_per_second > 0 for row in rows)
+    best_at_4 = max(
+        row.speedup for row in rows if row.n_workers == 4
+    )
+    assert best_at_4 >= 2.0, (
+        f"4-worker ingest only reached {best_at_4:.2f}x the "
+        "single-process item loop"
+    )
+
+
+def test_parallel_merge_overhead_small(benchmark):
+    """Merging shards must stay a tiny fraction of ingest time."""
+
+    def run():
+        rows = parallel_scaling.run(CONFIG)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for row in rows:
+        if row.backend == "item-loop":
+            continue
+        ingest_seconds = CONFIG.n / row.items_per_second
+        assert row.merge_seconds <= ingest_seconds

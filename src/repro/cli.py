@@ -11,9 +11,15 @@ Five subcommands cover the library's day-to-day uses on on-disk streams
   and print its report (same output the benchmarks persist under
   ``benchmarks/out/``).
 
+Input files are consumed incrementally (never materialized in memory), so
+multi-GB logs stream through in bounded space; ``topk`` and ``estimate``
+accept ``--workers N`` to shard ingestion across processes, with a merge
+that is exact by the §3.2 linearity.
+
 Examples::
 
     repro topk --input queries.txt --k 10
+    repro topk --input queries.txt --k 10 --workers 4
     repro maxchange --before week1.txt --after week2.txt --k 5
     repro experiment table1
 """
@@ -28,7 +34,8 @@ from repro.core.maxchange import MaxChangeFinder
 from repro.core.countsketch import CountSketch
 from repro.core.topk import TopKTracker
 from repro.experiments.report import format_table
-from repro.streams.io import read_stream_text
+from repro.parallel import DEFAULT_CHUNK_SIZE, parallel_sketch, parallel_topk
+from repro.streams.io import TextStreamReader
 
 EXPERIMENTS = (
     "table1",
@@ -48,6 +55,7 @@ EXPERIMENTS = (
     "ablation_heap_counts",
     "ablation_hash_family",
     "throughput",
+    "parallel_scaling",
     "run_all",
 )
 
@@ -63,37 +71,89 @@ def _add_sketch_arguments(parser: argparse.ArgumentParser) -> None:
                         help="parse stream lines as integers")
 
 
-def _load(path: str, int_keys: bool) -> list:
-    return read_stream_text(path, as_int=int_keys)
+def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="shard the stream across this many worker processes "
+             "(default 1 = serial); the merged sketch is exact by §3.2 "
+             "linearity",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
+        help="items per shard chunk when --workers > 1 "
+             f"(default {DEFAULT_CHUNK_SIZE})",
+    )
+
+
+def _load(path: str, int_keys: bool) -> TextStreamReader:
+    """Open a stream file as a lazy, re-iterable reader.
+
+    The file is never materialized in memory: single-pass commands consume
+    it line by line, and the two-pass commands re-open it per pass.
+    """
+    return TextStreamReader(path, as_int=int_keys)
+
+
+def _print_ingest_summary(summary) -> None:
+    print(
+        f"ingest: {summary.n_workers} workers ({summary.executor}), "
+        f"{summary.n_shards} shards of <= {summary.chunk_size} items, "
+        f"{summary.items_per_second:,.0f} items/s, "
+        f"merge {summary.merge_seconds:.3f}s"
+    )
 
 
 def _cmd_topk(args: argparse.Namespace) -> int:
     stream = _load(args.input, args.int_keys)
-    tracker = TopKTracker(args.k, depth=args.depth, width=args.width,
-                          seed=args.seed)
-    for item in stream:
-        tracker.update(item)
+    if args.workers > 1:
+        top, summary = parallel_topk(
+            stream, args.k, args.depth, args.width, seed=args.seed,
+            n_workers=args.workers, chunk_size=args.chunk_size,
+        )
+        total_items = summary.total_items
+        counters = args.depth * args.width + len(top)
+        stored = len(top)
+    else:
+        tracker = TopKTracker(args.k, depth=args.depth, width=args.width,
+                              seed=args.seed)
+        for item in stream:
+            tracker.update(item)
+        top = tracker.top()
+        total_items = tracker.items_processed
+        counters = tracker.counters_used()
+        stored = tracker.items_stored()
+        summary = None
     rows = [
         [rank, str(item), count]
-        for rank, (item, count) in enumerate(tracker.top(), start=1)
+        for rank, (item, count) in enumerate(top, start=1)
     ]
     print(format_table(
         ["rank", "item", "approx count"], rows,
-        title=f"top-{args.k} of {args.input} ({len(stream)} items)",
+        title=f"top-{args.k} of {args.input} ({total_items} items)",
     ))
-    print(f"space: {tracker.counters_used()} counters, "
-          f"{tracker.items_stored()} stored items")
+    print(f"space: {counters} counters, {stored} stored items")
+    if summary is not None:
+        _print_ingest_summary(summary)
     return 0
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
     stream = _load(args.input, args.int_keys)
-    sketch = CountSketch(args.depth, args.width, seed=args.seed)
-    sketch.extend(stream)
+    if args.workers > 1:
+        sketch, summary = parallel_sketch(
+            stream, args.depth, args.width, seed=args.seed,
+            n_workers=args.workers, chunk_size=args.chunk_size,
+        )
+    else:
+        sketch = CountSketch(args.depth, args.width, seed=args.seed)
+        sketch.extend(stream)
+        summary = None
     queries = [int(q) if args.int_keys else q for q in args.items]
     rows = [[str(q), sketch.estimate(q)] for q in queries]
     print(format_table(["item", "estimate"], rows,
                        title=f"estimates over {args.input}"))
+    if summary is not None:
+        _print_ingest_summary(summary)
     return 0
 
 
@@ -165,6 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
     topk.add_argument("--input", required=True, help="stream file, one item per line")
     topk.add_argument("--k", type=int, default=10, help="items to report")
     _add_sketch_arguments(topk)
+    _add_parallel_arguments(topk)
     topk.set_defaults(handler=_cmd_topk)
 
     estimate = subparsers.add_parser(
@@ -173,6 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--input", required=True)
     estimate.add_argument("items", nargs="+", help="items to estimate")
     _add_sketch_arguments(estimate)
+    _add_parallel_arguments(estimate)
     estimate.set_defaults(handler=_cmd_estimate)
 
     maxchange = subparsers.add_parser(

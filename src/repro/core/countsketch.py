@@ -25,6 +25,7 @@ exactly this machinery of Alon, Matias & Szegedy.
 
 from __future__ import annotations
 
+import itertools
 import math
 import statistics
 from typing import Hashable, Iterable, Mapping, Sequence
@@ -39,8 +40,14 @@ from repro.hashing.sign import SignHash, SignHashFamily
 
 #: Maximum number of items kept in the per-sketch hash-position cache.  The
 #: cache trades memory for speed on streams with repeated items (every
-#: realistic stream); it is cleared wholesale when full.
+#: realistic stream).  When full, a batch of the oldest entries is evicted
+#: (dicts iterate in insertion order) rather than clearing wholesale —
+#: a full clear makes every item a miss on high-cardinality streams, so the
+#: dict grows to the limit, gets cleared, and repeats (cache thrash).
 _POSITION_CACHE_LIMIT = 1 << 20
+
+#: Fraction of the cache (as a right-shift) evicted per over-limit event.
+_POSITION_CACHE_EVICT_SHIFT = 3
 
 
 class CountSketch:
@@ -167,9 +174,12 @@ class CountSketch:
             return cached
         buckets = tuple(h(key) for h in self._bucket_hashes)
         signs = tuple(s(key) for s in self._sign_hashes)
-        if len(self._position_cache) >= _POSITION_CACHE_LIMIT:
-            self._position_cache.clear()
-        self._position_cache[key] = (buckets, signs)
+        cache = self._position_cache
+        if len(cache) >= _POSITION_CACHE_LIMIT:
+            evict = max(1, _POSITION_CACHE_LIMIT >> _POSITION_CACHE_EVICT_SHIFT)
+            for stale in list(itertools.islice(iter(cache), evict)):
+                del cache[stale]
+        cache[key] = (buckets, signs)
         return buckets, signs
 
     # -- updates ------------------------------------------------------------
@@ -328,7 +338,35 @@ class CountSketch:
         return self._with_counters(-self._counters, -self._total_weight)
 
     def scale(self, factor: int) -> "CountSketch":
-        """Return the sketch of the frequency vector scaled by ``factor``."""
+        """Return the sketch of the frequency vector scaled by ``factor``.
+
+        ``factor`` must be integral: scaling by a fraction would silently
+        promote the counter array to float64, breaking the int64 counter
+        invariant (and with it ``state_dict`` round-tripping and equality
+        against integer sketches).  Integral floats (``2.0``) are accepted
+        and converted.
+
+        Raises:
+            TypeError: if ``factor`` is not a real number.
+            ValueError: if ``factor`` is a non-integral number.
+        """
+        if isinstance(factor, (bool, np.bool_)):
+            raise TypeError("scale factor must be an integer, not a bool")
+        if isinstance(factor, (float, np.floating)):
+            if not float(factor).is_integer():
+                raise ValueError(
+                    f"scale factor must be integral, got {factor!r}: "
+                    "non-integer scaling would break the int64 counter "
+                    "invariant"
+                )
+            factor = int(factor)
+        elif isinstance(factor, (int, np.integer)):
+            factor = int(factor)
+        else:
+            raise TypeError(
+                f"scale factor must be an integer, "
+                f"got {type(factor).__name__}"
+            )
         return self._with_counters(
             self._counters * factor, self._total_weight * factor
         )

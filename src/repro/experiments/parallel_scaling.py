@@ -1,0 +1,161 @@
+"""T3 — sharded parallel ingestion scaling vs worker count.
+
+Not a paper experiment (the paper predates multicore sketch deployments),
+but the natural systems follow-up to §3.2: because the Count Sketch is a
+linear map, a stream can be chunked, sketched shard-by-shard in worker
+processes, and merged *exactly*.  This experiment measures the ingestion
+engine on the T1 throughput workload and verifies, for every row, that
+the merged sketch is bit-for-bit equal to the single-process sketch.
+
+The baseline row (``item-loop``) is the single-process item-at-a-time
+``CountSketch.update`` path — what the CLI used before the engine
+existed, and what T1 records for CountSketch.  Engine rows gain from two
+sources: per-shard pre-aggregation (exact by linearity) with batch
+updates, and process parallelism where cores allow.  On a single-core
+host the first source dominates; the speedup column is honest either way.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.countsketch import CountSketch
+from repro.core.vectorized import VectorizedCountSketch
+from repro.experiments.report import format_table
+from repro.parallel import parallel_sketch
+from repro.streams.zipf import ZipfStreamGenerator
+
+
+@dataclass(frozen=True)
+class ParallelScalingConfig:
+    """Workload parameters (matches T1's throughput workload)."""
+
+    m: int = 5_000
+    n: int = 50_000
+    z: float = 1.0
+    depth: int = 5
+    width: int = 256
+    seed: int = 0
+    stream_seed: int = 53
+    chunk_size: int = 4_096
+    worker_counts: tuple[int, ...] = (1, 2, 4)
+    backends: tuple[str, ...] = ("dense", "vectorized")
+
+
+@dataclass(frozen=True)
+class ParallelScalingRow:
+    """One (backend, worker count) measurement."""
+
+    backend: str
+    n_workers: int
+    executor: str
+    n_shards: int
+    items_per_second: float
+    speedup: float  # vs the single-process item-at-a-time baseline
+    merge_seconds: float
+    exact: bool  # merged sketch == single-process sketch, bit for bit
+
+
+def run(
+    config: ParallelScalingConfig = ParallelScalingConfig(),
+) -> list[ParallelScalingRow]:
+    """Measure engine throughput per backend and worker count."""
+    stream = list(
+        ZipfStreamGenerator(
+            config.m, config.z, seed=config.stream_seed
+        ).generate(config.n)
+    )
+
+    # Single-process item-at-a-time baseline (the pre-engine status quo).
+    baseline = CountSketch(config.depth, config.width, seed=config.seed)
+    update = baseline.update
+    start = time.perf_counter()
+    for item in stream:
+        update(item)
+    baseline_seconds = time.perf_counter() - start
+    baseline_ips = len(stream) / baseline_seconds
+
+    references = {
+        "dense": baseline,
+        "sparse": baseline,  # compared via to_dense()
+    }
+    vectorized_reference = VectorizedCountSketch(
+        config.depth, config.width, seed=config.seed
+    )
+    vectorized_reference.extend(stream)
+    references["vectorized"] = vectorized_reference
+
+    rows = [
+        ParallelScalingRow(
+            backend="item-loop",
+            n_workers=1,
+            executor="serial",
+            n_shards=1,
+            items_per_second=baseline_ips,
+            speedup=1.0,
+            merge_seconds=0.0,
+            exact=True,
+        )
+    ]
+    for backend in config.backends:
+        for n_workers in config.worker_counts:
+            sketch, summary = parallel_sketch(
+                stream,
+                config.depth,
+                config.width,
+                seed=config.seed,
+                backend=backend,
+                n_workers=n_workers,
+                chunk_size=config.chunk_size,
+            )
+            reference = references[backend]
+            if backend == "sparse":
+                exact = sketch.to_dense() == reference
+            else:
+                exact = sketch == reference
+            exact = exact and sketch.total_weight == reference.total_weight
+            rows.append(
+                ParallelScalingRow(
+                    backend=backend,
+                    n_workers=n_workers,
+                    executor=summary.executor,
+                    n_shards=summary.n_shards,
+                    items_per_second=summary.items_per_second,
+                    speedup=summary.items_per_second / baseline_ips,
+                    merge_seconds=summary.merge_seconds,
+                    exact=exact,
+                )
+            )
+    return rows
+
+
+def format_report(
+    rows: list[ParallelScalingRow], config: ParallelScalingConfig
+) -> str:
+    """Render the scaling table."""
+    return format_table(
+        ["backend", "workers", "executor", "shards", "items/sec",
+         "speedup", "merge s", "exact"],
+        [
+            [row.backend, row.n_workers, row.executor, row.n_shards,
+             row.items_per_second, row.speedup, row.merge_seconds,
+             "yes" if row.exact else "NO"]
+            for row in rows
+        ],
+        title=(
+            f"T3 — sharded ingestion scaling; zipf(z={config.z}, "
+            f"m={config.m}), n={config.n}, chunk={config.chunk_size}, "
+            f"speedup vs single-process item loop"
+        ),
+    )
+
+
+def main() -> None:
+    """Run at the default configuration and print the report."""
+    config = ParallelScalingConfig()
+    print(format_report(run(config), config))
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,8 @@ from __future__ import annotations
 import hashlib
 from typing import Hashable
 
+import numpy as np
+
 _MASK_64 = (1 << 64) - 1
 
 
@@ -39,6 +41,8 @@ def encode_key(item: Hashable) -> int:
     Supported key types:
 
     * ``int`` — passed through mod ``2**64`` (negative values wrap).
+      NumPy integer scalars (``np.integer``) and booleans (``np.bool_``)
+      encode identically to the equivalent Python ``int``.
     * ``str`` — BLAKE2b digest of the UTF-8 encoding.
     * ``bytes`` / ``bytearray`` — BLAKE2b digest of the raw bytes.
     * ``tuple`` — digest of the recursively encoded elements (so flow
@@ -49,10 +53,10 @@ def encode_key(item: Hashable) -> int:
     Raises:
         TypeError: for unsupported key types.
     """
-    if isinstance(item, bool):
+    if isinstance(item, (bool, np.bool_)):
         return int(item)
-    if isinstance(item, int):
-        return item & _MASK_64
+    if isinstance(item, (int, np.integer)):
+        return int(item) & _MASK_64
     if isinstance(item, str):
         return _digest_bytes(item.encode("utf-8"))
     if isinstance(item, (bytes, bytearray)):

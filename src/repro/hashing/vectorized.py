@@ -28,19 +28,30 @@ from repro.hashing.family import seeded_rng
 def encode_keys(items) -> np.ndarray:
     """Encode an iterable of stream items to a uint64 key array.
 
-    Integer items take a fast path; other supported types go through
-    :func:`repro.hashing.encode.encode_key` item by item (one Python loop,
-    after which everything downstream is vectorized).
+    Integer items — Python ``int``, ``np.integer`` scalars, and whole
+    integer-dtype ndarrays — take a vectorized fast path with the same
+    mod-``2**64`` wrap semantics as :func:`repro.hashing.encode.encode_key`
+    (negative values map to their two's-complement uint64 image).  Other
+    supported types go through ``encode_key`` item by item (one Python
+    loop, after which everything downstream is vectorized).
     """
+    if isinstance(items, np.ndarray):
+        if items.dtype == np.uint64:
+            return items
+        if items.dtype.kind in "iu":
+            # Signed→unsigned astype is a value-preserving C cast mod
+            # 2**64, matching encode_key's `value & ((1 << 64) - 1)`.
+            return items.astype(np.uint64)
     items = list(items)
-    if all(isinstance(item, int) and not isinstance(item, bool)
+    if all(isinstance(item, (int, np.integer))
+           and not isinstance(item, (bool, np.bool_))
            for item in items):
         try:
             return np.asarray(items, dtype=np.uint64)
-        except OverflowError:
+        except (OverflowError, TypeError, ValueError):
             # Negative or >64-bit ints: wrap mod 2**64 like encode_key.
             mask = (1 << 64) - 1
-            return np.asarray([item & mask for item in items],
+            return np.asarray([int(item) & mask for item in items],
                               dtype=np.uint64)
     return np.asarray([encode_key(item) for item in items], dtype=np.uint64)
 

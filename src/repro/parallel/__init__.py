@@ -1,0 +1,39 @@
+"""Sharded parallel ingestion (the §3.2 linearity, scaled out).
+
+* :func:`~repro.parallel.engine.parallel_sketch` — chunk a stream, sketch
+  each chunk in a worker, merge shards exactly.
+* :func:`~repro.parallel.engine.parallel_topk` — sharded CANDIDATETOP:
+  per-shard trackers, candidate union, re-estimate from the merged sketch.
+* :func:`~repro.parallel.chunks.iter_chunks` /
+  :func:`~repro.parallel.chunks.iter_file_chunks` — bounded-memory chunked
+  drivers over iterables and on-disk streams.
+* :class:`~repro.parallel.engine.IngestSummary` /
+  :class:`~repro.parallel.engine.ShardStats` — per-run and per-shard
+  instrumentation (items/s, merge time, counters touched).
+"""
+
+from repro.parallel.chunks import (
+    DEFAULT_CHUNK_SIZE,
+    iter_chunks,
+    iter_file_chunks,
+)
+from repro.parallel.engine import (
+    BACKENDS,
+    IngestSummary,
+    ShardStats,
+    parallel_sketch,
+    parallel_topk,
+    resolve_executor,
+)
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_CHUNK_SIZE",
+    "IngestSummary",
+    "ShardStats",
+    "iter_chunks",
+    "iter_file_chunks",
+    "parallel_sketch",
+    "parallel_topk",
+    "resolve_executor",
+]

@@ -1,0 +1,57 @@
+"""Chunked streaming drivers for the sharded ingestion engine.
+
+A parallel ingest never holds the whole stream: :func:`iter_chunks` slices
+any iterable into bounded lists (the unit of work shipped to a worker),
+and :func:`iter_file_chunks` composes it with the lazy line reader
+:func:`repro.streams.io.iter_stream_text` so a multi-GB query log is read
+one chunk at a time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.streams.io import iter_stream_text
+
+#: Default items per chunk.  Large enough that per-chunk overhead
+#: (pickling, a Counter pass, one merge) is amortized; small enough that a
+#: handful of in-flight chunks stays comfortably in memory.
+DEFAULT_CHUNK_SIZE = 1 << 16
+
+
+def iter_chunks(items: Iterable, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[list]:
+    """Yield successive lists of up to ``chunk_size`` items from ``items``.
+
+    The input is consumed lazily — only one chunk is materialized at a
+    time — so this is safe over generators and lazily-read files.
+
+    Args:
+        items: any iterable of stream items.
+        chunk_size: maximum items per yielded list (must be positive).
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
+    iterator = iter(items)
+    while True:
+        chunk = list(itertools.islice(iterator, chunk_size))
+        if not chunk:
+            return
+        yield chunk
+
+
+def iter_file_chunks(
+    path: str | Path,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    as_int: bool = False,
+) -> Iterator[list]:
+    """Chunk a text-format stream file without loading it into memory.
+
+    Args:
+        path: stream file, one item per line.
+        chunk_size: maximum items per yielded list.
+        as_int: parse every line as ``int`` (matches the CLI's
+            ``--int-keys``).
+    """
+    yield from iter_chunks(iter_stream_text(path, as_int=as_int), chunk_size)

@@ -1,0 +1,374 @@
+"""Sharded parallel ingestion built on §3.2 sketch linearity.
+
+The Count Sketch update is a linear function of the frequency vector, so
+sketches built from disjoint pieces of a stream with *shared hash
+functions* — same ``(depth, width, seed)`` — sum to exactly the sketch of
+the whole stream.  This module exploits that the way production systems
+(Hokusai-style real-time aggregation, multi-stage SF-sketch deployments)
+do: partition the stream into chunks, sketch each chunk in a worker, and
+``merge`` the shards.  The merged sketch is bit-for-bit equal to the
+single-process sketch, including ``total_weight`` — not an approximation.
+
+Two executors:
+
+* ``"fork"`` — a ``multiprocessing`` pool (chunks are shipped to worker
+  processes, shard states shipped back and merged with backpressure so at
+  most ``2·n_workers`` chunks are in flight).
+* ``"serial"`` — the same chunk/shard/merge pipeline run in-process; used
+  for ``n_workers=1`` and automatically on platforms without ``fork``.
+
+Within a shard, each worker pre-aggregates its chunk into a count table
+and applies weighted updates — identical counters by linearity, at a
+fraction of the per-item cost (the ``update_counts`` idiom).
+
+Top-k runs the same way, mirroring §4.1's CANDIDATETOP: each worker
+tracks ``l ≥ k`` heap candidates next to its sketch shard, the parent
+unions the candidate sets, re-estimates every candidate from the merged
+sketch, and reports the ``k`` largest.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from repro.core.countsketch import CountSketch
+from repro.core.sparse import SparseCountSketch
+from repro.core.topk import TopKTracker
+from repro.core.vectorized import VectorizedCountSketch
+from repro.parallel.chunks import DEFAULT_CHUNK_SIZE, iter_chunks
+
+#: Sketch backends the engine can shard.
+BACKENDS = ("dense", "sparse", "vectorized")
+
+
+def _make_sketch(backend: str, depth: int, width: int, seed: int):
+    """Build an empty shard sketch for ``backend``."""
+    if backend == "dense":
+        return CountSketch(depth, width, seed=seed)
+    if backend == "sparse":
+        return SparseCountSketch(depth, width, seed=seed)
+    if backend == "vectorized":
+        return VectorizedCountSketch(depth, width, seed=seed)
+    raise ValueError(
+        f"unknown backend {backend!r}; expected one of {BACKENDS}"
+    )
+
+
+def resolve_executor(n_workers: int) -> str:
+    """Pick the executor: ``"fork"`` when usable, else ``"serial"``.
+
+    ``n_workers <= 1`` always runs serially (no process overhead), as do
+    platforms whose ``multiprocessing`` lacks the ``fork`` start method
+    (the spawn-only configurations the engine does not try to support).
+    """
+    if n_workers <= 1:
+        return "serial"
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return "serial"
+    return "fork"
+
+
+# -- per-shard work (runs in workers; everything must be picklable) ---------
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """One chunk plus the shared sketch parameters."""
+
+    index: int
+    backend: str
+    depth: int
+    width: int
+    seed: int
+    candidates: int | None  # top-k candidate list length; None = sketch only
+    chunk: list
+
+
+@dataclass(frozen=True)
+class _ShardResult:
+    """A worker's shard, reduced to its picklable state."""
+
+    index: int
+    state: object  # int64 ndarray (dense/vectorized) or list[dict] (sparse)
+    total_weight: int
+    items: int
+    seconds: float
+    counters_touched: int
+    candidates: tuple = ()
+
+
+def _sketch_chunk(task: _ShardTask) -> _ShardResult:
+    """Build one hash-compatible shard over ``task.chunk``."""
+    start = time.perf_counter()
+    counts = Counter(task.chunk)
+    if task.candidates is None:
+        sketch = _make_sketch(task.backend, task.depth, task.width, task.seed)
+        sketch.update_counts(counts)
+        candidate_items: tuple = ()
+    else:
+        sketch = CountSketch(task.depth, task.width, seed=task.seed)
+        tracker = TopKTracker(task.candidates, sketch=sketch)
+        for item, count in counts.items():
+            tracker.update(item, count)
+        candidate_items = tuple(item for item, __ in tracker.top())
+    seconds = time.perf_counter() - start
+    if isinstance(sketch, SparseCountSketch):
+        state: object = sketch._rows
+        touched = sketch.buckets_touched()
+    else:
+        state = sketch._counters
+        touched = int(np.count_nonzero(sketch._counters))
+    return _ShardResult(
+        index=task.index,
+        state=state,
+        total_weight=sketch.total_weight,
+        items=len(task.chunk),
+        seconds=seconds,
+        counters_touched=touched,
+        candidates=candidate_items,
+    )
+
+
+# -- instrumentation --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """Throughput and footprint of one shard (one chunk, one worker)."""
+
+    shard: int
+    items: int
+    seconds: float
+    items_per_second: float
+    counters_touched: int
+
+
+@dataclass(frozen=True)
+class IngestSummary:
+    """Whole-run instrumentation for one parallel ingest."""
+
+    backend: str
+    executor: str  # "fork" or "serial"
+    n_workers: int
+    chunk_size: int
+    n_shards: int
+    total_items: int
+    wall_seconds: float
+    items_per_second: float
+    merge_seconds: float
+    shards: tuple[ShardStats, ...]
+
+
+# -- the engine -------------------------------------------------------------
+
+
+def _absorb_state(merged, result: _ShardResult, backend: str) -> None:
+    """Rehydrate a shard from its state and ``merge`` it (§3.2)."""
+    if backend == "sparse":
+        shard = SparseCountSketch(merged.depth, merged.width, seed=merged.seed)
+        shard._rows = list(result.state)
+        shard._total_weight = result.total_weight
+    else:
+        counters = np.asarray(result.state, dtype=np.int64)
+        shard = merged._with_counters(counters, result.total_weight)
+    merged.merge(shard)
+
+
+def _ingest(
+    stream: Iterable[Hashable],
+    *,
+    backend: str,
+    depth: int,
+    width: int,
+    seed: int,
+    n_workers: int,
+    chunk_size: int,
+    candidates: int | None,
+):
+    """Chunk, fan out, and merge; returns (sketch, candidate dict, summary)."""
+    if n_workers < 1:
+        raise ValueError("n_workers must be at least 1")
+    merged = _make_sketch(
+        backend if candidates is None else "dense", depth, width, seed
+    )
+    executor = resolve_executor(n_workers)
+    shard_stats: list[ShardStats] = []
+    candidate_items: dict[Hashable, None] = {}  # insertion-ordered set
+    merge_seconds = 0.0
+    total_items = 0
+
+    def absorb(result: _ShardResult) -> None:
+        nonlocal merge_seconds, total_items
+        merge_start = time.perf_counter()
+        _absorb_state(merged, result, backend if candidates is None else "dense")
+        merge_seconds += time.perf_counter() - merge_start
+        for item in result.candidates:
+            candidate_items.setdefault(item)
+        total_items += result.items
+        shard_stats.append(
+            ShardStats(
+                shard=result.index,
+                items=result.items,
+                seconds=result.seconds,
+                items_per_second=(
+                    result.items / result.seconds if result.seconds > 0
+                    else float("inf")
+                ),
+                counters_touched=result.counters_touched,
+            )
+        )
+
+    tasks = (
+        _ShardTask(
+            index=index,
+            backend=backend,
+            depth=depth,
+            width=width,
+            seed=seed,
+            candidates=candidates,
+            chunk=chunk,
+        )
+        for index, chunk in enumerate(iter_chunks(stream, chunk_size))
+    )
+
+    wall_start = time.perf_counter()
+    if executor == "serial":
+        for task in tasks:
+            absorb(_sketch_chunk(task))
+    else:
+        context = multiprocessing.get_context("fork")
+        with context.Pool(processes=n_workers) as pool:
+            # Backpressure: at most 2·n_workers chunks in flight, merged as
+            # they complete, so memory stays bounded on endless streams.
+            pending: deque = deque()
+            for task in tasks:
+                pending.append(pool.apply_async(_sketch_chunk, (task,)))
+                while len(pending) >= 2 * n_workers:
+                    absorb(pending.popleft().get())
+            while pending:
+                absorb(pending.popleft().get())
+    wall_seconds = time.perf_counter() - wall_start
+
+    shard_stats.sort(key=lambda stats: stats.shard)
+    summary = IngestSummary(
+        backend=backend if candidates is None else "dense",
+        executor=executor,
+        n_workers=n_workers,
+        chunk_size=chunk_size,
+        n_shards=len(shard_stats),
+        total_items=total_items,
+        wall_seconds=wall_seconds,
+        items_per_second=(
+            total_items / wall_seconds if wall_seconds > 0 else float("inf")
+        ),
+        merge_seconds=merge_seconds,
+        shards=tuple(shard_stats),
+    )
+    return merged, candidate_items, summary
+
+
+def parallel_sketch(
+    stream: Iterable[Hashable],
+    depth: int,
+    width: int,
+    *,
+    seed: int = 0,
+    backend: str = "dense",
+    n_workers: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+):
+    """Sketch a stream with sharded workers; exact by linearity.
+
+    Args:
+        stream: any iterable of hashable items (pair with
+            :func:`repro.streams.io.iter_stream_text` for on-disk logs).
+        depth: sketch rows ``t`` (shared by every shard).
+        width: counters per row ``b`` (shared by every shard).
+        seed: hash seed — all shards use it, which is what makes the
+            merge exact; merging shards from different seeds is refused
+            by the sketches' own compatibility checks.
+        backend: ``"dense"``, ``"sparse"``, or ``"vectorized"``.
+        n_workers: worker processes; 1 (or a fork-less platform) runs the
+            identical pipeline serially.
+        chunk_size: items per shard chunk.
+
+    Returns:
+        ``(sketch, summary)`` — the merged sketch, bit-for-bit equal to a
+        single-process sketch of the same stream, and an
+        :class:`IngestSummary` of per-shard throughput.
+    """
+    merged, __, summary = _ingest(
+        stream,
+        backend=backend,
+        depth=depth,
+        width=width,
+        seed=seed,
+        n_workers=n_workers,
+        chunk_size=chunk_size,
+        candidates=None,
+    )
+    return merged, summary
+
+
+def parallel_topk(
+    stream: Iterable[Hashable],
+    k: int,
+    depth: int,
+    width: int,
+    *,
+    seed: int = 0,
+    n_workers: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    candidates: int | None = None,
+):
+    """Approximate top-k over sharded workers (§4.1 CANDIDATETOP style).
+
+    Each worker runs a :class:`~repro.core.topk.TopKTracker` with
+    ``candidates ≥ k`` heap slots over its chunks; the parent merges the
+    sketch shards exactly, unions the per-shard candidate lists, and
+    re-estimates every candidate from the merged sketch — the same
+    union-then-rescore step :class:`~repro.core.candidate_top.
+    CandidateTopTracker` uses between passes.
+
+    Args:
+        stream: any iterable of hashable items.
+        k: number of items to report.
+        depth: sketch rows shared by every shard.
+        width: counters per row shared by every shard.
+        seed: shared hash seed (the §3.2 compatibility requirement).
+        n_workers: worker processes (1 = serial).
+        chunk_size: items per shard chunk.
+        candidates: per-shard candidate list length ``l``; defaults to
+            ``2·k``, the same safe constant multiple CANDIDATETOP uses.
+
+    Returns:
+        ``(top, summary)`` where ``top`` is a list of ``(item, estimate)``
+        pairs, heaviest first, estimated from the exactly-merged sketch.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if candidates is None:
+        candidates = 2 * k
+    if candidates < k:
+        raise ValueError("candidates must be at least k")
+    merged, candidate_items, summary = _ingest(
+        stream,
+        backend="dense",
+        depth=depth,
+        width=width,
+        seed=seed,
+        n_workers=n_workers,
+        chunk_size=chunk_size,
+        candidates=candidates,
+    )
+    ranked = sorted(
+        ((item, merged.estimate(item)) for item in candidate_items),
+        key=lambda pair: (-pair[1], repr(pair[0])),
+    )
+    return ranked[:k], summary

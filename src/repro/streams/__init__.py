@@ -24,6 +24,14 @@ frequencies (§4.1), heavy-tailed flow sizes (Crovella et al., the paper's
 
 from repro.streams.alias import AliasSampler
 from repro.streams.drift import DriftPair, make_drift_pair
+from repro.streams.io import (
+    TextStreamReader,
+    iter_stream_text,
+    read_stream_jsonl,
+    read_stream_text,
+    write_stream_jsonl,
+    write_stream_text,
+)
 from repro.streams.generators import (
     adversarial_boundary_stream,
     planted_heavy_hitter_stream,
@@ -43,10 +51,16 @@ __all__ = [
     "FlowStreamGenerator",
     "QueryStreamGenerator",
     "Stream",
+    "TextStreamReader",
     "ZipfStreamGenerator",
     "adversarial_boundary_stream",
+    "iter_stream_text",
     "make_drift_pair",
     "planted_heavy_hitter_stream",
+    "read_stream_jsonl",
+    "read_stream_text",
     "uniform_stream",
+    "write_stream_jsonl",
+    "write_stream_text",
     "zipf_weights",
 ]

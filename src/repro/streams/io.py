@@ -87,3 +87,34 @@ def iter_stream_text(path: str | Path, as_int: bool = False) -> Iterator:
         for line in handle:
             value = line.rstrip("\n")
             yield int(value) if as_int else value
+
+
+class TextStreamReader:
+    """A re-iterable, lazily-read view of a text-format stream file.
+
+    Every iteration re-opens the file and yields items line by line via
+    :func:`iter_stream_text`, so multi-pass algorithms (``MaxChangeFinder``
+    and friends) can replay a stream that is never resident in memory —
+    unlike a generator, which is exhausted after one pass.
+
+    Args:
+        path: stream file, one item per line.
+        as_int: parse every line as ``int``.
+    """
+
+    def __init__(self, path: str | Path, as_int: bool = False):
+        self._path = Path(path)
+        self._as_int = as_int
+
+    @property
+    def path(self) -> Path:
+        """The underlying file path."""
+        return self._path
+
+    def __iter__(self) -> Iterator:
+        return iter_stream_text(self._path, as_int=self._as_int)
+
+    def __repr__(self) -> str:
+        return (
+            f"TextStreamReader({str(self._path)!r}, as_int={self._as_int})"
+        )

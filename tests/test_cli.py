@@ -72,6 +72,29 @@ class TestTopK:
         out = capsys.readouterr().out
         assert "7" in out
 
+    def test_parallel_workers(self, stream_file, capsys):
+        assert main([
+            "topk", "--input", stream_file, "--k", "2",
+            "--workers", "2", "--chunk-size", "16",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "apple" in out
+        assert out.index("apple") < out.index("banana")
+        assert "ingest: 2 workers" in out
+        assert "62 items" in out  # total item count still reported
+
+    def test_streams_lazily(self, stream_file, capsys, monkeypatch):
+        # The CLI must never materialize the input file into a list.
+        import repro.streams.io as io_module
+
+        def _forbidden(*args, **kwargs):
+            raise AssertionError("CLI must not load the whole stream")
+
+        monkeypatch.setattr(io_module, "read_stream_text", _forbidden)
+        assert main(["topk", "--input", stream_file, "--k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "apple" in out
+
 
 class TestEstimate:
     def test_estimates_requested_items(self, stream_file, capsys):
@@ -82,6 +105,22 @@ class TestEstimate:
         assert "apple" in out
         assert "30" in out  # exact under a wide sketch
         assert "missing" in out
+
+    def test_parallel_matches_serial(self, stream_file, capsys):
+        # Exact merge: --workers must not change a single estimate.
+        assert main(["estimate", "--input", stream_file, "apple"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main([
+            "estimate", "--input", stream_file, "apple",
+            "--workers", "3", "--chunk-size", "8",
+        ]) == 0
+        parallel_out = capsys.readouterr().out
+        serial_table = serial_out.splitlines()
+        parallel_table = [
+            line for line in parallel_out.splitlines()
+            if not line.startswith("ingest:")
+        ]
+        assert serial_table == parallel_table
 
 
 class TestMaxChange:

@@ -189,6 +189,40 @@ class TestLinearity:
         sketch.update("a", 5)
         assert sketch.scale(3).estimate("a") == 15.0
 
+    def test_scale_preserves_int64_counters(self):
+        # Regression: a float factor used to silently promote the counter
+        # array to float64, breaking state_dict round-trips and equality.
+        sketch = CountSketch(3, 16, seed=1)
+        sketch.update("a", 5)
+        scaled = sketch.scale(2.0)  # integral float is accepted
+        assert scaled.counters.dtype == np.int64
+        assert scaled == sketch.scale(2)
+        assert scaled.total_weight == 10
+        roundtrip = CountSketch.from_state_dict(scaled.state_dict())
+        assert roundtrip == scaled
+
+    def test_scale_rejects_non_integral_factor(self):
+        sketch = CountSketch(3, 16, seed=1)
+        sketch.update("a", 5)
+        with pytest.raises(ValueError, match="integral"):
+            sketch.scale(0.5)
+        with pytest.raises(ValueError, match="integral"):
+            sketch.scale(np.float64(2.5))
+
+    def test_scale_rejects_non_numbers(self):
+        sketch = CountSketch(3, 16, seed=1)
+        with pytest.raises(TypeError):
+            sketch.scale("3")
+        with pytest.raises(TypeError):
+            sketch.scale(True)
+
+    def test_scale_accepts_np_integer(self):
+        sketch = CountSketch(3, 16, seed=1)
+        sketch.update("a", 5)
+        scaled = sketch.scale(np.int64(3))
+        assert scaled.counters.dtype == np.int64
+        assert scaled.estimate("a") == 15.0
+
     def test_merge_in_place(self):
         s1 = CountSketch(3, 64, seed=9)
         s2 = CountSketch(3, 64, seed=9)
@@ -366,3 +400,50 @@ class TestPositionCache:
             assert len(sketch._position_cache) <= 4
         finally:
             module._POSITION_CACHE_LIMIT = original
+
+    def test_over_limit_evicts_batch_not_wholesale(self, monkeypatch):
+        # Regression: the cache used to clear() wholesale when full, so a
+        # high-cardinality stream thrashed (grow to the limit, drop every
+        # entry, repeat).  Eviction must drop only a batch of old entries
+        # and keep the rest.
+        from repro.core import countsketch as module
+
+        monkeypatch.setattr(module, "_POSITION_CACHE_LIMIT", 16)
+        sketch = CountSketch(2, 32, seed=3)
+        for item in range(200):  # every item distinct: worst case
+            sketch.update(item)
+        cache = sketch._position_cache
+        assert len(cache) <= 16
+        # A wholesale clear would leave exactly 1 entry right after an
+        # over-limit insert; batch eviction keeps most of the cache warm.
+        assert len(cache) > 8
+
+    def test_eviction_keeps_results_correct(self, monkeypatch):
+        from repro.core import countsketch as module
+
+        monkeypatch.setattr(module, "_POSITION_CACHE_LIMIT", 8)
+        cached = CountSketch(3, 64, seed=5)
+        for item in range(100):
+            cached.update(item, item + 1)
+        fresh = CountSketch(3, 64, seed=5)
+        fresh.update_counts({item: item + 1 for item in range(100)})
+        assert cached == fresh
+        for item in (0, 7, 50, 99):  # mix of evicted and cached keys
+            assert cached.estimate(item) == fresh.estimate(item)
+
+    def test_eviction_is_fifo_over_insertion_order(self, monkeypatch):
+        from repro.core import countsketch as module
+
+        monkeypatch.setattr(module, "_POSITION_CACHE_LIMIT", 8)
+        monkeypatch.setattr(module, "_POSITION_CACHE_EVICT_SHIFT", 2)
+        sketch = CountSketch(2, 16, seed=1)
+        for item in range(8):
+            sketch.update(item)
+        sketch.update(100)  # over the limit: evicts the 2 oldest entries
+        cache_keys = set(sketch._position_cache)
+        from repro.hashing.encode import encode_key
+
+        assert encode_key(0) not in cache_keys
+        assert encode_key(1) not in cache_keys
+        assert encode_key(7) in cache_keys
+        assert encode_key(100) in cache_keys

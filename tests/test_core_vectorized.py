@@ -43,6 +43,84 @@ class TestEncodeKeys:
         assert len(encode_keys([])) == 0
 
 
+class TestEncodeKeysNumpyFastPath:
+    """Regression: np.integer scalars and integer ndarrays must take the
+    vectorized fast path (they used to fall through to encode_key one by
+    one, which did not even accept them) and agree with encode_key."""
+
+    def _assert_no_scalar_fallback(self, monkeypatch):
+        # Prove the fast path: make the scalar encoder explode if touched.
+        import repro.hashing.vectorized as module
+
+        def _boom(item):
+            raise AssertionError("encode_key called on the fast path")
+
+        monkeypatch.setattr(module, "encode_key", _boom)
+
+    def test_integer_ndarray_takes_fast_path(self, monkeypatch):
+        from repro.hashing.encode import encode_key
+
+        expected = [encode_key(int(v)) for v in range(1000)]
+        self._assert_no_scalar_fallback(monkeypatch)
+        keys = encode_keys(np.arange(1000))
+        assert keys.dtype == np.uint64
+        assert keys.tolist() == expected
+
+    def test_np_integer_scalars_take_fast_path(self, monkeypatch):
+        from repro.hashing.encode import encode_key
+
+        expected = encode_key(5)
+        self._assert_no_scalar_fallback(monkeypatch)
+        keys = encode_keys([np.int64(5)])
+        assert keys.dtype == np.uint64
+        assert keys[0] == np.uint64(expected)
+
+    @pytest.mark.parametrize("dtype", [np.int8, np.int16, np.int32,
+                                       np.int64, np.uint8, np.uint32])
+    def test_all_integer_dtypes_agree_with_encode_key(self, dtype):
+        from repro.hashing.encode import encode_key
+
+        info = np.iinfo(dtype)
+        values = np.asarray([info.min, -1 if info.min < 0 else 0, 0, 1,
+                             info.max], dtype=dtype)
+        keys = encode_keys(values)
+        assert keys.dtype == np.uint64
+        assert keys.tolist() == [encode_key(int(v)) for v in values]
+
+    def test_negative_ndarray_wraps_mod_2_64(self):
+        keys = encode_keys(np.asarray([-1, -2], dtype=np.int64))
+        assert keys.tolist() == [(1 << 64) - 1, (1 << 64) - 2]
+
+    def test_uint64_ndarray_passthrough(self):
+        arr = np.asarray([0, (1 << 64) - 1], dtype=np.uint64)
+        assert encode_keys(arr) is arr
+
+    def test_mixed_python_and_numpy_ints(self):
+        from repro.hashing.encode import encode_key
+
+        keys = encode_keys([1, np.int64(2), np.int32(-3)])
+        assert keys.tolist() == [encode_key(1), encode_key(2),
+                                 encode_key(-3)]
+
+    def test_np_bool_not_conflated_with_fast_path(self):
+        # np.bool_ is not an np.integer; it must encode like Python bool.
+        keys = encode_keys([np.bool_(True), np.bool_(False)])
+        assert keys.tolist() == [1, 0]
+
+    def test_scalar_encoder_accepts_np_integer(self):
+        from repro.hashing.encode import encode_key
+
+        assert encode_key(np.int64(5)) == encode_key(5)
+        assert encode_key(np.int64(-1)) == (1 << 64) - 1
+
+    def test_sketch_updates_agree_across_key_representations(self):
+        ints = VectorizedCountSketch(3, 64, seed=2)
+        ints.update_batch([5, 6, 5])
+        nps = VectorizedCountSketch(3, 64, seed=2)
+        nps.update_batch(np.asarray([5, 6, 5], dtype=np.int32))
+        assert ints == nps
+
+
 class TestVectorizedRowHashes:
     def test_validation(self):
         with pytest.raises(ValueError):
