@@ -16,6 +16,11 @@ multi-GB logs stream through in bounded space; ``topk`` and ``estimate``
 accept ``--workers N`` to shard ingestion across processes, with a merge
 that is exact by the §3.2 linearity.
 
+``topk``, ``estimate``, and ``maxchange`` accept ``--metrics-out PATH``
+to collect runtime metrics (``repro.observability``) — sketch updates,
+position-cache hit rates, heap churn, per-shard merge timings — and dump
+them as JSON or Prometheus exposition text on exit.
+
 Examples::
 
     repro topk --input queries.txt --k 10
@@ -34,6 +39,12 @@ from repro.core.maxchange import MaxChangeFinder
 from repro.core.countsketch import CountSketch
 from repro.core.topk import TopKTracker
 from repro.experiments.report import format_table
+from repro.observability import (
+    MetricsRegistry,
+    set_registry,
+    write_json,
+    write_prometheus,
+)
 from repro.parallel import DEFAULT_CHUNK_SIZE, parallel_sketch, parallel_topk
 from repro.streams.io import TextStreamReader
 
@@ -83,6 +94,49 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
         help="items per shard chunk when --workers > 1 "
              f"(default {DEFAULT_CHUNK_SIZE})",
     )
+
+
+def _add_metrics_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="collect runtime metrics (sketch updates, position-cache "
+             "hits/misses, heap churn, per-shard merge timings) and write "
+             "them to PATH on exit; without this flag the no-op registry "
+             "keeps instrumentation overhead near zero",
+    )
+    parser.add_argument(
+        "--metrics-format", choices=("json", "prometheus"), default=None,
+        help="metrics file format (default: inferred from the --metrics-out "
+             "extension, .prom/.txt = prometheus, else json)",
+    )
+
+
+def _run_with_metrics(args: argparse.Namespace, command) -> int:
+    """Run ``command(args)``, exporting metrics when ``--metrics-out`` asks.
+
+    The collecting registry is installed *before* the command builds its
+    sketches/trackers (handles are captured at construction time) and
+    restored afterwards, so library callers and tests never see a CLI
+    registry leak.
+    """
+    if getattr(args, "metrics_out", None) is None:
+        return command(args)
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        code = command(args)
+    finally:
+        set_registry(previous)
+    fmt = args.metrics_format
+    if fmt is None:
+        suffix = args.metrics_out.rsplit(".", 1)[-1].lower()
+        fmt = "prometheus" if suffix in ("prom", "txt") else "json"
+    if fmt == "prometheus":
+        write_prometheus(registry, args.metrics_out)
+    else:
+        write_json(registry, args.metrics_out)
+    print(f"metrics: wrote {fmt} to {args.metrics_out}")
+    return code
 
 
 def _load(path: str, int_keys: bool) -> TextStreamReader:
@@ -226,6 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
     topk.add_argument("--k", type=int, default=10, help="items to report")
     _add_sketch_arguments(topk)
     _add_parallel_arguments(topk)
+    _add_metrics_arguments(topk)
     topk.set_defaults(handler=_cmd_topk)
 
     estimate = subparsers.add_parser(
@@ -235,6 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("items", nargs="+", help="items to estimate")
     _add_sketch_arguments(estimate)
     _add_parallel_arguments(estimate)
+    _add_metrics_arguments(estimate)
     estimate.set_defaults(handler=_cmd_estimate)
 
     maxchange = subparsers.add_parser(
@@ -246,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
     maxchange.add_argument("--l", type=int, default=40,
                            help="exact-count candidate set size")
     _add_sketch_arguments(maxchange)
+    _add_metrics_arguments(maxchange)
     maxchange.set_defaults(handler=_cmd_maxchange)
 
     percent = subparsers.add_parser(
@@ -278,7 +335,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    return _run_with_metrics(args, args.handler)
 
 
 if __name__ == "__main__":

@@ -37,6 +37,7 @@ from repro.hashing.encode import encode_key
 from repro.hashing.family import HashFunction
 from repro.hashing.mersenne import KWiseFamily, PolynomialHash
 from repro.hashing.sign import SignHash, SignHashFamily
+from repro.observability.registry import get_registry
 
 #: Maximum number of items kept in the per-sketch hash-position cache.  The
 #: cache trades memory for speed on streams with repeated items (every
@@ -48,6 +49,33 @@ _POSITION_CACHE_LIMIT = 1 << 20
 
 #: Fraction of the cache (as a right-shift) evicted per over-limit event.
 _POSITION_CACHE_EVICT_SHIFT = 3
+
+
+class _SketchMetrics:
+    """Metric handles captured once per sketch when collection is on.
+
+    Sketches built under the default :class:`~repro.observability.
+    NullRegistry` carry ``_metrics = None`` instead, so the disabled-path
+    cost is one attribute load and an ``is not None`` test per event.
+    """
+
+    __slots__ = (
+        "updates", "estimates", "cache_hits", "cache_misses",
+        "cache_evictions",
+    )
+
+    def __init__(self, registry):
+        self.updates = registry.counter("countsketch_updates_total")
+        self.estimates = registry.counter("countsketch_estimates_total")
+        self.cache_hits = registry.counter(
+            "countsketch_position_cache_hits_total"
+        )
+        self.cache_misses = registry.counter(
+            "countsketch_position_cache_misses_total"
+        )
+        self.cache_evictions = registry.counter(
+            "countsketch_position_cache_evictions_total"
+        )
 
 
 class CountSketch:
@@ -76,6 +104,7 @@ class CountSketch:
         "_counters",
         "_total_weight",
         "_position_cache",
+        "_metrics",
     )
 
     def __init__(
@@ -127,6 +156,8 @@ class CountSketch:
         self._counters = np.zeros((depth, width), dtype=np.int64)
         self._total_weight = 0
         self._position_cache: dict[int, tuple[tuple[int, ...], tuple[int, ...]]] = {}
+        registry = get_registry()
+        self._metrics = _SketchMetrics(registry) if registry.enabled else None
 
     # -- basic properties ---------------------------------------------------
 
@@ -169,9 +200,14 @@ class CountSketch:
 
     def _positions(self, key: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
         """Return (bucket indices, signs), one per row, for encoded ``key``."""
+        metrics = self._metrics
         cached = self._position_cache.get(key)
         if cached is not None:
+            if metrics is not None:
+                metrics.cache_hits.inc()
             return cached
+        if metrics is not None:
+            metrics.cache_misses.inc()
         buckets = tuple(h(key) for h in self._bucket_hashes)
         signs = tuple(s(key) for s in self._sign_hashes)
         cache = self._position_cache
@@ -179,6 +215,8 @@ class CountSketch:
             evict = max(1, _POSITION_CACHE_LIMIT >> _POSITION_CACHE_EVICT_SHIFT)
             for stale in list(itertools.islice(iter(cache), evict)):
                 del cache[stale]
+            if metrics is not None:
+                metrics.cache_evictions.inc(evict)
         cache[key] = (buckets, signs)
         return buckets, signs
 
@@ -196,6 +234,8 @@ class CountSketch:
         for row in range(self._depth):
             counters[row, buckets[row]] += signs[row] * count
         self._total_weight += count
+        if self._metrics is not None:
+            self._metrics.updates.inc()
 
     def update_counts(self, counts: Mapping[Hashable, int]) -> None:
         """Apply a batch of weighted updates, one per distinct item.
@@ -227,6 +267,8 @@ class CountSketch:
             float(counters[row, buckets[row]]) * signs[row]
             for row in range(self._depth)
         ]
+        if self._metrics is not None:
+            self._metrics.estimates.inc()
         return statistics.median(row_estimates)
 
     def row_estimates(self, item: Hashable) -> list[float]:

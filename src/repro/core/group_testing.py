@@ -21,7 +21,7 @@ the same workloads.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable
+from typing import Iterable
 
 import numpy as np
 

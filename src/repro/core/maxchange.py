@@ -28,6 +28,24 @@ from typing import Hashable, Iterable
 
 from repro.core.countsketch import CountSketch
 from repro.core.heap import IndexedMinHeap
+from repro.observability.registry import get_registry
+
+
+def _require_reiterable(stream, name: str) -> None:
+    """Reject one-shot iterators for a two-pass algorithm.
+
+    A generator (or any iterator) is exhausted after pass 1, so pass 2
+    silently sees an empty stream and the report is empty and wrong.
+    ``iter(x) is x`` is the standard iterator test: sequences and other
+    re-iterable containers return a fresh iterator each time.
+    """
+    if iter(stream) is stream:
+        raise TypeError(
+            f"{name} must be a re-iterable sequence, not a one-shot "
+            "iterator/generator: the two-pass algorithm replays both "
+            "streams. Materialize it (list(...)) or wrap the file in "
+            "repro.streams.io.TextStreamReader."
+        )
 
 
 @dataclass(frozen=True)
@@ -90,6 +108,10 @@ class MaxChangeFinder:
         self._before_counts: dict[Hashable, int] = {}
         self._after_counts: dict[Hashable, int] = {}
         self._estimates: dict[Hashable, float] = {}
+        registry = get_registry()
+        self._m_admissions = registry.counter("maxchange_admissions_total")
+        self._m_evictions = registry.counter("maxchange_evictions_total")
+        self._m_rejections = registry.counter("maxchange_rejections_total")
 
     @property
     def l(self) -> int:
@@ -128,13 +150,18 @@ class MaxChangeFinder:
             return True
         if item in self._evicted:
             return False
-        magnitude = abs(self._sketch.estimate(item))
+        # One sketch query per admission decision: the estimate is fixed
+        # after pass 1, so its magnitude (the admission key) and the
+        # signed value (recorded for the report) come from a single call.
+        estimate = self._sketch.estimate(item)
+        magnitude = abs(estimate)
         if len(self._candidates) < self._l:
             self._candidates.push(item, magnitude)
         else:
             __, smallest = self._candidates.min()
             if magnitude <= smallest:
                 self._evicted.add(item)
+                self._m_rejections.inc()
                 return False
             loser, __ = self._candidates.pop_min()
             self._evicted.add(loser)
@@ -142,9 +169,11 @@ class MaxChangeFinder:
             self._after_counts.pop(loser, None)
             self._estimates.pop(loser, None)
             self._candidates.push(item, magnitude)
+            self._m_evictions.inc()
         self._before_counts.setdefault(item, 0)
         self._after_counts.setdefault(item, 0)
-        self._estimates[item] = self._sketch.estimate(item)
+        self._estimates[item] = estimate
+        self._m_admissions.inc()
         return True
 
     def second_pass_before(self, item: Hashable, count: int = 1) -> None:
@@ -218,7 +247,14 @@ def find_max_change(
         depth: sketch rows.
         width: sketch width.
         seed: sketch seed.
+
+    Raises:
+        TypeError: if ``before`` or ``after`` is a one-shot iterator
+            (e.g. a generator) — it would be exhausted after pass 1 and
+            pass 2 would silently produce an empty, wrong report.
     """
+    _require_reiterable(before, "before")
+    _require_reiterable(after, "after")
     if l is None:
         l = 4 * k
     finder = MaxChangeFinder(l, depth=depth, width=width, seed=seed)

@@ -23,6 +23,19 @@ from repro.hashing.bucket import BucketHashFamily
 from repro.hashing.encode import encode_key
 from repro.hashing.mersenne import KWiseFamily
 from repro.hashing.sign import SignHashFamily
+from repro.observability.registry import get_registry
+
+
+class _SparseMetrics:
+    """Metric handles captured once per sparse sketch when collection is on."""
+
+    __slots__ = ("updates", "estimates")
+
+    def __init__(self, registry):
+        self.updates = registry.counter("sparse_countsketch_updates_total")
+        self.estimates = registry.counter(
+            "sparse_countsketch_estimates_total"
+        )
 
 
 class SparseCountSketch:
@@ -53,6 +66,8 @@ class SparseCountSketch:
         self._sign_hashes = tuple(sign_family.draw(depth))
         self._rows: list[dict[int, int]] = [{} for __ in range(depth)]
         self._total_weight = 0
+        registry = get_registry()
+        self._metrics = _SparseMetrics(registry) if registry.enabled else None
 
     @property
     def depth(self) -> int:
@@ -87,6 +102,8 @@ class SparseCountSketch:
             else:
                 row.pop(bucket, None)  # keep the representation minimal
         self._total_weight += count
+        if self._metrics is not None:
+            self._metrics.updates.inc()
 
     def update_counts(self, counts: Mapping[Hashable, int]) -> None:
         """Apply a batch of weighted updates, one per distinct item."""
@@ -109,6 +126,8 @@ class SparseCountSketch:
 
     def estimate(self, item: Hashable) -> float:
         """``ESTIMATE``: the median of per-row signed bucket values."""
+        if self._metrics is not None:
+            self._metrics.estimates.inc()
         return statistics.median(self.row_estimates(item))
 
     def estimate_f2(self) -> float:

@@ -23,6 +23,30 @@ from typing import Hashable
 
 from repro.core.countsketch import CountSketch
 from repro.core.heap import IndexedMinHeap
+from repro.observability.registry import get_registry
+
+
+class _TrackerMetrics:
+    """Metric handles captured once per tracker when collection is on.
+
+    ``topk_exact_increments_total / topk_updates_total`` is the tracker's
+    exact-increment ratio (how often the hot "already in heap" path is
+    taken); admissions + evictions measure heap churn.
+    """
+
+    __slots__ = (
+        "updates", "admissions", "evictions", "rejections",
+        "exact_increments",
+    )
+
+    def __init__(self, registry):
+        self.updates = registry.counter("topk_updates_total")
+        self.admissions = registry.counter("topk_heap_admissions_total")
+        self.evictions = registry.counter("topk_heap_evictions_total")
+        self.rejections = registry.counter("topk_heap_rejections_total")
+        self.exact_increments = registry.counter(
+            "topk_exact_increments_total"
+        )
 
 
 class TopKTracker:
@@ -66,6 +90,8 @@ class TopKTracker:
         self._heap = IndexedMinHeap()
         self._exact_heap_counts = exact_heap_counts
         self._items_processed = 0
+        registry = get_registry()
+        self._metrics = _TrackerMetrics(registry) if registry.enabled else None
 
     @property
     def k(self) -> int:
@@ -88,21 +114,33 @@ class TopKTracker:
             raise ValueError("count must be a positive number of occurrences")
         self._sketch.update(item, count)
         self._items_processed += count
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.updates.inc()
         heap = self._heap
         if item in heap:
             if self._exact_heap_counts:
                 heap.add_to(item, count)
+                if metrics is not None:
+                    metrics.exact_increments.inc()
             else:
                 heap.update(item, self._sketch.estimate(item))
             return
         estimate = self._sketch.estimate(item)
         if len(heap) < self._k:
             heap.push(item, estimate)
+            if metrics is not None:
+                metrics.admissions.inc()
         else:
             __, smallest = heap.min()
             if estimate > smallest:
                 heap.pop_min()
                 heap.push(item, estimate)
+                if metrics is not None:
+                    metrics.admissions.inc()
+                    metrics.evictions.inc()
+            elif metrics is not None:
+                metrics.rejections.inc()
 
     def top(self, k: int | None = None) -> list[tuple[Hashable, float]]:
         """Return up to ``k`` (item, tracked count) pairs, heaviest first.

@@ -22,6 +22,28 @@ import numpy as np
 
 from repro.hashing.encode import encode_key
 from repro.hashing.vectorized import VectorizedRowHashes, encode_keys
+from repro.observability.registry import get_registry
+
+
+class _VectorizedMetrics:
+    """Metric handles captured once per sketch when collection is on.
+
+    Batch paths count *items*, not calls, so throughput ratios against the
+    scalar backends stay comparable; batches get their own counter.
+    """
+
+    __slots__ = ("update_batches", "update_items", "estimate_items")
+
+    def __init__(self, registry):
+        self.update_batches = registry.counter(
+            "vectorized_countsketch_update_batches_total"
+        )
+        self.update_items = registry.counter(
+            "vectorized_countsketch_update_items_total"
+        )
+        self.estimate_items = registry.counter(
+            "vectorized_countsketch_estimate_items_total"
+        )
 
 
 class VectorizedCountSketch:
@@ -38,6 +60,10 @@ class VectorizedCountSketch:
         self._hashes = VectorizedRowHashes(depth, width, seed)
         self._counters = np.zeros((depth, width), dtype=np.int64)
         self._total_weight = 0
+        registry = get_registry()
+        self._metrics = (
+            _VectorizedMetrics(registry) if registry.enabled else None
+        )
 
     # -- properties -----------------------------------------------------------
 
@@ -104,6 +130,9 @@ class VectorizedCountSketch:
             signed = self._hashes.signs(keys, row) * weights_arr
             np.add.at(self._counters[row], buckets, signed)
         self._total_weight += int(weights_arr.sum())
+        if self._metrics is not None:
+            self._metrics.update_batches.inc()
+            self._metrics.update_items.inc(int(keys.size))
 
     def update(self, item: Hashable, count: int = 1) -> None:
         """Single-item update (protocol compatibility; batches are faster)."""
@@ -130,6 +159,8 @@ class VectorizedCountSketch:
             keys = encode_keys(items)
         if keys.size == 0:
             return np.zeros(0, dtype=np.float64)
+        if self._metrics is not None:
+            self._metrics.estimate_items.inc(int(keys.size))
         rows = np.empty((self.depth, keys.size), dtype=np.float64)
         for row in range(self.depth):
             buckets = self._hashes.buckets(keys, row)

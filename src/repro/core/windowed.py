@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Hashable
 
 from repro.core.countsketch import CountSketch
+from repro.observability.registry import get_registry
 
 
 class JumpingWindowSketch:
@@ -59,6 +60,9 @@ class JumpingWindowSketch:
         self._ring: list[CountSketch] = [CountSketch(depth, width, seed=seed)]
         self._current_fill = 0
         self._items_seen = 0
+        registry = get_registry()
+        self._m_rotations = registry.counter("window_rotations_total")
+        self._m_expired = registry.counter("window_buckets_expired_total")
 
     @property
     def window(self) -> int:
@@ -80,14 +84,25 @@ class JumpingWindowSketch:
         return self._aggregate.total_weight
 
     def update(self, item: Hashable, count: int = 1) -> None:
-        """Observe ``count`` occurrences of ``item`` (newest position)."""
+        """Observe ``count`` occurrences of ``item`` (newest position).
+
+        The weight is applied in per-bucket batches — each batch fills the
+        newest bucket up to its capacity with a single weighted sketch
+        update (linearity, §3.2), then rotates exactly where an
+        item-at-a-time loop would.  Cost is ``O(count / (W/B))`` sketch
+        updates instead of ``O(count)``, with rotation, expiry, and
+        :meth:`covered` semantics unchanged.
+        """
         if count < 1:
             raise ValueError("count must be positive")
-        for _ in range(count):
-            self._items_seen += 1
-            self._ring[-1].update(item)
-            self._aggregate.update(item)
-            self._current_fill += 1
+        remaining = count
+        while remaining > 0:
+            batch = min(remaining, self._bucket_capacity - self._current_fill)
+            self._ring[-1].update(item, batch)
+            self._aggregate.update(item, batch)
+            self._items_seen += batch
+            self._current_fill += batch
+            remaining -= batch
             if self._current_fill >= self._bucket_capacity:
                 self._rotate()
 
@@ -97,6 +112,7 @@ class JumpingWindowSketch:
         self._ring.append(CountSketch(self._depth, self._width,
                                       seed=self._seed))
         self._current_fill = 0
+        self._m_rotations.inc()
         # Invariant: after rotation, covered ≤ W − bucket_capacity, so the
         # newly filling bucket keeps covered ≤ W at every instant.
         while (
@@ -105,6 +121,7 @@ class JumpingWindowSketch:
             and len(self._ring) > 1
         ):
             expired = self._ring.pop(0)
+            self._m_expired.inc()
             if expired.total_weight == 0:
                 continue
             # Linearity (§3.2): subtraction removes the bucket exactly.

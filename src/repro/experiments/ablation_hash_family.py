@@ -22,7 +22,6 @@ from repro.analysis.ground_truth import StreamStatistics
 from repro.core.countsketch import CountSketch
 from repro.experiments.report import format_table
 from repro.hashing.bucket import BucketHashFamily
-from repro.hashing.mersenne import KWiseFamily
 from repro.hashing.multiply_shift import MultiplyShiftFamily
 from repro.hashing.sign import SignHashFamily
 from repro.hashing.tabulation import TabulationFamily

@@ -19,7 +19,6 @@ per-stream estimates whose errors scale with the (large) stream norms.
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass
 
 from repro.analysis.metrics import recall_at_k

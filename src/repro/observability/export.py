@@ -1,0 +1,89 @@
+"""Registry exporters: JSON documents and Prometheus exposition text.
+
+Two formats cover the deployment styles the ROADMAP targets:
+
+* :func:`to_json` / :func:`write_json` — a single JSON document of the
+  registry snapshot, the format ``repro ... --metrics-out m.json`` writes
+  and ``benchmarks/bench_overhead.py`` consumes for its BENCH trajectory.
+* :func:`to_prometheus` / :func:`write_prometheus` — the Prometheus text
+  exposition format (version 0.0.4): counters and gauges as single
+  samples, histograms as ``summary`` families with ``quantile`` labels
+  plus ``_sum``/``_count`` samples, ready for a scrape endpoint or the
+  node-exporter textfile collector.
+
+Metric names are sanitized to the Prometheus charset (``[a-zA-Z_:]``
+first, ``[a-zA-Z0-9_:]`` after); the JSON export keeps names verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+
+from repro.observability.registry import MetricsRegistry
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prometheus_name(name: str) -> str:
+    """Sanitize ``name`` into a valid Prometheus metric name."""
+    if _NAME_OK.match(name):
+        return name
+    cleaned = _NAME_BAD_CHARS.sub("_", name)
+    if not cleaned or not re.match(r"[a-zA-Z_:]", cleaned[0]):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value per the exposition format."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def to_json(registry: MetricsRegistry, indent: int = 2) -> str:
+    """Serialize the registry snapshot as a JSON document."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+def write_json(registry: MetricsRegistry, path: str | Path) -> None:
+    """Write :func:`to_json` output to ``path`` (trailing newline added)."""
+    Path(path).write_text(to_json(registry) + "\n", encoding="utf-8")
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Serialize the registry in the Prometheus text exposition format."""
+    snapshot = registry.snapshot()
+    lines: list[str] = []
+    for name, value in snapshot["counters"].items():
+        metric = _prometheus_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, value in snapshot["gauges"].items():
+        metric = _prometheus_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, summary in snapshot["histograms"].items():
+        metric = _prometheus_name(name)
+        lines.append(f"# TYPE {metric} summary")
+        for label, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+            if key in summary:
+                lines.append(
+                    f'{metric}{{quantile="{label}"}} '
+                    f"{_format_value(summary[key])}"
+                )
+        lines.append(f"{metric}_sum {_format_value(summary['sum'])}")
+        lines.append(f"{metric}_count {_format_value(summary['count'])}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus(registry: MetricsRegistry, path: str | Path) -> None:
+    """Write :func:`to_prometheus` output to ``path``."""
+    Path(path).write_text(to_prometheus(registry), encoding="utf-8")

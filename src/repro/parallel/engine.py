@@ -41,6 +41,12 @@ from repro.core.countsketch import CountSketch
 from repro.core.sparse import SparseCountSketch
 from repro.core.topk import TopKTracker
 from repro.core.vectorized import VectorizedCountSketch
+from repro.observability.registry import (
+    MetricsRegistry,
+    get_registry,
+    metrics_enabled,
+    use_registry,
+)
 from repro.parallel.chunks import DEFAULT_CHUNK_SIZE, iter_chunks
 
 #: Sketch backends the engine can shard.
@@ -101,12 +107,14 @@ class _ShardResult:
     seconds: float
     counters_touched: int
     candidates: tuple = ()
+    #: The shard's own counter metrics (``snapshot()["counters"]``), or
+    #: ``None`` when collection is off; the parent folds them into its
+    #: registry so fork-worker updates aren't lost with the child.
+    metrics: dict | None = None
 
 
-def _sketch_chunk(task: _ShardTask) -> _ShardResult:
-    """Build one hash-compatible shard over ``task.chunk``."""
-    start = time.perf_counter()
-    counts = Counter(task.chunk)
+def _build_shard(task: _ShardTask, counts: Counter):
+    """Sketch one pre-aggregated chunk; returns (sketch, candidates)."""
     if task.candidates is None:
         sketch = _make_sketch(task.backend, task.depth, task.width, task.seed)
         sketch.update_counts(counts)
@@ -117,6 +125,24 @@ def _sketch_chunk(task: _ShardTask) -> _ShardResult:
         for item, count in counts.items():
             tracker.update(item, count)
         candidate_items = tuple(item for item, __ in tracker.top())
+    return sketch, candidate_items
+
+
+def _sketch_chunk(task: _ShardTask) -> _ShardResult:
+    """Build one hash-compatible shard over ``task.chunk``."""
+    start = time.perf_counter()
+    counts = Counter(task.chunk)
+    worker_metrics = None
+    if metrics_enabled():
+        # Collect this shard's counters in a private registry and ship the
+        # (picklable) totals home — in fork mode the child's mutations to
+        # the inherited registry would otherwise die with the process.
+        shard_registry = MetricsRegistry()
+        with use_registry(shard_registry):
+            sketch, candidate_items = _build_shard(task, counts)
+        worker_metrics = shard_registry.snapshot()["counters"]
+    else:
+        sketch, candidate_items = _build_shard(task, counts)
     seconds = time.perf_counter() - start
     if isinstance(sketch, SparseCountSketch):
         state: object = sketch._rows
@@ -132,6 +158,7 @@ def _sketch_chunk(task: _ShardTask) -> _ShardResult:
         seconds=seconds,
         counters_touched=touched,
         candidates=candidate_items,
+        metrics=worker_metrics,
     )
 
 
@@ -203,23 +230,45 @@ def _ingest(
     merge_seconds = 0.0
     total_items = 0
 
+    # Promote per-shard instrumentation into the metrics registry (the
+    # ShardStats/IngestSummary fields stay for programmatic callers).
+    # Under the default NullRegistry every handle is a shared no-op.
+    registry = get_registry()
+    registry.gauge("parallel_workers").set(n_workers)
+    m_shards = registry.counter("parallel_shards_total")
+    m_items = registry.counter("parallel_items_total")
+    m_shard_seconds = registry.histogram("parallel_shard_seconds")
+    m_shard_rate = registry.histogram("parallel_shard_items_per_second")
+    m_merge = registry.histogram("parallel_merge_seconds")
+    m_wait = registry.histogram("parallel_backpressure_wait_seconds")
+
     def absorb(result: _ShardResult) -> None:
         nonlocal merge_seconds, total_items
         merge_start = time.perf_counter()
         _absorb_state(merged, result, backend if candidates is None else "dense")
-        merge_seconds += time.perf_counter() - merge_start
+        merge_elapsed = time.perf_counter() - merge_start
+        merge_seconds += merge_elapsed
         for item in result.candidates:
             candidate_items.setdefault(item)
         total_items += result.items
+        items_per_second = (
+            result.items / result.seconds if result.seconds > 0
+            else float("inf")
+        )
+        if result.metrics:
+            registry.merge_counters(result.metrics)
+        m_shards.inc()
+        m_items.inc(result.items)
+        m_shard_seconds.observe(result.seconds)
+        if result.seconds > 0:
+            m_shard_rate.observe(items_per_second)
+        m_merge.observe(merge_elapsed)
         shard_stats.append(
             ShardStats(
                 shard=result.index,
                 items=result.items,
                 seconds=result.seconds,
-                items_per_second=(
-                    result.items / result.seconds if result.seconds > 0
-                    else float("inf")
-                ),
+                items_per_second=items_per_second,
                 counters_touched=result.counters_touched,
             )
         )
@@ -250,7 +299,10 @@ def _ingest(
             for task in tasks:
                 pending.append(pool.apply_async(_sketch_chunk, (task,)))
                 while len(pending) >= 2 * n_workers:
-                    absorb(pending.popleft().get())
+                    wait_start = time.perf_counter()
+                    result = pending.popleft().get()
+                    m_wait.observe(time.perf_counter() - wait_start)
+                    absorb(result)
             while pending:
                 absorb(pending.popleft().get())
     wall_seconds = time.perf_counter() - wall_start

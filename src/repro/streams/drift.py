@@ -13,7 +13,6 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Hashable
 
-import numpy as np
 
 from repro.streams.alias import AliasSampler
 from repro.streams.model import Stream

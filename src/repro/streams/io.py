@@ -20,14 +20,32 @@ from pathlib import Path
 from typing import Hashable, Iterable, Iterator
 
 
+def _strip_eol(line: str) -> str:
+    """Strip one trailing line ending — ``\\n``, ``\\r\\n``, or ``\\r``.
+
+    Files written on Windows (or shipped through tools that rewrite line
+    endings) end lines with ``\\r\\n``; stripping only ``\\n`` leaves a
+    trailing ``\\r`` on every item, which encodes — and therefore hashes —
+    differently from its LF twin, silently splitting one item's counts in
+    two.  Exactly one line ending is removed, never item content.
+    """
+    if line.endswith("\n"):
+        line = line[:-1]
+    if line.endswith("\r"):
+        line = line[:-1]
+    return line
+
+
 def write_stream_text(path: str | Path, items: Iterable[Hashable]) -> int:
     """Write items one per line as text; return the number written."""
     count = 0
-    with open(path, "w", encoding="utf-8") as handle:
+    with open(path, "w", encoding="utf-8", newline="\n") as handle:
         for item in items:
             text = str(item)
-            if "\n" in text:
-                raise ValueError("text format cannot hold items with newlines")
+            if "\n" in text or "\r" in text:
+                raise ValueError(
+                    "text format cannot hold items with line endings"
+                )
             handle.write(text)
             handle.write("\n")
             count += 1
@@ -35,9 +53,14 @@ def write_stream_text(path: str | Path, items: Iterable[Hashable]) -> int:
 
 
 def read_stream_text(path: str | Path, as_int: bool = False) -> list:
-    """Read a text-format stream; optionally parse every line as ``int``."""
-    with open(path, "r", encoding="utf-8") as handle:
-        lines = [line.rstrip("\n") for line in handle]
+    """Read a text-format stream; optionally parse every line as ``int``.
+
+    Both LF and CRLF files are read identically (one trailing line ending
+    is stripped per line), so a log shipped through a CRLF-rewriting hop
+    yields the same items — and the same hashes — as the original.
+    """
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        lines = [_strip_eol(line) for line in handle]
     if as_int:
         return [int(line) for line in lines]
     return lines
@@ -82,10 +105,15 @@ def read_stream_jsonl(path: str | Path) -> list:
 
 
 def iter_stream_text(path: str | Path, as_int: bool = False) -> Iterator:
-    """Stream a text-format file lazily (for streams bigger than memory)."""
-    with open(path, "r", encoding="utf-8") as handle:
+    """Stream a text-format file lazily (for streams bigger than memory).
+
+    Line endings are normalized exactly as in :func:`read_stream_text`:
+    LF and CRLF files yield identical items, so :class:`TextStreamReader`
+    (which delegates here) is line-ending agnostic too.
+    """
+    with open(path, "r", encoding="utf-8", newline="") as handle:
         for line in handle:
-            value = line.rstrip("\n")
+            value = _strip_eol(line)
             yield int(value) if as_int else value
 
 

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser, main
@@ -161,6 +163,116 @@ class TestPercentChange:
         out = capsys.readouterr().out
         assert "grew" in out
         assert "vanished" not in out
+
+
+class TestMetricsOut:
+    def test_topk_serial_json(self, stream_file, tmp_path, capsys):
+        out_path = tmp_path / "m.json"
+        assert main([
+            "topk", "--input", stream_file, "--k", "2",
+            "--metrics-out", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"metrics: wrote json to {out_path}" in out
+        snapshot = json.loads(out_path.read_text())
+        counters = snapshot["counters"]
+        assert counters["countsketch_updates_total"] == 62
+        assert counters["topk_updates_total"] == 62
+        assert counters["countsketch_position_cache_misses_total"] == 4
+        assert counters["countsketch_position_cache_hits_total"] > 0
+        assert counters["topk_heap_admissions_total"] >= 2
+        assert counters["topk_exact_increments_total"] > 0
+
+    def test_topk_parallel_json_covers_all_families(self, stream_file,
+                                                    tmp_path, capsys):
+        """The acceptance check: a parallel topk run must emit counters
+        covering sketch updates, position-cache traffic, heap churn, and
+        the per-shard merge timing histogram."""
+        out_path = tmp_path / "m.json"
+        assert main([
+            "topk", "--input", stream_file, "--k", "2",
+            "--workers", "2", "--chunk-size", "16",
+            "--metrics-out", str(out_path),
+        ]) == 0
+        snapshot = json.loads(out_path.read_text())
+        counters = snapshot["counters"]
+        # Worker-side sketch/tracker counters survive the process boundary.
+        # Shards pre-aggregate their chunk, so updates count weighted update
+        # calls: distinct items per 16-item chunk (1 + 2 + 1 + 3).
+        assert counters["countsketch_updates_total"] == 7
+        assert counters["topk_updates_total"] == 7
+        assert counters["countsketch_position_cache_misses_total"] > 0
+        assert counters["topk_heap_admissions_total"] > 0
+        assert counters["parallel_shards_total"] == 4  # ceil(62 / 16)
+        assert counters["parallel_items_total"] == 62
+        merge = snapshot["histograms"]["parallel_merge_seconds"]
+        assert merge["count"] == 4
+        assert merge["sum"] >= 0.0
+        assert snapshot["gauges"]["parallel_workers"] == 2.0
+
+    def test_estimate_metrics(self, stream_file, tmp_path, capsys):
+        out_path = tmp_path / "m.json"
+        assert main([
+            "estimate", "--input", stream_file, "apple",
+            "--metrics-out", str(out_path),
+        ]) == 0
+        counters = json.loads(out_path.read_text())["counters"]
+        assert counters["countsketch_updates_total"] == 62
+        assert counters["countsketch_estimates_total"] == 1
+
+    def test_maxchange_metrics(self, stream_pair, tmp_path, capsys):
+        before, after = stream_pair
+        out_path = tmp_path / "m.json"
+        assert main([
+            "maxchange", "--before", before, "--after", after,
+            "--k", "2", "--l", "3", "--metrics-out", str(out_path),
+        ]) == 0
+        counters = json.loads(out_path.read_text())["counters"]
+        # Pass 1 touches every item of both streams (65 + 70).
+        assert counters["countsketch_updates_total"] == 135
+        assert counters["maxchange_admissions_total"] == 3
+
+    def test_prometheus_format_inferred_from_extension(self, stream_file,
+                                                       tmp_path, capsys):
+        out_path = tmp_path / "m.prom"
+        assert main([
+            "topk", "--input", stream_file, "--k", "2",
+            "--metrics-out", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"metrics: wrote prometheus to {out_path}" in out
+        text = out_path.read_text()
+        assert "# TYPE countsketch_updates_total counter" in text
+        assert "countsketch_updates_total 62" in text
+
+    def test_explicit_format_overrides_extension(self, stream_file,
+                                                 tmp_path, capsys):
+        out_path = tmp_path / "metrics.dat"
+        assert main([
+            "topk", "--input", stream_file, "--k", "2",
+            "--metrics-out", str(out_path),
+            "--metrics-format", "prometheus",
+        ]) == 0
+        assert "# TYPE" in out_path.read_text()
+
+    def test_no_flag_means_no_collection(self, stream_file, tmp_path,
+                                         capsys):
+        from repro.observability import get_registry, NullRegistry
+
+        assert main(["topk", "--input", stream_file, "--k", "2"]) == 0
+        assert isinstance(get_registry(), NullRegistry)
+        assert list(tmp_path.glob("*.json")) == []
+        assert list(tmp_path.glob("*.prom")) == []
+
+    def test_registry_restored_after_run(self, stream_file, tmp_path,
+                                         capsys):
+        from repro.observability import get_registry, NullRegistry
+
+        assert main([
+            "topk", "--input", stream_file, "--k", "2",
+            "--metrics-out", str(tmp_path / "m.json"),
+        ]) == 0
+        assert isinstance(get_registry(), NullRegistry)
 
 
 class TestExperimentDispatch:

@@ -160,3 +160,19 @@ class TestEndToEnd:
         reports = find_max_change(["a"] * 4, ["b"] * 4, k=1,
                                   depth=3, width=64)
         assert reports[0].item in ("a", "b")
+
+    def test_wrapper_rejects_generator_streams(self):
+        """Regression: a generator is exhausted after pass 1, so pass 2
+        would silently see an empty stream and report nothing.  The wrapper
+        must refuse one-shot iterators up front."""
+        with pytest.raises(TypeError, match="one-shot"):
+            find_max_change((x for x in ["a", "b"]), ["a"], k=1,
+                            depth=3, width=64)
+        with pytest.raises(TypeError, match="one-shot"):
+            find_max_change(["a"], iter(["a", "b"]), k=1,
+                            depth=3, width=64)
+
+    def test_wrapper_accepts_reiterable_sequences(self):
+        reports = find_max_change(["a"] * 10, ["b"] * 10, k=2,
+                                  depth=5, width=128)
+        assert {r.item for r in reports} == {"a", "b"}

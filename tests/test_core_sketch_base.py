@@ -1,6 +1,5 @@
 """Tests for the shared summary protocols and the consume helper."""
 
-import pytest
 
 from repro.baselines.exact import ExactCounter
 from repro.core.sketch_base import FrequencyEstimator, StreamSummary, consume

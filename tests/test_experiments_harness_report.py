@@ -1,6 +1,5 @@
 """Tests for the experiment harness utilities and report rendering."""
 
-import math
 
 import pytest
 

@@ -6,7 +6,6 @@ algorithms → metrics → report); the benchmark suite runs the same modules
 at the paper-scale defaults.
 """
 
-import math
 
 import pytest
 

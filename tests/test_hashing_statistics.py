@@ -10,7 +10,6 @@ shows up as an astronomically small p-value, not a borderline one.
 """
 
 import numpy as np
-import pytest
 from scipy import stats
 
 from repro.hashing.bucket import BucketHashFamily

@@ -5,7 +5,6 @@ under arbitrary input streams, and the theoretical inequalities.
 
 from collections import Counter
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -16,6 +15,7 @@ from repro.core.countsketch import CountSketch
 from repro.core.maxchange import MaxChangeFinder
 from repro.core.params import gamma, width_for_approxtop
 from repro.core.topk import TopKTracker
+from repro.core.windowed import JumpingWindowSketch
 
 ITEMS = st.one_of(
     st.integers(min_value=0, max_value=50),
@@ -136,6 +136,52 @@ class TestTrackerInvariants:
             tracker.update(item)
         for item, tracked in tracker.top():
             assert tracked == counts[item]
+
+
+class TestWindowedWeightedUpdates:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(ITEMS, st.integers(min_value=1, max_value=50)),
+            max_size=20,
+        ),
+        st.integers(min_value=4, max_value=40),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_weighted_update_matches_unit_updates(self, weighted, window,
+                                                  buckets):
+        """``update(item, count)`` must be indistinguishable from ``count``
+        unit updates: same estimates, same covered span, same item total."""
+        batched = JumpingWindowSketch(window, buckets=buckets, depth=3,
+                                      width=32, seed=5)
+        unit = JumpingWindowSketch(window, buckets=buckets, depth=3,
+                                   width=32, seed=5)
+        for item, count in weighted:
+            batched.update(item, count)
+            for __ in range(count):
+                unit.update(item)
+        assert batched.covered() == unit.covered()
+        assert batched.items_seen == unit.items_seen
+        for item in {item for item, __ in weighted}:
+            assert batched.estimate(item) == unit.estimate(item)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(ITEMS, st.integers(min_value=1, max_value=500)),
+            max_size=12,
+        ),
+        st.integers(min_value=4, max_value=40),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_covered_never_exceeds_window(self, weighted, window, buckets):
+        """The covered span stays ≤ W at every instant, even when a single
+        weighted update spans many bucket rotations."""
+        sketch = JumpingWindowSketch(window, buckets=buckets, depth=3,
+                                     width=32, seed=6)
+        for item, count in weighted:
+            sketch.update(item, count)
+            assert 0 <= sketch.covered() <= window
 
 
 class TestBaselineGuaranteesUnderArbitraryStreams:

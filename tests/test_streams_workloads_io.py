@@ -138,6 +138,37 @@ class TestStreamIO:
         write_stream_text(path, [1, 2, 3])
         assert list(iter_stream_text(path, as_int=True)) == [1, 2, 3]
 
+    def test_text_rejects_carriage_returns(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_stream_text(tmp_path / "x.txt", ["bad\ritem"])
+
+    def test_crlf_and_lf_files_read_identically(self, tmp_path):
+        """A CRLF rewrite of a stream file must yield the same items —
+        trailing ``\\r`` would encode (and hash) differently, silently
+        splitting one item's counts in two."""
+        items = ["alpha", "beta", "alpha", "42"]
+        lf = tmp_path / "lf.txt"
+        crlf = tmp_path / "crlf.txt"
+        lf.write_bytes(("\n".join(items) + "\n").encode())
+        crlf.write_bytes(("\r\n".join(items) + "\r\n").encode())
+        assert read_stream_text(crlf) == items
+        assert read_stream_text(crlf) == read_stream_text(lf)
+        assert list(iter_stream_text(crlf)) == items
+        from repro.streams.io import TextStreamReader
+
+        assert list(TextStreamReader(crlf)) == items
+
+    def test_crlf_int_keys(self, tmp_path):
+        path = tmp_path / "crlf.txt"
+        path.write_bytes(b"5\r\n3\r\n5\r\n")
+        assert read_stream_text(path, as_int=True) == [5, 3, 5]
+        assert list(iter_stream_text(path, as_int=True)) == [5, 3, 5]
+
+    def test_crlf_file_without_trailing_newline(self, tmp_path):
+        path = tmp_path / "crlf.txt"
+        path.write_bytes(b"a\r\nb")
+        assert read_stream_text(path) == ["a", "b"]
+
     def test_jsonl_roundtrip_tuples(self, tmp_path):
         path = tmp_path / "stream.jsonl"
         items = [("10.0.0.1", "10.0.0.2", 80, 443, "tcp"), ("a", 1, "b")]
