@@ -23,7 +23,27 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Hashable
+from collections.abc import Hashable
+from typing import Protocol
+
+
+class _EnvelopeSketch(Protocol):
+    """The structural slice of a sketch the envelopes need.
+
+    Satisfied by :class:`~repro.core.countsketch.CountSketch`; the F2
+    envelope additionally works with any backend exposing
+    ``estimate_f2`` (e.g. the vectorized sketch).
+    """
+
+    @property
+    def width(self) -> int: ...
+
+    def estimate(self, item: Hashable) -> float: ...
+
+    def estimate_f2(self) -> float: ...
+
+    def row_estimates(self, item: Hashable) -> list[float]: ...
+
 
 @dataclass(frozen=True)
 class EstimateInterval:
@@ -42,7 +62,7 @@ class EstimateInterval:
         return (self.high - self.low) / 2.0
 
 
-def f2_error_scale(sketch) -> float:
+def f2_error_scale(sketch: _EnvelopeSketch) -> float:
     """The observable error scale ``γ̂ = sqrt(F̂2 / b)``.
 
     Conservative: uses the full second moment where Lemma 4's γ uses the
@@ -52,7 +72,7 @@ def f2_error_scale(sketch) -> float:
 
 
 def estimate_with_f2_interval(
-    sketch, item: Hashable, multiplier: float = 2.0
+    sketch: _EnvelopeSketch, item: Hashable, multiplier: float = 2.0
 ) -> EstimateInterval:
     """Estimate ``item`` with a ``±multiplier·γ̂`` envelope.
 
@@ -73,7 +93,7 @@ def estimate_with_f2_interval(
 
 
 def estimate_with_spread_interval(
-    sketch, item: Hashable, drop_extremes: int = 1
+    sketch: _EnvelopeSketch, item: Hashable, drop_extremes: int = 1
 ) -> EstimateInterval:
     """Estimate ``item`` with a per-item row-spread envelope.
 

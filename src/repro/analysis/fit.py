@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Hashable, Iterable
+from collections.abc import Hashable, Iterable
 
 import numpy as np
 
@@ -117,8 +117,8 @@ def profile_stream(sample: Iterable[Hashable], k: int) -> WorkloadProfile:
         distinct_items=stats.m,
         zipf_z=fit_zipf_parameter(
             Counter(
-                {item: count for item, count in zip(range(stats.m),
-                                                    stats.sorted_counts)}
+                {item: count for item, count in
+                 zip(range(stats.m), stats.sorted_counts, strict=True)}
             )
         ),
         nk_sample=stats.nk(k),

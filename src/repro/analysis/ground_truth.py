@@ -10,7 +10,7 @@ score against.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Hashable, Iterable
+from collections.abc import Hashable, Iterable
 
 import numpy as np
 
@@ -28,14 +28,14 @@ class StreamStatistics:
         self,
         stream: Iterable[Hashable] | None = None,
         counts: Counter | None = None,
-    ):
+    ) -> None:
         if counts is None:
             if stream is None:
                 raise ValueError("provide a stream or a count table")
             counts = Counter(stream)
         if any(c < 0 for c in counts.values()):
             raise ValueError("counts must be nonnegative")
-        self._counts: Counter = Counter(
+        self._counts: Counter[Hashable] = Counter(
             {item: c for item, c in counts.items() if c > 0}
         )
         ranked = self._counts.most_common()
@@ -91,7 +91,7 @@ class StreamStatistics:
             for item in self._ranked_items[:k]
         ]
 
-    def top_k_items(self, k: int) -> set:
+    def top_k_items(self, k: int) -> set[Hashable]:
         """The set of the true top-``k`` items."""
         return set(self._ranked_items[:k])
 
@@ -107,7 +107,7 @@ class StreamStatistics:
             return 0.0
         return float(self._squares[k:].sum())
 
-    def items_above(self, threshold: float) -> set:
+    def items_above(self, threshold: float) -> set[Hashable]:
         """All items with count ≥ ``threshold`` (e.g. ``(1+ε)·n_k``)."""
         result = set()
         for item in self._ranked_items:

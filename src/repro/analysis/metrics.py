@@ -11,7 +11,7 @@ recall/precision and relative-error measures for estimate quality.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Mapping, Sequence
+from collections.abc import Hashable, Iterable, Mapping, Sequence
 
 from repro.analysis.ground_truth import StreamStatistics
 

@@ -28,7 +28,7 @@ class SpaceModel:
     object_bits: int
 
     @classmethod
-    def for_stream(cls, n: int, object_bits: int) -> "SpaceModel":
+    def for_stream(cls, n: int, object_bits: int) -> SpaceModel:
         """Counters sized to ``⌈log2(n+1)⌉`` bits for a length-``n`` stream."""
         if n < 1:
             raise ValueError("n must be positive")
@@ -44,7 +44,7 @@ class SpaceModel:
             raise ValueError("counts must be nonnegative")
         return counters * self.counter_bits + objects * self.object_bits
 
-    def summary_bits(self, summary) -> int:
+    def summary_bits(self, summary: StreamSummary) -> int:
         """Total bits of any object with the
         :class:`~repro.core.sketch_base.StreamSummary` space accessors."""
         return self.total_bits(summary.counters_used(), summary.items_stored())

@@ -18,7 +18,7 @@ gap the Count Sketch fills.  It is reproduced here as the §2 baseline.
 from __future__ import annotations
 
 import random
-from typing import Hashable
+from collections.abc import Hashable
 
 from repro.hashing.family import seeded_rng
 
@@ -33,7 +33,7 @@ class ConciseSamples:
         seed: coin-flip seed.
     """
 
-    def __init__(self, capacity: int, shrink: float = 0.9, seed: int = 0):
+    def __init__(self, capacity: int, shrink: float = 0.9, seed: int = 0) -> None:
         if capacity < 2:
             raise ValueError("capacity must be at least 2")
         if not 0 < shrink < 1:

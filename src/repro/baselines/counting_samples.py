@@ -20,7 +20,7 @@ missed before the item entered the sample.
 from __future__ import annotations
 
 import random
-from typing import Hashable
+from collections.abc import Hashable
 
 from repro.hashing.family import seeded_rng
 
@@ -34,7 +34,7 @@ class CountingSamples:
         seed: coin-flip seed.
     """
 
-    def __init__(self, capacity: int, shrink: float = 0.9, seed: int = 0):
+    def __init__(self, capacity: int, shrink: float = 0.9, seed: int = 0) -> None:
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
         if not 0 < shrink < 1:

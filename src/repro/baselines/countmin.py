@@ -16,7 +16,7 @@ improvement (only raise the counters that equal the current minimum).
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence
+from collections.abc import Hashable, Sequence
 
 import numpy as np
 
@@ -45,7 +45,7 @@ class CountMinSketch:
         seed: int = 0,
         conservative: bool = False,
         bucket_hashes: Sequence[HashFunction] | None = None,
-    ):
+    ) -> None:
         if depth < 1:
             raise ValueError("depth must be at least 1")
         if width < 1:
@@ -119,7 +119,7 @@ class CountMinSketch:
             )
         )
 
-    def merge(self, other: "CountMinSketch") -> None:
+    def merge(self, other: CountMinSketch) -> None:
         """In-place merge of a compatible (non-conservative) sketch."""
         if self._conservative or other._conservative:
             raise ValueError("conservative Count-Min sketches cannot merge")

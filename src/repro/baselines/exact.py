@@ -5,14 +5,14 @@ out ("keeping a counter for each distinct element [is] infeasible")."""
 from __future__ import annotations
 
 from collections import Counter
-from typing import Hashable, Iterable
+from collections.abc import Hashable, Iterable
 
 
 class ExactCounter:
     """One exact counter per distinct item."""
 
     def __init__(self) -> None:
-        self._counts: Counter = Counter()
+        self._counts: Counter[Hashable] = Counter()
         self._total = 0
 
     @property
@@ -43,7 +43,7 @@ class ExactCounter:
         """The exact ``k`` most frequent items."""
         return [(item, float(c)) for item, c in self._counts.most_common(k)]
 
-    def counts(self) -> Counter:
+    def counts(self) -> Counter[Hashable]:
         """A copy of the full count table."""
         return Counter(self._counts)
 

@@ -17,7 +17,7 @@ every item with count ≥ T passes the filter) kept exact and tested.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable
+from collections.abc import Hashable, Iterable
 
 import numpy as np
 
@@ -35,7 +35,7 @@ class MultiHashIceberg:
         seed: hash seed.
     """
 
-    def __init__(self, depth: int = 3, width: int = 1024, seed: int = 0):
+    def __init__(self, depth: int = 3, width: int = 1024, seed: int = 0) -> None:
         if depth < 1:
             raise ValueError("depth must be at least 1")
         if width < 1:

@@ -20,7 +20,7 @@ per-item accuracy guarantee beyond the additive ``n/(c+1)``.
 from __future__ import annotations
 
 import math
-from typing import Hashable
+from collections.abc import Hashable
 
 
 def counters_for_candidate_top(n: int, nk: float) -> int:
@@ -39,7 +39,7 @@ class KPSFrequent:
         capacity: the number of counters ``c``.
     """
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
         self._capacity = capacity

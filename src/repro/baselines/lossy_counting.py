@@ -17,7 +17,7 @@ Guarantees (verified by the tests):
 from __future__ import annotations
 
 import math
-from typing import Hashable
+from collections.abc import Hashable
 
 
 class LossyCounting:
@@ -27,7 +27,7 @@ class LossyCounting:
         epsilon: the additive undercount bound as a fraction of ``n``.
     """
 
-    def __init__(self, epsilon: float):
+    def __init__(self, epsilon: float) -> None:
         if not 0 < epsilon < 1:
             raise ValueError("epsilon must be in (0, 1)")
         self._epsilon = epsilon

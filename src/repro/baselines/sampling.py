@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Hashable
+from collections.abc import Hashable
 
 from repro.hashing.family import seeded_rng
 
@@ -48,7 +48,7 @@ class SamplingSummary:
         seed: seed of the sampling coin flips.
     """
 
-    def __init__(self, probability: float, seed: int = 0):
+    def __init__(self, probability: float, seed: int = 0) -> None:
         if not 0 < probability <= 1:
             raise ValueError("probability must be in (0, 1]")
         self._probability = probability
@@ -59,7 +59,7 @@ class SamplingSummary:
     @classmethod
     def for_candidate_top(
         cls, nk: float, k: int, delta: float = 0.05, seed: int = 0
-    ) -> "SamplingSummary":
+    ) -> SamplingSummary:
         """Dimension the sampler per §4.1 to capture the top ``k`` w.h.p."""
         return cls(required_probability(nk, k, delta), seed=seed)
 

@@ -19,7 +19,7 @@ substrate the Count Sketch tracker uses.
 
 from __future__ import annotations
 
-from typing import Hashable
+from collections.abc import Hashable
 
 from repro.core.heap import IndexedMinHeap
 
@@ -31,7 +31,7 @@ class SpaceSaving:
         capacity: the number of (item, count, error) entries.
     """
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
         self._capacity = capacity

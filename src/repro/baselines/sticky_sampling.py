@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Hashable
+from collections.abc import Hashable
 
 from repro.hashing.family import seeded_rng
 
@@ -41,7 +41,7 @@ class StickySampling:
         epsilon: float | None = None,
         delta: float = 0.01,
         seed: int = 0,
-    ):
+    ) -> None:
         if not 0 < support < 1:
             raise ValueError("support must be in (0, 1)")
         if epsilon is None:

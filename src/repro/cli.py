@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from collections.abc import Callable, Sequence
 
 from repro.core.maxchange import MaxChangeFinder
 from repro.core.countsketch import CountSketch
@@ -45,7 +45,12 @@ from repro.observability import (
     write_json,
     write_prometheus,
 )
-from repro.parallel import DEFAULT_CHUNK_SIZE, parallel_sketch, parallel_topk
+from repro.parallel import (
+    DEFAULT_CHUNK_SIZE,
+    IngestSummary,
+    parallel_sketch,
+    parallel_topk,
+)
 from repro.streams.io import TextStreamReader
 
 EXPERIMENTS = (
@@ -111,7 +116,9 @@ def _add_metrics_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _run_with_metrics(args: argparse.Namespace, command) -> int:
+def _run_with_metrics(
+    args: argparse.Namespace, command: Callable[[argparse.Namespace], int]
+) -> int:
     """Run ``command(args)``, exporting metrics when ``--metrics-out`` asks.
 
     The collecting registry is installed *before* the command builds its
@@ -148,7 +155,7 @@ def _load(path: str, int_keys: bool) -> TextStreamReader:
     return TextStreamReader(path, as_int=int_keys)
 
 
-def _print_ingest_summary(summary) -> None:
+def _print_ingest_summary(summary: IngestSummary) -> None:
     print(
         f"ingest: {summary.n_workers} workers ({summary.executor}), "
         f"{summary.n_shards} shards of <= {summary.chunk_size} items, "

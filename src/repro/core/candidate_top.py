@@ -14,7 +14,7 @@ candidates can be computed exactly and the true top ``k`` identified —
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable
+from collections.abc import Hashable, Iterable
 
 from repro.core.countsketch import CountSketch
 from repro.core.topk import TopKTracker
@@ -59,7 +59,7 @@ class CandidateTopTracker:
         depth: int | None = None,
         width: int | None = None,
         seed: int = 0,
-    ):
+    ) -> None:
         if k < 1:
             raise ValueError("k must be at least 1")
         if l is None:

@@ -28,7 +28,8 @@ from __future__ import annotations
 import itertools
 import math
 import statistics
-from typing import Hashable, Iterable, Mapping, Sequence
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -37,7 +38,7 @@ from repro.hashing.encode import encode_key
 from repro.hashing.family import HashFunction
 from repro.hashing.mersenne import KWiseFamily, PolynomialHash
 from repro.hashing.sign import SignHash, SignHashFamily
-from repro.observability.registry import get_registry
+from repro.observability.registry import MetricsRegistry, get_registry
 
 #: Maximum number of items kept in the per-sketch hash-position cache.  The
 #: cache trades memory for speed on streams with repeated items (every
@@ -64,7 +65,7 @@ class _SketchMetrics:
         "cache_evictions",
     )
 
-    def __init__(self, registry):
+    def __init__(self, registry: MetricsRegistry) -> None:
         self.updates = registry.counter("countsketch_updates_total")
         self.estimates = registry.counter("countsketch_estimates_total")
         self.cache_hits = registry.counter(
@@ -114,7 +115,7 @@ class CountSketch:
         seed: int = 0,
         bucket_hashes: Sequence[HashFunction] | None = None,
         sign_hashes: Sequence[HashFunction] | None = None,
-    ):
+    ) -> None:
         if depth < 1:
             raise ValueError("depth must be at least 1")
         if width < 1:
@@ -306,7 +307,7 @@ class CountSketch:
         row_sums = (self._counters.astype(np.float64) ** 2).sum(axis=1)
         return float(np.median(row_sums))
 
-    def inner_product(self, other: "CountSketch") -> float:
+    def inner_product(self, other: CountSketch) -> float:
         """Estimate ``Σ_q n_q(self) · n_q(other)`` from two sketches.
 
         Requires compatible sketches (shared hash functions).
@@ -318,9 +319,9 @@ class CountSketch:
         ).sum(axis=1)
         return float(np.median(row_dots))
 
-    # -- sketch arithmetic (§3.2: "we can add and subtract them") -----------
+    # -- sketch arithmetic (§3.2: we can add and subtract them) -----------
 
-    def compatible_with(self, other: "CountSketch") -> bool:
+    def compatible_with(self, other: CountSketch) -> bool:
         """True if the sketches share shape *and* hash functions."""
         return (
             isinstance(other, CountSketch)
@@ -330,7 +331,7 @@ class CountSketch:
             and self._sign_hashes == other._sign_hashes
         )
 
-    def _require_compatible(self, other: "CountSketch") -> None:
+    def _require_compatible(self, other: CountSketch) -> None:
         if not isinstance(other, CountSketch):
             raise TypeError(f"expected CountSketch, got {type(other).__name__}")
         if not self.compatible_with(other):
@@ -340,7 +341,7 @@ class CountSketch:
                 "(depth, width, seed))"
             )
 
-    def _with_counters(self, counters: np.ndarray, total: int) -> "CountSketch":
+    def _with_counters(self, counters: np.ndarray, total: int) -> CountSketch:
         clone = CountSketch(
             self._depth,
             self._width,
@@ -352,11 +353,11 @@ class CountSketch:
         clone._total_weight = total
         return clone
 
-    def copy(self) -> "CountSketch":
+    def copy(self) -> CountSketch:
         """Return an independent copy of this sketch."""
         return self._with_counters(self._counters.copy(), self._total_weight)
 
-    def __add__(self, other: "CountSketch") -> "CountSketch":
+    def __add__(self, other: CountSketch) -> CountSketch:
         """Sketch of the concatenation of the two underlying streams."""
         self._require_compatible(other)
         return self._with_counters(
@@ -364,7 +365,7 @@ class CountSketch:
             self._total_weight + other._total_weight,
         )
 
-    def __sub__(self, other: "CountSketch") -> "CountSketch":
+    def __sub__(self, other: CountSketch) -> CountSketch:
         """Sketch of the *difference* of the two frequency vectors.
 
         ``(a - b).estimate(q)`` estimates ``n_q(a) - n_q(b)`` — the quantity
@@ -376,10 +377,10 @@ class CountSketch:
             self._total_weight - other._total_weight,
         )
 
-    def __neg__(self) -> "CountSketch":
+    def __neg__(self) -> CountSketch:
         return self._with_counters(-self._counters, -self._total_weight)
 
-    def scale(self, factor: int) -> "CountSketch":
+    def scale(self, factor: int) -> CountSketch:
         """Return the sketch of the frequency vector scaled by ``factor``.
 
         ``factor`` must be integral: scaling by a fraction would silently
@@ -413,7 +414,7 @@ class CountSketch:
             self._counters * factor, self._total_weight * factor
         )
 
-    def merge(self, other: "CountSketch") -> None:
+    def merge(self, other: CountSketch) -> None:
         """In-place ``+=`` of a compatible sketch (distributed aggregation)."""
         self._require_compatible(other)
         self._counters += other._counters
@@ -435,7 +436,7 @@ class CountSketch:
         """The L2 norm of the counter array (useful as a residual gauge)."""
         return float(math.sqrt(float((self._counters.astype(np.float64) ** 2).sum())))
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, Any]:
         """Serialize to a plain dict (JSON-compatible except the counters).
 
         Only sketches built with the default polynomial families (i.e.
@@ -472,7 +473,7 @@ class CountSketch:
         }
 
     @classmethod
-    def from_state_dict(cls, state: dict) -> "CountSketch":
+    def from_state_dict(cls, state: dict[str, Any]) -> CountSketch:
         """Rebuild a sketch serialized by :meth:`state_dict`."""
         width = state["width"]
         bucket_hashes = [

@@ -21,7 +21,7 @@ the same workloads.
 
 from __future__ import annotations
 
-from typing import Iterable
+from collections.abc import Iterable
 
 import numpy as np
 
@@ -50,7 +50,7 @@ class GroupTestingSketch:
         depth: int = 3,
         width: int = 256,
         seed: int = 0,
-    ):
+    ) -> None:
         if not 1 <= domain_bits <= 62:
             raise ValueError("domain_bits must be in [1, 62]")
         if depth < 1:
@@ -91,7 +91,7 @@ class GroupTestingSketch:
         """Net weight of all updates applied."""
         return self._total_weight
 
-    def _check_item(self, item) -> None:
+    def _check_item(self, item: object) -> None:
         if not isinstance(item, int) or isinstance(item, bool):
             raise TypeError("group-testing sketches require integer items")
         if not 0 <= item < self.domain_size:
@@ -185,7 +185,7 @@ class GroupTestingSketch:
 
     # -- linearity -------------------------------------------------------------
 
-    def compatible_with(self, other: "GroupTestingSketch") -> bool:
+    def compatible_with(self, other: GroupTestingSketch) -> bool:
         """True iff arithmetic with ``other`` is meaningful."""
         return (
             isinstance(other, GroupTestingSketch)
@@ -195,7 +195,7 @@ class GroupTestingSketch:
             and self._seed == other._seed
         )
 
-    def __sub__(self, other: "GroupTestingSketch") -> "GroupTestingSketch":
+    def __sub__(self, other: GroupTestingSketch) -> GroupTestingSketch:
         """The sketch of the difference of the two frequency vectors."""
         if not isinstance(other, GroupTestingSketch):
             raise TypeError(

@@ -13,7 +13,7 @@ medians); ties are broken arbitrarily but deterministically by heap order.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterator
+from collections.abc import Hashable, Iterator
 
 
 class IndexedMinHeap:
@@ -32,7 +32,7 @@ class IndexedMinHeap:
 
     def __iter__(self) -> Iterator[tuple[Hashable, float]]:
         """Iterate over (item, priority) pairs in arbitrary (heap) order."""
-        return iter(zip(self._items, self._priorities))
+        return iter(zip(self._items, self._priorities, strict=True))
 
     def priority(self, item: Hashable) -> float:
         """Return the current priority of ``item``.
@@ -116,7 +116,7 @@ class IndexedMinHeap:
     def as_sorted_list(self) -> list[tuple[Hashable, float]]:
         """Return all (item, priority) pairs sorted by priority descending."""
         return sorted(
-            zip(self._items, self._priorities),
+            zip(self._items, self._priorities, strict=True),
             key=lambda pair: pair[1],
             reverse=True,
         )

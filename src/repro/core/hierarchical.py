@@ -24,7 +24,7 @@ the trade against the two-pass algorithm.
 
 from __future__ import annotations
 
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.core.countsketch import CountSketch
 
@@ -47,7 +47,7 @@ class HierarchicalCountSketch:
         depth: int = 5,
         width: int = 512,
         seed: int = 0,
-    ):
+    ) -> None:
         if not 1 <= domain_bits <= 62:
             raise ValueError("domain_bits must be in [1, 62]")
         self._domain_bits = domain_bits
@@ -187,7 +187,7 @@ class HierarchicalCountSketch:
 
     # -- linearity -------------------------------------------------------------
 
-    def compatible_with(self, other: "HierarchicalCountSketch") -> bool:
+    def compatible_with(self, other: HierarchicalCountSketch) -> bool:
         """True iff hierarchy arithmetic with ``other`` is meaningful."""
         return (
             isinstance(other, HierarchicalCountSketch)
@@ -197,7 +197,7 @@ class HierarchicalCountSketch:
             and self._seed == other._seed
         )
 
-    def _require_compatible(self, other: "HierarchicalCountSketch") -> None:
+    def _require_compatible(self, other: HierarchicalCountSketch) -> None:
         if not isinstance(other, HierarchicalCountSketch):
             raise TypeError(
                 f"expected HierarchicalCountSketch, got {type(other).__name__}"
@@ -208,26 +208,28 @@ class HierarchicalCountSketch:
                 "(domain_bits, depth, width, seed)"
             )
 
-    def __sub__(self, other: "HierarchicalCountSketch") -> "HierarchicalCountSketch":
+    def __sub__(self, other: HierarchicalCountSketch) -> HierarchicalCountSketch:
         """The hierarchy of the difference of the two frequency vectors."""
         self._require_compatible(other)
         result = HierarchicalCountSketch(
             self._domain_bits, self._depth, self._width, self._seed
         )
         result._levels = [
-            mine - theirs for mine, theirs in zip(self._levels, other._levels)
+            mine - theirs
+            for mine, theirs in zip(self._levels, other._levels, strict=True)
         ]
         result._total_weight = self._total_weight - other._total_weight
         return result
 
-    def __add__(self, other: "HierarchicalCountSketch") -> "HierarchicalCountSketch":
+    def __add__(self, other: HierarchicalCountSketch) -> HierarchicalCountSketch:
         """The hierarchy of the concatenated streams."""
         self._require_compatible(other)
         result = HierarchicalCountSketch(
             self._domain_bits, self._depth, self._width, self._seed
         )
         result._levels = [
-            mine + theirs for mine, theirs in zip(self._levels, other._levels)
+            mine + theirs
+            for mine, theirs in zip(self._levels, other._levels, strict=True)
         ]
         result._total_weight = self._total_weight + other._total_weight
         return result

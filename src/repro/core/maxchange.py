@@ -24,14 +24,14 @@ n_q(S2)|`` (experiment E7 measures recovery quality).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable
+from collections.abc import Hashable, Iterable
 
 from repro.core.countsketch import CountSketch
 from repro.core.heap import IndexedMinHeap
 from repro.observability.registry import get_registry
 
 
-def _require_reiterable(stream, name: str) -> None:
+def _require_reiterable(stream: Iterable[Hashable], name: str) -> None:
     """Reject one-shot iterators for a two-pass algorithm.
 
     A generator (or any iterator) is exhausted after pass 1, so pass 2
@@ -89,7 +89,7 @@ class MaxChangeFinder:
         depth: int | None = None,
         width: int | None = None,
         seed: int = 0,
-    ):
+    ) -> None:
         if l < 1:
             raise ValueError("l must be at least 1")
         if sketch is None:
@@ -229,8 +229,8 @@ class MaxChangeFinder:
 
 
 def find_max_change(
-    before,
-    after,
+    before: Iterable[Hashable],
+    after: Iterable[Hashable],
     k: int,
     l: int | None = None,
     depth: int = 5,

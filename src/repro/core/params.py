@@ -115,7 +115,7 @@ class SketchParameters:
         n: int,
         delta: float = 0.01,
         depth_constant: float = 1.0,
-    ) -> "SketchParameters":
+    ) -> SketchParameters:
         """Dimension a sketch per Theorem 1 for APPROXTOP(S, k, ε).
 
         Combines Lemma 5's width with Lemma 3's depth; the resulting space

@@ -24,7 +24,7 @@ presumably why the paper left it open.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable
+from collections.abc import Hashable, Iterable
 
 from repro.core.countsketch import CountSketch
 from repro.core.heap import IndexedMinHeap
@@ -70,7 +70,7 @@ class RelativeChangeFinder:
         depth: int = 5,
         width: int = 512,
         seed: int = 0,
-    ):
+    ) -> None:
         if l < 1:
             raise ValueError("l must be at least 1")
         if floor <= 0:

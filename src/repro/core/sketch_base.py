@@ -20,7 +20,8 @@ summary reports both, in those units, rather than Python object sizes.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Protocol, runtime_checkable
+from collections.abc import Hashable, Iterable
+from typing import Protocol, runtime_checkable
 
 
 @runtime_checkable

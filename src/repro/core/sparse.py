@@ -17,13 +17,17 @@ stream's support is small.
 from __future__ import annotations
 
 import statistics
-from typing import Hashable, Iterable, Mapping
+from collections.abc import Hashable, Iterable, Mapping
+from typing import TYPE_CHECKING
 
 from repro.hashing.bucket import BucketHashFamily
 from repro.hashing.encode import encode_key
 from repro.hashing.mersenne import KWiseFamily
 from repro.hashing.sign import SignHashFamily
-from repro.observability.registry import get_registry
+from repro.observability.registry import MetricsRegistry, get_registry
+
+if TYPE_CHECKING:  # runtime import stays local to to_dense (circularity)
+    from repro.core.countsketch import CountSketch
 
 
 class _SparseMetrics:
@@ -31,7 +35,7 @@ class _SparseMetrics:
 
     __slots__ = ("updates", "estimates")
 
-    def __init__(self, registry):
+    def __init__(self, registry: MetricsRegistry) -> None:
         self.updates = registry.counter("sparse_countsketch_updates_total")
         self.estimates = registry.counter(
             "sparse_countsketch_estimates_total"
@@ -48,7 +52,7 @@ class SparseCountSketch:
             equal ``(depth, width, seed)`` means identical estimates.
     """
 
-    def __init__(self, depth: int, width: int, seed: int = 0):
+    def __init__(self, depth: int, width: int, seed: int = 0) -> None:
         if depth < 1:
             raise ValueError("depth must be at least 1")
         if width < 1:
@@ -145,7 +149,7 @@ class SparseCountSketch:
 
     # -- linearity -------------------------------------------------------------
 
-    def compatible_with(self, other: "SparseCountSketch") -> bool:
+    def compatible_with(self, other: SparseCountSketch) -> bool:
         """True iff sketch arithmetic with ``other`` is meaningful."""
         return (
             isinstance(other, SparseCountSketch)
@@ -155,7 +159,7 @@ class SparseCountSketch:
             and self._sign_hashes == other._sign_hashes
         )
 
-    def merge(self, other: "SparseCountSketch") -> None:
+    def merge(self, other: SparseCountSketch) -> None:
         """In-place ``+=`` of a compatible sparse sketch."""
         if not isinstance(other, SparseCountSketch):
             raise TypeError(
@@ -166,7 +170,7 @@ class SparseCountSketch:
                 "sketches are not compatible: build both with the same "
                 "(depth, width, seed)"
             )
-        for mine, theirs in zip(self._rows, other._rows):
+        for mine, theirs in zip(self._rows, other._rows, strict=True):
             for bucket, value in theirs.items():
                 merged = mine.get(bucket, 0) + value
                 if merged:
@@ -175,13 +179,13 @@ class SparseCountSketch:
                     mine.pop(bucket, None)
         self._total_weight += other._total_weight
 
-    def __add__(self, other: "SparseCountSketch") -> "SparseCountSketch":
+    def __add__(self, other: SparseCountSketch) -> SparseCountSketch:
         result = SparseCountSketch(self._depth, self._width, seed=self._seed)
         result.merge(self)
         result.merge(other)
         return result
 
-    def __sub__(self, other: "SparseCountSketch") -> "SparseCountSketch":
+    def __sub__(self, other: SparseCountSketch) -> SparseCountSketch:
         if not isinstance(other, SparseCountSketch):
             raise TypeError(
                 f"expected SparseCountSketch, got {type(other).__name__}"
@@ -201,7 +205,7 @@ class SparseCountSketch:
 
     # -- interop and accounting ---------------------------------------------------
 
-    def to_dense(self):
+    def to_dense(self) -> CountSketch:
         """Materialize as a dense :class:`~repro.core.countsketch.CountSketch`.
 
         The result compares equal to a dense sketch built with the same

@@ -19,11 +19,11 @@ and one counter per heap entry.
 
 from __future__ import annotations
 
-from typing import Hashable
+from collections.abc import Hashable
 
 from repro.core.countsketch import CountSketch
 from repro.core.heap import IndexedMinHeap
-from repro.observability.registry import get_registry
+from repro.observability.registry import MetricsRegistry, get_registry
 
 
 class _TrackerMetrics:
@@ -39,7 +39,7 @@ class _TrackerMetrics:
         "exact_increments",
     )
 
-    def __init__(self, registry):
+    def __init__(self, registry: MetricsRegistry) -> None:
         self.updates = registry.counter("topk_updates_total")
         self.admissions = registry.counter("topk_heap_admissions_total")
         self.evictions = registry.counter("topk_heap_evictions_total")
@@ -74,7 +74,7 @@ class TopKTracker:
         width: int | None = None,
         seed: int = 0,
         exact_heap_counts: bool = True,
-    ):
+    ) -> None:
         if k < 1:
             raise ValueError("k must be at least 1")
         if sketch is None:

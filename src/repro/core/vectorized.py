@@ -16,13 +16,14 @@ mergeable with any vectorized sketch built from the same
 from __future__ import annotations
 
 from collections import Counter
-from typing import Hashable, Iterable, Mapping
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+from typing import Any
 
 import numpy as np
 
 from repro.hashing.encode import encode_key
 from repro.hashing.vectorized import VectorizedRowHashes, encode_keys
-from repro.observability.registry import get_registry
+from repro.observability.registry import MetricsRegistry, get_registry
 
 
 class _VectorizedMetrics:
@@ -34,7 +35,7 @@ class _VectorizedMetrics:
 
     __slots__ = ("update_batches", "update_items", "estimate_items")
 
-    def __init__(self, registry):
+    def __init__(self, registry: MetricsRegistry) -> None:
         self.update_batches = registry.counter(
             "vectorized_countsketch_update_batches_total"
         )
@@ -56,7 +57,7 @@ class VectorizedCountSketch:
             shared hash functions and therefore mergeability.
     """
 
-    def __init__(self, depth: int, width: int, seed: int = 0):
+    def __init__(self, depth: int, width: int, seed: int = 0) -> None:
         self._hashes = VectorizedRowHashes(depth, width, seed)
         self._counters = np.zeros((depth, width), dtype=np.int64)
         self._total_weight = 0
@@ -104,7 +105,11 @@ class VectorizedCountSketch:
 
     # -- batch updates ----------------------------------------------------------
 
-    def update_batch(self, items, weights=None) -> None:
+    def update_batch(
+        self,
+        items: Iterable[Hashable] | np.ndarray,
+        weights: Sequence[int] | np.ndarray | None = None,
+    ) -> None:
         """Apply weighted updates for a whole batch of items at once.
 
         Args:
@@ -141,7 +146,7 @@ class VectorizedCountSketch:
 
     def update_counts(self, counts: Mapping[Hashable, int]) -> None:
         """Apply a pre-aggregated count table as one batch."""
-        items = list(counts.keys())
+        items = list(counts)
         self.update_batch(items, np.asarray(list(counts.values()),
                                             dtype=np.int64))
 
@@ -151,7 +156,9 @@ class VectorizedCountSketch:
 
     # -- estimates ----------------------------------------------------------------
 
-    def estimate_batch(self, items) -> np.ndarray:
+    def estimate_batch(
+        self, items: Iterable[Hashable] | np.ndarray
+    ) -> np.ndarray:
         """Median-of-rows estimates for a whole batch of items."""
         if isinstance(items, np.ndarray) and items.dtype == np.uint64:
             keys = items
@@ -181,13 +188,13 @@ class VectorizedCountSketch:
 
     # -- linearity -------------------------------------------------------------------
 
-    def compatible_with(self, other: "VectorizedCountSketch") -> bool:
+    def compatible_with(self, other: VectorizedCountSketch) -> bool:
         """True iff sketch arithmetic with ``other`` is meaningful."""
         return isinstance(
             other, VectorizedCountSketch
         ) and self._hashes.same_functions(other._hashes)
 
-    def _require_compatible(self, other: "VectorizedCountSketch") -> None:
+    def _require_compatible(self, other: VectorizedCountSketch) -> None:
         if not isinstance(other, VectorizedCountSketch):
             raise TypeError(
                 f"expected VectorizedCountSketch, got {type(other).__name__}"
@@ -199,31 +206,31 @@ class VectorizedCountSketch:
             )
 
     def _with_counters(self, counters: np.ndarray,
-                       total: int) -> "VectorizedCountSketch":
+                       total: int) -> VectorizedCountSketch:
         clone = VectorizedCountSketch(self.depth, self.width, seed=self.seed)
         clone._counters = counters
         clone._total_weight = total
         return clone
 
-    def copy(self) -> "VectorizedCountSketch":
+    def copy(self) -> VectorizedCountSketch:
         """Return an independent copy."""
         return self._with_counters(self._counters.copy(), self._total_weight)
 
-    def __add__(self, other: "VectorizedCountSketch") -> "VectorizedCountSketch":
+    def __add__(self, other: VectorizedCountSketch) -> VectorizedCountSketch:
         self._require_compatible(other)
         return self._with_counters(
             self._counters + other._counters,
             self._total_weight + other._total_weight,
         )
 
-    def __sub__(self, other: "VectorizedCountSketch") -> "VectorizedCountSketch":
+    def __sub__(self, other: VectorizedCountSketch) -> VectorizedCountSketch:
         self._require_compatible(other)
         return self._with_counters(
             self._counters - other._counters,
             self._total_weight - other._total_weight,
         )
 
-    def merge(self, other: "VectorizedCountSketch") -> None:
+    def merge(self, other: VectorizedCountSketch) -> None:
         """In-place ``+=`` of a compatible sketch."""
         self._require_compatible(other)
         self._counters += other._counters
@@ -241,7 +248,7 @@ class VectorizedCountSketch:
 
     # -- serialization -------------------------------------------------------
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, Any]:
         """Serialize to a plain dict (JSON-compatible).
 
         The hash functions are fully determined by ``seed``, so only the
@@ -257,7 +264,7 @@ class VectorizedCountSketch:
         }
 
     @classmethod
-    def from_state_dict(cls, state: dict) -> "VectorizedCountSketch":
+    def from_state_dict(cls, state: dict[str, Any]) -> VectorizedCountSketch:
         """Rebuild a sketch serialized by :meth:`state_dict`."""
         sketch = cls(state["depth"], state["width"], seed=state["seed"])
         counters = np.asarray(state["counters"], dtype=np.int64)

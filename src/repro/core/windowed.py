@@ -17,7 +17,7 @@ closes that loop.
 
 from __future__ import annotations
 
-from typing import Hashable
+from collections.abc import Hashable
 
 from repro.core.countsketch import CountSketch
 from repro.observability.registry import get_registry
@@ -43,7 +43,7 @@ class JumpingWindowSketch:
         depth: int = 5,
         width: int = 256,
         seed: int = 0,
-    ):
+    ) -> None:
         if window < 1:
             raise ValueError("window must be positive")
         if not 1 <= buckets <= window:

@@ -1,0 +1,36 @@
+"""Developer tooling: repo-specific static analysis.
+
+The paper's guarantees (Lemmas 1-5) rest on invariants the runtime cannot
+check: sketches may only be merged when they share hash functions (§3.2
+linearity), counters must stay integral, and experiments must be
+reproducible.  :mod:`repro.devtools.lint` encodes those invariants as an
+AST lint suite (rules ``RS001``-``RS005``) that CI runs over ``src`` and
+``tests``::
+
+    python -m repro.devtools.lint src tests
+
+See ``docs/devtools.md`` for the rule catalogue, bad/good examples, and
+the ``# repro: noqa-RSxxx`` suppression syntax.
+"""
+
+from typing import Any
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "lint_paths",
+    "lint_source",
+]
+
+
+def __getattr__(name: str) -> Any:
+    # Lazy re-export: importing the package eagerly from inside
+    # ``python -m repro.devtools.lint`` would shadow the module runpy is
+    # about to execute (the "found in sys.modules" RuntimeWarning).
+    if name in __all__:
+        from repro.devtools import lint
+
+        return getattr(lint, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,738 @@
+"""Custom AST lint suite enforcing the repo's stream-sketch invariants.
+
+The rules encode conventions that keep the paper's guarantees true but
+that no general-purpose linter knows about:
+
+* **RS001 unseeded-rng** — module-level ``random`` / ``np.random`` calls
+  outside test code.  Experiments must thread an explicit seeded
+  generator (``random.Random(seed)`` / ``np.random.default_rng(seed)``)
+  or reproducibility is silently lost.
+* **RS002 counter-mutation** — direct mutation of a sketch's counter /
+  state arrays (``_counters``, ``_rows``, ``_table``, ``_total_weight``,
+  or the public read-only views) on another object outside
+  ``repro.core``.  Counters are int64 by invariant and only the core
+  update paths may touch them.
+* **RS003 metrics-lookup** — metrics-registry lookups (``.counter()`` /
+  ``.gauge()`` / ``.histogram()`` / ``.timed()``) outside ``__init__`` /
+  construction paths.  The PR-2 convention captures handles once at
+  construction time so disabled metrics cost one attribute load per
+  event; a lookup on a hot path defeats that.
+* **RS004 unchecked-merge** — sketch state read or combined without the
+  compatibility-checked API (reaching for another sketch's private
+  ``_counters`` / calling ``_with_counters``) outside ``repro.core``.
+  ``merge()`` / ``+`` / ``-`` enforce the §3.2 shared-hash check; raw
+  array arithmetic merges incompatible sketches silently.
+* **RS005 float-count** — float literals flowing into integer count
+  parameters (``update(item, 1.5)``, ``count=2.0``, ``scale(0.5)``).
+  A float count silently promotes the int64 counter array and breaks
+  serialization and exact-merge equality.
+
+Suppress a finding by appending ``# repro: noqa-RS001`` (comma-separate
+several codes: ``# repro: noqa-RS002,RS004``; bare ``# repro: noqa``
+suppresses every rule) on the finding's first line.
+
+Run as a module for the CI gate::
+
+    python -m repro.devtools.lint src tests
+    python -m repro.devtools.lint --format json src tests
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "lint_paths",
+    "lint_source",
+    "main",
+]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: a stable code, a slug, and a one-line fix hint."""
+
+    code: str
+    name: str
+    summary: str
+    hint: str
+
+
+RULES: tuple[Rule, ...] = (
+    Rule(
+        "RS001",
+        "unseeded-rng",
+        "module-level random/np.random call outside test code",
+        "thread an explicit seeded generator: random.Random(seed) / "
+        "np.random.default_rng(seed)",
+    ),
+    Rule(
+        "RS002",
+        "counter-mutation",
+        "direct mutation of a sketch's counter/state arrays outside "
+        "repro.core",
+        "go through the public update()/merge()/scale()/state_dict() API; "
+        "only repro.core may touch counter arrays",
+    ),
+    Rule(
+        "RS003",
+        "metrics-lookup",
+        "metrics-registry lookup outside __init__/construction paths",
+        "capture the handle once at construction time and reuse it "
+        "(the PR-2 handle-capture convention)",
+    ),
+    Rule(
+        "RS004",
+        "unchecked-merge",
+        "sketch state accessed/combined without the compatibility-checked "
+        "API",
+        "use merge()/+/-/copy()/counters, which enforce the §3.2 "
+        "shared-hash compatibility check",
+    ),
+    Rule(
+        "RS005",
+        "float-count",
+        "float literal flowing into an integer count parameter",
+        "counts are integers (the int64 counter invariant); pass an int",
+    ),
+)
+
+RULES_BY_CODE: dict[str, Rule] = {rule.code: rule for rule in RULES}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    @property
+    def rule(self) -> Rule:
+        """The rule this finding violates."""
+        return RULES_BY_CODE[self.code]
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-compatible representation (used by ``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "rule": self.rule.name,
+            "message": self.message,
+            "hint": self.rule.hint,
+        }
+
+    def format_human(self) -> str:
+        """The one-line human rendering used by the default output."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.code} "
+            f"{self.message} (fix: {self.rule.hint})"
+        )
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """The outcome of linting a set of paths."""
+
+    findings: tuple[Finding, ...]
+    files_checked: int
+    suppressed: int
+
+    @property
+    def ok(self) -> bool:
+        """True when no unsuppressed finding remains."""
+        return not self.findings
+
+
+# -- noqa suppression --------------------------------------------------------
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?P<codes>(?:-\s*RS\d{3})(?:\s*,\s*RS\d{3})*)?"
+)
+
+
+def _noqa_map(source: str) -> dict[int, frozenset[str] | None]:
+    """Map line numbers to suppressed rule codes (``None`` = every rule)."""
+    suppressions: dict[int, frozenset[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            suppressions[lineno] = None
+        else:
+            suppressions[lineno] = frozenset(re.findall(r"RS\d{3}", codes))
+    return suppressions
+
+
+def _is_suppressed(
+    finding: Finding, suppressions: dict[int, frozenset[str] | None]
+) -> bool:
+    codes = suppressions.get(finding.line, frozenset())
+    return codes is None or finding.code in codes
+
+
+# -- the checker -------------------------------------------------------------
+
+#: Sketch state attributes whose *mutation* outside repro.core is RS002.
+_STATE_ATTRS = frozenset(
+    {"_counters", "_rows", "_table", "_total_weight", "counters", "table"}
+)
+
+#: Private state attributes whose *read* outside repro.core is RS004.
+_PRIVATE_STATE_ATTRS = frozenset(
+    {"_counters", "_rows", "_table", "_total_weight"}
+)
+
+#: Registry lookup method names (RS003).
+_REGISTRY_LOOKUPS = frozenset({"counter", "gauge", "histogram", "timed"})
+
+#: Function names that count as construction paths for RS003.
+_CONSTRUCTION_FUNCS = frozenset({"__init__", "__new__", "__post_init__"})
+
+#: Implementations of the compatibility-checked arithmetic protocol: these
+#: method bodies ARE the checked API, so their raw state reads are exempt
+#: from RS004 (each is expected to validate compatibility itself).
+_ARITHMETIC_IMPLS = frozenset(
+    {
+        "merge",
+        "__add__",
+        "__sub__",
+        "__iadd__",
+        "__isub__",
+        "__neg__",
+        "inner_product",
+        "compatible_with",
+        "_require_compatible",
+    }
+)
+
+#: ``random`` module attributes that construct a generator: fine when
+#: called *with* a seed argument, RS001 when called bare.
+_RANDOM_CONSTRUCTORS = frozenset({"Random"})
+
+#: ``np.random`` attributes that construct a generator (same seeding rule).
+_NP_RANDOM_CONSTRUCTORS = frozenset(
+    {
+        "default_rng",
+        "RandomState",
+        "Generator",
+        "SeedSequence",
+        "PCG64",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: Method name -> positional index of its count parameter (RS005).
+_COUNT_POSITIONS = {
+    "update": 1,
+    "observe_before": 1,
+    "observe_after": 1,
+    "second_pass_before": 1,
+    "second_pass_after": 1,
+    "scale": 0,
+}
+
+#: Keyword names that carry integer counts (RS005).
+_COUNT_KEYWORDS = frozenset({"count"})
+
+
+def _is_test_path(path: Path) -> bool:
+    """True for files where test-only relaxations (RS001/RS003) apply."""
+    if any(part in ("tests", "test") for part in path.parts):
+        return True
+    name = path.name
+    return name.startswith(("test_", "conftest"))
+
+
+def _in_package(path: Path, *suffix: str) -> bool:
+    """True when ``path`` lies under the ``repro/<suffix...>`` package."""
+    parts = path.parts
+    needle = ("repro", *suffix)
+    for start in range(len(parts) - len(needle)):
+        if parts[start : start + len(needle)] == needle:
+            return True
+    return False
+
+
+def _float_literal(node: ast.expr) -> bool:
+    """True for a float constant, possibly behind a unary ``+``/``-``."""
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+class _Checker(ast.NodeVisitor):
+    """Single-pass visitor applying every RS rule to one module."""
+
+    def __init__(self, path: Path, display_path: str) -> None:
+        self._display_path = display_path
+        self._is_test = _is_test_path(path)
+        self._in_core = _in_package(path, "core")
+        self._in_observability = _in_package(path, "observability")
+        self._func_stack: list[str] = []
+        self._in_decorator = 0
+        self.findings: list[Finding] = []
+        # Import-derived name tables (module- or function-scoped alike).
+        self._random_aliases: set[str] = set()
+        self._numpy_aliases: set[str] = set()
+        self._np_random_aliases: set[str] = set()
+        self._from_random: dict[str, str] = {}
+        self._from_np_random: dict[str, str] = {}
+        self._observability_timed: set[str] = set()
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def _report(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self._display_path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                code=code,
+                message=message,
+            )
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "random":
+                self._random_aliases.add(bound)
+            elif alias.name == "numpy":
+                self._numpy_aliases.add(bound)
+            elif alias.name == "numpy.random":
+                if alias.asname is not None:
+                    self._np_random_aliases.add(alias.asname)
+                else:
+                    self._numpy_aliases.add("numpy")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        for alias in node.names:
+            bound = alias.asname or alias.name
+            if module == "random":
+                self._from_random[bound] = alias.name
+            elif module == "numpy.random":
+                self._from_np_random[bound] = alias.name
+            elif module == "numpy" and alias.name == "random":
+                self._np_random_aliases.add(bound)
+            elif module.startswith("repro.observability") and (
+                alias.name == "timed"
+            ):
+                self._observability_timed.add(bound)
+        self.generic_visit(node)
+
+    def _visit_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        self._in_decorator += 1
+        for decorator in node.decorator_list:
+            self.visit(decorator)
+        self._in_decorator -= 1
+        self._func_stack.append(node.name)
+        for child in ast.iter_child_nodes(node):
+            if child in node.decorator_list:
+                continue
+            self.visit(child)
+        self._func_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    # -- RS001: unseeded RNG ------------------------------------------------
+
+    def _rng_target(self, func: ast.expr) -> tuple[str, str] | None:
+        """Resolve a call target to ``(module, attr)`` for RNG checking."""
+        if isinstance(func, ast.Attribute):
+            value = func.value
+            if isinstance(value, ast.Name):
+                if value.id in self._random_aliases:
+                    return ("random", func.attr)
+                if value.id in self._np_random_aliases:
+                    return ("np.random", func.attr)
+            if (
+                isinstance(value, ast.Attribute)
+                and value.attr == "random"
+                and isinstance(value.value, ast.Name)
+                and value.value.id in self._numpy_aliases
+            ):
+                return ("np.random", func.attr)
+        elif isinstance(func, ast.Name):
+            if func.id in self._from_random:
+                return ("random", self._from_random[func.id])
+            if func.id in self._from_np_random:
+                return ("np.random", self._from_np_random[func.id])
+        return None
+
+    def _check_rs001(self, node: ast.Call) -> None:
+        if self._is_test:
+            return
+        target = self._rng_target(node.func)
+        if target is None:
+            return
+        module, attr = target
+        constructors = (
+            _RANDOM_CONSTRUCTORS
+            if module == "random"
+            else _NP_RANDOM_CONSTRUCTORS
+        )
+        if attr in constructors:
+            if node.args or node.keywords:
+                return  # explicitly seeded constructor
+            self._report(
+                node,
+                "RS001",
+                f"`{module}.{attr}()` built without a seed",
+            )
+            return
+        self._report(
+            node,
+            "RS001",
+            f"module-level `{module}.{attr}(...)` uses hidden global RNG "
+            "state",
+        )
+
+    # -- RS002 / RS004: counter state access --------------------------------
+
+    @staticmethod
+    def _state_attribute(node: ast.expr) -> ast.Attribute | None:
+        """Unwrap ``obj.attr`` or ``obj.attr[...]`` to the Attribute node."""
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, ast.Attribute):
+            return node
+        return None
+
+    @staticmethod
+    def _base_is_self(attribute: ast.Attribute) -> bool:
+        return (
+            isinstance(attribute.value, ast.Name)
+            and attribute.value.id in ("self", "cls")
+        )
+
+    def _check_state_mutation(self, target: ast.expr) -> None:
+        if self._in_core:
+            return
+        attribute = self._state_attribute(target)
+        if attribute is None or attribute.attr not in _STATE_ATTRS:
+            return
+        if self._base_is_self(attribute):
+            return
+        base = ast.unparse(attribute.value)
+        self._report(
+            attribute,
+            "RS002",
+            f"direct mutation of `{base}.{attribute.attr}` outside "
+            "repro.core",
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_state_mutation(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_state_mutation(node.target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_state_mutation(node.target)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_state_mutation(target)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            not self._in_core
+            and isinstance(node.ctx, ast.Load)
+            and node.attr in _PRIVATE_STATE_ATTRS
+            and not self._base_is_self(node)
+            and not (
+                self._func_stack
+                and self._func_stack[-1] in _ARITHMETIC_IMPLS
+            )
+        ):
+            base = ast.unparse(node.value)
+            self._report(
+                node,
+                "RS004",
+                f"read of private sketch state `{base}.{node.attr}` "
+                "bypasses the compatibility-checked API",
+            )
+        self.generic_visit(node)
+
+    # -- RS003: metrics lookups ---------------------------------------------
+
+    def _in_construction_path(self) -> bool:
+        if self._in_decorator:
+            return True
+        if not self._func_stack:
+            return True  # module level runs once, at import time
+        return any(name in _CONSTRUCTION_FUNCS for name in self._func_stack)
+
+    def _check_rs003(self, node: ast.Call) -> None:
+        if self._is_test or self._in_observability:
+            return
+        if self._in_construction_path():
+            return
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _REGISTRY_LOOKUPS:
+            base = ast.unparse(func.value)
+            self._report(
+                node,
+                "RS003",
+                f"metrics-registry lookup `{base}.{func.attr}(...)` outside "
+                "a construction path",
+            )
+        elif (
+            isinstance(func, ast.Name)
+            and func.id in self._observability_timed
+        ):
+            self._report(
+                node,
+                "RS003",
+                f"metrics-registry lookup `{func.id}(...)` outside a "
+                "construction path",
+            )
+
+    # -- RS004: unchecked merge helpers -------------------------------------
+
+    def _check_rs004_call(self, node: ast.Call) -> None:
+        if self._in_core:
+            return
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "_with_counters":
+            base = ast.unparse(func.value)
+            self._report(
+                node,
+                "RS004",
+                f"`{base}._with_counters(...)` builds a sketch without the "
+                "compatibility check",
+            )
+
+    # -- RS005: float counts ------------------------------------------------
+
+    def _check_rs005(self, node: ast.Call) -> None:
+        for keyword in node.keywords:
+            if (
+                keyword.arg in _COUNT_KEYWORDS
+                and keyword.value is not None
+                and _float_literal(keyword.value)
+            ):
+                self._report(
+                    keyword.value,
+                    "RS005",
+                    f"float literal passed as `{keyword.arg}=`",
+                )
+        func = node.func
+        name = None
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+        position = _COUNT_POSITIONS.get(name or "")
+        if position is None or len(node.args) <= position:
+            return
+        argument = node.args[position]
+        if _float_literal(argument):
+            self._report(
+                argument,
+                "RS005",
+                f"float literal passed as the count argument of "
+                f"`{name}(...)`",
+            )
+
+    # -- dispatch ------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_rs001(node)
+        self._check_rs003(node)
+        self._check_rs004_call(node)
+        self._check_rs005(node)
+        self.generic_visit(node)
+
+
+# -- running -----------------------------------------------------------------
+
+
+def lint_source(
+    source: str, path: str | Path = "<string>"
+) -> list[Finding]:
+    """Lint one module's source text; returns unsuppressed findings.
+
+    Raises:
+        SyntaxError: when ``source`` does not parse.
+    """
+    path = Path(path)
+    tree = ast.parse(source, filename=str(path))
+    checker = _Checker(path, str(path))
+    checker.visit(tree)
+    suppressions = _noqa_map(source)
+    return [
+        finding
+        for finding in checker.findings
+        if not _is_suppressed(finding, suppressions)
+    ]
+
+
+def _count_suppressed(source: str, path: Path) -> int:
+    tree = ast.parse(source, filename=str(path))
+    checker = _Checker(path, str(path))
+    checker.visit(tree)
+    suppressions = _noqa_map(source)
+    return sum(
+        1
+        for finding in checker.findings
+        if _is_suppressed(finding, suppressions)
+    )
+
+
+def _iter_python_files(
+    paths: Sequence[str | Path], include_fixtures: bool
+) -> Iterator[Path]:
+    seen: set[Path] = set()
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            candidates = [root]
+        else:
+            candidates = sorted(root.rglob("*.py"))
+        for candidate in candidates:
+            if candidate in seen:
+                continue
+            parts = candidate.parts
+            if "__pycache__" in parts:
+                continue
+            if not include_fixtures and candidate != root and (
+                "fixtures" in parts
+            ):
+                continue
+            seen.add(candidate)
+            yield candidate
+
+
+def lint_paths(
+    paths: Sequence[str | Path], include_fixtures: bool = False
+) -> LintResult:
+    """Lint every ``.py`` file under ``paths`` (files or directories).
+
+    Directory walks skip ``__pycache__`` and (unless ``include_fixtures``)
+    any ``fixtures`` directory — lint fixtures are data, not code.
+    Explicit file arguments are always linted.
+    """
+    findings: list[Finding] = []
+    files = 0
+    suppressed = 0
+    for path in _iter_python_files(paths, include_fixtures):
+        source = path.read_text(encoding="utf-8")
+        files += 1
+        findings.extend(lint_source(source, path))
+        suppressed += _count_suppressed(source, path)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return LintResult(
+        findings=tuple(findings), files_checked=files, suppressed=suppressed
+    )
+
+
+def _format_rules() -> str:
+    lines = []
+    for rule in RULES:
+        lines.append(f"{rule.code} [{rule.name}] {rule.summary}")
+        lines.append(f"    fix: {rule.hint}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code (0 clean, 1 findings)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="repo-specific AST lint suite (rules RS001-RS005)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--include-fixtures", action="store_true",
+        help="also lint files under fixtures/ directories",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_format_rules())
+        return 0
+
+    try:
+        result = lint_paths(args.paths, include_fixtures=args.include_fixtures)
+    except SyntaxError as error:
+        print(f"repro-lint: syntax error: {error}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "version": 1,
+                    "files_checked": result.files_checked,
+                    "suppressed": result.suppressed,
+                    "findings": [f.to_dict() for f in result.findings],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in result.findings:
+            print(finding.format_human())
+        print(
+            f"repro-lint: {len(result.findings)} finding(s), "
+            f"{result.suppressed} suppressed, "
+            f"{result.files_checked} file(s) checked",
+            file=sys.stderr,
+        )
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like grep.
+        sys.exit(141)

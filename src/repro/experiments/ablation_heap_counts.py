@@ -11,6 +11,8 @@ ranking and sharpens the reported counts at zero extra space.
 
 from __future__ import annotations
 
+from collections.abc import Hashable, Sequence
+
 from dataclasses import dataclass
 
 from repro.analysis.ground_truth import StreamStatistics
@@ -49,7 +51,8 @@ class HeapAblationRow:
     mean_relative_count_error: float
 
 
-def _evaluate(exact: bool, stream, stats: StreamStatistics,
+def _evaluate(exact: bool, stream: Sequence[Hashable],
+              stats: StreamStatistics,
               config: HeapAblationConfig) -> HeapAblationRow:
     truth = stats.top_k_items(config.k)
     recalls = []

@@ -18,6 +18,8 @@ sweeping the width ``b``:
 
 from __future__ import annotations
 
+from collections.abc import Hashable
+
 from dataclasses import dataclass
 
 import numpy as np
@@ -60,7 +62,7 @@ class ErrorVsBRow:
 
 
 def _query_items(stats: StreamStatistics, config: ErrorVsBConfig,
-                 rng: np.random.Generator) -> list:
+                 rng: np.random.Generator) -> list[Hashable]:
     """Top ranks plus a random slice of the tail — the items estimated."""
     top = [item for item, __ in stats.top_k(config.query_top_ranks)]
     all_items = [item for item, __ in stats.top_k(stats.m)]

@@ -15,7 +15,7 @@ Three tools cover what the experiments need:
 from __future__ import annotations
 
 import math
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 
 def geometric_grid(lo: int, hi: int, factor: float = 2.0) -> list[int]:
@@ -97,7 +97,7 @@ def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> float:
     mean_x = sum(log_x) / len(log_x)
     mean_y = sum(log_y) / len(log_y)
     numerator = sum(
-        (lx - mean_x) * (ly - mean_y) for lx, ly in zip(log_x, log_y)
+        (lx - mean_x) * (ly - mean_y) for lx, ly in zip(log_x, log_y, strict=True)
     )
     denominator = sum((lx - mean_x) ** 2 for lx in log_x)
     if denominator == 0:

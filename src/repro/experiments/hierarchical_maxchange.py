@@ -20,6 +20,8 @@ change) and reported alongside.
 
 from __future__ import annotations
 
+from collections.abc import Hashable
+
 from dataclasses import dataclass
 
 from repro.analysis.metrics import recall_at_k
@@ -71,7 +73,7 @@ def run(
     top_items = {item for item, __ in top}
     threshold = abs(top[-1][1]) * config.threshold_fraction
 
-    def change_error(estimates: dict) -> float:
+    def change_error(estimates: dict[Hashable, float]) -> float:
         return sum(
             abs(estimates.get(item, 0.0) - truth[item]) for item in top_items
         ) / len(top_items)

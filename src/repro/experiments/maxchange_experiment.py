@@ -19,6 +19,8 @@ per-stream estimates whose errors scale with the (large) stream norms.
 
 from __future__ import annotations
 
+from collections.abc import Hashable
+
 from dataclasses import dataclass
 
 from repro.analysis.metrics import recall_at_k
@@ -79,7 +81,11 @@ def _run_finder(
     return finder
 
 
-def _change_error(estimates: dict, truth: dict, top_items: set) -> float:
+def _change_error(
+    estimates: dict[Hashable, float],
+    truth: dict[Hashable, int],
+    top_items: set[Hashable],
+) -> float:
     """Mean |estimated change − true change| over the true top changes.
 
     Items the method failed to estimate at all count with their full
@@ -92,7 +98,9 @@ def _change_error(estimates: dict, truth: dict, top_items: set) -> float:
     return sum(errors) / len(errors)
 
 
-def _baseline(pair: DriftPair, config: MaxChangeConfig):
+def _baseline(
+    pair: DriftPair, config: MaxChangeConfig
+) -> dict[Hashable, float]:
     """Difference of two per-stream SpaceSaving summaries."""
     before = SpaceSaving(config.baseline_capacity)
     after = SpaceSaving(config.baseline_capacity)

@@ -51,10 +51,12 @@ class FloorSweepRow:
     sleeper_rank: int | None  # 1-based rank in the report, None if absent
 
 
-def _build_streams(config: FloorSweepConfig):
+def _build_streams(
+    config: FloorSweepConfig,
+) -> tuple[list[str], list[str]]:
     rng = np.random.default_rng(config.seed)
-    before: list = []
-    after: list = []
+    before: list[str] = []
+    after: list[str] = []
     # Stable background mass.
     for index in range(config.background_items):
         item = f"bg-{index}"
@@ -73,7 +75,7 @@ def _build_streams(config: FloorSweepConfig):
     return before, after
 
 
-def _kind(item) -> str:
+def _kind(item: str) -> str:
     if item == "sleeper":
         return "sleeper"
     if item == "heavy":

@@ -7,10 +7,10 @@ configuration, with numbers formatted compactly.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 
-def format_value(value) -> str:
+def format_value(value: object) -> str:
     """Render one cell: compact floats, plain ints, str pass-through."""
     if isinstance(value, bool):
         return "yes" if value else "no"

@@ -25,6 +25,8 @@ target — see EXPERIMENTS.md).
 
 from __future__ import annotations
 
+from collections.abc import Hashable, Sequence
+
 import math
 from dataclasses import dataclass
 
@@ -76,7 +78,7 @@ class Table1Row:
 
 
 def _measure_sampling(
-    stream, stats: StreamStatistics, config: Table1Config
+    stream: Sequence[Hashable], stats: StreamStatistics, config: Table1Config
 ) -> tuple[int, int, bool]:
     """(distinct sampled items, candidate-list length, top-k captured)."""
     nk = stats.nk(config.k)
@@ -91,7 +93,7 @@ def _measure_sampling(
 
 
 def _measure_kps(
-    stream, stats: StreamStatistics, config: Table1Config
+    stream: Sequence[Hashable], stats: StreamStatistics, config: Table1Config
 ) -> tuple[int, bool]:
     """(counter budget c, top-k captured)."""
     capacity = counters_for_candidate_top(stats.n, stats.nk(config.k))
@@ -103,7 +105,7 @@ def _measure_kps(
 
 
 def _measure_count_sketch(
-    stream, stats: StreamStatistics, config: Table1Config
+    stream: Sequence[Hashable], stats: StreamStatistics, config: Table1Config
 ) -> int | None:
     """Minimal sketch width capturing the top k in a 2k-candidate list."""
     l = 2 * config.k
@@ -169,7 +171,9 @@ def shape_ratios(rows: list[Table1Row]) -> list[tuple[float, float, float, float
     stays within a small constant band across ``z`` — the quantitative
     check EXPERIMENTS.md records.
     """
-    def normalized(pairs):
+    def normalized(
+        pairs: list[tuple[float | None, float]],
+    ) -> list[float]:
         base = None
         out = []
         for measured, order in pairs:

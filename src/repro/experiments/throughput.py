@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from repro.baselines.countmin import CountMinSketch
 from repro.baselines.exact import ExactCounter

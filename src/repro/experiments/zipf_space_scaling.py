@@ -20,6 +20,7 @@ for most sketch seeds.
 from __future__ import annotations
 
 from collections import Counter
+from collections.abc import Hashable
 from dataclasses import dataclass
 
 from repro.analysis.ground_truth import StreamStatistics
@@ -72,7 +73,7 @@ class ScalingResult:
 
 
 def _required_width(
-    counts: Counter, k: int, config: ScalingConfig
+    counts: Counter[Hashable], k: int, config: ScalingConfig
 ) -> int | None:
     """Smallest width whose estimates put the true top-k in the top 2k."""
     stats = StreamStatistics(counts=counts)

@@ -26,7 +26,7 @@ class BucketHash:
 
     __slots__ = ("_base", "_buckets")
 
-    def __init__(self, base: HashFunction, buckets: int):
+    def __init__(self, base: HashFunction, buckets: int) -> None:
         if buckets < 1:
             raise ValueError("buckets must be positive")
         if base.range_size < buckets:
@@ -70,7 +70,7 @@ class BucketHashFamily:
         buckets: bucket count for every drawn function.
     """
 
-    def __init__(self, base_family: HashFamily, buckets: int):
+    def __init__(self, base_family: HashFamily, buckets: int) -> None:
         if buckets < 1:
             raise ValueError("buckets must be positive")
         self._base_family = base_family

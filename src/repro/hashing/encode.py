@@ -18,7 +18,7 @@ Collisions between distinct non-integer keys occur with probability
 from __future__ import annotations
 
 import hashlib
-from typing import Hashable
+from collections.abc import Hashable
 
 import numpy as np
 
@@ -43,7 +43,10 @@ def encode_key(item: Hashable) -> int:
     * ``int`` — passed through mod ``2**64`` (negative values wrap).
       NumPy integer scalars (``np.integer``) and booleans (``np.bool_``)
       encode identically to the equivalent Python ``int``.
-    * ``str`` — BLAKE2b digest of the UTF-8 encoding.
+    * ``str`` — BLAKE2b digest of the UTF-8 encoding.  Lone surrogates
+      (as produced by reading byte-garbled logs with
+      ``errors="surrogateescape"``) are encoded with ``surrogatepass``,
+      so such strings hash deterministically instead of raising.
     * ``bytes`` / ``bytearray`` — BLAKE2b digest of the raw bytes.
     * ``tuple`` — digest of the recursively encoded elements (so flow
       5-tuples and similar composite keys work out of the box).
@@ -58,7 +61,7 @@ def encode_key(item: Hashable) -> int:
     if isinstance(item, (int, np.integer)):
         return int(item) & _MASK_64
     if isinstance(item, str):
-        return _digest_bytes(item.encode("utf-8"))
+        return _digest_bytes(item.encode("utf-8", "surrogatepass"))
     if isinstance(item, (bytes, bytearray)):
         return _digest_bytes(bytes(item))
     if isinstance(item, float):

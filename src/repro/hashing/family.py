@@ -16,7 +16,8 @@ shape.
 from __future__ import annotations
 
 import random
-from typing import Iterator, Protocol, runtime_checkable
+from collections.abc import Iterator
+from typing import Protocol, runtime_checkable
 
 
 @runtime_checkable

@@ -40,7 +40,7 @@ class PolynomialHash:
 
     __slots__ = ("_coefficients",)
 
-    def __init__(self, coefficients: tuple[int, ...]):
+    def __init__(self, coefficients: tuple[int, ...]) -> None:
         if not coefficients:
             raise ValueError("a polynomial hash needs at least one coefficient")
         for c in coefficients:
@@ -96,7 +96,7 @@ class KWiseFamily:
             built from one user seed without correlation.
     """
 
-    def __init__(self, independence: int = 2, seed: int = 0, salt: object = ""):
+    def __init__(self, independence: int = 2, seed: int = 0, salt: object = "") -> None:
         if independence < 1:
             raise ValueError("independence must be at least 1")
         self._independence = independence

@@ -27,7 +27,7 @@ class MultiplyShiftHash:
 
     __slots__ = ("_multiplier", "_addend", "_out_bits", "_shift")
 
-    def __init__(self, multiplier: int, addend: int, out_bits: int):
+    def __init__(self, multiplier: int, addend: int, out_bits: int) -> None:
         if not 1 <= out_bits <= 64:
             raise ValueError("out_bits must be in [1, 64]")
         if multiplier % 2 == 0:
@@ -75,7 +75,7 @@ class MultiplyShiftFamily:
         salt: extra derivation material (see :class:`repro.hashing.family`).
     """
 
-    def __init__(self, out_bits: int, seed: int = 0, salt: object = ""):
+    def __init__(self, out_bits: int, seed: int = 0, salt: object = "") -> None:
         if not 1 <= out_bits <= 64:
             raise ValueError("out_bits must be in [1, 64]")
         self._out_bits = out_bits

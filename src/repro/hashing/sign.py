@@ -24,7 +24,7 @@ class SignHash:
 
     __slots__ = ("_base",)
 
-    def __init__(self, base: HashFunction):
+    def __init__(self, base: HashFunction) -> None:
         if base.range_size < 2:
             raise ValueError("base range must be at least 2")
         self._base = base
@@ -58,7 +58,7 @@ class SignHash:
 class SignHashFamily:
     """A family of sign hashes built over any base family."""
 
-    def __init__(self, base_family: HashFamily):
+    def __init__(self, base_family: HashFamily) -> None:
         self._base_family = base_family
 
     def draw(self, count: int) -> list[SignHash]:

@@ -27,7 +27,7 @@ class TabulationHash:
 
     __slots__ = ("_tables",)
 
-    def __init__(self, tables: tuple[tuple[int, ...], ...]):
+    def __init__(self, tables: tuple[tuple[int, ...], ...]) -> None:
         if len(tables) != _KEY_BYTES:
             raise ValueError(f"expected {_KEY_BYTES} tables, got {len(tables)}")
         for table in tables:
@@ -55,7 +55,7 @@ class TabulationHash:
 class TabulationFamily:
     """A seeded family of independent simple-tabulation hashes."""
 
-    def __init__(self, seed: int = 0, salt: object = ""):
+    def __init__(self, seed: int = 0, salt: object = "") -> None:
         self._seed = seed
         self._rng = seeded_rng(seed, "tabulation", salt)
 

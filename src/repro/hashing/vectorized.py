@@ -19,13 +19,15 @@ the letter of the analysis should use the scalar
 
 from __future__ import annotations
 
+from collections.abc import Hashable, Iterable
+
 import numpy as np
 
 from repro.hashing.encode import encode_key
 from repro.hashing.family import seeded_rng
 
 
-def encode_keys(items) -> np.ndarray:
+def encode_keys(items: Iterable[Hashable] | np.ndarray) -> np.ndarray:
     """Encode an iterable of stream items to a uint64 key array.
 
     Integer items — Python ``int``, ``np.integer`` scalars, and whole
@@ -69,7 +71,7 @@ class VectorizedRowHashes:
         seed: derivation seed.
     """
 
-    def __init__(self, depth: int, width: int, seed: int = 0):
+    def __init__(self, depth: int, width: int, seed: int = 0) -> None:
         if depth < 1:
             raise ValueError("depth must be at least 1")
         if width < 1:
@@ -79,7 +81,7 @@ class VectorizedRowHashes:
         self._seed = seed
         rng = seeded_rng(seed, "vectorized-rows")
 
-        def draw_pairs(count):
+        def draw_pairs(count: int) -> tuple[np.ndarray, np.ndarray]:
             multipliers = np.asarray(
                 [rng.getrandbits(64) | 1 for _ in range(count)],
                 dtype=np.uint64,
@@ -119,7 +121,7 @@ class VectorizedRowHashes:
             mixed = keys * self._sign_mult[row] + self._sign_add[row]
         return 1 - 2 * (mixed >> np.uint64(63)).astype(np.int64)
 
-    def same_functions(self, other: "VectorizedRowHashes") -> bool:
+    def same_functions(self, other: VectorizedRowHashes) -> bool:
         """True iff both instances hash identically (shared randomness)."""
         return (
             isinstance(other, VectorizedRowHashes)

@@ -34,7 +34,8 @@ import functools
 import random
 import time
 from contextlib import contextmanager
-from typing import Callable, Iterator
+from collections.abc import Callable, Iterator
+from typing import Any
 
 #: Default reservoir size for histograms; large enough that p99 over a
 #: run's observations is stable, small enough to be allocation-trivial.
@@ -46,7 +47,7 @@ class Counter:
 
     __slots__ = ("name", "_value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self._value = 0
 
@@ -68,7 +69,7 @@ class Gauge:
 
     __slots__ = ("name", "_value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self._value = 0.0
 
@@ -109,7 +110,7 @@ class Histogram:
         "_capacity", "_rng",
     )
 
-    def __init__(self, name: str, reservoir_size: int = DEFAULT_RESERVOIR_SIZE):
+    def __init__(self, name: str, reservoir_size: int = DEFAULT_RESERVOIR_SIZE) -> None:
         if reservoir_size < 1:
             raise ValueError("reservoir_size must be at least 1")
         self.name = name
@@ -196,22 +197,22 @@ class _TimedBlock:
 
     __slots__ = ("_histogram", "_start")
 
-    def __init__(self, histogram: Histogram):
+    def __init__(self, histogram: Histogram) -> None:
         self._histogram = histogram
         self._start = 0.0
 
-    def __enter__(self) -> "_TimedBlock":
+    def __enter__(self) -> _TimedBlock:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self._histogram.observe(time.perf_counter() - self._start)
 
-    def __call__(self, func: Callable) -> Callable:
+    def __call__(self, func: Callable[..., Any]) -> Callable[..., Any]:
         histogram = self._histogram
 
         @functools.wraps(func)
-        def wrapper(*args, **kwargs):
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
             start = time.perf_counter()
             try:
                 return func(*args, **kwargs)
@@ -277,13 +278,13 @@ class _NullTimedBlock:
 
     __slots__ = ()
 
-    def __enter__(self) -> "_NullTimedBlock":
+    def __enter__(self) -> _NullTimedBlock:
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         return None
 
-    def __call__(self, func: Callable) -> Callable:
+    def __call__(self, func: Callable[..., Any]) -> Callable[..., Any]:
         return func
 
 
@@ -308,7 +309,7 @@ class MetricsRegistry:
     #: Real registries collect; the null registry overrides this to False.
     enabled = True
 
-    def __init__(self, reservoir_size: int = DEFAULT_RESERVOIR_SIZE):
+    def __init__(self, reservoir_size: int = DEFAULT_RESERVOIR_SIZE) -> None:
         self._reservoir_size = reservoir_size
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
@@ -356,7 +357,7 @@ class MetricsRegistry:
         for name, value in counters.items():
             self.counter(name).inc(value)
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         """A plain-dict summary of every metric (JSON-compatible).
 
         Histograms are summarized (count/sum/min/max/p50/p95/p99), not
@@ -403,7 +404,7 @@ class NullRegistry(MetricsRegistry):
 
     enabled = False
 
-    def __init__(self):
+    def __init__(self) -> None:
         super().__init__(reservoir_size=1)
 
     def counter(self, name: str) -> Counter:
@@ -422,7 +423,7 @@ class NullRegistry(MetricsRegistry):
         """A no-op context manager / identity decorator."""
         return _NULL_TIMED  # type: ignore[return-value]
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         """Always empty."""
         return {"counters": {}, "gauges": {}, "histograms": {}}
 
@@ -468,7 +469,7 @@ def metrics_enabled() -> bool:
     return _registry.enabled
 
 
-def timed(name: str):
+def timed(name: str) -> _TimedBlock:
     """Module-level convenience: ``get_registry().timed(name)``.
 
     Usable as a decorator (binds the *current* registry at decoration

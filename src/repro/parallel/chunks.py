@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from pathlib import Path
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.streams.io import iter_stream_text
 

@@ -30,10 +30,11 @@ sketch, and reports the ``k`` largest.
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.pool
 import time
 from collections import Counter, deque
 from dataclasses import dataclass
-from typing import Hashable, Iterable
+from collections.abc import Hashable, Iterable
 
 import numpy as np
 
@@ -52,8 +53,11 @@ from repro.parallel.chunks import DEFAULT_CHUNK_SIZE, iter_chunks
 #: Sketch backends the engine can shard.
 BACKENDS = ("dense", "sparse", "vectorized")
 
+#: Any shardable sketch (all three satisfy the same update/merge protocol).
+_AnySketch = CountSketch | SparseCountSketch | VectorizedCountSketch
 
-def _make_sketch(backend: str, depth: int, width: int, seed: int):
+
+def _make_sketch(backend: str, depth: int, width: int, seed: int) -> _AnySketch:
     """Build an empty shard sketch for ``backend``."""
     if backend == "dense":
         return CountSketch(depth, width, seed=seed)
@@ -93,7 +97,7 @@ class _ShardTask:
     width: int
     seed: int
     candidates: int | None  # top-k candidate list length; None = sketch only
-    chunk: list
+    chunk: list[Hashable]
 
 
 @dataclass(frozen=True)
@@ -106,19 +110,21 @@ class _ShardResult:
     items: int
     seconds: float
     counters_touched: int
-    candidates: tuple = ()
+    candidates: tuple[Hashable, ...] = ()
     #: The shard's own counter metrics (``snapshot()["counters"]``), or
     #: ``None`` when collection is off; the parent folds them into its
     #: registry so fork-worker updates aren't lost with the child.
-    metrics: dict | None = None
+    metrics: dict[str, int] | None = None
 
 
-def _build_shard(task: _ShardTask, counts: Counter):
+def _build_shard(
+    task: _ShardTask, counts: Counter[Hashable]
+) -> tuple[_AnySketch, tuple[Hashable, ...]]:
     """Sketch one pre-aggregated chunk; returns (sketch, candidates)."""
     if task.candidates is None:
         sketch = _make_sketch(task.backend, task.depth, task.width, task.seed)
         sketch.update_counts(counts)
-        candidate_items: tuple = ()
+        candidate_items: tuple[Hashable, ...] = ()
     else:
         sketch = CountSketch(task.depth, task.width, seed=task.seed)
         tracker = TopKTracker(task.candidates, sketch=sketch)
@@ -144,12 +150,16 @@ def _sketch_chunk(task: _ShardTask) -> _ShardResult:
     else:
         sketch, candidate_items = _build_shard(task, counts)
     seconds = time.perf_counter() - start
+    # Workers ship raw shard state home; the parent rehydrates it into a
+    # hash-compatible sketch and merges through the checked API
+    # (_absorb_state), so the private reads here are serialization, not
+    # an unchecked merge.
     if isinstance(sketch, SparseCountSketch):
-        state: object = sketch._rows
+        state: object = sketch._rows  # repro: noqa-RS004
         touched = sketch.buckets_touched()
     else:
-        state = sketch._counters
-        touched = int(np.count_nonzero(sketch._counters))
+        state = sketch._counters  # repro: noqa-RS004
+        touched = int(np.count_nonzero(sketch._counters))  # repro: noqa-RS004
     return _ShardResult(
         index=task.index,
         state=state,
@@ -163,6 +173,33 @@ def _sketch_chunk(task: _ShardTask) -> _ShardResult:
 
 
 # -- instrumentation --------------------------------------------------------
+
+
+class _IngestMetrics:
+    """Engine metric handles captured once per ingest.
+
+    The function-level analogue of the construction-time handle capture
+    the instrumented classes use: one registry lookup per ``_ingest``
+    call, then plain attribute loads on the per-shard path.
+    """
+
+    __slots__ = (
+        "workers", "shards", "items", "shard_seconds", "shard_rate",
+        "merge_seconds", "wait_seconds",
+    )
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.workers = registry.gauge("parallel_workers")
+        self.shards = registry.counter("parallel_shards_total")
+        self.items = registry.counter("parallel_items_total")
+        self.shard_seconds = registry.histogram("parallel_shard_seconds")
+        self.shard_rate = registry.histogram(
+            "parallel_shard_items_per_second"
+        )
+        self.merge_seconds = registry.histogram("parallel_merge_seconds")
+        self.wait_seconds = registry.histogram(
+            "parallel_backpressure_wait_seconds"
+        )
 
 
 @dataclass(frozen=True)
@@ -195,15 +232,25 @@ class IngestSummary:
 # -- the engine -------------------------------------------------------------
 
 
-def _absorb_state(merged, result: _ShardResult, backend: str) -> None:
-    """Rehydrate a shard from its state and ``merge`` it (§3.2)."""
+def _absorb_state(
+    merged: _AnySketch, result: _ShardResult, backend: str
+) -> None:
+    """Rehydrate a shard from its state and ``merge`` it (§3.2).
+
+    The raw-state writes below rebuild a worker's shard inside an empty
+    sketch constructed with the parent's own ``(depth, width, seed)`` —
+    hash compatibility holds by construction, and the final ``merge``
+    call re-checks it.
+    """
     if backend == "sparse":
         shard = SparseCountSketch(merged.depth, merged.width, seed=merged.seed)
-        shard._rows = list(result.state)
-        shard._total_weight = result.total_weight
+        shard._rows = list(result.state)  # repro: noqa-RS002
+        shard._total_weight = result.total_weight  # repro: noqa-RS002
     else:
         counters = np.asarray(result.state, dtype=np.int64)
-        shard = merged._with_counters(counters, result.total_weight)
+        shard = merged._with_counters(  # repro: noqa-RS004
+            counters, result.total_weight
+        )
     merged.merge(shard)
 
 
@@ -217,7 +264,7 @@ def _ingest(
     n_workers: int,
     chunk_size: int,
     candidates: int | None,
-):
+) -> tuple[_AnySketch, dict[Hashable, None], IngestSummary]:
     """Chunk, fan out, and merge; returns (sketch, candidate dict, summary)."""
     if n_workers < 1:
         raise ValueError("n_workers must be at least 1")
@@ -234,13 +281,8 @@ def _ingest(
     # ShardStats/IngestSummary fields stay for programmatic callers).
     # Under the default NullRegistry every handle is a shared no-op.
     registry = get_registry()
-    registry.gauge("parallel_workers").set(n_workers)
-    m_shards = registry.counter("parallel_shards_total")
-    m_items = registry.counter("parallel_items_total")
-    m_shard_seconds = registry.histogram("parallel_shard_seconds")
-    m_shard_rate = registry.histogram("parallel_shard_items_per_second")
-    m_merge = registry.histogram("parallel_merge_seconds")
-    m_wait = registry.histogram("parallel_backpressure_wait_seconds")
+    metrics = _IngestMetrics(registry)
+    metrics.workers.set(n_workers)
 
     def absorb(result: _ShardResult) -> None:
         nonlocal merge_seconds, total_items
@@ -257,12 +299,12 @@ def _ingest(
         )
         if result.metrics:
             registry.merge_counters(result.metrics)
-        m_shards.inc()
-        m_items.inc(result.items)
-        m_shard_seconds.observe(result.seconds)
+        metrics.shards.inc()
+        metrics.items.inc(result.items)
+        metrics.shard_seconds.observe(result.seconds)
         if result.seconds > 0:
-            m_shard_rate.observe(items_per_second)
-        m_merge.observe(merge_elapsed)
+            metrics.shard_rate.observe(items_per_second)
+        metrics.merge_seconds.observe(merge_elapsed)
         shard_stats.append(
             ShardStats(
                 shard=result.index,
@@ -295,13 +337,17 @@ def _ingest(
         with context.Pool(processes=n_workers) as pool:
             # Backpressure: at most 2·n_workers chunks in flight, merged as
             # they complete, so memory stays bounded on endless streams.
-            pending: deque = deque()
+            pending: deque[
+                multiprocessing.pool.AsyncResult[_ShardResult]
+            ] = deque()
             for task in tasks:
                 pending.append(pool.apply_async(_sketch_chunk, (task,)))
                 while len(pending) >= 2 * n_workers:
                     wait_start = time.perf_counter()
                     result = pending.popleft().get()
-                    m_wait.observe(time.perf_counter() - wait_start)
+                    metrics.wait_seconds.observe(
+                        time.perf_counter() - wait_start
+                    )
                     absorb(result)
             while pending:
                 absorb(pending.popleft().get())
@@ -334,7 +380,7 @@ def parallel_sketch(
     backend: str = "dense",
     n_workers: int = 1,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
-):
+) -> tuple[_AnySketch, IngestSummary]:
     """Sketch a stream with sharded workers; exact by linearity.
 
     Args:
@@ -378,7 +424,7 @@ def parallel_topk(
     n_workers: int = 1,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     candidates: int | None = None,
-):
+) -> tuple[list[tuple[Hashable, float]], IngestSummary]:
     """Approximate top-k over sharded workers (§4.1 CANDIDATETOP style).
 
     Each worker runs a :class:`~repro.core.topk.TopKTracker` with

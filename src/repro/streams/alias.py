@@ -11,7 +11,7 @@ rounding.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -24,7 +24,7 @@ class AliasSampler:
         seed: seed for the internal NumPy generator.
     """
 
-    def __init__(self, weights: Sequence[float], seed: int = 0):
+    def __init__(self, weights: Sequence[float], seed: int = 0) -> None:
         weights_arr = np.asarray(weights, dtype=np.float64)
         if weights_arr.ndim != 1 or weights_arr.size == 0:
             raise ValueError("weights must be a non-empty 1-D sequence")

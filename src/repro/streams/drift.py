@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Hashable
+from collections.abc import Hashable
 
 
 from repro.streams.alias import AliasSampler

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Hashable, Iterable, Iterator
+from collections.abc import Hashable, Iterable, Iterator
 
 
 def _strip_eol(line: str) -> str:
@@ -52,21 +52,23 @@ def write_stream_text(path: str | Path, items: Iterable[Hashable]) -> int:
     return count
 
 
-def read_stream_text(path: str | Path, as_int: bool = False) -> list:
+def read_stream_text(
+    path: str | Path, as_int: bool = False
+) -> list[str] | list[int]:
     """Read a text-format stream; optionally parse every line as ``int``.
 
     Both LF and CRLF files are read identically (one trailing line ending
     is stripped per line), so a log shipped through a CRLF-rewriting hop
     yields the same items — and the same hashes — as the original.
     """
-    with open(path, "r", encoding="utf-8", newline="") as handle:
+    with open(path, encoding="utf-8", newline="") as handle:
         lines = [_strip_eol(line) for line in handle]
     if as_int:
         return [int(line) for line in lines]
     return lines
 
 
-def _jsonable(item: Hashable):
+def _jsonable(item: Hashable) -> object:
     """Convert an item to a JSON-representable value."""
     if isinstance(item, tuple):
         return {"__tuple__": [_jsonable(part) for part in item]}
@@ -75,7 +77,7 @@ def _jsonable(item: Hashable):
     raise TypeError(f"cannot serialize item of type {type(item).__name__}")
 
 
-def _unjsonable(value):
+def _unjsonable(value: object) -> Hashable:
     """Inverse of :func:`_jsonable`."""
     if isinstance(value, dict) and "__tuple__" in value:
         return tuple(_unjsonable(part) for part in value["__tuple__"])
@@ -93,10 +95,10 @@ def write_stream_jsonl(path: str | Path, items: Iterable[Hashable]) -> int:
     return count
 
 
-def read_stream_jsonl(path: str | Path) -> list:
+def read_stream_jsonl(path: str | Path) -> list[Hashable]:
     """Read a JSON-lines stream, rebuilding tuples."""
     items = []
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if line:
@@ -104,14 +106,16 @@ def read_stream_jsonl(path: str | Path) -> list:
     return items
 
 
-def iter_stream_text(path: str | Path, as_int: bool = False) -> Iterator:
+def iter_stream_text(
+    path: str | Path, as_int: bool = False
+) -> Iterator[str | int]:
     """Stream a text-format file lazily (for streams bigger than memory).
 
     Line endings are normalized exactly as in :func:`read_stream_text`:
     LF and CRLF files yield identical items, so :class:`TextStreamReader`
     (which delegates here) is line-ending agnostic too.
     """
-    with open(path, "r", encoding="utf-8", newline="") as handle:
+    with open(path, encoding="utf-8", newline="") as handle:
         for line in handle:
             value = _strip_eol(line)
             yield int(value) if as_int else value
@@ -130,7 +134,7 @@ class TextStreamReader:
         as_int: parse every line as ``int``.
     """
 
-    def __init__(self, path: str | Path, as_int: bool = False):
+    def __init__(self, path: str | Path, as_int: bool = False) -> None:
         self._path = Path(path)
         self._as_int = as_int
 
@@ -139,7 +143,7 @@ class TextStreamReader:
         """The underlying file path."""
         return self._path
 
-    def __iter__(self) -> Iterator:
+    def __iter__(self) -> Iterator[str | int]:
         return iter_stream_text(self._path, as_int=self._as_int)
 
     def __repr__(self) -> str:

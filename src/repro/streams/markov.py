@@ -36,7 +36,7 @@ class BurstyZipfStreamGenerator:
         seed: generation seed.
     """
 
-    def __init__(self, m: int, z: float, repeat: float = 0.5, seed: int = 0):
+    def __init__(self, m: int, z: float, repeat: float = 0.5, seed: int = 0) -> None:
         if not 0 <= repeat < 1:
             raise ValueError("repeat must be in [0, 1)")
         self._m = m

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Iterator, Sequence
+from collections.abc import Hashable, Iterator, Sequence
+from typing import Any
 
 
 @dataclass(frozen=True)
@@ -37,10 +38,12 @@ class Stream:
     def __len__(self) -> int:
         return len(self.items)
 
-    def __getitem__(self, index):
+    def __getitem__(
+        self, index: int | slice
+    ) -> Hashable | Sequence[Hashable]:
         return self.items[index]
 
-    def counts(self) -> Counter:
+    def counts(self) -> Counter[Hashable]:
         """Exact item counts (ground truth; O(n) each call, not cached)."""
         return Counter(self.items)
 

@@ -52,7 +52,7 @@ class FlowStreamGenerator:
         seed: generation seed.
     """
 
-    def __init__(self, num_flows: int = 5_000, z: float = 1.2, seed: int = 0):
+    def __init__(self, num_flows: int = 5_000, z: float = 1.2, seed: int = 0) -> None:
         if num_flows < 1:
             raise ValueError("num_flows must be positive")
         self._z = z

@@ -69,7 +69,7 @@ class QueryStreamGenerator:
     """
 
     def __init__(self, vocabulary_size: int = 10_000, z: float = 0.8,
-                 seed: int = 0):
+                 seed: int = 0) -> None:
         if vocabulary_size < 1:
             raise ValueError("vocabulary_size must be positive")
         self._vocabulary = _make_vocabulary(vocabulary_size, seed)
@@ -109,7 +109,7 @@ class QueryStreamGenerator:
                 raise ValueError("burst fraction must be in (0, 1]")
             window = range(burst.start, burst.end)
             hits = self._rng.random(len(window)) < burst.fraction
-            for offset, hit in zip(window, hits):
+            for offset, hit in zip(window, hits, strict=True):
                 if hit:
                     items[offset] = burst.query
         return Stream(

@@ -51,7 +51,7 @@ class ZipfStreamGenerator:
         z: float,
         seed: int = 0,
         label_template: str | None = None,
-    ):
+    ) -> None:
         self._m = m
         self._z = z
         self._seed = seed
@@ -95,7 +95,7 @@ class ZipfStreamGenerator:
         """
         ranks = self._sampler.sample_many(n) + 1  # ranks are 1-based
         if self._label_template is None:
-            items: list = ranks.tolist()
+            items: list[int] | list[str] = ranks.tolist()
         else:
             template = self._label_template
             items = [template.format(rank=int(rank)) for rank in ranks]

@@ -1,0 +1,11 @@
+"""Suppression fixture: every violation here carries a ``repro: noqa``."""
+
+from repro.core.countsketch import CountSketch
+
+
+def suppressed(a: CountSketch, b: CountSketch) -> None:
+    a._counters += b._counters  # repro: noqa-RS002,RS004
+    a._total_weight = 0  # repro: noqa-RS002
+    a.update("q", 1.5)  # repro: noqa-RS005 — deliberate bad-count demo
+    b.update("q", 2.5)  # repro: noqa-RS002,RS005 — multi-code form
+    b.scale(0.5)  # repro: noqa

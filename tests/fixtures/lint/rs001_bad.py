@@ -1,0 +1,27 @@
+"""RS001 true positives: hidden-global-state / unseeded RNG in library code."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def jitter() -> float:
+    return random.random()  # RS001: global random module state
+
+
+def shuffled(items: list) -> list:
+    out = list(items)
+    random.shuffle(out)  # RS001: global random module state
+    return out
+
+
+def legacy_numpy() -> float:
+    return float(np.random.rand())  # RS001: legacy np.random global API
+
+
+def unseeded_generators() -> None:
+    a = random.Random()  # RS001: Random() built without a seed
+    b = np.random.default_rng()  # RS001: default_rng() without a seed
+    c = default_rng()  # RS001: bare-import default_rng() without a seed
+    del a, b, c

@@ -1,0 +1,23 @@
+"""RS001 clean: every generator is explicitly seeded and threaded."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def jitter(rng: random.Random) -> float:
+    return rng.random()
+
+
+def shuffled(items: list, seed: int) -> list:
+    out = list(items)
+    random.Random(seed).shuffle(out)
+    return out
+
+
+def seeded_generators(seed: int) -> None:
+    a = random.Random(seed)
+    b = np.random.default_rng(seed)
+    c = default_rng(seed)
+    del a, b, c

@@ -1,0 +1,18 @@
+"""RS002 clean: all counter changes go through the public update API."""
+
+from repro.core.countsketch import CountSketch
+
+
+def ingest(sketch: CountSketch) -> None:
+    sketch.update("item", 5)
+    sketch.update_counts({"a": 2, "b": 3})
+
+
+class MyStructure:
+    """Own-state mutation (``self.*``) is the structure's business."""
+
+    def __init__(self) -> None:
+        self._counters = {}
+
+    def update(self, item: str, count: int = 1) -> None:
+        self._counters[item] = self._counters.get(item, 0) + count

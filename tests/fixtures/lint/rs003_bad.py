@@ -1,0 +1,27 @@
+"""RS003 true positives: registry lookups on hot paths."""
+
+from repro.observability import timed
+from repro.observability.registry import get_registry
+
+
+class HotTracker:
+    def __init__(self) -> None:
+        self._items = 0
+
+    def update(self, item: object) -> None:
+        # RS003: one hash lookup per event defeats handle capture.
+        get_registry().counter("tracker_updates_total").inc()
+        self._items += 1
+
+    def flush(self) -> None:
+        registry = get_registry()
+        registry.gauge("tracker_live_items").set(self._items)  # RS003
+        registry.histogram("tracker_flush_items").observe(self._items)  # RS003
+        with registry.timed("tracker_flush_seconds"):  # RS003
+            self._items = 0
+
+
+def process(items: list) -> None:
+    with timed("process_seconds"):  # RS003: module-helper lookup per call
+        for _item in items:
+            pass

@@ -1,0 +1,31 @@
+"""RS003 clean: handles captured once at construction time."""
+
+from repro.observability.registry import get_registry
+
+
+class ColdTracker:
+    def __init__(self) -> None:
+        registry = get_registry()
+        self._m_updates = registry.counter("tracker_updates_total")
+        self._m_live = registry.gauge("tracker_live_items")
+        self._m_flush = registry.histogram("tracker_flush_items")
+        self._m_flush_timer = registry.timed("tracker_flush_seconds")
+        self._items = 0
+
+    def update(self, item: object) -> None:
+        self._m_updates.inc()
+        self._items += 1
+
+    def flush(self) -> None:
+        self._m_live.set(self._items)
+        self._m_flush.observe(self._items)
+        with self._m_flush_timer:
+            self._items = 0
+
+
+#: Module-level capture runs once at import time, which is fine too.
+_M_PROCESS_CALLS = get_registry().counter("process_calls_total")
+
+
+def process(items: list) -> None:
+    _M_PROCESS_CALLS.inc()

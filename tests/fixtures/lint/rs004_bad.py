@@ -1,0 +1,15 @@
+"""RS004 true positives: merging sketch state without the compat check."""
+
+from repro.core.countsketch import CountSketch
+
+
+def raw_merge(a: CountSketch, b: CountSketch) -> None:
+    # RS004 (x2): raw array arithmetic merges incompatible sketches
+    # silently — different seeds, same shape, garbage estimates.
+    a._counters += b._counters
+    a._total_weight += b._total_weight
+
+
+def clone_without_check(a: CountSketch, b: CountSketch) -> CountSketch:
+    # RS004: _with_counters skips _require_compatible entirely.
+    return a._with_counters(b._counters.copy(), b.total_weight)

@@ -1,0 +1,30 @@
+"""RS004 clean: sketch arithmetic through the compatibility-checked API."""
+
+from repro.core.countsketch import CountSketch
+
+
+def checked_merge(a: CountSketch, b: CountSketch) -> None:
+    a.merge(b)
+
+
+def checked_difference(a: CountSketch, b: CountSketch) -> CountSketch:
+    return a - b
+
+
+def inspect(a: CountSketch) -> int:
+    # The public read-only view is the sanctioned way to look at state.
+    return int(a.counters.sum())
+
+
+class MySketch:
+    """An arithmetic-protocol implementation may touch raw state —
+    it is expected to validate compatibility itself."""
+
+    def __init__(self, width: int) -> None:
+        self._counters = [0] * width
+
+    def merge(self, other: "MySketch") -> None:
+        if len(self._counters) != len(other._counters):
+            raise ValueError("sketches are not compatible")
+        for index, value in enumerate(other._counters):
+            self._counters[index] += value

@@ -1,0 +1,16 @@
+"""RS005 true positives: float literals flowing into count parameters."""
+
+from repro.core.countsketch import CountSketch
+from repro.core.maxchange import MaxChangeFinder
+
+
+def bad_updates(sketch: CountSketch, finder: MaxChangeFinder) -> None:
+    sketch.update("q", 1.5)  # RS005: positional count
+    sketch.update("q", count=2.0)  # RS005: keyword count
+    sketch.update("q", -0.5)  # RS005: negative float count
+    finder.observe_before("q", 3.5)  # RS005
+    finder.second_pass_after("q", 1.0)  # RS005
+
+
+def bad_scale(sketch: CountSketch) -> CountSketch:
+    return sketch.scale(0.5)  # RS005: fractional scale factor

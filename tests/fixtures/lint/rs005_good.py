@@ -1,0 +1,22 @@
+"""RS005 clean: counts are integers; float-valued metrics stay floats."""
+
+from repro.core.countsketch import CountSketch
+from repro.core.maxchange import MaxChangeFinder
+from repro.observability.registry import Gauge, Histogram
+
+
+def good_updates(sketch: CountSketch, finder: MaxChangeFinder) -> None:
+    sketch.update("q", 2)
+    sketch.update("q", count=3)
+    sketch.update("q", -1)
+    finder.observe_before("q", 4)
+
+
+def good_scale(sketch: CountSketch) -> CountSketch:
+    return sketch.scale(-1)
+
+
+def floats_where_floats_belong(gauge: Gauge, histogram: Histogram) -> None:
+    # Gauges and histograms are float-valued by design — not counts.
+    gauge.set(0.5)
+    histogram.observe(1.5)

@@ -143,7 +143,7 @@ class TestSpaceOrders:
         depending on m once z > 1/2."""
         rows_small = table1_orders(1_000, 10, 100_000, zs=(0.75, 1.0, 1.5))
         rows_large = table1_orders(64_000, 10, 100_000, zs=(0.75, 1.0, 1.5))
-        for small, large in zip(rows_small, rows_large):
+        for small, large in zip(rows_small, rows_large, strict=True):
             assert small.count_sketch == large.count_sketch
             assert large.sampling > small.sampling or small.z > 1
 

@@ -38,7 +38,7 @@ class TestConstruction:
     def test_counters_view_read_only(self):
         sketch = CountSketch(2, 4)
         with pytest.raises(ValueError):
-            sketch.counters[0, 0] = 1
+            sketch.counters[0, 0] = 1  # repro: noqa-RS002 — asserts refusal
 
     def test_items_stored_zero(self):
         assert CountSketch(2, 4).items_stored() == 0
@@ -194,7 +194,7 @@ class TestLinearity:
         # array to float64, breaking state_dict round-trips and equality.
         sketch = CountSketch(3, 16, seed=1)
         sketch.update("a", 5)
-        scaled = sketch.scale(2.0)  # integral float is accepted
+        scaled = sketch.scale(2.0)  # repro: noqa-RS005 — integral float OK
         assert scaled.counters.dtype == np.int64
         assert scaled == sketch.scale(2)
         assert scaled.total_weight == 10
@@ -205,7 +205,7 @@ class TestLinearity:
         sketch = CountSketch(3, 16, seed=1)
         sketch.update("a", 5)
         with pytest.raises(ValueError, match="integral"):
-            sketch.scale(0.5)
+            sketch.scale(0.5)  # repro: noqa-RS005 — asserts the rejection
         with pytest.raises(ValueError, match="integral"):
             sketch.scale(np.float64(2.5))
 

@@ -218,7 +218,7 @@ class TestVectorizedCountSketch:
         sketch.update_batch(list(range(200)))
         queries = [0, 5, 50, 199]
         batch = sketch.estimate_batch(queries)
-        for query, value in zip(queries, batch):
+        for query, value in zip(queries, batch, strict=True):
             assert sketch.estimate(query) == value
 
     def test_accuracy_on_zipf(self, zipf_counts):
@@ -287,7 +287,7 @@ class TestVectorizedCountSketch:
     def test_counters_view_read_only(self):
         sketch = VectorizedCountSketch(2, 4)
         with pytest.raises(ValueError):
-            sketch.counters[0, 0] = 1
+            sketch.counters[0, 0] = 1  # repro: noqa-RS002 — asserts refusal
 
     def test_space_accessors(self):
         sketch = VectorizedCountSketch(3, 32)

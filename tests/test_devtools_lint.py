@@ -1,0 +1,237 @@
+"""Self-tests for the ``repro.devtools.lint`` AST rule suite.
+
+Each rule RS001-RS005 is demonstrated by a pair of fixture files under
+``tests/fixtures/lint/``: a ``*_bad.py`` that must produce true
+positives and a ``*_good.py`` that must lint clean.  Bad fixtures are
+linted under a synthetic ``src/`` display path so the test-code
+relaxations (RS001/RS003) do not apply to them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import (
+    RULES,
+    RULES_BY_CODE,
+    Finding,
+    lint_paths,
+    lint_source,
+    main,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+REPO_ROOT = Path(__file__).parent.parent
+
+#: Display path under which fixtures are linted: library code, every
+#: rule active.
+SRC_PATH = "src/repro/under_test.py"
+
+#: (code, bad fixture, expected true positives, good fixture).
+CASES = [
+    ("RS001", "rs001_bad.py", 6, "rs001_good.py"),
+    ("RS002", "rs002_bad.py", 4, "rs002_good.py"),
+    ("RS003", "rs003_bad.py", 5, "rs003_good.py"),
+    ("RS004", "rs004_bad.py", 4, "rs004_good.py"),
+    ("RS005", "rs005_bad.py", 6, "rs005_good.py"),
+]
+
+
+def lint_fixture(name: str, path: str = SRC_PATH) -> list[Finding]:
+    return lint_source((FIXTURES / name).read_text(), path)
+
+
+class TestRuleCatalogue:
+    def test_five_rules_with_stable_codes(self):
+        assert [rule.code for rule in RULES] == [
+            "RS001", "RS002", "RS003", "RS004", "RS005",
+        ]
+
+    def test_every_rule_has_name_summary_hint(self):
+        for rule in RULES:
+            assert rule.name
+            assert rule.summary
+            assert rule.hint
+
+    def test_every_rule_has_fixture_pair(self):
+        codes = {code for code, *_ in CASES}
+        assert codes == set(RULES_BY_CODE)
+        for code, bad, _, good in CASES:
+            assert (FIXTURES / bad).is_file(), bad
+            assert (FIXTURES / good).is_file(), good
+
+
+class TestFixtures:
+    @pytest.mark.parametrize("code,bad,expected,good", CASES)
+    def test_bad_fixture_true_positives(self, code, bad, expected, good):
+        findings = lint_fixture(bad)
+        hits = [f for f in findings if f.code == code]
+        assert len(hits) == expected, [f.format_human() for f in findings]
+
+    @pytest.mark.parametrize("code,bad,expected,good", CASES)
+    def test_good_fixture_clean(self, code, bad, expected, good):
+        findings = lint_fixture(good)
+        assert findings == [], [f.format_human() for f in findings]
+
+    def test_cross_rule_overlap_on_raw_merge(self):
+        # `a._counters += b._counters` is both a mutation (RS002) and an
+        # unchecked merge (RS004); the suite reports both.
+        codes = {f.code for f in lint_fixture("rs004_bad.py")}
+        assert {"RS002", "RS004"} <= codes
+
+
+class TestTestCodeRelaxations:
+    def test_rs001_skipped_in_test_files(self):
+        findings = lint_fixture("rs001_bad.py", path="tests/test_x.py")
+        assert [f for f in findings if f.code == "RS001"] == []
+
+    def test_rs003_skipped_in_test_files(self):
+        findings = lint_fixture("rs003_bad.py", path="tests/test_x.py")
+        assert [f for f in findings if f.code == "RS003"] == []
+
+    def test_rs002_still_active_in_test_files(self):
+        findings = lint_fixture("rs002_bad.py", path="tests/test_x.py")
+        assert any(f.code == "RS002" for f in findings)
+
+
+class TestSuppression:
+    def test_noqa_fixture_fully_suppressed(self):
+        assert lint_fixture("noqa_suppressed.py") == []
+
+    def test_single_code_noqa(self):
+        source = "import random\nx = random.random()  # repro: noqa-RS001\n"
+        assert lint_source(source, SRC_PATH) == []
+
+    def test_noqa_for_other_code_does_not_suppress(self):
+        source = "import random\nx = random.random()  # repro: noqa-RS005\n"
+        findings = lint_source(source, SRC_PATH)
+        assert [f.code for f in findings] == ["RS001"]
+
+    def test_blanket_noqa(self):
+        source = "import random\nx = random.random()  # repro: noqa\n"
+        assert lint_source(source, SRC_PATH) == []
+
+    def test_suppressed_count_reported(self):
+        result = lint_paths([FIXTURES / "noqa_suppressed.py"])
+        assert result.ok
+        assert result.files_checked == 1
+        assert result.suppressed == 6
+
+
+class TestRS001Details:
+    def test_seeded_constructors_pass(self):
+        source = (
+            "import random\nimport numpy as np\n"
+            "a = random.Random(7)\n"
+            "b = np.random.default_rng(7)\n"
+        )
+        assert lint_source(source, SRC_PATH) == []
+
+    def test_unseeded_constructors_flagged(self):
+        source = "import numpy as np\nrng = np.random.default_rng()\n"
+        findings = lint_source(source, SRC_PATH)
+        assert [f.code for f in findings] == ["RS001"]
+
+    def test_aliased_numpy_import_detected(self):
+        source = "import numpy\nx = numpy.random.randint(0, 5)\n"
+        findings = lint_source(source, SRC_PATH)
+        assert [f.code for f in findings] == ["RS001"]
+
+    def test_from_import_detected(self):
+        source = "from random import shuffle\nshuffle([1, 2])\n"
+        findings = lint_source(source, SRC_PATH)
+        assert [f.code for f in findings] == ["RS001"]
+
+
+class TestRS004Details:
+    def test_merge_implementation_exempt(self):
+        source = (
+            "class S:\n"
+            "    def merge(self, other):\n"
+            "        if self.width != other.width:\n"
+            "            raise ValueError('incompatible')\n"
+            "        self._counters += other._counters\n"
+        )
+        findings = lint_source(source, SRC_PATH)
+        assert findings == [], [f.format_human() for f in findings]
+
+    def test_core_modules_exempt(self):
+        source = "def peek(sketch):\n    return sketch._counters\n"
+        assert lint_source(source, "src/repro/core/x.py") == []
+        assert [f.code for f in lint_source(source, SRC_PATH)] == ["RS004"]
+
+
+class TestRepoIsClean:
+    """The acceptance gate, as a tier-1 test: the repo lints clean."""
+
+    def test_src_and_tests_lint_clean(self):
+        result = lint_paths([REPO_ROOT / "src", REPO_ROOT / "tests"])
+        assert result.ok, "\n".join(
+            f.format_human() for f in result.findings
+        )
+        assert result.files_checked > 100
+
+    def test_fixtures_excluded_from_directory_walks(self):
+        result = lint_paths([REPO_ROOT / "tests"])
+        paths = {f.path for f in result.findings}
+        assert not any("fixtures" in p for p in paths)
+        included = lint_paths(
+            [REPO_ROOT / "tests" / "fixtures" / "lint"],
+            include_fixtures=True,
+        )
+        assert not included.ok
+
+
+class TestCommandLine:
+    def test_human_output_and_exit_code(self, capsys):
+        code = main([str(FIXTURES / "rs005_bad.py")])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "RS005" in captured.out
+        assert "fix:" in captured.out
+        assert "finding(s)" in captured.err
+
+    def test_json_output(self, capsys):
+        code = main(["--format", "json", str(FIXTURES / "rs005_bad.py")])
+        captured = capsys.readouterr()
+        assert code == 1
+        payload = json.loads(captured.out)
+        assert payload["version"] == 1
+        assert payload["files_checked"] == 1
+        findings = payload["findings"]
+        assert findings and all(f["code"] == "RS005" for f in findings)
+        for field in ("path", "line", "col", "rule", "message", "hint"):
+            assert field in findings[0]
+
+    def test_clean_run_exits_zero(self, capsys):
+        code = main([str(FIXTURES / "rs005_good.py")])
+        assert code == 0
+        assert "0 finding(s)" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in RULES:
+            assert rule.code in out
+
+    def test_module_invocation(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.devtools.lint", "src", "tests"],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "RuntimeWarning" not in proc.stderr

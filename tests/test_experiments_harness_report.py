@@ -28,7 +28,7 @@ class TestGeometricGrid:
         grid = geometric_grid(10, 100, factor=2**0.5)
         assert grid[0] == 10
         assert grid[-1] == 100
-        assert all(b > a for a, b in zip(grid, grid[1:]))
+        assert all(b > a for a, b in zip(grid, grid[1:], strict=False))
 
     def test_validation(self):
         with pytest.raises(ValueError):

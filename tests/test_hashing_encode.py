@@ -1,10 +1,12 @@
 """Tests for repro.hashing.encode — canonical key encoding."""
 
+import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.hashing.encode import encode_key
+from repro.hashing.vectorized import encode_keys
 
 
 class TestIntegers:
@@ -130,3 +132,97 @@ class TestCollisionResistance:
         values += [float(i) + 0.5 for i in range(1000)]
         keys = {encode_key(v) for v in values}
         assert len(keys) == 3000
+
+
+class TestEdgeCasesSurfacedByTyping:
+    """Boundary cases surfaced while annotating the encode path."""
+
+    def test_empty_bytes_ok(self):
+        key = encode_key(b"")
+        assert 0 <= key < (1 << 64)
+        assert key == encode_key(bytearray())
+
+    def test_empty_bytes_differ_from_empty_string(self):
+        # Both digest through BLAKE2b but from distinct inputs is NOT
+        # guaranteed — document the actual behavior: identical payloads
+        # (no bytes) produce identical digests.
+        assert encode_key(b"") == encode_key("")
+
+    def test_surrogate_escape_string_hashes(self):
+        # Reading a byte-garbled log with errors="surrogateescape" yields
+        # lone surrogates; encode_key must hash them, not raise.
+        garbled = "caf\udce9"
+        key = encode_key(garbled)
+        assert 0 <= key < (1 << 64)
+        assert key == encode_key(garbled)
+        assert key != encode_key("caf\xe9")
+
+    def test_distinct_surrogates_differ(self):
+        assert encode_key("x\udc80") != encode_key("x\udc81")
+
+    def test_np_int64_boundaries(self):
+        assert encode_key(np.int64(2**63 - 1)) == 2**63 - 1
+        # int64 min wraps mod 2**64 exactly like the Python int.
+        assert encode_key(np.int64(-(2**63))) == encode_key(-(2**63)) == 2**63
+
+    def test_np_uint64_max(self):
+        assert encode_key(np.uint64(2**64 - 1)) == 2**64 - 1
+
+    def test_np_integer_matches_python_int(self):
+        for value in (0, 1, -1, 2**31, -(2**31), 2**62):
+            assert encode_key(np.int64(value)) == encode_key(value)
+
+    def test_np_float64_matches_python_float(self):
+        # np.float64 subclasses float, so it takes the float path.
+        assert encode_key(np.float64(1.5)) == encode_key(1.5)
+
+    def test_np_float32_rejected(self):
+        # np.float32 is NOT a float subclass; silently conflating it with
+        # its (inexact) float() widening would be a correctness trap.
+        with pytest.raises(TypeError, match="cannot encode"):
+            encode_key(np.float32(1.5))
+
+
+class TestEncodeKeysBatch:
+    """repro.hashing.vectorized.encode_keys edge cases."""
+
+    def test_int64_array_wraps_like_scalar(self):
+        values = np.array([-1, 0, 2**62, -(2**63)], dtype=np.int64)
+        keys = encode_keys(values)
+        assert keys.dtype == np.uint64
+        assert [int(k) for k in keys] == [
+            encode_key(int(v)) for v in values
+        ]
+
+    def test_uint64_array_passthrough(self):
+        values = np.array([0, 2**64 - 1], dtype=np.uint64)
+        assert encode_keys(values) is values
+
+    def test_mixed_dtype_object_array_falls_back(self):
+        values = np.array([1, "a", (2, 3)], dtype=object)
+        keys = encode_keys(values)
+        assert keys.dtype == np.uint64
+        assert [int(k) for k in keys] == [
+            encode_key(1), encode_key("a"), encode_key((2, 3)),
+        ]
+
+    def test_float_array_matches_scalar_path(self):
+        values = np.array([0.5, 1.5], dtype=np.float64)
+        keys = encode_keys(values)
+        assert [int(k) for k in keys] == [
+            encode_key(0.5), encode_key(1.5),
+        ]
+
+    def test_empty_iterable(self):
+        keys = encode_keys([])
+        assert keys.dtype == np.uint64
+        assert keys.size == 0
+
+    def test_oversized_python_ints_wrap(self):
+        keys = encode_keys([2**64 + 3, -5])
+        assert [int(k) for k in keys] == [3, encode_key(-5)]
+
+    def test_bool_items_take_scalar_path(self):
+        # Booleans encode as 0/1 via encode_key, not the int fast path
+        # (the fast path excludes them deliberately).
+        assert [int(k) for k in encode_keys([True, False])] == [1, 0]

@@ -105,7 +105,7 @@ class TestJointBucketIndependence:
             12_000
         )
         joint = np.zeros((bins, 2), dtype=np.int64)
-        for h, s in zip(buckets, signs):
+        for h, s in zip(buckets, signs, strict=True):
             joint[h(999), (s(999) + 1) // 2] += 1
         assert stats.chisquare(joint.reshape(-1)).pvalue > ALPHA
 

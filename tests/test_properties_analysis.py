@@ -107,7 +107,7 @@ class TestClosedFormProperties:
         # The COUNT SKETCH column is nonincreasing in z (more skew, less
         # space) — the qualitative content of the column.
         sketch = [row.count_sketch for row in rows]
-        assert all(a >= b - 1e-9 for a, b in zip(sketch, sketch[1:]))
+        assert all(a >= b - 1e-9 for a, b in zip(sketch, sketch[1:], strict=False))
 
     @settings(max_examples=30, deadline=None)
     @given(MS, KS, st.integers(min_value=100, max_value=10**6))

@@ -44,7 +44,7 @@ class TestGenerator:
         items = list(stream)
         runs = []
         current = 1
-        for prev, nxt in zip(items, items[1:]):
+        for prev, nxt in zip(items, items[1:], strict=False):
             if nxt == prev:
                 current += 1
             else:

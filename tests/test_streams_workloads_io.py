@@ -194,5 +194,5 @@ class TestStreamIO:
         path = tmp_path / "flows.jsonl"
         write_stream_jsonl(path, items)
         revived = read_stream_jsonl(path)
-        for original, loaded in zip(items, revived):
+        for original, loaded in zip(items, revived, strict=True):
             assert encode_key(tuple(original)) == encode_key(loaded)
