@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands cover the library's day-to-day uses on on-disk streams
+Six subcommands cover the library's day-to-day uses on on-disk streams
 (one item per line; ``--int-keys`` parses lines as integers):
 
 * ``repro topk`` — the §3.2 one-pass tracker: the approximate top-k items.
@@ -10,11 +10,22 @@ Five subcommands cover the library's day-to-day uses on on-disk streams
 * ``repro experiment`` — run any named paper experiment (or ``run_all``)
   and print its report (same output the benchmarks persist under
   ``benchmarks/out/``).
+* ``repro store`` — work with durable ``.rcs`` snapshots
+  (``inspect`` / ``merge`` / ``diff``; see :mod:`repro.store`).
 
 Input files are consumed incrementally (never materialized in memory), so
 multi-GB logs stream through in bounded space; ``topk`` and ``estimate``
 accept ``--workers N`` to shard ingestion across processes, with a merge
 that is exact by the §3.2 linearity.
+
+``topk`` and ``estimate`` persist state: ``--save-state PATH`` snapshots
+the summary on exit (``--checkpoint-every N`` also snapshots it every
+``N`` items mid-stream), ``--resume PATH`` restores a snapshot and skips
+the already-consumed stream prefix, and — with ``--workers > 1`` —
+``--checkpoint-dir DIR`` persists every absorbed shard so a killed
+parallel run resumes where it stopped.  ``repro estimate --sketch
+snap.rcs key1 key2`` queries a saved snapshot with no stream input at
+all.
 
 ``topk``, ``estimate``, and ``maxchange`` accept ``--metrics-out PATH``
 to collect runtime metrics (``repro.observability``) — sketch updates,
@@ -25,6 +36,9 @@ Examples::
 
     repro topk --input queries.txt --k 10
     repro topk --input queries.txt --k 10 --workers 4
+    repro topk --input queries.txt --save-state day.rcs --checkpoint-every 100000
+    repro estimate --sketch day.rcs alpha beta
+    repro store diff day1.rcs day2.rcs --items alpha beta --k 5
     repro maxchange --before week1.txt --after week2.txt --k 5
     repro experiment table1
 """
@@ -32,8 +46,10 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import itertools
+import json
 import sys
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Hashable, Sequence
 
 from repro.core.maxchange import MaxChangeFinder
 from repro.core.countsketch import CountSketch
@@ -50,6 +66,15 @@ from repro.parallel import (
     IngestSummary,
     parallel_sketch,
     parallel_topk,
+)
+from repro.store import (
+    CheckpointManager,
+    SketchArchive,
+    StoreError,
+    inspect as inspect_snapshot,
+    load as load_snapshot,
+    load_with_meta,
+    save as save_snapshot,
 )
 from repro.streams.io import TextStreamReader
 
@@ -98,6 +123,32 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
         "--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
         help="items per shard chunk when --workers > 1 "
              f"(default {DEFAULT_CHUNK_SIZE})",
+    )
+
+
+def _add_state_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--save-state", metavar="PATH", default=None,
+        help="snapshot the summary to PATH (.rcs) when the stream ends; "
+             "atomic, checksummed, exact (see docs/persistence.md)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", metavar="N", type=int, default=None,
+        help="with --save-state: also snapshot every N stream items, so "
+             "a killed run can --resume from the last checkpoint",
+    )
+    parser.add_argument(
+        "--resume", metavar="PATH", default=None,
+        help="restore the summary from a snapshot and skip the stream "
+             "prefix it already consumed (requires the same input "
+             "stream); sketch dimension flags are ignored — the snapshot "
+             "carries them",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="with --workers > 1: persist every absorbed shard under DIR "
+             "and resume an interrupted run by re-invoking the same "
+             "command",
     )
 
 
@@ -164,21 +215,105 @@ def _print_ingest_summary(summary: IngestSummary) -> None:
     )
 
 
+def _fail(message: str) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
+def _check_state_flags(args: argparse.Namespace) -> str | None:
+    """Validate the persistence flag combinations; returns an error or None."""
+    if args.checkpoint_every is not None and args.save_state is None:
+        return "--checkpoint-every requires --save-state (the checkpoint path)"
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        return "--checkpoint-every must be at least 1"
+    if args.workers > 1:
+        if args.save_state or args.resume or args.checkpoint_every is not None:
+            return (
+                "--save-state/--resume/--checkpoint-every apply to serial "
+                "runs; with --workers > 1 use --checkpoint-dir"
+            )
+        return None
+    if args.checkpoint_dir:
+        return (
+            "--checkpoint-dir applies to --workers > 1; serial runs "
+            "checkpoint with --save-state --checkpoint-every"
+        )
+    return None
+
+
+def _restore_items_consumed(meta: dict[str, object], path: str) -> int:
+    consumed = meta.get("items_consumed", 0)
+    if not isinstance(consumed, int) or consumed < 0:
+        raise StoreError(
+            f"{path} does not record a valid items_consumed count; it was "
+            "not written by --save-state"
+        )
+    return consumed
+
+
+def _ingest_with_state(
+    summary: TopKTracker | CountSketch,
+    args: argparse.Namespace,
+    stream: TextStreamReader,
+    consumed: int,
+) -> None:
+    """Feed the unconsumed stream tail into ``summary``, honoring
+    ``--save-state`` / ``--checkpoint-every``."""
+    source = (
+        itertools.islice(iter(stream), consumed, None)
+        if consumed else iter(stream)
+    )
+    if args.save_state and args.checkpoint_every is not None:
+        manager = CheckpointManager(
+            summary, args.save_state,
+            every_items=args.checkpoint_every, items_consumed=consumed,
+        )
+        manager.extend(source)
+        print(
+            f"state: {manager.checkpoints_written} snapshot(s) -> "
+            f"{args.save_state}"
+        )
+        return
+    for item in source:
+        summary.update(item)
+        consumed += 1
+    if args.save_state:
+        save_snapshot(
+            summary, args.save_state, meta={"items_consumed": consumed}
+        )
+        print(f"state: snapshot -> {args.save_state}")
+
+
 def _cmd_topk(args: argparse.Namespace) -> int:
+    problem = _check_state_flags(args)
+    if problem is not None:
+        return _fail(problem)
     stream = _load(args.input, args.int_keys)
     if args.workers > 1:
         top, summary = parallel_topk(
             stream, args.k, args.depth, args.width, seed=args.seed,
             n_workers=args.workers, chunk_size=args.chunk_size,
+            checkpoint_dir=args.checkpoint_dir,
         )
         total_items = summary.total_items
         counters = args.depth * args.width + len(top)
         stored = len(top)
     else:
-        tracker = TopKTracker(args.k, depth=args.depth, width=args.width,
-                              seed=args.seed)
-        for item in stream:
-            tracker.update(item)
+        consumed = 0
+        if args.resume:
+            loaded, meta = load_with_meta(args.resume)
+            if not isinstance(loaded, TopKTracker):
+                return _fail(
+                    f"{args.resume} holds a "
+                    f"{type(loaded).__name__}, not the TopKTracker "
+                    "snapshot topk --resume needs"
+                )
+            tracker = loaded
+            consumed = _restore_items_consumed(meta, args.resume)
+        else:
+            tracker = TopKTracker(args.k, depth=args.depth,
+                                  width=args.width, seed=args.seed)
+        _ingest_with_state(tracker, args, stream, consumed)
         top = tracker.top()
         total_items = tracker.items_processed
         counters = tracker.counters_used()
@@ -199,17 +334,47 @@ def _cmd_topk(args: argparse.Namespace) -> int:
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
+    queries = [int(q) if args.int_keys else q for q in args.items]
+    if args.sketch is not None:
+        # Query a saved snapshot directly: no stream input involved.
+        if args.input or args.resume or args.save_state or args.workers > 1:
+            return _fail(
+                "--sketch queries a saved snapshot; it cannot be combined "
+                "with --input/--resume/--save-state/--workers"
+            )
+        summary_obj = load_snapshot(args.sketch)
+        rows = [[str(q), summary_obj.estimate(q)] for q in queries]
+        print(format_table(["item", "estimate"], rows,
+                           title=f"estimates from snapshot {args.sketch}"))
+        return 0
+    if args.input is None:
+        return _fail("provide --input (a stream file) or --sketch (a "
+                     "saved snapshot)")
+    problem = _check_state_flags(args)
+    if problem is not None:
+        return _fail(problem)
     stream = _load(args.input, args.int_keys)
     if args.workers > 1:
         sketch, summary = parallel_sketch(
             stream, args.depth, args.width, seed=args.seed,
             n_workers=args.workers, chunk_size=args.chunk_size,
+            checkpoint_dir=args.checkpoint_dir,
         )
     else:
-        sketch = CountSketch(args.depth, args.width, seed=args.seed)
-        sketch.extend(stream)
+        consumed = 0
+        if args.resume:
+            loaded, meta = load_with_meta(args.resume)
+            if not isinstance(loaded, CountSketch):
+                return _fail(
+                    f"{args.resume} holds a {type(loaded).__name__}, not "
+                    "the CountSketch snapshot estimate --resume needs"
+                )
+            sketch = loaded
+            consumed = _restore_items_consumed(meta, args.resume)
+        else:
+            sketch = CountSketch(args.depth, args.width, seed=args.seed)
+        _ingest_with_state(sketch, args, stream, consumed)
         summary = None
-    queries = [int(q) if args.int_keys else q for q in args.items]
     rows = [[str(q), sketch.estimate(q)] for q in queries]
     print(format_table(["item", "estimate"], rows,
                        title=f"estimates over {args.input}"))
@@ -271,6 +436,118 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store_inspect(args: argparse.Namespace) -> int:
+    for path in args.paths:
+        info = inspect_snapshot(path)
+        print(f"{path}:")
+        print(json.dumps(info, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_store_merge(args: argparse.Namespace) -> int:
+    from repro.core.sparse import SparseCountSketch
+    from repro.core.vectorized import VectorizedCountSketch
+
+    if len(args.inputs) < 2:
+        return _fail("merge needs at least two input snapshots")
+    mergeable = (CountSketch, SparseCountSketch, VectorizedCountSketch)
+    merged = load_snapshot(args.inputs[0])
+    if not isinstance(merged, mergeable):
+        return _fail(
+            f"{args.inputs[0]} holds a {type(merged).__name__}; merge "
+            "supports plain sketches (dense, sparse, vectorized)"
+        )
+    for path in args.inputs[1:]:
+        other = load_snapshot(path)
+        if type(other) is not type(merged):
+            return _fail(
+                f"cannot merge {type(other).__name__} ({path}) into "
+                f"{type(merged).__name__} ({args.inputs[0]})"
+            )
+        try:
+            merged.merge(other)
+        except ValueError as error:
+            return _fail(f"{path}: {error}")
+    written = save_snapshot(merged, args.out)
+    print(
+        f"merged {len(args.inputs)} snapshots -> {args.out} "
+        f"({written} bytes, total_weight={merged.total_weight})"
+    )
+    return 0
+
+
+def _diff_rows(
+    before: CountSketch, after: CountSketch,
+    items: Sequence[Hashable], k: int,
+) -> list[list[object]]:
+    difference = after - before
+    scored = sorted(
+        (
+            (item, before.estimate(item), after.estimate(item),
+             difference.estimate(item))
+            for item in dict.fromkeys(items)
+        ),
+        key=lambda row: (-abs(row[3]), repr(row[0])),
+    )
+    return [
+        [str(item), est_before, est_after, change]
+        for item, est_before, est_after, change in scored[:k]
+    ]
+
+
+def _cmd_store_diff(args: argparse.Namespace) -> int:
+    items = [int(q) if args.int_keys else q for q in args.items]
+    if args.archive is not None:
+        try:
+            epoch_a, epoch_b = int(args.before), int(args.after)
+        except ValueError:
+            return _fail(
+                "with --archive, BEFORE and AFTER are epoch indices"
+            )
+        archive = SketchArchive(args.archive)
+        entries = archive.diff(
+            epoch_a, epoch_b, k=args.k, items=items or None
+        )
+        rows: list[list[object]] = [
+            [str(e.item), e.estimate_before, e.estimate_after,
+             e.estimated_change]
+            for e in entries
+        ]
+        title = (
+            f"top-{args.k} estimated changes: epoch {epoch_a} -> "
+            f"{epoch_b} of {args.archive}"
+        )
+    else:
+        if not items:
+            return _fail(
+                "provide --items to score (snapshot diffs can only rank "
+                "items somebody names; --archive mode has stored "
+                "candidate lists)"
+            )
+        before = load_snapshot(args.before)
+        after = load_snapshot(args.after)
+        for path, sketch in ((args.before, before), (args.after, after)):
+            if not isinstance(sketch, CountSketch):
+                return _fail(
+                    f"{path} holds a {type(sketch).__name__}; diff needs "
+                    "two dense Count Sketch snapshots sharing one hash "
+                    "family"
+                )
+        if not before.compatible_with(after):
+            return _fail(
+                "snapshots are not hash-compatible: differences are only "
+                "meaningful between sketches built with the same "
+                "(depth, width, seed)"
+            )
+        rows = _diff_rows(before, after, items, args.k)
+        title = f"top-{args.k} estimated changes {args.before} -> {args.after}"
+    print(format_table(
+        ["item", "before est", "after est", "estimated change"], rows,
+        title=title,
+    ))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -287,16 +564,23 @@ def build_parser() -> argparse.ArgumentParser:
     topk.add_argument("--k", type=int, default=10, help="items to report")
     _add_sketch_arguments(topk)
     _add_parallel_arguments(topk)
+    _add_state_arguments(topk)
     _add_metrics_arguments(topk)
     topk.set_defaults(handler=_cmd_topk)
 
     estimate = subparsers.add_parser(
         "estimate", help="sketch a stream and estimate given items' counts"
     )
-    estimate.add_argument("--input", required=True)
+    estimate.add_argument("--input", default=None,
+                          help="stream file, one item per line (omit when "
+                               "querying a snapshot with --sketch)")
+    estimate.add_argument("--sketch", metavar="PATH", default=None,
+                          help="estimate from a saved .rcs snapshot "
+                               "instead of ingesting a stream")
     estimate.add_argument("items", nargs="+", help="items to estimate")
     _add_sketch_arguments(estimate)
     _add_parallel_arguments(estimate)
+    _add_state_arguments(estimate)
     _add_metrics_arguments(estimate)
     estimate.set_defaults(handler=_cmd_estimate)
 
@@ -335,6 +619,53 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=EXPERIMENTS)
     experiment.set_defaults(handler=_cmd_experiment)
 
+    store = subparsers.add_parser(
+        "store", help="inspect, merge, and diff durable .rcs snapshots"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    store_inspect = store_sub.add_parser(
+        "inspect", help="describe snapshot files without rebuilding them"
+    )
+    store_inspect.add_argument("paths", nargs="+",
+                               help="snapshot files (.rcs)")
+    store_inspect.set_defaults(handler=_cmd_store_inspect)
+
+    store_merge = store_sub.add_parser(
+        "merge",
+        help="merge hash-compatible sketch snapshots (exact by §3.2 "
+             "linearity)",
+    )
+    store_merge.add_argument("--out", required=True,
+                             help="destination snapshot path")
+    store_merge.add_argument("inputs", nargs="+",
+                             help="two or more snapshots to merge")
+    store_merge.set_defaults(handler=_cmd_store_merge)
+
+    store_diff = store_sub.add_parser(
+        "diff",
+        help="estimated per-item change between two snapshots (or two "
+             "archive epochs with --archive)",
+    )
+    store_diff.add_argument("before",
+                            help="snapshot path (or epoch index with "
+                                 "--archive)")
+    store_diff.add_argument("after",
+                            help="snapshot path (or epoch index with "
+                                 "--archive)")
+    store_diff.add_argument("--archive", metavar="DIR", default=None,
+                            help="treat BEFORE/AFTER as epoch indices of "
+                                 "this sketch archive")
+    store_diff.add_argument("--items", nargs="*", default=[],
+                            help="candidate items to score (default with "
+                                 "--archive: the epochs' stored "
+                                 "candidates)")
+    store_diff.add_argument("--k", type=int, default=10,
+                            help="changes to report (default 10)")
+    store_diff.add_argument("--int-keys", action="store_true",
+                            help="parse --items as integers")
+    store_diff.set_defaults(handler=_cmd_store_diff)
+
     return parser
 
 
@@ -342,7 +673,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return _run_with_metrics(args, args.handler)
+    try:
+        return _run_with_metrics(args, args.handler)
+    except (StoreError, OSError) as error:
+        return _fail(str(error))
 
 
 if __name__ == "__main__":

@@ -38,6 +38,7 @@ from repro.hashing.encode import encode_key
 from repro.hashing.family import HashFunction
 from repro.hashing.mersenne import KWiseFamily, PolynomialHash
 from repro.hashing.sign import SignHash, SignHashFamily
+from repro.core.sketch_base import coerce_counter_array
 from repro.observability.registry import MetricsRegistry, get_registry
 
 #: Maximum number of items kept in the per-sketch hash-position cache.  The
@@ -437,12 +438,19 @@ class CountSketch:
         return float(math.sqrt(float((self._counters.astype(np.float64) ** 2).sum())))
 
     def state_dict(self) -> dict[str, Any]:
-        """Serialize to a plain dict (JSON-compatible except the counters).
+        """Serialize to a plain dict; the counters travel as an ndarray.
 
         Only sketches built with the default polynomial families (i.e.
         without explicit ``bucket_hashes``/``sign_hashes``) can be
         serialized this way; the hash functions are reconstructed from the
         recorded coefficients.
+
+        The ``counters`` value is an independent int64 ``np.ndarray`` copy
+        (not nested Python lists — boxing ``depth × width`` ints costs
+        more than the sketch itself for wide configurations).  Callers
+        that need JSON must ``.tolist()`` it themselves; durable snapshots
+        should use :mod:`repro.store`, which packs the array as raw
+        little-endian bytes behind a checksummed header.
         """
         bucket_coeffs = []
         sign_coeffs = []
@@ -469,32 +477,47 @@ class CountSketch:
             "bucket_coefficients": bucket_coeffs,
             "sign_coefficients": sign_coeffs,
             "total_weight": self._total_weight,
-            "counters": self._counters.tolist(),
+            "counters": self._counters.copy(),
         }
 
     @classmethod
     def from_state_dict(cls, state: dict[str, Any]) -> CountSketch:
-        """Rebuild a sketch serialized by :meth:`state_dict`."""
+        """Rebuild a sketch serialized by :meth:`state_dict`.
+
+        Raises:
+            ValueError: if the coefficient lists disagree with ``depth``,
+                or the counter array is non-integral or mis-shaped.
+        """
+        depth = state["depth"]
         width = state["width"]
+        bucket_coefficients = state["bucket_coefficients"]
+        sign_coefficients = state["sign_coefficients"]
+        if len(bucket_coefficients) != depth:
+            raise ValueError(
+                f"expected {depth} bucket coefficient lists (one per row), "
+                f"got {len(bucket_coefficients)}"
+            )
+        if len(sign_coefficients) != depth:
+            raise ValueError(
+                f"expected {depth} sign coefficient lists (one per row), "
+                f"got {len(sign_coefficients)}"
+            )
         bucket_hashes = [
             BucketHash(PolynomialHash(tuple(coeffs)), width)
-            for coeffs in state["bucket_coefficients"]
+            for coeffs in bucket_coefficients
         ]
         sign_hashes = [
             SignHash(PolynomialHash(tuple(coeffs)))
-            for coeffs in state["sign_coefficients"]
+            for coeffs in sign_coefficients
         ]
         sketch = cls(
-            state["depth"],
+            depth,
             width,
             seed=state.get("seed", 0),
             bucket_hashes=bucket_hashes,
             sign_hashes=sign_hashes,
         )
-        counters = np.asarray(state["counters"], dtype=np.int64)
-        if counters.shape != (state["depth"], width):
-            raise ValueError("counter array shape does not match depth/width")
-        sketch._counters = counters
+        sketch._counters = coerce_counter_array(state["counters"], depth, width)
         sketch._total_weight = state["total_weight"]
         return sketch
 

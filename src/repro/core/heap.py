@@ -121,6 +121,42 @@ class IndexedMinHeap:
             reverse=True,
         )
 
+    def entries(self) -> list[tuple[Hashable, float]]:
+        """All (item, priority) pairs in internal heap-array order.
+
+        The order is part of the heap's observable behaviour (ties in
+        :meth:`as_sorted_list` break by array position), so snapshots that
+        must restore *bit-for-bit* identical output serialize this order
+        and rebuild with :meth:`from_entries`.
+        """
+        return list(zip(self._items, self._priorities, strict=True))
+
+    @classmethod
+    def from_entries(
+        cls, entries: list[tuple[Hashable, float]]
+    ) -> IndexedMinHeap:
+        """Rebuild a heap from :meth:`entries` output, order preserved.
+
+        Raises:
+            ValueError: if ``entries`` contains a duplicate item or does
+                not satisfy the min-heap property (i.e. it was not
+                produced by :meth:`entries`).
+        """
+        heap = cls()
+        heap._items = [item for item, __ in entries]
+        heap._priorities = [float(priority) for __, priority in entries]
+        heap._slots = {item: slot for slot, item in enumerate(heap._items)}
+        if len(heap._slots) != len(heap._items):
+            raise ValueError("heap entries contain a duplicate item")
+        for slot in range(1, len(heap._priorities)):
+            parent = (slot - 1) // 2
+            if heap._priorities[slot] < heap._priorities[parent]:
+                raise ValueError(
+                    "entries do not satisfy the min-heap property; only "
+                    "lists produced by entries() can be restored"
+                )
+        return heap
+
     # -- internal sifting ---------------------------------------------------
 
     def _remove_at(self, slot: int) -> tuple[Hashable, float]:

@@ -23,6 +23,8 @@ from __future__ import annotations
 from collections.abc import Hashable, Iterable
 from typing import Protocol, runtime_checkable
 
+import numpy as np
+
 
 @runtime_checkable
 class FrequencyEstimator(Protocol):
@@ -56,6 +58,44 @@ class StreamSummary(Protocol):
     def items_stored(self) -> int:
         """Number of stream objects (keys) the summary currently stores."""
         ...
+
+
+def coerce_counter_array(
+    counters: object, depth: int, width: int
+) -> np.ndarray:
+    """Validate and convert a serialized counter block to int64.
+
+    Accepts the ``np.ndarray`` a modern ``state_dict`` carries as well as
+    the nested-list form older serializations used.  Anything that is not
+    exactly-representable integer data is rejected: a float array that
+    slipped into a state dict would otherwise be truncated silently here
+    and break exact round-trip/merge equality downstream.
+
+    Raises:
+        ValueError: if the array is non-integral (float/complex/object
+            data, or integral-typed values that do not fit int64) or its
+            shape is not ``(depth, width)``.
+    """
+    array = np.asarray(counters)
+    if array.dtype.kind not in "iu":
+        candidate = np.asarray(counters, dtype=np.float64)
+        if not np.all(np.isfinite(candidate)) or not np.array_equal(
+            candidate, np.trunc(candidate)
+        ):
+            raise ValueError(
+                "counter array must be integral: the int64 counter "
+                "invariant rejects float/non-numeric counter data"
+            )
+        array = candidate
+    coerced = array.astype(np.int64, casting="unsafe")
+    if not np.array_equal(coerced.astype(array.dtype), array):
+        raise ValueError("counter values do not fit in int64")
+    if coerced.shape != (depth, width):
+        raise ValueError(
+            f"counter array shape {coerced.shape} does not match "
+            f"(depth, width) = ({depth}, {width})"
+        )
+    return coerced
 
 
 def consume(summary: FrequencyEstimator | StreamSummary,

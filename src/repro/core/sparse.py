@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import statistics
 from collections.abc import Hashable, Iterable, Mapping
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.hashing.bucket import BucketHashFamily
 from repro.hashing.encode import encode_key
@@ -236,6 +236,69 @@ class SparseCountSketch:
     def items_stored(self) -> int:
         """A bare sketch stores no stream objects."""
         return 0
+
+    # -- serialization -------------------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        """Serialize to a plain dict of touched buckets per row.
+
+        The hash functions derive from ``seed``, so only the dimensions,
+        seed, and the per-row ``{bucket: value}`` tables travel; the
+        round-trip is exact (and stays sparse — untouched buckets are
+        never materialized).
+        """
+        return {
+            "depth": self._depth,
+            "width": self._width,
+            "seed": self._seed,
+            "total_weight": self._total_weight,
+            "rows": [dict(row) for row in self._rows],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict[str, Any]) -> SparseCountSketch:
+        """Rebuild a sketch serialized by :meth:`state_dict`.
+
+        Raises:
+            ValueError: if the row count disagrees with ``depth``, a
+                bucket index falls outside ``[0, width)``, a stored value
+                is zero (the representation keeps only touched buckets),
+                or a bucket/value is not an integer.
+        """
+        depth = state["depth"]
+        width = state["width"]
+        rows = state["rows"]
+        if len(rows) != depth:
+            raise ValueError(
+                f"expected {depth} rows (one per hash row), got {len(rows)}"
+            )
+        cleaned: list[dict[int, int]] = []
+        for row in rows:
+            table: dict[int, int] = {}
+            for bucket, value in row.items():
+                bucket = int(bucket)  # JSON round-trips dict keys as str
+                if not 0 <= bucket < width:
+                    raise ValueError(
+                        f"bucket index {bucket} outside [0, {width})"
+                    )
+                if isinstance(value, float) and not value.is_integer():
+                    raise ValueError(
+                        "counter values must be integral: the int64 "
+                        "counter invariant rejects float counter data"
+                    )
+                value = int(value)
+                if value == 0:
+                    raise ValueError(
+                        "zero-valued buckets must be absent from a sparse "
+                        "row (the representation keeps touched buckets "
+                        "only)"
+                    )
+                table[bucket] = value
+            cleaned.append(table)
+        sketch = cls(depth, width, seed=state["seed"])
+        sketch._rows = cleaned
+        sketch._total_weight = state["total_weight"]
+        return sketch
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, SparseCountSketch):

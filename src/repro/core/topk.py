@@ -20,6 +20,7 @@ and one counter per heap entry.
 from __future__ import annotations
 
 from collections.abc import Hashable
+from typing import Any
 
 from repro.core.countsketch import CountSketch
 from repro.core.heap import IndexedMinHeap
@@ -166,6 +167,48 @@ class TopKTracker:
         if item in self._heap:
             return self._heap.priority(item)
         return self._sketch.estimate(item)
+
+    # -- serialization -------------------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        """Serialize the tracker: sketch state plus the heap, exactly.
+
+        The heap entries are recorded in internal array order (see
+        :meth:`~repro.core.heap.IndexedMinHeap.entries`), so a restored
+        tracker's :meth:`top` output is bit-for-bit identical — including
+        tie-breaks — and further updates continue as if uninterrupted.
+        """
+        return {
+            "k": self._k,
+            "exact_heap_counts": self._exact_heap_counts,
+            "items_processed": self._items_processed,
+            "sketch": self._sketch.state_dict(),
+            "heap": self._heap.entries(),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict[str, Any]) -> TopKTracker:
+        """Rebuild a tracker serialized by :meth:`state_dict`.
+
+        Raises:
+            ValueError: if the heap holds more than ``k`` entries or the
+                nested sketch state fails its own validation.
+        """
+        heap = IndexedMinHeap.from_entries(
+            [(item, priority) for item, priority in state["heap"]]
+        )
+        if len(heap) > state["k"]:
+            raise ValueError(
+                f"heap holds {len(heap)} entries but k={state['k']}"
+            )
+        tracker = cls(
+            state["k"],
+            sketch=CountSketch.from_state_dict(state["sketch"]),
+            exact_heap_counts=state["exact_heap_counts"],
+        )
+        tracker._heap = heap
+        tracker._items_processed = state["items_processed"]
+        return tracker
 
     def counters_used(self) -> int:
         """Sketch counters plus one count per heap entry (paper: ``tb + k``)."""

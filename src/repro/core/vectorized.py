@@ -21,6 +21,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.core.sketch_base import coerce_counter_array
 from repro.hashing.encode import encode_key
 from repro.hashing.vectorized import VectorizedRowHashes, encode_keys
 from repro.observability.registry import MetricsRegistry, get_registry
@@ -249,28 +250,34 @@ class VectorizedCountSketch:
     # -- serialization -------------------------------------------------------
 
     def state_dict(self) -> dict[str, Any]:
-        """Serialize to a plain dict (JSON-compatible).
+        """Serialize to a plain dict; the counters travel as an ndarray.
 
         The hash functions are fully determined by ``seed``, so only the
         dimensions, seed, and counters need to travel; the round-trip is
-        exact.
+        exact.  The ``counters`` value is an independent int64 array copy
+        (``.tolist()`` it for JSON; durable snapshots should go through
+        :mod:`repro.store`).
         """
         return {
             "depth": self.depth,
             "width": self.width,
             "seed": self.seed,
             "total_weight": self._total_weight,
-            "counters": self._counters.tolist(),
+            "counters": self._counters.copy(),
         }
 
     @classmethod
     def from_state_dict(cls, state: dict[str, Any]) -> VectorizedCountSketch:
-        """Rebuild a sketch serialized by :meth:`state_dict`."""
+        """Rebuild a sketch serialized by :meth:`state_dict`.
+
+        Raises:
+            ValueError: if the counter array is non-integral or its shape
+                disagrees with ``depth``/``width``.
+        """
         sketch = cls(state["depth"], state["width"], seed=state["seed"])
-        counters = np.asarray(state["counters"], dtype=np.int64)
-        if counters.shape != (state["depth"], state["width"]):
-            raise ValueError("counter array shape does not match depth/width")
-        sketch._counters = counters
+        sketch._counters = coerce_counter_array(
+            state["counters"], state["depth"], state["width"]
+        )
         sketch._total_weight = state["total_weight"]
         return sketch
 

@@ -18,8 +18,12 @@ closes that loop.
 from __future__ import annotations
 
 from collections.abc import Hashable
+from typing import Any
+
+import numpy as np
 
 from repro.core.countsketch import CountSketch
+from repro.core.sketch_base import coerce_counter_array
 from repro.observability.registry import get_registry
 
 
@@ -130,6 +134,77 @@ class JumpingWindowSketch:
     def estimate(self, item: Hashable) -> float:
         """Estimated occurrences of ``item`` within the covered window."""
         return self._aggregate.estimate(item)
+
+    # -- serialization -------------------------------------------------------
+
+    def _sub_sketch_state(self, sketch: CountSketch) -> dict[str, Any]:
+        """Counters + weight of one sub-sketch (hashes derive from seed)."""
+        return {
+            "counters": sketch.counters.copy(),
+            "total_weight": sketch.total_weight,
+        }
+
+    def _restore_sub_sketch(self, state: dict[str, Any]) -> CountSketch:
+        sketch = CountSketch(self._depth, self._width, seed=self._seed)
+        sketch._counters = coerce_counter_array(
+            state["counters"], self._depth, self._width
+        )
+        sketch._total_weight = state["total_weight"]
+        return sketch
+
+    def state_dict(self) -> dict[str, Any]:
+        """Serialize the window: ring buckets, aggregate, and fill state.
+
+        Every sub-sketch is built from the shared ``seed``, so only the
+        counter blocks and weights travel; a restored window continues
+        rotating and expiring exactly where the original would.
+        """
+        return {
+            "window": self._window,
+            "buckets": self._num_buckets,
+            "depth": self._depth,
+            "width": self._width,
+            "seed": self._seed,
+            "current_fill": self._current_fill,
+            "items_seen": self._items_seen,
+            "aggregate": self._sub_sketch_state(self._aggregate),
+            "ring": [self._sub_sketch_state(s) for s in self._ring],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict[str, Any]) -> JumpingWindowSketch:
+        """Rebuild a window serialized by :meth:`state_dict`.
+
+        Raises:
+            ValueError: if the ring is empty, the aggregate is not the
+                sum of the ring buckets, or a counter block fails its own
+                validation.
+        """
+        window = cls(
+            state["window"],
+            buckets=state["buckets"],
+            depth=state["depth"],
+            width=state["width"],
+            seed=state["seed"],
+        )
+        ring_states = state["ring"]
+        if not ring_states:
+            raise ValueError("a jumping window needs at least one ring bucket")
+        window._ring = [window._restore_sub_sketch(s) for s in ring_states]
+        window._aggregate = window._restore_sub_sketch(state["aggregate"])
+        window._current_fill = state["current_fill"]
+        window._items_seen = state["items_seen"]
+        total = np.zeros(
+            (state["depth"], state["width"]), dtype=np.int64
+        )
+        for bucket in window._ring:
+            total += bucket.counters
+        if not np.array_equal(total, window._aggregate.counters):
+            raise ValueError(
+                "aggregate counters are not the sum of the ring buckets: "
+                "the snapshot is internally inconsistent"
+            )
+        return window
 
     def counters_used(self) -> int:
         """Counters across the aggregate and all live ring buckets."""

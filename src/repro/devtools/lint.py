@@ -26,6 +26,12 @@ that no general-purpose linter knows about:
   parameters (``update(item, 1.5)``, ``count=2.0``, ``scale(0.5)``).
   A float count silently promotes the int64 counter array and breaks
   serialization and exact-merge equality.
+* **RS006 raw-state-serialization** — sketch state fed to a generic
+  serializer (``json.dump``/``dumps``, ``pickle``, ``marshal``,
+  ``np.save``/``savez``) outside ``repro.store``.  Ad-hoc dumps drop
+  the format version, checksums, and hash coefficients, so the bytes
+  cannot be validated or merged later; ``repro.store.save()`` /
+  ``load()`` is the one sanctioned codec.
 
 Suppress a finding by appending ``# repro: noqa-RS001`` (comma-separate
 several codes: ``# repro: noqa-RS002,RS004``; bare ``# repro: noqa``
@@ -106,6 +112,13 @@ RULES: tuple[Rule, ...] = (
         "float-count",
         "float literal flowing into an integer count parameter",
         "counts are integers (the int64 counter invariant); pass an int",
+    ),
+    Rule(
+        "RS006",
+        "raw-state-serialization",
+        "sketch state serialized with a generic codec outside repro.store",
+        "persist summaries with repro.store.save()/load() — the versioned, "
+        "CRC-checked snapshot format",
     ),
 )
 
@@ -256,6 +269,20 @@ _COUNT_POSITIONS = {
 #: Keyword names that carry integer counts (RS005).
 _COUNT_KEYWORDS = frozenset({"count"})
 
+#: Generic serializer entry points per stdlib/numpy module (RS006).
+_SERIALIZER_FUNCS: dict[str, frozenset[str]] = {
+    "json": frozenset({"dump", "dumps"}),
+    "pickle": frozenset({"dump", "dumps"}),
+    "marshal": frozenset({"dump", "dumps"}),
+    "numpy": frozenset({"save", "savez", "savez_compressed"}),
+}
+
+#: Attribute names that mark an expression as sketch state (RS006): the
+#: counter arrays (private and public views) and the state_dict() export.
+_SERIALIZED_STATE_ATTRS = frozenset(
+    {"_counters", "counters", "_rows", "_table", "table"}
+)
+
 
 def _is_test_path(path: Path) -> bool:
     """True for files where test-only relaxations (RS001/RS003) apply."""
@@ -292,6 +319,7 @@ class _Checker(ast.NodeVisitor):
         self._is_test = _is_test_path(path)
         self._in_core = _in_package(path, "core")
         self._in_observability = _in_package(path, "observability")
+        self._in_store = _in_package(path, "store")
         self._func_stack: list[str] = []
         self._in_decorator = 0
         self.findings: list[Finding] = []
@@ -302,6 +330,8 @@ class _Checker(ast.NodeVisitor):
         self._from_random: dict[str, str] = {}
         self._from_np_random: dict[str, str] = {}
         self._observability_timed: set[str] = set()
+        self._serializer_aliases: dict[str, str] = {}
+        self._from_serializer: dict[str, tuple[str, str]] = {}
 
     # -- bookkeeping --------------------------------------------------------
 
@@ -323,6 +353,8 @@ class _Checker(ast.NodeVisitor):
                 self._random_aliases.add(bound)
             elif alias.name == "numpy":
                 self._numpy_aliases.add(bound)
+            elif alias.name in ("json", "pickle", "marshal"):
+                self._serializer_aliases[bound] = alias.name
             elif alias.name == "numpy.random":
                 if alias.asname is not None:
                     self._np_random_aliases.add(alias.asname)
@@ -344,6 +376,11 @@ class _Checker(ast.NodeVisitor):
                 alias.name == "timed"
             ):
                 self._observability_timed.add(bound)
+            if (
+                module in _SERIALIZER_FUNCS
+                and alias.name in _SERIALIZER_FUNCS[module]
+            ):
+                self._from_serializer[bound] = (module, alias.name)
         self.generic_visit(node)
 
     def _visit_function(
@@ -572,6 +609,66 @@ class _Checker(ast.NodeVisitor):
                 f"`{name}(...)`",
             )
 
+    # -- RS006: raw state serialization ---------------------------------------
+
+    def _serializer_target(self, func: ast.expr) -> str | None:
+        """Resolve a call target to a serializer's display name, if any."""
+        if isinstance(func, ast.Attribute):
+            value = func.value
+            if not isinstance(value, ast.Name):
+                return None
+            module = self._serializer_aliases.get(value.id)
+            if module is not None and func.attr in _SERIALIZER_FUNCS[module]:
+                return f"{module}.{func.attr}"
+            if (
+                value.id in self._numpy_aliases
+                and func.attr in _SERIALIZER_FUNCS["numpy"]
+            ):
+                return f"numpy.{func.attr}"
+        elif isinstance(func, ast.Name) and func.id in self._from_serializer:
+            module, attr = self._from_serializer[func.id]
+            return f"{module}.{attr}"
+        return None
+
+    @staticmethod
+    def _references_sketch_state(node: ast.Call) -> bool:
+        """True when the call's argument tree reaches sketch state: a
+        counter-array attribute or a ``state_dict()`` export."""
+        roots: list[ast.expr] = list(node.args)
+        roots.extend(
+            keyword.value
+            for keyword in node.keywords
+            if keyword.value is not None
+        )
+        for root in roots:
+            for child in ast.walk(root):
+                if (
+                    isinstance(child, ast.Attribute)
+                    and child.attr in _SERIALIZED_STATE_ATTRS
+                ):
+                    return True
+                if (
+                    isinstance(child, ast.Call)
+                    and isinstance(child.func, ast.Attribute)
+                    and child.func.attr == "state_dict"
+                ):
+                    return True
+        return False
+
+    def _check_rs006(self, node: ast.Call) -> None:
+        if self._in_store:
+            return
+        target = self._serializer_target(node.func)
+        if target is None:
+            return
+        if self._references_sketch_state(node):
+            self._report(
+                node,
+                "RS006",
+                f"`{target}(...)` serializes raw sketch state outside "
+                "repro.store",
+            )
+
     # -- dispatch ------------------------------------------------------------
 
     def visit_Call(self, node: ast.Call) -> None:
@@ -579,6 +676,7 @@ class _Checker(ast.NodeVisitor):
         self._check_rs003(node)
         self._check_rs004_call(node)
         self._check_rs005(node)
+        self._check_rs006(node)
         self.generic_visit(node)
 
 
@@ -676,7 +774,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code (0 clean, 1 findings)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.devtools.lint",
-        description="repo-specific AST lint suite (rules RS001-RS005)",
+        description="repo-specific AST lint suite (rules RS001-RS006)",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src", "tests"],

@@ -35,6 +35,7 @@ import time
 from collections import Counter, deque
 from dataclasses import dataclass
 from collections.abc import Hashable, Iterable
+from pathlib import Path
 
 import numpy as np
 
@@ -49,6 +50,7 @@ from repro.observability.registry import (
     use_registry,
 )
 from repro.parallel.chunks import DEFAULT_CHUNK_SIZE, iter_chunks
+from repro.store.checkpoint import ShardCheckpointStore
 
 #: Sketch backends the engine can shard.
 BACKENDS = ("dense", "sparse", "vectorized")
@@ -227,6 +229,10 @@ class IngestSummary:
     items_per_second: float
     merge_seconds: float
     shards: tuple[ShardStats, ...]
+    #: Shards restored from a checkpoint directory instead of recomputed.
+    restored_shards: int = 0
+    #: Items covered by the restored shards (skipped on replay).
+    restored_items: int = 0
 
 
 # -- the engine -------------------------------------------------------------
@@ -234,16 +240,19 @@ class IngestSummary:
 
 def _absorb_state(
     merged: _AnySketch, result: _ShardResult, backend: str
-) -> None:
+) -> _AnySketch:
     """Rehydrate a shard from its state and ``merge`` it (§3.2).
 
     The raw-state writes below rebuild a worker's shard inside an empty
     sketch constructed with the parent's own ``(depth, width, seed)`` —
     hash compatibility holds by construction, and the final ``merge``
-    call re-checks it.
+    call re-checks it.  Returns the rehydrated shard so the checkpoint
+    layer can persist it after the merge.
     """
     if backend == "sparse":
-        shard = SparseCountSketch(merged.depth, merged.width, seed=merged.seed)
+        shard: _AnySketch = SparseCountSketch(
+            merged.depth, merged.width, seed=merged.seed
+        )
         shard._rows = list(result.state)  # repro: noqa-RS002
         shard._total_weight = result.total_weight  # repro: noqa-RS002
     else:
@@ -252,6 +261,7 @@ def _absorb_state(
             counters, result.total_weight
         )
     merged.merge(shard)
+    return shard
 
 
 def _ingest(
@@ -264,13 +274,13 @@ def _ingest(
     n_workers: int,
     chunk_size: int,
     candidates: int | None,
+    checkpoint_dir: str | Path | None = None,
 ) -> tuple[_AnySketch, dict[Hashable, None], IngestSummary]:
     """Chunk, fan out, and merge; returns (sketch, candidate dict, summary)."""
     if n_workers < 1:
         raise ValueError("n_workers must be at least 1")
-    merged = _make_sketch(
-        backend if candidates is None else "dense", depth, width, seed
-    )
+    effective_backend = backend if candidates is None else "dense"
+    merged = _make_sketch(effective_backend, depth, width, seed)
     executor = resolve_executor(n_workers)
     shard_stats: list[ShardStats] = []
     candidate_items: dict[Hashable, None] = {}  # insertion-ordered set
@@ -284,11 +294,48 @@ def _ingest(
     metrics = _IngestMetrics(registry)
     metrics.workers.set(n_workers)
 
+    # Durable-resume bookkeeping: fold previously checkpointed shards
+    # into the merged sketch up front (merge order is irrelevant by
+    # linearity) and skip their chunk indices when replaying the stream.
+    store: ShardCheckpointStore | None = None
+    covered: frozenset[int] = frozenset()
+    restored_items = 0
+    if checkpoint_dir is not None:
+        store = ShardCheckpointStore(checkpoint_dir)
+        store.ensure_manifest(
+            {
+                "backend": effective_backend,
+                "depth": depth,
+                "width": width,
+                "seed": seed,
+                "chunk_size": chunk_size,
+                "candidates": candidates,
+            }
+        )
+        restored: set[int] = set()
+        for index, shard, meta in store.load_shards():
+            merged.merge(shard)  # compatibility-checked (§3.2)
+            for item in meta["candidates"]:
+                candidate_items.setdefault(item)
+            restored.add(index)
+            restored_items += meta.get("items", 0)
+        covered = frozenset(restored)
+        total_items += restored_items
+
     def absorb(result: _ShardResult) -> None:
         nonlocal merge_seconds, total_items
         merge_start = time.perf_counter()
-        _absorb_state(merged, result, backend if candidates is None else "dense")
+        shard = _absorb_state(
+            merged, result, backend if candidates is None else "dense"
+        )
         merge_elapsed = time.perf_counter() - merge_start
+        if store is not None:
+            store.save_shard(
+                result.index,
+                shard,
+                items=result.items,
+                candidates=result.candidates,
+            )
         merge_seconds += merge_elapsed
         for item in result.candidates:
             candidate_items.setdefault(item)
@@ -326,6 +373,7 @@ def _ingest(
             chunk=chunk,
         )
         for index, chunk in enumerate(iter_chunks(stream, chunk_size))
+        if index not in covered
     )
 
     wall_start = time.perf_counter()
@@ -367,6 +415,8 @@ def _ingest(
         ),
         merge_seconds=merge_seconds,
         shards=tuple(shard_stats),
+        restored_shards=len(covered),
+        restored_items=restored_items,
     )
     return merged, candidate_items, summary
 
@@ -380,6 +430,7 @@ def parallel_sketch(
     backend: str = "dense",
     n_workers: int = 1,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    checkpoint_dir: str | Path | None = None,
 ) -> tuple[_AnySketch, IngestSummary]:
     """Sketch a stream with sharded workers; exact by linearity.
 
@@ -395,6 +446,12 @@ def parallel_sketch(
         n_workers: worker processes; 1 (or a fork-less platform) runs the
             identical pipeline serially.
         chunk_size: items per shard chunk.
+        checkpoint_dir: when set, every absorbed shard is persisted there
+            (atomic ``.rcs`` snapshots via :mod:`repro.store`); rerunning
+            with the same directory, stream, and parameters restores the
+            saved shards and only sketches the not-yet-covered chunks.
+            A mismatched directory is refused
+            (:class:`~repro.store.CheckpointMismatchError`).
 
     Returns:
         ``(sketch, summary)`` — the merged sketch, bit-for-bit equal to a
@@ -410,6 +467,7 @@ def parallel_sketch(
         n_workers=n_workers,
         chunk_size=chunk_size,
         candidates=None,
+        checkpoint_dir=checkpoint_dir,
     )
     return merged, summary
 
@@ -424,6 +482,7 @@ def parallel_topk(
     n_workers: int = 1,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     candidates: int | None = None,
+    checkpoint_dir: str | Path | None = None,
 ) -> tuple[list[tuple[Hashable, float]], IngestSummary]:
     """Approximate top-k over sharded workers (§4.1 CANDIDATETOP style).
 
@@ -444,6 +503,9 @@ def parallel_topk(
         chunk_size: items per shard chunk.
         candidates: per-shard candidate list length ``l``; defaults to
             ``2·k``, the same safe constant multiple CANDIDATETOP uses.
+        checkpoint_dir: when set, absorbed shards (sketch + candidate
+            list) are persisted for durable resume, exactly as in
+            :func:`parallel_sketch`.
 
     Returns:
         ``(top, summary)`` where ``top`` is a list of ``(item, estimate)``
@@ -464,6 +526,7 @@ def parallel_topk(
         n_workers=n_workers,
         chunk_size=chunk_size,
         candidates=candidates,
+        checkpoint_dir=checkpoint_dir,
     )
     ranked = sorted(
         ((item, merged.estimate(item)) for item in candidate_items),

@@ -1,0 +1,454 @@
+"""A temporal archive of epoch sketches sharing one hash family.
+
+The §3.2 linearity argument is not just a merge trick — it is a *query
+language over time*.  If every epoch (hour, day, week) of a stream is
+sketched with the **same** ``(depth, width, seed)``, then for any two
+epochs ``i < j``:
+
+* ``epoch(j) - epoch(i)`` is exactly the sketch of the difference
+  vector, so ``.estimate(q)`` is the §4.2 estimated change — the archive
+  answers "what changed most between any two periods?" *historically*,
+  long after the raw streams are gone (:meth:`SketchArchive.diff`
+  returns the same estimates :class:`~repro.core.maxchange.
+  MaxChangeFinder` would compute from the raw streams).
+* the sum of ``epoch(i..j)`` is exactly the sketch of the concatenated
+  period, so range queries ("this month") are one merge away.
+
+Range merges use dyadic decomposition in the style of Hokusai-type
+time-aggregated sketch stores: ``[start, end)`` splits into at most
+``2·log₂ n`` aligned power-of-two intervals, and each aligned interval's
+merged sketch is computed once and cached on disk (``dyadic/``), so
+repeated range queries touch ``O(log n)`` files instead of ``O(n)``.
+
+On disk the archive is a directory of ordinary snapshot files plus a
+manifest pinning the shared hash parameters — every file remains
+readable by :func:`repro.store.load` and the ``repro store`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.core.countsketch import CountSketch
+from repro.core.topk import TopKTracker
+from repro.store.codec import load_with_meta, save
+from repro.store.format import (
+    SNAPSHOT_SUFFIX,
+    StoreError,
+    atomic_write_bytes,
+    decode_item,
+    encode_item,
+)
+
+if TYPE_CHECKING:
+    from collections.abc import Hashable, Iterable
+
+__all__ = ["ArchiveDiffEntry", "SketchArchive"]
+
+
+class ArchiveDiffEntry:
+    """One candidate from an archive diff, ranked by ``|estimated_change|``.
+
+    ``estimated_change`` approximates ``n_q(epoch_b) − n_q(epoch_a)``; it
+    is exactly the pass-1 estimate the two-pass §4.2 algorithm computes,
+    because both subtract the same hash-compatible sketches.
+    """
+
+    __slots__ = ("item", "estimated_change", "estimate_before",
+                 "estimate_after")
+
+    def __init__(self, item: Hashable, estimated_change: float,
+                 estimate_before: float, estimate_after: float) -> None:
+        self.item = item
+        self.estimated_change = estimated_change
+        self.estimate_before = estimate_before
+        self.estimate_after = estimate_after
+
+    @property
+    def abs_change(self) -> float:
+        """The magnitude the diff ranks by."""
+        return abs(self.estimated_change)
+
+    def __repr__(self) -> str:
+        return (
+            f"ArchiveDiffEntry(item={self.item!r}, "
+            f"estimated_change={self.estimated_change})"
+        )
+
+
+class SketchArchive:
+    """An append-only, on-disk sequence of hash-compatible epoch sketches.
+
+    Args:
+        directory: archive root (created if missing).
+        depth: sketch rows — required when creating a new archive,
+            optional (but verified) when opening an existing one.
+        width: counters per row — same rule as ``depth``.
+        seed: shared hash seed for every epoch.
+
+    Layout::
+
+        <directory>/
+            manifest.json               # {depth, width, seed, epochs}
+            epochs/epoch-00000000.rcs   # one snapshot per epoch
+            ...
+            dyadic/merge-<start>-<length>.rcs   # cached range merges
+    """
+
+    MANIFEST_NAME = "manifest.json"
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        depth: int | None = None,
+        width: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        self._directory = Path(directory)
+        self._epoch_dir = self._directory / "epochs"
+        self._dyadic_dir = self._directory / "dyadic"
+        manifest = self._read_manifest()
+        if manifest is None:
+            if depth is None or width is None:
+                raise ValueError(
+                    "creating a new archive requires depth and width"
+                )
+            self._depth = depth
+            self._width = width
+            self._seed = seed
+            self._epochs = 0
+            self._epoch_dir.mkdir(parents=True, exist_ok=True)
+            self._dyadic_dir.mkdir(parents=True, exist_ok=True)
+            self._write_manifest()
+        else:
+            self._depth = manifest["depth"]
+            self._width = manifest["width"]
+            self._seed = manifest["seed"]
+            self._epochs = manifest["epochs"]
+            for name, given in (
+                ("depth", depth), ("width", width),
+                ("seed", seed if seed != 0 else None),
+            ):
+                stored = getattr(self, f"_{name}")
+                if given is not None and given != stored:
+                    raise StoreError(
+                        f"archive {self._directory} was created with "
+                        f"{name}={stored}, not {given}: epochs only "
+                        "subtract exactly under one shared hash family"
+                    )
+            self._epoch_dir.mkdir(parents=True, exist_ok=True)
+            self._dyadic_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- manifest -------------------------------------------------------------
+
+    def _manifest_path(self) -> Path:
+        return self._directory / self.MANIFEST_NAME
+
+    def _read_manifest(self) -> dict[str, Any] | None:
+        path = self._manifest_path()
+        if not path.exists():
+            return None
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise StoreError(
+                f"{path} is not a valid archive manifest: {error}"
+            ) from error
+        if not isinstance(manifest, dict) or not all(
+            key in manifest for key in ("depth", "width", "seed", "epochs")
+        ):
+            raise StoreError(
+                f"{path} is missing archive manifest fields"
+            )
+        return manifest
+
+    def _write_manifest(self) -> None:
+        atomic_write_bytes(
+            self._manifest_path(),
+            json.dumps(
+                {
+                    "depth": self._depth,
+                    "width": self._width,
+                    "seed": self._seed,
+                    "epochs": self._epochs,
+                },
+                sort_keys=True,
+                indent=2,
+            ).encode("utf-8"),
+        )
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def directory(self) -> Path:
+        """The archive root."""
+        return self._directory
+
+    @property
+    def depth(self) -> int:
+        """Sketch rows shared by every epoch."""
+        return self._depth
+
+    @property
+    def width(self) -> int:
+        """Counters per row shared by every epoch."""
+        return self._width
+
+    @property
+    def seed(self) -> int:
+        """The shared hash seed."""
+        return self._seed
+
+    def __len__(self) -> int:
+        return self._epochs
+
+    # -- appending epochs -----------------------------------------------------
+
+    def new_epoch_sketch(self) -> CountSketch:
+        """An empty sketch with the archive's shared hash parameters."""
+        return CountSketch(self._depth, self._width, seed=self._seed)
+
+    def _epoch_path(self, index: int) -> Path:
+        return self._epoch_dir / f"epoch-{index:08d}{SNAPSHOT_SUFFIX}"
+
+    def append(
+        self,
+        sketch: CountSketch,
+        *,
+        candidates: Iterable[Hashable] = (),
+    ) -> int:
+        """Store ``sketch`` as the next epoch; returns its index.
+
+        ``candidates`` (typically the epoch's heavy hitters) are recorded
+        in the snapshot meta — they are the default probe set for
+        :meth:`diff`, which can only rank items somebody names.
+
+        Raises:
+            ValueError: when ``sketch`` does not share the archive's hash
+                family — storing it would poison every cross-epoch query.
+        """
+        reference = self.new_epoch_sketch()
+        if not reference.compatible_with(sketch):
+            raise ValueError(
+                "epoch sketch is not compatible with this archive: build "
+                f"it with (depth={self._depth}, width={self._width}, "
+                f"seed={self._seed}), e.g. via new_epoch_sketch()"
+            )
+        index = self._epochs
+        save(
+            sketch,
+            self._epoch_path(index),
+            meta={
+                "epoch": index,
+                "candidates": [encode_item(item) for item in candidates],
+            },
+        )
+        self._epochs += 1
+        self._write_manifest()
+        return index
+
+    def append_stream(
+        self,
+        stream: Iterable[Hashable],
+        *,
+        track_candidates: int = 32,
+    ) -> int:
+        """Sketch ``stream`` as one epoch and append it.
+
+        The epoch's approximate top ``track_candidates`` items (tracked
+        with the §3.2 APPROXTOP loop over the same sketch) are stored as
+        the epoch's candidate list.
+        """
+        if track_candidates < 1:
+            raise ValueError("track_candidates must be at least 1")
+        tracker = TopKTracker(track_candidates,
+                              sketch=self.new_epoch_sketch())
+        for item in stream:
+            tracker.update(item)
+        return self.append(
+            tracker.sketch,
+            candidates=[item for item, __ in tracker.top()],
+        )
+
+    # -- reading epochs -------------------------------------------------------
+
+    def _check_epoch(self, index: int) -> None:
+        if not 0 <= index < self._epochs:
+            raise IndexError(
+                f"epoch {index} out of range: archive holds "
+                f"{self._epochs} epoch(s)"
+            )
+
+    def epoch(self, index: int) -> CountSketch:
+        """Load the sketch of epoch ``index``."""
+        sketch, __ = self._load_epoch(index)
+        return sketch
+
+    def _load_epoch(self, index: int) -> tuple[CountSketch, dict[str, Any]]:
+        self._check_epoch(index)
+        sketch, meta = load_with_meta(self._epoch_path(index))
+        if not isinstance(sketch, CountSketch):
+            raise StoreError(
+                f"epoch file {self._epoch_path(index).name} does not hold "
+                "a dense Count Sketch"
+            )
+        return sketch, meta
+
+    def candidates(self, index: int) -> list[Hashable]:
+        """The candidate items recorded with epoch ``index``."""
+        __, meta = self._load_epoch(index)
+        stored = meta.get("candidates", [])
+        if not isinstance(stored, list):
+            raise StoreError("epoch candidate list is malformed")
+        return [decode_item(value) for value in stored]
+
+    # -- range merges (dyadic decomposition) ----------------------------------
+
+    @staticmethod
+    def _dyadic_intervals(start: int, end: int) -> list[tuple[int, int]]:
+        """Split ``[start, end)`` into maximal aligned dyadic intervals.
+
+        Each piece is ``[s, s + 2^j)`` with ``2^j | s``; there are at
+        most ``2·log₂(end)`` of them.  Greedy from the left: take the
+        largest aligned power of two that fits.
+        """
+        intervals = []
+        while start < end:
+            remaining = end - start
+            fit = 1 << (remaining.bit_length() - 1)  # largest 2^j <= remaining
+            align = start & -start  # largest 2^j dividing start (0 -> any)
+            length = fit if align == 0 else min(align, fit)
+            intervals.append((start, length))
+            start += length
+        return intervals
+
+    def _dyadic_path(self, start: int, length: int) -> Path:
+        return (
+            self._dyadic_dir
+            / f"merge-{start:08d}-{length:08d}{SNAPSHOT_SUFFIX}"
+        )
+
+    def _dyadic_sketch(self, start: int, length: int) -> CountSketch:
+        """The merged sketch of ``[start, start + length)``, cached.
+
+        Length-1 intervals are the epoch files themselves; longer
+        (always power-of-two, aligned) intervals merge their two halves
+        recursively, writing each level to ``dyadic/`` so subsequent
+        range queries reuse it.
+        """
+        if length == 1:
+            return self.epoch(start)
+        path = self._dyadic_path(start, length)
+        if path.exists():
+            cached = load_with_meta(path)[0]
+            if isinstance(cached, CountSketch):
+                return cached
+            raise StoreError(f"{path.name} does not hold a dense sketch")
+        half = length // 2
+        merged = self._dyadic_sketch(start, half)
+        merged = merged + self._dyadic_sketch(start + half, half)
+        save(merged, path, meta={"start": start, "length": length})
+        return merged
+
+    def range_sketch(self, start: int, end: int) -> CountSketch:
+        """The exact sketch of epochs ``[start, end)`` concatenated.
+
+        Exact by linearity: summing hash-compatible epoch sketches gives
+        the sketch of the combined stream, so estimates over a range are
+        as if one sketch had seen the whole period.
+        """
+        self._check_epoch(start)
+        if not start < end <= self._epochs:
+            raise IndexError(
+                f"range [{start}, {end}) is not a nonempty span within "
+                f"{self._epochs} epoch(s)"
+            )
+        merged: CountSketch | None = None
+        for piece_start, piece_length in self._dyadic_intervals(start, end):
+            piece = self._dyadic_sketch(piece_start, piece_length)
+            merged = piece if merged is None else merged + piece
+        assert merged is not None  # the range is nonempty
+        return merged
+
+    # -- historical max-change ------------------------------------------------
+
+    def diff(
+        self,
+        epoch_a: int,
+        epoch_b: int,
+        *,
+        k: int = 10,
+        items: Iterable[Hashable] | None = None,
+    ) -> list[ArchiveDiffEntry]:
+        """The ``k`` items with the largest estimated change between epochs.
+
+        Subtracts the stored sketches (§3.2) and ranks candidates by
+        ``|estimate|`` under the difference sketch — the identical
+        quantity the two-pass max-change algorithm's pass 1 computes,
+        evaluated years later without the raw streams.
+
+        Args:
+            epoch_a: the "before" epoch index.
+            epoch_b: the "after" epoch index.
+            k: how many items to report.
+            items: candidate items to score; defaults to the union of
+                the two epochs' stored candidate lists.
+        """
+        if k < 0:
+            raise ValueError("k must be nonnegative")
+        before, meta_a = self._load_epoch(epoch_a)
+        after, meta_b = self._load_epoch(epoch_b)
+        if items is None:
+            probe: dict[Hashable, None] = {}
+            for meta in (meta_a, meta_b):
+                stored = meta.get("candidates", [])
+                if not isinstance(stored, list):
+                    raise StoreError("epoch candidate list is malformed")
+                for value in stored:
+                    probe.setdefault(decode_item(value))
+            candidates: list[Hashable] = list(probe)
+        else:
+            seen: dict[Hashable, None] = {}
+            for item in items:
+                seen.setdefault(item)
+            candidates = list(seen)
+        difference = after - before
+        entries = [
+            ArchiveDiffEntry(
+                item=item,
+                estimated_change=difference.estimate(item),
+                estimate_before=before.estimate(item),
+                estimate_after=after.estimate(item),
+            )
+            for item in candidates
+        ]
+        entries.sort(key=lambda e: (-e.abs_change, repr(e.item)))
+        return entries[:k]
+
+    def describe(self) -> dict[str, Any]:
+        """A plain-dict summary of the archive (for the CLI)."""
+        epoch_weights = []
+        for index in range(self._epochs):
+            sketch, __ = self._load_epoch(index)
+            epoch_weights.append(sketch.total_weight)
+        return {
+            "directory": str(self._directory),
+            "depth": self._depth,
+            "width": self._width,
+            "seed": self._seed,
+            "epochs": self._epochs,
+            "epoch_weights": epoch_weights,
+            "cached_dyadic_merges": sum(
+                1 for __ in self._dyadic_dir.glob(f"*{SNAPSHOT_SUFFIX}")
+            ),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SketchArchive({str(self._directory)!r}, depth={self._depth}, "
+            f"width={self._width}, seed={self._seed}, "
+            f"epochs={self._epochs})"
+        )

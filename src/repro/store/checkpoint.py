@@ -1,0 +1,357 @@
+"""Checkpoint/resume for long-running ingestion.
+
+Two cooperating pieces:
+
+* :class:`CheckpointManager` wraps any snapshotable summary during
+  serial ingestion and persists it every ``N`` items and/or ``T``
+  seconds.  The snapshot records how many stream records the summary has
+  consumed, so a killed process can :meth:`~CheckpointManager.resume`,
+  skip the consumed prefix of the (replayable) stream, and continue —
+  the final state is bit-for-bit identical to an uninterrupted run,
+  because snapshots are exact and checkpoints land on record boundaries.
+
+* :class:`ShardCheckpointStore` is the parallel engine's durable
+  directory: a manifest pinning the shared sketch parameters plus one
+  snapshot per absorbed shard.  Restore rebuilds each shard and folds it
+  back through the compatibility-checked ``merge`` API (§3.2 linearity
+  makes the order irrelevant), after which ingestion continues with the
+  not-yet-covered chunks only.
+
+Every file write is atomic (:func:`repro.store.format.atomic_write_bytes`),
+so a crash mid-checkpoint can only lose the newest checkpoint, never
+corrupt an older one.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.observability.registry import MetricsRegistry, get_registry
+from repro.store.codec import load_with_meta, save
+from repro.store.format import (
+    SNAPSHOT_SUFFIX,
+    StoreError,
+    atomic_write_bytes,
+    decode_item,
+    encode_item,
+)
+
+if TYPE_CHECKING:
+    from collections.abc import Hashable, Iterable, Iterator
+
+    from repro.store.codec import Snapshotable
+
+__all__ = [
+    "CheckpointManager",
+    "CheckpointMismatchError",
+    "ShardCheckpointStore",
+]
+
+
+class CheckpointMismatchError(StoreError):
+    """A checkpoint directory's manifest disagrees with the requested run."""
+
+
+class _CheckpointMetrics:
+    """Metric handles captured once per manager when collection is on."""
+
+    __slots__ = ("checkpoints", "seconds")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.checkpoints = registry.counter("store_checkpoints_total")
+        self.seconds = registry.histogram("store_checkpoint_seconds")
+
+
+class CheckpointManager:
+    """Feed a summary while periodically snapshotting it to disk.
+
+    Args:
+        summary: any snapshotable summary (it keeps working on the
+            caller's instance; the manager only adds persistence).
+        path: snapshot destination (conventionally ``*.rcs``).
+        every_items: checkpoint after this many stream records (update
+            calls), if set.
+        every_seconds: checkpoint when this much wall-clock time has
+            passed since the last one, if set.  Checked on record
+            boundaries, so a checkpoint never splits an update.
+        items_consumed: stream records already reflected in ``summary``
+            (used by :meth:`resume`; new runs leave it at 0).
+
+    At least one of ``every_items`` / ``every_seconds`` is required —
+    a manager that never checkpoints is a bug, not a configuration.
+    """
+
+    def __init__(
+        self,
+        summary: Snapshotable,
+        path: str | Path,
+        *,
+        every_items: int | None = None,
+        every_seconds: float | None = None,
+        items_consumed: int = 0,
+    ) -> None:
+        if every_items is None and every_seconds is None:
+            raise ValueError(
+                "set every_items and/or every_seconds; a manager that "
+                "never checkpoints would provide no durability"
+            )
+        if every_items is not None and every_items < 1:
+            raise ValueError("every_items must be at least 1")
+        if every_seconds is not None and every_seconds <= 0:
+            raise ValueError("every_seconds must be positive")
+        if items_consumed < 0:
+            raise ValueError("items_consumed cannot be negative")
+        self._summary = summary
+        self._path = Path(path)
+        self._every_items = every_items
+        self._every_seconds = every_seconds
+        self._items_consumed = items_consumed
+        self._items_at_checkpoint = items_consumed
+        self._last_checkpoint_time = time.monotonic()
+        self._checkpoints_written = 0
+        registry = get_registry()
+        self._metrics = (
+            _CheckpointMetrics(registry) if registry.enabled else None
+        )
+
+    @property
+    def summary(self) -> Snapshotable:
+        """The wrapped summary (shared with the caller, not a copy)."""
+        return self._summary
+
+    @property
+    def path(self) -> Path:
+        """The snapshot destination."""
+        return self._path
+
+    @property
+    def items_consumed(self) -> int:
+        """Stream records reflected in the summary so far."""
+        return self._items_consumed
+
+    @property
+    def checkpoints_written(self) -> int:
+        """Snapshots persisted by this manager (including :meth:`flush`)."""
+        return self._checkpoints_written
+
+    def update(self, item: Hashable, count: int = 1) -> None:
+        """Apply one stream record, then checkpoint if a trigger fired."""
+        self._summary.update(item, count)
+        self._items_consumed += 1
+        if self._due():
+            self.flush()
+
+    def extend(self, stream: Iterable[Hashable]) -> None:
+        """Apply each record of ``stream`` with checkpointing, then a
+        final :meth:`flush` so the snapshot always covers the full
+        stream."""
+        for item in stream:
+            self.update(item)
+        self.flush()
+
+    def _due(self) -> bool:
+        if (
+            self._every_items is not None
+            and self._items_consumed - self._items_at_checkpoint
+            >= self._every_items
+        ):
+            return True
+        return (
+            self._every_seconds is not None
+            and time.monotonic() - self._last_checkpoint_time
+            >= self._every_seconds
+        )
+
+    def flush(self) -> int:
+        """Snapshot now (atomic); returns bytes written."""
+        start = time.perf_counter()
+        written = save(
+            self._summary,
+            self._path,
+            meta={"items_consumed": self._items_consumed},
+        )
+        if self._metrics is not None:
+            self._metrics.checkpoints.inc()
+            self._metrics.seconds.observe(time.perf_counter() - start)
+        self._items_at_checkpoint = self._items_consumed
+        self._last_checkpoint_time = time.monotonic()
+        self._checkpoints_written += 1
+        return written
+
+    @classmethod
+    def resume(
+        cls,
+        path: str | Path,
+        *,
+        every_items: int | None = None,
+        every_seconds: float | None = None,
+    ) -> CheckpointManager:
+        """Rebuild a manager from its last checkpoint.
+
+        The returned manager's :attr:`items_consumed` tells the caller
+        how many records of the replayed stream to skip (e.g. with
+        ``itertools.islice``) before feeding the rest.
+        """
+        summary, meta = load_with_meta(path)
+        consumed = meta.get("items_consumed")
+        if not isinstance(consumed, int) or consumed < 0:
+            raise StoreError(
+                f"{path} is not a checkpoint: its snapshot meta lacks a "
+                "valid items_consumed count"
+            )
+        return cls(
+            summary,
+            path,
+            every_items=every_items,
+            every_seconds=every_seconds,
+            items_consumed=consumed,
+        )
+
+
+_SHARD_NAME = re.compile(r"^shard-(\d{8})" + re.escape(SNAPSHOT_SUFFIX) + "$")
+
+
+class ShardCheckpointStore:
+    """A directory of per-shard snapshots for resumable parallel ingest.
+
+    Layout::
+
+        <directory>/
+            manifest.json          # pinned run parameters
+            shard-00000000.rcs     # one snapshot per absorbed chunk
+            shard-00000001.rcs
+            ...
+
+    The manifest pins everything that must not change between the
+    original run and a resume — backend, depth, width, seed, chunk size,
+    candidate count — because shards only merge exactly when the hash
+    family and the chunk boundaries are identical.
+    """
+
+    MANIFEST_NAME = "manifest.json"
+
+    def __init__(self, directory: str | Path) -> None:
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def directory(self) -> Path:
+        """The checkpoint directory."""
+        return self._directory
+
+    def _manifest_path(self) -> Path:
+        return self._directory / self.MANIFEST_NAME
+
+    def read_manifest(self) -> dict[str, Any] | None:
+        """The stored run parameters, or ``None`` for a fresh directory."""
+        path = self._manifest_path()
+        if not path.exists():
+            return None
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise StoreError(
+                f"{path} is not a valid checkpoint manifest: {error}"
+            ) from error
+        if not isinstance(manifest, dict):
+            raise StoreError(f"{path} must contain a JSON object")
+        return manifest
+
+    def ensure_manifest(self, params: dict[str, Any]) -> None:
+        """Pin ``params``, or verify them against an existing manifest.
+
+        Raises:
+            CheckpointMismatchError: when the directory was written by a
+                run with different parameters — resuming would silently
+                merge incompatible shards, so it is refused loudly.
+        """
+        existing = self.read_manifest()
+        if existing is None:
+            atomic_write_bytes(
+                self._manifest_path(),
+                json.dumps(params, sort_keys=True, indent=2).encode("utf-8"),
+            )
+            return
+        if existing != params:
+            differing = sorted(
+                key
+                for key in set(existing) | set(params)
+                if existing.get(key) != params.get(key)
+            )
+            raise CheckpointMismatchError(
+                f"checkpoint directory {self._directory} was written with "
+                f"different parameters (mismatched: {', '.join(differing)}); "
+                "resume with the original settings or use a fresh directory"
+            )
+
+    def shard_path(self, index: int) -> Path:
+        """The snapshot path for chunk ``index``."""
+        if index < 0:
+            raise ValueError("shard index cannot be negative")
+        return self._directory / f"shard-{index:08d}{SNAPSHOT_SUFFIX}"
+
+    def save_shard(
+        self,
+        index: int,
+        sketch: Snapshotable,
+        *,
+        items: int,
+        candidates: Iterable[Hashable] = (),
+    ) -> int:
+        """Persist one absorbed shard atomically; returns bytes written.
+
+        ``candidates`` (the shard's top-k candidate items, when running
+        in top-k mode) ride in the snapshot meta and come back decoded
+        from :meth:`load_shards`.
+        """
+        meta: dict[str, Any] = {
+            "chunk_index": index,
+            "items": items,
+            "candidates": [encode_item(item) for item in candidates],
+        }
+        return save(sketch, self.shard_path(index), meta=meta)
+
+    def covered_indices(self) -> list[int]:
+        """Chunk indices with a persisted shard, ascending."""
+        indices = []
+        for entry in self._directory.iterdir():
+            match = _SHARD_NAME.match(entry.name)
+            if match:
+                indices.append(int(match.group(1)))
+        return sorted(indices)
+
+    def load_shards(
+        self,
+    ) -> Iterator[tuple[int, Snapshotable, dict[str, Any]]]:
+        """Yield ``(chunk_index, sketch, meta)`` per shard, ascending.
+
+        Raises:
+            StoreError: when a shard's recorded ``chunk_index`` disagrees
+                with its filename (a sign of hand-edited files).
+        """
+        for index in self.covered_indices():
+            sketch, meta = load_with_meta(self.shard_path(index))
+            if meta.get("chunk_index") != index:
+                raise StoreError(
+                    f"shard file {self.shard_path(index).name} records "
+                    f"chunk_index={meta.get('chunk_index')!r}; the "
+                    "checkpoint directory is inconsistent"
+                )
+            stored = meta.get("candidates", [])
+            if not isinstance(stored, list):
+                raise StoreError("shard candidate list is malformed")
+            meta = dict(meta)
+            meta["candidates"] = [decode_item(value) for value in stored]
+            yield index, sketch, meta
+
+    def clear(self) -> None:
+        """Delete the manifest and every shard (after a completed run)."""
+        for index in self.covered_indices():
+            self.shard_path(index).unlink()
+        manifest = self._manifest_path()
+        if manifest.exists():
+            manifest.unlink()

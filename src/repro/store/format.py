@@ -1,0 +1,276 @@
+"""The versioned binary snapshot container: framing, checksums, atomics.
+
+Every durable sketch snapshot this library writes is one **frame**:
+
+| offset | size | field |
+|---|---|---|
+| 0 | 8 | magic ``b"RCSKETCH"`` |
+| 8 | 2 | format version (``u16`` LE, currently 1) |
+| 10 | 2 | summary type code (``u16`` LE, see ``TYPE_NAMES``) |
+| 12 | 4 | header length ``H`` (``u32`` LE) |
+| 16 | 4 | CRC32 of the header bytes (``u32`` LE) |
+| 20 | H | header: canonical UTF-8 JSON (sorted keys) |
+| 20+H | 8 | payload length ``P`` (``u64`` LE) |
+| 28+H | 4 | CRC32 of the payload bytes (``u32`` LE) |
+| 32+H | P | payload: little-endian ``int64`` counter blocks |
+
+The header carries everything small and structural — dimensions, seed,
+polynomial hash coefficients, heap entries — as JSON, so the format can
+grow fields without a version bump.  The payload carries the counter
+arrays as raw ``<i8`` bytes (the dominant cost at production widths),
+never boxed through Python ints.  Both sections are CRC32-checked so a
+truncated or bit-flipped file is rejected with
+:class:`SnapshotFormatError` instead of resurrecting a corrupt sketch.
+
+Writes are atomic: the frame lands in a temporary sibling file, is
+fsynced, and is renamed over the destination (``os.replace``), so a
+crash mid-write leaves either the old snapshot or the new one — never a
+torn file.  This is what makes checkpoint files trustworthy for
+crash-recovery (:mod:`repro.store.checkpoint`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import tempfile
+import zlib
+from collections.abc import Hashable
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MAGIC",
+    "SNAPSHOT_SUFFIX",
+    "TYPE_CODES",
+    "TYPE_NAMES",
+    "SnapshotFormatError",
+    "StoreError",
+    "UnsupportedVersionError",
+    "atomic_write_bytes",
+    "decode_frame",
+    "decode_item",
+    "encode_frame",
+    "encode_item",
+]
+
+#: Magic prefix identifying a repro sketch snapshot.
+MAGIC = b"RCSKETCH"
+
+#: Current (and only) frame format version.
+FORMAT_VERSION = 1
+
+#: Conventional file extension for snapshot files.
+SNAPSHOT_SUFFIX = ".rcs"
+
+#: Summary type codes (``u16`` in the frame prologue).  Codes are part of
+#: the on-disk format: never renumber, only append.
+TYPE_CODES = {
+    "dense": 1,
+    "sparse": 2,
+    "vectorized": 3,
+    "topk": 4,
+    "window": 5,
+}
+
+#: Reverse map: code -> stable type name.
+TYPE_NAMES = {code: name for name, code in TYPE_CODES.items()}
+
+_PROLOGUE = struct.Struct("<8sHHII")  # magic, version, type, hlen, hcrc
+_PAYLOAD_PREFIX = struct.Struct("<QI")  # plen, pcrc
+
+
+class StoreError(Exception):
+    """Base class for every :mod:`repro.store` failure."""
+
+
+class SnapshotFormatError(StoreError):
+    """The file is not a valid snapshot (bad magic, truncation, CRC)."""
+
+
+class UnsupportedVersionError(StoreError):
+    """The snapshot declares a format version this code cannot read."""
+
+
+def encode_frame(type_code: int, header: dict[str, Any],
+                 payload: bytes) -> bytes:
+    """Assemble one snapshot frame from its parts.
+
+    The header is serialized as canonical JSON (sorted keys, no
+    whitespace), which makes byte-identical snapshots a deterministic
+    function of the summary state — the property the golden-fixture
+    format-stability gate checks.
+    """
+    if type_code not in TYPE_NAMES:
+        raise ValueError(f"unknown snapshot type code {type_code}")
+    header_bytes = json.dumps(
+        header, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return b"".join(
+        (
+            _PROLOGUE.pack(
+                MAGIC,
+                FORMAT_VERSION,
+                type_code,
+                len(header_bytes),
+                zlib.crc32(header_bytes),
+            ),
+            header_bytes,
+            _PAYLOAD_PREFIX.pack(len(payload), zlib.crc32(payload)),
+            payload,
+        )
+    )
+
+
+def decode_frame(data: bytes) -> tuple[int, dict[str, Any], bytes]:
+    """Split and verify one frame; returns ``(type_code, header, payload)``.
+
+    Raises:
+        SnapshotFormatError: on bad magic, truncation, trailing garbage,
+            a CRC mismatch, or an unknown type code.
+        UnsupportedVersionError: when the frame's version is newer than
+            this reader.
+    """
+    if len(data) < _PROLOGUE.size:
+        raise SnapshotFormatError(
+            f"file too short for a snapshot prologue "
+            f"({len(data)} < {_PROLOGUE.size} bytes)"
+        )
+    magic, version, type_code, header_len, header_crc = _PROLOGUE.unpack_from(
+        data
+    )
+    if magic != MAGIC:
+        raise SnapshotFormatError(
+            f"bad magic {magic!r}: not a repro sketch snapshot"
+        )
+    if version != FORMAT_VERSION:
+        raise UnsupportedVersionError(
+            f"snapshot format version {version} is not supported "
+            f"(this reader understands version {FORMAT_VERSION})"
+        )
+    if type_code not in TYPE_NAMES:
+        raise SnapshotFormatError(f"unknown snapshot type code {type_code}")
+    header_start = _PROLOGUE.size
+    header_end = header_start + header_len
+    if len(data) < header_end + _PAYLOAD_PREFIX.size:
+        raise SnapshotFormatError("snapshot truncated inside the header")
+    header_bytes = data[header_start:header_end]
+    if zlib.crc32(header_bytes) != header_crc:
+        raise SnapshotFormatError(
+            "header CRC mismatch: the snapshot is corrupt"
+        )
+    payload_len, payload_crc = _PAYLOAD_PREFIX.unpack_from(data, header_end)
+    payload_start = header_end + _PAYLOAD_PREFIX.size
+    payload_end = payload_start + payload_len
+    if len(data) < payload_end:
+        raise SnapshotFormatError("snapshot truncated inside the payload")
+    if len(data) > payload_end:
+        raise SnapshotFormatError(
+            f"{len(data) - payload_end} trailing byte(s) after the payload"
+        )
+    payload = data[payload_start:payload_end]
+    if zlib.crc32(payload) != payload_crc:
+        raise SnapshotFormatError(
+            "payload CRC mismatch: the snapshot is corrupt"
+        )
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise SnapshotFormatError(
+            f"snapshot header is not valid JSON: {error}"
+        ) from error
+    if not isinstance(header, dict):
+        raise SnapshotFormatError("snapshot header must be a JSON object")
+    return type_code, header, payload
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> int:
+    """Write ``data`` to ``path`` atomically; returns the bytes written.
+
+    The data goes to a temporary file in the destination directory, is
+    flushed and fsynced, and is renamed over ``path``; on POSIX the
+    directory entry is fsynced too, so the rename itself survives a
+    crash.  Readers therefore never observe a partial file.
+    """
+    path = Path(path)
+    parent = path.parent
+    descriptor, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=parent
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        with _suppress_oserror():
+            os.unlink(tmp_name)
+        raise
+    if hasattr(os, "O_DIRECTORY"):  # POSIX: persist the rename itself
+        with _suppress_oserror():
+            dir_fd = os.open(parent, os.O_RDONLY | os.O_DIRECTORY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+    return len(data)
+
+
+class _suppress_oserror:
+    """Tiny ``contextlib.suppress(OSError)`` without the import."""
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> bool:
+        return exc_type is not None and issubclass(
+            exc_type, OSError  # type: ignore[arg-type]
+        )
+
+
+# -- item coding -------------------------------------------------------------
+#
+# Heap members and candidate lists store the original stream items, which
+# may be any type repro.hashing.encode supports.  They ride in the JSON
+# header with two escape wrappers for the types JSON lacks; plain JSON
+# scalars (str/int/float/bool) pass through unchanged.
+
+def encode_item(item: Hashable) -> object:
+    """Convert a stream item to a JSON-representable value.
+
+    Raises:
+        TypeError: for item types the sketch key encoding does not
+            support either (so anything sketchable is snapshotable).
+    """
+    if isinstance(item, tuple):
+        return {"__tuple__": [encode_item(part) for part in item]}
+    if isinstance(item, (bytes, bytearray)):
+        return {"__bytes__": bytes(item).hex()}
+    if isinstance(item, (str, int, float, bool)):
+        return item
+    raise TypeError(
+        f"cannot snapshot item of type {type(item).__name__!r}; "
+        "supported: str, int, float, bool, bytes, tuple"
+    )
+
+
+def decode_item(value: object) -> Hashable:
+    """Invert :func:`encode_item`."""
+    if isinstance(value, dict):
+        if "__tuple__" in value:
+            parts = value["__tuple__"]
+            if not isinstance(parts, list):
+                raise SnapshotFormatError("malformed tuple item encoding")
+            return tuple(decode_item(part) for part in parts)
+        if "__bytes__" in value:
+            encoded = value["__bytes__"]
+            if not isinstance(encoded, str):
+                raise SnapshotFormatError("malformed bytes item encoding")
+            return bytes.fromhex(encoded)
+        raise SnapshotFormatError(f"unknown item encoding {value!r}")
+    if isinstance(value, (str, int, float, bool)) :
+        return value
+    raise SnapshotFormatError(f"unsupported item value {value!r}")

@@ -1,5 +1,7 @@
 """Suppression fixture: every violation here carries a ``repro: noqa``."""
 
+import json
+
 from repro.core.countsketch import CountSketch
 
 
@@ -9,3 +11,4 @@ def suppressed(a: CountSketch, b: CountSketch) -> None:
     a.update("q", 1.5)  # repro: noqa-RS005 — deliberate bad-count demo
     b.update("q", 2.5)  # repro: noqa-RS002,RS005 — multi-code form
     b.scale(0.5)  # repro: noqa
+    json.dumps(a.state_dict())  # repro: noqa-RS006 — debug-dump demo

@@ -1,0 +1,36 @@
+"""RS006 true positives: sketch state through generic serializers."""
+
+import json
+import marshal
+import pickle
+
+import numpy as np
+
+from repro.core.countsketch import CountSketch
+
+
+def to_json(sketch: CountSketch) -> str:
+    # RS006: hand-rolled JSON drops the format version, checksums, and
+    # hash coefficients — the bytes can never be validated or merged.
+    return json.dumps({"counters": sketch.counters.tolist()})
+
+
+def to_json_file(sketch: CountSketch, fh) -> None:
+    # RS006: same problem through the streaming entry point.
+    json.dump(sketch.state_dict(), fh)
+
+
+def to_pickle(sketch: CountSketch) -> bytes:
+    # RS006: pickle bytes are not portable across numpy/python versions.
+    return pickle.dumps(sketch.state_dict())
+
+
+def to_npy(sketch: CountSketch, path: str) -> None:
+    # RS006: np.save persists counters without the hash family, so the
+    # array cannot be rehydrated into a compatible sketch.
+    np.save(path, sketch.counters)
+
+
+def to_marshal(sketch: CountSketch) -> bytes:
+    # RS006: marshal is version-specific and unchecked.
+    return marshal.dumps(sketch.state_dict())

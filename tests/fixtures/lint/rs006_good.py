@@ -1,0 +1,22 @@
+"""RS006 clean: persistence through the repro.store codec."""
+
+import json
+
+from repro.core.countsketch import CountSketch
+from repro.store import load, save
+
+
+def persist(sketch: CountSketch, path: str) -> int:
+    # The sanctioned codec: versioned, CRC-checked, atomically written.
+    return save(sketch, path)
+
+
+def restore(path: str) -> CountSketch:
+    summary = load(path)
+    assert isinstance(summary, CountSketch)
+    return summary
+
+
+def report(stats: dict) -> str:
+    # Serializing ordinary data (not sketch state) stays fine.
+    return json.dumps(stats, sort_keys=True)

@@ -1,0 +1,94 @@
+"""Regenerate the golden snapshot fixtures.
+
+The ``.rcs`` files next to this script pin the on-disk snapshot format:
+``tests/test_store_golden.py`` decodes them and re-encodes the result,
+failing the moment the bytes drift.  Only regenerate after an
+*intentional* format change (which also requires bumping
+``repro.store.format.FORMAT_VERSION`` and keeping a reader for the old
+version):
+
+    PYTHONPATH=src python tests/fixtures/store/generate_fixtures.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.countsketch import CountSketch
+from repro.core.sparse import SparseCountSketch
+from repro.core.topk import TopKTracker
+from repro.core.vectorized import VectorizedCountSketch
+from repro.core.windowed import JumpingWindowSketch
+from repro.store import SNAPSHOT_SUFFIX, save
+
+HERE = Path(__file__).parent
+
+#: One deterministic stream shared by every fixture; mixes every item
+#: kind the snapshot item coding supports.
+STREAM = (
+    ["alpha"] * 9
+    + ["beta"] * 6
+    + [17] * 4
+    + [("pair", 1)] * 3
+    + [b"\x00raw"] * 2
+    + ["gamma", 17, "alpha"]
+)
+
+#: Items whose estimates golden.json records.
+PROBES = ["alpha", "beta", "gamma", "missing", 17, ("pair", 1), b"\x00raw"]
+
+
+def build_summaries():
+    dense = CountSketch(3, 32, seed=4)
+    dense.extend(STREAM)
+
+    sparse = SparseCountSketch(3, 32, seed=4)
+    sparse.extend(STREAM)
+
+    vectorized = VectorizedCountSketch(3, 32, seed=4)
+    vectorized.extend(STREAM)
+
+    topk = TopKTracker(4, depth=3, width=32, seed=4)
+    for item in STREAM:
+        topk.update(item)
+
+    window = JumpingWindowSketch(16, buckets=4, depth=3, width=32, seed=4)
+    for item in STREAM:
+        window.update(item)
+
+    return {
+        "dense": dense,
+        "sparse": sparse,
+        "vectorized": vectorized,
+        "topk": topk,
+        "window": window,
+    }
+
+
+def probe_key(item):
+    return repr(item)
+
+
+def main() -> None:
+    manifest = {}
+    for name, summary in build_summaries().items():
+        path = HERE / f"{name}{SNAPSHOT_SUFFIX}"
+        save(summary, path)
+        manifest[name] = {
+            "file": path.name,
+            "estimates": {
+                probe_key(item): summary.estimate(item) for item in PROBES
+            },
+        }
+        print(f"wrote {path.name} ({path.stat().st_size} bytes)")
+    golden = HERE / "golden.json"
+    golden.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {golden.name}")
+
+
+if __name__ == "__main__":
+    main()

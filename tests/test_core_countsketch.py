@@ -339,14 +339,48 @@ class TestCopyEqualitySerialization:
         assert revived.total_weight == sketch.total_weight
         assert revived.estimate(1) == sketch.estimate(1)
 
-    def test_state_dict_is_json_safe(self):
-        import json
-
+    def test_state_dict_counters_are_int64_array(self):
+        # The counters travel as an independent int64 ndarray (no boxed
+        # Python ints); mutating the copy must not alias the sketch.
         sketch = CountSketch(2, 8, seed=0)
         sketch.update("a", 3)
-        encoded = json.dumps(sketch.state_dict())
-        revived = CountSketch.from_state_dict(json.loads(encoded))
-        assert revived == sketch
+        state = sketch.state_dict()
+        assert isinstance(state["counters"], np.ndarray)
+        assert state["counters"].dtype == np.int64
+        state["counters"][0, 0] += 99
+        assert sketch.estimate("a") == 3.0
+
+    def test_state_dict_listified_counters_still_load(self):
+        # Older serializations carried nested lists; they must keep
+        # loading (e.g. a state dict that went through JSON via tolist()).
+        sketch = CountSketch(2, 8, seed=0)
+        sketch.update("a", 3)
+        state = sketch.state_dict()
+        state["counters"] = state["counters"].tolist()
+        assert CountSketch.from_state_dict(state) == sketch
+
+    def test_from_state_dict_rejects_wrong_coefficient_count(self):
+        sketch = CountSketch(3, 8, seed=0)
+        for field in ("bucket_coefficients", "sign_coefficients"):
+            state = sketch.state_dict()
+            state[field] = state[field][:-1]  # one list short of depth
+            with pytest.raises(ValueError, match="coefficient"):
+                CountSketch.from_state_dict(state)
+
+    def test_from_state_dict_rejects_non_integral_counters(self):
+        sketch = CountSketch(2, 8, seed=0)
+        state = sketch.state_dict()
+        state["counters"] = state["counters"].astype(float) + 0.5
+        with pytest.raises(ValueError, match="integral"):
+            CountSketch.from_state_dict(state)
+
+    def test_from_state_dict_accepts_integral_float_counters(self):
+        # A float array with exactly-integer values (JSON damage) loads.
+        sketch = CountSketch(2, 8, seed=0)
+        sketch.update("a", 3)
+        state = sketch.state_dict()
+        state["counters"] = state["counters"].astype(float)
+        assert CountSketch.from_state_dict(state) == sketch
 
     def test_state_dict_shape_validation(self):
         sketch = CountSketch(2, 8, seed=0)

@@ -313,15 +313,32 @@ class TestVectorizedCountSketch:
 
 class TestSerialization:
     def test_roundtrip_exact(self, zipf_counts):
-        import json
-
         sketch = VectorizedCountSketch(3, 64, seed=11)
         sketch.update_counts(zipf_counts)
-        wire = json.dumps(sketch.state_dict())
-        revived = VectorizedCountSketch.from_state_dict(json.loads(wire))
+        state = sketch.state_dict()
+        assert isinstance(state["counters"], np.ndarray)
+        assert state["counters"].dtype == np.int64
+        revived = VectorizedCountSketch.from_state_dict(state)
         assert revived == sketch
         assert revived.total_weight == sketch.total_weight
         assert revived.estimate(1) == sketch.estimate(1)
+
+    def test_roundtrip_via_listified_counters(self, zipf_counts):
+        # The nested-list (JSON-era) counter form must keep loading.
+        sketch = VectorizedCountSketch(3, 64, seed=11)
+        sketch.update_counts(zipf_counts)
+        state = sketch.state_dict()
+        state["counters"] = state["counters"].tolist()
+        assert VectorizedCountSketch.from_state_dict(state) == sketch
+
+    def test_from_state_dict_rejects_non_integral_counters(self):
+        sketch = VectorizedCountSketch(2, 8, seed=0)
+        state = sketch.state_dict()
+        state["counters"] = state["counters"].astype(float) + 0.25
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError, match="integral"):
+            VectorizedCountSketch.from_state_dict(state)
 
     def test_shape_validation(self):
         sketch = VectorizedCountSketch(2, 8, seed=0)

@@ -1,6 +1,6 @@
 """Self-tests for the ``repro.devtools.lint`` AST rule suite.
 
-Each rule RS001-RS005 is demonstrated by a pair of fixture files under
+Each rule RS001-RS006 is demonstrated by a pair of fixture files under
 ``tests/fixtures/lint/``: a ``*_bad.py`` that must produce true
 positives and a ``*_good.py`` that must lint clean.  Bad fixtures are
 linted under a synthetic ``src/`` display path so the test-code
@@ -40,6 +40,7 @@ CASES = [
     ("RS003", "rs003_bad.py", 5, "rs003_good.py"),
     ("RS004", "rs004_bad.py", 4, "rs004_good.py"),
     ("RS005", "rs005_bad.py", 6, "rs005_good.py"),
+    ("RS006", "rs006_bad.py", 5, "rs006_good.py"),
 ]
 
 
@@ -48,9 +49,9 @@ def lint_fixture(name: str, path: str = SRC_PATH) -> list[Finding]:
 
 
 class TestRuleCatalogue:
-    def test_five_rules_with_stable_codes(self):
+    def test_six_rules_with_stable_codes(self):
         assert [rule.code for rule in RULES] == [
-            "RS001", "RS002", "RS003", "RS004", "RS005",
+            "RS001", "RS002", "RS003", "RS004", "RS005", "RS006",
         ]
 
     def test_every_rule_has_name_summary_hint(self):
@@ -121,7 +122,7 @@ class TestSuppression:
         result = lint_paths([FIXTURES / "noqa_suppressed.py"])
         assert result.ok
         assert result.files_checked == 1
-        assert result.suppressed == 6
+        assert result.suppressed == 7
 
 
 class TestRS001Details:
@@ -165,6 +166,47 @@ class TestRS004Details:
         source = "def peek(sketch):\n    return sketch._counters\n"
         assert lint_source(source, "src/repro/core/x.py") == []
         assert [f.code for f in lint_source(source, SRC_PATH)] == ["RS004"]
+
+
+class TestRS006Details:
+    def test_store_package_exempt(self):
+        source = (
+            "import json\n"
+            "def snap(sketch):\n"
+            "    return json.dumps(sketch.state_dict())\n"
+        )
+        assert lint_source(source, "src/repro/store/codec.py") == []
+        assert [f.code for f in lint_source(source, SRC_PATH)] == ["RS006"]
+
+    def test_from_import_detected(self):
+        source = (
+            "from pickle import dumps as freeze\n"
+            "def snap(sketch):\n"
+            "    return freeze(sketch.state_dict())\n"
+        )
+        assert [f.code for f in lint_source(source, SRC_PATH)] == ["RS006"]
+
+    def test_serializing_plain_data_clean(self):
+        source = (
+            "import json\n"
+            "def report(stats):\n"
+            "    return json.dumps(stats, sort_keys=True)\n"
+        )
+        assert lint_source(source, SRC_PATH) == []
+
+    def test_state_nested_in_argument_tree_detected(self):
+        source = (
+            "import json\n"
+            "def snap(sketch):\n"
+            "    return json.dumps({'c': sketch.counters.tolist()})\n"
+        )
+        assert [f.code for f in lint_source(source, SRC_PATH)] == ["RS006"]
+
+    def test_active_in_test_files(self):
+        # Unlike RS001/RS003 there is no test relaxation: ad-hoc dumps in
+        # tests would ossify an unversioned format just the same.
+        findings = lint_fixture("rs006_bad.py", path="tests/test_x.py")
+        assert [f.code for f in findings] == ["RS006"] * 5
 
 
 class TestRepoIsClean:

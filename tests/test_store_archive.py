@@ -1,0 +1,184 @@
+"""The temporal sketch archive: exact range merges and historical diffs.
+
+Two acceptance properties from the §3.2 linearity argument:
+
+* ``range_sketch(i, j)`` equals the sketch one pass over the
+  concatenated epoch streams would build (dyadic decomposition changes
+  the file count, never the counters);
+* ``diff(a, b)`` reports exactly the pass-1 estimated change the
+  two-pass §4.2 algorithm computes on the raw streams.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.countsketch import CountSketch
+from repro.core.maxchange import find_max_change
+from repro.store import SketchArchive, StoreError
+from repro.store.archive import ArchiveDiffEntry
+
+DEPTH, WIDTH, SEED = 3, 64, 9
+
+
+def epoch_stream(index, n=120):
+    rng = random.Random(1000 + index)
+    return [f"item-{rng.randint(0, 30)}" for __ in range(n)]
+
+
+@pytest.fixture()
+def archive(tmp_path):
+    archive = SketchArchive(
+        tmp_path / "archive", depth=DEPTH, width=WIDTH, seed=SEED
+    )
+    for index in range(6):
+        archive.append_stream(epoch_stream(index), track_candidates=8)
+    return archive
+
+
+class TestLifecycle:
+    def test_new_archive_requires_dimensions(self, tmp_path):
+        with pytest.raises(ValueError, match="depth and width"):
+            SketchArchive(tmp_path / "a")
+
+    def test_reopen_recovers_parameters(self, archive):
+        reopened = SketchArchive(archive.directory)
+        assert (reopened.depth, reopened.width, reopened.seed) == (
+            DEPTH, WIDTH, SEED,
+        )
+        assert len(reopened) == 6
+        assert reopened.epoch(2) == archive.epoch(2)
+
+    def test_reopen_with_wrong_parameters_refused(self, archive):
+        with pytest.raises(StoreError, match="width"):
+            SketchArchive(archive.directory, depth=DEPTH, width=WIDTH * 2)
+
+    def test_incompatible_epoch_refused(self, archive):
+        foreign = CountSketch(DEPTH, WIDTH, seed=SEED + 1)
+        with pytest.raises(ValueError, match="not compatible"):
+            archive.append(foreign)
+
+    def test_epoch_index_bounds(self, archive):
+        with pytest.raises(IndexError, match="out of range"):
+            archive.epoch(6)
+        with pytest.raises(IndexError):
+            archive.range_sketch(4, 3)
+
+    def test_candidates_round_trip(self, tmp_path):
+        archive = SketchArchive(
+            tmp_path / "a", depth=DEPTH, width=WIDTH, seed=SEED
+        )
+        sketch = archive.new_epoch_sketch()
+        sketch.extend(["x", "y"])
+        archive.append(sketch, candidates=["x", ("t", 2), b"\x01"])
+        assert archive.candidates(0) == ["x", ("t", 2), b"\x01"]
+
+    def test_describe(self, archive):
+        info = archive.describe()
+        assert info["epochs"] == 6
+        assert info["depth"] == DEPTH
+        assert len(info["epoch_weights"]) == 6
+        assert all(weight == 120 for weight in info["epoch_weights"])
+
+
+class TestDyadicDecomposition:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.tuples(
+            st.integers(min_value=0, max_value=500),
+            st.integers(min_value=1, max_value=500),
+        )
+    )
+    def test_intervals_are_aligned_powers_of_two(self, span):
+        start, length = span
+        end = start + length
+        pieces = SketchArchive._dyadic_intervals(start, end)
+        # Exact cover, in order, no overlap.
+        cursor = start
+        for piece_start, piece_length in pieces:
+            assert piece_start == cursor
+            # Power of two...
+            assert piece_length & (piece_length - 1) == 0
+            # ...aligned to its own size.
+            assert piece_start % piece_length == 0
+            cursor += piece_length
+        assert cursor == end
+        # The Hokusai bound: at most ~2·log2 pieces.
+        assert len(pieces) <= 2 * (math.floor(math.log2(end)) + 1)
+
+    def test_range_merge_is_exact(self, archive):
+        # Every [start, end) gives counters identical to a single sketch
+        # over the concatenated epoch streams — linearity, not sampling.
+        for start in range(6):
+            for end in range(start + 1, 7):
+                direct = archive.new_epoch_sketch()
+                for index in range(start, end):
+                    direct.extend(epoch_stream(index))
+                assert archive.range_sketch(start, end) == direct
+
+    def test_range_queries_populate_the_dyadic_cache(self, archive):
+        assert archive.describe()["cached_dyadic_merges"] == 0
+        first = archive.range_sketch(0, 4)
+        assert archive.describe()["cached_dyadic_merges"] > 0
+        # The cached answer is still the exact one.
+        assert archive.range_sketch(0, 4) == first
+
+
+class TestDiff:
+    def test_matches_two_pass_max_change(self, tmp_path):
+        # Plant a surge: "surge" jumps by +300 between the two epochs.
+        base = [f"bg-{i % 25}" for i in range(500)]
+        before_stream = base + ["surge"] * 20
+        after_stream = base + ["surge"] * 320
+
+        archive = SketchArchive(
+            tmp_path / "a", depth=5, width=512, seed=0
+        )
+        archive.append_stream(before_stream, track_candidates=16)
+        archive.append_stream(after_stream, track_candidates=16)
+
+        [top] = archive.diff(0, 1, k=1)
+        assert top.item == "surge"
+
+        # find_max_change sketches the same streams with the same
+        # (depth, width, seed), so its pass-1 estimate is the *same
+        # number*, not merely close.
+        [report] = find_max_change(
+            before_stream, after_stream, 1, depth=5, width=512, seed=0
+        )
+        assert report.item == "surge"
+        assert top.estimated_change == report.estimated_change
+        assert top.estimate_after - top.estimate_before == pytest.approx(
+            top.estimated_change
+        )
+
+    def test_explicit_probe_items(self, archive):
+        entries = archive.diff(1, 4, items=["item-3", "item-7", "absent"])
+        assert len(entries) == 3
+        assert sorted(e.item for e in entries) == [
+            "absent", "item-3", "item-7",
+        ]
+        # Ranked by |estimated change|, largest first.
+        changes = [e.abs_change for e in entries]
+        assert changes == sorted(changes, reverse=True)
+
+    def test_default_probe_set_is_stored_candidates(self, archive):
+        entries = archive.diff(0, 5, k=50)
+        probe = set(archive.candidates(0)) | set(archive.candidates(5))
+        assert {e.item for e in entries} <= probe
+        assert entries  # the epochs did record candidates
+
+    def test_k_zero_and_negative(self, archive):
+        assert archive.diff(0, 1, k=0) == []
+        with pytest.raises(ValueError, match="nonnegative"):
+            archive.diff(0, 1, k=-1)
+
+    def test_entry_repr(self):
+        entry = ArchiveDiffEntry("q", 5.0, 1.0, 6.0)
+        assert "q" in repr(entry)
+        assert entry.abs_change == 5.0

@@ -1,0 +1,246 @@
+"""Checkpoint/resume: killed ingestion resumes bit-for-bit.
+
+The serial path (:class:`CheckpointManager`) and the sharded path
+(:class:`ShardCheckpointStore` behind ``parallel_sketch`` /
+``parallel_topk``) share one acceptance bar: a run that is interrupted
+and resumed must end in exactly the state an uninterrupted run reaches —
+same counters, same top-k, same estimates.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.countsketch import CountSketch
+from repro.core.topk import TopKTracker
+from repro.parallel.engine import parallel_sketch, parallel_topk
+from repro.store import (
+    CheckpointManager,
+    CheckpointMismatchError,
+    ShardCheckpointStore,
+    StoreError,
+    load_with_meta,
+    save,
+)
+
+
+def make_stream(n=400, seed=11):
+    rng = random.Random(seed)
+    return [f"item-{rng.randint(0, 40)}" for __ in range(n)]
+
+
+class TestManagerValidation:
+    def test_requires_a_trigger(self, tmp_path):
+        with pytest.raises(ValueError, match="every_items"):
+            CheckpointManager(CountSketch(3, 16), tmp_path / "c.rcs")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"every_items": 0},
+            {"every_seconds": 0},
+            {"every_seconds": -1.0},
+            {"every_items": 5, "items_consumed": -1},
+        ],
+    )
+    def test_rejects_bad_values(self, tmp_path, kwargs):
+        with pytest.raises(ValueError):
+            CheckpointManager(CountSketch(3, 16), tmp_path / "c.rcs", **kwargs)
+
+
+class TestManagerTriggers:
+    def test_every_items_cadence(self, tmp_path):
+        path = tmp_path / "c.rcs"
+        manager = CheckpointManager(
+            CountSketch(3, 16), path, every_items=10
+        )
+        for item in make_stream(35):
+            manager.update(item)
+        # 35 updates with a checkpoint each 10 items: at 10, 20, 30.
+        assert manager.checkpoints_written == 3
+        assert manager.items_consumed == 35
+        __, meta = load_with_meta(path)
+        assert meta["items_consumed"] == 30
+
+    def test_extend_always_flushes_at_the_end(self, tmp_path):
+        path = tmp_path / "c.rcs"
+        manager = CheckpointManager(
+            CountSketch(3, 16), path, every_items=1000
+        )
+        manager.extend(make_stream(35))
+        assert manager.checkpoints_written == 1
+        __, meta = load_with_meta(path)
+        assert meta["items_consumed"] == 35
+
+    def test_every_seconds_cadence(self, tmp_path):
+        # A vanishingly small period: every record boundary is "due".
+        manager = CheckpointManager(
+            CountSketch(3, 16), tmp_path / "c.rcs", every_seconds=1e-9
+        )
+        for item in make_stream(5):
+            manager.update(item)
+        assert manager.checkpoints_written == 5
+
+    def test_flush_reports_bytes_written(self, tmp_path):
+        path = tmp_path / "c.rcs"
+        manager = CheckpointManager(
+            CountSketch(3, 16), path, every_items=10
+        )
+        written = manager.flush()
+        assert written == path.stat().st_size
+
+
+class TestKilledAndResumed:
+    def test_serial_resume_is_bit_for_bit(self, tmp_path):
+        stream = make_stream(400)
+        kill_at = 237
+        path = tmp_path / "topk.rcs"
+
+        # Uninterrupted reference.
+        reference = TopKTracker(8, depth=3, width=64, seed=9)
+        for item in stream:
+            reference.update(item)
+
+        # Interrupted run: the process "dies" mid-stream; only the last
+        # on-boundary checkpoint survives.
+        manager = CheckpointManager(
+            TopKTracker(8, depth=3, width=64, seed=9),
+            path,
+            every_items=50,
+        )
+        for item in stream[:kill_at]:
+            manager.update(item)
+
+        resumed = CheckpointManager.resume(path, every_items=50)
+        assert resumed.items_consumed == 200  # last multiple of 50
+        for item in itertools.islice(stream, resumed.items_consumed, None):
+            resumed.update(item)
+        resumed.flush()
+
+        tracker = resumed.summary
+        assert isinstance(tracker, TopKTracker)
+        assert tracker.top() == reference.top()
+        assert tracker.sketch == reference.sketch
+        __, meta = load_with_meta(path)
+        assert meta["items_consumed"] == len(stream)
+
+    def test_resume_refuses_plain_snapshot(self, tmp_path):
+        path = tmp_path / "plain.rcs"
+        save(CountSketch(3, 16), path)  # no items_consumed meta
+        with pytest.raises(StoreError, match="not a checkpoint"):
+            CheckpointManager.resume(path, every_items=10)
+
+
+class TestShardStore:
+    def test_manifest_pins_parameters(self, tmp_path):
+        store = ShardCheckpointStore(tmp_path / "ckpt")
+        params = {"depth": 3, "width": 64, "seed": 0, "chunk_size": 100}
+        store.ensure_manifest(params)
+        store.ensure_manifest(params)  # same params: fine
+        with pytest.raises(CheckpointMismatchError, match="width"):
+            store.ensure_manifest({**params, "width": 128})
+
+    def test_shard_round_trip_with_candidates(self, tmp_path):
+        store = ShardCheckpointStore(tmp_path / "ckpt")
+        sketch = CountSketch(3, 16, seed=2)
+        sketch.extend(["a", "b", "a"])
+        candidates = ["a", ("t", 1), b"\x00raw"]
+        store.save_shard(4, sketch, items=3, candidates=candidates)
+        assert store.covered_indices() == [4]
+        [(index, restored, meta)] = list(store.load_shards())
+        assert index == 4
+        assert restored == sketch
+        assert meta["items"] == 3
+        assert meta["candidates"] == candidates
+
+    def test_renamed_shard_file_detected(self, tmp_path):
+        store = ShardCheckpointStore(tmp_path / "ckpt")
+        store.save_shard(0, CountSketch(3, 16), items=0)
+        store.shard_path(0).rename(store.shard_path(1))
+        with pytest.raises(StoreError, match="chunk_index"):
+            list(store.load_shards())
+
+    def test_clear_removes_everything(self, tmp_path):
+        store = ShardCheckpointStore(tmp_path / "ckpt")
+        store.ensure_manifest({"depth": 3})
+        store.save_shard(0, CountSketch(3, 16), items=0)
+        store.clear()
+        assert store.covered_indices() == []
+        assert store.read_manifest() is None
+
+
+class TestParallelResume:
+    def test_sketch_resume_matches_uninterrupted(self, tmp_path):
+        stream = make_stream(1000)
+        reference, __ = parallel_sketch(
+            stream, 3, 64, seed=7, chunk_size=100
+        )
+
+        ckpt = tmp_path / "ckpt"
+        # First attempt dies after 5 chunks' worth of input.
+        parallel_sketch(
+            stream[:500], 3, 64, seed=7, chunk_size=100, checkpoint_dir=ckpt
+        )
+        assert len(ShardCheckpointStore(ckpt).covered_indices()) == 5
+
+        resumed, summary = parallel_sketch(
+            stream, 3, 64, seed=7, chunk_size=100, checkpoint_dir=ckpt
+        )
+        assert resumed == reference
+        assert summary.restored_shards == 5
+        assert summary.restored_items == 500
+
+    def test_topk_resume_matches_uninterrupted(self, tmp_path):
+        stream = make_stream(1000, seed=3)
+        reference, __ = parallel_topk(
+            stream, 5, 3, 64, seed=7, chunk_size=100
+        )
+
+        ckpt = tmp_path / "ckpt"
+        parallel_topk(
+            stream[:400], 5, 3, 64, seed=7, chunk_size=100,
+            checkpoint_dir=ckpt,
+        )
+        resumed, summary = parallel_topk(
+            stream, 5, 3, 64, seed=7, chunk_size=100, checkpoint_dir=ckpt
+        )
+        assert resumed == reference
+        assert summary.restored_shards == 4
+
+    def test_completed_run_rerun_is_idempotent(self, tmp_path):
+        stream = make_stream(600, seed=5)
+        ckpt = tmp_path / "ckpt"
+        first, __ = parallel_sketch(
+            stream, 3, 64, seed=7, chunk_size=100, checkpoint_dir=ckpt
+        )
+        again, summary = parallel_sketch(
+            stream, 3, 64, seed=7, chunk_size=100, checkpoint_dir=ckpt
+        )
+        assert again == first
+        assert summary.restored_shards == 6
+        assert summary.total_items == 600
+
+    def test_multiprocess_workers_checkpoint_too(self, tmp_path):
+        stream = make_stream(800, seed=8)
+        reference, __ = parallel_sketch(stream, 3, 64, seed=7, chunk_size=100)
+        ckpt = tmp_path / "ckpt"
+        resumed, summary = parallel_sketch(
+            stream, 3, 64, seed=7, n_workers=2, chunk_size=100,
+            checkpoint_dir=ckpt,
+        )
+        assert resumed == reference
+        assert len(ShardCheckpointStore(ckpt).covered_indices()) == 8
+
+    def test_mismatched_parameters_refused(self, tmp_path):
+        stream = make_stream(300)
+        ckpt = tmp_path / "ckpt"
+        parallel_sketch(
+            stream, 3, 64, seed=7, chunk_size=100, checkpoint_dir=ckpt
+        )
+        with pytest.raises(CheckpointMismatchError, match="seed"):
+            parallel_sketch(
+                stream, 3, 64, seed=8, chunk_size=100, checkpoint_dir=ckpt
+            )

@@ -1,0 +1,183 @@
+"""Frame-level tests for the versioned snapshot container.
+
+Everything here works on raw bytes: the ``RCSKETCH`` prologue, the
+CRC-checked header and payload sections, atomic writes, and the JSON
+item-coding wrappers used by heap entries and candidate lists.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import pytest
+
+from repro.store.format import (
+    FORMAT_VERSION,
+    MAGIC,
+    TYPE_CODES,
+    SnapshotFormatError,
+    UnsupportedVersionError,
+    atomic_write_bytes,
+    decode_frame,
+    decode_item,
+    encode_frame,
+    encode_item,
+)
+
+HEADER = {"depth": 3, "width": 16, "seed": 7}
+PAYLOAD = bytes(range(64)) * 6
+
+
+def frame() -> bytes:
+    return encode_frame(TYPE_CODES["dense"], HEADER, PAYLOAD)
+
+
+class TestRoundTrip:
+    def test_encode_decode(self):
+        type_code, header, payload = decode_frame(frame())
+        assert type_code == TYPE_CODES["dense"]
+        assert header == HEADER
+        assert payload == PAYLOAD
+
+    def test_header_bytes_canonical(self):
+        # Key insertion order must not leak into the bytes: snapshots are
+        # a deterministic function of the state (the golden-fixture gate).
+        shuffled = {"seed": 7, "width": 16, "depth": 3}
+        assert encode_frame(1, shuffled, PAYLOAD) == frame()
+
+    def test_empty_payload(self):
+        data = encode_frame(TYPE_CODES["sparse"], {"rows": []}, b"")
+        type_code, header, payload = decode_frame(data)
+        assert type_code == TYPE_CODES["sparse"]
+        assert payload == b""
+
+    def test_every_type_code_accepted(self):
+        for code in TYPE_CODES.values():
+            assert decode_frame(encode_frame(code, {}, b"x"))[0] == code
+
+    def test_unknown_type_code_refused_at_encode(self):
+        with pytest.raises(ValueError, match="unknown snapshot type code"):
+            encode_frame(99, HEADER, PAYLOAD)
+
+
+class TestRejection:
+    def test_too_short_for_prologue(self):
+        with pytest.raises(SnapshotFormatError, match="too short"):
+            decode_frame(frame()[:12])
+
+    def test_bad_magic(self):
+        data = b"NOTASKCH" + frame()[8:]
+        with pytest.raises(SnapshotFormatError, match="bad magic"):
+            decode_frame(data)
+
+    def test_future_version_refused(self):
+        data = bytearray(frame())
+        data[8:10] = struct.pack("<H", FORMAT_VERSION + 1)
+        with pytest.raises(UnsupportedVersionError, match="version"):
+            decode_frame(bytes(data))
+
+    def test_unknown_type_code(self):
+        data = bytearray(frame())
+        data[10:12] = struct.pack("<H", 99)
+        with pytest.raises(SnapshotFormatError, match="type code"):
+            decode_frame(bytes(data))
+
+    def test_truncated_inside_header(self):
+        with pytest.raises(SnapshotFormatError, match="truncated"):
+            decode_frame(frame()[:25])
+
+    def test_truncated_inside_payload(self):
+        with pytest.raises(SnapshotFormatError, match="truncated"):
+            decode_frame(frame()[:-1])
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SnapshotFormatError, match="trailing"):
+            decode_frame(frame() + b"\x00")
+
+    def test_header_bit_flip_detected(self):
+        data = bytearray(frame())
+        data[21] ^= 0xFF  # inside the header JSON
+        with pytest.raises(SnapshotFormatError, match="header CRC"):
+            decode_frame(bytes(data))
+
+    def test_payload_bit_flip_detected(self):
+        data = bytearray(frame())
+        data[-1] ^= 0xFF
+        with pytest.raises(SnapshotFormatError, match="payload CRC"):
+            decode_frame(bytes(data))
+
+    def test_non_object_header_refused(self):
+        header_bytes = b"[1,2]"
+        data = (
+            struct.Struct("<8sHHII").pack(
+                MAGIC, FORMAT_VERSION, 1,
+                len(header_bytes), zlib.crc32(header_bytes),
+            )
+            + header_bytes
+            + struct.Struct("<QI").pack(0, zlib.crc32(b""))
+        )
+        with pytest.raises(SnapshotFormatError, match="JSON object"):
+            decode_frame(data)
+
+
+class TestAtomicWrite:
+    def test_writes_and_returns_size(self, tmp_path):
+        path = tmp_path / "out.bin"
+        assert atomic_write_bytes(path, b"hello") == 5
+        assert path.read_bytes() == b"hello"
+
+    def test_overwrites_existing(self, tmp_path):
+        path = tmp_path / "out.bin"
+        path.write_bytes(b"old")
+        atomic_write_bytes(path, b"new contents")
+        assert path.read_bytes() == b"new contents"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "out.bin"
+        atomic_write_bytes(path, b"data")
+        assert [entry.name for entry in tmp_path.iterdir()] == ["out.bin"]
+
+
+class TestItemCoding:
+    @pytest.mark.parametrize(
+        "item",
+        [
+            "query",
+            "",
+            0,
+            -12,
+            3.5,
+            True,
+            b"\x00\xff raw",
+            (1, "two", 3.0),
+            ((1, 2), (3, (4, b"five"))),
+        ],
+    )
+    def test_round_trip(self, item):
+        decoded = decode_item(encode_item(item))
+        assert decoded == item
+        assert type(decoded) is type(item)
+
+    def test_unsupported_type_refused(self):
+        with pytest.raises(TypeError, match="cannot snapshot item"):
+            encode_item(frozenset({1}))
+
+    def test_encoded_values_are_json_scalars_or_wrappers(self):
+        assert encode_item("q") == "q"
+        assert encode_item(b"\x01") == {"__bytes__": "01"}
+        assert encode_item((1,)) == {"__tuple__": [1]}
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            {"__tuple__": "not-a-list"},
+            {"__bytes__": 42},
+            {"unknown": 1},
+            [1, 2],
+            None,
+        ],
+    )
+    def test_malformed_encodings_refused(self, value):
+        with pytest.raises(SnapshotFormatError):
+            decode_item(value)
