@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the library's day-to-day uses on on-disk streams
+Eight subcommands cover the library's day-to-day uses on on-disk streams
 (one item per line; ``--int-keys`` parses lines as integers):
 
 * ``repro topk`` — the §3.2 one-pass tracker: the approximate top-k items.
@@ -12,6 +12,16 @@ Six subcommands cover the library's day-to-day uses on on-disk streams
   ``benchmarks/out/``).
 * ``repro store`` — work with durable ``.rcs`` snapshots
   (``inspect`` / ``merge`` / ``diff``; see :mod:`repro.store`).
+* ``repro serve`` — run the online sketch server (:mod:`repro.service`):
+  live tables ingesting over TCP while answering estimate/top-k queries.
+* ``repro query`` — client verbs against a running server
+  (``create`` / ``ingest`` / ``estimate`` / ``topk`` / ``stats`` /
+  ``metrics`` / ``checkpoint`` / ``shutdown`` / ``ping``).
+
+Exit codes are uniform across every subcommand: 0 on success, 1 for
+usage errors (bad flags or flag combinations), 2 for data errors
+(unreadable streams, corrupt or mismatched snapshots, connection
+failures).
 
 Input files are consumed incrementally (never materialized in memory), so
 multi-GB logs stream through in bounded space; ``topk`` and ``estimate``
@@ -50,6 +60,12 @@ import itertools
 import json
 import sys
 from collections.abc import Callable, Hashable, Sequence
+from typing import TYPE_CHECKING, NoReturn
+
+if TYPE_CHECKING:
+    from repro.service.client import ServiceClient
+    from repro.service.server import SketchServer
+    from repro.service.tables import TableSpec
 
 from repro.core.maxchange import MaxChangeFinder
 from repro.core.countsketch import CountSketch
@@ -215,9 +231,32 @@ def _print_ingest_summary(summary: IngestSummary) -> None:
     )
 
 
+#: Exit-code convention, uniform across every subcommand.
+EXIT_OK = 0
+EXIT_USAGE = 1
+EXIT_DATA = 2
+
+
+class _Parser(argparse.ArgumentParser):
+    """argparse exits 2 on usage errors; the repo convention reserves 2
+    for data errors, so flag problems exit :data:`EXIT_USAGE` instead.
+    Subparsers inherit this class automatically."""
+
+    def error(self, message: str) -> NoReturn:
+        self.print_usage(sys.stderr)
+        self.exit(EXIT_USAGE, f"{self.prog}: error: {message}\n")
+
+
 def _fail(message: str) -> int:
+    """Report a data error (bad input, mismatched snapshots, I/O)."""
     print(f"error: {message}", file=sys.stderr)
-    return 2
+    return EXIT_DATA
+
+
+def _usage_fail(message: str) -> int:
+    """Report a usage error (flag combinations argparse cannot check)."""
+    print(f"error: {message}", file=sys.stderr)
+    return EXIT_USAGE
 
 
 def _check_state_flags(args: argparse.Namespace) -> str | None:
@@ -287,7 +326,7 @@ def _ingest_with_state(
 def _cmd_topk(args: argparse.Namespace) -> int:
     problem = _check_state_flags(args)
     if problem is not None:
-        return _fail(problem)
+        return _usage_fail(problem)
     stream = _load(args.input, args.int_keys)
     if args.workers > 1:
         top, summary = parallel_topk(
@@ -338,7 +377,7 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     if args.sketch is not None:
         # Query a saved snapshot directly: no stream input involved.
         if args.input or args.resume or args.save_state or args.workers > 1:
-            return _fail(
+            return _usage_fail(
                 "--sketch queries a saved snapshot; it cannot be combined "
                 "with --input/--resume/--save-state/--workers"
             )
@@ -348,11 +387,11 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
                            title=f"estimates from snapshot {args.sketch}"))
         return 0
     if args.input is None:
-        return _fail("provide --input (a stream file) or --sketch (a "
-                     "saved snapshot)")
+        return _usage_fail("provide --input (a stream file) or --sketch (a "
+                           "saved snapshot)")
     problem = _check_state_flags(args)
     if problem is not None:
-        return _fail(problem)
+        return _usage_fail(problem)
     stream = _load(args.input, args.int_keys)
     if args.workers > 1:
         sketch, summary = parallel_sketch(
@@ -449,7 +488,7 @@ def _cmd_store_merge(args: argparse.Namespace) -> int:
     from repro.core.vectorized import VectorizedCountSketch
 
     if len(args.inputs) < 2:
-        return _fail("merge needs at least two input snapshots")
+        return _usage_fail("merge needs at least two input snapshots")
     mergeable = (CountSketch, SparseCountSketch, VectorizedCountSketch)
     merged = load_snapshot(args.inputs[0])
     if not isinstance(merged, mergeable):
@@ -501,7 +540,7 @@ def _cmd_store_diff(args: argparse.Namespace) -> int:
         try:
             epoch_a, epoch_b = int(args.before), int(args.after)
         except ValueError:
-            return _fail(
+            return _usage_fail(
                 "with --archive, BEFORE and AFTER are epoch indices"
             )
         archive = SketchArchive(args.archive)
@@ -519,7 +558,7 @@ def _cmd_store_diff(args: argparse.Namespace) -> int:
         )
     else:
         if not items:
-            return _fail(
+            return _usage_fail(
                 "provide --items to score (snapshot diffs can only rank "
                 "items somebody names; --archive mode has stored "
                 "candidate lists)"
@@ -548,9 +587,235 @@ def _cmd_store_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_table_flag(value: str) -> TableSpec:
+    """Parse ``NAME[:KIND[:key=val,...]]`` into a ``TableSpec``.
+
+    Examples: ``queries``, ``queries:topk``,
+    ``queries:topk:k=20,depth=6,width=1024,seed=7``.
+    """
+    from repro.service.tables import TableSpec
+
+    parts = value.split(":")
+    if len(parts) > 3:
+        raise ValueError(
+            f"malformed --table {value!r}; use NAME[:KIND[:key=val,...]]")
+    payload: dict[str, object] = {"name": parts[0]}
+    if len(parts) > 1 and parts[1]:
+        payload["kind"] = parts[1]
+    if len(parts) > 2 and parts[2]:
+        for pair in parts[2].split(","):
+            key, sep, raw = pair.partition("=")
+            if not sep or not key or not raw:
+                raise ValueError(
+                    f"malformed table option {pair!r} in --table "
+                    f"{value!r}; use key=value"
+                )
+            try:
+                payload[key] = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"table option {key!r} needs an integer value, "
+                    f"got {raw!r}"
+                ) from None
+    try:
+        return TableSpec.from_dict(payload)
+    except ValueError as error:
+        raise ValueError(f"--table {value!r}: {error}") from None
+
+
+async def _serve_until_stopped(
+    server: SketchServer, host: str, port: int
+) -> None:
+    import asyncio
+    import signal
+
+    bound_host, bound_port = await server.start(host, port)
+    print(f"serving on {bound_host}:{bound_port}", flush=True)
+    for table in server.tables.values():
+        print(
+            f"table {table.spec.name}: kind={table.spec.kind} "
+            f"records_applied={table.records_applied}",
+            flush=True,
+        )
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(
+                signum, server.request_stop)
+        except NotImplementedError:  # pragma: no cover - non-POSIX loops
+            pass
+    await server.wait_stopped()
+    print("serve: graceful stop complete", flush=True)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.observability import get_registry, metrics_enabled
+    from repro.service.server import SketchServer
+
+    try:
+        specs = [_parse_table_flag(value) for value in args.table]
+    except ValueError as error:
+        return _usage_fail(str(error))
+    if not specs:
+        return _usage_fail(
+            "provide at least one --table NAME[:KIND[:key=val,...]]")
+    if (
+        args.checkpoint_every is not None or
+        args.checkpoint_every_seconds is not None
+    ) and args.checkpoint_dir is None:
+        return _usage_fail(
+            "--checkpoint-every/--checkpoint-every-seconds require "
+            "--checkpoint-dir (where should the snapshots go?)"
+        )
+    registry = get_registry() if metrics_enabled() else None
+    try:
+        server = SketchServer(
+            specs,
+            queue_capacity=args.queue_capacity,
+            max_coalesce=args.max_batch,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every_items=args.checkpoint_every,
+            checkpoint_every_seconds=args.checkpoint_every_seconds,
+            registry=registry,
+        )
+    except ValueError as error:
+        return _usage_fail(str(error))
+    asyncio.run(_serve_until_stopped(server, args.host, args.port))
+    return EXIT_OK
+
+
+def _connect_client(args: argparse.Namespace) -> ServiceClient:
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(args.host, args.port, timeout=args.timeout)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import concurrent.futures
+
+    from repro.service.client import ServiceError
+
+    try:
+        client = _connect_client(args)
+    except OSError as error:
+        return _fail(
+            f"cannot connect to {args.host}:{args.port}: {error}")
+    try:
+        return int(args.query_handler(client, args))
+    except ServiceError as error:
+        return _fail(str(error))
+    except (TimeoutError, concurrent.futures.TimeoutError):
+        return _fail(
+            f"request to {args.host}:{args.port} timed out after "
+            f"{args.timeout:.1f}s"
+        )
+    finally:
+        client.close()
+
+
+def _query_ping(client: ServiceClient, args: argparse.Namespace) -> int:
+    info = client.ping()
+    print(json.dumps(info, indent=2, sort_keys=True))
+    return EXIT_OK
+
+
+def _query_create(client: ServiceClient, args: argparse.Namespace) -> int:
+    try:
+        spec = _parse_table_flag(args.table)
+    except ValueError as error:
+        return _usage_fail(str(error))
+    created = client.create_table(spec)
+    verb = "created" if created else "already exists (same spec)"
+    print(f"table {spec.name!r}: {verb}")
+    return EXIT_OK
+
+
+def _query_ingest(client: ServiceClient, args: argparse.Namespace) -> int:
+    if args.batch_size < 1:
+        return _usage_fail("--batch-size must be at least 1")
+    if args.skip < 0:
+        return _usage_fail("--skip cannot be negative")
+    stream = _load(args.input, args.int_keys)
+    source = (
+        itertools.islice(iter(stream), args.skip, None)
+        if args.skip else iter(stream)
+    )
+    total = 0
+    batch: list[tuple[Hashable, int]] = []
+    # wait=True applies each batch before the next send: natural flow
+    # control, so a well-behaved producer never sees `overloaded`.
+    for item in source:
+        batch.append((item, 1))
+        if len(batch) >= args.batch_size:
+            client.ingest(args.table, batch, wait=True)
+            total += len(batch)
+            batch = []
+    if batch:
+        client.ingest(args.table, batch, wait=True)
+        total += len(batch)
+    skipped = f" (skipped {args.skip})" if args.skip else ""
+    print(f"ingested {total} records into {args.table!r}{skipped}")
+    return EXIT_OK
+
+
+def _query_estimate(client: ServiceClient, args: argparse.Namespace) -> int:
+    queries = [int(q) if args.int_keys else q for q in args.items]
+    estimates = client.estimate(args.table, queries)
+    rows = [[str(item), value]
+            for item, value in zip(queries, estimates, strict=True)]
+    print(format_table(["item", "estimate"], rows,
+                       title=f"live estimates from table {args.table!r}"))
+    return EXIT_OK
+
+
+def _query_topk(client: ServiceClient, args: argparse.Namespace) -> int:
+    top = client.topk(args.table, args.k)
+    rows = [
+        [rank, str(item), count]
+        for rank, (item, count) in enumerate(top, start=1)
+    ]
+    print(format_table(["rank", "item", "approx count"], rows,
+                       title=f"live top-k of table {args.table!r}"))
+    return EXIT_OK
+
+
+def _query_stats(client: ServiceClient, args: argparse.Namespace) -> int:
+    stats = client.stats(args.table)
+    stats.pop("ok", None)
+    stats.pop("id", None)
+    print(json.dumps(stats, indent=2, sort_keys=True))
+    return EXIT_OK
+
+
+def _query_metrics(client: ServiceClient, args: argparse.Namespace) -> int:
+    body = client.metrics(args.format)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(body, encoding="utf-8")
+        print(f"metrics: wrote {args.format} to {args.out}")
+    else:
+        print(body, end="" if body.endswith("\n") else "\n")
+    return EXIT_OK
+
+
+def _query_checkpoint(client: ServiceClient, args: argparse.Namespace) -> int:
+    written = client.checkpoint(args.table)
+    print(f"checkpoint: {written} bytes written")
+    return EXIT_OK
+
+
+def _query_shutdown(client: ServiceClient, args: argparse.Namespace) -> int:
+    client.shutdown()
+    print("server is stopping")
+    return EXIT_OK
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
-    parser = argparse.ArgumentParser(
+    parser = _Parser(
         prog="repro",
         description="Count Sketch frequent-items toolkit "
                     "(Charikar, Chen & Farach-Colton reproduction)",
@@ -665,6 +930,143 @@ def build_parser() -> argparse.ArgumentParser:
     store_diff.add_argument("--int-keys", action="store_true",
                             help="parse --items as integers")
     store_diff.set_defaults(handler=_cmd_store_diff)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the online sketch server (repro.service): live tables "
+             "ingesting over TCP while answering estimate/top-k queries",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=9431,
+                       help="bind port; 0 picks a free port and prints it "
+                            "(default 9431)")
+    serve.add_argument(
+        "--table", action="append", default=[],
+        metavar="NAME[:KIND[:key=val,...]]",
+        help="table to serve (repeatable); KIND is sketch, vectorized, "
+             "topk, or window; options: depth, width, seed, k, window, "
+             "buckets — e.g. queries:topk:k=20,depth=6,width=1024",
+    )
+    serve.add_argument("--queue-capacity", type=int, default=256,
+                       help="pending ingest batches per table before "
+                            "producers get an explicit `overloaded` "
+                            "response (default 256)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="ingest batches coalesced per apply call "
+                            "(default 64)")
+    serve.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                       help="persist every table under DIR and resume "
+                            "bit-for-bit on restart")
+    serve.add_argument("--checkpoint-every", metavar="N", type=int,
+                       default=None,
+                       help="with --checkpoint-dir: snapshot a table "
+                            "after N applied records")
+    serve.add_argument("--checkpoint-every-seconds", metavar="T",
+                       type=float, default=None,
+                       help="with --checkpoint-dir: snapshot a table "
+                            "after T seconds (default 30 when no trigger "
+                            "is given)")
+    _add_metrics_arguments(serve)
+    serve.set_defaults(handler=_cmd_serve)
+
+    query = subparsers.add_parser(
+        "query", help="talk to a running `repro serve` instance"
+    )
+    query_sub = query.add_subparsers(dest="query_command", required=True)
+    connection = argparse.ArgumentParser(add_help=False)
+    connection.add_argument("--host", default="127.0.0.1",
+                            help="server address (default 127.0.0.1)")
+    connection.add_argument("--port", type=int, default=9431,
+                            help="server port (default 9431)")
+    connection.add_argument("--timeout", type=float, default=30.0,
+                            help="per-request timeout in seconds "
+                                 "(default 30)")
+
+    query_ping = query_sub.add_parser(
+        "ping", parents=[connection],
+        help="server liveness and protocol version")
+    query_ping.set_defaults(handler=_cmd_query, query_handler=_query_ping)
+
+    query_create = query_sub.add_parser(
+        "create", parents=[connection],
+        help="create a table on the running server")
+    query_create.add_argument("--table", required=True,
+                              metavar="NAME[:KIND[:key=val,...]]",
+                              help="table spec (same syntax as serve "
+                                   "--table)")
+    query_create.set_defaults(handler=_cmd_query,
+                              query_handler=_query_create)
+
+    query_ingest = query_sub.add_parser(
+        "ingest", parents=[connection],
+        help="stream a file into a live table (batched, flow-controlled)")
+    query_ingest.add_argument("--table", required=True)
+    query_ingest.add_argument("--input", required=True,
+                              help="stream file, one item per line")
+    query_ingest.add_argument("--int-keys", action="store_true",
+                              help="parse stream lines as integers")
+    query_ingest.add_argument("--batch-size", type=int, default=1000,
+                              help="records per ingest request "
+                                   "(default 1000)")
+    query_ingest.add_argument("--skip", type=int, default=0,
+                              metavar="N",
+                              help="skip the first N records (resume a "
+                                   "producer: use records_applied from "
+                                   "`repro query stats`)")
+    query_ingest.set_defaults(handler=_cmd_query,
+                              query_handler=_query_ingest)
+
+    query_estimate = query_sub.add_parser(
+        "estimate", parents=[connection],
+        help="frequency estimates from a live table")
+    query_estimate.add_argument("--table", required=True)
+    query_estimate.add_argument("items", nargs="+",
+                                help="items to estimate")
+    query_estimate.add_argument("--int-keys", action="store_true",
+                                help="parse items as integers")
+    query_estimate.set_defaults(handler=_cmd_query,
+                                query_handler=_query_estimate)
+
+    query_topk = query_sub.add_parser(
+        "topk", parents=[connection],
+        help="current top-k of a live topk table")
+    query_topk.add_argument("--table", required=True)
+    query_topk.add_argument("--k", type=int, default=None,
+                            help="items to report (default: the table's "
+                                 "k)")
+    query_topk.set_defaults(handler=_cmd_query, query_handler=_query_topk)
+
+    query_stats = query_sub.add_parser(
+        "stats", parents=[connection],
+        help="per-table (or server-wide) counters and queue state")
+    query_stats.add_argument("--table", default=None)
+    query_stats.set_defaults(handler=_cmd_query,
+                             query_handler=_query_stats)
+
+    query_metrics = query_sub.add_parser(
+        "metrics", parents=[connection],
+        help="scrape the server's metrics export")
+    query_metrics.add_argument("--format",
+                               choices=("prometheus", "json"),
+                               default="prometheus")
+    query_metrics.add_argument("--out", metavar="PATH", default=None,
+                               help="write to PATH instead of stdout")
+    query_metrics.set_defaults(handler=_cmd_query,
+                               query_handler=_query_metrics)
+
+    query_checkpoint = query_sub.add_parser(
+        "checkpoint", parents=[connection],
+        help="force a durability snapshot now")
+    query_checkpoint.add_argument("--table", default=None)
+    query_checkpoint.set_defaults(handler=_cmd_query,
+                                  query_handler=_query_checkpoint)
+
+    query_shutdown = query_sub.add_parser(
+        "shutdown", parents=[connection],
+        help="stop the server gracefully (drain, snapshot, exit)")
+    query_shutdown.set_defaults(handler=_cmd_query,
+                                query_handler=_query_shutdown)
 
     return parser
 

@@ -32,6 +32,12 @@ that no general-purpose linter knows about:
   the format version, checksums, and hash coefficients, so the bytes
   cannot be validated or merged later; ``repro.store.save()`` /
   ``load()`` is the one sanctioned codec.
+* **RS007 async-blocking-call** — blocking calls (``time.sleep``,
+  ``subprocess``, ``os.system``, builtin ``open``, ``Path.read_text``
+  and friends, ``repro.store.save``/``load``) inside an ``async def``
+  under ``repro.service``.  The server runs every table on one event
+  loop; a single blocking call stalls ingestion and all queries at
+  once.  Await the async equivalent or use ``loop.run_in_executor``.
 
 Suppress a finding by appending ``# repro: noqa-RS001`` (comma-separate
 several codes: ``# repro: noqa-RS002,RS004``; bare ``# repro: noqa``
@@ -119,6 +125,13 @@ RULES: tuple[Rule, ...] = (
         "sketch state serialized with a generic codec outside repro.store",
         "persist summaries with repro.store.save()/load() — the versioned, "
         "CRC-checked snapshot format",
+    ),
+    Rule(
+        "RS007",
+        "async-blocking-call",
+        "blocking call inside an async def under repro.service",
+        "await the async equivalent or hand the work to "
+        "loop.run_in_executor(...); the event loop must never block",
     ),
 )
 
@@ -283,6 +296,25 @@ _SERIALIZED_STATE_ATTRS = frozenset(
     {"_counters", "counters", "_rows", "_table", "table"}
 )
 
+#: Module-level blocking entry points flagged inside ``async def`` bodies
+#: under ``repro.service`` (RS007).
+_BLOCKING_MODULE_CALLS: dict[str, frozenset[str]] = {
+    "time": frozenset({"sleep"}),
+    "os": frozenset({"system", "popen"}),
+    "subprocess": frozenset(
+        {"run", "call", "check_call", "check_output", "Popen"}
+    ),
+}
+
+#: Blocking filesystem methods (the ``pathlib.Path`` I/O surface),
+#: flagged on any receiver inside async service code (RS007).
+_BLOCKING_METHODS = frozenset(
+    {"read_text", "read_bytes", "write_text", "write_bytes"}
+)
+
+#: ``repro.store`` entry points that hit the filesystem (RS007).
+_STORE_IO_FUNCS = frozenset({"save", "load", "load_with_meta"})
+
 
 def _is_test_path(path: Path) -> bool:
     """True for files where test-only relaxations (RS001/RS003) apply."""
@@ -320,7 +352,10 @@ class _Checker(ast.NodeVisitor):
         self._in_core = _in_package(path, "core")
         self._in_observability = _in_package(path, "observability")
         self._in_store = _in_package(path, "store")
+        self._in_service = _in_package(path, "service")
         self._func_stack: list[str] = []
+        self._async_stack: list[bool] = []
+        self._awaited_calls: set[int] = set()
         self._in_decorator = 0
         self.findings: list[Finding] = []
         # Import-derived name tables (module- or function-scoped alike).
@@ -332,6 +367,9 @@ class _Checker(ast.NodeVisitor):
         self._observability_timed: set[str] = set()
         self._serializer_aliases: dict[str, str] = {}
         self._from_serializer: dict[str, tuple[str, str]] = {}
+        self._blocking_module_aliases: dict[str, str] = {}
+        self._from_blocking: dict[str, str] = {}
+        self._store_module_aliases: set[str] = set()
 
     # -- bookkeeping --------------------------------------------------------
 
@@ -360,6 +398,10 @@ class _Checker(ast.NodeVisitor):
                     self._np_random_aliases.add(alias.asname)
                 else:
                     self._numpy_aliases.add("numpy")
+            if alias.name in _BLOCKING_MODULE_CALLS:
+                self._blocking_module_aliases[bound] = alias.name
+            elif alias.name == "repro.store" and alias.asname is not None:
+                self._store_module_aliases.add(alias.asname)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -381,6 +423,13 @@ class _Checker(ast.NodeVisitor):
                 and alias.name in _SERIALIZER_FUNCS[module]
             ):
                 self._from_serializer[bound] = (module, alias.name)
+            if (
+                module in _BLOCKING_MODULE_CALLS
+                and alias.name in _BLOCKING_MODULE_CALLS[module]
+            ):
+                self._from_blocking[bound] = f"{module}.{alias.name}"
+            elif module == "repro.store" and alias.name in _STORE_IO_FUNCS:
+                self._from_blocking[bound] = f"repro.store.{alias.name}"
         self.generic_visit(node)
 
     def _visit_function(
@@ -391,10 +440,12 @@ class _Checker(ast.NodeVisitor):
             self.visit(decorator)
         self._in_decorator -= 1
         self._func_stack.append(node.name)
+        self._async_stack.append(isinstance(node, ast.AsyncFunctionDef))
         for child in ast.iter_child_nodes(node):
             if child in node.decorator_list:
                 continue
             self.visit(child)
+        self._async_stack.pop()
         self._func_stack.pop()
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
@@ -669,6 +720,61 @@ class _Checker(ast.NodeVisitor):
                 "repro.store",
             )
 
+    # -- RS007: blocking calls in async service code --------------------------
+
+    def visit_Await(self, node: ast.Await) -> None:
+        self._awaited_calls.add(id(node.value))
+        self.generic_visit(node)
+
+    def _blocking_target(self, func: ast.expr) -> str | None:
+        """Resolve a call target to a blocking API's display name."""
+        if isinstance(func, ast.Attribute):
+            if func.attr in _BLOCKING_METHODS:
+                return f"{ast.unparse(func.value)}.{func.attr}"
+            value = func.value
+            if isinstance(value, ast.Name):
+                module = self._blocking_module_aliases.get(value.id)
+                if (
+                    module is not None
+                    and func.attr in _BLOCKING_MODULE_CALLS[module]
+                ):
+                    return f"{module}.{func.attr}"
+                if (
+                    value.id in self._store_module_aliases
+                    and func.attr in _STORE_IO_FUNCS
+                ):
+                    return f"repro.store.{func.attr}"
+            if (
+                isinstance(value, ast.Attribute)
+                and value.attr == "store"
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "repro"
+                and func.attr in _STORE_IO_FUNCS
+            ):
+                return f"repro.store.{func.attr}"
+        elif isinstance(func, ast.Name):
+            if func.id == "open":
+                return "open"
+            return self._from_blocking.get(func.id)
+        return None
+
+    def _check_rs007(self, node: ast.Call) -> None:
+        if not self._in_service:
+            return
+        if not (self._async_stack and self._async_stack[-1]):
+            return
+        if id(node) in self._awaited_calls:
+            return  # awaited: an async namesake, not the blocking API
+        target = self._blocking_target(node.func)
+        if target is None:
+            return
+        self._report(
+            node,
+            "RS007",
+            f"blocking call `{target}(...)` inside an `async def` stalls "
+            "the event loop",
+        )
+
     # -- dispatch ------------------------------------------------------------
 
     def visit_Call(self, node: ast.Call) -> None:
@@ -677,6 +783,7 @@ class _Checker(ast.NodeVisitor):
         self._check_rs004_call(node)
         self._check_rs005(node)
         self._check_rs006(node)
+        self._check_rs007(node)
         self.generic_visit(node)
 
 
@@ -774,7 +881,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code (0 clean, 1 findings)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.devtools.lint",
-        description="repo-specific AST lint suite (rules RS001-RS006)",
+        description="repo-specific AST lint suite (rules RS001-RS007)",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src", "tests"],

@@ -1,0 +1,75 @@
+"""Online serving for Count Sketch summaries.
+
+The paper's motivating feeds — search-query logs (§1), router packet
+flows — are live streams queried *while* ingestion continues.  This
+package is that shape: a long-running asyncio server owning named
+"tables" (dense / vectorized / top-k / jumping-window summaries),
+absorbing batched ingest over a length-prefixed JSON protocol, and
+answering ``estimate`` / ``topk`` / ``stats`` concurrently with exact
+read-your-acknowledged-writes semantics.
+
+Entry points:
+
+* :class:`SketchServer` — the server core (TCP or in-process).
+* :class:`AsyncServiceClient` / :class:`ServiceClient` — the typed
+  client library (async core, sync facade).
+* :class:`TableSpec` — declarative table descriptions, pinned in the
+  durability manifest.
+* CLI: ``repro serve`` / ``repro query``.
+
+See ``docs/service.md`` for the protocol specification, backpressure
+semantics, and durability guarantees.
+"""
+
+from repro.service.client import (
+    AsyncServiceClient,
+    InProcessTransport,
+    OverloadedError,
+    ServiceClient,
+    ServiceError,
+    TcpTransport,
+)
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    WireProtocolError,
+    decode_wire_key,
+    encode_wire_key,
+    normalize_key,
+    pack_frame,
+    read_frame,
+    unpack_frame,
+    write_frame,
+)
+from repro.service.server import MANIFEST_NAME, SketchServer
+from repro.service.tables import (
+    TABLE_KINDS,
+    ServiceTable,
+    TableOverloadedError,
+    TableSpec,
+)
+
+__all__ = [
+    "MANIFEST_NAME",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "TABLE_KINDS",
+    "AsyncServiceClient",
+    "InProcessTransport",
+    "OverloadedError",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceTable",
+    "SketchServer",
+    "TableOverloadedError",
+    "TableSpec",
+    "TcpTransport",
+    "WireProtocolError",
+    "decode_wire_key",
+    "encode_wire_key",
+    "normalize_key",
+    "pack_frame",
+    "read_frame",
+    "unpack_frame",
+    "write_frame",
+]

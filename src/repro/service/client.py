@@ -1,0 +1,351 @@
+"""Typed client library for the sketch service.
+
+Three layers:
+
+* Transports — :class:`TcpTransport` (real sockets) and
+  :class:`InProcessTransport` (direct dispatch against a
+  :class:`~repro.service.server.SketchServer`, round-tripping every
+  message through the frame codec so tests exercise byte-level parity
+  without a socket).
+* :class:`AsyncServiceClient` — the async API: one method per protocol
+  op, with stream keys encoded/decoded transparently and error
+  responses raised as :class:`ServiceError` (or the sharper
+  :class:`OverloadedError` for backpressure).
+* :class:`ServiceClient` — a synchronous facade for scripts and the
+  CLI: it runs a private event loop on a daemon thread and proxies
+  each call with a timeout.
+
+Backpressure contract: ``ingest`` never silently drops.  Either the
+batch is acknowledged (and ``wait=True`` additionally awaits its
+application), or :class:`OverloadedError` reports the full queue and
+the caller decides — retry, slow down, or fail.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from typing import TYPE_CHECKING, Any
+
+from repro.service.protocol import (
+    decode_wire_key,
+    encode_wire_key,
+    pack_frame,
+    read_frame,
+    unpack_frame,
+    write_frame,
+)
+from repro.service.tables import TableSpec
+
+if TYPE_CHECKING:
+    from collections.abc import Hashable, Iterable, Sequence
+
+    from repro.service.server import SketchServer
+
+__all__ = [
+    "AsyncServiceClient",
+    "InProcessTransport",
+    "OverloadedError",
+    "ServiceClient",
+    "ServiceError",
+    "TcpTransport",
+]
+
+
+class ServiceError(Exception):
+    """The server answered with an error response."""
+
+    def __init__(self, code: str, message: str,
+                 details: dict[str, Any] | None = None) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.details = details or {}
+
+
+class OverloadedError(ServiceError):
+    """The table's ingest queue was full; the batch was not enqueued."""
+
+
+def _raise_for_error(response: dict[str, Any]) -> dict[str, Any]:
+    if response.get("ok"):
+        return response
+    error = response.get("error")
+    if not isinstance(error, dict):
+        raise ServiceError("internal", f"malformed error response: "
+                                       f"{response!r}")
+    code = str(error.get("code", "internal"))
+    message = str(error.get("message", ""))
+    details = {k: v for k, v in error.items()
+               if k not in ("code", "message")}
+    if code == "overloaded":
+        raise OverloadedError(code, message, details)
+    raise ServiceError(code, message, details)
+
+
+class TcpTransport:
+    """One TCP connection; requests are serialized with a lock."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._lock = asyncio.Lock()
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> TcpTransport:
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Send one framed request and await its framed response."""
+        async with self._lock:
+            await write_frame(self._writer, message)
+            response = await read_frame(self._reader)
+        if response is None:
+            raise ServiceError(
+                "internal",
+                "server closed the connection before responding",
+            )
+        return response
+
+    async def close(self) -> None:
+        """Close the connection, tolerating an already-gone peer."""
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+class InProcessTransport:
+    """Dispatch directly against a server, through the frame codec.
+
+    Every request and response is packed and unpacked exactly as it
+    would be on a socket, so in-process tests cover the same byte path
+    as TCP minus the kernel.
+    """
+
+    def __init__(self, server: SketchServer) -> None:
+        self._server = server
+
+    async def request(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Dispatch against the server after a codec round-trip."""
+        wire_message = unpack_frame(pack_frame(message))
+        response = await self._server.dispatch(wire_message)
+        return unpack_frame(pack_frame(response))
+
+    async def close(self) -> None:
+        """Nothing to release; the server is owned by the caller."""
+        return None
+
+
+class AsyncServiceClient:
+    """Async API over a transport; one method per protocol op."""
+
+    def __init__(self, transport: TcpTransport | InProcessTransport) -> None:
+        self._transport = transport
+        self._ids = itertools.count(1)
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> AsyncServiceClient:
+        """Open a TCP connection to a running server."""
+        return cls(await TcpTransport.connect(host, port))
+
+    @classmethod
+    def in_process(cls, server: SketchServer) -> AsyncServiceClient:
+        """Attach to a server in the same event loop (tests, benches)."""
+        return cls(InProcessTransport(server))
+
+    async def _call(self, op: str, **fields: Any) -> dict[str, Any]:
+        message: dict[str, Any] = {"op": op, "id": next(self._ids)}
+        for key, value in fields.items():
+            if value is not None:
+                message[key] = value
+        return _raise_for_error(await self._transport.request(message))
+
+    async def ping(self) -> dict[str, Any]:
+        """Server liveness and protocol version."""
+        return await self._call("ping")
+
+    async def create_table(self, spec: TableSpec) -> bool:
+        """Create a table; ``False`` when it already existed (same
+        spec — a differing spec raises ``table_exists``)."""
+        response = await self._call("create_table", spec=spec.to_dict())
+        return bool(response["created"])
+
+    async def drop_table(self, table: str) -> int:
+        """Drop a table; returns the records it had applied."""
+        response = await self._call("drop_table", table=table)
+        return int(response["records_applied"])
+
+    async def ingest(
+        self,
+        table: str,
+        records: Iterable[tuple[Hashable, int]],
+        *,
+        wait: bool = False,
+    ) -> int:
+        """Send one batch of ``(item, count)`` records; returns its
+        sequence number.  ``wait=True`` returns only after the batch is
+        applied (read-your-writes without a separate query)."""
+        payload = [[encode_wire_key(item), int(count)]
+                   for item, count in records]
+        response = await self._call("ingest", table=table, records=payload,
+                                    wait=wait or None)
+        return int(response["seq"])
+
+    async def ingest_items(
+        self, table: str, items: Iterable[Hashable], *, wait: bool = False
+    ) -> int:
+        """Sugar: ingest plain items, each with count 1."""
+        return await self.ingest(table, ((item, 1) for item in items),
+                                 wait=wait)
+
+    async def estimate(
+        self, table: str, items: Sequence[Hashable]
+    ) -> list[float]:
+        """Frequency estimates for ``items`` over the acknowledged
+        prefix (the server awaits its read barrier first)."""
+        response = await self._call(
+            "estimate", table=table,
+            keys=[encode_wire_key(item) for item in items],
+        )
+        return [float(value) for value in response["estimates"]]
+
+    async def topk(
+        self, table: str, k: int | None = None
+    ) -> list[tuple[Hashable, float]]:
+        """The table's current top-k ``(item, count)`` pairs."""
+        response = await self._call("topk", table=table, k=k)
+        return [(decode_wire_key(key), float(count))
+                for key, count in response["topk"]]
+
+    async def stats(self, table: str | None = None) -> dict[str, Any]:
+        """Per-table (or server-wide) counters and queue state."""
+        return await self._call("stats", table=table)
+
+    async def metrics(self, fmt: str = "prometheus") -> str:
+        """The server's metrics export (``prometheus`` or ``json``)."""
+        response = await self._call("metrics", format=fmt)
+        return str(response["body"])
+
+    async def checkpoint(self, table: str | None = None) -> int:
+        """Force a snapshot now; returns bytes written."""
+        response = await self._call("checkpoint", table=table)
+        return int(response["bytes_written"])
+
+    async def shutdown(self) -> None:
+        """Ask the server to stop gracefully."""
+        await self._call("shutdown")
+
+    async def close(self) -> None:
+        """Close the transport (the server keeps running)."""
+        await self._transport.close()
+
+
+class ServiceClient:
+    """Synchronous facade: a private event loop on a daemon thread.
+
+    Every method mirrors :class:`AsyncServiceClient` and blocks up to
+    ``timeout`` seconds.  Usable as a context manager::
+
+        with ServiceClient("127.0.0.1", 9431) as client:
+            client.ingest("queries", [("deep learning", 3)], wait=True)
+            print(client.estimate("queries", ["deep learning"]))
+    """
+
+    def __init__(self, host: str, port: int, *,
+                 timeout: float = 30.0) -> None:
+        self._timeout = timeout
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="repro-service-client",
+            daemon=True,
+        )
+        self._thread.start()
+        try:
+            self._client = self._run(AsyncServiceClient.connect(host, port))
+        except BaseException:
+            self._stop_loop()
+            raise
+
+    def _run(self, coro: Any) -> Any:
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return future.result(self._timeout)
+
+    def _stop_loop(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5.0)
+        if not self._loop.is_running():
+            self._loop.close()
+
+    def ping(self) -> dict[str, Any]:
+        """Server liveness and protocol version."""
+        return self._run(self._client.ping())
+
+    def create_table(self, spec: TableSpec) -> bool:
+        """Create a table; ``False`` when it already existed."""
+        return bool(self._run(self._client.create_table(spec)))
+
+    def drop_table(self, table: str) -> int:
+        """Drop a table; returns the records it had applied."""
+        return int(self._run(self._client.drop_table(table)))
+
+    def ingest(
+        self,
+        table: str,
+        records: Iterable[tuple[Hashable, int]],
+        *,
+        wait: bool = False,
+    ) -> int:
+        """Send one batch of ``(item, count)`` records; returns its seq."""
+        return int(self._run(self._client.ingest(table, list(records),
+                                                 wait=wait)))
+
+    def ingest_items(
+        self, table: str, items: Iterable[Hashable], *, wait: bool = False
+    ) -> int:
+        """Sugar: ingest plain items, each with count 1."""
+        return int(self._run(self._client.ingest_items(table, list(items),
+                                                       wait=wait)))
+
+    def estimate(self, table: str, items: Sequence[Hashable]) -> list[float]:
+        """Frequency estimates over the acknowledged prefix."""
+        return list(self._run(self._client.estimate(table, list(items))))
+
+    def topk(self, table: str,
+             k: int | None = None) -> list[tuple[Hashable, float]]:
+        """The table's current top-k ``(item, count)`` pairs."""
+        return list(self._run(self._client.topk(table, k)))
+
+    def stats(self, table: str | None = None) -> dict[str, Any]:
+        """Per-table (or server-wide) counters and queue state."""
+        return dict(self._run(self._client.stats(table)))
+
+    def metrics(self, fmt: str = "prometheus") -> str:
+        """The server's metrics export (``prometheus`` or ``json``)."""
+        return str(self._run(self._client.metrics(fmt)))
+
+    def checkpoint(self, table: str | None = None) -> int:
+        """Force a snapshot now; returns bytes written."""
+        return int(self._run(self._client.checkpoint(table)))
+
+    def shutdown(self) -> None:
+        """Ask the server to stop gracefully."""
+        self._run(self._client.shutdown())
+
+    def close(self) -> None:
+        """Close the transport and stop the private event loop."""
+        try:
+            self._run(self._client.close())
+        finally:
+            self._stop_loop()
+
+    def __enter__(self) -> ServiceClient:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

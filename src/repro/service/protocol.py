@@ -1,0 +1,231 @@
+"""Length-prefixed JSON wire protocol for the sketch service.
+
+Frame layout (both directions)::
+
+    +----------------+----------------------------+
+    | length: u32 BE | payload: UTF-8 JSON object |
+    +----------------+----------------------------+
+
+The payload is a single JSON object serialized with ``ensure_ascii``
+(the default), so lone surrogates from ``surrogateescape``-decoded
+text survive as ``\\uDCxx`` escapes and every frame is plain ASCII on
+the wire.  Frames larger than :data:`MAX_FRAME_BYTES` are refused on
+both ends — a bounds check, not a negotiation.
+
+Requests carry ``{"op": ..., ...}``; responses carry ``{"ok": true,
+...}`` or ``{"ok": false, "error": {"code": ..., "message": ...}}``.
+The full op and error vocabulary is documented in ``docs/service.md``.
+
+Stream keys cross the wire through :func:`encode_wire_key` /
+:func:`decode_wire_key`, which reuse the snapshot item codec
+(``repro.store.format.encode_item``) after :func:`normalize_key`
+collapses NumPy scalars to their Python equivalents — ``np.int64(7)``
+and ``7`` hash identically (``encode_key``), so they must serialize
+identically too.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.store.format import SnapshotFormatError, decode_item, encode_item
+
+if TYPE_CHECKING:
+    from collections.abc import Hashable
+
+__all__ = [
+    "ERROR_CODES",
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "WireProtocolError",
+    "decode_wire_key",
+    "encode_wire_key",
+    "error_response",
+    "normalize_key",
+    "ok_response",
+    "pack_frame",
+    "read_frame",
+    "unpack_frame",
+    "write_frame",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame's JSON payload, in bytes.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+#: Request operations the server understands.
+OPS = frozenset({
+    "checkpoint",
+    "create_table",
+    "drop_table",
+    "estimate",
+    "ingest",
+    "metrics",
+    "ping",
+    "shutdown",
+    "stats",
+    "topk",
+})
+
+#: Error codes a response may carry.
+ERROR_CODES = frozenset({
+    "bad_frame",
+    "bad_request",
+    "internal",
+    "no_such_table",
+    "overloaded",
+    "shutting_down",
+    "table_exists",
+})
+
+
+class WireProtocolError(Exception):
+    """A frame violated the protocol (framing, size, or JSON shape)."""
+
+
+def normalize_key(item: Hashable) -> Hashable:
+    """Collapse a stream key to its canonical Python representation.
+
+    NumPy scalars hash identically to their Python twins in
+    ``encode_key``, so the wire must not distinguish them either:
+    ``np.int64(7)`` becomes ``7``, ``np.bool_(True)`` becomes ``True``,
+    ``bytearray`` becomes ``bytes``, and tuples normalize recursively.
+    """
+    if isinstance(item, (bool, np.bool_)):
+        return bool(item)
+    if isinstance(item, np.integer):
+        return int(item)
+    if isinstance(item, np.floating):
+        return float(item)
+    if isinstance(item, bytearray):
+        return bytes(item)
+    if isinstance(item, tuple):
+        return tuple(normalize_key(part) for part in item)
+    return item
+
+
+def encode_wire_key(item: Hashable) -> object:
+    """Encode one stream key as a JSON-representable wire value."""
+    return encode_item(normalize_key(item))
+
+
+def decode_wire_key(value: object) -> Hashable:
+    """Invert :func:`encode_wire_key`.
+
+    Raises:
+        WireProtocolError: for values no key encoding produces.
+    """
+    try:
+        return decode_item(value)
+    except SnapshotFormatError as error:
+        raise WireProtocolError(f"undecodable key: {error}") from error
+
+
+def pack_frame(message: dict[str, Any]) -> bytes:
+    """Serialize one message to its on-wire bytes (length + JSON)."""
+    body = json.dumps(
+        message, sort_keys=True, separators=(",", ":")
+    ).encode("ascii")
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireProtocolError(
+            f"frame of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+def unpack_frame(data: bytes) -> dict[str, Any]:
+    """Parse exactly one frame from ``data`` (header + full payload)."""
+    if len(data) < _LENGTH.size:
+        raise WireProtocolError("truncated frame header")
+    (length,) = _LENGTH.unpack(data[: _LENGTH.size])
+    if length > MAX_FRAME_BYTES:
+        raise WireProtocolError(
+            f"declared frame length {length} exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    body = data[_LENGTH.size:]
+    if len(body) != length:
+        raise WireProtocolError(
+            f"frame declares {length} payload bytes but carries {len(body)}"
+        )
+    return _parse_body(bytes(body))
+
+
+def _parse_body(body: bytes) -> dict[str, Any]:
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise WireProtocolError(f"frame payload is not JSON: {error}") from error
+    if not isinstance(message, dict):
+        raise WireProtocolError("frame payload must be a JSON object")
+    return message
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
+    """Read one frame; ``None`` on a clean EOF between frames.
+
+    Raises:
+        WireProtocolError: on truncation mid-frame, an oversized
+            declared length, or a non-object payload.
+    """
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise WireProtocolError("connection closed mid-header") from error
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise WireProtocolError(
+            f"declared frame length {length} exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise WireProtocolError("connection closed mid-frame") from error
+    return _parse_body(body)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, message: dict[str, Any]
+) -> None:
+    """Write one frame and drain the transport."""
+    writer.write(pack_frame(message))
+    await writer.drain()
+
+
+def ok_response(request_id: object = None, **fields: Any) -> dict[str, Any]:
+    """Build a success response, echoing the request id when present."""
+    response: dict[str, Any] = {"ok": True, **fields}
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def error_response(
+    request_id: object,
+    code: str,
+    message: str,
+    **fields: Any,
+) -> dict[str, Any]:
+    """Build an error response with a stable machine-readable code."""
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code {code!r}")
+    response: dict[str, Any] = {
+        "ok": False,
+        "error": {"code": code, "message": message, **fields},
+    }
+    if request_id is not None:
+        response["id"] = request_id
+    return response

@@ -20,6 +20,7 @@ from repro.store.checkpoint import (
     CheckpointManager,
     CheckpointMismatchError,
     ShardCheckpointStore,
+    apply_update_batch,
 )
 from repro.store.codec import (
     Snapshotable,
@@ -52,6 +53,7 @@ __all__ = [
     "Snapshotable",
     "StoreError",
     "UnsupportedVersionError",
+    "apply_update_batch",
     "dumps",
     "inspect",
     "load",

@@ -30,6 +30,8 @@ import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
+import numpy as np
+
 from repro.observability.registry import MetricsRegistry, get_registry
 from repro.store.codec import load_with_meta, save
 from repro.store.format import (
@@ -41,7 +43,7 @@ from repro.store.format import (
 )
 
 if TYPE_CHECKING:
-    from collections.abc import Hashable, Iterable, Iterator
+    from collections.abc import Hashable, Iterable, Iterator, Sequence
 
     from repro.store.codec import Snapshotable
 
@@ -49,7 +51,32 @@ __all__ = [
     "CheckpointManager",
     "CheckpointMismatchError",
     "ShardCheckpointStore",
+    "apply_update_batch",
 ]
+
+
+def apply_update_batch(
+    summary: Snapshotable,
+    items: Sequence[Hashable],
+    counts: Sequence[int],
+) -> None:
+    """Apply parallel record lists ``(items[i], counts[i])`` in stream order.
+
+    Summaries exposing a vectorized ``update_batch`` (the NumPy backend)
+    absorb the whole batch in one call; everything else gets an in-order
+    scalar loop, preserving order-sensitive semantics (top-k heap
+    admission, jumping-window rotation).  Either way the result is
+    exactly the state an item-at-a-time feed would have produced.
+    """
+    if len(items) != len(counts):
+        raise ValueError("items and counts must have the same length")
+    batch = getattr(summary, "update_batch", None)
+    if batch is not None:
+        if items:
+            batch(list(items), np.asarray(counts, dtype=np.int64))
+        return
+    for item, count in zip(items, counts, strict=True):
+        summary.update(item, count)
 
 
 class CheckpointMismatchError(StoreError):
@@ -142,6 +169,29 @@ class CheckpointManager:
         """Apply one stream record, then checkpoint if a trigger fired."""
         self._summary.update(item, count)
         self._items_consumed += 1
+        if self._due():
+            self.flush()
+
+    def update_batch(
+        self,
+        items: Sequence[Hashable],
+        counts: Sequence[int],
+    ) -> None:
+        """Apply a micro-batch of records, then checkpoint if due.
+
+        The batch is absorbed through :func:`apply_update_batch` (one
+        vectorized call when the summary supports it, an in-order loop
+        otherwise) and counts as ``len(items)`` stream records.  The
+        due-check runs once at the batch end, so checkpoints always land
+        on batch boundaries — which are record boundaries — keeping the
+        resume contract exact.
+        """
+        if len(items) != len(counts):
+            raise ValueError("items and counts must have the same length")
+        if not items:
+            return
+        apply_update_batch(self._summary, items, counts)
+        self._items_consumed += len(items)
         if self._due():
             self.flush()
 

@@ -1,0 +1,21 @@
+"""True positives for RS007: blocking calls inside ``async def``.
+
+Linted under a synthetic ``src/repro/service/`` display path — the rule
+only patrols the service package, where every table shares one event
+loop and any blocking call stalls ingestion and queries alike.
+"""
+
+import subprocess
+import time
+from pathlib import Path
+
+from repro.store import save
+
+
+async def handle(summary, path: Path) -> str:
+    time.sleep(0.5)  # RS007: stalls every connection
+    save(summary, path)  # RS007: snapshot I/O on the loop thread
+    manifest = open("service.json").read()  # RS007: builtin open
+    body = path.read_text()  # RS007: pathlib I/O
+    subprocess.run(["sync"], check=True)  # RS007: child process wait
+    return manifest + body

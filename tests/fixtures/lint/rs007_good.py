@@ -1,0 +1,28 @@
+"""Clean counterparts for RS007: async-safe patterns in service code.
+
+Blocking work either moves to an executor thread or lives in a plain
+synchronous helper — RS007 only patrols ``async def`` bodies.
+"""
+
+import asyncio
+import functools
+import time
+from pathlib import Path
+
+from repro.store import save
+
+
+async def handle(summary, path: Path) -> str:
+    await asyncio.sleep(0.5)
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(
+        None, functools.partial(save, summary, path)
+    )
+    return await loop.run_in_executor(None, path.read_text)
+
+
+def flush(summary, path: Path) -> None:
+    # Synchronous helpers may block; they run off the event loop.
+    time.sleep(0.0)
+    save(summary, path)
+    path.write_text("done")

@@ -1,0 +1,141 @@
+"""Exit-code contract: 0 success, 1 usage error, 2 data/runtime error.
+
+One parametrized matrix touching every subcommand — ``topk``,
+``estimate``, ``maxchange``, ``percent-change``, ``experiment``,
+``store`` (inspect/merge/diff), ``serve``, and ``query``.  The
+``serve``/``query`` success paths need a live server and are exercised
+end-to-end by ``test_service_smoke.py`` / ``test_service_resume.py``;
+here they contribute their usage and connection failures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXIT_DATA, EXIT_OK, EXIT_USAGE, main
+from repro.core.countsketch import CountSketch
+from repro.core.topk import TopKTracker
+from repro.store import save
+from repro.streams.io import write_stream_text
+
+ITEMS = ["apple"] * 12 + ["banana"] * 7 + ["cherry"] * 3
+
+
+@pytest.fixture(scope="module")
+def paths(tmp_path_factory):
+    root = tmp_path_factory.mktemp("exitcodes")
+    stream = root / "stream.txt"
+    write_stream_text(stream, ITEMS)
+    sketch_a = CountSketch(4, 64, seed=3)
+    sketch_b = CountSketch(4, 64, seed=3)
+    topk = TopKTracker(5, depth=4, width=64, seed=3)
+    for item in ITEMS:
+        sketch_a.update(item)
+        sketch_b.update(item, 2)
+        topk.update(item)
+    save(sketch_a, root / "a.rcs")
+    save(sketch_b, root / "b.rcs")
+    save(topk, root / "top.rcs")
+    return {
+        "stream": str(stream),
+        "snap_a": str(root / "a.rcs"),
+        "snap_b": str(root / "b.rcs"),
+        "snap_top": str(root / "top.rcs"),
+        "out": str(root / "merged.rcs"),
+        "missing": str(root / "nope" / "missing.rcs"),
+    }
+
+
+def exit_code(argv, capsys):
+    try:
+        code = main(argv)
+    except SystemExit as error:
+        code = error.code
+    capsys.readouterr()
+    return code
+
+
+SUCCESS = [
+    pytest.param(["topk", "--input", "{stream}"], id="topk"),
+    pytest.param(["estimate", "--input", "{stream}", "apple"],
+                 id="estimate-stream"),
+    pytest.param(["estimate", "--sketch", "{snap_a}", "apple"],
+                 id="estimate-snapshot"),
+    pytest.param(["maxchange", "--before", "{stream}",
+                  "--after", "{stream}"], id="maxchange"),
+    pytest.param(["percent-change", "--before", "{stream}",
+                  "--after", "{stream}"], id="percent-change"),
+    pytest.param(["store", "inspect", "{snap_a}"], id="store-inspect"),
+    pytest.param(["store", "merge", "--out", "{out}", "{snap_a}",
+                  "{snap_b}"], id="store-merge"),
+    pytest.param(["store", "diff", "{snap_a}", "{snap_b}",
+                  "--items", "apple"], id="store-diff"),
+]
+
+USAGE = [
+    pytest.param([], id="no-subcommand"),
+    pytest.param(["topk"], id="topk-missing-input"),
+    pytest.param(["estimate", "apple"], id="estimate-no-source"),
+    pytest.param(["estimate", "--input", "{stream}",
+                  "--sketch", "{snap_a}", "apple"],
+                 id="estimate-conflicting-sources"),
+    pytest.param(["maxchange", "--before", "{stream}"],
+                 id="maxchange-missing-after"),
+    pytest.param(["percent-change"], id="percent-change-missing-args"),
+    pytest.param(["experiment", "bogus"], id="experiment-bad-name"),
+    pytest.param(["store"], id="store-missing-verb"),
+    pytest.param(["store", "merge", "--out", "{out}", "{snap_a}"],
+                 id="store-merge-needs-two"),
+    pytest.param(["store", "diff", "{snap_a}", "{snap_b}"],
+                 id="store-diff-needs-items"),
+    pytest.param(["serve"], id="serve-no-table"),
+    pytest.param(["serve", "--table", "q:bogus"], id="serve-bad-kind"),
+    pytest.param(["serve", "--table", "q:sketch:depth=zero"],
+                 id="serve-bad-option-value"),
+    pytest.param(["serve", "--table", "q", "--checkpoint-every", "5"],
+                 id="serve-trigger-without-dir"),
+    pytest.param(["query"], id="query-missing-verb"),
+    pytest.param(["query", "explode"], id="query-bad-verb"),
+    pytest.param(["query", "create"], id="query-create-missing-table"),
+]
+
+DATA = [
+    pytest.param(["topk", "--input", "{missing}"], id="topk-missing-file"),
+    pytest.param(["estimate", "--sketch", "{missing}", "apple"],
+                 id="estimate-missing-snapshot"),
+    pytest.param(["maxchange", "--before", "{missing}",
+                  "--after", "{missing}"], id="maxchange-missing-files"),
+    pytest.param(["store", "inspect", "{missing}"],
+                 id="store-inspect-missing"),
+    pytest.param(["store", "diff", "{snap_a}", "{snap_top}",
+                  "--items", "apple"], id="store-diff-wrong-type"),
+    pytest.param(["query", "ping", "--port", "1", "--timeout", "5"],
+                 id="query-connection-refused"),
+]
+
+
+def fill(argv, paths):
+    return [part.format(**paths) for part in argv]
+
+
+class TestExitCodes:
+    @pytest.mark.parametrize("argv", SUCCESS)
+    def test_success_is_zero(self, argv, paths, capsys):
+        assert exit_code(fill(argv, paths), capsys) == EXIT_OK
+
+    @pytest.mark.parametrize("argv", USAGE)
+    def test_usage_errors_are_one(self, argv, paths, capsys):
+        assert exit_code(fill(argv, paths), capsys) == EXIT_USAGE
+
+    @pytest.mark.parametrize("argv", DATA)
+    def test_data_errors_are_two(self, argv, paths, capsys):
+        assert exit_code(fill(argv, paths), capsys) == EXIT_DATA
+
+    def test_the_three_codes_are_distinct_and_stable(self):
+        assert (EXIT_OK, EXIT_USAGE, EXIT_DATA) == (0, 1, 2)
+
+    def test_usage_errors_explain_themselves(self, paths, capsys):
+        code = main(["serve", "--table", "q", "--checkpoint-every", "5"])
+        captured = capsys.readouterr()
+        assert code == EXIT_USAGE
+        assert "--checkpoint-dir" in captured.err

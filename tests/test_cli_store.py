@@ -139,7 +139,7 @@ class TestFlagValidation:
             ["topk", "--input", stream_file, "--checkpoint-every", "5"],
             capsys,
         )
-        assert code == 2
+        assert code == 1
         assert "--save-state" in err
 
     def test_save_state_refused_with_workers(self, stream_file, tmp_path,
@@ -149,7 +149,7 @@ class TestFlagValidation:
              "--save-state", str(tmp_path / "x.rcs")],
             capsys,
         )
-        assert code == 2
+        assert code == 1
         assert "--checkpoint-dir" in err
 
     def test_checkpoint_dir_refused_serial(self, stream_file, tmp_path,
@@ -159,7 +159,7 @@ class TestFlagValidation:
              "--checkpoint-dir", str(tmp_path / "ckpt")],
             capsys,
         )
-        assert code == 2
+        assert code == 1
         assert "--workers" in err
 
     def test_sketch_flag_excludes_stream_flags(self, stream_file, tmp_path,
@@ -170,12 +170,12 @@ class TestFlagValidation:
             ["estimate", "--sketch", snap, "--input", stream_file, "apple"],
             capsys,
         )
-        assert code == 2
+        assert code == 1
         assert "--sketch" in err
 
     def test_estimate_needs_some_source(self, capsys):
         code, __, err = run(["estimate", "apple"], capsys)
-        assert code == 2
+        assert code == 1
         assert "--input" in err
 
     def test_missing_snapshot_is_a_clean_error(self, capsys):
@@ -252,7 +252,7 @@ class TestStoreMerge:
         code, __, err = run(
             ["store", "merge", a, "--out", str(tmp_path / "m.rcs")], capsys
         )
-        assert code == 2
+        assert code == 1
         assert "two" in err
 
     def test_incompatible_seeds_refused(self, tmp_path, capsys):
@@ -301,7 +301,7 @@ class TestStoreDiff:
         before = self._snap(tmp_path, "b.rcs", ["x"])
         after = self._snap(tmp_path, "a.rcs", ["x"])
         code, __, err = run(["store", "diff", before, after], capsys)
-        assert code == 2
+        assert code == 1
         assert "--items" in err
 
     def test_incompatible_snapshots_refused(self, tmp_path, capsys):
@@ -336,5 +336,5 @@ class TestStoreDiff:
             ["store", "diff", "zero", "one", "--archive", str(directory)],
             capsys,
         )
-        assert code == 2
+        assert code == 1
         assert "epoch indices" in err

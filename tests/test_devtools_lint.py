@@ -1,10 +1,12 @@
 """Self-tests for the ``repro.devtools.lint`` AST rule suite.
 
-Each rule RS001-RS006 is demonstrated by a pair of fixture files under
+Each rule RS001-RS007 is demonstrated by a pair of fixture files under
 ``tests/fixtures/lint/``: a ``*_bad.py`` that must produce true
 positives and a ``*_good.py`` that must lint clean.  Bad fixtures are
 linted under a synthetic ``src/`` display path so the test-code
-relaxations (RS001/RS003) do not apply to them.
+relaxations (RS001/RS003) do not apply to them; the RS007 pair is
+linted under a ``src/repro/service/`` path, the only package that rule
+patrols.
 """
 
 from __future__ import annotations
@@ -33,6 +35,10 @@ REPO_ROOT = Path(__file__).parent.parent
 #: rule active.
 SRC_PATH = "src/repro/under_test.py"
 
+#: Display path for the RS007 pair: that rule only patrols the service
+#: package (async server code sharing one event loop).
+SERVICE_PATH = "src/repro/service/under_test.py"
+
 #: (code, bad fixture, expected true positives, good fixture).
 CASES = [
     ("RS001", "rs001_bad.py", 6, "rs001_good.py"),
@@ -41,7 +47,11 @@ CASES = [
     ("RS004", "rs004_bad.py", 4, "rs004_good.py"),
     ("RS005", "rs005_bad.py", 6, "rs005_good.py"),
     ("RS006", "rs006_bad.py", 5, "rs006_good.py"),
+    ("RS007", "rs007_bad.py", 5, "rs007_good.py"),
 ]
+
+#: Rules scoped to one package lint their fixtures under that path.
+CASE_PATHS = {"RS007": SERVICE_PATH}
 
 
 def lint_fixture(name: str, path: str = SRC_PATH) -> list[Finding]:
@@ -49,9 +59,9 @@ def lint_fixture(name: str, path: str = SRC_PATH) -> list[Finding]:
 
 
 class TestRuleCatalogue:
-    def test_six_rules_with_stable_codes(self):
+    def test_seven_rules_with_stable_codes(self):
         assert [rule.code for rule in RULES] == [
-            "RS001", "RS002", "RS003", "RS004", "RS005", "RS006",
+            "RS001", "RS002", "RS003", "RS004", "RS005", "RS006", "RS007",
         ]
 
     def test_every_rule_has_name_summary_hint(self):
@@ -71,13 +81,13 @@ class TestRuleCatalogue:
 class TestFixtures:
     @pytest.mark.parametrize("code,bad,expected,good", CASES)
     def test_bad_fixture_true_positives(self, code, bad, expected, good):
-        findings = lint_fixture(bad)
+        findings = lint_fixture(bad, path=CASE_PATHS.get(code, SRC_PATH))
         hits = [f for f in findings if f.code == code]
         assert len(hits) == expected, [f.format_human() for f in findings]
 
     @pytest.mark.parametrize("code,bad,expected,good", CASES)
     def test_good_fixture_clean(self, code, bad, expected, good):
-        findings = lint_fixture(good)
+        findings = lint_fixture(good, path=CASE_PATHS.get(code, SRC_PATH))
         assert findings == [], [f.format_human() for f in findings]
 
     def test_cross_rule_overlap_on_raw_merge(self):
@@ -207,6 +217,74 @@ class TestRS006Details:
         # tests would ossify an unversioned format just the same.
         findings = lint_fixture("rs006_bad.py", path="tests/test_x.py")
         assert [f.code for f in findings] == ["RS006"] * 5
+
+
+class TestRS007Details:
+    BLOCKING_ASYNC = (
+        "import time\n"
+        "async def apply_batch():\n"
+        "    time.sleep(0.01)\n"
+    )
+
+    def test_active_only_under_repro_service(self):
+        findings = lint_source(self.BLOCKING_ASYNC, SERVICE_PATH)
+        assert [f.code for f in findings] == ["RS007"]
+        assert lint_source(self.BLOCKING_ASYNC, SRC_PATH) == []
+
+    def test_sync_functions_exempt(self):
+        source = "import time\ndef flush():\n    time.sleep(0.01)\n"
+        assert lint_source(source, SERVICE_PATH) == []
+
+    def test_sync_helper_nested_in_async_exempt(self):
+        # The innermost function decides: a sync closure's body runs
+        # wherever it is later called, not on the awaiting coroutine.
+        source = (
+            "import time\n"
+            "async def outer():\n"
+            "    def helper():\n"
+            "        time.sleep(0.01)\n"
+            "    return helper\n"
+        )
+        assert lint_source(source, SERVICE_PATH) == []
+
+    def test_awaited_namesakes_exempt(self):
+        # `await x.read_text()` is an async implementation (anyio-style),
+        # not the blocking pathlib call.
+        source = (
+            "async def manifest(path):\n"
+            "    return await path.read_text()\n"
+        )
+        assert lint_source(source, SERVICE_PATH) == []
+
+    def test_store_io_from_import_detected(self):
+        source = (
+            "from repro.store import save\n"
+            "async def snap(summary, path):\n"
+            "    save(summary, path)\n"
+        )
+        assert [f.code for f in lint_source(source, SERVICE_PATH)] == [
+            "RS007"
+        ]
+
+    def test_builtin_open_detected(self):
+        source = (
+            "async def manifest():\n"
+            "    with open('service.json') as handle:\n"
+            "        return handle.read()\n"
+        )
+        assert [f.code for f in lint_source(source, SERVICE_PATH)] == [
+            "RS007"
+        ]
+
+    def test_run_in_executor_handoff_clean(self):
+        source = (
+            "import asyncio\n"
+            "from repro.store import save\n"
+            "async def snap(summary, path):\n"
+            "    loop = asyncio.get_running_loop()\n"
+            "    await loop.run_in_executor(None, save, summary, path)\n"
+        )
+        assert lint_source(source, SERVICE_PATH) == []
 
 
 class TestRepoIsClean:

@@ -1,0 +1,218 @@
+"""Wire-protocol tests: frame codec, key round-trips, error shapes.
+
+The service speaks length-prefixed ASCII JSON; stream keys reuse the
+snapshot item codec after NumPy-scalar normalization.  The properties
+here pin the two contracts that make mid-stream answers exact: any key
+the sketches accept survives a wire round-trip unchanged (same
+``encode_key`` hash), and malformed frames are refused loudly rather
+than resynchronized silently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.encode import encode_key
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    WireProtocolError,
+    decode_wire_key,
+    encode_wire_key,
+    error_response,
+    normalize_key,
+    ok_response,
+    pack_frame,
+    read_frame,
+    unpack_frame,
+)
+
+#: Lone low surrogates, exactly what ``errors="surrogateescape"``
+#: produces when decoding byte-garbled query logs.
+_SURROGATES = st.integers(min_value=0xDC80, max_value=0xDCFF).map(chr)
+
+SURROGATE_TEXT = st.lists(
+    st.one_of(st.text(max_size=12), _SURROGATES), max_size=6
+).map("".join)
+
+#: Every key shape the sketches accept.
+KEYS = st.one_of(
+    st.integers(min_value=-(2**70), max_value=2**70),
+    st.booleans(),
+    SURROGATE_TEXT,
+    st.binary(max_size=32),
+    st.tuples(st.integers(), SURROGATE_TEXT),
+)
+
+
+def frame_roundtrip(message):
+    return unpack_frame(pack_frame(message))
+
+
+def read_from_bytes(data: bytes):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    return asyncio.run(go())
+
+
+class TestKeyRoundTrip:
+    @settings(max_examples=150, deadline=None)
+    @given(KEYS)
+    def test_wire_key_roundtrips_through_a_frame(self, key):
+        message = {"op": "estimate", "keys": [encode_wire_key(key)]}
+        decoded = decode_wire_key(frame_roundtrip(message)["keys"][0])
+        assert decoded == normalize_key(key)
+        assert encode_key(decoded) == encode_key(key)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.binary(max_size=64))
+    def test_surrogateescaped_strings_survive(self, raw):
+        # Reading a garbled log line never raises and never changes the
+        # key: the frame is ASCII (\uDCxx escapes) on the wire.
+        text = raw.decode("utf-8", errors="surrogateescape")
+        frame = pack_frame({"key": encode_wire_key(text)})
+        frame[4:].decode("ascii")  # the JSON payload is plain ASCII
+        assert decode_wire_key(unpack_frame(frame)["key"]) == text
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_np_int64_collapses_to_python_int(self, value):
+        decoded = decode_wire_key(
+            frame_roundtrip({"k": encode_wire_key(np.int64(value))})["k"]
+        )
+        assert decoded == value
+        assert type(decoded) is int
+        assert encode_key(decoded) == encode_key(np.int64(value))
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_np_uint64_collapses_to_python_int(self, value):
+        decoded = decode_wire_key(
+            frame_roundtrip({"k": encode_wire_key(np.uint64(value))})["k"]
+        )
+        assert decoded == value
+        assert encode_key(decoded) == encode_key(np.uint64(value))
+
+    def test_np_bool_and_bytearray_normalize(self):
+        assert normalize_key(np.bool_(True)) is True
+        assert normalize_key(bytearray(b"ab")) == b"ab"
+        assert normalize_key((np.int64(3), np.bool_(False))) == (3, False)
+
+    def test_decode_rejects_unknown_encodings(self):
+        with pytest.raises(WireProtocolError):
+            decode_wire_key({"__weird__": 1})
+        with pytest.raises(WireProtocolError):
+            decode_wire_key([1, 2])
+
+
+class TestFrameCodec:
+    def test_bytes_are_canonical(self):
+        # sort_keys + compact separators: one message, one byte string.
+        assert pack_frame({"b": 1, "a": 2}) == pack_frame({"a": 2, "b": 1})
+
+    def test_header_is_big_endian_length(self):
+        frame = pack_frame({"op": "ping"})
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(WireProtocolError, match="truncated"):
+            unpack_frame(b"\x00\x00")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(WireProtocolError, match="declares"):
+            unpack_frame(pack_frame({"op": "ping"})[:-1])
+
+    def test_oversize_declared_length_rejected(self):
+        with pytest.raises(WireProtocolError, match="exceeds"):
+            unpack_frame(struct.pack(">I", MAX_FRAME_BYTES + 1))
+
+    def test_non_json_payload_rejected(self):
+        body = b"not json"
+        with pytest.raises(WireProtocolError, match="not JSON"):
+            unpack_frame(struct.pack(">I", len(body)) + body)
+
+    def test_non_object_payload_rejected(self):
+        body = b"[1,2]"
+        with pytest.raises(WireProtocolError, match="JSON object"):
+            unpack_frame(struct.pack(">I", len(body)) + body)
+
+    def test_oversize_message_refused_on_send(self):
+        with pytest.raises(WireProtocolError, match="exceeds"):
+            pack_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.dictionaries(
+            st.text(max_size=8),
+            st.one_of(
+                st.integers(), SURROGATE_TEXT, st.booleans(), st.none()
+            ),
+            max_size=6,
+        )
+    )
+    def test_arbitrary_objects_roundtrip(self, message):
+        assert frame_roundtrip(message) == message
+
+
+class TestReadFrame:
+    def test_clean_eof_returns_none(self):
+        assert read_from_bytes(b"") is None
+
+    def test_reads_consecutive_frames(self):
+        data = pack_frame({"a": 1}) + pack_frame({"b": 2})
+
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(data)
+            reader.feed_eof()
+            return [
+                await read_frame(reader),
+                await read_frame(reader),
+                await read_frame(reader),
+            ]
+
+        assert asyncio.run(go()) == [{"a": 1}, {"b": 2}, None]
+
+    def test_eof_mid_header_raises(self):
+        with pytest.raises(WireProtocolError, match="mid-header"):
+            read_from_bytes(b"\x00\x00\x01")
+
+    def test_eof_mid_frame_raises(self):
+        with pytest.raises(WireProtocolError, match="mid-frame"):
+            read_from_bytes(pack_frame({"a": 1})[:-2])
+
+    def test_oversize_length_raises_before_reading_body(self):
+        data = struct.pack(">I", MAX_FRAME_BYTES + 1) + b"x"
+        with pytest.raises(WireProtocolError, match="exceeds"):
+            read_from_bytes(data)
+
+
+class TestResponseHelpers:
+    def test_ok_response_echoes_id(self):
+        assert ok_response(7, tables=2) == {"ok": True, "tables": 2, "id": 7}
+
+    def test_ok_response_without_id(self):
+        assert "id" not in ok_response(None, created=True)
+
+    def test_error_response_shape(self):
+        response = error_response(
+            3, "overloaded", "queue full", queue_depth=9
+        )
+        assert response["ok"] is False
+        assert response["id"] == 3
+        assert response["error"]["code"] == "overloaded"
+        assert response["error"]["queue_depth"] == 9
+
+    def test_unknown_error_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown error code"):
+            error_response(None, "nope", "msg")

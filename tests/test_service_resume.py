@@ -1,0 +1,177 @@
+"""Durability acceptance: a killed server resumes bit-for-bit.
+
+Two levels.  In-process: stop a server mid-stream, rebuild it from the
+checkpoint directory, finish the stream — the final snapshot bytes
+equal an uninterrupted run's.  Subprocess: the same contract through
+``repro serve`` and SIGTERM, the way an operator would actually hit it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service.client import AsyncServiceClient, ServiceClient
+from repro.service.server import MANIFEST_NAME, SketchServer
+from repro.service.tables import TableSpec
+from repro.store import CheckpointMismatchError
+
+REPO_ROOT = Path(__file__).parent.parent
+
+SPEC = TableSpec("q", kind="sketch", depth=4, width=128, seed=11)
+
+RECORDS = [(f"query-{i % 37}", 1 + (i % 3)) for i in range(500)]
+
+
+def serve_records(directory, records, *, resume_check=None):
+    """Run one server lifetime over ``records``, then stop it."""
+
+    async def go():
+        server = SketchServer(
+            [SPEC], checkpoint_dir=directory, checkpoint_every_items=64
+        )
+        client = AsyncServiceClient.in_process(server)
+        if resume_check is not None:
+            stats = await client.stats("q")
+            assert stats["table"]["records_applied"] == resume_check
+        if records:
+            await client.ingest("q", records, wait=True)
+        await server.stop()
+
+    asyncio.run(go())
+
+
+class TestInProcessResume:
+    def test_interrupted_run_matches_uninterrupted_bit_for_bit(
+        self, tmp_path
+    ):
+        full_dir = tmp_path / "full"
+        cut_dir = tmp_path / "cut"
+        serve_records(full_dir, RECORDS)
+        serve_records(cut_dir, RECORDS[:300])
+        serve_records(cut_dir, RECORDS[300:], resume_check=300)
+        full = (full_dir / "q.rcs").read_bytes()
+        resumed = (cut_dir / "q.rcs").read_bytes()
+        assert full == resumed
+
+    def test_manifest_pins_specs_across_restarts(self, tmp_path):
+        serve_records(tmp_path, RECORDS[:50])
+        assert (tmp_path / MANIFEST_NAME).is_file()
+        # A different spec under the same name is refused, not coerced.
+        with pytest.raises(CheckpointMismatchError, match="different"):
+            SketchServer(
+                [TableSpec("q", kind="sketch", depth=5, width=128,
+                           seed=11)],
+                checkpoint_dir=tmp_path,
+                checkpoint_every_items=64,
+            )
+
+    def test_manifest_restores_undeclared_tables(self, tmp_path):
+        serve_records(tmp_path, RECORDS[:80])
+
+        async def go():
+            # Start with NO specs: the manifest alone rebuilds the table.
+            server = SketchServer(
+                [], checkpoint_dir=tmp_path, checkpoint_every_items=64
+            )
+            client = AsyncServiceClient.in_process(server)
+            stats = await client.stats("q")
+            assert stats["table"]["spec"] == SPEC.to_dict()
+            assert stats["table"]["records_applied"] == 80
+            await server.stop()
+
+        asyncio.run(go())
+
+    def test_wrong_kind_against_existing_snapshot_refused(self, tmp_path):
+        serve_records(tmp_path, RECORDS[:50])
+        manifest = tmp_path / MANIFEST_NAME
+        manifest.unlink()  # drop the pin; the snapshot itself still guards
+        with pytest.raises(CheckpointMismatchError, match="declared"):
+            SketchServer(
+                [TableSpec("q", kind="topk", depth=4, width=128, seed=11)],
+                checkpoint_dir=tmp_path,
+                checkpoint_every_items=64,
+            )
+
+
+@pytest.mark.skipif(os.name != "posix", reason="SIGTERM semantics")
+class TestSigtermResume:
+    def test_sigtermed_server_resumes_bit_for_bit(self, tmp_path):
+        reference_dir = tmp_path / "reference"
+        serve_records(reference_dir, RECORDS)
+
+        live_dir = tmp_path / "live"
+        proc, port = self._spawn_server(live_dir)
+        try:
+            with ServiceClient("127.0.0.1", port, timeout=15) as client:
+                client.ingest("q", RECORDS[:300], wait=True)
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=30)
+            assert proc.returncode == 0, err
+            assert "graceful stop complete" in out
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=10)
+
+        proc, port = self._spawn_server(live_dir)
+        try:
+            with ServiceClient("127.0.0.1", port, timeout=15) as client:
+                stats = client.stats("q")
+                assert stats["table"]["records_applied"] == 300
+                client.ingest("q", RECORDS[300:], wait=True)
+                client.shutdown()
+            out, err = proc.communicate(timeout=30)
+            assert proc.returncode == 0, err
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=10)
+
+        full = (reference_dir / "q.rcs").read_bytes()
+        resumed = (live_dir / "q.rcs").read_bytes()
+        assert full == resumed
+
+    @staticmethod
+    def _spawn_server(directory):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0",
+                "--table", "q:sketch:depth=4,width=128,seed=11",
+                "--checkpoint-dir", str(directory),
+                "--checkpoint-every", "64",
+            ],
+            cwd=REPO_ROOT,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        deadline = time.monotonic() + 30
+        line = ""
+        assert proc.stdout is not None
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if line.startswith("serving on "):
+                break
+            if proc.poll() is not None:
+                raise AssertionError(
+                    f"server exited early: {proc.communicate()[1]}"
+                )
+        else:
+            proc.kill()
+            raise AssertionError("server did not report its port in time")
+        port = int(line.rsplit(":", 1)[1])
+        return proc, port

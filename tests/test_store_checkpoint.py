@@ -16,12 +16,15 @@ import pytest
 
 from repro.core.countsketch import CountSketch
 from repro.core.topk import TopKTracker
+from repro.core.vectorized import VectorizedCountSketch
+from repro.core.windowed import JumpingWindowSketch
 from repro.parallel.engine import parallel_sketch, parallel_topk
 from repro.store import (
     CheckpointManager,
     CheckpointMismatchError,
     ShardCheckpointStore,
     StoreError,
+    apply_update_batch,
     load_with_meta,
     save,
 )
@@ -91,6 +94,93 @@ class TestManagerTriggers:
         )
         written = manager.flush()
         assert written == path.stat().st_size
+
+
+class TestApplyUpdateBatch:
+    """The service's batch path equals an item-at-a-time feed exactly."""
+
+    RECORDS = [(f"item-{i % 9}", 1 + (i % 4)) for i in range(120)]
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: CountSketch(3, 32, seed=7),
+            lambda: VectorizedCountSketch(3, 32, seed=7),
+            lambda: TopKTracker(4, depth=3, width=32, seed=7),
+            lambda: JumpingWindowSketch(32, buckets=4, depth=3, width=32,
+                                        seed=7),
+        ],
+        ids=["sketch", "vectorized", "topk", "window"],
+    )
+    def test_matches_scalar_updates(self, factory):
+        batched, scalar = factory(), factory()
+        items = [item for item, __ in self.RECORDS]
+        counts = [count for __, count in self.RECORDS]
+        apply_update_batch(batched, items, counts)
+        for item, count in self.RECORDS:
+            scalar.update(item, count)
+        for item in dict.fromkeys(items):
+            assert batched.estimate(item) == scalar.estimate(item)
+
+    def test_empty_batch_is_a_no_op(self):
+        sketch = VectorizedCountSketch(3, 32, seed=7)
+        apply_update_batch(sketch, [], [])
+        assert sketch.estimate("x") == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same length"):
+            apply_update_batch(CountSketch(3, 32), ["a", "b"], [1])
+        with pytest.raises(ValueError, match="same length"):
+            apply_update_batch(VectorizedCountSketch(3, 32), ["a"], [1, 2])
+
+
+class TestManagerUpdateBatch:
+    def test_counts_records_and_checkpoints_on_batch_boundaries(
+        self, tmp_path
+    ):
+        path = tmp_path / "c.rcs"
+        manager = CheckpointManager(
+            CountSketch(3, 16), path, every_items=10
+        )
+        stream = make_stream(22)
+        for start in range(0, len(stream), 4):
+            chunk = stream[start:start + 4]
+            manager.update_batch(chunk, [1] * len(chunk))
+        assert manager.items_consumed == 22
+        # The due-check runs at batch ends only, so snapshots land on
+        # batch (= record) boundaries: at 12 and 22, never mid-batch.
+        assert manager.checkpoints_written == 2
+        __, meta = load_with_meta(path)
+        assert meta["items_consumed"] == 22
+
+    def test_batch_and_scalar_feeds_write_identical_snapshots(
+        self, tmp_path
+    ):
+        stream = make_stream(60)
+        scalar_path = tmp_path / "scalar.rcs"
+        batch_path = tmp_path / "batch.rcs"
+        scalar = CheckpointManager(
+            CountSketch(3, 16, seed=2), scalar_path, every_items=1000
+        )
+        batched = CheckpointManager(
+            CountSketch(3, 16, seed=2), batch_path, every_items=1000
+        )
+        for item in stream:
+            scalar.update(item)
+        batched.update_batch(stream, [1] * len(stream))
+        scalar.flush()
+        batched.flush()
+        assert scalar_path.read_bytes() == batch_path.read_bytes()
+
+    def test_rejects_mismatched_lengths_and_ignores_empty(self, tmp_path):
+        manager = CheckpointManager(
+            CountSketch(3, 16), tmp_path / "c.rcs", every_items=5
+        )
+        with pytest.raises(ValueError, match="same length"):
+            manager.update_batch(["a"], [1, 2])
+        manager.update_batch([], [])
+        assert manager.items_consumed == 0
+        assert manager.checkpoints_written == 0
 
 
 class TestKilledAndResumed:
