@@ -2,19 +2,29 @@
 
 Measures, over a seeded Zipf(1.0) stream:
 
-* **ingest** — items/s through the service for a sweep of batch sizes,
-  on both transports: in-process (frame codec, no kernel) and TCP
-  loopback (what a remote producer pays).  The offline
+* **ingest** — items/s through the service for a sweep of batch sizes:
+  in-process (frame codec, no kernel), TCP loopback over the JSON
+  protocol (sequential requests, what the original wire paid), and TCP
+  loopback over the binary wire with pipelined acks
+  (``AsyncServiceClient.ingest_many``).  The offline
   :class:`~repro.core.vectorized.VectorizedCountSketch` batch-update
   loop is reported alongside as the no-server ceiling, so the service
   overhead is visible as a percentage.
 * **query latency** — per-request ``estimate`` latency (p50/p99 ms)
   from several concurrent clients while a background producer keeps
-  ingesting, i.e. reads racing writes through the read barrier.
+  ingesting over the binary wire, i.e. reads racing writes through the
+  read barrier.
 
 Every ingest pass ends with a correctness probe: the served estimates
 for a handful of head items must equal an offline sketch built from the
-same records, so the bench doubles as a coarse exactness smoke.
+same records.  The binary pass additionally probes *mid-stream* — after
+the first half of the stream, served estimates must be bit-equal to an
+offline sketch fed exactly that prefix — so the bench doubles as an
+exactness smoke for read-your-acknowledged-writes.
+
+``--gate`` asserts the regression bound from ROADMAP item 1: binary TCP
+ingest at the largest batch size must reach at least 50% of the offline
+ceiling.
 
 Emits a BENCH json (``benchmarks/out/BENCH_service.json``) so future
 perf PRs have a trajectory.
@@ -23,6 +33,7 @@ Run::
 
     PYTHONPATH=src python benchmarks/bench_service.py            # full
     PYTHONPATH=src python benchmarks/bench_service.py --smoke    # quick
+    PYTHONPATH=src python benchmarks/bench_service.py --gate     # CI bound
 """
 
 from __future__ import annotations
@@ -65,7 +76,8 @@ def _chunks(stream: list, batch: int) -> list[list]:
 
 def _offline_reference(stream: list) -> VectorizedCountSketch:
     sketch = VectorizedCountSketch(DEPTH, WIDTH, seed=SEED)
-    sketch.update_batch(stream)
+    if stream:
+        sketch.update_batch(stream)
     return sketch
 
 
@@ -117,15 +129,50 @@ def bench_ingest_in_process(stream: list, batch: int, repeats: int,
 
 def bench_ingest_tcp(stream: list, batch: int, repeats: int,
                      reference: VectorizedCountSketch) -> float:
-    """Best-of TCP-loopback ingest rate (items/s) at one batch size."""
+    """Best-of TCP ingest rate over the JSON wire (items/s)."""
 
     async def once() -> float:
         server = SketchServer([SPEC])
         host, port = await server.start("127.0.0.1", 0)
-        client = await AsyncServiceClient.connect(host, port)
+        client = await AsyncServiceClient.connect(host, port, wire="json")
         chunks = _chunks(stream, batch)
         start = time.perf_counter()
         await _ingest_stream(client, chunks)
+        rate = len(stream) / (time.perf_counter() - start)
+        await _assert_probe(client, reference)
+        await client.close()
+        await server.stop()
+        return rate
+
+    return max(asyncio.run(once()) for __ in range(repeats))
+
+
+def bench_ingest_tcp_binary(stream: list, batch: int, repeats: int,
+                            reference: VectorizedCountSketch) -> float:
+    """Best-of TCP ingest rate over the binary wire (items/s).
+
+    Pipelined (``ingest_many``), with a mid-stream exactness probe:
+    after the first half of the stream is acknowledged and applied, the
+    served estimates must be bit-equal to an offline sketch fed exactly
+    that prefix.  The probe's round-trip is inside the timed window —
+    one request against hundreds, noise next to the guarantee it buys.
+    """
+    half = len(stream) // 2
+    reference_half = _offline_reference(stream[:half])
+
+    async def once() -> float:
+        server = SketchServer([SPEC])
+        host, port = await server.start("127.0.0.1", 0)
+        client = await AsyncServiceClient.connect(host, port,
+                                                  wire="binary")
+        first = [[(item, 1) for item in chunk]
+                 for chunk in _chunks(stream[:half], batch)]
+        second = [[(item, 1) for item in chunk]
+                  for chunk in _chunks(stream[half:], batch)]
+        start = time.perf_counter()
+        await client.ingest_many(SPEC.name, first, wait=True)
+        await _assert_probe(client, reference_half)
+        await client.ingest_many(SPEC.name, second, wait=True)
         rate = len(stream) / (time.perf_counter() - start)
         await _assert_probe(client, reference)
         await client.close()
@@ -221,16 +268,27 @@ def run(n: int, batches: list[int], repeats: int, queries: int,
         offline = bench_offline(stream, batch, repeats)
         in_process = bench_ingest_in_process(stream, batch, repeats,
                                              reference)
-        tcp = bench_ingest_tcp(stream, batch, repeats, reference)
+        tcp_json = bench_ingest_tcp(stream, batch, repeats, reference)
+        tcp_binary = bench_ingest_tcp_binary(stream, batch, repeats,
+                                             reference)
         ingest.append({
             "batch": batch,
             "offline_items_per_s": round(offline),
             "in_process_items_per_s": round(in_process),
-            "tcp_items_per_s": round(tcp),
+            "tcp_json_items_per_s": round(tcp_json),
+            "tcp_binary_items_per_s": round(tcp_binary),
             "in_process_overhead_pct": round(
                 100.0 * (offline - in_process) / offline, 1
             ),
-            "tcp_overhead_pct": round(100.0 * (offline - tcp) / offline, 1),
+            "tcp_json_overhead_pct": round(
+                100.0 * (offline - tcp_json) / offline, 1
+            ),
+            "tcp_binary_overhead_pct": round(
+                100.0 * (offline - tcp_binary) / offline, 1
+            ),
+            "tcp_binary_of_offline_pct": round(
+                100.0 * tcp_binary / offline, 1
+            ),
         })
     latency = bench_query_latency(stream, queries, concurrency,
                                   batch=batches[-1])
@@ -244,21 +302,37 @@ def run(n: int, batches: list[int], repeats: int, queries: int,
     }
 
 
+def check_gate(record: dict) -> str | None:
+    """The ROADMAP item 1 bound: binary TCP ingest at the largest batch
+    must reach ≥50% of the offline ceiling.  Returns the failure
+    message, or ``None`` when the gate holds."""
+    row = record["ingest"][-1]
+    achieved = row["tcp_binary_of_offline_pct"]
+    if achieved < 50.0:
+        return (
+            f"gate FAILED: binary TCP ingest at batch {row['batch']} "
+            f"reached {achieved:.1f}% of the offline ceiling "
+            f"({row['tcp_binary_items_per_s']:,}/s vs "
+            f"{row['offline_items_per_s']:,}/s); the bound is 50%"
+        )
+    return None
+
+
 def format_report(record: dict) -> str:
     """Human-readable summary of one BENCH record."""
     lines = [
         "BENCH service (n={n}, best of {repeats})".format(**record),
-        "  {:<7} {:>14} {:>14} {:>14} {:>9} {:>9}".format(
-            "batch", "offline/s", "in-proc/s", "tcp/s", "ip-ovhd",
-            "tcp-ovhd"
+        "  {:<7} {:>13} {:>13} {:>13} {:>13} {:>8}".format(
+            "batch", "offline/s", "in-proc/s", "tcp-json/s", "tcp-bin/s",
+            "bin/off"
         ),
     ]
     for row in record["ingest"]:
         lines.append(
-            "  {batch:<7} {offline_items_per_s:>14,} "
-            "{in_process_items_per_s:>14,} {tcp_items_per_s:>14,} "
-            "{in_process_overhead_pct:>8.1f}% "
-            "{tcp_overhead_pct:>8.1f}%".format(**row)
+            "  {batch:<7} {offline_items_per_s:>13,} "
+            "{in_process_items_per_s:>13,} {tcp_json_items_per_s:>13,} "
+            "{tcp_binary_items_per_s:>13,} "
+            "{tcp_binary_of_offline_pct:>7.1f}%".format(**row)
         )
     latency = record["query_latency"]
     lines.append(
@@ -286,6 +360,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="concurrent query clients (default 4)")
     parser.add_argument("--smoke", action="store_true",
                         help="quick mode: small n, one batch, fewer repeats")
+    parser.add_argument("--gate", action="store_true",
+                        help="fail (exit 1) unless binary TCP ingest at "
+                             "the largest batch reaches 50%% of the "
+                             "offline ceiling")
     parser.add_argument("--json", dest="json_path", default=str(OUT_PATH),
                         help=f"BENCH json output path (default {OUT_PATH})")
     args = parser.parse_args(argv)
@@ -303,6 +381,12 @@ def main(argv: list[str] | None = None) -> int:
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {path}")
+    if args.gate:
+        failure = check_gate(record)
+        if failure is not None:
+            print(failure, file=sys.stderr)
+            return 1
+        print("gate ok: binary TCP ingest within bound")
     return 0
 
 

@@ -689,7 +689,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _connect_client(args: argparse.Namespace) -> ServiceClient:
     from repro.service.client import ServiceClient
 
-    return ServiceClient(args.host, args.port, timeout=args.timeout)
+    return ServiceClient(args.host, args.port, timeout=args.timeout,
+                         wire=getattr(args, "wire", "auto"))
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -982,6 +983,13 @@ def build_parser() -> argparse.ArgumentParser:
     connection.add_argument("--timeout", type=float, default=30.0,
                             help="per-request timeout in seconds "
                                  "(default 30)")
+    connection.add_argument("--wire", choices=("auto", "json", "binary"),
+                            default="auto",
+                            help="ingest wire: 'auto' negotiates binary "
+                                 "frames when the server supports them, "
+                                 "'json' forces the canonical JSON "
+                                 "protocol, 'binary' refuses to fall "
+                                 "back (default auto)")
 
     query_ping = query_sub.add_parser(
         "ping", parents=[connection],

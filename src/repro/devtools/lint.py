@@ -38,6 +38,13 @@ that no general-purpose linter knows about:
   under ``repro.service``.  The server runs every table on one event
   loop; a single blocking call stalls ingestion and all queries at
   once.  Await the async equivalent or use ``loop.run_in_executor``.
+* **RS008 binary-wire-outside-protocol** — binary payload packing and
+  unpacking primitives (``struct.*``, ``np.frombuffer``,
+  ``.tobytes()``, ``int.to_bytes``/``from_bytes``) in ``repro.service``
+  modules other than ``protocol.py``.  The binary frame layout is a
+  wire contract with exactly one implementation; a second ad-hoc
+  encoder drifts from the negotiated format silently.  Call the
+  ``repro.service.protocol`` codec instead.
 
 Suppress a finding by appending ``# repro: noqa-RS001`` (comma-separate
 several codes: ``# repro: noqa-RS002,RS004``; bare ``# repro: noqa``
@@ -132,6 +139,14 @@ RULES: tuple[Rule, ...] = (
         "blocking call inside an async def under repro.service",
         "await the async equivalent or hand the work to "
         "loop.run_in_executor(...); the event loop must never block",
+    ),
+    Rule(
+        "RS008",
+        "binary-wire-outside-protocol",
+        "binary payload encode/decode outside repro.service.protocol",
+        "the binary frame layout has one implementation — use the "
+        "repro.service.protocol codec (pack_binary_ingest / pack_key / "
+        "unpack_frame) instead of ad-hoc struct/frombuffer/tobytes",
     ),
 )
 
@@ -315,6 +330,10 @@ _BLOCKING_METHODS = frozenset(
 #: ``repro.store`` entry points that hit the filesystem (RS007).
 _STORE_IO_FUNCS = frozenset({"save", "load", "load_with_meta"})
 
+#: Byte packing/unpacking methods whose presence in service code marks
+#: ad-hoc binary wire encoding (RS008); flagged on any receiver.
+_BINARY_METHODS = frozenset({"tobytes", "to_bytes", "from_bytes"})
+
 
 def _is_test_path(path: Path) -> bool:
     """True for files where test-only relaxations (RS001/RS003) apply."""
@@ -353,6 +372,9 @@ class _Checker(ast.NodeVisitor):
         self._in_observability = _in_package(path, "observability")
         self._in_store = _in_package(path, "store")
         self._in_service = _in_package(path, "service")
+        self._in_service_protocol = (
+            self._in_service and path.name == "protocol.py"
+        )
         self._func_stack: list[str] = []
         self._async_stack: list[bool] = []
         self._awaited_calls: set[int] = set()
@@ -370,6 +392,8 @@ class _Checker(ast.NodeVisitor):
         self._blocking_module_aliases: dict[str, str] = {}
         self._from_blocking: dict[str, str] = {}
         self._store_module_aliases: set[str] = set()
+        self._struct_aliases: set[str] = set()
+        self._from_struct: dict[str, str] = {}
 
     # -- bookkeeping --------------------------------------------------------
 
@@ -402,6 +426,8 @@ class _Checker(ast.NodeVisitor):
                 self._blocking_module_aliases[bound] = alias.name
             elif alias.name == "repro.store" and alias.asname is not None:
                 self._store_module_aliases.add(alias.asname)
+            if alias.name == "struct":
+                self._struct_aliases.add(bound)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -430,6 +456,8 @@ class _Checker(ast.NodeVisitor):
                 self._from_blocking[bound] = f"{module}.{alias.name}"
             elif module == "repro.store" and alias.name in _STORE_IO_FUNCS:
                 self._from_blocking[bound] = f"repro.store.{alias.name}"
+            if module == "struct":
+                self._from_struct[bound] = alias.name
         self.generic_visit(node)
 
     def _visit_function(
@@ -775,6 +803,37 @@ class _Checker(ast.NodeVisitor):
             "the event loop",
         )
 
+    # -- RS008: binary wire codec outside repro.service.protocol -------------
+
+    def _binary_codec_target(self, func: ast.expr) -> str | None:
+        """Resolve a call target to a binary pack/unpack primitive name."""
+        if isinstance(func, ast.Attribute):
+            value = func.value
+            if isinstance(value, ast.Name):
+                if value.id in self._struct_aliases:
+                    return f"struct.{func.attr}"
+                if value.id in self._numpy_aliases and func.attr == "frombuffer":
+                    return "np.frombuffer"
+            if func.attr in _BINARY_METHODS:
+                return func.attr
+        elif isinstance(func, ast.Name):
+            if func.id in self._from_struct:
+                return f"struct.{self._from_struct[func.id]}"
+        return None
+
+    def _check_rs008(self, node: ast.Call) -> None:
+        if not self._in_service or self._in_service_protocol:
+            return
+        target = self._binary_codec_target(node.func)
+        if target is None:
+            return
+        self._report(
+            node,
+            "RS008",
+            f"binary payload codec `{target}(...)` outside "
+            "repro.service.protocol",
+        )
+
     # -- dispatch ------------------------------------------------------------
 
     def visit_Call(self, node: ast.Call) -> None:
@@ -784,6 +843,7 @@ class _Checker(ast.NodeVisitor):
         self._check_rs005(node)
         self._check_rs006(node)
         self._check_rs007(node)
+        self._check_rs008(node)
         self.generic_visit(node)
 
 
@@ -881,7 +941,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code (0 clean, 1 findings)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.devtools.lint",
-        description="repo-specific AST lint suite (rules RS001-RS007)",
+        description="repo-specific AST lint suite (rules RS001-RS008)",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src", "tests"],

@@ -30,15 +30,21 @@ from repro.service.client import (
     TcpTransport,
 )
 from repro.service.protocol import (
+    FEATURE_BINARY_INGEST,
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    BinaryIngest,
+    FrameTooLargeError,
     WireProtocolError,
     decode_wire_key,
     encode_wire_key,
     normalize_key,
+    pack_binary_ingest,
     pack_frame,
+    pack_key,
     read_frame,
     unpack_frame,
+    unpack_key,
     write_frame,
 )
 from repro.service.server import MANIFEST_NAME, SketchServer
@@ -50,11 +56,14 @@ from repro.service.tables import (
 )
 
 __all__ = [
+    "FEATURE_BINARY_INGEST",
     "MANIFEST_NAME",
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
     "TABLE_KINDS",
     "AsyncServiceClient",
+    "BinaryIngest",
+    "FrameTooLargeError",
     "InProcessTransport",
     "OverloadedError",
     "ServiceClient",
@@ -68,8 +77,11 @@ __all__ = [
     "decode_wire_key",
     "encode_wire_key",
     "normalize_key",
+    "pack_binary_ingest",
     "pack_frame",
+    "pack_key",
     "read_frame",
     "unpack_frame",
+    "unpack_key",
     "write_frame",
 ]

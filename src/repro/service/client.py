@@ -6,7 +6,10 @@ Three layers:
   :class:`InProcessTransport` (direct dispatch against a
   :class:`~repro.service.server.SketchServer`, round-tripping every
   message through the frame codec so tests exercise byte-level parity
-  without a socket).
+  without a socket).  Both speak pre-packed frames
+  (:meth:`~TcpTransport.request_bytes`) and windowed pipelining
+  (:meth:`~TcpTransport.request_stream`) in addition to one-shot JSON
+  requests.
 * :class:`AsyncServiceClient` — the async API: one method per protocol
   op, with stream keys encoded/decoded transparently and error
   responses raised as :class:`ServiceError` (or the sharper
@@ -14,6 +17,20 @@ Three layers:
 * :class:`ServiceClient` — a synchronous facade for scripts and the
   CLI: it runs a private event loop on a daemon thread and proxies
   each call with a timeout.
+
+Wire negotiation: with ``wire="auto"`` (the default) the client pings
+the server once, and uses binary ingest frames whenever the server
+advertises ``binary-ingest-v1`` — raw pre-encoded 64-bit keys for
+tables that never store original items, lossless packed keys for
+``topk`` tables.  ``wire="json"`` forces the canonical JSON protocol;
+``wire="binary"`` raises instead of silently falling back.  Everything
+except ingest always travels as JSON.
+
+Batches that would exceed ``MAX_FRAME_BYTES`` are split into several
+frames automatically (JSON and binary alike).  Ack semantics per frame
+are unchanged — but a split batch is no longer all-or-nothing: an
+``overloaded`` mid-split surfaces after earlier sub-batches were
+acknowledged.
 
 Backpressure contract: ``ingest`` never silently drops.  Either the
 batch is acknowledged (and ``wait=True`` additionally awaits its
@@ -28,13 +45,24 @@ import itertools
 import threading
 from typing import TYPE_CHECKING, Any
 
+import numpy as np
+
+from repro.hashing.vectorized import encode_keys
 from repro.service.protocol import (
-    decode_wire_key,
+    FEATURE_BINARY_INGEST,
+    MAX_FRAME_BYTES,
+    FrameTooLargeError,
+    WireProtocolError,
+    binary_ingest_capacity,
     encode_wire_key,
+    decode_wire_key,
+    error_response,
+    normalize_key,
+    pack_binary_ingest,
     pack_frame,
+    pack_key,
     read_frame,
     unpack_frame,
-    write_frame,
 )
 from repro.service.tables import TableSpec
 
@@ -50,7 +78,17 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "TcpTransport",
+    "WIRE_MODES",
 ]
+
+#: Ingest wire preferences a client accepts.
+WIRE_MODES = ("auto", "json", "binary")
+
+#: Default number of in-flight frames during pipelined ingest.
+_DEFAULT_WINDOW = 32
+
+class _WeightOverflow(Exception):
+    """Internal: a weight exceeds int64 (binary frames cannot carry it)."""
 
 
 class ServiceError(Exception):
@@ -84,6 +122,23 @@ def _raise_for_error(response: dict[str, Any]) -> dict[str, Any]:
     raise ServiceError(code, message, details)
 
 
+def _checked_response(
+    response: dict[str, Any] | Any | None,
+) -> dict[str, Any]:
+    """Validate that the transport handed back one JSON response."""
+    if response is None:
+        raise ServiceError(
+            "internal",
+            "server closed the connection before responding",
+        )
+    if not isinstance(response, dict):
+        raise ServiceError(
+            "internal",
+            f"unexpected non-JSON frame from server: {type(response).__name__}",
+        )
+    return response
+
+
 class TcpTransport:
     """One TCP connection; requests are serialized with a lock."""
 
@@ -100,15 +155,54 @@ class TcpTransport:
 
     async def request(self, message: dict[str, Any]) -> dict[str, Any]:
         """Send one framed request and await its framed response."""
+        return await self.request_bytes(pack_frame(message))
+
+    async def request_bytes(self, frame: bytes) -> dict[str, Any]:
+        """Send one pre-packed frame and await its response."""
         async with self._lock:
-            await write_frame(self._writer, message)
+            self._writer.write(frame)
+            await self._writer.drain()
             response = await read_frame(self._reader)
-        if response is None:
-            raise ServiceError(
-                "internal",
-                "server closed the connection before responding",
-            )
-        return response
+        return _checked_response(response)
+
+    async def request_stream(
+        self, frames: Sequence[bytes], *, window: int = _DEFAULT_WINDOW
+    ) -> list[dict[str, Any]]:
+        """Send ``frames`` pipelined; responses in request order.
+
+        Up to ``window`` frames are in flight at once: a sender task
+        writes ahead while this coroutine reads acks, so a slow ack
+        round-trip never idles the server's applier.  The server
+        dispatches one connection's frames in order, so the i-th
+        response answers the i-th frame.
+        """
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        responses: list[dict[str, Any]] = []
+        async with self._lock:
+            in_flight = asyncio.Semaphore(window)
+
+            async def send_all() -> None:
+                for frame in frames:
+                    await in_flight.acquire()
+                    self._writer.write(frame)
+                    await self._writer.drain()
+
+            sender = asyncio.get_running_loop().create_task(send_all())
+            try:
+                for _ in range(len(frames)):
+                    responses.append(
+                        _checked_response(await read_frame(self._reader)))
+                    in_flight.release()
+            finally:
+                if not sender.done():
+                    sender.cancel()
+                try:
+                    await sender
+                except (asyncio.CancelledError, ConnectionResetError,
+                        BrokenPipeError, OSError):
+                    pass
+        return responses
 
     async def close(self) -> None:
         """Close the connection, tolerating an already-gone peer."""
@@ -132,9 +226,31 @@ class InProcessTransport:
 
     async def request(self, message: dict[str, Any]) -> dict[str, Any]:
         """Dispatch against the server after a codec round-trip."""
-        wire_message = unpack_frame(pack_frame(message))
-        response = await self._server.dispatch(wire_message)
-        return unpack_frame(pack_frame(response))
+        return await self.request_bytes(pack_frame(message))
+
+    async def request_bytes(self, frame: bytes) -> dict[str, Any]:
+        """Unpack, dispatch (JSON or binary), round-trip the response."""
+        wire_message = unpack_frame(frame)
+        if isinstance(wire_message, dict):
+            response = await self._server.dispatch(wire_message)
+        else:
+            response = await self._server.dispatch_binary(wire_message)
+        try:
+            packed = pack_frame(response)
+        except WireProtocolError as error:
+            # Mirror the TCP writer task: an unserializable response is
+            # substituted with a bad_request error carrying the same id.
+            packed = pack_frame(error_response(
+                response.get("id"), "bad_request",
+                f"response is not representable in canonical JSON: {error}",
+            ))
+        return _checked_response(unpack_frame(packed))
+
+    async def request_stream(
+        self, frames: Sequence[bytes], *, window: int = _DEFAULT_WINDOW
+    ) -> list[dict[str, Any]]:
+        """Sequential in-process equivalent of pipelined send."""
+        return [await self.request_bytes(frame) for frame in frames]
 
     async def close(self) -> None:
         """Nothing to release; the server is owned by the caller."""
@@ -142,21 +258,46 @@ class InProcessTransport:
 
 
 class AsyncServiceClient:
-    """Async API over a transport; one method per protocol op."""
+    """Async API over a transport; one method per protocol op.
 
-    def __init__(self, transport: TcpTransport | InProcessTransport) -> None:
+    Args:
+        transport: an open transport.
+        wire: ingest wire preference — ``"auto"`` negotiates binary
+            frames when the server advertises them, ``"json"`` forces
+            the canonical JSON protocol, ``"binary"`` refuses to fall
+            back (raising :class:`ServiceError` when unsupported).
+    """
+
+    def __init__(
+        self,
+        transport: TcpTransport | InProcessTransport,
+        *,
+        wire: str = "auto",
+    ) -> None:
+        if wire not in WIRE_MODES:
+            raise ValueError(
+                f"unknown wire mode {wire!r}; choose one of "
+                f"{', '.join(WIRE_MODES)}"
+            )
         self._transport = transport
+        self._wire = wire
         self._ids = itertools.count(1)
+        self._server_features: frozenset[str] | None = None
+        self._table_kinds: dict[str, str] = {}
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> AsyncServiceClient:
+    async def connect(
+        cls, host: str, port: int, *, wire: str = "auto"
+    ) -> AsyncServiceClient:
         """Open a TCP connection to a running server."""
-        return cls(await TcpTransport.connect(host, port))
+        return cls(await TcpTransport.connect(host, port), wire=wire)
 
     @classmethod
-    def in_process(cls, server: SketchServer) -> AsyncServiceClient:
+    def in_process(
+        cls, server: SketchServer, *, wire: str = "auto"
+    ) -> AsyncServiceClient:
         """Attach to a server in the same event loop (tests, benches)."""
-        return cls(InProcessTransport(server))
+        return cls(InProcessTransport(server), wire=wire)
 
     async def _call(self, op: str, **fields: Any) -> dict[str, Any]:
         message: dict[str, Any] = {"op": op, "id": next(self._ids)}
@@ -166,19 +307,187 @@ class AsyncServiceClient:
         return _raise_for_error(await self._transport.request(message))
 
     async def ping(self) -> dict[str, Any]:
-        """Server liveness and protocol version."""
-        return await self._call("ping")
+        """Server liveness, protocol version, and feature set."""
+        response = await self._call("ping")
+        features = response.get("features")
+        self._server_features = frozenset(
+            str(feature) for feature in features
+        ) if isinstance(features, list) else frozenset()
+        return response
 
     async def create_table(self, spec: TableSpec) -> bool:
         """Create a table; ``False`` when it already existed (same
         spec — a differing spec raises ``table_exists``)."""
         response = await self._call("create_table", spec=spec.to_dict())
+        self._table_kinds[spec.name] = spec.kind
         return bool(response["created"])
 
     async def drop_table(self, table: str) -> int:
         """Drop a table; returns the records it had applied."""
         response = await self._call("drop_table", table=table)
+        self._table_kinds.pop(table, None)
         return int(response["records_applied"])
+
+    # -- ingest ---------------------------------------------------------------
+
+    async def _binary_negotiated(self) -> bool:
+        """Whether this client should send binary ingest frames."""
+        if self._wire == "json":
+            return False
+        if self._server_features is None:
+            await self.ping()
+        assert self._server_features is not None
+        supported = FEATURE_BINARY_INGEST in self._server_features
+        if not supported and self._wire == "binary":
+            raise ServiceError(
+                "bad_request",
+                "server does not advertise binary ingest "
+                f"({FEATURE_BINARY_INGEST!r}); use wire='auto' or 'json'",
+            )
+        return supported
+
+    async def _table_kind(self, table: str) -> str:
+        """The table's summary kind (cached; one ``stats`` on a miss)."""
+        kind = self._table_kinds.get(table)
+        if kind is None:
+            response = await self._call("stats", table=table)
+            kind = str(response["table"]["spec"]["kind"])
+            self._table_kinds[table] = kind
+        return kind
+
+    def _build_json_frames(
+        self,
+        table: str,
+        pairs: list[tuple[Hashable, int]],
+        *,
+        wait: bool,
+    ) -> list[tuple[bytes, list[tuple[Hashable, int]]]]:
+        """Pack pairs into JSON ingest frames, halving on oversize.
+
+        Ack semantics: only the final frame carries ``wait``, and the
+        applier is FIFO per table, so its application implies all
+        earlier sub-batches applied too.
+        """
+        message: dict[str, Any] = {
+            "op": "ingest",
+            "id": next(self._ids),
+            "table": table,
+            "records": [[encode_wire_key(item), count]
+                        for item, count in pairs],
+        }
+        if wait:
+            message["wait"] = True
+        try:
+            return [(pack_frame(message), pairs)]
+        except FrameTooLargeError:
+            if len(pairs) <= 1:
+                raise
+        middle = len(pairs) // 2
+        return (
+            self._build_json_frames(table, pairs[:middle], wait=False)
+            + self._build_json_frames(table, pairs[middle:], wait=wait)
+        )
+
+    def _build_binary_frames(
+        self,
+        table: str,
+        pairs: list[tuple[Hashable, int]],
+        *,
+        raw: bool,
+        wait: bool,
+    ) -> list[tuple[bytes, list[tuple[Hashable, int]]]]:
+        """Pack pairs into binary ingest frames within the byte budget."""
+        chunks: list[list[tuple[Hashable, int]]]
+        blobs: list[list[bytes]] = []
+        if raw:
+            capacity = binary_ingest_capacity(table)
+            chunks = [pairs[start:start + capacity]
+                      for start in range(0, len(pairs), capacity)] or [[]]
+        else:
+            # Packed keys are variable-size: fill greedily, leaving
+            # generous headroom for the fixed header and length fields.
+            budget = MAX_FRAME_BYTES - 4096
+            chunks = [[]]
+            blobs = [[]]
+            used = 0
+            for item, count in pairs:
+                blob = pack_key(item)
+                cost = len(blob) + 8
+                if chunks[-1] and used + cost > budget:
+                    chunks.append([])
+                    blobs.append([])
+                    used = 0
+                chunks[-1].append((item, count))
+                blobs[-1].append(blob)
+                used += cost
+        frames: list[tuple[bytes, list[tuple[Hashable, int]]]] = []
+        for index, chunk in enumerate(chunks):
+            try:
+                weights = np.array([count for _, count in chunk],
+                                   dtype=np.int64)
+            except OverflowError:
+                raise _WeightOverflow() from None
+            keys: np.ndarray | list[bytes]
+            if raw:
+                try:
+                    keys = np.ascontiguousarray(
+                        encode_keys([item for item, _ in chunk]),
+                        dtype=np.uint64,
+                    )
+                except TypeError:
+                    # Re-validate through normalize_key for the same
+                    # clear boundary error the JSON wire raises.
+                    for item, _ in chunk:
+                        normalize_key(item)
+                    raise
+            else:
+                keys = blobs[index]
+            frames.append((
+                pack_binary_ingest(
+                    table,
+                    next(self._ids),
+                    keys,
+                    weights,
+                    raw=raw,
+                    wait=wait and index == len(chunks) - 1,
+                ),
+                chunk,
+            ))
+        return frames
+
+    async def _build_frames(
+        self,
+        table: str,
+        pairs: list[tuple[Hashable, int]],
+        *,
+        wait: bool,
+    ) -> list[tuple[bytes, list[tuple[Hashable, int]]]]:
+        """Choose a wire for one batch and pack it into frames."""
+        if await self._binary_negotiated():
+            kind = await self._table_kind(table)
+            try:
+                return self._build_binary_frames(
+                    table, pairs, raw=kind != "topk", wait=wait)
+            except _WeightOverflow:
+                # The JSON wire could carry the count, but the server's
+                # counters are int64 and would refuse it anyway — fail
+                # here with the same code, before anything is enqueued.
+                raise ServiceError(
+                    "bad_request",
+                    "ingest counts must fit in int64; counters are 64-bit",
+                ) from None
+        return self._build_json_frames(table, pairs, wait=wait)
+
+    async def _send_frames(
+        self,
+        frames: list[tuple[bytes, list[tuple[Hashable, int]]]],
+        *,
+        window: int = _DEFAULT_WINDOW,
+    ) -> list[dict[str, Any]]:
+        if len(frames) == 1:
+            return [await self._transport.request_bytes(frames[0][0])]
+        return await self._transport.request_stream(
+            [frame for frame, _ in frames], window=window)
 
     async def ingest(
         self,
@@ -189,12 +498,76 @@ class AsyncServiceClient:
     ) -> int:
         """Send one batch of ``(item, count)`` records; returns its
         sequence number.  ``wait=True`` returns only after the batch is
-        applied (read-your-writes without a separate query)."""
-        payload = [[encode_wire_key(item), int(count)]
-                   for item, count in records]
-        response = await self._call("ingest", table=table, records=payload,
-                                    wait=wait or None)
-        return int(response["seq"])
+        applied (read-your-writes without a separate query).
+
+        Batches too large for one frame are split transparently (the
+        returned sequence number is the final sub-batch's); the wire —
+        JSON or binary — follows the client's ``wire`` preference and
+        the server's advertised features.
+        """
+        pairs = [(item, int(count)) for item, count in records]
+        frames = await self._build_frames(table, pairs, wait=wait)
+        responses = await self._send_frames(frames)
+        last: dict[str, Any] = {}
+        for response in responses:
+            last = _raise_for_error(response)
+        return int(last["seq"])
+
+    async def ingest_many(
+        self,
+        table: str,
+        batches: Iterable[Iterable[tuple[Hashable, int]]],
+        *,
+        wait: bool = True,
+        window: int = _DEFAULT_WINDOW,
+        retry_overloaded: bool = True,
+    ) -> int:
+        """Pipelined bulk ingest; returns records acknowledged.
+
+        Keeps up to ``window`` frames in flight so the server's applier
+        never idles waiting on an ack round-trip.  ``wait=True`` places
+        a read barrier behind the final frame, so a following query
+        reflects every acknowledged record.
+
+        With ``retry_overloaded``, batches refused by a full queue are
+        re-sent afterwards with a per-batch read barrier (natural
+        backpressure).  Retried batches apply *after* later-acknowledged
+        ones — harmless for linear sketches (§3.2: counter addition
+        commutes) but order-visible for ``topk``/``window`` tables;
+        disable it there and handle :class:`OverloadedError` yourself.
+        """
+        prepared = [
+            [(item, int(count)) for item, count in batch]
+            for batch in batches
+        ]
+        prepared = [pairs for pairs in prepared if pairs]
+        if not prepared:
+            return 0
+        frames: list[tuple[bytes, list[tuple[Hashable, int]]]] = []
+        for index, pairs in enumerate(prepared):
+            frames.extend(await self._build_frames(
+                table, pairs, wait=wait and index == len(prepared) - 1))
+        responses = await self._send_frames(frames, window=window)
+        acknowledged = 0
+        retry: list[list[tuple[Hashable, int]]] = []
+        for (_, pairs), response in zip(frames, responses, strict=True):
+            error = response.get("error")
+            if (
+                not response.get("ok")
+                and retry_overloaded
+                and isinstance(error, dict)
+                and error.get("code") == "overloaded"
+            ):
+                retry.append(pairs)
+                continue
+            _raise_for_error(response)
+            acknowledged += len(pairs)
+        for pairs in retry:
+            rebuilt = await self._build_frames(table, pairs, wait=True)
+            for response in await self._send_frames(rebuilt, window=window):
+                _raise_for_error(response)
+            acknowledged += len(pairs)
+        return acknowledged
 
     async def ingest_items(
         self, table: str, items: Iterable[Hashable], *, wait: bool = False
@@ -257,7 +630,7 @@ class ServiceClient:
     """
 
     def __init__(self, host: str, port: int, *,
-                 timeout: float = 30.0) -> None:
+                 timeout: float = 30.0, wire: str = "auto") -> None:
         self._timeout = timeout
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
@@ -267,7 +640,8 @@ class ServiceClient:
         )
         self._thread.start()
         try:
-            self._client = self._run(AsyncServiceClient.connect(host, port))
+            self._client = self._run(
+                AsyncServiceClient.connect(host, port, wire=wire))
         except BaseException:
             self._stop_loop()
             raise
@@ -283,7 +657,7 @@ class ServiceClient:
             self._loop.close()
 
     def ping(self) -> dict[str, Any]:
-        """Server liveness and protocol version."""
+        """Server liveness, protocol version, and feature set."""
         return self._run(self._client.ping())
 
     def create_table(self, spec: TableSpec) -> bool:
@@ -304,6 +678,21 @@ class ServiceClient:
         """Send one batch of ``(item, count)`` records; returns its seq."""
         return int(self._run(self._client.ingest(table, list(records),
                                                  wait=wait)))
+
+    def ingest_many(
+        self,
+        table: str,
+        batches: Iterable[Iterable[tuple[Hashable, int]]],
+        *,
+        wait: bool = True,
+        window: int = _DEFAULT_WINDOW,
+        retry_overloaded: bool = True,
+    ) -> int:
+        """Pipelined bulk ingest; returns records acknowledged."""
+        return int(self._run(self._client.ingest_many(
+            table, [list(batch) for batch in batches],
+            wait=wait, window=window, retry_overloaded=retry_overloaded,
+        )))
 
     def ingest_items(
         self, table: str, items: Iterable[Hashable], *, wait: bool = False

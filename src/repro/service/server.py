@@ -34,8 +34,10 @@ from typing import TYPE_CHECKING, Any
 from repro.observability.export import to_json, to_prometheus
 from repro.observability.registry import MetricsRegistry, use_registry
 from repro.service.protocol import (
+    FEATURES,
     OPS,
     PROTOCOL_VERSION,
+    BinaryIngest,
     WireProtocolError,
     decode_wire_key,
     encode_wire_key,
@@ -49,7 +51,9 @@ from repro.store.checkpoint import CheckpointManager, CheckpointMismatchError
 from repro.store.format import SNAPSHOT_SUFFIX, StoreError, atomic_write_bytes
 
 if TYPE_CHECKING:
-    from collections.abc import Hashable, Iterable
+    from collections.abc import Awaitable, Callable, Hashable, Iterable, Sequence
+
+    import numpy as np
 
 __all__ = ["MANIFEST_NAME", "SketchServer"]
 
@@ -57,6 +61,11 @@ __all__ = ["MANIFEST_NAME", "SketchServer"]
 MANIFEST_NAME = "service.json"
 
 _MANIFEST_VERSION = 1
+
+#: Per-connection bound on responses awaiting the writer task.  Sized to
+#: comfortably cover a client's pipelining window; a slow reader
+#: backpressures the connection loop instead of growing without bound.
+_RESPONSE_QUEUE_SIZE = 128
 
 
 class _BadRequest(Exception):
@@ -359,71 +368,150 @@ class SketchServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        """One connection: read loop feeding a dedicated writer task.
+
+        Responses flow through a bounded queue drained by
+        :meth:`_write_responses`, so reading the next frame never waits
+        on the previous ack's ``drain()`` — that pipelining is what lets
+        a client keep the applier busy with in-flight binary batches.
+        Requests on one connection are still dispatched in order, and
+        responses leave in dispatch order, so per-connection FIFO
+        semantics are unchanged.
+        """
         self._writers.add(writer)
         self._metrics.connections_total.inc()
         self._metrics.connections_open.inc()
+        responses: asyncio.Queue[dict[str, Any] | None] = asyncio.Queue(
+            maxsize=_RESPONSE_QUEUE_SIZE)
+        writer_task = asyncio.get_running_loop().create_task(
+            self._write_responses(responses, writer))
         try:
-            while True:
+            while not writer_task.done():
                 try:
                     message = await read_frame(reader)
                 except WireProtocolError as error:
-                    await write_frame(
-                        writer,
-                        error_response(None, "bad_frame", str(error)),
-                    )
+                    await responses.put(
+                        error_response(None, "bad_frame", str(error)))
                     break
                 if message is None:
                     break
-                response = await self.dispatch(message)
-                await write_frame(writer, response)
+                if isinstance(message, BinaryIngest):
+                    await responses.put(await self.dispatch_binary(message))
+                    continue
+                await responses.put(await self.dispatch(message))
                 if message.get("op") == "shutdown":
                     break
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
+            # Cancellation-safe teardown: flush the writer if possible,
+            # but never let a cancelled handler leak the task or skip
+            # the metric/socket cleanup below.
+            try:
+                responses.put_nowait(None)  # sentinel: flush and exit
+            except asyncio.QueueFull:
+                writer_task.cancel()
+            try:
+                await writer_task
+            except asyncio.CancelledError:
+                writer_task.cancel()
             self._writers.discard(writer)
             self._metrics.connections_open.dec()
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError, OSError):
+            except (asyncio.CancelledError, ConnectionResetError,
+                    BrokenPipeError, OSError):
                 pass
+
+    async def _write_responses(
+        self,
+        responses: asyncio.Queue[dict[str, Any] | None],
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Drain the response queue to the socket until the sentinel.
+
+        Keeps consuming after a write failure (discarding responses) so
+        the read loop's bounded ``put`` can never deadlock against a
+        dead peer.  A response the canonical codec cannot serialize —
+        e.g. a ``topk`` listing a non-finite float key that arrived via
+        the lossless binary path — is replaced by a ``bad_request``
+        error carrying the same request id, never by a protocol
+        violation on the wire.
+        """
+        alive = True
+        while True:
+            response = await responses.get()
+            if response is None:
+                return
+            if not alive:
+                continue
+            try:
+                await write_frame(writer, response)
+            except WireProtocolError as error:
+                self._metrics.errors.inc()
+                fallback = error_response(
+                    response.get("id"), "bad_request",
+                    f"response is not representable in canonical JSON: "
+                    f"{error}",
+                )
+                try:
+                    await write_frame(writer, fallback)
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    alive = False
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                alive = False
 
     # -- dispatch -------------------------------------------------------------
 
     async def dispatch(self, message: dict[str, Any]) -> dict[str, Any]:
         """Answer one request message (shared by TCP and in-process)."""
+        request_id = message.get("id")
+        op = message.get("op")
+        if not isinstance(op, str) or op not in OPS:
+            self._metrics.requests.inc()
+            self._metrics.errors.inc()
+            return error_response(
+                request_id, "bad_request",
+                f"unknown op {op!r}; expected one of "
+                f"{', '.join(sorted(OPS))}",
+            )
+        return await self._answer(
+            request_id, lambda: self._dispatch_op(op, message))
+
+    async def dispatch_binary(self, frame: BinaryIngest) -> dict[str, Any]:
+        """Answer one binary ingest frame (responses are always JSON)."""
+        return await self._answer(
+            frame.request_id, lambda: self._binary_ingest(frame))
+
+    async def _answer(
+        self,
+        request_id: object,
+        runner: Callable[[], Awaitable[dict[str, Any]]],
+    ) -> dict[str, Any]:
+        """Run one op under the shared fault barrier and error mapping."""
         self._ensure_appliers()
         self._metrics.requests.inc()
-        request_id = message.get("id")
         start = time.perf_counter()
         try:
-            op = message.get("op")
-            if not isinstance(op, str) or op not in OPS:
+            try:
+                response = await runner()
+            except _NoSuchTable as error:
                 response = error_response(
-                    request_id, "bad_request",
-                    f"unknown op {op!r}; expected one of "
-                    f"{', '.join(sorted(OPS))}",
+                    request_id, "no_such_table", str(error))
+            except (_BadRequest, WireProtocolError) as error:
+                response = error_response(
+                    request_id, "bad_request", str(error))
+            except TableOverloadedError as error:
+                response = error_response(
+                    request_id, "overloaded", str(error),
+                    queue_depth=error.depth, capacity=error.capacity,
                 )
-            else:
-                try:
-                    response = await self._dispatch_op(op, message)
-                except _NoSuchTable as error:
-                    response = error_response(
-                        request_id, "no_such_table", str(error))
-                except (_BadRequest, WireProtocolError) as error:
-                    response = error_response(
-                        request_id, "bad_request", str(error))
-                except TableOverloadedError as error:
-                    response = error_response(
-                        request_id, "overloaded", str(error),
-                        queue_depth=error.depth, capacity=error.capacity,
-                    )
-                except Exception as error:  # fault barrier per request
-                    response = error_response(
-                        request_id, "internal",
-                        f"{type(error).__name__}: {error}",
-                    )
+            except Exception as error:  # fault barrier per request
+                response = error_response(
+                    request_id, "internal",
+                    f"{type(error).__name__}: {error}",
+                )
         finally:
             self._metrics.request_seconds.observe(
                 time.perf_counter() - start)
@@ -439,6 +527,7 @@ class SketchServer:
             return ok_response(
                 request_id,
                 version=PROTOCOL_VERSION,
+                features=sorted(FEATURES),
                 tables=len(self._tables),
                 accepting=self._accepting,
             )
@@ -550,6 +639,14 @@ class SketchServer:
                     f"record {index} has a non-integer count {count!r}")
             if count == 0:
                 raise _BadRequest(f"record {index} has a zero count")
+            if not -(2**63) <= count < 2**63:
+                # JSON carries arbitrary-precision ints, the counters do
+                # not; past this boundary the count could only crash the
+                # applier (and hang every read barrier behind it).
+                raise _BadRequest(
+                    f"record {index} has a count outside int64; "
+                    "counters are 64-bit"
+                )
             if count < 0 and not allow_negative:
                 raise _BadRequest(
                     f"record {index} has a negative count; "
@@ -562,6 +659,56 @@ class SketchServer:
             await table.wait_applied(seq)
         return ok_response(request_id, queued=len(items), seq=seq,
                            applied=bool(message.get("wait")))
+
+    async def _binary_ingest(self, frame: BinaryIngest) -> dict[str, Any]:
+        """Apply one binary ingest frame through the zero-copy path.
+
+        Raw-mode keys are 64-bit ``encode_key`` images: hash-identical
+        to the original objects for every summary that hashes its input
+        (``encode_key(int) == int mod 2**64``), but useless to a
+        ``topk`` table, which must store the original items — those
+        must use packed keys, so the mismatch is a ``bad_request``, not
+        a silently wrong summary.
+        """
+        request_id = frame.request_id
+        table = self._tables.get(frame.table)
+        if table is None:
+            raise _NoSuchTable(frame.table)
+        if not self._accepting:
+            return error_response(
+                request_id, "shutting_down",
+                "server is shutting down; ingest refused",
+            )
+        weights = frame.weights
+        if weights.size:
+            if bool((weights == 0).any()):
+                raise _BadRequest("binary batch has a record with a "
+                                  "zero count")
+            if not table.spec.allows_negative_counts and bool(
+                (weights < 0).any()
+            ):
+                raise _BadRequest(
+                    "binary batch has a record with a negative count; "
+                    f"{table.spec.kind!r} tables are insert-only"
+                )
+        items: np.ndarray | Sequence[Hashable]
+        if frame.raw:
+            if table.spec.kind == "topk":
+                raise _BadRequest(
+                    f"table {frame.table!r} is 'topk' and stores original "
+                    "items; raw pre-encoded keys are lossy — send packed "
+                    "keys or use the JSON protocol"
+                )
+            assert frame.keys is not None
+            items = frame.keys
+        else:
+            assert frame.items is not None
+            items = frame.items
+        seq = table.try_enqueue(items, weights)
+        if frame.wait:
+            await table.wait_applied(seq)
+        return ok_response(request_id, queued=len(frame), seq=seq,
+                           applied=frame.wait)
 
     async def _op_estimate(self, message: dict[str, Any]) -> dict[str, Any]:
         request_id = message.get("id")

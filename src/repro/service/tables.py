@@ -27,6 +27,8 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
+import numpy as np
+
 from repro.core.countsketch import CountSketch
 from repro.core.topk import TopKTracker
 from repro.core.vectorized import VectorizedCountSketch
@@ -210,11 +212,56 @@ class _TableMetrics:
 
 @dataclass
 class _Batch:
-    """One acknowledged ingest batch, awaiting application."""
+    """One acknowledged ingest batch, awaiting application.
+
+    ``items`` is either decoded stream objects (JSON / packed-binary
+    ingest) or a ``uint64`` ndarray of pre-encoded keys (raw-binary
+    ingest); ``counts`` is an ``int64`` ndarray exactly when ``items``
+    is an ndarray.
+    """
 
     seq: int
-    items: list[Hashable]
-    counts: list[int]
+    items: list[Hashable] | np.ndarray
+    counts: list[int] | np.ndarray
+
+
+def _merge_runs(
+    batches: list[_Batch],
+) -> list[tuple[list[Hashable] | np.ndarray, list[int] | np.ndarray]]:
+    """Coalesce consecutive same-representation batches into apply units.
+
+    Merging only adjacent batches keeps the applied record order equal
+    to the acknowledged order even when ndarray (binary) and list
+    (JSON) ingest interleave on one table.
+    """
+    if len(batches) == 1:
+        return [(batches[0].items, batches[0].counts)]
+    runs: list[tuple[bool, list[_Batch]]] = []
+    for batch in batches:
+        is_array = isinstance(batch.items, np.ndarray)
+        if runs and runs[-1][0] == is_array:
+            runs[-1][1].append(batch)
+        else:
+            runs.append((is_array, [batch]))
+    merged: list[
+        tuple[list[Hashable] | np.ndarray, list[int] | np.ndarray]
+    ] = []
+    for is_array, run in runs:
+        if len(run) == 1:
+            merged.append((run[0].items, run[0].counts))
+        elif is_array:
+            merged.append((
+                np.concatenate([batch.items for batch in run]),
+                np.concatenate([batch.counts for batch in run]),
+            ))
+        else:
+            items: list[Hashable] = []
+            counts: list[int] = []
+            for batch in run:
+                items.extend(batch.items)
+                counts.extend(batch.counts)
+            merged.append((items, counts))
+    return merged
 
 
 class ServiceTable:
@@ -305,7 +352,9 @@ class ServiceTable:
         return self._manager
 
     def try_enqueue(
-        self, items: Sequence[Hashable], counts: Sequence[int]
+        self,
+        items: Sequence[Hashable] | np.ndarray,
+        counts: Sequence[int] | np.ndarray,
     ) -> int:
         """Enqueue one validated batch; returns its sequence number.
 
@@ -313,10 +362,25 @@ class ServiceTable:
         :class:`TableOverloadedError` carries the queue state — callers
         surface it as an explicit ``overloaded`` response, never a
         silent drop.
+
+        NumPy arrays are enqueued as-is (the raw-binary zero-copy path:
+        a ``uint64`` key array plus its ``int64`` weights); list inputs
+        are copied defensively as before.
         """
         if len(items) != len(counts):
             raise ValueError("items and counts must have the same length")
-        batch = _Batch(self._enqueued_seq + 1, list(items), list(counts))
+        kept_items: list[Hashable] | np.ndarray
+        kept_counts: list[int] | np.ndarray
+        if isinstance(items, np.ndarray):
+            kept_items = items
+            kept_counts = np.ascontiguousarray(counts, dtype=np.int64)
+        else:
+            kept_items = list(items)
+            kept_counts = (
+                counts.tolist() if isinstance(counts, np.ndarray)
+                else list(counts)
+            )
+        batch = _Batch(self._enqueued_seq + 1, kept_items, kept_counts)
         try:
             self._queue.put_nowait(batch)
         except asyncio.QueueFull:
@@ -355,21 +419,26 @@ class ServiceTable:
                 self._applied.notify_all()
 
     def _apply(self, batches: list[_Batch]) -> None:
-        """Apply coalesced batches synchronously (between awaits)."""
-        items: list[Hashable] = []
-        counts: list[int] = []
-        for batch in batches:
-            items.extend(batch.items)
-            counts.extend(batch.counts)
+        """Apply coalesced batches synchronously (between awaits).
+
+        Consecutive batches of like representation merge before the
+        apply call — ndarray runs concatenate (one vectorized call, no
+        per-record boxing), list runs extend.  Runs are applied in
+        arrival order, so order-sensitive summaries see the exact
+        acknowledged sequence.
+        """
         start = time.perf_counter()
-        if self._manager is not None:
-            self._manager.update_batch(items, counts)
-        else:
-            apply_update_batch(self.summary, items, counts)
-        self._records_applied += len(items)
+        applied = 0
+        for items, counts in _merge_runs(batches):
+            if self._manager is not None:
+                self._manager.update_batch(items, counts)
+            else:
+                apply_update_batch(self.summary, items, counts)
+            applied += len(items)
+        self._records_applied += applied
         self._metrics.apply_seconds.observe(time.perf_counter() - start)
         self._metrics.applied_batches.inc(len(batches))
-        self._metrics.applied_records.inc(len(items))
+        self._metrics.applied_records.inc(applied)
         self._metrics.queue_depth.set(self._queue.qsize())
 
     async def wait_applied(self, seq: int | None = None) -> None:

@@ -1,0 +1,27 @@
+"""True positives for RS008: binary wire codec outside protocol.py.
+
+Linted under a synthetic ``src/repro/service/`` display path — the rule
+confines frame packing and unpacking primitives to
+``repro.service.protocol`` so there is exactly one byte layout to audit
+and to cover with round-trip tests.
+"""
+
+import struct
+from struct import pack
+
+import numpy as np
+
+_HEADER = struct.Struct("<BBBBQH")  # RS008: struct layout in a handler
+
+
+def encode(table: bytes, request_id: int, weights: np.ndarray) -> bytes:
+    head = pack("<I", len(table))  # RS008: from-import alias
+    body = weights.tobytes()  # RS008: ndarray serialization
+    tag = request_id.to_bytes(8, "little")  # RS008: int serialization
+    return head + table + tag + body
+
+
+def decode(payload: bytes) -> np.ndarray:
+    magic = int.from_bytes(payload[:1], "little")  # RS008
+    assert magic == 0xB1
+    return np.frombuffer(payload[1:], dtype="<i8")  # RS008

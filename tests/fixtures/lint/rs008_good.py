@@ -1,0 +1,29 @@
+"""Clean counterparts for RS008: service code delegates to protocol.
+
+Handlers and clients pass structured values to the codec in
+``repro.service.protocol`` instead of touching bytes themselves; plain
+numpy array construction is not a wire concern and stays allowed.
+"""
+
+import numpy as np
+
+from repro.service.protocol import (
+    pack_binary_ingest,
+    pack_frame,
+    unpack_frame,
+)
+
+
+def encode(table: str, request_id: int, weights: np.ndarray) -> bytes:
+    keys = np.ascontiguousarray(
+        np.arange(len(weights)), dtype=np.uint64
+    )
+    return pack_binary_ingest(
+        table, request_id, keys, weights, raw=True
+    )
+
+
+def decode(payload: bytes):
+    frame = unpack_frame(payload)
+    counts = np.array([1, 2, 3], dtype=np.int64)
+    return frame, counts, pack_frame({"op": "ping", "id": 1})

@@ -1,12 +1,12 @@
 """Self-tests for the ``repro.devtools.lint`` AST rule suite.
 
-Each rule RS001-RS007 is demonstrated by a pair of fixture files under
+Each rule RS001-RS008 is demonstrated by a pair of fixture files under
 ``tests/fixtures/lint/``: a ``*_bad.py`` that must produce true
 positives and a ``*_good.py`` that must lint clean.  Bad fixtures are
 linted under a synthetic ``src/`` display path so the test-code
-relaxations (RS001/RS003) do not apply to them; the RS007 pair is
-linted under a ``src/repro/service/`` path, the only package that rule
-patrols.
+relaxations (RS001/RS003) do not apply to them; the RS007 and RS008
+pairs are linted under a ``src/repro/service/`` path, the only package
+those rules patrol.
 """
 
 from __future__ import annotations
@@ -35,8 +35,8 @@ REPO_ROOT = Path(__file__).parent.parent
 #: rule active.
 SRC_PATH = "src/repro/under_test.py"
 
-#: Display path for the RS007 pair: that rule only patrols the service
-#: package (async server code sharing one event loop).
+#: Display path for the RS007/RS008 pairs: those rules only patrol the
+#: service package (async server code sharing one event loop).
 SERVICE_PATH = "src/repro/service/under_test.py"
 
 #: (code, bad fixture, expected true positives, good fixture).
@@ -48,10 +48,11 @@ CASES = [
     ("RS005", "rs005_bad.py", 6, "rs005_good.py"),
     ("RS006", "rs006_bad.py", 5, "rs006_good.py"),
     ("RS007", "rs007_bad.py", 5, "rs007_good.py"),
+    ("RS008", "rs008_bad.py", 6, "rs008_good.py"),
 ]
 
 #: Rules scoped to one package lint their fixtures under that path.
-CASE_PATHS = {"RS007": SERVICE_PATH}
+CASE_PATHS = {"RS007": SERVICE_PATH, "RS008": SERVICE_PATH}
 
 
 def lint_fixture(name: str, path: str = SRC_PATH) -> list[Finding]:
@@ -59,9 +60,10 @@ def lint_fixture(name: str, path: str = SRC_PATH) -> list[Finding]:
 
 
 class TestRuleCatalogue:
-    def test_seven_rules_with_stable_codes(self):
+    def test_eight_rules_with_stable_codes(self):
         assert [rule.code for rule in RULES] == [
-            "RS001", "RS002", "RS003", "RS004", "RS005", "RS006", "RS007",
+            "RS001", "RS002", "RS003", "RS004",
+            "RS005", "RS006", "RS007", "RS008",
         ]
 
     def test_every_rule_has_name_summary_hint(self):
@@ -283,6 +285,56 @@ class TestRS007Details:
             "async def snap(summary, path):\n"
             "    loop = asyncio.get_running_loop()\n"
             "    await loop.run_in_executor(None, save, summary, path)\n"
+        )
+        assert lint_source(source, SERVICE_PATH) == []
+
+
+class TestRS008Details:
+    STRUCT_IN_HANDLER = (
+        "import struct\n"
+        "def decode(payload):\n"
+        "    return struct.unpack_from('<I', payload)\n"
+    )
+
+    def test_active_only_under_repro_service(self):
+        findings = lint_source(self.STRUCT_IN_HANDLER, SERVICE_PATH)
+        assert [f.code for f in findings] == ["RS008"]
+        assert lint_source(self.STRUCT_IN_HANDLER, SRC_PATH) == []
+
+    def test_protocol_module_exempt(self):
+        path = "src/repro/service/protocol.py"
+        assert lint_source(self.STRUCT_IN_HANDLER, path) == []
+
+    def test_frombuffer_detected_tolist_clean(self):
+        source = (
+            "import numpy as np\n"
+            "def weights(buf):\n"
+            "    return np.frombuffer(buf, dtype='<i8')\n"
+        )
+        assert [f.code for f in lint_source(source, SERVICE_PATH)] == [
+            "RS008"
+        ]
+        clean = (
+            "import numpy as np\n"
+            "def weights(counts):\n"
+            "    return np.asarray(counts, dtype=np.int64).tolist()\n"
+        )
+        assert lint_source(clean, SERVICE_PATH) == []
+
+    def test_int_byte_methods_detected(self):
+        source = (
+            "def tag(request_id, payload):\n"
+            "    head = request_id.to_bytes(8, 'little')\n"
+            "    return head, int.from_bytes(payload[:4], 'little')\n"
+        )
+        findings = lint_source(source, SERVICE_PATH)
+        assert [f.code for f in findings] == ["RS008", "RS008"]
+
+    def test_delegating_to_protocol_clean(self):
+        source = (
+            "from repro.service.protocol import pack_frame\n"
+            "def encode(message):\n"
+            "    return pack_frame(message)\n"
         )
         assert lint_source(source, SERVICE_PATH) == []
 

@@ -113,3 +113,40 @@ class TestServiceSmoke:
         out, err = proc.communicate(timeout=30)
         assert proc.returncode == 0, err
         assert "graceful stop complete" in out
+
+    def test_binary_wire_session(self, live_server, tmp_path, capsys):
+        proc, port = live_server
+        stream_file = tmp_path / "stream.txt"
+        write_stream_text(stream_file, STREAM)
+
+        assert query(port, "ping") == 0
+        assert "binary-ingest-v1" in capsys.readouterr().out
+
+        assert query(port, "create",
+                     "--table", "flows:sketch:depth=4,width=64") == 0
+        capsys.readouterr()
+
+        # topk table → lossless packed keys on the wire.
+        assert query(port, "ingest", "--wire", "binary",
+                     "--table", "queries", "--input", str(stream_file)) == 0
+        assert f"ingested {len(STREAM)} records" in capsys.readouterr().out
+
+        # linear sketch → raw pre-encoded 64-bit keys.
+        assert query(port, "ingest", "--wire", "binary",
+                     "--table", "flows", "--input", str(stream_file)) == 0
+        capsys.readouterr()
+
+        assert query(port, "topk", "--table", "queries") == 0
+        out = capsys.readouterr().out
+        assert "deep learning" in out
+        assert "12" in out
+
+        assert query(port, "estimate", "--table", "flows",
+                     "deep learning", "absent") == 0
+        assert "deep learning" in capsys.readouterr().out
+
+        assert query(port, "shutdown") == 0
+        capsys.readouterr()
+        out, err = proc.communicate(timeout=30)
+        assert proc.returncode == 0, err
+        assert "graceful stop complete" in out
