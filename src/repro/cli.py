@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands cover the library's day-to-day uses on on-disk streams
+Nine subcommands cover the library's day-to-day uses on on-disk streams
 (one item per line; ``--int-keys`` parses lines as integers):
 
 * ``repro topk`` — the §3.2 one-pass tracker: the approximate top-k items.
@@ -16,7 +16,12 @@ Eight subcommands cover the library's day-to-day uses on on-disk streams
   live tables ingesting over TCP while answering estimate/top-k queries.
 * ``repro query`` — client verbs against a running server
   (``create`` / ``ingest`` / ``estimate`` / ``topk`` / ``stats`` /
-  ``metrics`` / ``checkpoint`` / ``shutdown`` / ``ping``).
+  ``metrics`` / ``checkpoint`` / ``shutdown`` / ``ping``); every verb
+  accepts ``--cluster SPEC`` to aim at a sharded fleet instead.
+* ``repro cluster`` — run a sharded fleet (:mod:`repro.cluster`):
+  ``serve`` launches and supervises N shard servers, ``rebalance``
+  re-shapes a stopped fleet's checkpoints to a new shard count by
+  exact snapshot re-merge (§3.2 linearity).
 
 Exit codes are uniform across every subcommand: 0 on success, 1 for
 usage errors (bad flags or flag combinations), 2 for data errors
@@ -63,9 +68,12 @@ from collections.abc import Callable, Hashable, Sequence
 from typing import TYPE_CHECKING, NoReturn
 
 if TYPE_CHECKING:
+    from repro.cluster.coordinator import ClusterClient
     from repro.service.client import ServiceClient
     from repro.service.server import SketchServer
     from repro.service.tables import TableSpec
+
+    _QueryClient = ServiceClient | ClusterClient
 
 from repro.core.maxchange import MaxChangeFinder
 from repro.core.countsketch import CountSketch
@@ -686,11 +694,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
-def _connect_client(args: argparse.Namespace) -> ServiceClient:
+def _connect_client(args: argparse.Namespace) -> _QueryClient:
+    if getattr(args, "cluster", None):
+        from repro.cluster.coordinator import ClusterClient
+        from repro.cluster.fleet import read_cluster_spec
+
+        spec = read_cluster_spec(args.cluster)
+        return ClusterClient(spec.endpoints, timeout=args.timeout,
+                             wire=getattr(args, "wire", "auto"))
     from repro.service.client import ServiceClient
 
     return ServiceClient(args.host, args.port, timeout=args.timeout,
                          wire=getattr(args, "wire", "auto"))
+
+
+def _query_target(args: argparse.Namespace) -> str:
+    cluster = getattr(args, "cluster", None)
+    if cluster:
+        return f"cluster {cluster}"
+    return f"{args.host}:{args.port}"
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -700,40 +722,45 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
     try:
         client = _connect_client(args)
-    except OSError as error:
-        return _fail(
-            f"cannot connect to {args.host}:{args.port}: {error}")
+    except (ServiceError, OSError) as error:
+        # Connection refusals surface as one documented line, never a
+        # raw ConnectionRefusedError traceback.
+        return _fail(str(error))
     try:
         return int(args.query_handler(client, args))
     except ServiceError as error:
         return _fail(str(error))
     except (TimeoutError, concurrent.futures.TimeoutError):
         return _fail(
-            f"request to {args.host}:{args.port} timed out after "
+            f"request to {_query_target(args)} timed out after "
             f"{args.timeout:.1f}s"
         )
     finally:
         client.close()
 
 
-def _query_ping(client: ServiceClient, args: argparse.Namespace) -> int:
+def _query_ping(client: _QueryClient, args: argparse.Namespace) -> int:
     info = client.ping()
     print(json.dumps(info, indent=2, sort_keys=True))
     return EXIT_OK
 
 
-def _query_create(client: ServiceClient, args: argparse.Namespace) -> int:
+def _query_create(client: _QueryClient, args: argparse.Namespace) -> int:
     try:
         spec = _parse_table_flag(args.table)
     except ValueError as error:
         return _usage_fail(str(error))
-    created = client.create_table(spec)
+    try:
+        created = client.create_table(spec)
+    except ValueError as error:
+        # e.g. a window table aimed at a cluster: not shardable.
+        return _usage_fail(str(error))
     verb = "created" if created else "already exists (same spec)"
     print(f"table {spec.name!r}: {verb}")
     return EXIT_OK
 
 
-def _query_ingest(client: ServiceClient, args: argparse.Namespace) -> int:
+def _query_ingest(client: _QueryClient, args: argparse.Namespace) -> int:
     if args.batch_size < 1:
         return _usage_fail("--batch-size must be at least 1")
     if args.skip < 0:
@@ -761,7 +788,7 @@ def _query_ingest(client: ServiceClient, args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
-def _query_estimate(client: ServiceClient, args: argparse.Namespace) -> int:
+def _query_estimate(client: _QueryClient, args: argparse.Namespace) -> int:
     queries = [int(q) if args.int_keys else q for q in args.items]
     estimates = client.estimate(args.table, queries)
     rows = [[str(item), value]
@@ -771,7 +798,7 @@ def _query_estimate(client: ServiceClient, args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
-def _query_topk(client: ServiceClient, args: argparse.Namespace) -> int:
+def _query_topk(client: _QueryClient, args: argparse.Namespace) -> int:
     top = client.topk(args.table, args.k)
     rows = [
         [rank, str(item), count]
@@ -782,7 +809,7 @@ def _query_topk(client: ServiceClient, args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
-def _query_stats(client: ServiceClient, args: argparse.Namespace) -> int:
+def _query_stats(client: _QueryClient, args: argparse.Namespace) -> int:
     stats = client.stats(args.table)
     stats.pop("ok", None)
     stats.pop("id", None)
@@ -790,8 +817,18 @@ def _query_stats(client: ServiceClient, args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
-def _query_metrics(client: ServiceClient, args: argparse.Namespace) -> int:
-    body = client.metrics(args.format)
+def _query_metrics(client: _QueryClient, args: argparse.Namespace) -> int:
+    scraped = client.metrics(args.format)
+    if isinstance(scraped, list):
+        # Cluster scrape: one body per shard, labelled so a reader (or a
+        # Prometheus file collector) can tell the shards apart.
+        body = "".join(
+            f"# shard {index}\n{shard_body}"
+            + ("" if shard_body.endswith("\n") else "\n")
+            for index, shard_body in enumerate(scraped)
+        )
+    else:
+        body = scraped
     if args.out:
         from pathlib import Path
 
@@ -802,15 +839,124 @@ def _query_metrics(client: ServiceClient, args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
-def _query_checkpoint(client: ServiceClient, args: argparse.Namespace) -> int:
+def _query_checkpoint(client: _QueryClient, args: argparse.Namespace) -> int:
     written = client.checkpoint(args.table)
     print(f"checkpoint: {written} bytes written")
     return EXIT_OK
 
 
-def _query_shutdown(client: ServiceClient, args: argparse.Namespace) -> int:
+def _query_shutdown(client: _QueryClient, args: argparse.Namespace) -> int:
     client.shutdown()
     print("server is stopping")
+    return EXIT_OK
+
+
+def _cmd_cluster_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.cluster.fleet import (
+        fleet_status,
+        launch_fleet,
+        stop_fleet,
+        write_cluster_spec,
+    )
+
+    try:
+        specs = [_parse_table_flag(value) for value in args.table]
+    except ValueError as error:
+        return _usage_fail(str(error))
+    if not specs:
+        return _usage_fail(
+            "provide at least one --table NAME[:KIND[:key=val,...]]")
+    for spec in specs:
+        if spec.kind == "window":
+            return _usage_fail(
+                f"--table {spec.name}: window tables cannot be sharded "
+                "(jumping-window rotation counts local arrivals); serve "
+                "them from a single `repro serve` process"
+            )
+    if args.shards < 1:
+        return _usage_fail("--shards must be at least 1")
+    if (
+        args.checkpoint_every is not None or
+        args.checkpoint_every_seconds is not None
+    ) and args.checkpoint_dir is None:
+        return _usage_fail(
+            "--checkpoint-every/--checkpoint-every-seconds require "
+            "--checkpoint-dir (where should the snapshots go?)"
+        )
+    serve_args = ["--queue-capacity", str(args.queue_capacity),
+                  "--max-batch", str(args.max_batch)]
+    if args.checkpoint_every is not None:
+        serve_args += ["--checkpoint-every", str(args.checkpoint_every)]
+    if args.checkpoint_every_seconds is not None:
+        serve_args += ["--checkpoint-every-seconds",
+                       str(args.checkpoint_every_seconds)]
+
+    shards = launch_fleet(
+        args.shards, specs,
+        host=args.host,
+        checkpoint_root=args.checkpoint_dir,
+        serve_args=serve_args,
+    )
+    stop_requested = threading.Event()
+
+    def _request_stop(signum: int, frame: object) -> None:
+        stop_requested.set()
+
+    previous = [signal.signal(signal.SIGINT, _request_stop),
+                signal.signal(signal.SIGTERM, _request_stop)]
+    try:
+        write_cluster_spec(args.spec_out, [(s.host, s.port) for s in shards],
+                           specs)
+        print(f"cluster spec written to {args.spec_out}", flush=True)
+        for status in fleet_status(shards):
+            print(
+                f"shard {status['index']}: serving on "
+                f"{status['host']}:{status['port']} (pid {status['pid']})",
+                flush=True,
+            )
+        dead_shard: int | None = None
+        while not stop_requested.is_set():
+            for shard in shards:
+                if shard.process.poll() is not None:
+                    dead_shard = shard.index
+                    break
+            if dead_shard is not None:
+                break
+            stop_requested.wait(0.5)
+        codes = stop_fleet(shards)
+        if dead_shard is not None:
+            return _fail(
+                f"shard {dead_shard} exited unexpectedly with code "
+                f"{codes[dead_shard]}; stopped the rest of the fleet "
+                "(resume with the same --checkpoint-dir to recover)"
+            )
+        print(f"cluster: graceful stop complete, exit codes {codes}",
+              flush=True)
+        return EXIT_OK
+    finally:
+        signal.signal(signal.SIGINT, previous[0])
+        signal.signal(signal.SIGTERM, previous[1])
+
+
+def _cmd_cluster_rebalance(args: argparse.Namespace) -> int:
+    from repro.cluster.fleet import rebalance_cluster
+
+    if args.shards < 1:
+        return _usage_fail("--shards must be at least 1")
+    merged = rebalance_cluster(args.src, args.out, args.shards)
+    for name in sorted(merged):
+        print(
+            f"table {name!r}: merged {merged[name]} shard snapshot(s) "
+            "onto shard 0"
+        )
+    print(
+        f"rebalanced {args.src} -> {args.out} ({args.shards} shards); "
+        f"start the new fleet with `repro cluster serve --shards "
+        f"{args.shards} --checkpoint-dir {args.out} ...`"
+    )
     return EXIT_OK
 
 
@@ -990,6 +1136,11 @@ def build_parser() -> argparse.ArgumentParser:
                                  "'json' forces the canonical JSON "
                                  "protocol, 'binary' refuses to fall "
                                  "back (default auto)")
+    connection.add_argument("--cluster", metavar="SPEC", default=None,
+                            help="query a sharded fleet instead of one "
+                                 "server: path to the cluster spec JSON "
+                                 "written by `repro cluster serve` "
+                                 "(overrides --host/--port)")
 
     query_ping = query_sub.add_parser(
         "ping", parents=[connection],
@@ -1075,6 +1226,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop the server gracefully (drain, snapshot, exit)")
     query_shutdown.set_defaults(handler=_cmd_query,
                                 query_handler=_query_shutdown)
+
+    cluster = subparsers.add_parser(
+        "cluster",
+        help="run or re-shape a sharded fleet of sketch servers "
+             "(repro.cluster): answers stay bit-equal to one offline "
+             "sketch by §3.2 linearity",
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command",
+                                         required=True)
+
+    cluster_serve = cluster_sub.add_parser(
+        "serve",
+        help="launch N shard servers on free ports, write the cluster "
+             "spec, and supervise until SIGTERM",
+    )
+    cluster_serve.add_argument("--shards", type=int, default=2,
+                               help="fleet size (default 2)")
+    cluster_serve.add_argument("--host", default="127.0.0.1",
+                               help="bind address for every shard "
+                                    "(default 127.0.0.1)")
+    cluster_serve.add_argument(
+        "--table", action="append", default=[],
+        metavar="NAME[:KIND[:key=val,...]]",
+        help="table every shard serves (repeatable; same syntax as "
+             "serve --table; window tables cannot be sharded)",
+    )
+    cluster_serve.add_argument(
+        "--spec-out", metavar="PATH", default="cluster.json",
+        help="where to write the cluster spec JSON that `repro query "
+             "--cluster` reads (default ./cluster.json)",
+    )
+    cluster_serve.add_argument(
+        "--checkpoint-dir", metavar="ROOT", default=None,
+        help="persist the fleet under ROOT (manifest pins the shard "
+             "count and table specs; shard i resumes from "
+             "ROOT/shard-00i)",
+    )
+    cluster_serve.add_argument("--checkpoint-every", metavar="N",
+                               type=int, default=None,
+                               help="with --checkpoint-dir: snapshot a "
+                                    "table after N applied records")
+    cluster_serve.add_argument("--checkpoint-every-seconds", metavar="T",
+                               type=float, default=None,
+                               help="with --checkpoint-dir: snapshot a "
+                                    "table after T seconds")
+    cluster_serve.add_argument("--queue-capacity", type=int, default=256,
+                               help="per-shard pending ingest batches "
+                                    "(default 256)")
+    cluster_serve.add_argument("--max-batch", type=int, default=64,
+                               help="per-shard ingest coalescing limit "
+                                    "(default 64)")
+    cluster_serve.set_defaults(handler=_cmd_cluster_serve)
+
+    cluster_rebalance = cluster_sub.add_parser(
+        "rebalance",
+        help="re-shape a cluster checkpoint to a new shard count by "
+             "exact snapshot re-merge (offline; fleet must be stopped)",
+    )
+    cluster_rebalance.add_argument("--src", required=True, metavar="ROOT",
+                                   help="existing cluster checkpoint "
+                                        "root")
+    cluster_rebalance.add_argument("--out", required=True, metavar="ROOT",
+                                   help="fresh destination checkpoint "
+                                        "root")
+    cluster_rebalance.add_argument("--shards", type=int, required=True,
+                                   help="the new fleet size")
+    cluster_rebalance.set_defaults(handler=_cmd_cluster_rebalance)
 
     return parser
 

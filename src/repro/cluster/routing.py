@@ -1,0 +1,122 @@
+"""Consistent-hash routing over pre-encoded 64-bit key images.
+
+The cluster routes every record by *jump consistent hash* (Lamport &
+Lemire, "A Fast, Minimal Memory, Consistent Hash Algorithm") applied to
+the same ``encode_key`` u64 image the sketches hash — routing and
+sketching share one encoding pass, and a record's shard is a pure
+function of ``(key, n_shards)``.  Jump hash needs no ring state, and
+growing ``n_shards`` from ``n`` to ``n+1`` moves only ``1/(n+1)`` of
+the keyspace — the property rebalancing relies on.
+
+Exactness note: *where* a record lands never affects *what* the cluster
+answers.  §3.2 linearity means the sum of the shard sketches equals the
+single sketch over the whole stream for **any** partition; consistent
+hashing only minimises snapshot movement when the fleet resizes.
+
+Both a scalar and a vectorized implementation are provided; they agree
+bit-for-bit (a property test enforces it), so the coordinator can route
+whole ingest batches as one NumPy pass.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.hashing.vectorized import encode_keys
+
+if TYPE_CHECKING:
+    from collections.abc import Hashable, Iterable
+
+__all__ = ["MAX_SHARDS", "jump_hash", "jump_hash_array", "partition_keys"]
+
+_MASK64 = (1 << 64) - 1
+_MULTIPLIER = 2862933555777941757
+
+#: Upper bound on the fleet size.  Far above any realistic deployment,
+#: and small enough that the float64 arithmetic in the vectorized
+#: implementation stays exact (``(b + 1) · 2^31 < 2^53``).
+MAX_SHARDS = 1 << 20
+
+
+def _check_shards(n_shards: int) -> None:
+    if not isinstance(n_shards, int) or isinstance(n_shards, bool):
+        raise TypeError("n_shards must be an integer")
+    if n_shards < 1:
+        raise ValueError("n_shards must be at least 1")
+    if n_shards > MAX_SHARDS:
+        raise ValueError(f"n_shards must be at most {MAX_SHARDS}")
+
+
+def jump_hash(key: int, n_shards: int) -> int:
+    """The shard index in ``[0, n_shards)`` for one u64 key image.
+
+    Args:
+        key: a pre-encoded :func:`repro.hashing.encode.encode_key`
+            image (any int is wrapped mod ``2**64`` first).
+        n_shards: the fleet size.
+    """
+    _check_shards(n_shards)
+    key &= _MASK64
+    b, j = -1, 0
+    while j < n_shards:
+        b = j
+        key = (key * _MULTIPLIER + 1) & _MASK64
+        j = int(float(b + 1) * float(1 << 31) / float((key >> 33) + 1))
+    return b
+
+
+def jump_hash_array(
+    keys: Iterable[Hashable] | np.ndarray, n_shards: int
+) -> np.ndarray:
+    """Vectorized :func:`jump_hash`: one int64 shard index per key.
+
+    Accepts a pre-encoded uint64 array (the fast path the coordinator
+    uses) or any iterable of items, which is encoded first.  Agrees
+    bit-for-bit with the scalar implementation.
+    """
+    _check_shards(n_shards)
+    if isinstance(keys, np.ndarray) and keys.dtype == np.uint64:
+        state = keys.copy()
+    else:
+        state = encode_keys(keys).copy()
+    b = np.full(state.shape, -1, dtype=np.int64)
+    j = np.zeros(state.shape, dtype=np.int64)
+    if n_shards == 1:
+        return np.zeros(state.shape, dtype=np.int64)
+    active = np.ones(state.shape, dtype=bool)
+    multiplier = np.uint64(_MULTIPLIER)
+    one = np.uint64(1)
+    shift = np.uint64(33)
+    while True:
+        b[active] = j[active]
+        state[active] = state[active] * multiplier + one
+        # (b+1)·2^31 and (key>>33)+1 are both < 2^53, so the float64
+        # quotient truncates exactly like the scalar int() path.
+        j[active] = (
+            (b[active] + 1).astype(np.float64)
+            * np.float64(1 << 31)
+            / ((state[active] >> shift).astype(np.float64) + 1.0)
+        ).astype(np.int64)
+        active = j < n_shards
+        if not bool(active.any()):
+            return b
+
+
+def partition_keys(
+    keys: np.ndarray, n_shards: int
+) -> list[np.ndarray]:
+    """Index arrays grouping ``keys`` by shard, order-preserving.
+
+    Returns one int64 position array per shard; ``keys[result[s]]`` are
+    the keys routed to shard ``s``, in their original batch order (so
+    per-shard application order matches arrival order — order matters
+    for ``topk`` admission even though it never matters for linear
+    sketches).
+    """
+    shards = jump_hash_array(keys, n_shards)
+    return [
+        np.flatnonzero(shards == shard).astype(np.int64)
+        for shard in range(n_shards)
+    ]

@@ -287,6 +287,24 @@ class CountSketch:
             for row in range(self._depth)
         ]
 
+    def row_values(self, item: Hashable) -> list[int]:
+        """Return the per-row *signed counter readouts* for ``item`` as ints.
+
+        ``row_values(q)[i]`` is exactly ``counters[i][h_i(q)] · s_i(q)`` —
+        the integer whose median (over rows) is :meth:`estimate`.  Exposed
+        for distributed scatter-gather: by §3.2 linearity the readouts of
+        sharded sketches *sum* to the readouts of their merge, so a
+        coordinator can add per-shard row values and take one median,
+        bit-equal to querying the merged sketch.
+        """
+        key = encode_key(item)
+        buckets, signs = self._positions(key)
+        counters = self._counters
+        return [
+            int(counters[row, buckets[row]]) * signs[row]
+            for row in range(self._depth)
+        ]
+
     def estimate_mean(self, item: Hashable) -> float:
         """Estimate using the *mean* combiner §3.1 warns against.
 

@@ -182,6 +182,30 @@ class VectorizedCountSketch:
         key = np.asarray([encode_key(item)], dtype=np.uint64)
         return float(self.estimate_batch(key)[0])
 
+    def row_values_batch(
+        self, items: Iterable[Hashable] | np.ndarray
+    ) -> np.ndarray:
+        """Per-row signed counter readouts as an ``(depth, n)`` int64 array.
+
+        Column ``j`` holds ``counters[i][h_i(q_j)] · s_i(q_j)`` for each
+        row ``i`` — the integers :meth:`estimate_batch` takes the
+        column-median of (after a float64 cast).  By §3.2 linearity the
+        readouts of sharded sketches sum, elementwise, to the readouts of
+        their merge, which is what makes distributed scatter-gather
+        estimates bit-equal to a single merged sketch.
+        """
+        if isinstance(items, np.ndarray) and items.dtype == np.uint64:
+            keys = items
+        else:
+            keys = encode_keys(items)
+        rows = np.empty((self.depth, keys.size), dtype=np.int64)
+        for row in range(self.depth):
+            buckets = self._hashes.buckets(keys, row)
+            rows[row] = (
+                self._counters[row, buckets] * self._hashes.signs(keys, row)
+            )
+        return rows
+
     def estimate_f2(self) -> float:
         """AMS-style second-moment estimate (median of row sums of squares)."""
         row_sums = (self._counters.astype(np.float64) ** 2).sum(axis=1)

@@ -26,6 +26,7 @@ from repro.service.client import (
     InProcessTransport,
     OverloadedError,
     ServiceClient,
+    ServiceConnectionError,
     ServiceError,
     TcpTransport,
 )
@@ -67,6 +68,7 @@ __all__ = [
     "InProcessTransport",
     "OverloadedError",
     "ServiceClient",
+    "ServiceConnectionError",
     "ServiceError",
     "ServiceTable",
     "SketchServer",

@@ -76,6 +76,7 @@ __all__ = [
     "InProcessTransport",
     "OverloadedError",
     "ServiceClient",
+    "ServiceConnectionError",
     "ServiceError",
     "TcpTransport",
     "WIRE_MODES",
@@ -106,6 +107,20 @@ class OverloadedError(ServiceError):
     """The table's ingest queue was full; the batch was not enqueued."""
 
 
+class ServiceConnectionError(ServiceError):
+    """The connection failed to open, or was lost mid-session.
+
+    Raised instead of raw ``ConnectionRefusedError`` / ``BrokenPipeError``
+    tracebacks (and instead of the wire codec's truncation errors) so
+    callers can catch one typed exception for every transport failure.
+    Subclasses :class:`ServiceError`, so existing ``except ServiceError``
+    handlers already cover it.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__("connection", message)
+
+
 def _raise_for_error(response: dict[str, Any]) -> dict[str, Any]:
     if response.get("ok"):
         return response
@@ -127,8 +142,7 @@ def _checked_response(
 ) -> dict[str, Any]:
     """Validate that the transport handed back one JSON response."""
     if response is None:
-        raise ServiceError(
-            "internal",
+        raise ServiceConnectionError(
             "server closed the connection before responding",
         )
     if not isinstance(response, dict):
@@ -150,8 +164,37 @@ class TcpTransport:
 
     @classmethod
     async def connect(cls, host: str, port: int) -> TcpTransport:
-        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+        except OSError as error:
+            raise ServiceConnectionError(
+                f"cannot connect to {host}:{port}: {error}"
+            ) from error
         return cls(reader, writer)
+
+    async def _send(self, frame: bytes) -> None:
+        try:
+            self._writer.write(frame)
+            await self._writer.drain()
+        except OSError as error:
+            raise ServiceConnectionError(
+                f"connection lost while sending: {error}"
+            ) from error
+
+    async def _receive(self) -> dict[str, Any]:
+        try:
+            response = await read_frame(self._reader)
+        except WireProtocolError as error:
+            if isinstance(error.__cause__, asyncio.IncompleteReadError):
+                raise ServiceConnectionError(
+                    f"connection lost mid-response: {error}"
+                ) from error
+            raise
+        except OSError as error:
+            raise ServiceConnectionError(
+                f"connection lost while reading: {error}"
+            ) from error
+        return _checked_response(response)
 
     async def request(self, message: dict[str, Any]) -> dict[str, Any]:
         """Send one framed request and await its framed response."""
@@ -160,10 +203,8 @@ class TcpTransport:
     async def request_bytes(self, frame: bytes) -> dict[str, Any]:
         """Send one pre-packed frame and await its response."""
         async with self._lock:
-            self._writer.write(frame)
-            await self._writer.drain()
-            response = await read_frame(self._reader)
-        return _checked_response(response)
+            await self._send(frame)
+            return await self._receive()
 
     async def request_stream(
         self, frames: Sequence[bytes], *, window: int = _DEFAULT_WINDOW
@@ -185,22 +226,20 @@ class TcpTransport:
             async def send_all() -> None:
                 for frame in frames:
                     await in_flight.acquire()
-                    self._writer.write(frame)
-                    await self._writer.drain()
+                    await self._send(frame)
 
             sender = asyncio.get_running_loop().create_task(send_all())
             try:
                 for _ in range(len(frames)):
-                    responses.append(
-                        _checked_response(await read_frame(self._reader)))
+                    responses.append(await self._receive())
                     in_flight.release()
             finally:
                 if not sender.done():
                     sender.cancel()
                 try:
                     await sender
-                except (asyncio.CancelledError, ConnectionResetError,
-                        BrokenPipeError, OSError):
+                except (asyncio.CancelledError, ServiceConnectionError,
+                        OSError):
                     pass
         return responses
 
@@ -587,6 +626,25 @@ class AsyncServiceClient:
         )
         return [float(value) for value in response["estimates"]]
 
+    async def estimate_rows(
+        self, table: str, items: Sequence[Hashable]
+    ) -> list[list[int]]:
+        """Per-row signed counter readouts for ``items``, one
+        depth-length list of ints per item.
+
+        The raw integers whose per-row median is :meth:`estimate` —
+        exposed for distributed scatter-gather: by §3.2 linearity the
+        readouts of sharded sketches sum to the readouts of their merge,
+        so a coordinator can add them across shards and take one median,
+        bit-equal to a single merged sketch.  Linear-sketch tables only
+        (``sketch``, ``vectorized``, ``topk``).
+        """
+        response = await self._call(
+            "estimate_rows", table=table,
+            keys=[encode_wire_key(item) for item in items],
+        )
+        return [[int(value) for value in row] for row in response["rows"]]
+
     async def topk(
         self, table: str, k: int | None = None
     ) -> list[tuple[Hashable, float]]:
@@ -704,6 +762,13 @@ class ServiceClient:
     def estimate(self, table: str, items: Sequence[Hashable]) -> list[float]:
         """Frequency estimates over the acknowledged prefix."""
         return list(self._run(self._client.estimate(table, list(items))))
+
+    def estimate_rows(
+        self, table: str, items: Sequence[Hashable]
+    ) -> list[list[int]]:
+        """Per-row signed counter readouts (see the async docstring)."""
+        return list(self._run(self._client.estimate_rows(table,
+                                                         list(items))))
 
     def topk(self, table: str,
              k: int | None = None) -> list[tuple[Hashable, float]]:

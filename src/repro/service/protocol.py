@@ -133,6 +133,7 @@ OPS = frozenset({
     "create_table",
     "drop_table",
     "estimate",
+    "estimate_rows",
     "ingest",
     "metrics",
     "ping",

@@ -46,6 +46,9 @@ from repro.service.protocol import (
     read_frame,
     write_frame,
 )
+from repro.core.countsketch import CountSketch
+from repro.core.topk import TopKTracker
+from repro.core.vectorized import VectorizedCountSketch
 from repro.service.tables import ServiceTable, TableOverloadedError, TableSpec
 from repro.store.checkpoint import CheckpointManager, CheckpointMismatchError
 from repro.store.format import SNAPSHOT_SUFFIX, StoreError, atomic_write_bytes
@@ -539,6 +542,8 @@ class SketchServer:
             return await self._op_ingest(message)
         if op == "estimate":
             return await self._op_estimate(message)
+        if op == "estimate_rows":
+            return await self._op_estimate_rows(message)
         if op == "topk":
             return await self._op_topk(message)
         if op == "stats":
@@ -720,6 +725,32 @@ class SketchServer:
         await table.wait_applied()
         estimates = [float(table.summary.estimate(item)) for item in items]
         return ok_response(request_id, estimates=estimates)
+
+    async def _op_estimate_rows(
+        self, message: dict[str, Any]
+    ) -> dict[str, Any]:
+        request_id = message.get("id")
+        table = self._require_table(message)
+        keys = message.get("keys")
+        if not isinstance(keys, list):
+            raise _BadRequest("'keys' must be a list of wire-encoded keys")
+        items = [decode_wire_key(key) for key in keys]
+        await table.wait_applied()
+        summary = table.summary
+        sketch = summary.sketch if isinstance(summary, TopKTracker) else summary
+        rows: list[list[int]]
+        if isinstance(sketch, VectorizedCountSketch):
+            rows = [[int(v) for v in column]
+                    for column in sketch.row_values_batch(items).T]
+        elif isinstance(sketch, CountSketch):
+            rows = [sketch.row_values(item) for item in items]
+        else:
+            raise _BadRequest(
+                f"table {table.spec.name!r} is {table.spec.kind!r}; "
+                "'estimate_rows' requires a linear sketch table "
+                "(sketch, vectorized, or topk)"
+            )
+        return ok_response(request_id, rows=rows)
 
     async def _op_topk(self, message: dict[str, Any]) -> dict[str, Any]:
         request_id = message.get("id")

@@ -345,10 +345,15 @@ class ShardCheckpointStore:
                 for key in set(existing) | set(params)
                 if existing.get(key) != params.get(key)
             )
+            detail = "; ".join(
+                f"{key}: manifest records {existing.get(key)!r}, "
+                f"this run wants {params.get(key)!r}"
+                for key in differing
+            )
             raise CheckpointMismatchError(
                 f"checkpoint directory {self._directory} was written with "
-                f"different parameters (mismatched: {', '.join(differing)}); "
-                "resume with the original settings or use a fresh directory"
+                f"different parameters ({detail}); resume with the "
+                "original settings or use a fresh directory"
             )
 
     def shard_path(self, index: int) -> Path:

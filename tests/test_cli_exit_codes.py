@@ -97,6 +97,18 @@ USAGE = [
     pytest.param(["query"], id="query-missing-verb"),
     pytest.param(["query", "explode"], id="query-bad-verb"),
     pytest.param(["query", "create"], id="query-create-missing-table"),
+    pytest.param(["cluster"], id="cluster-missing-verb"),
+    pytest.param(["cluster", "serve"], id="cluster-serve-no-table"),
+    pytest.param(["cluster", "serve", "--table", "q", "--shards", "0"],
+                 id="cluster-serve-bad-shards"),
+    pytest.param(["cluster", "serve",
+                  "--table", "w:window:window=32,buckets=4"],
+                 id="cluster-serve-window-table"),
+    pytest.param(["cluster", "serve", "--table", "q",
+                  "--checkpoint-every", "5"],
+                 id="cluster-serve-trigger-without-dir"),
+    pytest.param(["cluster", "rebalance", "--src", "a", "--out", "b"],
+                 id="cluster-rebalance-missing-shards"),
 ]
 
 DATA = [
@@ -111,6 +123,11 @@ DATA = [
                   "--items", "apple"], id="store-diff-wrong-type"),
     pytest.param(["query", "ping", "--port", "1", "--timeout", "5"],
                  id="query-connection-refused"),
+    pytest.param(["query", "ping", "--cluster", "{missing}"],
+                 id="query-missing-cluster-spec"),
+    pytest.param(["cluster", "rebalance", "--src", "{missing}",
+                  "--out", "{out}.d", "--shards", "2"],
+                 id="cluster-rebalance-no-manifest"),
 ]
 
 
@@ -139,3 +156,11 @@ class TestExitCodes:
         captured = capsys.readouterr()
         assert code == EXIT_USAGE
         assert "--checkpoint-dir" in captured.err
+
+    def test_connection_refused_is_one_documented_line(self, capsys):
+        code = main(["query", "ping", "--port", "1", "--timeout", "5"])
+        captured = capsys.readouterr()
+        assert code == EXIT_DATA
+        assert "Traceback" not in captured.err
+        assert captured.err.strip().count("\n") == 0
+        assert "cannot connect" in captured.err

@@ -1,0 +1,98 @@
+"""Property: the cluster is indistinguishable from one offline sketch.
+
+Hypothesis drives arbitrary streams, fleet sizes, and table kinds and
+asserts **bit-equality** between coordinator answers and a single
+offline summary fed the same records — the §3.2 linearity acceptance
+bar.  Covered mid-stream (under the read-your-acknowledged-writes
+barrier of ``wait=True``) and across a kill-and-resume of one shard
+from its checkpoint.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.service.server import SketchServer
+from repro.service.tables import TableSpec
+
+ITEM = st.sampled_from([f"item-{i}" for i in range(20)])
+STREAMS = st.lists(ITEM, min_size=0, max_size=120)
+PROBES = [f"item-{i}" for i in range(20)] + ["never-seen"]
+
+
+def spec_for(kind: str) -> TableSpec:
+    return TableSpec("t", kind=kind, depth=4, width=64, seed=5, k=25)
+
+
+class TestClusterMatchesOfflineSketch:
+    @given(
+        items=STREAMS,
+        n_shards=st.integers(min_value=1, max_value=3),
+        kind=st.sampled_from(["sketch", "vectorized", "topk"]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_estimate_and_topk_mid_stream(self, items, n_shards, kind):
+        async def go():
+            spec = spec_for(kind)
+            servers = [SketchServer([spec]) for _ in range(n_shards)]
+            cluster = ClusterCoordinator.in_process(servers)
+            offline = spec.build()
+            sketch = getattr(offline, "sketch", offline)
+            chunk = 40
+            for start in range(0, len(items), chunk):
+                batch = items[start:start + chunk]
+                # wait=True is the cluster-wide read barrier: the next
+                # query must see exactly these acknowledged records.
+                await cluster.ingest_items(spec.name, batch, wait=True)
+                for item in batch:
+                    offline.update(item, 1)
+                live = await cluster.estimate(spec.name, PROBES)
+                assert live == [float(sketch.estimate(p)) for p in PROBES]
+            if kind == "topk" and items:
+                # k=25 >= 20 distinct items: every shard tracks its whole
+                # key subset, so the union re-score must reproduce the
+                # offline sketch's ranking of the full key set.
+                expected = sorted(
+                    ((q, float(sketch.estimate(q))) for q in set(items)),
+                    key=lambda pair: (-pair[1], repr(pair[0])),
+                )
+                assert await cluster.topk(spec.name) == expected[:25]
+            for server in servers:
+                await server.stop()
+
+        asyncio.run(go())
+
+    @given(items=STREAMS, seed=st.integers(min_value=0, max_value=3))
+    @settings(max_examples=10, deadline=None)
+    def test_kill_and_resume_one_shard(self, items, seed, tmp_path_factory):
+        split = len(items) // 2
+
+        async def go():
+            root = tmp_path_factory.mktemp("cluster-resume")
+            spec = TableSpec("t", kind="sketch", depth=4, width=64,
+                             seed=seed)
+            dirs = [root / "shard-000", root / "shard-001"]
+            servers = [SketchServer([spec], checkpoint_dir=d)
+                       for d in dirs]
+            cluster = ClusterCoordinator.in_process(servers)
+            await cluster.ingest_items(spec.name, items[:split], wait=True)
+            await cluster.checkpoint()
+
+            # Kill shard 1 and resume it from its checkpoint directory.
+            await servers[1].stop()
+            servers[1] = SketchServer([spec], checkpoint_dir=dirs[1])
+            cluster = ClusterCoordinator.in_process(servers)
+
+            await cluster.ingest_items(spec.name, items[split:], wait=True)
+            offline = spec.build()
+            offline.extend(items)
+            live = await cluster.estimate(spec.name, PROBES)
+            assert live == [float(offline.estimate(p)) for p in PROBES]
+            for server in servers:
+                await server.stop()
+
+        asyncio.run(go())

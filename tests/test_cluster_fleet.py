@@ -1,0 +1,218 @@
+"""Fleet plumbing: spec files, pinned manifests, exact rebalancing.
+
+The operationally dangerous path is resuming or re-shaping a fleet:
+a silent shard-count change would route keys to shards holding the
+wrong counters.  These tests pin the refusal messages and prove the
+sanctioned path — offline snapshot re-merge — is bit-exact, including
+shards that never checkpointed (their absence is an empty sketch).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster.fleet import (
+    MERGEABLE_KINDS,
+    merge_shard_summaries,
+    pin_cluster_manifest,
+    read_cluster_spec,
+    rebalance_cluster,
+    shard_directory,
+    write_cluster_spec,
+)
+from repro.core.countsketch import CountSketch
+from repro.core.vectorized import VectorizedCountSketch
+from repro.service.tables import TableSpec
+from repro.store import CheckpointMismatchError, StoreError, load, save
+from repro.store.codec import load_with_meta
+
+SKETCH_SPEC = TableSpec("flows", kind="sketch", depth=4, width=128, seed=9)
+VEC_SPEC = TableSpec("fast", kind="vectorized", depth=4, width=128, seed=9)
+TOPK_SPEC = TableSpec("hot", kind="topk", depth=4, width=64, seed=3, k=5)
+
+
+class TestClusterSpecFile:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "cluster.json"
+        endpoints = [("127.0.0.1", 9431), ("10.0.0.2", 9432)]
+        write_cluster_spec(path, endpoints, [SKETCH_SPEC, TOPK_SPEC])
+        spec = read_cluster_spec(path)
+        assert spec.n_shards == 2
+        assert spec.endpoints == endpoints
+        assert [t.name for t in spec.tables] == ["flows", "hot"]
+        assert spec.tables[0].to_dict() == SKETCH_SPEC.to_dict()
+
+    def test_missing_file_names_the_fix(self, tmp_path):
+        with pytest.raises(StoreError, match="repro cluster serve"):
+            read_cluster_spec(tmp_path / "nope.json")
+
+    def test_malformed_json_refused(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(StoreError, match="not a valid cluster spec"):
+            read_cluster_spec(path)
+
+    def test_wrong_version_or_no_shards_refused(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99, "shards": []}),
+                        encoding="utf-8")
+        with pytest.raises(StoreError, match="version-1"):
+            read_cluster_spec(path)
+
+    def test_bad_shard_entry_refused(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps({"version": 1, "shards": [{"host": "x"}]}),
+            encoding="utf-8")
+        with pytest.raises(StoreError, match="'host' and 'port'"):
+            read_cluster_spec(path)
+
+    def test_invalid_pinned_table_spec_refused(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "version": 1,
+            "shards": [{"host": "x", "port": 1}],
+            "tables": [{"name": "t", "kind": "bogus"}],
+        }), encoding="utf-8")
+        with pytest.raises(StoreError, match="invalid table spec"):
+            read_cluster_spec(path)
+
+
+class TestPinClusterManifest:
+    def test_pin_then_verify_is_idempotent(self, tmp_path):
+        pin_cluster_manifest(tmp_path, n_shards=2, specs=[SKETCH_SPEC])
+        pin_cluster_manifest(tmp_path, n_shards=2, specs=[SKETCH_SPEC])
+
+    def test_different_shard_count_refused_actionably(self, tmp_path):
+        pin_cluster_manifest(tmp_path, n_shards=2, specs=[SKETCH_SPEC])
+        with pytest.raises(CheckpointMismatchError) as excinfo:
+            pin_cluster_manifest(tmp_path, n_shards=3, specs=[SKETCH_SPEC])
+        message = str(excinfo.value)
+        assert "2-shard fleet" in message
+        assert "wants 3 shards" in message
+        assert "--shards 2" in message
+        assert "repro cluster rebalance" in message
+
+    def test_different_table_specs_refused(self, tmp_path):
+        pin_cluster_manifest(tmp_path, n_shards=2, specs=[SKETCH_SPEC])
+        changed = TableSpec("flows", kind="sketch", depth=4, width=256,
+                            seed=9)
+        with pytest.raises(CheckpointMismatchError):
+            pin_cluster_manifest(tmp_path, n_shards=2, specs=[changed])
+
+    def test_shard_directory_layout(self, tmp_path):
+        assert shard_directory(tmp_path, 0).name == "shard-000"
+        assert shard_directory(tmp_path, 12).name == "shard-012"
+        with pytest.raises(ValueError):
+            shard_directory(tmp_path, -1)
+
+
+class TestMergeShardSummaries:
+    def test_zero_summaries_is_the_empty_sketch(self):
+        merged = merge_shard_summaries(SKETCH_SPEC, [])
+        assert isinstance(merged, CountSketch)
+        assert merged.total_weight == 0
+        assert merged.estimate("anything") == 0.0
+
+    def test_one_summary_is_unchanged(self):
+        one = SKETCH_SPEC.build()
+        one.extend(["a", "b", "a"])
+        merged = merge_shard_summaries(SKETCH_SPEC, [one])
+        assert merged == one
+
+    def test_many_summaries_sum_exactly(self):
+        items = [f"k{i % 11}" for i in range(300)]
+        offline = SKETCH_SPEC.build()
+        offline.extend(items)
+        shards = [SKETCH_SPEC.build() for _ in range(3)]
+        for index, item in enumerate(items):
+            shards[index % 3].update(item)
+        merged = merge_shard_summaries(SKETCH_SPEC, shards)
+        assert merged == offline
+
+    def test_vectorized_kind_merges_too(self):
+        shard = VEC_SPEC.build()
+        shard.update_batch(["x", "y", "x"])
+        merged = merge_shard_summaries(VEC_SPEC, [shard, VEC_SPEC.build()])
+        assert isinstance(merged, VectorizedCountSketch)
+        assert merged.estimate("x") == shard.estimate("x")
+
+    def test_non_linear_kinds_refused(self):
+        assert "topk" not in MERGEABLE_KINDS
+        with pytest.raises(StoreError, match="insert-ordered"):
+            merge_shard_summaries(TOPK_SPEC, [])
+
+    def test_mismatched_summary_type_refused(self):
+        with pytest.raises(StoreError, match="expected the spec's"):
+            merge_shard_summaries(SKETCH_SPEC, [VEC_SPEC.build()])
+
+
+def seed_cluster_checkpoint(root, spec, n_shards, items,
+                            skip_shards=()):
+    """Write a hand-rolled cluster checkpoint: shard i gets items[i::n]."""
+    pin_cluster_manifest(root, n_shards=n_shards, specs=[spec])
+    for shard in range(n_shards):
+        if shard in skip_shards:
+            continue
+        summary = spec.build()
+        routed = items[shard::n_shards]
+        summary.extend(routed)
+        target = shard_directory(root, shard) / f"{spec.name}.rcs"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        save(summary, target, meta={"items_consumed": len(routed)})
+
+
+class TestRebalance:
+    ITEMS = [f"key-{i % 17}" for i in range(400)]
+
+    def test_merged_answers_are_bit_equal(self, tmp_path):
+        src, dst = tmp_path / "src", tmp_path / "dst"
+        seed_cluster_checkpoint(src, SKETCH_SPEC, 3, self.ITEMS)
+        counts = rebalance_cluster(src, dst, 5)
+        assert counts == {"flows": 3}
+
+        offline = SKETCH_SPEC.build()
+        offline.extend(self.ITEMS)
+        merged, meta = load_with_meta(
+            shard_directory(dst, 0) / "flows.rcs")
+        assert merged == offline
+        assert meta["items_consumed"] == len(self.ITEMS)
+        # The other shards exist but start empty; the manifest pins the
+        # new fleet size so `cluster serve --shards 5` resumes cleanly.
+        for index in range(5):
+            assert shard_directory(dst, index).is_dir()
+        pin_cluster_manifest(dst, n_shards=5, specs=[SKETCH_SPEC])
+
+    def test_missing_shard_snapshots_mean_empty(self, tmp_path):
+        src, dst = tmp_path / "src", tmp_path / "dst"
+        seed_cluster_checkpoint(src, SKETCH_SPEC, 3, self.ITEMS,
+                                skip_shards=(1,))
+        counts = rebalance_cluster(src, dst, 2)
+        assert counts == {"flows": 2}
+        expected = SKETCH_SPEC.build()
+        for shard in (0, 2):
+            expected.extend(self.ITEMS[shard::3])
+        assert load(shard_directory(dst, 0) / "flows.rcs") == expected
+
+    def test_source_without_manifest_refused(self, tmp_path):
+        with pytest.raises(StoreError, match="no cluster manifest"):
+            rebalance_cluster(tmp_path / "void", tmp_path / "dst", 2)
+
+    def test_occupied_destination_refused(self, tmp_path):
+        src, dst = tmp_path / "src", tmp_path / "dst"
+        seed_cluster_checkpoint(src, SKETCH_SPEC, 2, self.ITEMS)
+        pin_cluster_manifest(dst, n_shards=4, specs=[SKETCH_SPEC])
+        with pytest.raises(StoreError, match="already holds"):
+            rebalance_cluster(src, dst, 3)
+
+    def test_topk_tables_refused(self, tmp_path):
+        src = tmp_path / "src"
+        pin_cluster_manifest(src, n_shards=2, specs=[TOPK_SPEC])
+        with pytest.raises(StoreError, match="cannot be\n?.*rebalanced"):
+            rebalance_cluster(src, tmp_path / "dst", 3)
+
+    def test_bad_new_shard_count_refused(self, tmp_path):
+        with pytest.raises(ValueError):
+            rebalance_cluster(tmp_path / "src", tmp_path / "dst", 0)

@@ -1,0 +1,117 @@
+"""Jump-hash routing: scalar/vector parity, stability, minimal movement.
+
+The coordinator's exactness never depends on *where* a record lands
+(§3.2 linearity holds for any partition), but operational properties
+do: the scalar and vectorized implementations must agree bit-for-bit,
+routing must be a pure function of ``(key, n_shards)``, and growing the
+fleet must move only ``1/(n+1)`` of the keyspace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.routing import (
+    MAX_SHARDS,
+    jump_hash,
+    jump_hash_array,
+    partition_keys,
+)
+from repro.hashing.encode import encode_key
+from repro.hashing.vectorized import encode_keys
+
+U64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestScalar:
+    def test_in_range_and_deterministic(self):
+        rng = np.random.default_rng(7)
+        keys = rng.integers(0, 1 << 63, size=200, dtype=np.uint64)
+        for n in (1, 2, 3, 8, 100):
+            for key in keys:
+                shard = jump_hash(int(key), n)
+                assert 0 <= shard < n
+                assert shard == jump_hash(int(key), n)
+
+    def test_single_shard_gets_everything(self):
+        assert all(jump_hash(key, 1) == 0 for key in range(1000))
+
+    @given(key=U64, n=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=200, deadline=None)
+    def test_minimal_movement_growing_by_one(self, key, n):
+        before = jump_hash(key, n)
+        after = jump_hash(key, n + 1)
+        # Jump hash's defining property: a key either stays put or moves
+        # to the newly added shard -- never between existing shards.
+        assert after == before or after == n
+
+    def test_negative_and_wide_ints_wrap_mod_2_64(self):
+        for raw in (-1, -12345, 1 << 80, (1 << 64) + 17):
+            wrapped = raw & ((1 << 64) - 1)
+            assert jump_hash(raw, 7) == jump_hash(wrapped, 7)
+
+    def test_rejects_bad_shard_counts(self):
+        with pytest.raises(ValueError):
+            jump_hash(1, 0)
+        with pytest.raises(ValueError):
+            jump_hash(1, MAX_SHARDS + 1)
+        with pytest.raises(TypeError):
+            jump_hash(1, True)
+        with pytest.raises(TypeError):
+            jump_hash(1, 2.0)
+
+    def test_distribution_is_roughly_uniform(self):
+        rng = np.random.default_rng(11)
+        keys = rng.integers(0, 1 << 64, size=20_000, dtype=np.uint64)
+        n = 8
+        counts = np.bincount(jump_hash_array(keys, n), minlength=n)
+        expected = len(keys) / n
+        assert counts.min() > expected * 0.85
+        assert counts.max() < expected * 1.15
+
+
+class TestVectorParity:
+    @given(
+        keys=st.lists(U64, min_size=0, max_size=64),
+        n=st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_bit_equal_to_scalar(self, keys, n):
+        array = np.array(keys, dtype=np.uint64)
+        vector = jump_hash_array(array, n)
+        assert vector.dtype == np.int64
+        assert vector.tolist() == [jump_hash(k, n) for k in keys]
+
+    def test_accepts_plain_items_via_encode_keys(self):
+        items = [f"item-{i}" for i in range(100)]
+        from_items = jump_hash_array(items, 5)
+        from_keys = jump_hash_array(encode_keys(items), 5)
+        assert from_items.tolist() == from_keys.tolist()
+        assert from_items.tolist() == [
+            jump_hash(encode_key(item), 5) for item in items
+        ]
+
+    def test_does_not_mutate_the_input_key_array(self):
+        keys = np.arange(64, dtype=np.uint64)
+        copy = keys.copy()
+        jump_hash_array(keys, 9)
+        assert np.array_equal(keys, copy)
+
+
+class TestPartitionKeys:
+    def test_covers_every_position_exactly_once_in_order(self):
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 1 << 64, size=500, dtype=np.uint64)
+        for n in (1, 2, 5):
+            parts = partition_keys(keys, n)
+            assert len(parts) == n
+            for shard, positions in enumerate(parts):
+                assert np.all(np.diff(positions) > 0) or positions.size <= 1
+                assert all(
+                    jump_hash(int(keys[p]), n) == shard for p in positions
+                )
+            everything = np.concatenate(parts)
+            assert sorted(everything.tolist()) == list(range(len(keys)))

@@ -1,0 +1,159 @@
+"""End-to-end smoke: ``repro cluster serve`` + ``repro query --cluster``.
+
+The CI ``cluster-smoke`` target: a real coordinator-supervised fleet of
+two shard processes, driven only through the public CLI — launch,
+ingest, query, scrape, SIGTERM drain, resume from the pinned
+checkpoints, and refuse a silent shard-count change.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import EXIT_DATA, main
+from repro.streams.io import write_stream_text
+
+REPO_ROOT = Path(__file__).parent.parent
+
+TABLES = [
+    "--table", "flows:vectorized:depth=4,width=256,seed=7",
+    "--table", "hot:topk:k=5,depth=4,width=256,seed=5",
+]
+
+STREAM = (["deep learning"] * 12 + ["sketch"] * 8 + ["stream"] * 5
+          + ["rare query"])
+
+
+def launch_cluster(spec_path, checkpoint_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "cluster", "serve",
+            "--shards", "2", *TABLES,
+            "--spec-out", str(spec_path),
+            "--checkpoint-dir", str(checkpoint_dir),
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    assert proc.stdout is not None
+    deadline = time.monotonic() + 60
+    ready = 0
+    while time.monotonic() < deadline and ready < 2:
+        line = proc.stdout.readline()
+        if not line and proc.poll() is not None:
+            raise AssertionError(
+                f"cluster exited early with code {proc.returncode}")
+        if line.startswith("shard ") and "serving on" in line:
+            ready += 1
+    if ready < 2:
+        proc.kill()
+        raise AssertionError("fleet did not report both shards in time")
+    return proc
+
+
+def drain(proc):
+    proc.send_signal(signal.SIGTERM)
+    out, _ = proc.communicate(timeout=60)
+    return out
+
+
+@pytest.fixture()
+def cluster_paths(tmp_path):
+    return tmp_path / "cluster.json", tmp_path / "ckpt"
+
+
+def query(spec_path, verb, *argv):
+    return main(["query", verb, "--cluster", str(spec_path),
+                 "--timeout", "30", *argv])
+
+
+class TestClusterSmoke:
+    def test_serve_ingest_query_drain_resume(self, cluster_paths,
+                                             tmp_path, capsys):
+        spec_path, checkpoint_dir = cluster_paths
+        stream_file = tmp_path / "stream.txt"
+        write_stream_text(stream_file, STREAM)
+
+        proc = launch_cluster(spec_path, checkpoint_dir)
+        try:
+            assert query(spec_path, "ping") == 0
+            out = capsys.readouterr().out
+            assert out.count('"ok": true') == 2
+
+            for table in ("flows", "hot"):
+                assert query(spec_path, "ingest", "--table", table,
+                             "--input", str(stream_file)) == 0
+                out = capsys.readouterr().out
+                assert f"ingested {len(STREAM)} records" in out
+
+            assert query(spec_path, "estimate", "--table", "flows",
+                         "deep learning", "absent") == 0
+            out = capsys.readouterr().out
+            assert "12.000" in out
+
+            assert query(spec_path, "topk", "--table", "hot") == 0
+            out = capsys.readouterr().out
+            assert "deep learning" in out and "12" in out
+
+            assert query(spec_path, "stats", "--table", "flows") == 0
+            out = capsys.readouterr().out
+            assert '"n_shards": 2' in out
+
+            assert query(spec_path, "metrics") == 0
+            out = capsys.readouterr().out
+            assert "# shard 0" in out and "# shard 1" in out
+
+            assert query(spec_path, "checkpoint") == 0
+            capsys.readouterr()
+        finally:
+            out = drain(proc)
+        assert proc.returncode == 0, out
+        assert "graceful stop complete" in out
+        assert (checkpoint_dir / "manifest.json").exists()
+        for shard in ("shard-000", "shard-001"):
+            assert (checkpoint_dir / shard / "flows.rcs").exists()
+
+        # Resume the fleet from the pinned checkpoints: answers survive.
+        proc = launch_cluster(spec_path, checkpoint_dir)
+        try:
+            assert query(spec_path, "estimate", "--table", "flows",
+                         "deep learning", "sketch") == 0
+            out = capsys.readouterr().out
+            assert "12.000" in out and "8.000" in out
+        finally:
+            out = drain(proc)
+        assert proc.returncode == 0, out
+
+        # A different --shards against the same checkpoints is refused
+        # loudly (exit 2) instead of silently mis-routing keys.
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        refused = subprocess.run(
+            [
+                sys.executable, "-m", "repro.cli", "cluster", "serve",
+                "--shards", "3", *TABLES,
+                "--spec-out", str(spec_path),
+                "--checkpoint-dir", str(checkpoint_dir),
+            ],
+            cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+            timeout=60,
+        )
+        assert refused.returncode == EXIT_DATA
+        assert "2-shard fleet" in refused.stderr
+        assert "repro cluster rebalance" in refused.stderr

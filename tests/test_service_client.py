@@ -14,7 +14,11 @@ import threading
 
 import pytest
 
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import (
+    ServiceClient,
+    ServiceConnectionError,
+    ServiceError,
+)
 from repro.service.server import SketchServer
 from repro.service.tables import TableSpec
 
@@ -50,7 +54,7 @@ class ServerThread:
             try:
                 with ServiceClient(self.host, self.port, timeout=5) as c:
                     c.shutdown()
-            except OSError:
+            except (OSError, ServiceError):
                 pass  # stopped between the liveness check and the connect
             self._thread.join(10)
 
@@ -137,6 +141,19 @@ class TestSyncClientOverTcp:
                 for client in clients:
                     client.close()
 
-    def test_connection_refused_raises_oserror(self):
-        with pytest.raises(OSError):
+    def test_connection_refused_raises_typed_error(self):
+        with pytest.raises(ServiceConnectionError, match="cannot connect"):
             ServiceClient("127.0.0.1", 1, timeout=2)
+
+    def test_mid_session_loss_raises_typed_error(self):
+        box = ServerThread([SPEC])
+        with box:
+            client = ServiceClient(box.host, box.port, timeout=10)
+            try:
+                client.ingest_items("queries", ["a"], wait=True)
+                client.shutdown()
+                assert box.join(10), "server thread did not exit"
+                with pytest.raises(ServiceConnectionError):
+                    client.estimate("queries", ["a"])
+            finally:
+                client.close()
