@@ -960,6 +960,26 @@ def _cmd_cluster_rebalance(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.lint import main as lint_main
+
+    argv: list[str] = []
+    if args.list_rules:
+        argv.append("--list-rules")
+    if args.format != "human":
+        argv += ["--format", args.format]
+    if args.select is not None:
+        argv += ["--select", args.select]
+    if args.ignore is not None:
+        argv += ["--ignore", args.ignore]
+    if args.baseline is not None:
+        argv += ["--baseline", args.baseline]
+    if args.include_fixtures:
+        argv.append("--include-fixtures")
+    argv += list(args.paths)
+    return lint_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = _Parser(
@@ -1293,6 +1313,32 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_rebalance.add_argument("--shards", type=int, required=True,
                                    help="the new fleet size")
     cluster_rebalance.set_defaults(handler=_cmd_cluster_rebalance)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the repo's AST + dataflow rule suite (RS001-RS012); "
+             "exits 0 clean, 1 findings, 2 on a syntax error or bad "
+             "--select/--ignore/--baseline argument",
+    )
+    lint.add_argument("paths", nargs="*", default=[],
+                      help="files or directories to lint "
+                           "(default: src tests)")
+    lint.add_argument("--format", choices=("human", "json"),
+                      default="human",
+                      help="output format (default: human)")
+    lint.add_argument("--select", metavar="RULES", default=None,
+                      help="only report these rules; comma-separated "
+                           "codes and ranges (e.g. RS009-RS012)")
+    lint.add_argument("--ignore", metavar="RULES", default=None,
+                      help="drop these rules; same syntax as --select")
+    lint.add_argument("--baseline", metavar="FILE", default=None,
+                      help="allowlist of known findings — the "
+                           "--format json output of a previous run")
+    lint.add_argument("--include-fixtures", action="store_true",
+                      help="also lint files under fixtures/ directories")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
+    lint.set_defaults(handler=_cmd_lint)
 
     return parser
 

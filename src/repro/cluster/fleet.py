@@ -445,7 +445,17 @@ def launch_fleet(
                 text=True,
                 env=env,
             )
-            bound_host, bound_port = _await_serving_line(process, index)
+            try:
+                bound_host, bound_port = _await_serving_line(process, index)
+            except BaseException:
+                # Not yet in ``shards``, so the outer cleanup cannot see
+                # this shard: kill and reap it here or the subprocess
+                # (and its stdout pipe) outlives the failed launch.
+                process.kill()
+                process.wait()
+                if process.stdout is not None:
+                    process.stdout.close()
+                raise
             shards.append(
                 ShardProcess(index, process, bound_host, bound_port))
     except BaseException:

@@ -3,14 +3,17 @@
 The paper's guarantees (Lemmas 1-5) rest on invariants the runtime cannot
 check: sketches may only be merged when they share hash functions (§3.2
 linearity), counters must stay integral, and experiments must be
-reproducible.  :mod:`repro.devtools.lint` encodes those invariants as an
-AST lint suite (rules ``RS001``-``RS005``) that CI runs over ``src`` and
-``tests``::
+reproducible.  :mod:`repro.devtools.lint` encodes those invariants as a
+lint suite CI runs over ``src`` and ``tests``: syntactic AST rules
+(``RS001``-``RS008``) plus dataflow rules (``RS009``-``RS012``) built on
+the per-function CFG and fixpoint framework in
+:mod:`repro.devtools.flow`::
 
     python -m repro.devtools.lint src tests
 
-See ``docs/devtools.md`` for the rule catalogue, bad/good examples, and
-the ``# repro: noqa-RSxxx`` suppression syntax.
+See ``docs/devtools.md`` for the rule catalogue, bad/good examples, the
+``--select`` / ``--ignore`` / ``--baseline`` flags, and the
+``# repro: noqa-RSxxx`` suppression syntax.
 """
 
 from typing import Any

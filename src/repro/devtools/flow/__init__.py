@@ -1,0 +1,33 @@
+"""Dataflow-aware lint rules (RS009-RS012) for the service/cluster tier.
+
+This subpackage adds control-flow- and dataflow-sensitive analyses on
+top of the single-node AST rules in :mod:`repro.devtools.lint`:
+
+* :mod:`.cfg` — per-function statement-level control-flow graphs
+  (branches, loops, ``try``/``except``/``finally``, ``async with`` /
+  ``async for``, await points);
+* :mod:`.dataflow` — a forward may-analysis fixpoint engine (gen/kill
+  over variable facts, union join, deterministic worklist);
+* :mod:`.rules` — the four flow rules: RS009 await-point races on
+  shared sketch state, RS010 float/NumPy dtype taint reaching count
+  sinks, RS011 resource leaks on exceptional paths, and RS012 raises
+  outside the closed wire-error vocabulary.
+
+The rules are invoked through ``python -m repro.devtools.lint`` (or
+``repro lint``); they share that CLI's suppression, selection, and
+output machinery.
+"""
+
+from .cfg import CFG, FlowNode, build_cfg, iter_function_cfgs
+from .dataflow import ForwardAnalysis
+from .rules import FLOW_RULE_CODES, run_flow_rules
+
+__all__ = [
+    "CFG",
+    "FLOW_RULE_CODES",
+    "FlowNode",
+    "ForwardAnalysis",
+    "build_cfg",
+    "iter_function_cfgs",
+    "run_flow_rules",
+]

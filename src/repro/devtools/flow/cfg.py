@@ -1,0 +1,474 @@
+"""Per-function control-flow graphs for the dataflow lint rules.
+
+The graph is statement-level: every simple statement is one node, and
+every compound statement contributes a *header* node (the expressions
+evaluated before its body runs — an ``if``/``while`` test, a ``for``
+iterable, ``with`` context items) plus the nodes of its body.  Two
+synthetic nodes bracket the function: ``entry`` (index 0) and the
+single ``exit`` (index 1) that every ``return``, ``raise``, and
+fall-off path reaches.
+
+Edges are either *normal* (the statement completed) or *exceptional*
+(the statement raised).  Exceptional edges from a statement go to the
+innermost enclosing ``try``'s handler headers and ``finally`` entry,
+or — outside any ``try`` — straight to ``exit``, modelling the
+exception escaping the function.  A ``finally`` block's exit carries an
+extra exceptional edge to the enclosing ``finally`` (or ``exit``) for
+the re-raise continuation.
+
+The graph over-approximates feasible paths in a few documented ways,
+all safe for the may-analyses built on it (extra paths can only add
+facts, never hide them):
+
+* loop headers always have an edge past the loop, even for
+  ``while True``;
+* ``break``/``continue`` jump directly to their targets instead of
+  threading through intervening ``finally`` blocks;
+* a ``finally`` exit's normal and re-raise continuations are both
+  present regardless of how the block was entered.
+
+And it *under*-approximates in one: an exception inside a ``try``
+body edges only to that ``try``'s own handlers/``finally``, so a
+handler whose type does not match is modelled by the handler *header*'s
+own exceptional edge to the next level out.
+
+Suspension points are annotated rather than split into edges:
+:attr:`FlowNode.is_async_point` marks ``async for`` / ``async with``
+headers (which await implicitly), and explicit ``await`` expressions
+are found by walking :meth:`FlowNode.local_exprs`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+__all__ = [
+    "CFG",
+    "Edge",
+    "FlowNode",
+    "build_cfg",
+    "iter_function_cfgs",
+]
+
+
+class Edge(NamedTuple):
+    """One directed CFG edge: the target node and how control got there."""
+
+    target: int
+    exceptional: bool
+
+
+@dataclass
+class FlowNode:
+    """One CFG node: a statement (or compound-statement header).
+
+    ``stmt`` is ``None`` for the synthetic ``entry``/``exit`` nodes and
+    holds the AST statement otherwise (for a compound statement, the
+    node represents only its header — the body statements get their own
+    nodes).  ``async_with_depth`` counts the enclosing ``async with``
+    blocks (used by the await-race rule to recognize lock-held
+    regions); ``is_async_point`` marks headers that suspend implicitly.
+    """
+
+    index: int
+    label: str
+    stmt: ast.stmt | ast.excepthandler | None = None
+    async_with_depth: int = 0
+    is_async_point: bool = False
+
+    def local_exprs(self) -> list[ast.AST]:
+        """The AST evaluated *at this node* (header expressions only).
+
+        For a simple statement this is the statement itself; for a
+        compound statement only the parts executed before the body
+        (tests, iterables, context items), since body statements are
+        separate nodes.  Nested function/class definitions contribute
+        nothing — their bodies run elsewhere.
+        """
+        stmt = self.stmt
+        if stmt is None:
+            return []
+        if isinstance(stmt, (ast.If, ast.While)):
+            return [stmt.test]
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return [stmt.target, stmt.iter]
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            exprs: list[ast.AST] = []
+            for item in stmt.items:
+                exprs.append(item.context_expr)
+                if item.optional_vars is not None:
+                    exprs.append(item.optional_vars)
+            return exprs
+        if isinstance(stmt, ast.excepthandler):
+            return [] if stmt.type is None else [stmt.type]
+        if isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            return []
+        if isinstance(stmt, ast.Return):
+            return [] if stmt.value is None else [stmt.value]
+        if isinstance(stmt, ast.Raise):
+            exprs = []
+            if stmt.exc is not None:
+                exprs.append(stmt.exc)
+            if stmt.cause is not None:
+                exprs.append(stmt.cause)
+            return exprs
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return list(stmt.decorator_list)
+        if isinstance(stmt, ast.match_case):  # pragma: no cover - header
+            return [] if stmt.guard is None else [stmt.guard]
+        if isinstance(stmt, ast.Match):
+            return [stmt.subject]
+        return [stmt]
+
+    def walk(self) -> list[ast.AST]:
+        """Every AST node evaluated at this node, recursively."""
+        found: list[ast.AST] = []
+        for root in self.local_exprs():
+            found.extend(ast.walk(root))
+        return found
+
+
+@dataclass
+class CFG:
+    """The control-flow graph of one function body.
+
+    ``nodes[0]`` is the synthetic entry, ``nodes[1]`` the single exit;
+    ``succs[i]`` / ``preds[i]`` list node ``i``'s out/in edges in
+    construction order (deterministic for a given source).
+    """
+
+    func: ast.FunctionDef | ast.AsyncFunctionDef
+    nodes: list[FlowNode] = field(default_factory=list)
+    succs: list[list[Edge]] = field(default_factory=list)
+    preds: list[list[Edge]] = field(default_factory=list)
+
+    ENTRY: int = 0
+    EXIT: int = 1
+
+    def statement_nodes(self) -> list[FlowNode]:
+        """Every non-synthetic node, in construction order."""
+        return [node for node in self.nodes if node.stmt is not None]
+
+    def reachable(self) -> set[int]:
+        """Node indices reachable from the entry (over all edge kinds)."""
+        seen = {self.ENTRY}
+        stack = [self.ENTRY]
+        while stack:
+            index = stack.pop()
+            for edge in self.succs[index]:
+                if edge.target not in seen:
+                    seen.add(edge.target)
+                    stack.append(edge.target)
+        return seen
+
+
+def _is_catch_all(handler: ast.excepthandler) -> bool:
+    """True for handlers that always match: bare ``except``,
+    ``except BaseException``, ``except Exception`` (and tuples or
+    dotted forms naming one of those)."""
+    if handler.type is None:
+        return True
+    candidates: list[ast.expr] = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for candidate in candidates:
+        name: str | None = None
+        if isinstance(candidate, ast.Name):
+            name = candidate.id
+        elif isinstance(candidate, ast.Attribute):
+            name = candidate.attr
+        if name in ("BaseException", "Exception"):
+            return True
+    return False
+
+
+class _Guard(NamedTuple):
+    """One enclosing ``try``: where exceptions raised under it land."""
+
+    targets: tuple[int, ...]
+    finally_entry: int | None
+
+
+#: Statements that evaluate nothing and cannot raise.
+_NO_RAISE = (
+    ast.Pass,
+    ast.Break,
+    ast.Continue,
+    ast.Global,
+    ast.Nonlocal,
+)
+
+
+class _Builder:
+    """Single-use recursive CFG builder for one function body."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self._cfg = CFG(func)
+        self._guards: list[_Guard] = []
+        # (continue_target, break_sources) per enclosing loop.
+        self._loops: list[tuple[int, list[int]]] = []
+        self._async_with_depth = 0
+        self._new("entry", None)
+        self._new("exit", None)
+
+    def build(self) -> CFG:
+        """Build and return the function's CFG."""
+        frontier = self._body(self._cfg.func.body, [CFG.ENTRY])
+        self._connect(frontier, CFG.EXIT)
+        return self._cfg
+
+    # -- graph primitives ---------------------------------------------------
+
+    def _new(
+        self,
+        label: str,
+        stmt: ast.stmt | ast.excepthandler | None,
+        *,
+        is_async_point: bool = False,
+    ) -> int:
+        index = len(self._cfg.nodes)
+        self._cfg.nodes.append(
+            FlowNode(
+                index,
+                label,
+                stmt,
+                async_with_depth=self._async_with_depth,
+                is_async_point=is_async_point,
+            )
+        )
+        self._cfg.succs.append([])
+        self._cfg.preds.append([])
+        return index
+
+    def _edge(self, src: int, dst: int, *, exceptional: bool = False) -> None:
+        edge = Edge(dst, exceptional)
+        if edge not in self._cfg.succs[src]:
+            self._cfg.succs[src].append(edge)
+            self._cfg.preds[dst].append(Edge(src, exceptional))
+
+    def _connect(self, sources: list[int], dst: int) -> None:
+        for src in sources:
+            self._edge(src, dst)
+
+    def _raise_edges(self, index: int) -> None:
+        """Exceptional edges: to the innermost guard, or out of the
+        function."""
+        if self._guards:
+            for target in self._guards[-1].targets:
+                self._edge(index, target, exceptional=True)
+        else:
+            self._edge(index, CFG.EXIT, exceptional=True)
+
+    def _return_target(self) -> int:
+        """Where ``return`` transfers first: the innermost ``finally``."""
+        for guard in reversed(self._guards):
+            if guard.finally_entry is not None:
+                return guard.finally_entry
+        return CFG.EXIT
+
+    # -- statement dispatch -------------------------------------------------
+
+    def _body(self, stmts: list[ast.stmt], frontier: list[int]) -> list[int]:
+        for stmt in stmts:
+            frontier = self._stmt(stmt, frontier)
+        return frontier
+
+    def _stmt(self, stmt: ast.stmt, frontier: list[int]) -> list[int]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier)
+        if isinstance(stmt, (ast.While,)):
+            return self._loop(stmt, frontier)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._loop(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, frontier)
+        if isinstance(stmt, ast.Try) or (
+            hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar)
+        ):
+            return self._try(stmt, frontier)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, frontier)
+        if isinstance(stmt, ast.Return):
+            index = self._new("return", stmt)
+            self._connect(frontier, index)
+            if stmt.value is not None:
+                self._raise_edges(index)
+            self._edge(index, self._return_target())
+            return []
+        if isinstance(stmt, ast.Raise):
+            index = self._new("raise", stmt)
+            self._connect(frontier, index)
+            self._raise_edges(index)
+            return []
+        if isinstance(stmt, ast.Break):
+            index = self._new("break", stmt)
+            self._connect(frontier, index)
+            if self._loops:
+                self._loops[-1][1].append(index)
+            else:  # malformed source: treat as function exit
+                self._edge(index, CFG.EXIT)
+            return []
+        if isinstance(stmt, ast.Continue):
+            index = self._new("continue", stmt)
+            self._connect(frontier, index)
+            if self._loops:
+                self._edge(index, self._loops[-1][0])
+            else:  # malformed source
+                self._edge(index, CFG.EXIT)
+            return []
+        # Simple statement (including nested def/class, whose bodies are
+        # not part of this function's flow).
+        index = self._new(type(stmt).__name__.lower(), stmt)
+        self._connect(frontier, index)
+        if not isinstance(stmt, _NO_RAISE):
+            self._raise_edges(index)
+        return [index]
+
+    # -- compound statements ------------------------------------------------
+
+    def _if(self, stmt: ast.If, frontier: list[int]) -> list[int]:
+        header = self._new("if", stmt)
+        self._connect(frontier, header)
+        self._raise_edges(header)
+        then_frontier = self._body(stmt.body, [header])
+        if stmt.orelse:
+            else_frontier = self._body(stmt.orelse, [header])
+            return then_frontier + else_frontier
+        return then_frontier + [header]
+
+    def _loop(
+        self, stmt: ast.While | ast.For | ast.AsyncFor, frontier: list[int]
+    ) -> list[int]:
+        header = self._new(
+            type(stmt).__name__.lower(),
+            stmt,
+            is_async_point=isinstance(stmt, ast.AsyncFor),
+        )
+        self._connect(frontier, header)
+        self._raise_edges(header)
+        self._loops.append((header, []))
+        body_frontier = self._body(stmt.body, [header])
+        self._connect(body_frontier, header)  # back edge
+        _, breaks = self._loops.pop()
+        after = self._body(stmt.orelse, [header]) if stmt.orelse else [header]
+        return after + breaks
+
+    def _with(
+        self, stmt: ast.With | ast.AsyncWith, frontier: list[int]
+    ) -> list[int]:
+        is_async = isinstance(stmt, ast.AsyncWith)
+        header = self._new(
+            "asyncwith" if is_async else "with", stmt, is_async_point=is_async
+        )
+        self._connect(frontier, header)
+        self._raise_edges(header)
+        if is_async:
+            self._async_with_depth += 1
+        body_frontier = self._body(stmt.body, [header])
+        if is_async:
+            self._async_with_depth -= 1
+        return body_frontier
+
+    def _match(self, stmt: ast.Match, frontier: list[int]) -> list[int]:
+        header = self._new("match", stmt)
+        self._connect(frontier, header)
+        self._raise_edges(header)
+        out: list[int] = [header]  # no case may match
+        for case in stmt.cases:
+            out.extend(self._body(case.body, [header]))
+        return out
+
+    def _try(self, stmt: ast.Try, frontier: list[int]) -> list[int]:
+        finally_entry = (
+            self._new("finally", stmt) if stmt.finalbody else None
+        )
+        handler_heads = [
+            self._new("except", handler) for handler in stmt.handlers
+        ]
+        guard_targets = tuple(
+            handler_heads + ([finally_entry] if finally_entry is not None
+                             else [])
+        )
+        if guard_targets:
+            self._guards.append(_Guard(guard_targets, finally_entry))
+            body_frontier = self._body(stmt.body, frontier)
+            self._guards.pop()
+        else:  # pragma: no cover - ``try`` with neither is a SyntaxError
+            body_frontier = self._body(stmt.body, frontier)
+
+        # Exceptions in the else clause and in handler bodies bypass this
+        # try's handlers but still run its finally.
+        finally_guard: _Guard | None = None
+        if finally_entry is not None:
+            finally_guard = _Guard((finally_entry,), finally_entry)
+
+        if stmt.orelse:
+            if finally_guard is not None:
+                self._guards.append(finally_guard)
+            body_frontier = self._body(stmt.orelse, body_frontier)
+            if finally_guard is not None:
+                self._guards.pop()
+
+        handler_frontiers: list[int] = []
+        for head, handler in zip(handler_heads, stmt.handlers):
+            # A non-matching handler type re-raises outward (through this
+            # try's finally, then the enclosing guard).  Catch-all
+            # handlers always match, so they get no outward edge
+            # (``except Exception`` is treated as catch-all: modelling
+            # the KeyboardInterrupt escape would flag every
+            # conventional cleanup handler).
+            if finally_guard is not None:
+                self._guards.append(finally_guard)
+            if not _is_catch_all(handler):
+                self._raise_edges(head)
+            handler_frontiers.extend(self._body(handler.body, [head]))
+            if finally_guard is not None:
+                self._guards.pop()
+
+        ends = body_frontier + handler_frontiers
+        if finally_entry is None:
+            return ends
+        self._connect(ends, finally_entry)
+        finally_frontier = self._body(stmt.finalbody, [finally_entry])
+        # Re-raise continuation: the finally completed while an exception
+        # (or return) was in flight.
+        self._guards.append(_Guard((), None))  # placeholder, popped below
+        self._guards.pop()
+        for index in finally_frontier:
+            outer = self._outer_propagation_target(finally_entry)
+            self._edge(index, outer, exceptional=True)
+        return finally_frontier
+
+    def _outer_propagation_target(self, own_finally: int) -> int:
+        """Where an in-flight exception goes after this ``finally``."""
+        for guard in reversed(self._guards):
+            if (
+                guard.finally_entry is not None
+                and guard.finally_entry != own_finally
+            ):
+                return guard.finally_entry
+        return CFG.EXIT
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the statement-level CFG of one function definition."""
+    return _Builder(func).build()
+
+
+def iter_function_cfgs(
+    tree: ast.AST,
+) -> list[tuple[ast.FunctionDef | ast.AsyncFunctionDef, CFG]]:
+    """Every function (and method, and nested function) in ``tree`` with
+    its CFG, in source order."""
+    out: list[tuple[ast.FunctionDef | ast.AsyncFunctionDef, CFG]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out.append((node, build_cfg(node)))
+    out.sort(key=lambda pair: (pair[0].lineno, pair[0].col_offset))
+    return out

@@ -1,0 +1,88 @@
+"""A small forward may-dataflow framework over :mod:`.cfg` graphs.
+
+Analyses subclass :class:`ForwardAnalysis` and supply gen/kill-style
+transfer functions over immutable fact sets.  The engine runs a
+worklist fixpoint with union join (a *may* analysis: a fact holds at a
+node if it holds on at least one path reaching it), which is the right
+polarity for every flow rule in this package — races, taint, and leaks
+are all "can this happen on some path" questions.
+
+Normal and exceptional edges carry different out-states: the
+*exceptional* out-state of a statement applies that statement's kills
+but none of its gens.  That asymmetry matters for resource tracking —
+``f = open(p)`` raising means no handle was bound, so the exception
+edge must not carry the "open" fact, while ``f.close()`` raising must
+still count as an attempted close on the path into ``finally``.
+
+Fact sets are ``frozenset`` of analysis-defined hashable facts, and
+the worklist is a deque seeded in node-index order, so the fixpoint
+(and therefore every finding built on it) is deterministic for a given
+source file.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, Hashable, TypeVar
+
+from .cfg import CFG, FlowNode
+
+__all__ = ["ForwardAnalysis"]
+
+F = TypeVar("F", bound=Hashable)
+
+_EMPTY: frozenset[object] = frozenset()
+
+
+class ForwardAnalysis(Generic[F]):
+    """Base class for forward may-analyses over a function CFG.
+
+    Subclasses override :meth:`initial` for the entry fact set,
+    :meth:`transfer` for the normal-completion out-state of a node,
+    and optionally :meth:`transfer_exception` for the out-state on that
+    node's exceptional edges (default: same as normal — override when
+    gens must not survive a raise, as in resource tracking).
+    """
+
+    def initial(self, cfg: CFG) -> frozenset[F]:
+        """Facts holding at function entry (default: none)."""
+        return frozenset()
+
+    def transfer(self, node: FlowNode, facts: frozenset[F]) -> frozenset[F]:
+        """Out-state after ``node`` completes normally."""
+        raise NotImplementedError
+
+    def transfer_exception(
+        self, node: FlowNode, facts: frozenset[F]
+    ) -> frozenset[F]:
+        """Out-state on ``node``'s exceptional edges."""
+        return self.transfer(node, facts)
+
+    def run(self, cfg: CFG) -> list[frozenset[F]]:
+        """Fixpoint: the IN fact set of every node, indexed like
+        ``cfg.nodes``."""
+        n = len(cfg.nodes)
+        in_sets: list[frozenset[F]] = [_EMPTY for _ in range(n)]  # type: ignore[misc]
+        in_sets[CFG.ENTRY] = self.initial(cfg)
+        worklist: deque[int] = deque(range(n))
+        queued = [True] * n
+        while worklist:
+            index = worklist.popleft()
+            queued[index] = False
+            node = cfg.nodes[index]
+            facts = in_sets[index]
+            if index == CFG.ENTRY:
+                out_normal = facts
+                out_exc = facts
+            else:
+                out_normal = self.transfer(node, facts)
+                out_exc = self.transfer_exception(node, facts)
+            for edge in cfg.succs[index]:
+                out = out_exc if edge.exceptional else out_normal
+                merged = in_sets[edge.target] | out
+                if merged != in_sets[edge.target]:
+                    in_sets[edge.target] = merged
+                    if not queued[edge.target]:
+                        worklist.append(edge.target)
+                        queued[edge.target] = True
+        return in_sets

@@ -46,6 +46,29 @@ that no general-purpose linter knows about:
   encoder drifts from the negotiated format silently.  Call the
   ``repro.service.protocol`` codec instead.
 
+Rules RS009-RS012 are dataflow-aware: they run a per-function CFG +
+fixpoint analysis (see :mod:`repro.devtools.flow`) instead of matching
+single AST nodes:
+
+* **RS009 await-point-race** — shared table/sketch state read into a
+  local, an unguarded ``await`` (outside ``async with``, not the
+  ``wait_applied`` read barrier), then the same state written from that
+  stale local.  Another task may have interleaved at the await; the
+  write loses its update.
+* **RS010 dtype-taint** — a value originating from a float literal,
+  division, ``float(...)``, or a NumPy scalar constructor *flows* into
+  a count/weight parameter or snapshot-header field without an
+  ``int(...)`` cast (the dataflow generalization of RS005).
+* **RS011 resource-leak** — a file handle, socket, or subprocess
+  acquired in ``repro.service`` / ``repro.cluster`` / ``repro.store``
+  whose close/stop is not guaranteed on every CFG path (a raise
+  between acquire and release escapes without cleanup; use
+  ``try/finally`` or a context manager).
+* **RS012 open-error-vocabulary** — a ``raise`` inside a service or
+  cluster op handler whose exception type is outside the closed
+  vocabulary the protocol maps to wire error codes; anything else
+  surfaces to clients as an opaque ``internal`` error.
+
 Suppress a finding by appending ``# repro: noqa-RS001`` (comma-separate
 several codes: ``# repro: noqa-RS002,RS004``; bare ``# repro: noqa``
 suppresses every rule) on the finding's first line.
@@ -54,6 +77,10 @@ Run as a module for the CI gate::
 
     python -m repro.devtools.lint src tests
     python -m repro.devtools.lint --format json src tests
+    python -m repro.devtools.lint --select RS009-RS012 src tests
+
+Exit codes: 0 clean, 1 findings, 2 syntax error in a linted file or a
+bad ``--select`` / ``--ignore`` / ``--baseline`` argument.
 """
 
 from __future__ import annotations
@@ -63,12 +90,17 @@ import ast
 import json
 import re
 import sys
+import time
 from collections.abc import Iterator, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from .flow.rules import FLOW_RULE_CODES, run_flow_rules
+
 __all__ = [
+    "FAST_RULE_CODES",
+    "FLOW_RULE_CODES",
     "RULES",
     "Finding",
     "LintResult",
@@ -76,6 +108,7 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "main",
+    "parse_rule_spec",
 ]
 
 
@@ -148,6 +181,45 @@ RULES: tuple[Rule, ...] = (
         "repro.service.protocol codec (pack_binary_ingest / pack_key / "
         "unpack_frame) instead of ad-hoc struct/frombuffer/tobytes",
     ),
+    Rule(
+        "RS009",
+        "await-point-race",
+        "shared sketch/table state read, then written from the stale "
+        "local across an unguarded await point",
+        "re-read the state after the await, or hold the lock "
+        "(async with) / use the wait_applied read barrier across the "
+        "read-modify-write",
+    ),
+    Rule(
+        "RS010",
+        "dtype-taint",
+        "float/NumPy-scalar value flows into a count parameter or "
+        "snapshot-header field without an int(...) cast",
+        "cast with int(...) at the source or the sink; counts and "
+        "header fields are plain Python ints by invariant",
+    ),
+    Rule(
+        "RS011",
+        "resource-leak",
+        "file handle / socket / subprocess not released on every CFG "
+        "path",
+        "acquire inside `with ...:` or close/stop/terminate in a "
+        "`finally:` so exceptional paths release the resource too",
+    ),
+    Rule(
+        "RS012",
+        "open-error-vocabulary",
+        "raise outside the closed wire-error vocabulary inside a "
+        "service/cluster op handler",
+        "raise one of _BadRequest / _NoSuchTable / WireProtocolError / "
+        "FrameTooLargeError / TableOverloadedError so the fault barrier "
+        "maps it to a wire error code",
+    ),
+)
+
+#: Codes handled by the single-pass AST checker (fast stage).
+FAST_RULE_CODES: tuple[str, ...] = tuple(
+    rule.code for rule in RULES if rule.code not in FLOW_RULE_CODES
 )
 
 RULES_BY_CODE: dict[str, Rule] = {rule.code: rule for rule in RULES}
@@ -190,11 +262,18 @@ class Finding:
 
 @dataclass(frozen=True)
 class LintResult:
-    """The outcome of linting a set of paths."""
+    """The outcome of linting a set of paths.
+
+    ``fast_seconds`` / ``flow_seconds`` are the cumulative wall-clock
+    time spent in the single-pass AST stage (RS001-RS008) and the
+    CFG/dataflow stage (RS009-RS012); cache hits contribute nothing.
+    """
 
     findings: tuple[Finding, ...]
     files_checked: int
     suppressed: int
+    fast_seconds: float = field(default=0.0, compare=False)
+    flow_seconds: float = field(default=0.0, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -850,6 +929,78 @@ class _Checker(ast.NodeVisitor):
 # -- running -----------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class _Analysis:
+    """Everything one parse of one module yields: kept findings,
+    suppressed count, and per-stage wall-clock seconds."""
+
+    findings: tuple[Finding, ...]
+    suppressed: int
+    fast_seconds: float
+    flow_seconds: float
+
+
+def _analyze(source: str, path: Path) -> _Analysis:
+    """Parse once, run the fast AST stage and the flow stage, apply
+    ``noqa`` suppression.
+
+    Raises:
+        SyntaxError: when ``source`` does not parse.
+    """
+    tree = ast.parse(source, filename=str(path))
+    started = time.perf_counter()
+    checker = _Checker(path, str(path))
+    checker.visit(tree)
+    findings = list(checker.findings)
+    fast_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    findings.extend(
+        Finding(str(path), line, col, code, message)
+        for line, col, code, message in run_flow_rules(tree, path)
+    )
+    flow_seconds = time.perf_counter() - started
+    suppressions = _noqa_map(source)
+    kept = tuple(
+        finding
+        for finding in findings
+        if not _is_suppressed(finding, suppressions)
+    )
+    return _Analysis(
+        findings=kept,
+        suppressed=len(findings) - len(kept),
+        fast_seconds=fast_seconds,
+        flow_seconds=flow_seconds,
+    )
+
+
+#: Per-process analysis cache: (path, mtime_ns, size) -> analysis.  The
+#: test suite and the CI gate lint the same tree repeatedly (fast stage,
+#: flow stage, determinism runs); one parse + one CFG build per file
+#: version serves them all.
+_ANALYSIS_CACHE: dict[tuple[str, int, int], _Analysis] = {}
+
+
+def _analyze_file(path: Path) -> _Analysis:
+    try:
+        stat = path.stat()
+        key = (str(path), stat.st_mtime_ns, stat.st_size)
+    except OSError:
+        key = None  # type: ignore[assignment]
+    if key is not None:
+        cached = _ANALYSIS_CACHE.get(key)
+        if cached is not None:
+            return _Analysis(
+                findings=cached.findings,
+                suppressed=cached.suppressed,
+                fast_seconds=0.0,
+                flow_seconds=0.0,
+            )
+    analysis = _analyze(path.read_text(encoding="utf-8"), path)
+    if key is not None:
+        _ANALYSIS_CACHE[key] = analysis
+    return analysis
+
+
 def lint_source(
     source: str, path: str | Path = "<string>"
 ) -> list[Finding]:
@@ -858,28 +1009,7 @@ def lint_source(
     Raises:
         SyntaxError: when ``source`` does not parse.
     """
-    path = Path(path)
-    tree = ast.parse(source, filename=str(path))
-    checker = _Checker(path, str(path))
-    checker.visit(tree)
-    suppressions = _noqa_map(source)
-    return [
-        finding
-        for finding in checker.findings
-        if not _is_suppressed(finding, suppressions)
-    ]
-
-
-def _count_suppressed(source: str, path: Path) -> int:
-    tree = ast.parse(source, filename=str(path))
-    checker = _Checker(path, str(path))
-    checker.visit(tree)
-    suppressions = _noqa_map(source)
-    return sum(
-        1
-        for finding in checker.findings
-        if _is_suppressed(finding, suppressions)
-    )
+    return list(_analyze(source, Path(path)).findings)
 
 
 def _iter_python_files(
@@ -907,26 +1037,117 @@ def _iter_python_files(
 
 
 def lint_paths(
-    paths: Sequence[str | Path], include_fixtures: bool = False
+    paths: Sequence[str | Path],
+    include_fixtures: bool = False,
+    select: frozenset[str] | None = None,
+    ignore: frozenset[str] = frozenset(),
 ) -> LintResult:
     """Lint every ``.py`` file under ``paths`` (files or directories).
 
     Directory walks skip ``__pycache__`` and (unless ``include_fixtures``)
     any ``fixtures`` directory — lint fixtures are data, not code.
-    Explicit file arguments are always linted.
+    Explicit file arguments are always linted.  ``select`` restricts
+    output to the given rule codes (``None`` = all rules); ``ignore``
+    drops codes after selection.  Filtering happens on the analysis
+    output, so repeated calls with different selections share the
+    per-file cache.
     """
     findings: list[Finding] = []
     files = 0
     suppressed = 0
+    fast_seconds = 0.0
+    flow_seconds = 0.0
     for path in _iter_python_files(paths, include_fixtures):
-        source = path.read_text(encoding="utf-8")
+        analysis = _analyze_file(path)
         files += 1
-        findings.extend(lint_source(source, path))
-        suppressed += _count_suppressed(source, path)
+        findings.extend(analysis.findings)
+        suppressed += analysis.suppressed
+        fast_seconds += analysis.fast_seconds
+        flow_seconds += analysis.flow_seconds
+    if select is not None:
+        findings = [f for f in findings if f.code in select]
+    if ignore:
+        findings = [f for f in findings if f.code not in ignore]
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return LintResult(
-        findings=tuple(findings), files_checked=files, suppressed=suppressed
+        findings=tuple(findings),
+        files_checked=files,
+        suppressed=suppressed,
+        fast_seconds=fast_seconds,
+        flow_seconds=flow_seconds,
     )
+
+
+def parse_rule_spec(spec: str) -> frozenset[str]:
+    """Expand a ``--select`` / ``--ignore`` value into rule codes.
+
+    Accepts comma-separated codes and inclusive ranges:
+    ``"RS005"``, ``"RS001,RS003"``, ``"RS009-RS012"``, or a mix.
+
+    Raises:
+        ValueError: on malformed items or unknown rule codes.
+    """
+    codes: set[str] = set()
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        match = re.fullmatch(r"(RS\d{3})(?:-(RS\d{3}))?", item)
+        if match is None:
+            raise ValueError(f"malformed rule spec item: {item!r}")
+        low, high = match.group(1), match.group(2) or match.group(1)
+        expanded = {
+            f"RS{number:03d}"
+            for number in range(int(low[2:]), int(high[2:]) + 1)
+        }
+        unknown = expanded - RULES_BY_CODE.keys()
+        if unknown:
+            raise ValueError(
+                f"unknown rule code(s): {', '.join(sorted(unknown))}"
+            )
+        codes |= expanded
+    if not codes:
+        raise ValueError(f"empty rule spec: {spec!r}")
+    return frozenset(codes)
+
+
+def _load_baseline(path: Path) -> set[tuple[str, str, str]]:
+    """Load a ``--baseline`` allowlist: ``(path, code, message)`` keys.
+
+    The file is the ``--format json`` output (or just its ``findings``
+    array); line/column drift is deliberately ignored so a baseline
+    survives unrelated edits.
+
+    Raises:
+        ValueError: when the file is not valid baseline JSON.
+    """
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ValueError(f"baseline {path}: invalid JSON: {error}") from error
+    entries = payload.get("findings") if isinstance(payload, dict) else payload
+    if not isinstance(entries, list):
+        raise ValueError(
+            f"baseline {path}: expected a findings array or a "
+            f"--format json document"
+        )
+    baseline: set[tuple[str, str, str]] = set()
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise ValueError(f"baseline {path}: non-object entry: {entry!r}")
+        try:
+            baseline.add(
+                (
+                    str(entry["path"]),
+                    str(entry["code"]),
+                    str(entry["message"]),
+                )
+            )
+        except KeyError as error:
+            raise ValueError(
+                f"baseline {path}: entry missing key {error}"
+            ) from error
+    return baseline
 
 
 def _format_rules() -> str:
@@ -938,10 +1159,16 @@ def _format_rules() -> str:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code (0 clean, 1 findings)."""
+    """CLI entry point.
+
+    Returns a process exit code: 0 clean, 1 findings, 2 syntax error in
+    a linted file or a bad ``--select`` / ``--ignore`` / ``--baseline``
+    argument.
+    """
     parser = argparse.ArgumentParser(
         prog="python -m repro.devtools.lint",
-        description="repo-specific AST lint suite (rules RS001-RS008)",
+        description="repo-specific AST + dataflow lint suite "
+        "(rules RS001-RS012)",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src", "tests"],
@@ -959,6 +1186,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--select", metavar="RULES", default=None,
+        help="only report these rules; comma-separated codes and ranges "
+        "(e.g. RS005 or RS009-RS012)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="RULES", default=None,
+        help="drop these rules from the report; same syntax as --select",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", type=Path, default=None,
+        help="allowlist of known findings to ignore — the --format json "
+        "output of a previous run (matched on path/code/message)",
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -966,10 +1207,44 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     try:
-        result = lint_paths(args.paths, include_fixtures=args.include_fixtures)
+        select = (
+            parse_rule_spec(args.select) if args.select is not None else None
+        )
+        ignore = (
+            parse_rule_spec(args.ignore)
+            if args.ignore is not None
+            else frozenset()
+        )
+        baseline = (
+            _load_baseline(args.baseline)
+            if args.baseline is not None
+            else None
+        )
+    except (ValueError, OSError) as error:
+        print(f"repro-lint: {error}", file=sys.stderr)
+        return 2
+
+    try:
+        result = lint_paths(
+            args.paths,
+            include_fixtures=args.include_fixtures,
+            select=select,
+            ignore=ignore,
+        )
     except SyntaxError as error:
         print(f"repro-lint: syntax error: {error}", file=sys.stderr)
         return 2
+
+    findings = list(result.findings)
+    baselined = 0
+    if baseline is not None:
+        kept = [
+            finding
+            for finding in findings
+            if (finding.path, finding.code, finding.message) not in baseline
+        ]
+        baselined = len(findings) - len(kept)
+        findings = kept
 
     if args.format == "json":
         print(
@@ -978,21 +1253,23 @@ def main(argv: Sequence[str] | None = None) -> int:
                     "version": 1,
                     "files_checked": result.files_checked,
                     "suppressed": result.suppressed,
-                    "findings": [f.to_dict() for f in result.findings],
+                    "baselined": baselined,
+                    "findings": [f.to_dict() for f in findings],
                 },
                 indent=2,
             )
         )
     else:
-        for finding in result.findings:
+        for finding in findings:
             print(finding.format_human())
-        print(
-            f"repro-lint: {len(result.findings)} finding(s), "
-            f"{result.suppressed} suppressed, "
-            f"{result.files_checked} file(s) checked",
-            file=sys.stderr,
-        )
-    return 0 if result.ok else 1
+    print(
+        f"repro-lint: {len(findings)} finding(s), "
+        f"{result.suppressed} suppressed, {baselined} baselined, "
+        f"{result.files_checked} file(s) checked "
+        f"[fast {result.fast_seconds:.2f}s, flow {result.flow_seconds:.2f}s]",
+        file=sys.stderr,
+    )
+    return 0 if not findings else 1
 
 
 if __name__ == "__main__":

@@ -1,0 +1,35 @@
+"""Clean counterparts for RS009: awaits guarded or reads fresh.
+
+Linted under a synthetic ``src/repro/service/`` display path.  Each
+function keeps a read-modify-write cycle safe the way the server does:
+hold the lock across it, cross only the ``wait_applied`` read barrier,
+or re-read after the await.
+"""
+
+import asyncio
+
+
+class ShardTable:
+    """Async table whose read-modify-write cycles stay race-free."""
+
+    async def bump_locked(self, key):
+        async with self._lock:
+            current = self._counters[key]
+            await asyncio.sleep(0)
+            self._counters[key] = current + 1  # lock held across await
+
+    async def bump_after_await(self, key):
+        await asyncio.sleep(0)
+        current = self._counters[key]  # read after the await: fresh
+        self._counters[key] = current + 1
+
+    async def bump_behind_barrier(self, key, seq):
+        current = self._counters[key]
+        await self.wait_applied(seq)  # read barrier, not a yield to peers
+        self._counters[key] = current + 1
+
+    async def independent_write(self, key):
+        before = self._counters[key]
+        await asyncio.sleep(0)
+        self._counters[key] = 0  # write does not use the stale read
+        return before

@@ -1,0 +1,33 @@
+"""True positives for RS010: dtype taint flowing into count sinks.
+
+Linted under a synthetic ``src/`` display path.  Unlike RS005 (which
+flags float *literals* at the sink), every tainted value here flows
+through at least one assignment before reaching a count parameter or
+snapshot-header field.
+"""
+
+import numpy as np
+
+
+def flowing_division(sketch, total, n):
+    weight = total / n
+    sketch.update("item", weight)  # RS010: division result, no int()
+
+
+def numpy_scalar(sketch):
+    count = np.int64(3)
+    sketch.update("item", count)  # RS010: np.int64 promotes the array
+
+
+def keyword_count(sketch, raw):
+    scaled = raw * 1.5
+    sketch.update("item", count=scaled)  # RS010: float-tainted keyword
+
+
+def header_field(summary):
+    seen = float(summary.items)
+    return {"items_seen": seen}  # RS010: header field must stay int
+
+
+def header_store(header, remainder):
+    header["total_weight"] = remainder / 2  # RS010: division into header

@@ -1,0 +1,36 @@
+"""Clean counterparts for RS010: casts applied or values already int.
+
+Linted under a synthetic ``src/`` display path.  An ``int(...)`` cast
+at the source or the sink sanitizes the flow; integer arithmetic never
+taints in the first place.
+"""
+
+
+def cast_at_sink(sketch, total, n):
+    weight = total / n
+    sketch.update("item", int(weight))
+
+
+def cast_at_source(sketch, total, n):
+    weight = int(total / n)
+    sketch.update("item", weight)
+
+
+def reassigned_clean(sketch, total, n):
+    weight = total / n
+    weight = int(weight)
+    sketch.update("item", weight)
+
+
+def integer_arithmetic(sketch, counts):
+    total = 0
+    for count in counts:
+        total += count
+    sketch.update("item", total)
+
+
+def header_cast(summary):
+    return {
+        "total_weight": int(summary.weight),
+        "items_seen": summary.items,
+    }

@@ -1,0 +1,40 @@
+"""True positives for RS011: resources leaked on some CFG path.
+
+Linted under a synthetic ``src/repro/service/`` display path — the rule
+patrols the tiers that acquire OS resources.  Every function here has
+at least one path (usually the exceptional one) out of the function on
+which the resource is still open.
+"""
+
+import socket
+import subprocess
+
+
+def close_after_risky_read(path):
+    handle = open(path, "rb")  # RS011: read() may raise before close()
+    data = handle.read()
+    handle.close()
+    return data
+
+
+def socket_roundtrip(host, port):
+    sock = socket.create_connection((host, port))  # RS011: sendall/recv
+    sock.sendall(b"ping")
+    reply = sock.recv(64)
+    sock.close()
+    return reply
+
+
+def closed_on_one_branch_only(path, strict):
+    handle = open(path, "rb")  # RS011: the non-strict branch leaks
+    if strict:
+        handle.close()
+    return None
+
+
+def early_return_skips_close(command, dry_run):
+    process = subprocess.Popen(command)  # RS011: dry_run path leaks
+    if dry_run:
+        return 0
+    process.terminate()
+    return process.wait()

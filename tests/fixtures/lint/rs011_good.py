@@ -1,0 +1,58 @@
+"""Clean counterparts for RS011: release guaranteed or ownership moved.
+
+Linted under a synthetic ``src/repro/service/`` display path.  Context
+managers and ``try/finally`` guarantee release on every path; handing
+the resource to a longer-lived owner (a container, a wrapper object,
+the caller) ends this function's responsibility for it.
+"""
+
+import socket
+import subprocess
+
+
+class ShardHandle:
+    """Wrapper that takes ownership of the process it is given."""
+
+    def __init__(self, process):
+        self.process = process
+
+
+def with_block(path):
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def try_finally(host, port):
+    sock = socket.create_connection((host, port))
+    try:
+        sock.sendall(b"ping")
+        return sock.recv(64)
+    finally:
+        sock.close()
+
+
+def ownership_to_container(command, registry):
+    process = subprocess.Popen(command)
+    registry.append(process)
+    return None
+
+
+def ownership_to_wrapper(command):
+    process = subprocess.Popen(command)
+    return ShardHandle(process)
+
+
+def ownership_to_caller(path):
+    handle = open(path, "rb")
+    return handle
+
+
+def cleanup_in_handler(command):
+    process = subprocess.Popen(command)
+    try:
+        process.communicate(timeout=5)
+    except Exception:
+        process.kill()
+        process.wait()
+        raise
+    return process.returncode

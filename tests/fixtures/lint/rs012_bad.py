@@ -1,0 +1,24 @@
+"""True positives for RS012: raises outside the wire-error vocabulary.
+
+Linted under a synthetic ``src/repro/service/`` display path.  Each
+``raise`` sits inside an op handler but constructs an exception type
+the protocol's fault barrier cannot map to a wire error code — clients
+would see an opaque ``internal`` error instead of a specific one.
+"""
+
+
+class Server:
+    """Op handlers that raise unmappable exception types."""
+
+    def _op_create_table(self, request):
+        if not request:
+            raise ValueError("empty request")  # RS012: not wire-mapped
+        raise RuntimeError("unreachable op")  # RS012: not wire-mapped
+
+    async def _op_ingest(self, body):
+        if "rows" not in body:
+            raise KeyError("rows")  # RS012: not wire-mapped
+        return body["rows"]
+
+    def _require_table(self, name):
+        raise LookupError(name)  # RS012: not wire-mapped

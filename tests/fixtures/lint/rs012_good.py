@@ -1,0 +1,39 @@
+"""Clean counterparts for RS012: vocabulary raises and re-raises.
+
+Linted under a synthetic ``src/repro/service/`` display path.  Op
+handlers may raise the closed vocabulary the fault barrier maps to
+wire error codes, re-raise caught exceptions, and helper functions
+outside the handler set are not constrained at all.
+"""
+
+
+class _BadRequest(Exception):
+    """Stand-in for the server's wire-mapped request error."""
+
+
+class _NoSuchTable(_BadRequest):
+    """Stand-in for the server's wire-mapped missing-table error."""
+
+
+class Server:
+    """Op handlers that stay inside the wire-error vocabulary."""
+
+    def _op_create_table(self, request):
+        if not request:
+            raise _BadRequest("empty request")
+        return request
+
+    def _require_table(self, name):
+        raise _NoSuchTable(name)
+
+    async def _op_ingest(self, body, pending=None):
+        if pending is not None:
+            raise pending  # re-raising a vetted, bound exception is fine
+        try:
+            return body["rows"]
+        except KeyError:
+            raise  # bare re-raise: the original type propagates
+
+    def audit_helper(self):
+        # Not an op handler: the vocabulary is not enforced here.
+        raise RuntimeError("invariant violated")

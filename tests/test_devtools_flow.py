@@ -1,0 +1,310 @@
+"""Tests for the CFG builder and dataflow engine behind RS009-RS012.
+
+Property tests generate random-but-valid function bodies from a small
+statement grammar (terminators only in block-final position, so every
+generated statement is live) and check the structural invariants the
+flow rules rely on: every statement node reachable from entry, one
+exit that every node can reach, no edges out of exit, deterministic
+construction.  Targeted tests pin the try/finally edge shapes, and a
+determinism test asserts two full runs over ``src/`` emit identical
+JSON.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devtools.flow import build_cfg, iter_function_cfgs
+from repro.devtools.flow.cfg import CFG
+from repro.devtools.lint import _ANALYSIS_CACHE, main
+
+REPO_ROOT = Path(__file__).parent.parent
+
+# -- statement grammar -------------------------------------------------------
+
+_SIMPLE = ("x = 1", "y = x + call()", "call(x, y)", "pass")
+_TERMINATORS = ("return x", "raise ValueError('boom')")
+_MAX_DEPTH = 3
+
+
+def _indent(lines: list[str]) -> list[str]:
+    return ["    " + line for line in lines]
+
+
+@st.composite
+def _block(
+    draw,
+    depth: int = 0,
+    in_loop: bool = False,
+    allow_terminator: bool = True,
+) -> list[str]:
+    """A non-empty list of statement lines forming one valid block.
+
+    Terminators (``return`` / ``raise`` / ``break`` / ``continue``)
+    appear only in block-final position, and blocks whose termination
+    would kill every path past the enclosing compound statement
+    (``else`` branches, ``except`` handlers, ``finally`` bodies) never
+    terminate — so no generated statement is dead code and full
+    reachability must hold.
+    """
+    lines: list[str] = []
+    for _ in range(draw(st.integers(1, 3))):
+        choices = ["simple", "simple"]
+        if depth < _MAX_DEPTH:
+            choices += ["if", "while", "for", "try"]
+        kind = draw(st.sampled_from(choices))
+        if kind == "simple":
+            lines.append(draw(st.sampled_from(_SIMPLE)))
+        elif kind == "if":
+            lines.append("if cond:")
+            lines += _indent(draw(_block(depth + 1, in_loop)))
+            if draw(st.booleans()):
+                lines.append("else:")
+                lines += _indent(
+                    draw(_block(depth + 1, in_loop, False))
+                )
+        elif kind == "while":
+            lines.append("while cond:")
+            lines += _indent(draw(_block(depth + 1, True)))
+        elif kind == "for":
+            lines.append("for item in seq:")
+            lines += _indent(draw(_block(depth + 1, True)))
+        elif kind == "try":
+            lines.append("try:")
+            # Guarantee the body can raise so handler heads are live.
+            lines += _indent(
+                ["x = call()"] + draw(_block(depth + 1, in_loop))
+            )
+            with_handler = draw(st.booleans())
+            if with_handler:
+                lines.append("except ValueError:")
+                lines += _indent(
+                    draw(_block(depth + 1, in_loop, False))
+                )
+            if not with_handler or draw(st.booleans()):
+                lines.append("finally:")
+                lines += _indent(
+                    draw(_block(depth + 1, in_loop, False))
+                )
+    # Optionally terminate the block (always in final position).
+    terminators = list(_TERMINATORS)
+    if in_loop:
+        terminators += ["break", "continue"]
+    if allow_terminator and draw(st.booleans()):
+        lines.append(draw(st.sampled_from(terminators)))
+    return lines
+
+
+@st.composite
+def _function_source(draw) -> str:
+    body = draw(_block())
+    return "\n".join(["def f(x, y, cond, seq, call):"] + _indent(body))
+
+
+def _cfg_of(source: str):
+    tree = ast.parse(source)
+    func = tree.body[0]
+    assert isinstance(func, ast.FunctionDef)
+    return build_cfg(func)
+
+
+# -- property tests ----------------------------------------------------------
+
+
+class TestCFGProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(_function_source())
+    def test_every_statement_reachable(self, source):
+        cfg = _cfg_of(source)
+        reachable = cfg.reachable()
+        unreached = [
+            node
+            for node in cfg.statement_nodes()
+            if node.index not in reachable
+        ]
+        assert not unreached, (source, [n.label for n in unreached])
+
+    @settings(max_examples=200, deadline=None)
+    @given(_function_source())
+    def test_single_exit_reached_from_everywhere(self, source):
+        cfg = _cfg_of(source)
+        exits = [n for n in cfg.nodes if n.label == "exit"]
+        assert len(exits) == 1
+        assert not cfg.succs[CFG.EXIT]
+        # Exit is reachable from every reachable node: walk backwards
+        # from exit over predecessor edges.
+        backwards = {CFG.EXIT}
+        stack = [CFG.EXIT]
+        while stack:
+            for edge in cfg.preds[stack.pop()]:
+                if edge.target not in backwards:
+                    backwards.add(edge.target)
+                    stack.append(edge.target)
+        assert cfg.reachable() <= backwards, source
+
+    @settings(max_examples=200, deadline=None)
+    @given(_function_source())
+    def test_entry_has_no_predecessors(self, source):
+        cfg = _cfg_of(source)
+        assert not cfg.preds[CFG.ENTRY]
+
+    @settings(max_examples=100, deadline=None)
+    @given(_function_source())
+    def test_construction_deterministic(self, source):
+        first = _cfg_of(source)
+        second = _cfg_of(source)
+        assert first.succs == second.succs
+        assert first.preds == second.preds
+        assert [n.label for n in first.nodes] == [
+            n.label for n in second.nodes
+        ]
+
+
+# -- targeted edge-shape tests -----------------------------------------------
+
+
+TRY_FINALLY = """
+def f(path, handle=None):
+    handle = acquire(path)
+    try:
+        data = handle.read()
+    finally:
+        handle.close()
+    return data
+"""
+
+
+class TestTryFinallyEdges:
+    def _nodes_by_label(self, cfg):
+        by_label = {}
+        for node in cfg.nodes:
+            by_label.setdefault(node.label, []).append(node)
+        return by_label
+
+    def test_body_exception_routes_through_finally(self):
+        cfg = _cfg_of(TRY_FINALLY)
+        by_label = self._nodes_by_label(cfg)
+        (finally_head,) = by_label["finally"]
+        read_stmt = by_label["assign"][1]  # data = handle.read()
+        exceptional = [
+            edge.target
+            for edge in cfg.succs[read_stmt.index]
+            if edge.exceptional
+        ]
+        assert exceptional == [finally_head.index]
+
+    def test_finally_exit_has_reraise_edge(self):
+        cfg = _cfg_of(TRY_FINALLY)
+        by_label = self._nodes_by_label(cfg)
+        close_stmt = by_label["expr"][-1]  # handle.close()
+        targets = {
+            (edge.target, edge.exceptional)
+            for edge in cfg.succs[close_stmt.index]
+        }
+        # Normal continuation to the return, re-raise continuation to
+        # exit (an in-flight exception resumes after the finally runs).
+        (return_stmt,) = by_label["return"]
+        assert (return_stmt.index, False) in targets
+        assert (CFG.EXIT, True) in targets
+
+    def test_acquire_exception_bypasses_finally(self):
+        # The acquire happens before the try: its exception must NOT
+        # route through the finally (the handle was never bound).
+        cfg = _cfg_of(TRY_FINALLY)
+        by_label = self._nodes_by_label(cfg)
+        acquire_stmt = by_label["assign"][0]
+        exceptional = [
+            edge.target
+            for edge in cfg.succs[acquire_stmt.index]
+            if edge.exceptional
+        ]
+        assert exceptional == [CFG.EXIT]
+
+
+class TestAsyncAnnotations:
+    def test_async_with_depth_marks_body(self):
+        source = (
+            "async def f(lock, table, key):\n"
+            "    before = table.get(key)\n"
+            "    async with lock:\n"
+            "        inside = table.get(key)\n"
+            "    after = table.get(key)\n"
+        )
+        tree = ast.parse(source)
+        cfg = build_cfg(tree.body[0])
+        depths = {
+            ast.unparse(node.stmt.targets[0]): node.async_with_depth
+            for node in cfg.statement_nodes()
+            if isinstance(node.stmt, ast.Assign)
+        }
+        assert depths == {"before": 0, "inside": 1, "after": 0}
+
+    def test_async_points_marked(self):
+        source = (
+            "async def f(lock, seq):\n"
+            "    async with lock:\n"
+            "        pass\n"
+            "    async for item in seq:\n"
+            "        pass\n"
+        )
+        tree = ast.parse(source)
+        cfg = build_cfg(tree.body[0])
+        flagged = sorted(
+            node.label for node in cfg.nodes if node.is_async_point
+        )
+        assert flagged == ["asyncfor", "asyncwith"]
+
+
+class TestModuleIteration:
+    def test_nested_and_method_functions_found_in_order(self):
+        source = (
+            "def outer():\n"
+            "    def inner():\n"
+            "        pass\n"
+            "    return inner\n"
+            "class C:\n"
+            "    def method(self):\n"
+            "        pass\n"
+        )
+        names = [
+            func.name for func, _ in iter_function_cfgs(ast.parse(source))
+        ]
+        assert names == ["outer", "inner", "method"]
+
+
+# -- whole-repo determinism --------------------------------------------------
+
+
+class TestDeterminism:
+    def test_two_runs_over_src_emit_identical_json(self, capsys):
+        outputs = []
+        for _ in range(2):
+            _ANALYSIS_CACHE.clear()  # force full re-analysis
+            main(["--format", "json", str(REPO_ROOT / "src")])
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+        payload = json.loads(outputs[0])
+        assert payload["files_checked"] > 50
+
+    def test_fixture_findings_identical_across_runs(self, capsys):
+        fixtures = REPO_ROOT / "tests" / "fixtures" / "lint"
+        outputs = []
+        for _ in range(2):
+            _ANALYSIS_CACHE.clear()
+            code = main(
+                ["--format", "json", "--include-fixtures", str(fixtures)]
+            )
+            assert code == 1
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+        assert json.loads(outputs[0])["findings"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

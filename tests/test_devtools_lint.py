@@ -1,12 +1,12 @@
-"""Self-tests for the ``repro.devtools.lint`` AST rule suite.
+"""Self-tests for the ``repro.devtools.lint`` AST + dataflow rule suite.
 
-Each rule RS001-RS008 is demonstrated by a pair of fixture files under
+Each rule RS001-RS012 is demonstrated by a pair of fixture files under
 ``tests/fixtures/lint/``: a ``*_bad.py`` that must produce true
 positives and a ``*_good.py`` that must lint clean.  Bad fixtures are
 linted under a synthetic ``src/`` display path so the test-code
-relaxations (RS001/RS003) do not apply to them; the RS007 and RS008
-pairs are linted under a ``src/repro/service/`` path, the only package
-those rules patrol.
+relaxations (RS001/RS003) do not apply to them; the RS007/RS008/RS009/
+RS011/RS012 pairs are linted under a ``src/repro/service/`` path, a
+package those rules patrol.
 """
 
 from __future__ import annotations
@@ -20,12 +20,15 @@ from pathlib import Path
 import pytest
 
 from repro.devtools.lint import (
+    FAST_RULE_CODES,
+    FLOW_RULE_CODES,
     RULES,
     RULES_BY_CODE,
     Finding,
     lint_paths,
     lint_source,
     main,
+    parse_rule_spec,
 )
 
 FIXTURES = Path(__file__).parent / "fixtures" / "lint"
@@ -49,10 +52,20 @@ CASES = [
     ("RS006", "rs006_bad.py", 5, "rs006_good.py"),
     ("RS007", "rs007_bad.py", 5, "rs007_good.py"),
     ("RS008", "rs008_bad.py", 6, "rs008_good.py"),
+    ("RS009", "rs009_bad.py", 4, "rs009_good.py"),
+    ("RS010", "rs010_bad.py", 5, "rs010_good.py"),
+    ("RS011", "rs011_bad.py", 4, "rs011_good.py"),
+    ("RS012", "rs012_bad.py", 4, "rs012_good.py"),
 ]
 
 #: Rules scoped to one package lint their fixtures under that path.
-CASE_PATHS = {"RS007": SERVICE_PATH, "RS008": SERVICE_PATH}
+CASE_PATHS = {
+    "RS007": SERVICE_PATH,
+    "RS008": SERVICE_PATH,
+    "RS009": SERVICE_PATH,
+    "RS011": SERVICE_PATH,
+    "RS012": SERVICE_PATH,
+}
 
 
 def lint_fixture(name: str, path: str = SRC_PATH) -> list[Finding]:
@@ -60,11 +73,17 @@ def lint_fixture(name: str, path: str = SRC_PATH) -> list[Finding]:
 
 
 class TestRuleCatalogue:
-    def test_eight_rules_with_stable_codes(self):
+    def test_twelve_rules_with_stable_codes(self):
         assert [rule.code for rule in RULES] == [
             "RS001", "RS002", "RS003", "RS004",
             "RS005", "RS006", "RS007", "RS008",
+            "RS009", "RS010", "RS011", "RS012",
         ]
+
+    def test_fast_flow_partition(self):
+        assert tuple(FAST_RULE_CODES) + tuple(FLOW_RULE_CODES) == tuple(
+            rule.code for rule in RULES
+        )
 
     def test_every_rule_has_name_summary_hint(self):
         for rule in RULES:
@@ -339,6 +358,286 @@ class TestRS008Details:
         assert lint_source(source, SERVICE_PATH) == []
 
 
+class TestRS009Details:
+    RACE = (
+        "import asyncio\n"
+        "class T:\n"
+        "    async def bump(self, key):\n"
+        "        cur = self._counters[key]\n"
+        "        await asyncio.sleep(0)\n"
+        "        self._counters[key] = cur + 1\n"
+    )
+
+    def test_active_only_in_async_tiers(self):
+        assert [f.code for f in lint_source(self.RACE, SERVICE_PATH)] == [
+            "RS009"
+        ]
+        cluster = "src/repro/cluster/under_test.py"
+        assert [f.code for f in lint_source(self.RACE, cluster)] == [
+            "RS009"
+        ]
+        assert lint_source(self.RACE, SRC_PATH) == []
+
+    def test_sync_function_exempt(self):
+        source = self.RACE.replace("async def", "def").replace(
+            "await asyncio.sleep(0)", "asyncio.get_event_loop()"
+        )
+        assert lint_source(source, SERVICE_PATH) == []
+
+    def test_await_before_read_clean(self):
+        source = (
+            "import asyncio\n"
+            "class T:\n"
+            "    async def bump(self, key):\n"
+            "        await asyncio.sleep(0)\n"
+            "        cur = self._counters[key]\n"
+            "        self._counters[key] = cur + 1\n"
+        )
+        assert lint_source(source, SERVICE_PATH) == []
+
+    def test_wait_applied_barrier_exempt(self):
+        source = self.RACE.replace(
+            "asyncio.sleep(0)", "self.wait_applied(seq)"
+        )
+        assert lint_source(source, SERVICE_PATH) == []
+
+    def test_async_with_lock_exempt(self):
+        source = (
+            "import asyncio\n"
+            "class T:\n"
+            "    async def bump(self, key):\n"
+            "        async with self._lock:\n"
+            "            cur = self._counters[key]\n"
+            "            await asyncio.sleep(0)\n"
+            "            self._counters[key] = cur + 1\n"
+        )
+        assert lint_source(source, SERVICE_PATH) == []
+
+    def test_race_on_one_branch_detected(self):
+        source = (
+            "import asyncio\n"
+            "class T:\n"
+            "    async def bump(self, key, slow):\n"
+            "        cur = self._counters[key]\n"
+            "        if slow:\n"
+            "            await asyncio.sleep(0)\n"
+            "        self._counters[key] = cur + 1\n"
+        )
+        assert [f.code for f in lint_source(source, SERVICE_PATH)] == [
+            "RS009"
+        ]
+
+
+class TestRS010Details:
+    def test_taint_through_rebinding_chain(self):
+        source = (
+            "def f(sketch, n):\n"
+            "    a = n / 2\n"
+            "    b = a\n"
+            "    sketch.update('x', b)\n"
+        )
+        assert [f.code for f in lint_source(source, SRC_PATH)] == ["RS010"]
+
+    def test_int_cast_sanitizes(self):
+        source = (
+            "def f(sketch, n):\n"
+            "    a = n / 2\n"
+            "    sketch.update('x', int(a))\n"
+        )
+        assert lint_source(source, SRC_PATH) == []
+
+    def test_literal_at_sink_is_rs005_not_rs010(self):
+        source = "def f(sketch):\n    sketch.update('x', 1.5)\n"
+        assert [f.code for f in lint_source(source, SRC_PATH)] == ["RS005"]
+
+    def test_numpy_alias_resolved(self):
+        source = (
+            "import numpy as xp\n"
+            "def f(sketch):\n"
+            "    c = xp.float64(2)\n"
+            "    sketch.update('x', c)\n"
+        )
+        assert [f.code for f in lint_source(source, SRC_PATH)] == ["RS010"]
+
+    def test_taint_cleared_by_loop_rebinding(self):
+        source = (
+            "def f(sketch, items):\n"
+            "    count = 0.5\n"
+            "    for count in items:\n"
+            "        sketch.update('x', count)\n"
+        )
+        assert lint_source(source, SRC_PATH) == []
+
+    def test_inactive_in_test_code(self):
+        source = (
+            "def f(sketch, n):\n"
+            "    w = n / 2\n"
+            "    sketch.update('x', w)\n"
+        )
+        assert lint_source(source, "tests/test_x.py") == []
+
+
+class TestRS011Details:
+    LEAK = (
+        "def f(path):\n"
+        "    handle = open(path)\n"
+        "    data = handle.read()\n"
+        "    handle.close()\n"
+        "    return data\n"
+    )
+
+    def test_active_only_in_resource_tiers(self):
+        for scoped in (
+            SERVICE_PATH,
+            "src/repro/cluster/under_test.py",
+            "src/repro/store/under_test.py",
+        ):
+            assert [f.code for f in lint_source(self.LEAK, scoped)] == [
+                "RS011"
+            ], scoped
+        assert lint_source(self.LEAK, SRC_PATH) == []
+
+    def test_try_finally_clean(self):
+        source = (
+            "def f(path):\n"
+            "    handle = open(path)\n"
+            "    try:\n"
+            "        return handle.read()\n"
+            "    finally:\n"
+            "        handle.close()\n"
+        )
+        assert lint_source(source, SERVICE_PATH) == []
+
+    def test_with_statement_clean(self):
+        source = (
+            "def f(path):\n"
+            "    with open(path) as handle:\n"
+            "        return handle.read()\n"
+        )
+        assert lint_source(source, SERVICE_PATH) == []
+
+    def test_finding_reported_at_acquisition(self):
+        findings = lint_source(self.LEAK, SERVICE_PATH)
+        assert [f.line for f in findings] == [2]
+
+
+class TestRS012Details:
+    def test_dotted_exception_type_resolved(self):
+        source = (
+            "import errors\n"
+            "class S:\n"
+            "    def _op_drop(self, name):\n"
+            "        raise errors.ShardFault(name)\n"
+        )
+        assert [f.code for f in lint_source(source, SERVICE_PATH)] == [
+            "RS012"
+        ]
+
+    def test_inactive_outside_service_and_cluster(self):
+        source = (
+            "class S:\n"
+            "    def _op_drop(self, name):\n"
+            "        raise ValueError(name)\n"
+        )
+        assert lint_source(source, SRC_PATH) == []
+
+    def test_raise_from_stays_in_vocabulary(self):
+        source = (
+            "class S:\n"
+            "    def _op_drop(self, name):\n"
+            "        try:\n"
+            "            self._drop(name)\n"
+            "        except KeyError as error:\n"
+            "            raise _NoSuchTable(name) from error\n"
+        )
+        assert lint_source(source, SERVICE_PATH) == []
+
+
+class TestRuleSelection:
+    def test_parse_single_and_list(self):
+        assert parse_rule_spec("RS005") == frozenset({"RS005"})
+        assert parse_rule_spec("RS001,RS003") == frozenset(
+            {"RS001", "RS003"}
+        )
+
+    def test_parse_range(self):
+        assert parse_rule_spec("RS009-RS012") == frozenset(
+            {"RS009", "RS010", "RS011", "RS012"}
+        )
+
+    def test_parse_rejects_unknown_and_malformed(self):
+        with pytest.raises(ValueError):
+            parse_rule_spec("RS099")
+        with pytest.raises(ValueError):
+            parse_rule_spec("bogus")
+        with pytest.raises(ValueError):
+            parse_rule_spec("")
+
+    def test_select_filters_findings(self):
+        bad = FIXTURES / "rs005_bad.py"
+        selected = lint_paths([bad], select=frozenset({"RS001"}))
+        assert selected.ok
+        kept = lint_paths([bad], select=frozenset({"RS005"}))
+        assert {f.code for f in kept.findings} == {"RS005"}
+
+    def test_ignore_filters_findings(self):
+        bad = FIXTURES / "rs005_bad.py"
+        result = lint_paths([bad], ignore=frozenset({"RS005"}))
+        assert result.ok
+
+    def test_cli_select_and_ignore(self, capsys):
+        bad = str(FIXTURES / "rs005_bad.py")
+        assert main(["--select", "RS001-RS004", bad]) == 0
+        assert main(["--ignore", "RS005", bad]) == 0
+        assert main(["--select", "RS005", bad]) == 1
+        capsys.readouterr()
+
+    def test_cli_bad_spec_exits_two(self, capsys):
+        assert main(["--select", "RS099", "src"]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+
+class TestBaseline:
+    def test_baseline_allowlists_known_findings(self, capsys, tmp_path):
+        bad = str(FIXTURES / "rs005_bad.py")
+        assert main(["--format", "json", bad]) == 1
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(capsys.readouterr().out)
+        code = main(["--baseline", str(baseline), bad])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "baselined" in captured.err
+
+    def test_baseline_does_not_hide_new_findings(self, capsys, tmp_path):
+        assert main(["--format", "json", str(FIXTURES / "rs002_bad.py")]) == 1
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(capsys.readouterr().out)
+        code = main(["--baseline", str(baseline),
+                     str(FIXTURES / "rs005_bad.py")])
+        capsys.readouterr()
+        assert code == 1
+
+    def test_bare_findings_array_accepted(self, capsys, tmp_path):
+        bad = str(FIXTURES / "rs005_bad.py")
+        assert main(["--format", "json", bad]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(payload["findings"]))
+        assert main(["--baseline", str(baseline), bad]) == 0
+        capsys.readouterr()
+
+    def test_invalid_baseline_exits_two(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("not json")
+        assert main(["--baseline", str(baseline), "src"]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+    def test_missing_baseline_exits_two(self, capsys, tmp_path):
+        missing = tmp_path / "nope.json"
+        assert main(["--baseline", str(missing), "src"]) == 2
+        capsys.readouterr()
+
+
 class TestRepoIsClean:
     """The acceptance gate, as a tier-1 test: the repo lints clean."""
 
@@ -348,6 +647,15 @@ class TestRepoIsClean:
             f.format_human() for f in result.findings
         )
         assert result.files_checked > 100
+
+    def test_flow_rules_clean_on_repo(self):
+        result = lint_paths(
+            [REPO_ROOT / "src", REPO_ROOT / "tests"],
+            select=frozenset(FLOW_RULE_CODES),
+        )
+        assert result.ok, "\n".join(
+            f.format_human() for f in result.findings
+        )
 
     def test_fixtures_excluded_from_directory_walks(self):
         result = lint_paths([REPO_ROOT / "tests"])
