@@ -1,0 +1,57 @@
+"""``repro.cache`` — sketch-guided cache admission (W-TinyLFU).
+
+The Count Sketch's mergeable, scalable counters (§3.2 linearity) make it
+a natural *admission filter* for a bounded cache: estimate how often a
+key recurs, and only let it displace a resident key whose estimate is
+lower.  This package builds that vertical slice:
+
+* :class:`~repro.cache.doorkeeper.Doorkeeper` — one-shot membership
+  filter absorbing singleton keys before they touch the sketch.
+* :class:`~repro.cache.frequency.FrequencySketch` — CountSketch +
+  doorkeeper with periodic ``scale(0.5)`` aging and ``.rcs``
+  persistence of the admission sketch.
+* :class:`~repro.cache.policy.TinyLFUCache` — window LRU + segmented
+  LRU main area with frequency-gated admission; :class:`LRUCache` and
+  :class:`LFUCache` ride along as baselines behind the same interface.
+* :mod:`~repro.cache.simulate` — seeded Zipfian and shifting-hot-set
+  traces plus the replay harness that races policies on equal terms.
+
+See ``docs/cache.md`` for the design discussion and tuning table, and
+``benchmarks/bench_cache.py`` for the hit-ratio gate.
+"""
+
+from repro.cache.doorkeeper import Doorkeeper
+from repro.cache.frequency import FrequencySketch
+from repro.cache.policy import (
+    CachePolicy,
+    LFUCache,
+    LRUCache,
+    TinyLFUCache,
+)
+from repro.cache.simulate import (
+    POLICIES,
+    TRACES,
+    SimulationResult,
+    make_policy,
+    make_trace,
+    shifting_hotset_trace,
+    simulate,
+    zipf_trace,
+)
+
+__all__ = [
+    "POLICIES",
+    "TRACES",
+    "CachePolicy",
+    "Doorkeeper",
+    "FrequencySketch",
+    "LFUCache",
+    "LRUCache",
+    "SimulationResult",
+    "TinyLFUCache",
+    "make_policy",
+    "make_trace",
+    "shifting_hotset_trace",
+    "simulate",
+    "zipf_trace",
+]

@@ -1,0 +1,166 @@
+"""One-shot approximate membership: the TinyLFU *doorkeeper*.
+
+Most keys in a skewed trace are singletons — seen once, never again.  If
+every one of them entered the admission sketch, the long tail would both
+inflate the sketch's collision noise and waste the sample budget between
+aging resets.  The doorkeeper is a small Bloom-style bit array that
+absorbs each key's *first* occurrence: only keys seen again while their
+bits are set reach the :class:`~repro.cache.frequency.FrequencySketch`,
+whose estimate then adds the doorkeeper bit back (``sketch + 1``).
+
+The filter is deterministic: probe positions are derived from the
+canonical :func:`~repro.hashing.encode.encode_key` image with seeded
+SplitMix64 mixing, so two doorkeepers built with the same
+``(bits, probes, seed)`` agree bit-for-bit on any key sequence.  It is
+one-epoch state — :meth:`clear` is called by every TinyLFU aging reset
+(the ``scale(0.5)`` halving), because the halved sketch no longer
+accounts for the ones the doorkeeper absorbed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+import numpy as np
+
+from repro.hashing.encode import encode_key
+
+_MASK_64 = (1 << 64) - 1
+
+#: SplitMix64 finalizer multipliers (Stafford's Mix13 variant).
+_MIX_A = 0xFF51AFD7ED558CCD
+_MIX_B = 0xC4CEB9FE1A85EC53
+
+#: Weyl-sequence increment used to derive independent per-probe salts.
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def _mix(value: int) -> int:
+    """SplitMix64 finalizer: scramble ``value`` into ``[0, 2**64)``."""
+    value &= _MASK_64
+    value ^= value >> 33
+    value = (value * _MIX_A) & _MASK_64
+    value ^= value >> 33
+    value = (value * _MIX_B) & _MASK_64
+    value ^= value >> 33
+    return value
+
+
+class Doorkeeper:
+    """A seeded Bloom-style filter absorbing first-occurrence keys.
+
+    Args:
+        bits: size of the bit array; at least 8.  Size it near the
+            sample watermark of the frequency sketch it fronts (see
+            ``docs/cache.md`` for the tuning table).
+        probes: bits set/tested per key (default 2 — the classic
+            doorkeeper operating point: cheap, and false positives only
+            *pre-credit* one occurrence).
+        seed: probe-salt seed; equal seeds give bit-identical filters.
+    """
+
+    __slots__ = ("_num_bits", "_probes", "_seed", "_salts", "_door_bits",
+                 "_ones")
+
+    def __init__(self, bits: int, probes: int = 2, seed: int = 0) -> None:
+        if bits < 8:
+            raise ValueError("doorkeeper needs at least 8 bits")
+        if probes < 1:
+            raise ValueError("probes must be at least 1")
+        self._num_bits = int(bits)
+        self._probes = int(probes)
+        self._seed = int(seed)
+        base = _mix((self._seed << 1) | 1)
+        self._salts = tuple(
+            _mix(base + index * _GOLDEN) for index in range(self._probes)
+        )
+        self._door_bits = np.zeros((self._num_bits + 7) // 8,
+                                   dtype=np.uint8)
+        self._ones = 0
+
+    # -- properties ---------------------------------------------------------
+
+    @property
+    def num_bits(self) -> int:
+        """Size of the bit array."""
+        return self._num_bits
+
+    @property
+    def probes(self) -> int:
+        """Number of bits set/tested per key."""
+        return self._probes
+
+    @property
+    def seed(self) -> int:
+        """Seed the probe salts were derived from."""
+        return self._seed
+
+    @property
+    def ones(self) -> int:
+        """Number of set bits (the filter's fill level)."""
+        return self._ones
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits set; false-positive rate ~ ``ratio**probes``."""
+        return self._ones / self._num_bits
+
+    # -- membership ---------------------------------------------------------
+
+    def _positions(self, key: int) -> list[int]:
+        return [
+            _mix(key ^ salt) % self._num_bits for salt in self._salts
+        ]
+
+    def contains(self, item: Hashable) -> bool:
+        """True when every probe bit for ``item`` is set.
+
+        False positives occur at roughly ``fill_ratio() ** probes``;
+        false negatives never (until :meth:`clear`).
+        """
+        return self.contains_key(encode_key(item))
+
+    def contains_key(self, key: int) -> bool:
+        """:meth:`contains` for a pre-encoded 64-bit key image."""
+        bits = self._door_bits
+        for position in self._positions(key):
+            if not bits[position >> 3] & (1 << (position & 7)):
+                return False
+        return True
+
+    def add(self, item: Hashable) -> bool:
+        """Set ``item``'s bits; True when it was *newly* added.
+
+        A True return means this occurrence is absorbed by the
+        doorkeeper (the caller should not update the sketch); False
+        means the key was already known here.
+        """
+        return self.add_key(encode_key(item))
+
+    def add_key(self, key: int) -> bool:
+        """:meth:`add` for a pre-encoded 64-bit key image."""
+        bits = self._door_bits
+        added = False
+        for position in self._positions(key):
+            index = position >> 3
+            mask = 1 << (position & 7)
+            if not bits[index] & mask:
+                bits[index] |= mask
+                self._ones += 1
+                added = True
+        return added
+
+    def clear(self) -> None:
+        """Reset every bit — one aging epoch ends.
+
+        Must accompany every ``scale(0.5)`` halving of the sketch this
+        filter fronts: the ones here are the epoch's absorbed first
+        occurrences, which the halved counters no longer represent.
+        """
+        self._door_bits[:] = 0
+        self._ones = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Doorkeeper(bits={self._num_bits}, probes={self._probes}, "
+            f"seed={self._seed}, ones={self._ones})"
+        )

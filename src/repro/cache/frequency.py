@@ -1,0 +1,274 @@
+"""The TinyLFU frequency oracle: CountSketch + doorkeeper + aging.
+
+:class:`FrequencySketch` turns the paper's signed Count Sketch into the
+decision engine of cache admission.  Every cache access calls
+:meth:`FrequencySketch.touch`; the admission policy asks
+:meth:`FrequencySketch.estimate` to compare a candidate against the
+eviction victim.  Three mechanisms keep the estimate meaningful on an
+endless stream:
+
+* **Doorkeeper** (:class:`~repro.cache.doorkeeper.Doorkeeper`) — each
+  key's first occurrence per epoch only sets filter bits; singletons
+  never reach the sketch.  The estimate adds the bit back, so a
+  doorkeeper hit still counts as one occurrence.
+* **Aging by halving** — after ``sample_size`` recorded accesses the
+  sketch is replaced by ``sketch.scale(0.5)`` (§3.2 linearity makes this
+  an exact floor-halving of every counter — the Hokusai decay step), the
+  doorkeeper is cleared in the same operation, and the sample counter
+  halves.  Recent traffic therefore outweighs history with an
+  exponential half-life of one sample window.
+* **Clamping** — the signed sketch can return negative medians for
+  near-zero keys; frequencies clamp at 0.
+
+Persistence: :meth:`save` writes the admission sketch through
+:mod:`repro.store` (the CRC-checked ``.rcs`` format) with the sampling
+state in the snapshot's meta block; :meth:`load` restores the counters
+bit-for-bit.  The doorkeeper is deliberately *not* persisted — it is
+one-epoch state that every reset clears — so a restored oracle starts
+its epoch with an empty filter.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from pathlib import Path
+from typing import Any
+
+from repro.cache.doorkeeper import Doorkeeper
+from repro.core.countsketch import CountSketch
+from repro.hashing.encode import encode_key
+from repro.observability.registry import MetricsRegistry, get_registry
+from repro.store import load_with_meta, save
+
+#: Default sketch rows; 4 keeps the touch path cheap while the even-depth
+#: midpoint median still rejects single-row collision outliers.
+DEFAULT_DEPTH = 4
+
+#: Default accesses recorded between aging resets, per unit of width.
+DEFAULT_SAMPLE_FACTOR = 10
+
+
+def _next_pow2(value: int) -> int:
+    """The smallest power of two ``>= value`` (and ``>= 1``)."""
+    return 1 << max(0, (int(value) - 1).bit_length())
+
+
+class _FrequencyMetrics:
+    """Metric handles captured once per oracle when collection is on."""
+
+    __slots__ = ("touches", "absorbed", "resets")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.touches = registry.counter("cache_frequency_touches_total")
+        self.absorbed = registry.counter(
+            "cache_doorkeeper_absorbed_total"
+        )
+        self.resets = registry.counter("cache_frequency_resets_total")
+
+
+class FrequencySketch:
+    """A time-decayed frequency oracle over an unbounded key stream.
+
+    Args:
+        sample_size: accesses recorded between aging resets (TinyLFU's
+            ``W``).  Rule of thumb: ~10x the capacity of the cache the
+            oracle fronts.
+        depth: sketch rows (default 4).
+        width: counters per row; defaults to the smallest power of two
+            covering ``sample_size`` (so per-row collision mass stays
+            below one count on average).
+        seed: shared seed for the sketch hash family and the doorkeeper.
+        doorkeeper_bits: bit-array size (default ``2 * sample_size``,
+            minimum 64) — sized for the distinct keys of one epoch.
+        doorkeeper_probes: probe bits per key (default 2).
+        sketch: pre-built sketch to adopt (used by :meth:`load`);
+            overrides ``depth``/``width``.
+    """
+
+    __slots__ = ("_sketch", "_doorkeeper", "_sample_size", "_samples",
+                 "_resets", "_metrics")
+
+    def __init__(
+        self,
+        sample_size: int,
+        *,
+        depth: int = DEFAULT_DEPTH,
+        width: int | None = None,
+        seed: int = 0,
+        doorkeeper_bits: int | None = None,
+        doorkeeper_probes: int = 2,
+        sketch: CountSketch | None = None,
+    ) -> None:
+        if sample_size < 1:
+            raise ValueError("sample_size must be at least 1")
+        if width is None:
+            width = _next_pow2(max(64, sample_size))
+        if doorkeeper_bits is None:
+            doorkeeper_bits = max(64, 2 * sample_size)
+        if sketch is None:
+            sketch = CountSketch(depth, width, seed=seed)
+        self._sketch = sketch
+        self._doorkeeper = Doorkeeper(
+            doorkeeper_bits, probes=doorkeeper_probes, seed=seed
+        )
+        self._sample_size = int(sample_size)
+        self._samples = 0
+        self._resets = 0
+        registry = get_registry()
+        self._metrics = (
+            _FrequencyMetrics(registry) if registry.enabled else None
+        )
+
+    # -- properties ---------------------------------------------------------
+
+    @property
+    def sketch(self) -> CountSketch:
+        """The live admission sketch (mutate only via the checked API)."""
+        return self._sketch
+
+    @property
+    def doorkeeper(self) -> Doorkeeper:
+        """The epoch's doorkeeper filter."""
+        return self._doorkeeper
+
+    @property
+    def sample_size(self) -> int:
+        """Accesses recorded between aging resets (the watermark)."""
+        return self._sample_size
+
+    @property
+    def samples(self) -> int:
+        """Accesses recorded since the last reset (decayed at resets)."""
+        return self._samples
+
+    @property
+    def resets(self) -> int:
+        """Aging resets performed so far."""
+        return self._resets
+
+    # -- recording ----------------------------------------------------------
+
+    def touch(self, item: Hashable) -> None:
+        """Record one access to ``item``.
+
+        The first occurrence per epoch is absorbed by the doorkeeper;
+        repeat occurrences update the sketch.  Hitting the sample
+        watermark triggers the aging reset.
+        """
+        key = encode_key(item)
+        metrics = self._metrics
+        if self._doorkeeper.add_key(key):
+            if metrics is not None:
+                metrics.absorbed.inc()
+        else:
+            self._sketch.update(key)
+        self._samples += 1
+        if metrics is not None:
+            metrics.touches.inc()
+        if self._samples >= self._sample_size:
+            self._reset()
+
+    def _reset(self) -> None:
+        """The TinyLFU aging step: halve the sketch, clear the doorkeeper.
+
+        ``scale(0.5)`` floor-divides every counter (§3.2 linearity keeps
+        the result an exact sketch of the halved frequency vector); the
+        doorkeeper must be cleared in the same step because its ones are
+        epoch state the halved counters no longer account for.
+        """
+        self._sketch = self._sketch.scale(0.5)
+        self._doorkeeper.clear()
+        self._samples //= 2
+        self._resets += 1
+        if self._metrics is not None:
+            self._metrics.resets.inc()
+
+    # -- queries ------------------------------------------------------------
+
+    def estimate(self, item: Hashable) -> int:
+        """The decayed frequency of ``item``, clamped at zero.
+
+        The sketch's signed median plus one for a set doorkeeper bit.
+        Used by the admission policy as ``estimate(candidate) >
+        estimate(victim)``.
+        """
+        key = encode_key(item)
+        value = self._sketch.estimate(key)
+        frequency = int(value) if value > 0 else 0
+        if self._doorkeeper.contains_key(key):
+            frequency += 1
+        return frequency
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, path: str | Path) -> int:
+        """Snapshot the admission sketch to ``path`` (``.rcs``).
+
+        The sampling state travels in the snapshot meta block; the
+        counters round-trip bit-for-bit.  Returns bytes written.
+        """
+        return save(
+            self._sketch,
+            path,
+            meta={
+                "cache_sample_size": self._sample_size,
+                "cache_samples": self._samples,
+                "cache_resets": self._resets,
+                "cache_doorkeeper_bits": self._doorkeeper.num_bits,
+                "cache_doorkeeper_probes": self._doorkeeper.probes,
+                "cache_doorkeeper_seed": self._doorkeeper.seed,
+            },
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> FrequencySketch:
+        """Restore an oracle saved by :meth:`save`.
+
+        The sketch counters are restored bit-for-bit; the doorkeeper
+        starts empty (it is one-epoch state, cleared by every reset).
+
+        Raises:
+            repro.store.StoreError: on a missing/corrupt snapshot.
+            TypeError: when the snapshot holds a non-CountSketch summary.
+            ValueError: when the snapshot lacks the cache meta block.
+        """
+        sketch, meta = load_with_meta(path)
+        if not isinstance(sketch, CountSketch):
+            raise TypeError(
+                f"{path} holds a {type(sketch).__name__}, not the "
+                "CountSketch admission snapshot FrequencySketch.load needs"
+            )
+        return cls._from_snapshot(sketch, meta, path)
+
+    @classmethod
+    def _from_snapshot(
+        cls, sketch: CountSketch, meta: dict[str, Any], path: str | Path
+    ) -> FrequencySketch:
+        def _int_field(name: str) -> int:
+            value = meta.get(name)
+            if not isinstance(value, int) or value < 0:
+                raise ValueError(
+                    f"{path} does not record a valid {name!r}; it was "
+                    "not written by FrequencySketch.save"
+                )
+            return value
+
+        oracle = cls(
+            _int_field("cache_sample_size"),
+            doorkeeper_bits=_int_field("cache_doorkeeper_bits"),
+            doorkeeper_probes=max(
+                1, _int_field("cache_doorkeeper_probes")
+            ),
+            seed=_int_field("cache_doorkeeper_seed"),
+            sketch=sketch,
+        )
+        oracle._samples = _int_field("cache_samples")
+        oracle._resets = _int_field("cache_resets")
+        return oracle
+
+    def __repr__(self) -> str:
+        return (
+            f"FrequencySketch(sample_size={self._sample_size}, "
+            f"samples={self._samples}, resets={self._resets}, "
+            f"sketch={self._sketch!r})"
+        )

@@ -1,0 +1,385 @@
+"""Bounded cache policies: LRU and LFU baselines, and W-TinyLFU.
+
+Every policy implements the same two-method surface —
+:meth:`CachePolicy.request` (one access: returns hit/miss and updates
+the cache) and :meth:`CachePolicy.contains` — so the simulation harness
+in :mod:`repro.cache.simulate` can race them on identical traces.
+
+* :class:`LRUCache` — recency only; the classic bounded map.
+* :class:`LFUCache` — frequency only, with O(1) operations via the
+  frequency-bucket structure (a dict of per-frequency recency lists);
+  counts never age, so it fossilises old hot sets.
+* :class:`TinyLFUCache` — the tentpole.  A small recency *window* in
+  front of a segmented-LRU *main* area, with a
+  :class:`~repro.cache.frequency.FrequencySketch` (CountSketch +
+  doorkeeper, aged by ``scale(0.5)`` halvings) arbitrating admission:
+  a key evicted from the window enters main only when its estimated
+  frequency beats the would-be victim's.
+
+Metric handles (``cache_hits_total`` etc.) are captured once in each
+policy's ``__init__`` and are ``None`` under the default
+:class:`~repro.observability.registry.NullRegistry`, keeping the
+per-request path allocation-free when observability is off.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from collections.abc import Hashable
+
+from repro.cache.frequency import FrequencySketch
+from repro.observability.registry import MetricsRegistry, get_registry
+
+#: Fraction of total capacity given to the TinyLFU recency window.
+WINDOW_FRACTION = 0.01
+
+#: Fraction of the main area reserved for the protected segment.
+PROTECTED_FRACTION = 0.8
+
+#: Default admission-sketch sample size, per unit of cache capacity.
+SAMPLE_FACTOR = 10
+
+
+class _CacheMetrics:
+    """Per-policy metric handles, captured once at construction."""
+
+    __slots__ = ("hits", "misses", "evictions", "admissions",
+                 "rejections")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.hits = registry.counter("cache_hits_total")
+        self.misses = registry.counter("cache_misses_total")
+        self.evictions = registry.counter("cache_evictions_total")
+        self.admissions = registry.counter("cache_admissions_total")
+        self.rejections = registry.counter(
+            "cache_admission_rejections_total"
+        )
+
+
+class CachePolicy(ABC):
+    """The contract every bounded cache policy implements.
+
+    A policy is a set of resident keys plus a replacement rule; the
+    harness only ever calls :meth:`request` and reads the telemetry.
+    """
+
+    #: Short machine name used by the CLI/benchmark policy registry.
+    name = "abstract"
+
+    __slots__ = ("_capacity", "_metrics")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        self._capacity = int(capacity)
+        registry = get_registry()
+        self._metrics = (
+            _CacheMetrics(registry) if registry.enabled else None
+        )
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of resident keys."""
+        return self._capacity
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of resident keys."""
+
+    @abstractmethod
+    def contains(self, key: Hashable) -> bool:
+        """True when ``key`` is resident (no side effects)."""
+
+    @abstractmethod
+    def request(self, key: Hashable) -> bool:
+        """Handle one access: return True on hit, admit on miss."""
+
+    def __contains__(self, key: Hashable) -> bool:
+        return self.contains(key)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(capacity={self._capacity}, "
+            f"resident={len(self)})"
+        )
+
+
+class LRUCache(CachePolicy):
+    """Evict the least-recently-used key; every miss is admitted."""
+
+    name = "lru"
+
+    __slots__ = ("_lru_order",)
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._lru_order: OrderedDict[Hashable, None] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._lru_order)
+
+    def contains(self, key: Hashable) -> bool:
+        """True when ``key`` is resident (no side effects)."""
+        return key in self._lru_order
+
+    def request(self, key: Hashable) -> bool:
+        """Handle one access: hit moves to MRU, miss evicts the LRU."""
+        order = self._lru_order
+        metrics = self._metrics
+        if key in order:
+            order.move_to_end(key)
+            if metrics is not None:
+                metrics.hits.inc()
+            return True
+        if len(order) >= self._capacity:
+            order.popitem(last=False)
+            if metrics is not None:
+                metrics.evictions.inc()
+        order[key] = None
+        if metrics is not None:
+            metrics.misses.inc()
+        return False
+
+
+class LFUCache(CachePolicy):
+    """Evict the least-frequently-used key (LRU among ties), in O(1).
+
+    The frequency-bucket structure keeps, for each access count, a
+    recency-ordered set of the resident keys at that count, plus the
+    minimum occupied count — so hit, miss, and eviction are all O(1).
+    Counts never decay, which is exactly the pathology TinyLFU's aging
+    fixes; it rides along as the frequency-only baseline.
+    """
+
+    name = "lfu"
+
+    __slots__ = ("_key_freq", "_freq_buckets", "_min_freq")
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._key_freq: dict[Hashable, int] = {}
+        self._freq_buckets: dict[int, OrderedDict[Hashable, None]] = {}
+        self._min_freq = 0
+
+    def __len__(self) -> int:
+        return len(self._key_freq)
+
+    def contains(self, key: Hashable) -> bool:
+        """True when ``key`` is resident (no side effects)."""
+        return key in self._key_freq
+
+    def request(self, key: Hashable) -> bool:
+        """Handle one access: hit bumps the count, miss evicts min-count."""
+        metrics = self._metrics
+        freq = self._key_freq.get(key)
+        if freq is not None:
+            bucket = self._freq_buckets[freq]
+            del bucket[key]
+            if not bucket:
+                del self._freq_buckets[freq]
+                if self._min_freq == freq:
+                    self._min_freq = freq + 1
+            self._key_freq[key] = freq + 1
+            self._freq_buckets.setdefault(freq + 1, OrderedDict())[key] = None
+            if metrics is not None:
+                metrics.hits.inc()
+            return True
+        if len(self._key_freq) >= self._capacity:
+            victims = self._freq_buckets[self._min_freq]
+            victim, _ = victims.popitem(last=False)
+            if not victims:
+                del self._freq_buckets[self._min_freq]
+            del self._key_freq[victim]
+            if metrics is not None:
+                metrics.evictions.inc()
+        self._key_freq[key] = 1
+        self._freq_buckets.setdefault(1, OrderedDict())[key] = None
+        self._min_freq = 1
+        if metrics is not None:
+            metrics.misses.inc()
+        return False
+
+
+class TinyLFUCache(CachePolicy):
+    """W-TinyLFU: windowed admission-filtered segmented LRU.
+
+    Layout (capacities fixed at construction):
+
+    * **window** — ~1% of capacity, plain LRU.  Every miss lands here,
+      so brand-new keys get a brief recency audition.
+    * **main** — the rest, a segmented LRU: a *probation* segment for
+      keys admitted once and a *protected* segment (~80% of main) for
+      keys re-referenced while in probation.
+
+    A key evicted from the window becomes a *candidate*: it enters
+    probation only if the frequency oracle scores it strictly above the
+    main area's next victim; otherwise the candidate is dropped and the
+    victim stays.  The oracle sees every request via
+    :meth:`~repro.cache.frequency.FrequencySketch.touch`, so frequency
+    accrues whether or not a key is resident.
+
+    Args:
+        capacity: total resident keys across window and main; >= 2 so
+            both areas are non-empty.
+        sample_size: oracle aging watermark; defaults to
+            ``SAMPLE_FACTOR * capacity``.
+        seed: seed for the oracle's hash family and doorkeeper.
+        frequency: pre-built oracle to adopt (e.g. restored via
+            :meth:`~repro.cache.frequency.FrequencySketch.load`);
+            overrides ``sample_size``/``seed``.
+    """
+
+    name = "tinylfu"
+
+    __slots__ = ("_window_lru", "_probation", "_protected",
+                 "_window_capacity", "_main_capacity",
+                 "_protected_capacity", "_frequency")
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        sample_size: int | None = None,
+        seed: int = 0,
+        frequency: FrequencySketch | None = None,
+    ) -> None:
+        if capacity < 2:
+            raise ValueError(
+                "TinyLFU needs capacity >= 2 (a window and a main area)"
+            )
+        super().__init__(capacity)
+        self._window_capacity = max(1, round(WINDOW_FRACTION * capacity))
+        self._main_capacity = capacity - self._window_capacity
+        self._protected_capacity = max(
+            1, int(PROTECTED_FRACTION * self._main_capacity)
+        )
+        if frequency is None:
+            if sample_size is None:
+                sample_size = SAMPLE_FACTOR * capacity
+            frequency = FrequencySketch(sample_size, seed=seed)
+        self._frequency = frequency
+        self._window_lru: OrderedDict[Hashable, None] = OrderedDict()
+        self._probation: OrderedDict[Hashable, None] = OrderedDict()
+        self._protected: OrderedDict[Hashable, None] = OrderedDict()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def window_capacity(self) -> int:
+        """Capacity of the recency window (~1% of the total)."""
+        return self._window_capacity
+
+    @property
+    def main_capacity(self) -> int:
+        """Capacity of the main (probation + protected) area."""
+        return self._main_capacity
+
+    @property
+    def protected_capacity(self) -> int:
+        """Capacity of the protected segment (~80% of main)."""
+        return self._protected_capacity
+
+    @property
+    def frequency(self) -> FrequencySketch:
+        """The admission oracle (shared CountSketch + doorkeeper)."""
+        return self._frequency
+
+    def segment_sizes(self) -> dict[str, int]:
+        """Resident keys per segment: window, probation, protected."""
+        return {
+            "window": len(self._window_lru),
+            "probation": len(self._probation),
+            "protected": len(self._protected),
+        }
+
+    def __len__(self) -> int:
+        return (len(self._window_lru) + len(self._probation)
+                + len(self._protected))
+
+    def contains(self, key: Hashable) -> bool:
+        """True when ``key`` is resident in any segment."""
+        return (key in self._window_lru or key in self._probation
+                or key in self._protected)
+
+    # -- the request path ----------------------------------------------------
+
+    def request(self, key: Hashable) -> bool:
+        """Handle one access: touch the oracle, then hit or admit."""
+        self._frequency.touch(key)
+        metrics = self._metrics
+        if key in self._window_lru:
+            self._window_lru.move_to_end(key)
+            if metrics is not None:
+                metrics.hits.inc()
+            return True
+        if key in self._protected:
+            self._protected.move_to_end(key)
+            if metrics is not None:
+                metrics.hits.inc()
+            return True
+        if key in self._probation:
+            self._promote(key)
+            if metrics is not None:
+                metrics.hits.inc()
+            return True
+        self._admit_to_window(key)
+        if metrics is not None:
+            metrics.misses.inc()
+        return False
+
+    def _promote(self, key: Hashable) -> None:
+        """Move a re-referenced probation key into protected (SLRU).
+
+        When protected is full, its own LRU key is demoted back to the
+        MRU end of probation — demotion, not eviction, so a one-time
+        burst cannot flush long-lived residents out of the cache.
+        """
+        del self._probation[key]
+        if len(self._protected) >= self._protected_capacity:
+            demoted, _ = self._protected.popitem(last=False)
+            self._probation[demoted] = None
+        self._protected[key] = None
+
+    def _admit_to_window(self, key: Hashable) -> None:
+        """Insert a missed key at the window MRU; overflow faces admission."""
+        self._window_lru[key] = None
+        if len(self._window_lru) <= self._window_capacity:
+            return
+        candidate, _ = self._window_lru.popitem(last=False)
+        self._maybe_admit(candidate)
+
+    def _maybe_admit(self, candidate: Hashable) -> None:
+        """TinyLFU admission: candidate vs. the main area's next victim.
+
+        With spare main capacity the candidate enters probation
+        unconditionally.  Otherwise it must *strictly* beat the victim's
+        estimated frequency — ties keep the incumbent, which both damps
+        thrash and blunts hash-flood attacks that forge one-off keys.
+        """
+        metrics = self._metrics
+        if len(self._probation) + len(self._protected) < self._main_capacity:
+            self._probation[candidate] = None
+            if metrics is not None:
+                metrics.admissions.inc()
+            return
+        victims = self._probation if self._probation else self._protected
+        victim = next(iter(victims))
+        estimate = self._frequency.estimate
+        if estimate(candidate) > estimate(victim):
+            del victims[victim]
+            self._probation[candidate] = None
+            if metrics is not None:
+                metrics.admissions.inc()
+                metrics.evictions.inc()
+        elif metrics is not None:
+            metrics.rejections.inc()
+
+    def __repr__(self) -> str:
+        sizes = self.segment_sizes()
+        return (
+            f"TinyLFUCache(capacity={self._capacity}, "
+            f"window={sizes['window']}/{self._window_capacity}, "
+            f"probation={sizes['probation']}, "
+            f"protected={sizes['protected']}/{self._protected_capacity})"
+        )

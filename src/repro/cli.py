@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Nine subcommands cover the library's day-to-day uses on on-disk streams
+Ten subcommands cover the library's day-to-day uses on on-disk streams
 (one item per line; ``--int-keys`` parses lines as integers):
 
 * ``repro topk`` — the §3.2 one-pass tracker: the approximate top-k items.
@@ -22,6 +22,10 @@ Nine subcommands cover the library's day-to-day uses on on-disk streams
   ``serve`` launches and supervises N shard servers, ``rebalance``
   re-shapes a stopped fleet's checkpoints to a new shard count by
   exact snapshot re-merge (§3.2 linearity).
+* ``repro cache`` — sketch-guided cache admission (:mod:`repro.cache`):
+  ``simulate`` races W-TinyLFU against LRU/LFU baselines on seeded
+  synthetic traces, ``stats`` inspects a saved admission-sketch
+  snapshot and scores items against it.
 
 Exit codes are uniform across every subcommand: 0 on success, 1 for
 usage errors (bad flags or flag combinations), 2 for data errors
@@ -960,6 +964,112 @@ def _cmd_cluster_rebalance(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_cache_simulate(args: argparse.Namespace) -> int:
+    from repro.cache import (
+        CachePolicy,
+        FrequencySketch,
+        TinyLFUCache,
+        make_policy,
+        shifting_hotset_trace,
+        simulate,
+        zipf_trace,
+    )
+
+    policies = list(dict.fromkeys(args.policy)) or ["lru", "lfu", "tinylfu"]
+    capacities = list(dict.fromkeys(args.capacity)) or [1000]
+    if args.requests < 1:
+        return _usage_fail("--requests must be at least 1")
+    if args.keys < 1:
+        return _usage_fail("--keys must be at least 1")
+    if args.phases < 1:
+        return _usage_fail("--phases must be at least 1")
+    snapshot_flags = args.save_sketch or args.load_sketch
+    if snapshot_flags and "tinylfu" not in policies:
+        return _usage_fail(
+            "--save-sketch/--load-sketch concern the TinyLFU admission "
+            "sketch; include tinylfu in --policy"
+        )
+    if snapshot_flags and len(capacities) != 1:
+        return _usage_fail(
+            "--save-sketch/--load-sketch need exactly one --capacity "
+            "(which run's sketch would the snapshot belong to?)"
+        )
+    if args.trace == "shifting":
+        trace = shifting_hotset_trace(
+            args.requests, args.keys, args.zipf, seed=args.seed,
+            phases=args.phases,
+        )
+    else:
+        trace = zipf_trace(args.requests, args.keys, args.zipf,
+                           seed=args.seed)
+    rows: list[list[object]] = []
+    saved_tinylfu: TinyLFUCache | None = None
+    for capacity in capacities:
+        for name in policies:
+            try:
+                if name == "tinylfu" and args.load_sketch:
+                    oracle = FrequencySketch.load(args.load_sketch)
+                    policy: CachePolicy = TinyLFUCache(
+                        capacity, frequency=oracle)
+                else:
+                    policy = make_policy(name, capacity, seed=args.seed)
+            except (TypeError, ValueError) as error:
+                return _fail(str(error))
+            result = simulate(policy, trace)
+            if isinstance(policy, TinyLFUCache):
+                saved_tinylfu = policy
+            rows.append([
+                result.policy, result.capacity, result.requests,
+                result.hits, f"{result.hit_ratio:.4f}",
+            ])
+    print(format_table(
+        ["policy", "capacity", "requests", "hits", "hit ratio"], rows,
+        title=(
+            f"cache simulation: {args.trace} trace "
+            f"(n={args.requests}, m={args.keys}, z={args.zipf}, "
+            f"seed={args.seed})"
+        ),
+    ))
+    if args.save_sketch and saved_tinylfu is not None:
+        written = saved_tinylfu.frequency.save(args.save_sketch)
+        print(
+            f"admission sketch: snapshot -> {args.save_sketch} "
+            f"({written} bytes)"
+        )
+    return EXIT_OK
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    from repro.cache import FrequencySketch
+
+    try:
+        oracle = FrequencySketch.load(args.sketch)
+    except (TypeError, ValueError) as error:
+        return _fail(str(error))
+    sketch = oracle.sketch
+    print(json.dumps(
+        {
+            "sample_size": oracle.sample_size,
+            "samples": oracle.samples,
+            "resets": oracle.resets,
+            "doorkeeper_bits": oracle.doorkeeper.num_bits,
+            "doorkeeper_probes": oracle.doorkeeper.probes,
+            "sketch_depth": sketch.depth,
+            "sketch_width": sketch.width,
+            "sketch_total_weight": sketch.total_weight,
+        },
+        indent=2, sort_keys=True,
+    ))
+    if args.items:
+        queries = [int(q) if args.int_keys else q for q in args.items]
+        rows = [[str(q), oracle.estimate(q)] for q in queries]
+        print(format_table(
+            ["item", "admission estimate"], rows,
+            title=f"decayed frequencies from {args.sketch}",
+        ))
+    return EXIT_OK
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools.lint import main as lint_main
 
@@ -1313,6 +1423,70 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_rebalance.add_argument("--shards", type=int, required=True,
                                    help="the new fleet size")
     cluster_rebalance.set_defaults(handler=_cmd_cluster_rebalance)
+
+    cache = subparsers.add_parser(
+        "cache",
+        help="sketch-guided cache admission (repro.cache): race W-TinyLFU "
+             "against LRU/LFU baselines on seeded synthetic traces",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+
+    cache_simulate = cache_sub.add_parser(
+        "simulate",
+        help="replay a seeded trace against one or more cache policies "
+             "and report hit ratios",
+    )
+    cache_simulate.add_argument(
+        "--policy", action="append", default=[],
+        choices=("lru", "lfu", "tinylfu"),
+        help="policy to simulate (repeatable; default: all three)",
+    )
+    cache_simulate.add_argument(
+        "--capacity", action="append", type=int, default=[],
+        metavar="N",
+        help="cache capacity in keys (repeatable; default 1000)",
+    )
+    cache_simulate.add_argument(
+        "--trace", choices=("zipf", "shifting"), default="zipf",
+        help="trace family: i.i.d. Zipf draws, or Zipf with the hot set "
+             "re-permuted every phase (default zipf)",
+    )
+    cache_simulate.add_argument("--requests", type=int, default=100_000,
+                                help="trace length (default 100000)")
+    cache_simulate.add_argument("--keys", type=int, default=50_000,
+                                help="distinct keys m (default 50000)")
+    cache_simulate.add_argument("--zipf", type=float, default=1.1,
+                                help="Zipf parameter z (default 1.1)")
+    cache_simulate.add_argument("--phases", type=int, default=5,
+                                help="hot-set rotations for --trace "
+                                     "shifting (default 5)")
+    cache_simulate.add_argument("--seed", type=int, default=0,
+                                help="trace and policy seed (default 0)")
+    cache_simulate.add_argument(
+        "--save-sketch", metavar="PATH", default=None,
+        help="snapshot the TinyLFU admission sketch to PATH (.rcs) after "
+             "the run (requires tinylfu and exactly one --capacity)",
+    )
+    cache_simulate.add_argument(
+        "--load-sketch", metavar="PATH", default=None,
+        help="warm-start TinyLFU from a saved admission sketch instead "
+             "of an empty one",
+    )
+    cache_simulate.set_defaults(handler=_cmd_cache_simulate)
+
+    cache_stats = cache_sub.add_parser(
+        "stats",
+        help="inspect a saved admission-sketch snapshot; optionally "
+             "score items against it",
+    )
+    cache_stats.add_argument("--sketch", required=True, metavar="PATH",
+                             help="admission-sketch snapshot (.rcs) "
+                                  "written by simulate --save-sketch")
+    cache_stats.add_argument("items", nargs="*",
+                             help="items to score (optional)")
+    cache_stats.add_argument("--int-keys", action="store_true",
+                             help="parse items as integers")
+    cache_stats.set_defaults(handler=_cmd_cache_stats)
 
     lint = subparsers.add_parser(
         "lint",

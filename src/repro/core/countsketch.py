@@ -28,6 +28,7 @@ from __future__ import annotations
 import itertools
 import math
 import statistics
+from fractions import Fraction
 from collections.abc import Hashable, Iterable, Mapping, Sequence
 from typing import Any
 
@@ -399,29 +400,67 @@ class CountSketch:
     def __neg__(self) -> CountSketch:
         return self._with_counters(-self._counters, -self._total_weight)
 
-    def scale(self, factor: int) -> CountSketch:
+    def scale(self, factor: int | float) -> CountSketch:
         """Return the sketch of the frequency vector scaled by ``factor``.
 
-        ``factor`` must be integral: scaling by a fraction would silently
-        promote the counter array to float64, breaking the int64 counter
-        invariant (and with it ``state_dict`` round-tripping and equality
-        against integer sketches).  Integral floats (``2.0``) are accepted
-        and converted.
+        Two kinds of factor keep the int64 counter invariant (and with it
+        ``state_dict`` round-tripping and equality against integer
+        sketches), and only those are accepted:
+
+        * **Integral factors** (``3``, ``-1``, ``2.0``) multiply every
+          counter exactly.
+        * **Exact reciprocals** (``0.5``, ``0.25``, …): a float whose
+          IEEE-754 value is exactly ``1/k`` for an integer ``k >= 2``
+          **floor-divides** every counter by ``k``.  ``scale(0.5)`` is the
+          TinyLFU aging/reset operation (halve every counter when the
+          sample watermark is hit; see :mod:`repro.cache`) and the halving
+          step of Hokusai-style time decay.
+
+        Floor-division semantics are pinned deliberately: ``counter // k``
+        rounds toward negative infinity, so ``5 -> 2``, ``-5 -> -3``, and
+        a ``-1`` counter is a fixed point of repeated halving (it never
+        decays to ``0``).  Every per-row readout of ``scale(0.5)`` is
+        therefore within ``0.5`` of half the original readout, and so is
+        the median estimate.  Callers using halving as TinyLFU aging must
+        clear their doorkeeper in the same step — the doorkeeper's ones
+        are one-epoch state that the halved sketch no longer accounts for.
+
+        Only binary reciprocals are exactly representable as floats
+        (``0.2`` is really ``0.200000…11``), so non-dyadic fractions are
+        rejected rather than silently mis-scaled.
 
         Raises:
             TypeError: if ``factor`` is not a real number.
-            ValueError: if ``factor`` is a non-integral number.
+            ValueError: if ``factor`` is neither integral nor an exact
+                ``1/k`` reciprocal.
         """
         if isinstance(factor, (bool, np.bool_)):
             raise TypeError("scale factor must be an integer, not a bool")
         if isinstance(factor, (float, np.floating)):
-            if not float(factor).is_integer():
-                raise ValueError(
-                    f"scale factor must be integral, got {factor!r}: "
-                    "non-integer scaling would break the int64 counter "
-                    "invariant"
+            value = float(factor)
+            if value.is_integer():
+                factor = int(value)
+            else:
+                ratio = (
+                    Fraction(value) if math.isfinite(value) else None
                 )
-            factor = int(factor)
+                if (
+                    ratio is None
+                    or ratio.numerator != 1
+                    or ratio.denominator < 2
+                ):
+                    raise ValueError(
+                        f"scale factor must be integral or an exact "
+                        f"reciprocal 1/k, got {factor!r}: other fractions "
+                        "would break the int64 counter invariant (0.5 "
+                        "floor-halves every counter; 0.2 is not exactly "
+                        "representable as a float)"
+                    )
+                divisor = ratio.denominator
+                return self._with_counters(
+                    self._counters // divisor,
+                    self._total_weight // divisor,
+                )
         elif isinstance(factor, (int, np.integer)):
             factor = int(factor)
         else:

@@ -124,7 +124,8 @@ def _node_value_names(node: FlowNode) -> frozenset[str]:
 # ---------------------------------------------------------------------------
 
 #: Attribute names that constitute shared table/sketch state: the
-#: RS002/RS004 sets plus the service applier's sequencing fields.
+#: RS002/RS004 sets (including the ``repro.cache`` segment orderings
+#: and doorkeeper bits) plus the service applier's sequencing fields.
 _RACE_ATTRS = frozenset(
     {
         "_counters",
@@ -137,6 +138,13 @@ _RACE_ATTRS = frozenset(
         "_enqueued_seq",
         "_records_applied",
         "_accepting",
+        "_window_lru",
+        "_probation",
+        "_protected",
+        "_lru_order",
+        "_freq_buckets",
+        "_key_freq",
+        "_door_bits",
     }
 )
 
@@ -753,7 +761,8 @@ def run_flow_rules(tree: ast.Module, path: Path) -> list[RawFinding]:
     in_service_tier = _in_package(path, "service") or _in_package(
         path, "cluster"
     )
-    in_resource_tier = in_service_tier or _in_package(path, "store")
+    in_resource_tier = (in_service_tier or _in_package(path, "store")
+                        or _in_package(path, "cache"))
     in_repro = _in_package(path)
     is_test = _is_test_path(path)
     if is_test or not in_repro:

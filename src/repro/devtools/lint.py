@@ -23,9 +23,11 @@ that no general-purpose linter knows about:
   ``merge()`` / ``+`` / ``-`` enforce the §3.2 shared-hash check; raw
   array arithmetic merges incompatible sketches silently.
 * **RS005 float-count** — float literals flowing into integer count
-  parameters (``update(item, 1.5)``, ``count=2.0``, ``scale(0.5)``).
+  parameters (``update(item, 1.5)``, ``count=2.0``, ``scale(1.5)``).
   A float count silently promotes the int64 counter array and breaks
-  serialization and exact-merge equality.
+  serialization and exact-merge equality.  Exact-reciprocal ``scale``
+  factors (``scale(0.5)``, the TinyLFU aging reset) floor-divide and are
+  exempt.
 * **RS006 raw-state-serialization** — sketch state fed to a generic
   serializer (``json.dump``/``dumps``, ``pickle``, ``marshal``,
   ``np.save``/``savez``) outside ``repro.store``.  Ad-hoc dumps drop
@@ -88,11 +90,13 @@ from __future__ import annotations
 import argparse
 import ast
 import json
+import math
 import re
 import sys
 import time
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
+from fractions import Fraction
 from pathlib import Path
 from typing import Any
 
@@ -313,13 +317,24 @@ def _is_suppressed(
 # -- the checker -------------------------------------------------------------
 
 #: Sketch state attributes whose *mutation* outside repro.core is RS002.
+#: Includes the ``repro.cache`` shared state: cache segment orderings
+#: (``_window_lru``/``_probation``/``_protected``), the LFU frequency
+#: buckets, and the doorkeeper bit array.
 _STATE_ATTRS = frozenset(
-    {"_counters", "_rows", "_table", "_total_weight", "counters", "table"}
+    {
+        "_counters", "_rows", "_table", "_total_weight", "counters",
+        "table", "_window_lru", "_probation", "_protected", "_lru_order",
+        "_freq_buckets", "_key_freq", "_door_bits",
+    }
 )
 
 #: Private state attributes whose *read* outside repro.core is RS004.
 _PRIVATE_STATE_ATTRS = frozenset(
-    {"_counters", "_rows", "_table", "_total_weight"}
+    {
+        "_counters", "_rows", "_table", "_total_weight", "_window_lru",
+        "_probation", "_protected", "_lru_order", "_freq_buckets",
+        "_key_freq", "_door_bits",
+    }
 )
 
 #: Registry lookup method names (RS003).
@@ -375,6 +390,20 @@ _COUNT_POSITIONS = {
 
 #: Keyword names that carry integer counts (RS005).
 _COUNT_KEYWORDS = frozenset({"count"})
+
+
+def _is_exact_reciprocal(value: object) -> bool:
+    """True for float literals ``scale`` accepts as floor-division factors.
+
+    ``CountSketch.scale`` floor-divides on factors whose IEEE-754 value is
+    exactly ``1/k`` (``0.5``, ``0.25``, …) — the TinyLFU aging/reset
+    operation — so those literals are legitimate counts-preserving
+    arguments, not RS005 findings.
+    """
+    if not isinstance(value, float) or not math.isfinite(value):
+        return False
+    ratio = Fraction(value)
+    return ratio.numerator == 1 and ratio.denominator >= 2
 
 #: Generic serializer entry points per stdlib/numpy module (RS006).
 _SERIALIZER_FUNCS: dict[str, frozenset[str]] = {
@@ -760,6 +789,14 @@ class _Checker(ast.NodeVisitor):
             return
         argument = node.args[position]
         if _float_literal(argument):
+            if (
+                name == "scale"
+                and isinstance(argument, ast.Constant)
+                and _is_exact_reciprocal(argument.value)
+            ):
+                # scale(0.5) floor-halves counters (the TinyLFU reset);
+                # exact reciprocals keep the int64 invariant.
+                return
             self._report(
                 argument,
                 "RS005",

@@ -10,5 +10,5 @@ def suppressed(a: CountSketch, b: CountSketch) -> None:
     a._total_weight = 0  # repro: noqa-RS002
     a.update("q", 1.5)  # repro: noqa-RS005 — deliberate bad-count demo
     b.update("q", 2.5)  # repro: noqa-RS002,RS005 — multi-code form
-    b.scale(0.5)  # repro: noqa
+    b.scale(1.5)  # repro: noqa
     json.dumps(a.state_dict())  # repro: noqa-RS006 — debug-dump demo

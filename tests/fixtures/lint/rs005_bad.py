@@ -13,4 +13,4 @@ def bad_updates(sketch: CountSketch, finder: MaxChangeFinder) -> None:
 
 
 def bad_scale(sketch: CountSketch) -> CountSketch:
-    return sketch.scale(0.5)  # RS005: fractional scale factor
+    return sketch.scale(1.5)  # RS005: non-reciprocal fractional factor

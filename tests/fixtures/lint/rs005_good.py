@@ -16,6 +16,12 @@ def good_scale(sketch: CountSketch) -> CountSketch:
     return sketch.scale(-1)
 
 
+def good_halving(sketch: CountSketch) -> CountSketch:
+    # Exact reciprocals floor-divide the counters (the TinyLFU aging
+    # reset); the int64 invariant holds, so no finding.
+    return sketch.scale(0.5)
+
+
 def floats_where_floats_belong(gauge: Gauge, histogram: Histogram) -> None:
     # Gauges and histograms are float-valued by design — not counts.
     gauge.set(0.5)

@@ -1,0 +1,88 @@
+"""Doorkeeper behavior: one-shot membership, determinism, clearing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import Doorkeeper
+from repro.hashing.encode import encode_key
+
+
+class TestDoorkeeper:
+    def test_first_add_absorbs_second_does_not(self):
+        door = Doorkeeper(1024, seed=3)
+        assert door.add("query") is True
+        assert door.add("query") is False
+        assert door.contains("query")
+        assert not door.contains("other")
+
+    def test_add_key_matches_add_via_encode_key(self):
+        by_item = Doorkeeper(512, seed=9)
+        by_key = Doorkeeper(512, seed=9)
+        for item in ["alpha", 42, ("flow", 7)]:
+            assert by_item.add(item) == by_key.add_key(encode_key(item))
+        assert by_item.ones == by_key.ones
+        assert by_key.contains_key(encode_key("alpha"))
+
+    def test_clear_forgets_everything(self):
+        door = Doorkeeper(256, seed=1)
+        for item in range(50):
+            door.add(item)
+        assert door.ones > 0
+        door.clear()
+        assert door.ones == 0
+        assert door.fill_ratio() == 0.0
+        assert not any(door.contains(item) for item in range(50))
+        # After a clear, keys are first occurrences again.
+        assert door.add(0) is True
+
+    def test_equal_seeds_agree_bit_for_bit(self):
+        a = Doorkeeper(2048, probes=3, seed=7)
+        b = Doorkeeper(2048, probes=3, seed=7)
+        for item in range(200):
+            assert a.add(item) == b.add(item)
+        assert a.ones == b.ones
+        assert all(a.contains(item) == b.contains(item)
+                   for item in range(400))
+
+    def test_different_seeds_probe_differently(self):
+        a = Doorkeeper(512, seed=1)
+        b = Doorkeeper(512, seed=2)
+        for item in range(100):
+            a.add(item)
+            b.add(item)
+        # No false negatives under either seed ...
+        assert all(a.contains(item) and b.contains(item)
+                   for item in range(100))
+        # ... but the *false positive* sets depend on the probe salts,
+        # so seed-dependent salts make them diverge.
+        fp_a = {item for item in range(100, 3000) if a.contains(item)}
+        fp_b = {item for item in range(100, 3000) if b.contains(item)}
+        assert fp_a != fp_b
+
+    def test_ones_counts_distinct_bits_not_keys(self):
+        door = Doorkeeper(64, probes=2, seed=5)
+        door.add("x")
+        first = door.ones
+        assert 1 <= first <= 2  # probe positions may collide
+        door.add("x")
+        assert door.ones == first
+
+    def test_fill_ratio_rises_with_population(self):
+        door = Doorkeeper(128, seed=11)
+        assert door.fill_ratio() == 0.0
+        for item in range(100):
+            door.add(item)
+        assert 0.0 < door.fill_ratio() <= 1.0
+
+    def test_properties_report_construction_arguments(self):
+        door = Doorkeeper(512, probes=4, seed=13)
+        assert door.num_bits == 512
+        assert door.probes == 4
+        assert door.seed == 13
+        assert "512" in repr(door)
+
+    @pytest.mark.parametrize("bits,probes", [(4, 2), (0, 1), (64, 0)])
+    def test_bad_geometry_is_rejected(self, bits, probes):
+        with pytest.raises(ValueError):
+            Doorkeeper(bits, probes=probes)

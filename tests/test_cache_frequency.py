@@ -1,0 +1,132 @@
+"""FrequencySketch behavior: touch/estimate, aging resets, persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import FrequencySketch
+from repro.core.topk import TopKTracker
+from repro.store import StoreError, save
+
+
+class TestTouchAndEstimate:
+    def test_unseen_items_score_zero(self):
+        oracle = FrequencySketch(1000, seed=2)
+        assert oracle.estimate("never") == 0
+
+    def test_singleton_scores_one_via_the_doorkeeper(self):
+        oracle = FrequencySketch(1000, seed=2)
+        oracle.touch("once")
+        assert oracle.estimate("once") == 1
+        # The occurrence was absorbed: the sketch itself saw nothing.
+        assert oracle.sketch.total_weight == 0
+
+    def test_repeats_accumulate_in_the_sketch(self):
+        oracle = FrequencySketch(1000, seed=2)
+        for _ in range(10):
+            oracle.touch("hot")
+        oracle.touch("warm")
+        oracle.touch("warm")
+        assert oracle.estimate("hot") == 10
+        assert oracle.estimate("warm") == 2
+        assert oracle.estimate("hot") > oracle.estimate("warm") > 0
+
+    def test_samples_count_every_touch(self):
+        oracle = FrequencySketch(1000, seed=2)
+        for index in range(7):
+            oracle.touch(index)
+        assert oracle.samples == 7
+        assert oracle.resets == 0
+
+    def test_sample_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FrequencySketch(0)
+
+
+class TestAging:
+    def test_watermark_triggers_the_reset(self):
+        oracle = FrequencySketch(10, seed=4)
+        for _ in range(10):
+            oracle.touch("hot")
+        assert oracle.resets == 1
+        assert oracle.samples == 5  # halved, like the counters
+
+    def test_reset_halves_counters_and_clears_the_doorkeeper(self):
+        oracle = FrequencySketch(20, seed=4)
+        for _ in range(19):
+            oracle.touch("hot")
+        before = oracle.estimate("hot")
+        assert oracle.doorkeeper.ones > 0
+        oracle.touch("hot")  # the watermark touch
+        assert oracle.resets == 1
+        assert oracle.doorkeeper.ones == 0
+        # 19 sketched + the watermark touch = 20, halved to 10; the
+        # estimate loses at most the floor-division rounding and the
+        # cleared doorkeeper bit.
+        after = oracle.estimate("hot")
+        assert abs(after - before // 2) <= 1
+
+    def test_aging_forgets_history_exponentially(self):
+        oracle = FrequencySketch(50, seed=4)
+        for _ in range(40):
+            oracle.touch("old")
+        for _ in range(200):
+            oracle.touch("new")
+        assert oracle.resets >= 3
+        assert oracle.estimate("new") > oracle.estimate("old")
+
+
+class TestPersistence:
+    def test_roundtrip_restores_sketch_bit_for_bit(self, tmp_path):
+        oracle = FrequencySketch(30, seed=6, doorkeeper_bits=256)
+        for index in range(100):
+            oracle.touch(index % 7)
+        path = tmp_path / "admission.rcs"
+        written = oracle.save(path)
+        assert written > 0
+        restored = FrequencySketch.load(path)
+        assert restored.sketch == oracle.sketch
+        assert restored.sample_size == oracle.sample_size
+        assert restored.samples == oracle.samples
+        assert restored.resets == oracle.resets
+        assert restored.doorkeeper.num_bits == 256
+        assert restored.doorkeeper.seed == 6
+
+    def test_doorkeeper_starts_empty_after_load(self, tmp_path):
+        oracle = FrequencySketch(1000, seed=6)
+        for index in range(10):
+            oracle.touch(index)
+        assert oracle.doorkeeper.ones > 0
+        path = tmp_path / "admission.rcs"
+        oracle.save(path)
+        restored = FrequencySketch.load(path)
+        assert restored.doorkeeper.ones == 0
+
+    def test_restored_estimates_match_sketched_mass(self, tmp_path):
+        oracle = FrequencySketch(1000, seed=6)
+        for _ in range(5):
+            oracle.touch("hot")
+        path = tmp_path / "admission.rcs"
+        oracle.save(path)
+        restored = FrequencySketch.load(path)
+        # The doorkeeper bit (one occurrence) is the only epoch state
+        # the snapshot drops.
+        assert restored.estimate("hot") == oracle.estimate("hot") - 1
+
+    def test_load_rejects_non_sketch_snapshots(self, tmp_path):
+        path = tmp_path / "topk.rcs"
+        save(TopKTracker(3, depth=4, width=64, seed=1), path)
+        with pytest.raises(TypeError, match="TopKTracker"):
+            FrequencySketch.load(path)
+
+    def test_load_rejects_plain_sketch_snapshots(self, tmp_path):
+        from repro.core.countsketch import CountSketch
+
+        path = tmp_path / "plain.rcs"
+        save(CountSketch(4, 64, seed=1), path)
+        with pytest.raises(ValueError, match="cache_sample_size"):
+            FrequencySketch.load(path)
+
+    def test_load_missing_file_is_a_store_error(self, tmp_path):
+        with pytest.raises((StoreError, OSError)):
+            FrequencySketch.load(tmp_path / "nope.rcs")

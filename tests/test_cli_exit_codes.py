@@ -2,7 +2,8 @@
 
 One parametrized matrix touching every subcommand — ``topk``,
 ``estimate``, ``maxchange``, ``percent-change``, ``experiment``,
-``store`` (inspect/merge/diff), ``serve``, and ``query``.  The
+``store`` (inspect/merge/diff), ``serve``, ``query``, ``cluster``,
+and ``cache`` (simulate/stats).  The
 ``serve``/``query`` success paths need a live server and are exercised
 end-to-end by ``test_service_smoke.py`` / ``test_service_resume.py``;
 here they contribute their usage and connection failures.
@@ -12,6 +13,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.cache import FrequencySketch
 from repro.cli import EXIT_DATA, EXIT_OK, EXIT_USAGE, main
 from repro.core.countsketch import CountSketch
 from repro.core.topk import TopKTracker
@@ -36,11 +38,16 @@ def paths(tmp_path_factory):
     save(sketch_a, root / "a.rcs")
     save(sketch_b, root / "b.rcs")
     save(topk, root / "top.rcs")
+    oracle = FrequencySketch(64, seed=3)
+    for item in ITEMS:
+        oracle.touch(item)
+    oracle.save(root / "admission.rcs")
     return {
         "stream": str(stream),
         "snap_a": str(root / "a.rcs"),
         "snap_b": str(root / "b.rcs"),
         "snap_top": str(root / "top.rcs"),
+        "snap_cache": str(root / "admission.rcs"),
         "out": str(root / "merged.rcs"),
         "missing": str(root / "nope" / "missing.rcs"),
     }
@@ -70,6 +77,15 @@ SUCCESS = [
                   "{snap_b}"], id="store-merge"),
     pytest.param(["store", "diff", "{snap_a}", "{snap_b}",
                   "--items", "apple"], id="store-diff"),
+    pytest.param(["cache", "simulate", "--requests", "2000",
+                  "--keys", "500", "--capacity", "50"],
+                 id="cache-simulate"),
+    pytest.param(["cache", "simulate", "--policy", "tinylfu",
+                  "--trace", "shifting", "--requests", "2000",
+                  "--keys", "500", "--capacity", "50"],
+                 id="cache-simulate-shifting"),
+    pytest.param(["cache", "stats", "--sketch", "{snap_cache}", "apple"],
+                 id="cache-stats"),
 ]
 
 USAGE = [
@@ -109,6 +125,21 @@ USAGE = [
                  id="cluster-serve-trigger-without-dir"),
     pytest.param(["cluster", "rebalance", "--src", "a", "--out", "b"],
                  id="cluster-rebalance-missing-shards"),
+    pytest.param(["cache"], id="cache-missing-verb"),
+    pytest.param(["cache", "simulate", "--policy", "bogus"],
+                 id="cache-simulate-bad-policy"),
+    pytest.param(["cache", "simulate", "--requests", "0"],
+                 id="cache-simulate-zero-requests"),
+    pytest.param(["cache", "simulate", "--policy", "lru",
+                  "--requests", "100", "--keys", "50",
+                  "--save-sketch", "{out}"],
+                 id="cache-save-sketch-needs-tinylfu"),
+    pytest.param(["cache", "simulate", "--policy", "tinylfu",
+                  "--requests", "100", "--keys", "50",
+                  "--capacity", "10", "--capacity", "20",
+                  "--save-sketch", "{out}"],
+                 id="cache-save-sketch-one-capacity"),
+    pytest.param(["cache", "stats"], id="cache-stats-missing-sketch"),
 ]
 
 DATA = [
@@ -128,6 +159,14 @@ DATA = [
     pytest.param(["cluster", "rebalance", "--src", "{missing}",
                   "--out", "{out}.d", "--shards", "2"],
                  id="cluster-rebalance-no-manifest"),
+    pytest.param(["cache", "stats", "--sketch", "{missing}"],
+                 id="cache-stats-missing-snapshot"),
+    pytest.param(["cache", "stats", "--sketch", "{snap_top}"],
+                 id="cache-stats-wrong-type"),
+    pytest.param(["cache", "simulate", "--policy", "tinylfu",
+                  "--requests", "1000", "--keys", "200",
+                  "--capacity", "50", "--load-sketch", "{snap_a}"],
+                 id="cache-load-sketch-not-admission"),
 ]
 
 

@@ -201,13 +201,57 @@ class TestLinearity:
         roundtrip = CountSketch.from_state_dict(scaled.state_dict())
         assert roundtrip == scaled
 
-    def test_scale_rejects_non_integral_factor(self):
+    def test_scale_rejects_non_reciprocal_fraction(self):
         sketch = CountSketch(3, 16, seed=1)
         sketch.update("a", 5)
         with pytest.raises(ValueError, match="integral"):
-            sketch.scale(0.5)  # repro: noqa-RS005 — asserts the rejection
+            sketch.scale(0.3)  # repro: noqa-RS005 — asserts the rejection
         with pytest.raises(ValueError, match="integral"):
             sketch.scale(np.float64(2.5))
+        with pytest.raises(ValueError, match="integral"):
+            sketch.scale(-0.5)  # repro: noqa-RS005 — asserts the rejection
+
+    def test_scale_half_floor_divides_counters(self):
+        # scale(0.5) is the TinyLFU reset: every counter floor-halves,
+        # keeping int64 dtype.  Pin //-toward-negative-infinity semantics
+        # for odd counters: 5 -> 2 but -5 -> -3.
+        sketch = CountSketch(3, 16, seed=1)
+        sketch.update("a", 5)
+        sketch.update("b", -5)
+        halved = sketch.scale(0.5)
+        assert halved.counters.dtype == np.int64
+        assert np.array_equal(halved.counters, sketch.counters // 2)
+        assert halved.total_weight == sketch.total_weight // 2
+        roundtrip = CountSketch.from_state_dict(halved.state_dict())
+        assert roundtrip == halved
+
+    def test_scale_half_negative_one_is_a_fixed_point(self):
+        # Documented floor-semantics consequence: -1 // 2 == -1, so a -1
+        # counter never decays to zero under repeated halving.
+        sketch = CountSketch(1, 4, seed=0)
+        sketch.update(0, -1)
+        row = sketch.counters[0]
+        assert row.sum() == -1 or row.sum() == 1  # sign hash may flip it
+        twice = sketch.scale(0.5).scale(0.5)
+        negatives = twice.counters[twice.counters < 0]
+        assert all(value == -1 for value in negatives.tolist())
+
+    def test_scale_quarter_is_two_halvings_of_even_counters(self):
+        sketch = CountSketch(3, 16, seed=2)
+        sketch.update("a", 8)
+        sketch.update("b", 12)
+        assert sketch.scale(0.25) == sketch.scale(0.5).scale(0.5)
+
+    def test_scale_half_estimate_tracks_half_the_original(self):
+        # Each per-row readout moves by at most 0.5 under floor-halving,
+        # so the median estimate does too.
+        sketch = CountSketch(5, 32, seed=3)
+        for rank in range(1, 40):
+            sketch.update(rank, 41 - rank)
+        halved = sketch.scale(0.5)
+        for rank in range(1, 40):
+            drift = abs(halved.estimate(rank) - sketch.estimate(rank) / 2)
+            assert drift <= 0.5
 
     def test_scale_rejects_non_numbers(self):
         sketch = CountSketch(3, 16, seed=1)
