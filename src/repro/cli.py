@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Ten subcommands cover the library's day-to-day uses on on-disk streams
+The subcommands cover the library's day-to-day uses on on-disk streams
 (one item per line; ``--int-keys`` parses lines as integers):
 
 * ``repro topk`` — the §3.2 one-pass tracker: the approximate top-k items.
@@ -22,6 +22,11 @@ Ten subcommands cover the library's day-to-day uses on on-disk streams
   ``serve`` launches and supervises N shard servers, ``rebalance``
   re-shapes a stopped fleet's checkpoints to a new shard count by
   exact snapshot re-merge (§3.2 linearity).
+* ``repro traffic`` — drive a seeded multi-tenant workload
+  (:mod:`repro.traffic`) against a live server or cluster: Zipfian keys
+  and tenants, open- or closed-loop arrivals, reporting saturation
+  throughput, p50/p99/p999 latency, shed counts, per-tenant fairness,
+  and a mid-load bit-exactness probe.
 * ``repro cache`` — sketch-guided cache admission (:mod:`repro.cache`):
   ``simulate`` races W-TinyLFU against LRU/LFU baselines on seeded
   synthetic traces, ``stats`` inspects a saved admission-sketch
@@ -635,6 +640,22 @@ def _parse_table_flag(value: str) -> TableSpec:
         raise ValueError(f"--table {value!r}: {error}") from None
 
 
+def _parse_weight_flag(value: str) -> tuple[str, int]:
+    """Parse one ``--table-weight NAME=W`` flag."""
+    name, sep, raw = value.partition("=")
+    if not sep or not name or not raw:
+        raise ValueError(
+            f"malformed --table-weight {value!r}; use NAME=WEIGHT"
+        )
+    try:
+        return name, int(raw)
+    except ValueError:
+        raise ValueError(
+            f"--table-weight {value!r}: weight must be an integer, "
+            f"got {raw!r}"
+        ) from None
+
+
 async def _serve_until_stopped(
     server: SketchServer, host: str, port: int
 ) -> None:
@@ -681,6 +702,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "--checkpoint-every/--checkpoint-every-seconds require "
             "--checkpoint-dir (where should the snapshots go?)"
         )
+    try:
+        weights = tuple(
+            _parse_weight_flag(value) for value in args.table_weight)
+    except ValueError as error:
+        return _usage_fail(str(error))
+    limits = None
+    if (
+        args.max_connections is not None
+        or args.ingest_rate is not None
+        or args.ingest_burst is not None
+        or args.query_rate is not None
+        or args.query_burst is not None
+        or args.fair_quantum is not None
+        or weights
+    ):
+        from repro.service.limits import ServiceLimits
+
+        try:
+            limits = ServiceLimits(
+                max_connections=args.max_connections,
+                ingest_rate=args.ingest_rate,
+                ingest_burst=args.ingest_burst,
+                query_rate=args.query_rate,
+                query_burst=args.query_burst,
+                fair_quantum=args.fair_quantum,
+                weights=weights,
+            )
+        except ValueError as error:
+            return _usage_fail(str(error))
     registry = get_registry() if metrics_enabled() else None
     try:
         server = SketchServer(
@@ -691,10 +741,112 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             checkpoint_every_items=args.checkpoint_every,
             checkpoint_every_seconds=args.checkpoint_every_seconds,
             registry=registry,
+            limits=limits,
+            estimate_cache=args.estimate_cache,
         )
     except ValueError as error:
         return _usage_fail(str(error))
     asyncio.run(_serve_until_stopped(server, args.host, args.port))
+    return EXIT_OK
+
+
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.client import AsyncServiceClient, ServiceError
+    from repro.traffic import TrafficReport, TrafficRunner, WorkloadSpec
+
+    try:
+        spec = WorkloadSpec(
+            tenants=args.tenants,
+            keys_per_tenant=args.keys_per_tenant,
+            zipf_key=args.zipf_key,
+            zipf_tenant=args.zipf_tenant,
+            query_fraction=args.query_fraction,
+            batch_size=args.batch_size,
+            query_items=args.query_items,
+            arrival=args.arrival,
+            rate=args.rate,
+            burst_factor=args.burst_factor,
+            burst_period=args.burst_period,
+            seed=args.seed,
+            table_prefix=args.table_prefix,
+            table_kind=args.table_kind,
+            depth=args.depth,
+            width=args.width,
+        )
+        runner = TrafficRunner(spec, clients=args.clients,
+                               duration=args.duration,
+                               max_inflight=args.max_inflight)
+    except ValueError as error:
+        return _usage_fail(str(error))
+
+    if args.cluster:
+        from repro.cluster.coordinator import ClusterCoordinator
+        from repro.cluster.fleet import read_cluster_spec
+
+        try:
+            fleet = read_cluster_spec(args.cluster)
+        except (OSError, ValueError) as error:
+            return _fail(str(error))
+
+        def connect() -> object:
+            return ClusterCoordinator.connect(fleet.endpoints,
+                                              wire=args.wire)
+    else:
+
+        def connect() -> object:
+            return AsyncServiceClient.connect(args.host, args.port,
+                                              wire=args.wire)
+
+    async def drive() -> TrafficReport:
+        return await runner.run(connect, setup=not args.no_setup,
+                                probe=not args.no_probe,
+                                verify=not args.no_verify)
+
+    try:
+        report = asyncio.run(drive())
+    except (ServiceError, OSError) as error:
+        return _fail(str(error))
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"traffic: {report.total_ops} ops in {report.duration:.2f}s "
+            f"({report.throughput:.0f} ops/s), "
+            f"{report.total_errors} refused/failed, "
+            f"{report.skipped} skipped at the inflight cap"
+        )
+        for kind in sorted(report.latency):
+            stats = report.latency[kind]
+            print(
+                f"  {kind}: n={stats['count']} "
+                f"p50={stats['p50_ms']:.2f}ms "
+                f"p99={stats['p99_ms']:.2f}ms "
+                f"p999={stats['p999_ms']:.2f}ms"
+            )
+        for code in sorted(report.errors):
+            print(f"  refused {code}: {report.errors[code]}")
+        print(f"  tenant fairness (min/max): {report.fairness_ratio:.3f}")
+        if report.probe is not None:
+            verdict = ("bit-equal" if report.probe["bit_equal"]
+                       else "MISMATCH")
+            print(
+                f"  probe: {report.probe['keys_exact']}/"
+                f"{report.probe['keys_checked']} keys exact ({verdict})"
+            )
+        if report.verification is not None:
+            verdict = ("clean" if report.verification["no_silent_drops"]
+                       else "SILENT DROPS")
+            print(f"  acknowledged-vs-applied: {verdict}")
+    if report.probe is not None and not report.probe["bit_equal"]:
+        return _fail("probe estimates diverged from the offline summary")
+    if (
+        report.verification is not None
+        and not report.verification["no_silent_drops"]
+    ):
+        return _fail("acknowledged records were not all applied")
     return EXIT_OK
 
 
@@ -1244,6 +1396,43 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --checkpoint-dir: snapshot a table "
                             "after T seconds (default 30 when no trigger "
                             "is given)")
+    serve.add_argument("--max-connections", type=int, default=None,
+                       metavar="N",
+                       help="open-connection cap; excess connections get "
+                            "one `overloaded` frame and are closed "
+                            "(default: unlimited)")
+    serve.add_argument("--ingest-rate", type=float, default=None,
+                       metavar="R",
+                       help="per-table ingest quota in records/second; "
+                            "refusals answer `quota_exceeded` "
+                            "(default: unlimited)")
+    serve.add_argument("--ingest-burst", type=int, default=None,
+                       metavar="N",
+                       help="ingest token-bucket capacity in records "
+                            "(default: one second of --ingest-rate)")
+    serve.add_argument("--query-rate", type=float, default=None,
+                       metavar="R",
+                       help="per-table query quota in queries/second "
+                            "(default: unlimited)")
+    serve.add_argument("--query-burst", type=int, default=None,
+                       metavar="N",
+                       help="query token-bucket capacity "
+                            "(default: one second of --query-rate)")
+    serve.add_argument("--fair-quantum", type=int, default=None,
+                       metavar="N",
+                       help="base records per weighted-fair applier turn; "
+                            "enables round-robin draining across tables "
+                            "(default: off)")
+    serve.add_argument("--table-weight", action="append", default=[],
+                       metavar="NAME=W",
+                       help="fairness weight for a table (repeatable; "
+                            "unlisted tables weigh 1; needs "
+                            "--fair-quantum)")
+    serve.add_argument("--estimate-cache", type=int, default=None,
+                       metavar="CAPACITY",
+                       help="cache up to CAPACITY estimate answers "
+                            "(W-TinyLFU admission), invalidated on any "
+                            "ingest to the table (default: off)")
     _add_metrics_arguments(serve)
     serve.set_defaults(handler=_cmd_serve)
 
@@ -1423,6 +1612,89 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_rebalance.add_argument("--shards", type=int, required=True,
                                    help="the new fleet size")
     cluster_rebalance.set_defaults(handler=_cmd_cluster_rebalance)
+
+    traffic = subparsers.add_parser(
+        "traffic",
+        help="drive a seeded multi-tenant workload against a live "
+             "server or cluster (repro.traffic) and report saturation "
+             "throughput, tail latency, shed counts, and fairness",
+    )
+    traffic.add_argument("--host", default="127.0.0.1",
+                         help="server address (default 127.0.0.1)")
+    traffic.add_argument("--port", type=int, default=9431,
+                         help="server port (default 9431)")
+    traffic.add_argument("--cluster", metavar="SPEC", default=None,
+                         help="drive a sharded fleet instead of one "
+                              "server: path to the cluster spec JSON "
+                              "(overrides --host/--port)")
+    traffic.add_argument("--wire", choices=("auto", "json", "binary"),
+                         default="auto",
+                         help="ingest wire preference (default auto)")
+    traffic.add_argument("--clients", type=int, default=4,
+                         help="concurrent client connections (default 4)")
+    traffic.add_argument("--duration", type=float, default=5.0,
+                         help="seconds of load (default 5)")
+    traffic.add_argument("--max-inflight", type=int, default=64,
+                         help="open-loop ops outstanding per client "
+                              "before arrivals are counted as skipped "
+                              "(default 64)")
+    traffic.add_argument("--tenants", type=int, default=4,
+                         help="tenant tables (default 4)")
+    traffic.add_argument("--keys-per-tenant", type=int, default=512,
+                         help="distinct keys per tenant (default 512)")
+    traffic.add_argument("--zipf-key", type=float, default=1.1,
+                         help="Zipf skew of key popularity within a "
+                              "tenant (default 1.1)")
+    traffic.add_argument("--zipf-tenant", type=float, default=0.0,
+                         help="Zipf skew across tenants; 0 is uniform, "
+                              "larger concentrates load on tenant 0 "
+                              "(default 0)")
+    traffic.add_argument("--query-fraction", type=float, default=0.2,
+                         help="fraction of ops that are estimate "
+                              "queries (default 0.2)")
+    traffic.add_argument("--batch-size", type=int, default=32,
+                         help="records per ingest op (default 32)")
+    traffic.add_argument("--query-items", type=int, default=8,
+                         help="items per estimate op (default 8)")
+    traffic.add_argument("--arrival",
+                         choices=("closed", "poisson", "burst"),
+                         default="closed",
+                         help="arrival process (default closed-loop)")
+    traffic.add_argument("--rate", type=float, default=0.0,
+                         help="per-client ops/second for the open-loop "
+                              "arrivals (required for poisson/burst)")
+    traffic.add_argument("--burst-factor", type=float, default=4.0,
+                         help="spike multiplier for --arrival burst "
+                              "(default 4)")
+    traffic.add_argument("--burst-period", type=float, default=1.0,
+                         help="seconds per spike/quiet cycle for "
+                              "--arrival burst (default 1)")
+    traffic.add_argument("--seed", type=int, default=0,
+                         help="workload seed (default 0)")
+    traffic.add_argument("--table-prefix", default="tenant",
+                         help="tenant table name prefix (default "
+                              "'tenant')")
+    traffic.add_argument("--table-kind",
+                         choices=("sketch", "vectorized", "topk",
+                                  "window"),
+                         default="sketch",
+                         help="summary kind for the tenant tables "
+                              "(default sketch)")
+    traffic.add_argument("--depth", type=int, default=5,
+                         help="sketch depth for the tenant tables "
+                              "(default 5)")
+    traffic.add_argument("--width", type=int, default=256,
+                         help="sketch width for the tenant tables "
+                              "(default 256)")
+    traffic.add_argument("--no-setup", action="store_true",
+                         help="assume the tenant tables already exist")
+    traffic.add_argument("--no-probe", action="store_true",
+                         help="skip the mid-load exactness probe")
+    traffic.add_argument("--no-verify", action="store_true",
+                         help="skip the acknowledged-vs-applied check")
+    traffic.add_argument("--json", action="store_true",
+                         help="print the full report as JSON")
+    traffic.set_defaults(handler=_cmd_traffic)
 
     cache = subparsers.add_parser(
         "cache",

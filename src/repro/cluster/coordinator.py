@@ -242,6 +242,15 @@ class ClusterCoordinator:
         ``wait=True`` acknowledges only after every routed sub-batch is
         *applied* on its shard — the cluster-wide read barrier.
         Returns the number of records routed.
+
+        Shard-side refusals pass through untranslated: a shard whose
+        table quota or ingest queue refuses its sub-batch raises the
+        same :class:`~repro.service.client.QuotaExceededError` /
+        :class:`~repro.service.client.OverloadedError` here.  Refused
+        sub-batches were never enqueued on their shard (all-or-nothing
+        per shard), but sub-batches routed to *other* shards in the
+        same call may already be acknowledged — retry the whole batch
+        only on linear-sketch tables, where re-adding commutes (§3.2).
         """
         pairs = [(item, int(count)) for item, count in records]
         if not pairs:

@@ -145,6 +145,9 @@ _RACE_ATTRS = frozenset(
         "_freq_buckets",
         "_key_freq",
         "_door_bits",
+        "_tokens",
+        "_turns",
+        "_entries",
     }
 )
 
@@ -689,6 +692,7 @@ _WIRE_ERROR_TYPES = frozenset(
         "WireProtocolError",
         "FrameTooLargeError",
         "TableOverloadedError",
+        "TableQuotaExceededError",
     }
 )
 

@@ -25,10 +25,17 @@ from repro.service.client import (
     AsyncServiceClient,
     InProcessTransport,
     OverloadedError,
+    QuotaExceededError,
     ServiceClient,
     ServiceConnectionError,
     ServiceError,
     TcpTransport,
+)
+from repro.service.limits import (
+    ServiceLimits,
+    TableQuotaExceededError,
+    TokenBucket,
+    WeightedFairScheduler,
 )
 from repro.service.protocol import (
     FEATURE_BINARY_INGEST,
@@ -67,14 +74,19 @@ __all__ = [
     "FrameTooLargeError",
     "InProcessTransport",
     "OverloadedError",
+    "QuotaExceededError",
     "ServiceClient",
     "ServiceConnectionError",
     "ServiceError",
+    "ServiceLimits",
     "ServiceTable",
     "SketchServer",
     "TableOverloadedError",
+    "TableQuotaExceededError",
     "TableSpec",
     "TcpTransport",
+    "TokenBucket",
+    "WeightedFairScheduler",
     "WireProtocolError",
     "decode_wire_key",
     "encode_wire_key",

@@ -75,6 +75,7 @@ __all__ = [
     "AsyncServiceClient",
     "InProcessTransport",
     "OverloadedError",
+    "QuotaExceededError",
     "ServiceClient",
     "ServiceConnectionError",
     "ServiceError",
@@ -107,6 +108,17 @@ class OverloadedError(ServiceError):
     """The table's ingest queue was full; the batch was not enqueued."""
 
 
+class QuotaExceededError(ServiceError):
+    """A per-table quota refused the request (nothing was enqueued).
+
+    Unlike :class:`OverloadedError` — transient backpressure that
+    pipelined ingest retries after a barrier — a quota refusal is
+    deliberate policy, so it always propagates.  ``details`` carries
+    the table, the op kind, and ``retry_after`` seconds when the
+    bucket could eventually grant the request.
+    """
+
+
 class ServiceConnectionError(ServiceError):
     """The connection failed to open, or was lost mid-session.
 
@@ -134,6 +146,8 @@ def _raise_for_error(response: dict[str, Any]) -> dict[str, Any]:
                if k not in ("code", "message")}
     if code == "overloaded":
         raise OverloadedError(code, message, details)
+    if code == "quota_exceeded":
+        raise QuotaExceededError(code, message, details)
     raise ServiceError(code, message, details)
 
 

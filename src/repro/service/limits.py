@@ -1,0 +1,406 @@
+"""Multi-tenant hardening primitives for the sketch service.
+
+Three building blocks, all **off by default** and enabled only through
+an explicit :class:`ServiceLimits`:
+
+* :class:`TokenBucket` — the per-table ingest/query quota: a classic
+  token bucket with continuous refill.  ``try_take`` is synchronous and
+  atomic (the event loop never suspends inside it), so a refusal can
+  never interleave with a grant — the refusal pattern for a given
+  arrival schedule is deterministic, which the property tests pin down
+  with an injected clock.
+* :class:`WeightedFairScheduler` — weighted round-robin turn scheduling
+  across table appliers.  Each applier acquires a *turn* before
+  applying and receives a record budget of ``quantum x weight``; the
+  budget caps how many queued batches the applier may coalesce into one
+  synchronous apply call, so a hot tenant's deep queue can no longer
+  monopolize the loop with one giant apply while cold tenants' ready
+  batches wait.  Turns are granted in arrival order (FIFO across
+  tables), so every tenant with pending work is served once per cycle.
+* :class:`ServiceLimits` — the frozen, JSON-serializable bundle of every
+  knob (connection cap, quota rates/bursts, fairness quantum, per-table
+  weights).  A durable server pins it in ``service.json`` next to the
+  table specs, so a resumed server keeps its limits unless the operator
+  explicitly passes new ones (operational tuning is overridable; sketch
+  parameters are not).
+
+:class:`TableQuotaExceededError` is part of the wire-error vocabulary:
+the fault barrier maps it to the ``quota_exceeded`` protocol code and
+clients surface it as ``QuotaExceededError`` — an explicit, retryable
+refusal, never a silent drop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from collections.abc import Callable
+
+__all__ = [
+    "ServiceLimits",
+    "TableQuotaExceededError",
+    "TokenBucket",
+    "WeightedFairScheduler",
+]
+
+
+class TableQuotaExceededError(Exception):
+    """A per-table quota refused the request; nothing was enqueued.
+
+    ``retry_after`` is the seconds until the bucket could grant the
+    request, or ``None`` when it never can (the request exceeds the
+    burst capacity outright and must be split).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        op_kind: str,
+        needed: int,
+        retry_after: float | None,
+    ) -> None:
+        if retry_after is None:
+            hint = "split the batch below the burst capacity"
+        else:
+            hint = f"retry in {retry_after:.3f}s"
+        super().__init__(
+            f"table {name!r} {op_kind} quota exhausted "
+            f"({needed} token(s) requested); {hint}"
+        )
+        self.name = name
+        self.op_kind = op_kind
+        self.needed = needed
+        self.retry_after = retry_after
+
+
+class TokenBucket:
+    """A continuously-refilled token bucket (``rate`` tokens/second,
+    capacity ``burst``).
+
+    The bucket starts full.  All arithmetic happens inside
+    :meth:`try_take` against an injectable monotonic clock, so replaying
+    the same ``(elapsed, take)`` schedule yields the same grant/refusal
+    pattern — quota decisions are a pure function of the arrival
+    schedule, never of scheduler jitter.
+    """
+
+    __slots__ = ("_burst", "_clock", "_rate", "_stamp", "_tokens")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if not rate > 0:
+            raise ValueError("rate must be positive")
+        if not burst >= 1:
+            raise ValueError("burst must be at least 1")
+        self._rate = float(rate)
+        self._burst = float(burst)
+        self._clock = clock if clock is not None else time.monotonic
+        self._tokens = self._burst
+        self._stamp = self._clock()
+
+    @property
+    def rate(self) -> float:
+        """Refill rate in tokens per second."""
+        return self._rate
+
+    @property
+    def burst(self) -> float:
+        """Bucket capacity (maximum grant size)."""
+        return self._burst
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available right now (refilled to the current clock)."""
+        self._refill()
+        return self._tokens
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._stamp
+        self._stamp = now
+        if elapsed > 0:
+            self._tokens = min(self._burst,
+                               self._tokens + elapsed * self._rate)
+
+    def try_take(self, n: int = 1) -> bool:
+        """Take ``n`` tokens atomically; ``False`` leaves the bucket
+        untouched (all-or-nothing, like the ingest queue itself)."""
+        if n < 0:
+            raise ValueError("cannot take a negative token count")
+        self._refill()
+        if n <= self._tokens:
+            self._tokens -= n
+            return True
+        return False
+
+    def retry_after(self, n: int = 1) -> float | None:
+        """Seconds until ``n`` tokens could be granted; ``None`` when
+        ``n`` exceeds the burst capacity (it never can be)."""
+        if n > self._burst:
+            return None
+        self._refill()
+        deficit = n - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / self._rate
+
+
+class WeightedFairScheduler:
+    """Weighted round-robin turns across table appliers.
+
+    Appliers call :meth:`acquire` before each apply cycle and
+    :meth:`release` after it.  Turns are granted FIFO across tables
+    with pending work; the returned budget (``quantum x weight``
+    records) caps how much the holder may coalesce into its one
+    synchronous apply call.  A single batch larger than the budget
+    still applies whole — batches are the atomic acknowledgement unit —
+    so the budget bounds *additional* coalescing, which is where the
+    monopoly came from.
+
+    Purely loop-local: no locks are needed because every mutation runs
+    between awaits on the one event loop; the only await is a waiter
+    future granted by the previous turn-holder's ``release``.
+    """
+
+    def __init__(self, quantum: int) -> None:
+        if quantum < 1:
+            raise ValueError("quantum must be at least 1")
+        self._quantum = quantum
+        self._weights: dict[str, int] = {}
+        self._turns: list[str] = []
+        self._wakers: dict[str, asyncio.Future[None]] = {}
+
+    @property
+    def quantum(self) -> int:
+        """Base record budget per turn (scaled by the table weight)."""
+        return self._quantum
+
+    def register(self, name: str, weight: int = 1) -> None:
+        """Declare a table's weight (default 1)."""
+        if weight < 1:
+            raise ValueError("weight must be at least 1")
+        self._weights[name] = weight
+
+    def forget(self, name: str) -> None:
+        """Remove a dropped table from the rotation."""
+        self._weights.pop(name, None)
+        self._discard(name)
+
+    def budget(self, name: str) -> int:
+        """The record budget one turn grants ``name``."""
+        return self._quantum * self._weights.get(name, 1)
+
+    async def acquire(self, name: str) -> int:
+        """Wait for ``name``'s turn; returns its record budget."""
+        if name not in self._turns:
+            self._turns.append(name)
+        try:
+            while self._turns[0] != name:
+                waker: asyncio.Future[None] = (
+                    asyncio.get_running_loop().create_future())
+                self._wakers[name] = waker
+                try:
+                    await waker
+                finally:
+                    self._wakers.pop(name, None)
+        except asyncio.CancelledError:
+            self._discard(name)
+            raise
+        return self.budget(name)
+
+    def release(self, name: str) -> None:
+        """End ``name``'s turn and wake the next table in line."""
+        self._discard(name)
+
+    def _discard(self, name: str) -> None:
+        if name not in self._turns:
+            return
+        was_head = self._turns[0] == name
+        self._turns.remove(name)
+        if was_head and self._turns:
+            waker = self._wakers.get(self._turns[0])
+            if waker is not None and not waker.done():
+                waker.set_result(None)
+
+
+#: ServiceLimits fields, in canonical serialization order.
+_LIMIT_FIELDS = (
+    "max_connections",
+    "ingest_rate",
+    "ingest_burst",
+    "query_rate",
+    "query_burst",
+    "fair_quantum",
+    "weights",
+)
+
+
+@dataclass(frozen=True)
+class ServiceLimits:
+    """Every hardening knob, bundled and spec-pinnable.
+
+    All fields default to "off"; a default-constructed instance is
+    inert (``enabled`` is False) and a server built with it behaves
+    exactly like one built with no limits at all.
+
+    Args:
+        max_connections: open-connection cap; excess connections get
+            one ``overloaded`` error frame and are closed.
+        ingest_rate: per-table ingest quota in records/second.
+        ingest_burst: ingest bucket capacity in records (default: one
+            second's worth of ``ingest_rate``, at least 1).
+        query_rate: per-table query quota in queries/second
+            (``estimate`` / ``estimate_rows`` / ``topk``).
+        query_burst: query bucket capacity (default: one second's worth
+            of ``query_rate``, at least 1).
+        fair_quantum: base record budget per weighted-fair applier turn;
+            ``None`` leaves the applier draining exactly as before.
+        weights: per-table fairness weights as sorted ``(name, weight)``
+            pairs; unlisted tables weigh 1.
+    """
+
+    max_connections: int | None = None
+    ingest_rate: float | None = None
+    ingest_burst: int | None = None
+    query_rate: float | None = None
+    query_burst: int | None = None
+    fair_quantum: int | None = None
+    weights: tuple[tuple[str, int], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.max_connections is not None and self.max_connections < 1:
+            raise ValueError("max_connections must be at least 1")
+        for label in ("ingest_rate", "query_rate"):
+            rate = getattr(self, label)
+            if rate is not None and not float(rate) > 0:
+                raise ValueError(f"{label} must be positive")
+        for label, rate_label in (
+            ("ingest_burst", "ingest_rate"),
+            ("query_burst", "query_rate"),
+        ):
+            burst = getattr(self, label)
+            if burst is None:
+                continue
+            if burst < 1:
+                raise ValueError(f"{label} must be at least 1")
+            if getattr(self, rate_label) is None:
+                raise ValueError(f"{label} requires {rate_label}")
+        if self.fair_quantum is not None and self.fair_quantum < 1:
+            raise ValueError("fair_quantum must be at least 1")
+        seen: set[str] = set()
+        for entry in self.weights:
+            if (
+                not isinstance(entry, tuple) or len(entry) != 2
+                or not isinstance(entry[0], str)
+                or not isinstance(entry[1], int)
+                or isinstance(entry[1], bool)
+            ):
+                raise ValueError(
+                    "weights must be (table_name, integer_weight) pairs")
+            name, weight = entry
+            if not name:
+                raise ValueError("weight table names must be non-empty")
+            if weight < 1:
+                raise ValueError(f"weight for table {name!r} must be >= 1")
+            if name in seen:
+                raise ValueError(f"duplicate weight for table {name!r}")
+            seen.add(name)
+        # Canonical order: equal limit sets compare and serialize equal.
+        object.__setattr__(self, "weights", tuple(sorted(self.weights)))
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any knob is actually set."""
+        return any(
+            getattr(self, label) not in (None, ())
+            for label in _LIMIT_FIELDS
+        )
+
+    def weight_for(self, name: str) -> int:
+        """The fairness weight for ``name`` (default 1)."""
+        for table, weight in self.weights:
+            if table == name:
+                return weight
+        return 1
+
+    def ingest_bucket(
+        self, *, clock: Callable[[], float] | None = None
+    ) -> TokenBucket | None:
+        """A fresh ingest-quota bucket, or ``None`` when unlimited."""
+        if self.ingest_rate is None:
+            return None
+        burst = (
+            float(self.ingest_burst) if self.ingest_burst is not None
+            else max(1.0, self.ingest_rate)
+        )
+        return TokenBucket(self.ingest_rate, burst, clock=clock)
+
+    def query_bucket(
+        self, *, clock: Callable[[], float] | None = None
+    ) -> TokenBucket | None:
+        """A fresh query-quota bucket, or ``None`` when unlimited."""
+        if self.query_rate is None:
+            return None
+        burst = (
+            float(self.query_burst) if self.query_burst is not None
+            else max(1.0, self.query_rate)
+        )
+        return TokenBucket(self.query_rate, burst, clock=clock)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical JSON form (inverse of :meth:`from_dict`)."""
+        return {
+            "max_connections": self.max_connections,
+            "ingest_rate": self.ingest_rate,
+            "ingest_burst": self.ingest_burst,
+            "query_rate": self.query_rate,
+            "query_burst": self.query_burst,
+            "fair_quantum": self.fair_quantum,
+            "weights": {name: weight for name, weight in self.weights},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> ServiceLimits:
+        """Validate and rebuild limits from their manifest form."""
+        if not isinstance(payload, dict):
+            raise ValueError("limits must be an object")
+        unknown = set(payload) - set(_LIMIT_FIELDS)
+        if unknown:
+            raise ValueError(
+                f"unknown limits field(s): {', '.join(sorted(unknown))}")
+        kwargs: dict[str, Any] = {}
+        for label in ("max_connections", "ingest_burst", "query_burst",
+                      "fair_quantum"):
+            value = payload.get(label)
+            if value is not None and (
+                not isinstance(value, int) or isinstance(value, bool)
+            ):
+                raise ValueError(f"{label} must be an integer")
+            kwargs[label] = value
+        for label in ("ingest_rate", "query_rate"):
+            value = payload.get(label)
+            if value is not None:
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    raise ValueError(f"{label} must be a number")
+                value = float(value)
+            kwargs[label] = value
+        weights = payload.get("weights", {})
+        if weights is None:
+            weights = {}
+        if not isinstance(weights, dict):
+            raise ValueError("weights must be an object of name -> weight")
+        kwargs["weights"] = tuple(sorted(
+            (str(name), weight) for name, weight in weights.items()
+        ))
+        return cls(**kwargs)

@@ -149,6 +149,7 @@ ERROR_CODES = frozenset({
     "internal",
     "no_such_table",
     "overloaded",
+    "quota_exceeded",
     "shutting_down",
     "table_exists",
 })

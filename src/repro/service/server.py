@@ -46,9 +46,15 @@ from repro.service.protocol import (
     read_frame,
     write_frame,
 )
+from repro.cache.policy import TinyLFUCache
 from repro.core.countsketch import CountSketch
 from repro.core.topk import TopKTracker
 from repro.core.vectorized import VectorizedCountSketch
+from repro.service.limits import (
+    ServiceLimits,
+    TableQuotaExceededError,
+    WeightedFairScheduler,
+)
 from repro.service.tables import ServiceTable, TableOverloadedError, TableSpec
 from repro.store.checkpoint import CheckpointManager, CheckpointMismatchError
 from repro.store.format import SNAPSHOT_SUFFIX, StoreError, atomic_write_bytes
@@ -84,6 +90,7 @@ class _ServerMetrics:
         "errors",
         "request_seconds",
         "requests",
+        "shed_connections",
     )
 
     def __init__(self, registry: MetricsRegistry) -> None:
@@ -93,6 +100,92 @@ class _ServerMetrics:
         self.connections_open = registry.gauge("service_open_connections")
         self.connections_total = registry.counter(
             "service_connections_total")
+        self.shed_connections = registry.counter(
+            "service_shed_connections_total")
+
+
+class _EstimateCache:
+    """Read-through TinyLFU front for the ``estimate`` path (opt-in).
+
+    Entries are keyed ``(table_name, item)`` and tagged with the
+    table's ``enqueued_seq`` at compute time.  Any ingest touching the
+    table bumps that sequence, so every cached entry of the table goes
+    stale at once — a lookup under a newer sequence recomputes, which
+    preserves the read-your-acknowledged-writes contract bit-for-bit.
+    Residency is decided by the W-TinyLFU admission policy; the value
+    map is pruned lazily against policy residency, so it stays within a
+    small constant factor of the configured capacity.
+    """
+
+    __slots__ = ("_capacity", "_entries", "_policy", "hits", "misses")
+
+    def __init__(self, capacity: int, registry: MetricsRegistry) -> None:
+        if capacity < 2:
+            raise ValueError("estimate cache capacity must be at least 2")
+        self._capacity = capacity
+        with use_registry(registry):
+            self._policy = TinyLFUCache(capacity)
+        self._entries: dict[tuple[str, Hashable], tuple[int, float]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(
+        self, table: ServiceTable, items: Sequence[Hashable]
+    ) -> list[float]:
+        """Estimates for ``items``, served from cache where fresh.
+
+        Runs synchronously after the caller's read barrier: the applier
+        only mutates summaries between awaits, so the version captured
+        here cannot move before every item is answered.
+        """
+        version = table.enqueued_seq
+        name = table.spec.name
+        out: list[float] = []
+        for item in items:
+            key = (name, item)
+            resident = self._policy.request(key)
+            entry = self._entries.get(key) if resident else None
+            if entry is not None and entry[0] == version:
+                self.hits += 1
+                out.append(entry[1])
+                continue
+            self.misses += 1
+            value = float(table.summary.estimate(item))
+            if self._policy.contains(key):
+                self._entries[key] = (version, value)
+            out.append(value)
+        if len(self._entries) > 2 * self._capacity:
+            self._prune()
+        return out
+
+    def _prune(self) -> None:
+        policy = self._policy
+        self._entries = {
+            key: entry for key, entry in self._entries.items()
+            if policy.contains(key)
+        }
+
+    def drop_table(self, name: str) -> None:
+        """Purge a dropped table's entries (its sequence restarts at 0,
+        so stale values could otherwise masquerade as fresh)."""
+        self._entries = {
+            key: entry for key, entry in self._entries.items()
+            if key[0] != name
+        }
+
+    def stats(self) -> dict[str, Any]:
+        """Hit-ratio payload for the ``stats`` op."""
+        requests = self.hits + self.misses
+        return {
+            "capacity": self._capacity,
+            "entries": len(self._entries),
+            "resident": len(self._policy),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_ratio": (
+                round(self.hits / requests, 6) if requests else 0.0
+            ),
+        }
 
 
 class SketchServer:
@@ -115,6 +208,17 @@ class SketchServer:
             :class:`MetricsRegistry` (the ``metrics`` op exports it).
         drain_timeout: upper bound, per table, on waiting for
             acknowledged batches to apply during :meth:`stop`.
+        limits: multi-tenant hardening knobs (quotas, fairness,
+            connection cap); all off by default.  With a
+            ``checkpoint_dir``, limits are pinned in ``service.json``
+            and a resumed server adopts the pinned set unless new
+            limits are passed explicitly (explicit limits win and
+            re-pin the manifest — operational tuning is overridable,
+            unlike sketch parameters).
+        estimate_cache: opt-in TinyLFU cache capacity for the
+            ``estimate`` path; entries invalidate on any ingest
+            touching their table, so answers stay bit-equal to the
+            uncached path.  ``None`` (the default) disables it.
     """
 
     def __init__(
@@ -128,6 +232,8 @@ class SketchServer:
         checkpoint_every_seconds: float | None = None,
         registry: MetricsRegistry | None = None,
         drain_timeout: float = 30.0,
+        limits: ServiceLimits | None = None,
+        estimate_cache: int | None = None,
     ) -> None:
         self._registry = registry if registry is not None else MetricsRegistry()
         self._metrics = _ServerMetrics(self._registry)
@@ -154,7 +260,18 @@ class SketchServer:
         self._stopped = asyncio.Event()
         self._manifest_lock = asyncio.Lock()
 
-        manifest_specs = self._read_manifest()
+        manifest_specs, pinned_limits = self._read_manifest()
+        if limits is None and pinned_limits is not None:
+            limits = pinned_limits  # resumed servers keep their limits
+        self._limits = limits if limits is not None else ServiceLimits()
+        self._scheduler = (
+            WeightedFairScheduler(self._limits.fair_quantum)
+            if self._limits.fair_quantum is not None else None
+        )
+        self._estimate_cache = (
+            _EstimateCache(estimate_cache, self._registry)
+            if estimate_cache is not None else None
+        )
         requested: dict[str, TableSpec] = {}
         for spec in specs:
             if spec.name in requested:
@@ -191,17 +308,24 @@ class SketchServer:
         """Whether ingest / create ops are still accepted."""
         return self._accepting
 
+    @property
+    def limits(self) -> ServiceLimits:
+        """The active hardening limits (inert when none were set)."""
+        return self._limits
+
     def _table_path(self, name: str) -> Path:
         assert self._checkpoint_dir is not None
         return self._checkpoint_dir / f"{name}{SNAPSHOT_SUFFIX}"
 
-    def _read_manifest(self) -> dict[str, TableSpec]:
+    def _read_manifest(
+        self,
+    ) -> tuple[dict[str, TableSpec], ServiceLimits | None]:
         if self._checkpoint_dir is None:
-            return {}
+            return {}, None
         self._checkpoint_dir.mkdir(parents=True, exist_ok=True)
         path = self._checkpoint_dir / MANIFEST_NAME
         if not path.exists():
-            return {}
+            return {}, None
         try:
             manifest = json.loads(path.read_text(encoding="utf-8"))
         except json.JSONDecodeError as error:
@@ -229,18 +353,28 @@ class SketchServer:
                     f"{spec.name!r}; the manifest is inconsistent"
                 )
             specs[name] = spec
-        return specs
+        pinned_limits: ServiceLimits | None = None
+        if manifest.get("limits") is not None:
+            try:
+                pinned_limits = ServiceLimits.from_dict(manifest["limits"])
+            except ValueError as error:
+                raise StoreError(
+                    f"{path} pins invalid service limits: {error}"
+                ) from error
+        return specs, pinned_limits
 
     def _write_manifest(self) -> None:
         if self._checkpoint_dir is None:
             return
-        manifest = {
+        manifest: dict[str, Any] = {
             "version": _MANIFEST_VERSION,
             "tables": {
                 name: table.spec.to_dict()
                 for name, table in sorted(self._tables.items())
             },
         }
+        if self._limits.enabled:
+            manifest["limits"] = self._limits.to_dict()
         atomic_write_bytes(
             self._checkpoint_dir / MANIFEST_NAME,
             json.dumps(manifest, sort_keys=True, indent=2).encode("utf-8"),
@@ -278,7 +412,13 @@ class SketchServer:
                 queue_capacity=self._queue_capacity,
                 max_coalesce=self._max_coalesce,
                 manager=manager,
+                ingest_quota=self._limits.ingest_bucket(),
+                query_quota=self._limits.query_bucket(),
+                scheduler=self._scheduler,
             )
+        if self._scheduler is not None:
+            self._scheduler.register(
+                spec.name, self._limits.weight_for(spec.name))
         self._tables[spec.name] = table
         self._spawn_applier(spec.name)
         return table
@@ -381,6 +521,10 @@ class SketchServer:
         responses leave in dispatch order, so per-connection FIFO
         semantics are unchanged.
         """
+        limit = self._limits.max_connections
+        if limit is not None and len(self._writers) >= limit:
+            await self._shed_connection(writer, limit)
+            return
         self._writers.add(writer)
         self._metrics.connections_total.inc()
         self._metrics.connections_open.inc()
@@ -407,25 +551,70 @@ class SketchServer:
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
-            # Cancellation-safe teardown: flush the writer if possible,
-            # but never let a cancelled handler leak the task or skip
-            # the metric/socket cleanup below.
+            # Teardown must be unconditional: a peer vanishing
+            # mid-pipeline (or a cancelled handler) leaves the writer
+            # task holding queued acks for a dead socket.  Reap the
+            # task on *every* path — including it having died on an
+            # unexpected exception — and never skip the metric/socket
+            # cleanup, so one connection's failure cannot taint the
+            # writer set or the open-connections gauge other
+            # connections (and the shed check above) depend on.
             try:
-                responses.put_nowait(None)  # sentinel: flush and exit
-            except asyncio.QueueFull:
-                writer_task.cancel()
-            try:
-                await writer_task
-            except asyncio.CancelledError:
-                writer_task.cancel()
-            self._writers.discard(writer)
-            self._metrics.connections_open.dec()
-            writer.close()
+                try:
+                    responses.put_nowait(None)  # sentinel: flush and exit
+                except asyncio.QueueFull:
+                    # A full queue means acks for a peer that stopped
+                    # reading; drop them with the task.
+                    writer_task.cancel()
+                try:
+                    await writer_task
+                except asyncio.CancelledError:
+                    # Either the task was cancelled just above, or this
+                    # handler is itself being cancelled; make sure the
+                    # task is cancelled too, then continue cleanup.
+                    writer_task.cancel()
+                except Exception:
+                    # The writer task died unexpectedly; its queued
+                    # acks are gone (the peer is too), but cleanup —
+                    # and every other connection — must proceed.
+                    pass
+            finally:
+                self._writers.discard(writer)
+                self._metrics.connections_open.dec()
+                writer.close()
             try:
                 await writer.wait_closed()
             except (asyncio.CancelledError, ConnectionResetError,
                     BrokenPipeError, OSError):
                 pass
+
+    async def _shed_connection(
+        self, writer: asyncio.StreamWriter, limit: int
+    ) -> None:
+        """Refuse a connection beyond ``max_connections``.
+
+        The documented contract: the server writes exactly one
+        ``overloaded`` error frame (no request id — no request was
+        read) and closes.  A client's first request on the shed
+        connection therefore fails with an explicit
+        ``OverloadedError``, never a bare reset.
+        """
+        self._metrics.shed_connections.inc()
+        try:
+            await write_frame(writer, error_response(
+                None, "overloaded",
+                f"connection limit reached ({limit} open); retry later "
+                "or against another replica",
+                open_connections=limit,
+            ))
+        except (ConnectionResetError, BrokenPipeError, OSError,
+                WireProtocolError):
+            pass
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
 
     async def _write_responses(
         self,
@@ -510,6 +699,14 @@ class SketchServer:
                     request_id, "overloaded", str(error),
                     queue_depth=error.depth, capacity=error.capacity,
                 )
+            except TableQuotaExceededError as error:
+                fields: dict[str, Any] = {
+                    "table": error.name, "op_kind": error.op_kind,
+                }
+                if error.retry_after is not None:
+                    fields["retry_after"] = round(error.retry_after, 6)
+                response = error_response(
+                    request_id, "quota_exceeded", str(error), **fields)
             except Exception as error:  # fault barrier per request
                 response = error_response(
                     request_id, "internal",
@@ -607,6 +804,10 @@ class SketchServer:
                 applier.cancel()
                 await asyncio.gather(applier, return_exceptions=True)
             del self._tables[name]
+            if self._scheduler is not None:
+                self._scheduler.forget(name)
+            if self._estimate_cache is not None:
+                self._estimate_cache.drop_table(name)
             if self._checkpoint_dir is not None:
                 loop = asyncio.get_running_loop()
                 await loop.run_in_executor(None, self._discard_table_files,
@@ -722,8 +923,13 @@ class SketchServer:
         if not isinstance(keys, list):
             raise _BadRequest("'keys' must be a list of wire-encoded keys")
         items = [decode_wire_key(key) for key in keys]
+        table.charge_query()
         await table.wait_applied()
-        estimates = [float(table.summary.estimate(item)) for item in items]
+        if self._estimate_cache is not None:
+            estimates = self._estimate_cache.lookup(table, items)
+        else:
+            estimates = [float(table.summary.estimate(item))
+                         for item in items]
         return ok_response(request_id, estimates=estimates)
 
     async def _op_estimate_rows(
@@ -735,6 +941,7 @@ class SketchServer:
         if not isinstance(keys, list):
             raise _BadRequest("'keys' must be a list of wire-encoded keys")
         items = [decode_wire_key(key) for key in keys]
+        table.charge_query()
         await table.wait_applied()
         summary = table.summary
         sketch = summary.sketch if isinstance(summary, TopKTracker) else summary
@@ -764,6 +971,7 @@ class SketchServer:
         if k is not None and (not isinstance(k, int) or isinstance(k, bool)
                               or k < 1):
             raise _BadRequest("'k' must be a positive integer")
+        table.charge_query()
         await table.wait_applied()
         top = table.summary.top(k)
         return ok_response(
@@ -783,19 +991,20 @@ class SketchServer:
             table = self._tables[name]
             await table.wait_applied()
             tables[name] = table.stats()
-        return ok_response(
-            request_id,
-            server={
-                "protocol_version": PROTOCOL_VERSION,
-                "accepting": self._accepting,
-                "tables": len(self._tables),
-                "checkpoint_dir": (
-                    str(self._checkpoint_dir)
-                    if self._checkpoint_dir is not None else None
-                ),
-            },
-            tables=tables,
-        )
+        server: dict[str, Any] = {
+            "protocol_version": PROTOCOL_VERSION,
+            "accepting": self._accepting,
+            "tables": len(self._tables),
+            "checkpoint_dir": (
+                str(self._checkpoint_dir)
+                if self._checkpoint_dir is not None else None
+            ),
+        }
+        if self._limits.enabled:
+            server["limits"] = self._limits.to_dict()
+        if self._estimate_cache is not None:
+            server["estimate_cache"] = self._estimate_cache.stats()
+        return ok_response(request_id, server=server, tables=tables)
 
     def _op_metrics(self, message: dict[str, Any]) -> dict[str, Any]:
         request_id = message.get("id")

@@ -33,6 +33,11 @@ from repro.core.countsketch import CountSketch
 from repro.core.topk import TopKTracker
 from repro.core.vectorized import VectorizedCountSketch
 from repro.core.windowed import JumpingWindowSketch
+from repro.service.limits import (
+    TableQuotaExceededError,
+    TokenBucket,
+    WeightedFairScheduler,
+)
 from repro.store.checkpoint import CheckpointManager, apply_update_batch
 
 if TYPE_CHECKING:
@@ -189,10 +194,13 @@ class _TableMetrics:
         "applied_batches",
         "applied_records",
         "apply_seconds",
+        "fair_turns",
         "ingested_batches",
         "ingested_records",
         "overloads",
         "queue_depth",
+        "quota_ingest_refusals",
+        "quota_query_refusals",
     )
 
     def __init__(self, registry: MetricsRegistry, name: str) -> None:
@@ -208,6 +216,12 @@ class _TableMetrics:
         self.overloads = registry.counter(f"{prefix}_overloads_total")
         self.queue_depth = registry.gauge(f"{prefix}_queue_depth")
         self.apply_seconds = registry.histogram(f"{prefix}_apply_seconds")
+        self.quota_ingest_refusals = registry.counter(
+            f"service_quota_{name}_ingest_refusals_total")
+        self.quota_query_refusals = registry.counter(
+            f"service_quota_{name}_query_refusals_total")
+        self.fair_turns = registry.counter(
+            f"service_quota_{name}_fair_turns_total")
 
 
 @dataclass
@@ -280,6 +294,13 @@ class ServiceTable:
         records_applied: stream records already reflected in ``summary``
             (resume); ignored when ``manager`` is given (the manager's
             ``items_consumed`` is authoritative).
+        ingest_quota: optional per-table ingest token bucket; an empty
+            bucket turns :meth:`try_enqueue` into an explicit
+            :class:`TableQuotaExceededError` refusal.
+        query_quota: optional per-table query token bucket charged by
+            :meth:`charge_query` before every data-plane query.
+        scheduler: optional weighted-fair turn scheduler shared across
+            the server's appliers; ``None`` drains exactly as before.
     """
 
     def __init__(
@@ -292,6 +313,9 @@ class ServiceTable:
         manager: CheckpointManager | None = None,
         summary: Snapshotable | None = None,
         records_applied: int = 0,
+        ingest_quota: TokenBucket | None = None,
+        query_quota: TokenBucket | None = None,
+        scheduler: WeightedFairScheduler | None = None,
     ) -> None:
         if queue_capacity < 1:
             raise ValueError("queue_capacity must be at least 1")
@@ -322,6 +346,9 @@ class ServiceTable:
         self._applied = asyncio.Condition()
         self._paused = asyncio.Event()
         self._paused.set()  # set == running; clear == paused
+        self._ingest_quota = ingest_quota
+        self._query_quota = query_quota
+        self._scheduler = scheduler
         self._metrics = _TableMetrics(registry, spec.name)
 
     # -- ingest side ----------------------------------------------------------
@@ -369,6 +396,14 @@ class ServiceTable:
         """
         if len(items) != len(counts):
             raise ValueError("items and counts must have the same length")
+        if self._ingest_quota is not None and not (
+            self._ingest_quota.try_take(len(items))
+        ):
+            self._metrics.quota_ingest_refusals.inc()
+            raise TableQuotaExceededError(
+                self.spec.name, "ingest", len(items),
+                self._ingest_quota.retry_after(len(items)),
+            )
         kept_items: list[Hashable] | np.ndarray
         kept_counts: list[int] | np.ndarray
         if isinstance(items, np.ndarray):
@@ -394,6 +429,20 @@ class ServiceTable:
         self._metrics.queue_depth.set(self._queue.qsize())
         return batch.seq
 
+    def charge_query(self) -> None:
+        """Charge one query against the table's query quota, if any.
+
+        Called by the server *before* the read barrier, so a refused
+        query costs no applier work and the refusal pattern depends
+        only on the arrival schedule.
+        """
+        if self._query_quota is not None and not self._query_quota.try_take(1):
+            self._metrics.quota_query_refusals.inc()
+            raise TableQuotaExceededError(
+                self.spec.name, "query", 1,
+                self._query_quota.retry_after(1),
+            )
+
     # -- applier side ---------------------------------------------------------
 
     async def run_applier(self) -> None:
@@ -401,17 +450,36 @@ class ServiceTable:
 
         Runs as one task per table; cancelled at shutdown after a drain
         barrier, so cancellation never loses acknowledged records.
+
+        With a fair scheduler, every apply cycle first acquires a
+        weighted turn; its record budget caps coalescing so one hot
+        table cannot glue its whole deep queue into a single
+        loop-blocking apply while other tables' ready batches wait.
+        The first batch always applies whole even when it alone
+        exceeds the budget (batches are the atomic ack unit).
         """
         while True:
             batch = await self._queue.get()
             await self._paused.wait()
-            batches = [batch]
-            while (
-                len(batches) < self._max_coalesce
-                and not self._queue.empty()
-            ):
-                batches.append(self._queue.get_nowait())
-            self._apply(batches)
+            budget: int | None = None
+            if self._scheduler is not None:
+                budget = await self._scheduler.acquire(self.spec.name)
+                self._metrics.fair_turns.inc()
+            try:
+                batches = [batch]
+                records = len(batch.items)
+                while (
+                    len(batches) < self._max_coalesce
+                    and not self._queue.empty()
+                    and (budget is None or records < budget)
+                ):
+                    extra = self._queue.get_nowait()
+                    records += len(extra.items)
+                    batches.append(extra)
+                self._apply(batches)
+            finally:
+                if self._scheduler is not None:
+                    self._scheduler.release(self.spec.name)
             for _ in batches:
                 self._queue.task_done()
             async with self._applied:
@@ -486,6 +554,16 @@ class ServiceTable:
             "enqueued_seq": self._enqueued_seq,
             "paused": self.paused,
         }
+        if self._ingest_quota is not None:
+            payload["ingest_quota"] = {
+                "rate": self._ingest_quota.rate,
+                "burst": self._ingest_quota.burst,
+            }
+        if self._query_quota is not None:
+            payload["query_quota"] = {
+                "rate": self._query_quota.rate,
+                "burst": self._query_quota.burst,
+            }
         total_weight = getattr(self.summary, "total_weight", None)
         if total_weight is not None:
             payload["total_weight"] = int(total_weight)

@@ -1,0 +1,48 @@
+"""Production traffic simulation for the service tier.
+
+The paper's motivating deployment — a search engine sketching its live
+query log (§1) — never sees a polite benchmark loop: it sees many
+tenants with Zipf-skewed keys, bursty arrivals, and a read/write mix
+that shifts under load.  This package replays that shape against a
+live :class:`~repro.service.server.SketchServer` (or a
+``repro.cluster`` fleet) and freezes the outcome — saturation
+throughput, tail latency, shed counts, per-tenant fairness, and
+bit-exactness of estimates under fire — into a
+:class:`~repro.traffic.runner.TrafficReport`.
+
+Entry points:
+
+* :class:`WorkloadSpec` / :class:`WorkloadModel` — seeded workload
+  description and per-client deterministic op streams.
+* :class:`TrafficRunner` / :func:`run_traffic` — concurrent load
+  generation, open- and closed-loop.
+* CLI: ``repro traffic``; benchmark: ``benchmarks/bench_traffic.py``.
+
+See ``docs/traffic.md`` for workload semantics and the multi-tenant
+hardening knobs (quotas, weighted-fair draining, connection limits)
+this harness exercises.
+"""
+
+from repro.traffic.runner import (
+    TrafficReport,
+    TrafficRunner,
+    percentile,
+    run_traffic,
+)
+from repro.traffic.workload import (
+    ARRIVAL_MODES,
+    TrafficOp,
+    WorkloadModel,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "ARRIVAL_MODES",
+    "TrafficOp",
+    "TrafficReport",
+    "TrafficRunner",
+    "WorkloadModel",
+    "WorkloadSpec",
+    "percentile",
+    "run_traffic",
+]

@@ -1,0 +1,264 @@
+"""Seeded workload models for the traffic harness.
+
+A workload is a population of tenants (one service table each) whose
+keys follow the paper's Zipfian popularity law (§4.1, ``n_q ∝ 1/q^z``):
+``zipf_key`` skews key popularity *within* a tenant, ``zipf_tenant``
+skews traffic *across* tenants (``z = 0`` is uniform; crank it up to
+model one hot tenant crowding out the rest).  Operations are a seeded
+mix of batched ingest and point-estimate queries, spaced by one of
+three arrival processes:
+
+* ``closed`` — each client fires its next op as soon as the previous
+  one completes (closed loop; throughput is whatever the server
+  sustains).
+* ``poisson`` — open loop: exponential gaps at ``rate`` ops/s per
+  client, independent of server latency.
+* ``burst`` — open loop alternating half-periods of ``rate ×
+  burst_factor`` and ``rate / burst_factor`` (mean gap follows the
+  phase), modelling diurnal spikes compressed into seconds.
+
+Everything is deterministic given ``seed``: client ``i`` draws from
+``random.Random(f"{seed}:{i}")``, so two runs against the same server
+replay identical op sequences (arrival *gaps* are deterministic too;
+only the interleaving against the live server varies).
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Any, NamedTuple
+
+from repro.service.tables import TABLE_KINDS, TableSpec
+from repro.streams.zipf import zipf_weights
+
+__all__ = [
+    "ARRIVAL_MODES",
+    "TrafficOp",
+    "WorkloadModel",
+    "WorkloadSpec",
+]
+
+#: Arrival processes a workload may select.
+ARRIVAL_MODES = ("closed", "poisson", "burst")
+
+#: Canonical serialization order for :meth:`WorkloadSpec.to_dict`.
+_SPEC_FIELDS = (
+    "tenants",
+    "keys_per_tenant",
+    "zipf_key",
+    "zipf_tenant",
+    "query_fraction",
+    "batch_size",
+    "query_items",
+    "arrival",
+    "rate",
+    "burst_factor",
+    "burst_period",
+    "seed",
+    "table_prefix",
+    "table_kind",
+    "depth",
+    "width",
+)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Immutable description of one traffic workload.
+
+    ``rate`` is per-client ops/s and only meaningful for the open-loop
+    arrivals (``poisson`` / ``burst``); ``closed`` ignores it.  Tenant
+    ``i`` owns table ``f"{table_prefix}{i}"`` and the key range
+    ``[i * keys_per_tenant, (i + 1) * keys_per_tenant)``, so tenants
+    never share keys and per-tenant exactness checks stay independent.
+    """
+
+    tenants: int = 4
+    keys_per_tenant: int = 512
+    zipf_key: float = 1.1
+    zipf_tenant: float = 0.0
+    query_fraction: float = 0.2
+    batch_size: int = 32
+    query_items: int = 8
+    arrival: str = "closed"
+    rate: float = 0.0
+    burst_factor: float = 4.0
+    burst_period: float = 1.0
+    seed: int = 0
+    table_prefix: str = "tenant"
+    table_kind: str = "sketch"
+    depth: int = 5
+    width: int = 256
+
+    def __post_init__(self) -> None:
+        for label in ("tenants", "keys_per_tenant", "batch_size",
+                      "query_items", "depth", "width"):
+            value = getattr(self, label)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ValueError(f"{label} must be an integer")
+            if value < 1:
+                raise ValueError(f"{label} must be at least 1")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ValueError("seed must be an integer")
+        for label in ("zipf_key", "zipf_tenant"):
+            value = getattr(self, label)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(f"{label} must be a number")
+            if value < 0:
+                raise ValueError(f"{label} must be nonnegative")
+        if not isinstance(self.query_fraction, (int, float)) or isinstance(
+                self.query_fraction, bool):
+            raise ValueError("query_fraction must be a number")
+        if not 0.0 <= self.query_fraction <= 1.0:
+            raise ValueError("query_fraction must be in [0, 1]")
+        if self.arrival not in ARRIVAL_MODES:
+            raise ValueError(
+                f"unknown arrival mode {self.arrival!r}; "
+                f"choose one of {', '.join(ARRIVAL_MODES)}"
+            )
+        if not isinstance(self.rate, (int, float)) or isinstance(
+                self.rate, bool):
+            raise ValueError("rate must be a number")
+        if self.rate < 0:
+            raise ValueError("rate must be nonnegative")
+        if self.arrival != "closed" and self.rate <= 0:
+            raise ValueError(
+                f"arrival {self.arrival!r} needs a positive per-client rate"
+            )
+        if not isinstance(self.burst_factor, (int, float)) or isinstance(
+                self.burst_factor, bool):
+            raise ValueError("burst_factor must be a number")
+        if self.burst_factor < 1:
+            raise ValueError("burst_factor must be at least 1")
+        if not isinstance(self.burst_period, (int, float)) or isinstance(
+                self.burst_period, bool):
+            raise ValueError("burst_period must be a number")
+        if self.burst_period <= 0:
+            raise ValueError("burst_period must be positive")
+        if self.table_kind not in TABLE_KINDS:
+            raise ValueError(
+                f"unknown table kind {self.table_kind!r}; "
+                f"choose one of {', '.join(TABLE_KINDS)}"
+            )
+        # Validate the prefix by building the first table's spec.
+        TableSpec(name=f"{self.table_prefix}0")
+
+    def table_names(self) -> tuple[str, ...]:
+        """Tenant table names in tenant order."""
+        return tuple(
+            f"{self.table_prefix}{index}" for index in range(self.tenants)
+        )
+
+    def table_spec(self, name: str) -> TableSpec:
+        """The :class:`TableSpec` every workload table is created with."""
+        return TableSpec(name=name, kind=self.table_kind,
+                         depth=self.depth, width=self.width, seed=self.seed)
+
+    def key_for(self, tenant: int, rank: int) -> int:
+        """The integer key for ``rank`` within ``tenant``'s range."""
+        return tenant * self.keys_per_tenant + rank
+
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical JSON-ready form (fixed field order)."""
+        return {label: getattr(self, label) for label in _SPEC_FIELDS}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> WorkloadSpec:
+        """Inverse of :meth:`to_dict`; unknown keys are refused."""
+        unknown = sorted(set(payload) - set(_SPEC_FIELDS))
+        if unknown:
+            raise ValueError(
+                f"unknown workload field(s): {', '.join(unknown)}"
+            )
+        return cls(**payload)
+
+
+class TrafficOp(NamedTuple):
+    """One sampled operation: a batched ingest or a point-estimate."""
+
+    kind: str  # "ingest" | "estimate"
+    tenant: int
+    table: str
+    records: tuple[tuple[int, int], ...]  # empty for estimate ops
+    items: tuple[int, ...]  # empty for ingest ops
+
+
+def _cumulative(weights: Any) -> list[float]:
+    """Normalized cumulative distribution over ``weights``."""
+    total = float(weights.sum())
+    cdf: list[float] = []
+    acc = 0.0
+    for weight in weights:
+        acc += float(weight)
+        cdf.append(acc / total)
+    cdf[-1] = 1.0
+    return cdf
+
+
+class WorkloadModel:
+    """Deterministic per-client op stream for one :class:`WorkloadSpec`.
+
+    Client ``client_index`` owns its own ``random.Random`` seeded from
+    ``f"{spec.seed}:{client_index}"`` — clients never share generator
+    state, so adding a client never perturbs another client's sequence.
+    """
+
+    __slots__ = ("_key_cdf", "_rng", "_spec", "_tenant_cdf", "_vtime")
+
+    def __init__(self, spec: WorkloadSpec, client_index: int) -> None:
+        if client_index < 0:
+            raise ValueError("client_index must be nonnegative")
+        self._spec = spec
+        self._rng = random.Random(f"{spec.seed}:{client_index}")
+        self._key_cdf = _cumulative(
+            zipf_weights(spec.keys_per_tenant, spec.zipf_key))
+        self._tenant_cdf = _cumulative(
+            zipf_weights(spec.tenants, spec.zipf_tenant))
+        self._vtime = 0.0
+
+    @property
+    def spec(self) -> WorkloadSpec:
+        """The workload this model samples from."""
+        return self._spec
+
+    def _sample_rank(self, cdf: list[float]) -> int:
+        return bisect_left(cdf, self._rng.random())
+
+    def next_op(self) -> TrafficOp:
+        """Sample the client's next operation."""
+        spec = self._spec
+        tenant = self._sample_rank(self._tenant_cdf)
+        table = f"{spec.table_prefix}{tenant}"
+        if self._rng.random() < spec.query_fraction:
+            items = tuple(
+                spec.key_for(tenant, self._sample_rank(self._key_cdf))
+                for _ in range(spec.query_items)
+            )
+            return TrafficOp("estimate", tenant, table, (), items)
+        records = tuple(
+            (spec.key_for(tenant, self._sample_rank(self._key_cdf)), 1)
+            for _ in range(spec.batch_size)
+        )
+        return TrafficOp("ingest", tenant, table, records, ())
+
+    def next_gap(self) -> float:
+        """Seconds to wait before firing the next op (0 when closed-loop).
+
+        Burst phase boundaries follow the model's own virtual clock (the
+        sum of gaps drawn so far), not wall time, so the phase sequence
+        is deterministic under any server latency.
+        """
+        spec = self._spec
+        if spec.arrival == "closed":
+            return 0.0
+        if spec.arrival == "poisson":
+            return self._rng.expovariate(spec.rate)
+        half = spec.burst_period / 2.0
+        in_spike = (self._vtime % spec.burst_period) < half
+        lam = (spec.rate * spec.burst_factor if in_spike
+               else spec.rate / spec.burst_factor)
+        gap = self._rng.expovariate(lam)
+        self._vtime += gap
+        return gap

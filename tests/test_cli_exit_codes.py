@@ -140,6 +140,24 @@ USAGE = [
                   "--save-sketch", "{out}"],
                  id="cache-save-sketch-one-capacity"),
     pytest.param(["cache", "stats"], id="cache-stats-missing-sketch"),
+    pytest.param(["serve", "--table", "q", "--table-weight", "q"],
+                 id="serve-malformed-table-weight"),
+    pytest.param(["serve", "--table", "q", "--table-weight", "q=zero"],
+                 id="serve-non-integer-table-weight"),
+    pytest.param(["serve", "--table", "q", "--ingest-burst", "8"],
+                 id="serve-burst-without-rate"),
+    pytest.param(["serve", "--table", "q", "--estimate-cache", "1"],
+                 id="serve-estimate-cache-too-small"),
+    pytest.param(["traffic", "--arrival", "poisson"],
+                 id="traffic-open-loop-needs-rate"),
+    pytest.param(["traffic", "--tenants", "0"],
+                 id="traffic-zero-tenants"),
+    pytest.param(["traffic", "--query-fraction", "1.5"],
+                 id="traffic-query-fraction-out-of-range"),
+    pytest.param(["traffic", "--clients", "0"],
+                 id="traffic-zero-clients"),
+    pytest.param(["traffic", "--arrival", "staircase"],
+                 id="traffic-unknown-arrival"),
 ]
 
 DATA = [
@@ -167,6 +185,11 @@ DATA = [
                   "--requests", "1000", "--keys", "200",
                   "--capacity", "50", "--load-sketch", "{snap_a}"],
                  id="cache-load-sketch-not-admission"),
+    pytest.param(["traffic", "--port", "1", "--duration", "0.1"],
+                 id="traffic-connection-refused"),
+    pytest.param(["traffic", "--cluster", "{missing}",
+                  "--duration", "0.1"],
+                 id="traffic-missing-cluster-spec"),
 ]
 
 

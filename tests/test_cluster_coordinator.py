@@ -293,3 +293,58 @@ class TestAdministration:
             await stop_all(servers)
 
         run(go())
+
+
+class TestShardQuotaPassthrough:
+    """Shard-side quota refusals must reach the caller untranslated.
+
+    The coordinator promises (``ingest`` docstring): refusals raise the
+    shard's own ``QuotaExceededError``, the refused sub-batch was never
+    enqueued on that shard, and sub-batches routed to other shards may
+    already be acknowledged.
+    """
+
+    def test_quota_refusal_passes_through_untranslated(self):
+        async def go():
+            from repro.service import QuotaExceededError, ServiceLimits
+
+            limits = ServiceLimits(ingest_rate=1.0, ingest_burst=2.0)
+            servers = [SketchServer([spec_for("sketch")], limits=limits)
+                       for _ in range(3)]
+            cluster = ClusterCoordinator.in_process(servers)
+            records = [(f"key-{i}", 1) for i in range(48)]
+            with pytest.raises(QuotaExceededError) as excinfo:
+                await cluster.ingest("t", records, wait=True)
+            assert excinfo.value.code == "quota_exceeded"
+            assert excinfo.value.details["op_kind"] == "ingest"
+            # Every shard's sub-batch exceeded its burst, and refusal
+            # is all-or-nothing per shard: nothing was enqueued.
+            stats = await cluster.stats("t")
+            assert all(s["table"]["records_applied"] == 0
+                       for s in stats["shards"])
+            await stop_all(servers)
+
+        run(go())
+
+    def test_one_limited_shard_leaves_others_acknowledged(self):
+        async def go():
+            from repro.service import QuotaExceededError, ServiceLimits
+
+            tight = ServiceLimits(ingest_rate=1.0, ingest_burst=1.0)
+            servers = [SketchServer([spec_for("sketch")], limits=tight)]
+            servers += [SketchServer([spec_for("sketch")])
+                        for _ in range(2)]
+            cluster = ClusterCoordinator.in_process(servers)
+            records = [(f"key-{i}", 1) for i in range(48)]
+            with pytest.raises(QuotaExceededError):
+                await cluster.ingest("t", records, wait=True)
+            stats = await cluster.stats("t")
+            applied = [s["table"]["records_applied"]
+                       for s in stats["shards"]]
+            # The limited shard refused its whole sub-batch; the
+            # unlimited shards may already have applied theirs.
+            assert applied[0] == 0
+            assert sum(applied[1:]) > 0
+            await stop_all(servers)
+
+        run(go())

@@ -1,0 +1,120 @@
+"""The opt-in estimate cache must be invisible except for speed.
+
+Cached answers are tagged with the table's enqueued sequence number and
+served only while no newer ingest has been acknowledged, so every
+response — hit or miss — is bit-equal to the offline summary over the
+acknowledged prefix.  W-TinyLFU admission (``repro.cache``) decides
+which keys are worth keeping.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service.client import AsyncServiceClient
+from repro.service.server import SketchServer
+from repro.service.tables import TableSpec
+
+
+def spec_for(name: str = "t") -> TableSpec:
+    return TableSpec(name, kind="sketch", depth=4, width=128, seed=3)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestEstimateCache:
+    def test_off_by_default(self):
+        async def go():
+            server = SketchServer([spec_for()])
+            client = AsyncServiceClient.in_process(server)
+            stats = await client.stats()
+            assert "estimate_cache" not in stats["server"]
+            await server.stop()
+
+        run(go())
+
+    def test_capacity_below_two_refused(self):
+        with pytest.raises(ValueError, match="capacity"):
+            SketchServer([spec_for()], estimate_cache=1)
+
+    def test_repeat_queries_hit_and_stay_exact(self):
+        async def go():
+            server = SketchServer([spec_for()], estimate_cache=64)
+            client = AsyncServiceClient.in_process(server)
+            offline = spec_for().build()
+            records = [(f"k{i}", i + 1) for i in range(16)]
+            await client.ingest("t", records, wait=True)
+            for item, count in records:
+                offline.update(item, count)
+            probes = [f"k{i}" for i in range(16)]
+            expected = [float(offline.estimate(p)) for p in probes]
+            first = await client.estimate("t", probes)
+            second = await client.estimate("t", probes)
+            assert first == expected
+            assert second == expected
+            stats = await client.stats()
+            cache = stats["server"]["estimate_cache"]
+            assert cache["capacity"] == 64
+            assert cache["hits"] > 0
+            assert 0.0 <= cache["hit_ratio"] <= 1.0
+            await server.stop()
+
+        run(go())
+
+    def test_ingest_invalidates_cached_answers(self):
+        async def go():
+            server = SketchServer([spec_for()], estimate_cache=64)
+            client = AsyncServiceClient.in_process(server)
+            offline = spec_for().build()
+            await client.ingest("t", [("a", 5)], wait=True)
+            offline.update("a", 5)
+            assert await client.estimate("t", ["a"]) == [
+                float(offline.estimate("a"))
+            ]
+            # Cache is warm for "a"; the next write must invalidate it.
+            await client.ingest("t", [("a", 7)], wait=True)
+            offline.update("a", 7)
+            assert await client.estimate("t", ["a"]) == [
+                float(offline.estimate("a"))
+            ]
+            await server.stop()
+
+        run(go())
+
+    def test_interleaved_writes_never_serve_stale(self):
+        async def go():
+            server = SketchServer([spec_for()], estimate_cache=32)
+            client = AsyncServiceClient.in_process(server)
+            offline = spec_for().build()
+            probes = [f"k{i}" for i in range(8)]
+            for step in range(20):
+                records = [(f"k{step % 8}", step + 1)]
+                await client.ingest("t", records)
+                for item, count in records:
+                    offline.update(item, count)
+                live = await client.estimate("t", probes)
+                assert live == [
+                    float(offline.estimate(p)) for p in probes
+                ]
+            await server.stop()
+
+        run(go())
+
+    def test_drop_and_recreate_purges_the_table(self):
+        async def go():
+            server = SketchServer([spec_for()], estimate_cache=64)
+            client = AsyncServiceClient.in_process(server)
+            await client.ingest("t", [("a", 9)], wait=True)
+            assert (await client.estimate("t", ["a"]))[0] != 0.0
+            await client.drop_table("t")
+            await client.create_table(spec_for())
+            # Fresh table, fresh sequence numbers: the old cached value
+            # must not resurface.
+            assert await client.estimate("t", ["a"]) == [0.0]
+            await server.stop()
+
+        run(go())

@@ -1,0 +1,224 @@
+"""Property-based overload invariants for the hardened service tier.
+
+Three promises the multi-tenant hardening makes, checked under
+hypothesis-generated schedules rather than hand-picked ones:
+
+* **Determinism** — quota decisions are a pure function of the
+  configured limits and the request sequence (plus the clock, injected
+  here).  Replaying a sequence yields the identical admit/refuse
+  pattern and identical ``retry_after`` hints.
+* **No silent drops** — whatever interleaving of pauses, overloads, and
+  refusals occurs, every *acknowledged* ingest is applied: the final
+  ``records_applied`` equals exactly the acknowledged record count.
+* **Read-your-acknowledged-writes** — after a read barrier, estimates
+  are bit-equal to an offline summary fed exactly the acknowledged
+  records (§3.2: the summary is a function of the frequency vector).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import (
+    AsyncServiceClient,
+    OverloadedError,
+    QuotaExceededError,
+    ServiceLimits,
+    SketchServer,
+    TokenBucket,
+)
+from repro.service.tables import TableSpec
+
+
+def spec_for(name: str = "t") -> TableSpec:
+    return TableSpec(name, kind="sketch", depth=4, width=128, seed=3)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class _FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+#: One bucket interaction: take ``n`` tokens after advancing ``dt``.
+BUCKET_OPS = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=20),
+        st.floats(min_value=0.0, max_value=2.0,
+                  allow_nan=False, allow_infinity=False),
+    ),
+    max_size=40,
+)
+
+
+class TestTokenBucketDeterminism:
+    @settings(max_examples=50, deadline=None)
+    @given(BUCKET_OPS)
+    def test_replay_gives_identical_decisions(self, ops):
+        def trace():
+            clock = _FakeClock()
+            bucket = TokenBucket(5.0, 12.0, clock=clock)
+            out = []
+            for n, dt in ops:
+                clock.now += dt
+                out.append((bucket.try_take(n), bucket.retry_after(n)))
+            return out
+
+        assert trace() == trace()
+
+    @settings(max_examples=50, deadline=None)
+    @given(BUCKET_OPS)
+    def test_refusal_never_consumes_tokens(self, ops):
+        clock = _FakeClock()
+        bucket = TokenBucket(5.0, 12.0, clock=clock)
+        spent = 0.0
+        for n, dt in ops:
+            clock.now += dt
+            if bucket.try_take(n):
+                spent += n
+        # All-or-nothing: admitted tokens never exceed burst plus what
+        # the clock refilled; a refusal costs nothing.
+        assert spent <= 12.0 + 5.0 * clock.now + 1e-9
+
+
+#: Batch sizes small enough that a slow-rate bucket never refills one
+#: whole token mid-test, so server-side decisions are reproducible.
+BATCH_SIZES = st.lists(st.integers(min_value=1, max_value=30),
+                       min_size=1, max_size=20)
+
+
+class TestServerQuotaDeterminism:
+    @settings(max_examples=15, deadline=None)
+    @given(BATCH_SIZES)
+    def test_same_sequence_same_refusal_pattern(self, sizes):
+        async def pattern():
+            limits = ServiceLimits(ingest_rate=0.5, ingest_burst=40.0)
+            server = SketchServer([spec_for()], limits=limits)
+            client = AsyncServiceClient.in_process(server)
+            admitted = []
+            try:
+                for index, size in enumerate(sizes):
+                    records = [(f"k{index}-{i}", 1) for i in range(size)]
+                    try:
+                        await client.ingest("t", records, wait=True)
+                        admitted.append(True)
+                    except QuotaExceededError as error:
+                        admitted.append(
+                            (False, error.details["retry_after"] is None))
+            finally:
+                await server.stop()
+            return admitted
+
+        first = run(pattern())
+        second = run(pattern())
+        assert first == second
+
+    @settings(max_examples=15, deadline=None)
+    @given(BATCH_SIZES)
+    def test_refused_batches_leave_no_trace(self, sizes):
+        async def go():
+            limits = ServiceLimits(ingest_rate=0.5, ingest_burst=40.0)
+            server = SketchServer([spec_for()], limits=limits)
+            client = AsyncServiceClient.in_process(server)
+            offline = spec_for().build()
+            acknowledged = 0
+            try:
+                for index, size in enumerate(sizes):
+                    records = [(f"k{index}-{i}", 1) for i in range(size)]
+                    try:
+                        await client.ingest("t", records, wait=True)
+                    except QuotaExceededError:
+                        continue
+                    acknowledged += len(records)
+                    for item, count in records:
+                        offline.update(item, count)
+                stats = await client.stats("t")
+                assert stats["table"]["records_applied"] == acknowledged
+                probes = [f"k{i}-0" for i in range(len(sizes))]
+                live = await client.estimate("t", probes)
+                assert live == [float(offline.estimate(p)) for p in probes]
+            finally:
+                await server.stop()
+
+        run(go())
+
+
+#: A pause/ingest/resume schedule: each step ingests one generated
+#: batch, optionally toggling the applier around it.
+STEPS = st.lists(
+    st.tuples(
+        st.lists(st.sampled_from("abcdef"), min_size=1, max_size=5),
+        st.sampled_from(["none", "pause", "resume"]),
+    ),
+    min_size=1,
+    max_size=15,
+)
+
+
+class TestNoSilentDropsUnderShedding:
+    @settings(max_examples=20, deadline=None)
+    @given(STEPS)
+    def test_acknowledged_writes_survive_any_schedule(self, steps):
+        """Queue capacity 1 plus arbitrary pause/resume toggling: some
+        ingests are refused ``overloaded``, and every acknowledged one
+        must be applied and readable, bit-equal, after the barrier."""
+
+        async def go():
+            server = SketchServer([spec_for()], queue_capacity=1)
+            client = AsyncServiceClient.in_process(server)
+            table = server.tables["t"]
+            offline = spec_for().build()
+            acknowledged = 0
+            overloads = 0
+            try:
+                for items, toggle in steps:
+                    if toggle == "pause":
+                        table.pause()
+                    elif toggle == "resume":
+                        table.resume()
+                    # Let the applier park or drain before the ingest
+                    # so queue occupancy is schedule-driven.
+                    for _ in range(3):
+                        await asyncio.sleep(0)
+                    records = [(item, 1) for item in items]
+                    try:
+                        await client.ingest("t", records)
+                    except OverloadedError:
+                        overloads += 1
+                        continue
+                    acknowledged += len(records)
+                    for item, count in records:
+                        offline.update(item, count)
+                table.resume()
+                # Read barrier: wait=True only returns once everything
+                # enqueued before it (all acknowledged batches) applied.
+                # The queue may still be full right after resume; a
+                # refusal here is the documented retry signal.
+                while True:
+                    try:
+                        await client.ingest(
+                            "t", [("sentinel", 1)], wait=True)
+                        break
+                    except OverloadedError:
+                        await asyncio.sleep(0.001)
+                offline.update("sentinel", 1)
+                acknowledged += 1
+                stats = await client.stats("t")
+                assert stats["table"]["records_applied"] == acknowledged
+                probes = [*"abcdef", "sentinel", "never-sent"]
+                live = await client.estimate("t", probes)
+                assert live == [float(offline.estimate(p)) for p in probes]
+            finally:
+                await server.stop()
+            return overloads
+
+        run(go())

@@ -1,0 +1,250 @@
+"""Runner semantics: reports, probes, verification, skip accounting.
+
+End-to-end runs stay short (sub-second) — what matters here is the
+*accounting contract*: every sent record is either acknowledged, in a
+tallied refusal, or in ``skipped``; never silently lost.  Exactness
+under load gets its own probe assertions (§3.2 linearity end-to-end).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.service import (
+    AsyncServiceClient,
+    QuotaExceededError,
+    ServiceLimits,
+    SketchServer,
+)
+from repro.traffic import TrafficReport, TrafficRunner, WorkloadSpec, percentile
+from repro.traffic.runner import _records_applied, run_traffic
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.99) == 0.0
+
+    def test_nearest_rank(self):
+        samples = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(samples, 0.0) == 10.0
+        assert percentile(samples, 0.5) == 20.0
+        assert percentile(samples, 0.75) == 30.0
+        assert percentile(samples, 1.0) == 40.0
+
+    def test_unsorted_input_ok(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_q_out_of_range_refused(self):
+        with pytest.raises(ValueError, match="q must be"):
+            percentile([1.0], 1.5)
+
+
+class TestRecordsApplied:
+    def test_service_shape(self):
+        assert _records_applied({"table": {"records_applied": 7}}) == 7
+
+    def test_cluster_shape(self):
+        payload = {"n_shards": 2, "shards": [
+            {"shard": 0, "table": {"records_applied": 3}},
+            {"shard": 1, "table": {"records_applied": 4}},
+        ]}
+        assert _records_applied(payload) == 7
+
+    def test_unknown_shape_refused(self):
+        with pytest.raises(ValueError, match="stats payload"):
+            _records_applied({"mystery": 1})
+
+
+class TestRunnerValidation:
+    def test_bad_parameters_refused(self):
+        spec = WorkloadSpec()
+        with pytest.raises(ValueError, match="clients"):
+            TrafficRunner(spec, clients=0)
+        with pytest.raises(ValueError, match="duration"):
+            TrafficRunner(spec, duration=0.0)
+        with pytest.raises(ValueError, match="max_inflight"):
+            TrafficRunner(spec, max_inflight=0)
+
+
+class _FakeTarget:
+    """Minimal async service surface with scripted behaviour."""
+
+    def __init__(self, *, ingest_delay=0.0, refuse_ingest=False):
+        self.ingest_delay = ingest_delay
+        self.refuse_ingest = refuse_ingest
+        self.applied = 0
+        self.tables: set[str] = set()
+        self.closed = False
+
+    async def create_table(self, spec):
+        self.tables.add(spec.name)
+
+    async def drop_table(self, name):
+        self.tables.discard(name)
+
+    async def ingest(self, table, records, *, wait=False):
+        if self.refuse_ingest:
+            raise QuotaExceededError(
+                "quota_exceeded", "table quota exhausted",
+                {"table": table, "op_kind": "ingest", "retry_after": None})
+        if self.ingest_delay:
+            await asyncio.sleep(self.ingest_delay)
+        self.applied += len(list(records))
+        return len(list(records))
+
+    async def estimate(self, table, items):
+        return [0.0 for _ in items]
+
+    async def stats(self, table=None):
+        return {"table": {"records_applied": self.applied}}
+
+    async def close(self):
+        self.closed = True
+
+
+class TestAgainstFakeTarget:
+    def test_open_loop_counts_skips_instead_of_dropping(self):
+        target = _FakeTarget(ingest_delay=0.05)
+        spec = WorkloadSpec(tenants=1, arrival="poisson", rate=400.0,
+                            query_fraction=0.0, batch_size=4, seed=1)
+        runner = TrafficRunner(spec, clients=1, duration=0.4,
+                               max_inflight=2)
+        report = run(runner.run(lambda: target, probe=False, verify=False))
+        # The fake applies ~0.05s per batch; a 400 ops/s open loop must
+        # overflow a 2-deep inflight window, and every overflow is
+        # visible in the report.
+        assert report.skipped > 0
+        assert report.records_acknowledged == target.applied
+
+    def test_refusals_are_tallied_never_acknowledged(self):
+        target = _FakeTarget(refuse_ingest=True)
+        spec = WorkloadSpec(tenants=2, query_fraction=0.2, seed=2)
+        runner = TrafficRunner(spec, clients=1, duration=0.2)
+        report = run(runner.run(lambda: target, probe=False))
+        assert report.errors.get("quota_exceeded", 0) > 0
+        assert report.records_acknowledged == 0
+        assert report.per_tenant_records == {}
+        assert report.records_sent > 0
+        # Nothing was applied, nothing acknowledged: still clean.
+        assert report.verification["no_silent_drops"] is True
+
+    def test_worker_clients_are_closed(self):
+        targets = []
+
+        def connect():
+            target = _FakeTarget()
+            targets.append(target)
+            return target
+
+        spec = WorkloadSpec(tenants=1, seed=3)
+        runner = TrafficRunner(spec, clients=3, duration=0.1)
+        run(runner.run(connect, probe=False, verify=False))
+        assert len(targets) == 4  # 3 workers + 1 admin
+        assert all(target.closed for target in targets)
+
+
+class TestAgainstLiveServer:
+    def test_closed_loop_report_contract(self):
+        async def go():
+            server = SketchServer()
+            await server.start()
+            try:
+                spec = WorkloadSpec(tenants=2, keys_per_tenant=64,
+                                    query_fraction=0.3, batch_size=8,
+                                    seed=7, table_prefix="rt")
+                report = await run_traffic(
+                    lambda: AsyncServiceClient.in_process(server),
+                    spec, clients=2, duration=0.4)
+            finally:
+                await server.stop()
+            return report
+
+        report = run(go())
+        assert isinstance(report, TrafficReport)
+        assert report.total_ops > 0
+        assert report.errors == {}
+        assert report.throughput > 0
+        assert 0.0 < report.fairness_ratio <= 1.0
+        assert report.records_acknowledged == report.records_sent
+        for stats in report.latency.values():
+            assert stats["p50_ms"] <= stats["p99_ms"] <= stats["p999_ms"]
+        assert report.probe["bit_equal"] is True
+        assert report.verification["no_silent_drops"] is True
+        payload = report.to_dict()
+        assert payload["spec"]["table_prefix"] == "rt"
+        assert payload["throughput_ops_per_s"] == report.throughput
+
+    def test_quota_refusals_reach_the_report(self):
+        async def go():
+            limits = ServiceLimits(ingest_rate=50.0, ingest_burst=64.0)
+            server = SketchServer(limits=limits)
+            await server.start()
+            try:
+                spec = WorkloadSpec(tenants=1, query_fraction=0.0,
+                                    batch_size=16, seed=7,
+                                    table_prefix="q")
+                report = await run_traffic(
+                    lambda: AsyncServiceClient.in_process(server),
+                    spec, clients=2, duration=0.4, probe=False)
+            finally:
+                await server.stop()
+            return report
+
+        report = run(go())
+        assert report.errors.get("quota_exceeded", 0) > 0
+        # Refused batches never count as acknowledged, and everything
+        # acknowledged was applied.
+        assert report.records_acknowledged < report.records_sent
+        assert report.verification["no_silent_drops"] is True
+
+    def test_cluster_target_and_shard_stats_shape(self):
+        async def go():
+            servers = [SketchServer() for _ in range(2)]
+            cluster = ClusterCoordinator.in_process(servers)
+            try:
+                spec = WorkloadSpec(tenants=2, keys_per_tenant=32,
+                                    query_fraction=0.2, batch_size=8,
+                                    seed=7, table_prefix="cl")
+                runner = TrafficRunner(spec, clients=2, duration=0.3)
+                report = await runner.run(lambda: cluster)
+            finally:
+                for server in servers:
+                    await server.stop()
+            return report
+
+        report = run(go())
+        assert report.total_ops > 0
+        assert report.probe["bit_equal"] is True
+        assert report.verification["no_silent_drops"] is True
+
+    def test_setup_false_reuses_existing_tables(self):
+        async def go():
+            server = SketchServer()
+            await server.start()
+            try:
+                spec = WorkloadSpec(tenants=1, keys_per_tenant=32,
+                                    query_fraction=0.0, batch_size=4,
+                                    seed=7, table_prefix="pre")
+                admin = AsyncServiceClient.in_process(server)
+                await admin.create_table(spec.table_spec("pre0"))
+                await admin.ingest("pre0", [(1, 5)], wait=True)
+                await admin.close()
+                runner = TrafficRunner(spec, clients=1, duration=0.2)
+                report = await runner.run(
+                    lambda: AsyncServiceClient.in_process(server),
+                    setup=False, probe=False)
+            finally:
+                await server.stop()
+            return report
+
+        report = run(go())
+        # The pre-run record is in the baseline, so verification only
+        # accounts for this run's acknowledged records.
+        assert report.verification["no_silent_drops"] is True
